@@ -1,0 +1,39 @@
+//! Tables 1–3, Figure 3, and the §4.1 statistics — marketplace anatomy.
+//!
+//! Measures the analysis stage on a shared crawled dataset; the printed
+//! summary lines double as a sanity check that the regenerated rows have
+//! the paper's shape.
+
+use acctrade_bench::shared_report;
+use acctrade_core::anatomy;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_anatomy(c: &mut Criterion) {
+    let report = shared_report();
+    let offers = &report.dataset.offers;
+    eprintln!(
+        "[anatomy] offers={} sellers={} total=${:.0}",
+        offers.len(),
+        report.anatomy.total_sellers,
+        report.anatomy.price_total_usd
+    );
+
+    c.bench_function("table1_marketplace_rollup", |b| {
+        b.iter(|| anatomy::table1(black_box(offers)))
+    });
+    c.bench_function("section4_1_anatomy_stats", |b| {
+        b.iter(|| anatomy::anatomy_stats(black_box(offers)))
+    });
+    c.bench_function("table3_payment_matrix", |b| b.iter(anatomy::table3));
+    c.bench_function("figure3_price_outlier", |b| {
+        b.iter(|| anatomy::figure3_outlier(black_box(offers)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_anatomy
+}
+criterion_main!(benches);

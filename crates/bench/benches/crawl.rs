@@ -1,0 +1,117 @@
+//! Crawler benches: single-marketplace DFS crawl cost, the DFS-vs-BFS
+//! frontier ablation (time to the first offers), and the politeness
+//! ablation (virtual collection time vs client-side rate limit).
+
+use acctrade_bench::BENCH_SCALE;
+use acctrade_crawler::crawl::MarketplaceCrawler;
+use acctrade_crawler::frontier::CrawlOrder;
+use acctrade_market::config::MarketplaceId;
+use acctrade_net::client::Client;
+use acctrade_net::sim::SimNet;
+use acctrade_workload::world::{World, WorldParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_crawl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crawler");
+    group.sample_size(10);
+
+    group.bench_function("dfs_crawl_accsmarket", |b| {
+        b.iter_with_setup(
+            || {
+                let world = World::generate(WorldParams { seed: 11, scale: BENCH_SCALE });
+                let net = SimNet::new(11);
+                world.deploy(&net);
+                net
+            },
+            |net| {
+                let client = Client::new(&net, "acctrade-crawler/0.1");
+                let mut crawler = MarketplaceCrawler::new(&client, MarketplaceId::Accsmarket);
+                black_box(crawler.crawl(0))
+            },
+        )
+    });
+
+    // DFS vs BFS ablation: DFS reaches its first offers immediately
+    // (drains each listing page before paginating); BFS walks every
+    // listing page first. Measured as pages fetched before the 25th
+    // offer (printed) plus wall time per full crawl.
+    for order in [CrawlOrder::DepthFirst, CrawlOrder::BreadthFirst] {
+        // One instrumented run outside the timer.
+        let world = World::generate(WorldParams { seed: 13, scale: BENCH_SCALE });
+        let net = SimNet::new(13);
+        world.deploy(&net);
+        let client = Client::new(&net, "acctrade-crawler/0.1");
+        let start = net.clock().now_unix();
+        let mut crawler =
+            MarketplaceCrawler::with_order(&client, MarketplaceId::Accsmarket, order);
+        let (records, stats) = crawler.crawl(0);
+        // DFS reaches its 25th offer after ~2 listing pages; BFS only
+        // after walking the whole pagination chain.
+        let t25 = records.get(24).map(|r| r.collected_unix - start).unwrap_or(0);
+        eprintln!(
+            "[crawl:{order:?}] offers={} pages={} 25th-offer-at=+{t25}s-from-start",
+            records.len(),
+            stats.pages_fetched,
+        );
+        group.bench_with_input(
+            BenchmarkId::new("frontier_order", format!("{order:?}")),
+            &order,
+            |b, &order| {
+                b.iter_with_setup(
+                    || {
+                        let world =
+                            World::generate(WorldParams { seed: 13, scale: BENCH_SCALE / 2.0 });
+                        let net = SimNet::new(13);
+                        world.deploy(&net);
+                        net
+                    },
+                    |net| {
+                        let client = Client::new(&net, "acctrade-crawler/0.1");
+                        let mut crawler = MarketplaceCrawler::with_order(
+                            &client,
+                            MarketplaceId::Accsmarket,
+                            order,
+                        );
+                        black_box(crawler.crawl(0))
+                    },
+                )
+            },
+        );
+    }
+
+    // Politeness ablation: how much *virtual* collection time the
+    // crawler's self-throttle costs (printed; wall time is what criterion
+    // measures).
+    for rate in [2.0f64, 10.0, 50.0] {
+        group.bench_with_input(
+            BenchmarkId::new("politeness_rate", format!("{rate}")),
+            &rate,
+            |b, &rate| {
+                b.iter_with_setup(
+                    || {
+                        let world =
+                            World::generate(WorldParams { seed: 12, scale: BENCH_SCALE / 2.0 });
+                        let net = SimNet::new(12);
+                        world.deploy(&net);
+                        net
+                    },
+                    |net| {
+                        let t0 = net.clock().now_us();
+                        let client =
+                            Client::new(&net, "acctrade-crawler/0.1").with_politeness(rate, 4.0);
+                        let mut crawler = MarketplaceCrawler::new(&client, MarketplaceId::FameSwap);
+                        let out = crawler.crawl(0);
+                        let virtual_hours =
+                            (net.clock().now_us() - t0) as f64 / 3_600_000_000.0;
+                        black_box((out, virtual_hours))
+                    },
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crawl);
+criterion_main!(benches);

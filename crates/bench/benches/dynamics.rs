@@ -1,0 +1,48 @@
+//! Figure 2 — listing dynamics: the crawl campaign itself (collection
+//! cost) and the snapshot-series derivation.
+
+use acctrade_bench::BENCH_SCALE;
+use acctrade_core::dynamics::ListingDynamics;
+use acctrade_crawler::schedule::CrawlCampaign;
+use acctrade_net::client::Client;
+use acctrade_net::sim::SimNet;
+use acctrade_workload::world::{World, WorldParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_dynamics(c: &mut Criterion) {
+    // Campaign cost: world + fabric rebuilt per iteration (the campaign
+    // mutates both).
+    c.bench_function("figure2_crawl_campaign_3_iterations", |b| {
+        b.iter(|| {
+            let mut world = World::generate(WorldParams { seed: 42, scale: BENCH_SCALE / 2.0 });
+            let net = SimNet::new(42);
+            world.deploy(&net);
+            let client = Client::new(&net, "acctrade-crawler/0.1");
+            let campaign = CrawlCampaign::new(&client);
+            black_box(campaign.run(&mut world, 3))
+        })
+    });
+
+    // Series derivation on a prebuilt snapshot list.
+    let mut world = World::generate(WorldParams { seed: 43, scale: BENCH_SCALE });
+    let net = SimNet::new(43);
+    world.deploy(&net);
+    let client = Client::new(&net, "acctrade-crawler/0.1");
+    let (_, snaps) = CrawlCampaign::new(&client).run(&mut world, 6);
+    eprintln!(
+        "[dynamics] final cumulative={} active={}",
+        snaps.last().unwrap().cumulative_offers,
+        snaps.last().unwrap().active_offers
+    );
+    c.bench_function("figure2_series_derivation", |b| {
+        b.iter(|| ListingDynamics::from_snapshots(black_box(&snaps)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dynamics
+}
+criterion_main!(benches);

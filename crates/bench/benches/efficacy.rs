@@ -1,0 +1,97 @@
+//! Table 8 — moderation sweeps and the efficacy audit, plus a capacity
+//! what-if sweep (what would §8 look like if every platform moderated at
+//! TikTok's rate?).
+
+use acctrade_bench::BENCH_SCALE;
+use acctrade_core::efficacy;
+use acctrade_crawler::resolve::ProfileResolver;
+use acctrade_net::client::Client;
+use acctrade_net::sim::SimNet;
+use acctrade_social::moderation::ModerationEngine;
+use acctrade_social::platform::{Platform, ALL_PLATFORMS};
+use acctrade_workload::world::{World, WorldParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_efficacy(c: &mut Criterion) {
+    // Moderation sweep cost on one platform store.
+    c.bench_function("table8_moderation_sweep", |b| {
+        b.iter_with_setup(
+            || World::generate(WorldParams { seed: 5, scale: BENCH_SCALE }),
+            |world| {
+                let engine = ModerationEngine::calibrated(Platform::TikTok);
+                let mut rng = ChaCha8Rng::seed_from_u64(5);
+                let store = &world.stores[&Platform::TikTok];
+                black_box(engine.sweep(&mut store.write(), 1_717_200_000, &mut rng))
+            },
+        )
+    });
+
+    // Full audit: moderate + re-query everything + analyze.
+    let mut group = c.benchmark_group("table8_requery_audit");
+    group.sample_size(10);
+    group.bench_function("audit", |b| {
+        b.iter_with_setup(
+            || {
+                let mut world = World::generate(WorldParams { seed: 6, scale: BENCH_SCALE });
+                let net = SimNet::new(6);
+                world.deploy(&net);
+                world.run_moderation(net.clock().now_unix());
+                let handles: Vec<(Platform, String)> = world
+                    .stores
+                    .iter()
+                    .flat_map(|(p, s)| {
+                        s.read()
+                            .accounts_sorted()
+                            .into_iter()
+                            .map(|a| (*p, a.handle.clone()))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                (net, handles)
+            },
+            |(net, handles)| {
+                let client = Client::new(&net, "audit");
+                let resolver = ProfileResolver::new(&client);
+                let requery: Vec<_> = handles
+                    .iter()
+                    .map(|(p, h)| resolver.resolve(*p, h))
+                    .collect();
+                black_box(efficacy::analyze(&requery))
+            },
+        )
+    });
+    group.finish();
+
+    // What-if sweep: uniform capacity across platforms.
+    let mut group = c.benchmark_group("whatif_capacity");
+    group.sample_size(10);
+    for capacity in [0.05f64, 0.2, 0.48] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{capacity:.2}")),
+            &capacity,
+            |b, &capacity| {
+                b.iter_with_setup(
+                    || World::generate(WorldParams { seed: 7, scale: BENCH_SCALE / 2.0 }),
+                    |world| {
+                        let mut rng = ChaCha8Rng::seed_from_u64(7);
+                        let mut inactive = 0usize;
+                        for p in ALL_PLATFORMS {
+                            let engine = ModerationEngine::with_capacity(p, capacity);
+                            let store = &world.stores[&p];
+                            let r = engine.sweep(&mut store.write(), 1_717_200_000, &mut rng);
+                            inactive += r.total_inactive();
+                        }
+                        black_box(inactive)
+                    },
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_efficacy);
+criterion_main!(benches);

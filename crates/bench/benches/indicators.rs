@@ -1,0 +1,52 @@
+//! §9 — the proposed-indicator experiments: referral monitoring and
+//! rapid-growth detection cost at evaluation scale.
+
+use acctrade_bench::BENCH_SCALE;
+use acctrade_core::indicators::{evaluate_growth_indicator, evaluate_referral_monitoring};
+use acctrade_crawler::crawl::MarketplaceCrawler;
+use acctrade_market::config::MarketplaceId;
+use acctrade_net::client::Client;
+use acctrade_net::sim::SimNet;
+use acctrade_workload::world::{World, WorldParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_indicators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("section9_indicators");
+    group.sample_size(10);
+
+    group.bench_function("referral_monitoring_1k_buyers", |b| {
+        b.iter_with_setup(
+            || {
+                let world = World::generate(WorldParams { seed: 15, scale: BENCH_SCALE / 2.0 });
+                let net = SimNet::new(15);
+                world.deploy(&net);
+                let client = Client::new(&net, "acctrade-crawler/0.1");
+                let (offers, _) =
+                    MarketplaceCrawler::new(&client, MarketplaceId::Accsmarket).crawl(0);
+                (world, net, offers)
+            },
+            |(world, net, offers)| {
+                black_box(evaluate_referral_monitoring(&world, &net, &offers, 1_000, 250, 15))
+            },
+        )
+    });
+
+    group.bench_function("growth_indicator_4_thresholds", |b| {
+        b.iter_with_setup(
+            || World::generate(WorldParams { seed: 16, scale: BENCH_SCALE / 2.0 }),
+            |world| {
+                black_box(evaluate_growth_indicator(
+                    &world,
+                    &[0.05, 0.2, 0.5, 2.0],
+                    180,
+                    16,
+                ))
+            },
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_indicators);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Table 7 / Figure 5 — attribute-based network clustering.
+
+use acctrade_bench::shared_report;
+use acctrade_core::network;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_network(c: &mut Criterion) {
+    let report = shared_report();
+    let profiles = &report.dataset.profiles;
+    eprintln!(
+        "[network] clusters={} clustered={:.1}%",
+        report.network.all_row.clusters, report.network.all_row.clustered_pct
+    );
+
+    c.bench_function("table7_attribute_clustering", |b| {
+        b.iter(|| network::analyze(black_box(profiles)))
+    });
+    let analysis = network::analyze(profiles);
+    c.bench_function("figure5_exemplars", |b| {
+        b.iter(|| network::figure5_exemplars(black_box(&analysis), 3))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_network
+}
+criterion_main!(benches);

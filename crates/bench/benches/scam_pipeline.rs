@@ -1,0 +1,79 @@
+//! Tables 5–6 — the §6 scam-post pipeline, plus the two ablations
+//! DESIGN.md calls out:
+//!
+//! * **clusterer ablation** — HDBSCAN (paper-faithful) vs DBSCAN at a
+//!   fixed radius vs a k-means baseline (no noise concept);
+//! * **embedding-dimension sweep** — cosine-geometry preservation vs
+//!   cost.
+
+use acctrade_core::scamposts::{
+    analyze, synthetic_posts, ClusterBackend, ScamPipelineConfig,
+};
+use acctrade_text::cluster::kmeans;
+use acctrade_text::embed::Embedder;
+use acctrade_text::reduce::pca_reduce;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let posts = synthetic_posts(25, 12, 77);
+    let truth_scam = 16 * 25;
+
+    // Headline numbers per backend (the shape check for Tables 5/6).
+    for (name, backend) in [
+        ("hdbscan", ClusterBackend::Hdbscan { min_cluster_size: 3 }),
+        ("dbscan", ClusterBackend::Dbscan { eps: 0.35, min_pts: 3 }),
+    ] {
+        let a = analyze(&posts, ScamPipelineConfig { backend, ..Default::default() });
+        eprintln!(
+            "[scam:{name}] clusters={} scam_clusters={} recall={:.0}%",
+            a.clusters.len(),
+            a.scam_cluster_count,
+            100.0 * a.total_scam_posts as f64 / truth_scam as f64
+        );
+    }
+
+    let mut group = c.benchmark_group("table5_6_pipeline");
+    group.sample_size(10);
+    for (name, backend) in [
+        ("hdbscan", ClusterBackend::Hdbscan { min_cluster_size: 3 }),
+        ("dbscan_eps0.35", ClusterBackend::Dbscan { eps: 0.35, min_pts: 3 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                analyze(
+                    black_box(&posts),
+                    ScamPipelineConfig { backend, ..Default::default() },
+                )
+            })
+        });
+    }
+    group.finish();
+
+    // k-means baseline ablation: cluster the same reduced embeddings; it
+    // has no noise concept, so every benign post lands in *some* cluster.
+    let texts: Vec<String> = posts.iter().map(|p| p.text.clone()).collect();
+    let embedder = Embedder::new(192, 7);
+    let embedded = embedder.embed_all(&texts[..texts.len().min(1500)]);
+    let reduced = pca_reduce(&embedded, 24, 7);
+    let mut group = c.benchmark_group("ablation_clusterer");
+    group.sample_size(10);
+    group.bench_function("kmeans_k86_baseline", |b| {
+        b.iter(|| kmeans(black_box(&reduced), 86, 7, 30))
+    });
+    group.finish();
+
+    // Embedding-dimension sweep.
+    let mut group = c.benchmark_group("ablation_embed_dim");
+    group.sample_size(10);
+    for dim in [64usize, 192, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, &dim| {
+            let e = Embedder::new(dim, 7);
+            b.iter(|| e.embed_all(black_box(&texts[..500])))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

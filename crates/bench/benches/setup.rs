@@ -1,0 +1,34 @@
+//! Table 4, Figure 4, and the §5 statistics — account setup analysis.
+
+use acctrade_bench::shared_report;
+use acctrade_core::setup;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_setup(c: &mut Criterion) {
+    let report = shared_report();
+    let profiles = &report.dataset.profiles;
+    eprintln!(
+        "[setup] profiles={} pre2020={:.2} last3.5y={:.2}",
+        profiles.len(),
+        report.creation.pre_2020,
+        report.creation.last_3_5_years
+    );
+
+    c.bench_function("table4_follower_distribution", |b| {
+        b.iter(|| setup::table4(black_box(profiles)))
+    });
+    c.bench_function("figure4_creation_cdf", |b| {
+        b.iter(|| setup::creation_cdf(black_box(profiles)))
+    });
+    c.bench_function("section5_setup_stats", |b| {
+        b.iter(|| setup::setup_stats(black_box(profiles)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_setup
+}
+criterion_main!(benches);

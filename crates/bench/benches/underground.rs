@@ -1,0 +1,63 @@
+//! §4.2 — underground collection (Tor + CAPTCHA + link-walking) and the
+//! listing-similarity analysis.
+
+use acctrade_bench::shared_report;
+use acctrade_core::underground;
+use acctrade_crawler::underground::UndergroundCollector;
+use acctrade_net::client::Client;
+use acctrade_net::sim::SimNet;
+use acctrade_net::tor::TorDirectory;
+use acctrade_workload::world::{World, WorldParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_underground(c: &mut Criterion) {
+    let report = shared_report();
+    eprintln!(
+        "[underground] posts={} reuse_pairs={}",
+        report.underground.total_posts,
+        report.underground.reuse_pairs.len()
+    );
+
+    // Manual collection of the biggest market (Nexus).
+    let mut group = c.benchmark_group("section4_2");
+    group.sample_size(10);
+    group.bench_function("manual_collection_nexus", |b| {
+        b.iter_with_setup(
+            || {
+                let world = World::generate(WorldParams { seed: 9, scale: 0.02 });
+                let net = SimNet::new(9);
+                world.deploy(&net);
+                let host = world
+                    .forums
+                    .iter()
+                    .find(|f| f.config().name == "Nexus")
+                    .expect("nexus exists")
+                    .config()
+                    .host
+                    .clone();
+                (net, host)
+            },
+            |(net, host)| {
+                let dir = TorDirectory::default_consensus();
+                let mut rng = ChaCha8Rng::seed_from_u64(9);
+                let operator =
+                    Client::new(&net, "tor-browser").manual(9).via_tor(dir.build_circuit(&mut rng));
+                let collector = UndergroundCollector::new(&operator, host, "Nexus");
+                black_box(collector.collect())
+            },
+        )
+    });
+
+    // Similarity analysis on the shared records.
+    let records = &report.dataset.underground;
+    group.bench_function("similarity_analysis", |b| {
+        b.iter(|| underground::analyze(black_box(records)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_underground);
+criterion_main!(benches);

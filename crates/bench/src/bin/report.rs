@@ -1,0 +1,73 @@
+//! Regenerate any table or figure from the paper.
+//!
+//! ```sh
+//! report <target> [scale] [seed]
+//! ```
+//!
+//! `target` ∈ table1..table9, figure2..figure5, anatomy, setup,
+//! underground, dataset (full campaign dataset as JSON — the paper's
+//! release-artifact format), figure2csv/figure4csv (plot data), all.
+//! `scale` defaults to 0.1; `1.0` is paper scale.
+
+use acctrade_core::study::{Study, StudyConfig};
+use acctrade_core::{anatomy, report};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let target = args.next().unwrap_or_else(|| "all".to_string());
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0xACC7);
+
+    // Tables 3 and 9 are static configuration; serve them without a run.
+    match target.as_str() {
+        "figure1" => {
+            println!("{}", report::render_figure1());
+            return;
+        }
+        "appendixa" => {
+            println!("{}", acctrade_core::payments_security::render_appendix_a());
+            return;
+        }
+        "table3" => {
+            println!("{}", report::render_table3());
+            return;
+        }
+        "table9" => {
+            println!("{}", report::render_table9());
+            return;
+        }
+        _ => {}
+    }
+
+    eprintln!("running study (target={target}, scale={scale}, seed={seed}) ...");
+    let r = Study::new(StudyConfig { seed, scale, iterations: 10, scam: Default::default() }).run();
+
+    let out = match target.as_str() {
+        "table1" => report::render_table1(&r.table1),
+        "table2" => report::render_table2(&r.table2),
+        "table4" => report::render_table4(&r.table4),
+        "table5" => report::render_table5(&r.scam),
+        "table6" => report::render_table6(&r.scam),
+        "table7" => report::render_table7(&r.network),
+        "table8" => report::render_table8(&r.efficacy),
+        "figure2" => report::render_figure2(&r.dynamics),
+        "figure3" => report::render_figure3(anatomy::figure3_outlier(&r.dataset.offers)),
+        "figure4" => report::render_figure4(&r.creation),
+        "figure5" => report::render_figure5(&r.network),
+        "anatomy" => report::render_anatomy(&r.anatomy),
+        "setup" => report::render_setup(&r.setup),
+        "underground" => report::render_underground(&r.underground),
+        "dataset" => r.dataset.to_json(),
+        "figure2csv" => acctrade_core::figures::figure2_csv(&r.dynamics),
+        "figure4csv" => acctrade_core::figures::figure4_csv(&r.creation, 200),
+        "all" => r.render_all(),
+        other => {
+            eprintln!("unknown target {other:?}");
+            eprintln!(
+                "targets: table1..table9, figure2..figure5, anatomy, setup, underground, dataset, figure2csv, figure4csv, all"
+            );
+            std::process::exit(2);
+        }
+    };
+    println!("{out}");
+}

@@ -1,0 +1,31 @@
+//! # acctrade-bench
+//!
+//! Benchmarks and regeneration targets for every table and figure in the
+//! paper, plus the ablation benches DESIGN.md calls out.
+//!
+//! * `cargo run -p acctrade-bench --bin report -- all 0.1` regenerates
+//!   every table/figure at the given scale;
+//! * `cargo bench -p acctrade-bench` runs the criterion benches (one
+//!   bench target per experiment, plus ablations).
+
+use acctrade_core::study::{Study, StudyConfig, StudyReport};
+use std::sync::OnceLock;
+
+/// Scale used by the criterion benches — small enough to iterate, big
+/// enough that the pipelines do real work.
+pub const BENCH_SCALE: f64 = 0.05;
+
+/// A shared study run for analysis benches (building the dataset once;
+/// individual benches then measure their analysis stage).
+pub fn shared_report() -> &'static StudyReport {
+    static REPORT: OnceLock<StudyReport> = OnceLock::new();
+    REPORT.get_or_init(|| {
+        Study::new(StudyConfig {
+            seed: 0xBE7C,
+            scale: BENCH_SCALE,
+            iterations: 6,
+            scam: Default::default(),
+        })
+        .run()
+    })
+}

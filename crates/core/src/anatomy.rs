@@ -1,0 +1,396 @@
+//! §4.1 — Anatomy of public marketplaces.
+//!
+//! Consumes the crawl dataset (offer records only — everything here is
+//! knowable from the marketplace pages alone) and produces Tables 1–3,
+//! Figure 3's price outlier, and the section's in-text statistics.
+
+use crate::stats;
+use acctrade_crawler::record::OfferRecord;
+use acctrade_market::config::{MarketplaceId, ALL_MARKETPLACES};
+use acctrade_market::payments::{PaymentCategory, PaymentMethod};
+use std::collections::{BTreeMap, HashSet};
+
+/// One Table 1 row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Marketplace.
+    pub marketplace: String,
+    /// Distinct sellers observed; `None` when the marketplace hides them.
+    pub sellers: Option<usize>,
+    /// Accounts.
+    pub accounts: usize,
+}
+
+/// Compute Table 1 from offer records.
+pub fn table1(offers: &[OfferRecord]) -> Vec<Table1Row> {
+    ALL_MARKETPLACES
+        .iter()
+        .map(|m| {
+            let name = m.name();
+            let market_offers: Vec<&OfferRecord> =
+                offers.iter().filter(|o| o.marketplace == name).collect();
+            let sellers: HashSet<&str> = market_offers
+                .iter()
+                .filter_map(|o| o.seller.as_deref())
+                .collect();
+            Table1Row {
+                marketplace: name.to_string(),
+                sellers: (!sellers.is_empty()).then_some(sellers.len()),
+                accounts: market_offers.len(),
+            }
+        })
+        .collect()
+}
+
+/// One Table 2 row (computed here for the "all accounts" column; the
+/// visible/post columns join the resolver output in [`crate::study`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table2Row {
+    /// Platform.
+    pub platform: String,
+    /// Visible accounts.
+    pub visible_accounts: usize,
+    /// Visible posts.
+    pub visible_posts: usize,
+    /// All accounts.
+    pub all_accounts: usize,
+}
+
+/// Compute Table 2 given offers plus per-platform (visible, posts) counts
+/// from the resolver.
+pub fn table2(
+    offers: &[OfferRecord],
+    visible_and_posts: &BTreeMap<String, (usize, usize)>,
+) -> Vec<Table2Row> {
+    // Paper order: Instagram, YouTube, TikTok, Facebook, X.
+    ["Instagram", "YouTube", "TikTok", "Facebook", "X"]
+        .iter()
+        .map(|p| {
+            let all = offers.iter().filter(|o| o.platform.as_deref() == Some(*p)).count();
+            let (vis, posts) = visible_and_posts.get(*p).copied().unwrap_or((0, 0));
+            Table2Row {
+                platform: p.to_string(),
+                visible_accounts: vis,
+                visible_posts: posts,
+                all_accounts: all,
+            }
+        })
+        .collect()
+}
+
+/// Table 3: the payment-method × marketplace support matrix.
+///
+/// The paper extracted this manually from checkout pages and FAQs
+/// (Appendix A.1); our stand-in reads each simulated marketplace's
+/// advertised methods — the same information a manual auditor reads off
+/// the site.
+pub fn table3() -> Vec<(PaymentCategory, PaymentMethod, Vec<MarketplaceId>)> {
+    let mut rows = Vec::new();
+    for category in PaymentCategory::all() {
+        for method in PaymentMethod::all_known()
+            .into_iter()
+            .chain(std::iter::once(PaymentMethod::Unknown))
+            .filter(|m| m.category() == category)
+        {
+            let supporters: Vec<MarketplaceId> = ALL_MARKETPLACES
+                .iter()
+                .copied()
+                .filter(|m| m.config().payment_methods.contains(&method))
+                .collect();
+            if !supporters.is_empty() {
+                rows.push((category, method, supporters));
+            }
+        }
+    }
+    rows
+}
+
+/// The in-text §4.1 statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnatomyStats {
+    /// Total offers.
+    pub total_offers: usize,
+    /// Total sellers.
+    pub total_sellers: usize,
+    /// Median per-marketplace seller count (the paper's "median number
+    /// of seller accounts was 77").
+    pub seller_count_median: Option<f64>,
+    /// Distinct seller countries and the top-5 by seller count.
+    pub seller_countries: usize,
+    /// Top seller countries.
+    pub top_seller_countries: Vec<(String, usize)>,
+    /// Category stats.
+    pub uncategorized: usize,
+    /// Distinct categories.
+    pub distinct_categories: usize,
+    /// Top categories.
+    pub top_categories: Vec<(String, usize)>,
+    /// Verified-status claims (the paper: 185, all YouTube, no links).
+    pub verified_claims: usize,
+    /// Verified claims all youtube.
+    pub verified_claims_all_youtube: bool,
+    /// Verified claims without links.
+    pub verified_claims_without_links: bool,
+    /// Monetization.
+    pub monetized: usize,
+    /// Monetization median usd.
+    pub monetization_median_usd: Option<f64>,
+    /// Monetization total usd.
+    pub monetization_total_usd: f64,
+    /// Income source sellers.
+    pub income_source_sellers: usize,
+    /// Descriptions.
+    pub described: usize,
+    /// §4.1's keyword-identified description strategies: (label, count).
+    pub description_strategies: Vec<(&'static str, usize)>,
+    /// Followers shown in ads.
+    pub followers_shown: usize,
+    /// Follower medians.
+    pub follower_medians: BTreeMap<String, f64>,
+    /// Prices.
+    pub price_medians: BTreeMap<String, f64>,
+    /// Price total usd.
+    pub price_total_usd: f64,
+    /// Overall price median usd.
+    pub overall_price_median_usd: Option<f64>,
+    /// Premium count.
+    pub premium_count: usize,
+    /// Premium median usd.
+    pub premium_median_usd: Option<f64>,
+    /// Premium max usd.
+    pub premium_max_usd: f64,
+    /// Premium total usd.
+    pub premium_total_usd: f64,
+}
+
+/// Compute the §4.1 statistics from offer records.
+pub fn anatomy_stats(offers: &[OfferRecord]) -> AnatomyStats {
+    let mut seller_countries: BTreeMap<String, HashSet<&str>> = BTreeMap::new();
+    let mut sellers: HashSet<(&str, &str)> = HashSet::new();
+    for o in offers {
+        if let Some(s) = o.seller.as_deref() {
+            sellers.insert((o.marketplace.as_str(), s));
+            if let Some(c) = o.seller_country.as_deref() {
+                seller_countries.entry(c.to_string()).or_default().insert(s);
+            }
+        }
+    }
+    let mut per_market_sellers: BTreeMap<&str, HashSet<&str>> = BTreeMap::new();
+    for &(market, seller) in &sellers {
+        per_market_sellers.entry(market).or_default().insert(seller);
+    }
+    let seller_counts: Vec<f64> =
+        per_market_sellers.values().map(|s| s.len() as f64).collect();
+    let mut top_seller_countries: Vec<(String, usize)> = seller_countries
+        .iter()
+        .map(|(c, s)| (c.clone(), s.len()))
+        .collect();
+    top_seller_countries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    top_seller_countries.truncate(5);
+
+    let mut categories: BTreeMap<&str, usize> = BTreeMap::new();
+    for o in offers {
+        if let Some(c) = o.category.as_deref() {
+            *categories.entry(c).or_insert(0) += 1;
+        }
+    }
+    let mut top_categories: Vec<(String, usize)> =
+        categories.iter().map(|(c, n)| (c.to_string(), *n)).collect();
+    top_categories.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    top_categories.truncate(5);
+
+    // Keyword analysis of description strategies (§4.1's eight-way
+    // manual coding, mechanized).
+    type StrategyRule = (&'static str, fn(&str) -> bool);
+    let strategy_rules: [StrategyRule; 5] = [
+        ("authentic", |d| d.contains("authentic")),
+        ("fresh and ready", |d| d.contains("fresh and ready")),
+        ("business adaptability", |d| d.contains("business adaptability")),
+        ("real users with activity", |d| d.contains("real and active")),
+        ("original email included", |d| d.contains("original email included")),
+    ];
+    let description_strategies: Vec<(&'static str, usize)> = strategy_rules
+        .iter()
+        .map(|&(label, rule)| {
+            let n = offers
+                .iter()
+                .filter_map(|o| o.description.as_deref())
+                .map(|d| d.to_ascii_lowercase())
+                .filter(|d| rule(d))
+                .count();
+            (label, n)
+        })
+        .collect();
+
+    let verified: Vec<&OfferRecord> = offers.iter().filter(|o| o.claims_verified).collect();
+    let monetized: Vec<&OfferRecord> =
+        offers.iter().filter(|o| o.monthly_revenue_usd.is_some()).collect();
+    let revenues: Vec<f64> = monetized.iter().filter_map(|o| o.monthly_revenue_usd).collect();
+    let income_source_sellers: HashSet<&str> = offers
+        .iter()
+        .filter(|o| o.income_source.is_some())
+        .filter_map(|o| o.seller.as_deref())
+        .collect();
+
+    let mut follower_medians = BTreeMap::new();
+    let mut price_medians = BTreeMap::new();
+    for platform in ["Facebook", "X", "Instagram", "TikTok", "YouTube"] {
+        let f: Vec<f64> = offers
+            .iter()
+            .filter(|o| o.platform.as_deref() == Some(platform))
+            .filter_map(|o| o.claimed_followers)
+            .map(|x| x as f64)
+            .collect();
+        if let Some(m) = stats::median(&f) {
+            follower_medians.insert(platform.to_string(), m);
+        }
+        let p: Vec<f64> = offers
+            .iter()
+            .filter(|o| o.platform.as_deref() == Some(platform))
+            .filter_map(|o| o.price_usd)
+            .collect();
+        if let Some(m) = stats::median(&p) {
+            price_medians.insert(platform.to_string(), m);
+        }
+    }
+
+    let prices: Vec<f64> = offers.iter().filter_map(|o| o.price_usd).collect();
+    let premium: Vec<f64> = prices.iter().copied().filter(|&p| p > 20_000.0).collect();
+
+    AnatomyStats {
+        total_offers: offers.len(),
+        total_sellers: sellers.len(),
+        seller_count_median: stats::median(&seller_counts),
+        seller_countries: seller_countries.len(),
+        top_seller_countries,
+        uncategorized: offers.iter().filter(|o| o.category.is_none()).count(),
+        distinct_categories: categories.len(),
+        top_categories,
+        verified_claims: verified.len(),
+        verified_claims_all_youtube: verified
+            .iter()
+            .all(|o| o.platform.as_deref() == Some("YouTube")),
+        verified_claims_without_links: verified.iter().all(|o| !o.is_visible()),
+        monetized: monetized.len(),
+        monetization_median_usd: stats::median(&revenues),
+        monetization_total_usd: revenues.iter().sum(),
+        income_source_sellers: income_source_sellers.len(),
+        described: offers.iter().filter(|o| o.description.is_some()).count(),
+        description_strategies,
+        followers_shown: offers.iter().filter(|o| o.claimed_followers.is_some()).count(),
+        follower_medians,
+        price_medians,
+        price_total_usd: prices.iter().sum(),
+        overall_price_median_usd: stats::median(&prices),
+        premium_count: premium.len(),
+        premium_median_usd: stats::median(&premium),
+        premium_max_usd: premium.iter().copied().fold(0.0, f64::max),
+        premium_total_usd: premium.iter().sum(),
+    }
+}
+
+/// Figure 3: the most expensive listing observed (the paper shows a
+/// FameSwap listing near $50M; our generator caps the premium tail at the
+/// paper's verified $5M maximum — see EXPERIMENTS.md).
+pub fn figure3_outlier(offers: &[OfferRecord]) -> Option<&OfferRecord> {
+    offers
+        .iter()
+        .filter(|o| o.price_usd.is_some())
+        .max_by(|a, b| {
+            a.price_usd
+                .partial_cmp(&b.price_usd)
+                .expect("finite prices")
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn offer(market: &str, platform: &str, seller: Option<&str>, price: f64) -> OfferRecord {
+        OfferRecord {
+            marketplace: market.into(),
+            offer_url: format!("http://{market}/offer/{price}"),
+            title: String::new(),
+            seller: seller.map(str::to_string),
+            seller_country: seller.map(|_| "United States".to_string()),
+            price_usd: Some(price),
+            platform: Some(platform.into()),
+            category: Some("Humor/Memes".into()),
+            claimed_followers: Some(1000),
+            claims_verified: false,
+            monthly_revenue_usd: None,
+            income_source: None,
+            description: Some("desc".into()),
+            profile_link: None,
+            handle: None,
+            collected_unix: 0,
+            iteration: 0,
+        }
+    }
+
+    #[test]
+    fn table1_counts_sellers_and_accounts() {
+        let offers = vec![
+            offer("Accsmarket", "Instagram", Some("a"), 10.0),
+            offer("Accsmarket", "Instagram", Some("a"), 20.0),
+            offer("Accsmarket", "X", Some("b"), 30.0),
+            offer("SocialTradia", "Instagram", None, 40.0),
+        ];
+        let t1 = table1(&offers);
+        let accs = t1.iter().find(|r| r.marketplace == "Accsmarket").unwrap();
+        assert_eq!(accs.sellers, Some(2));
+        assert_eq!(accs.accounts, 3);
+        let st = t1.iter().find(|r| r.marketplace == "SocialTradia").unwrap();
+        assert_eq!(st.sellers, None);
+        assert_eq!(st.accounts, 1);
+    }
+
+    #[test]
+    fn anatomy_price_stats() {
+        let mut offers: Vec<OfferRecord> = (0..9)
+            .map(|i| offer("Z2U", "TikTok", Some("s"), 100.0 + f64::from(i)))
+            .collect();
+        offers.push(offer("Z2U", "TikTok", Some("s"), 45_000.0));
+        let a = anatomy_stats(&offers);
+        assert_eq!(a.total_offers, 10);
+        assert_eq!(a.premium_count, 1);
+        assert_eq!(a.premium_max_usd, 45_000.0);
+        assert!(a.price_total_usd > 45_000.0);
+        assert_eq!(a.price_medians["TikTok"], 104.5);
+    }
+
+    #[test]
+    fn figure3_finds_max() {
+        let offers = vec![
+            offer("FameSwap", "Instagram", Some("s"), 100.0),
+            offer("FameSwap", "Instagram", Some("s"), 5_000_000.0),
+        ];
+        let o = figure3_outlier(&offers).unwrap();
+        assert_eq!(o.price_usd, Some(5_000_000.0));
+    }
+
+    #[test]
+    fn table3_has_all_known_methods_supported_somewhere() {
+        let rows = table3();
+        // Every method supported by at least one marketplace appears.
+        assert!(rows.iter().any(|(_, m, _)| *m == PaymentMethod::PayPal));
+        assert!(rows.iter().any(|(_, m, _)| *m == PaymentMethod::Unknown));
+        // Z2U supports PayPal per Table 3.
+        let (_, _, supporters) = rows
+            .iter()
+            .find(|(_, m, _)| *m == PaymentMethod::PayPal)
+            .unwrap();
+        assert!(supporters.contains(&MarketplaceId::Z2U));
+    }
+
+    #[test]
+    fn verified_claim_flags() {
+        let mut o = offer("FameSwap", "YouTube", Some("s"), 10.0);
+        o.claims_verified = true;
+        let a = anatomy_stats(&[o]);
+        assert_eq!(a.verified_claims, 1);
+        assert!(a.verified_claims_all_youtube);
+        assert!(a.verified_claims_without_links);
+    }
+}

@@ -1,0 +1,94 @@
+//! Figure 2 — cumulative vs active listings across crawl iterations.
+
+use acctrade_crawler::schedule::IterationSnapshot;
+
+/// The two Figure 2 series plus derived replenishment evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ListingDynamics {
+    /// `(iteration, cumulative, active)` per pass.
+    pub series: Vec<(usize, usize, usize)>,
+    /// Total listings that disappeared between consecutive passes.
+    pub total_retired: usize,
+    /// Total listings first seen after the initial pass (replenishment).
+    pub total_replenished: usize,
+}
+
+impl ListingDynamics {
+    /// Derive the figure's series from campaign snapshots.
+    pub fn from_snapshots(snaps: &[IterationSnapshot]) -> ListingDynamics {
+        let series: Vec<(usize, usize, usize)> = snaps
+            .iter()
+            .map(|s| (s.iteration, s.cumulative_offers, s.active_offers))
+            .collect();
+        let mut total_retired = 0usize;
+        for w in snaps.windows(2) {
+            // active(i+1) = active(i) + new(i+1) - retired -> retired =
+            // active(i) + new(i+1) - active(i+1).
+            let retired =
+                (w[0].active_offers + w[1].new_offers).saturating_sub(w[1].active_offers);
+            total_retired += retired;
+        }
+        let total_replenished = snaps.iter().skip(1).map(|s| s.new_offers).sum();
+        ListingDynamics { series, total_retired, total_replenished }
+    }
+
+    /// Does the cumulative curve grow monotonically (the paper's
+    /// replenishment observation requires it)?
+    pub fn cumulative_monotone(&self) -> bool {
+        self.series.windows(2).all(|w| w[1].1 >= w[0].1)
+    }
+
+    /// Did active listings ever decline between passes (sales /
+    /// take-downs)?
+    pub fn active_declined(&self) -> bool {
+        self.series.windows(2).any(|w| w[1].2 < w[0].2)
+    }
+
+    /// Final gap between cumulative and active listings.
+    pub fn final_gap(&self) -> usize {
+        self.series
+            .last()
+            .map(|&(_, cum, act)| cum.saturating_sub(act))
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(it: usize, cum: usize, act: usize, new: usize) -> IterationSnapshot {
+        IterationSnapshot {
+            iteration: it,
+            at_unix: it as i64 * 86_400,
+            cumulative_offers: cum,
+            active_offers: act,
+            new_offers: new,
+        }
+    }
+
+    #[test]
+    fn derives_series_and_churn() {
+        let snaps = vec![
+            snap(0, 100, 100, 100),
+            snap(1, 110, 95, 10), // 10 new, so 15 retired
+            snap(2, 120, 90, 10), // 10 new, 15 retired
+        ];
+        let d = ListingDynamics::from_snapshots(&snaps);
+        assert_eq!(d.series.len(), 3);
+        assert!(d.cumulative_monotone());
+        assert!(d.active_declined());
+        assert_eq!(d.total_replenished, 20);
+        assert_eq!(d.total_retired, 30);
+        assert_eq!(d.final_gap(), 30);
+    }
+
+    #[test]
+    fn empty_snapshots() {
+        let d = ListingDynamics::from_snapshots(&[]);
+        assert!(d.series.is_empty());
+        assert!(d.cumulative_monotone());
+        assert!(!d.active_declined());
+        assert_eq!(d.final_gap(), 0);
+    }
+}

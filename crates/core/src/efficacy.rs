@@ -1,0 +1,128 @@
+//! §8 — Efficacy and abuse control (Table 8).
+//!
+//! Re-queries every visible account at the end of the study and decodes
+//! the platform's response vocabulary: `Forbidden` (banned), the
+//! platform's "not found" phrasing (deleted/renamed — conservatively also
+//! counted), or a live profile.
+
+use acctrade_crawler::record::{FetchStatus, ProfileRecord};
+
+/// One Table 8 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table8Row {
+    /// Platform.
+    pub platform: String,
+    /// Visible accounts.
+    pub visible_accounts: usize,
+    /// Inactive accounts.
+    pub inactive_accounts: usize,
+    /// Blocking efficacy pct.
+    pub blocking_efficacy_pct: f64,
+}
+
+/// The §8 analysis: per-platform efficacy plus the overall row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EfficacyAnalysis {
+    /// Rows.
+    pub rows: Vec<Table8Row>,
+    /// All row.
+    pub all_row: Table8Row,
+    /// Of the inactive accounts, how many were hard bans (`Forbidden`) vs
+    /// not-found (only X distinguishes).
+    pub forbidden: usize,
+    /// Not found.
+    pub not_found: usize,
+}
+
+/// Compute Table 8 from the final re-query records.
+pub fn analyze(requery: &[ProfileRecord]) -> EfficacyAnalysis {
+    let mut rows = Vec::new();
+    let (mut total, mut total_inactive) = (0usize, 0usize);
+    // Paper order (Table 8): YouTube, Facebook, X, Instagram, TikTok.
+    for platform in ["YouTube", "Facebook", "X", "Instagram", "TikTok"] {
+        let of_platform: Vec<&ProfileRecord> =
+            requery.iter().filter(|p| p.platform == platform).collect();
+        let inactive = of_platform.iter().filter(|p| p.status.is_inactive()).count();
+        total += of_platform.len();
+        total_inactive += inactive;
+        rows.push(Table8Row {
+            platform: platform.to_string(),
+            visible_accounts: of_platform.len(),
+            inactive_accounts: inactive,
+            blocking_efficacy_pct: 100.0 * inactive as f64 / of_platform.len().max(1) as f64,
+        });
+    }
+    let all_row = Table8Row {
+        platform: "All".to_string(),
+        visible_accounts: total,
+        inactive_accounts: total_inactive,
+        blocking_efficacy_pct: 100.0 * total_inactive as f64 / total.max(1) as f64,
+    };
+    EfficacyAnalysis {
+        rows,
+        all_row,
+        forbidden: requery.iter().filter(|p| p.status == FetchStatus::Forbidden).count(),
+        not_found: requery.iter().filter(|p| p.status == FetchStatus::NotFound).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(platform: &str, status: FetchStatus) -> ProfileRecord {
+        ProfileRecord {
+            platform: platform.into(),
+            handle: "h".into(),
+            status,
+            status_detail: None,
+            user_id: None,
+            name: None,
+            description: None,
+            location: None,
+            category: None,
+            email: None,
+            phone: None,
+            website: None,
+            created_unix: None,
+            account_type: None,
+            followers: None,
+            post_count: None,
+        }
+    }
+
+    #[test]
+    fn per_platform_rates() {
+        let requery = vec![
+            record("TikTok", FetchStatus::Ok),
+            record("TikTok", FetchStatus::NotFound),
+            record("X", FetchStatus::Forbidden),
+            record("X", FetchStatus::Ok),
+            record("X", FetchStatus::Ok),
+            record("X", FetchStatus::Ok),
+        ];
+        let a = analyze(&requery);
+        let tt = a.rows.iter().find(|r| r.platform == "TikTok").unwrap();
+        assert!((tt.blocking_efficacy_pct - 50.0).abs() < 1e-9);
+        let x = a.rows.iter().find(|r| r.platform == "X").unwrap();
+        assert!((x.blocking_efficacy_pct - 25.0).abs() < 1e-9);
+        assert_eq!(a.all_row.visible_accounts, 6);
+        assert_eq!(a.all_row.inactive_accounts, 2);
+        assert_eq!(a.forbidden, 1);
+        assert_eq!(a.not_found, 1);
+    }
+
+    #[test]
+    fn errors_do_not_count_as_inactive() {
+        let requery = vec![record("X", FetchStatus::Error), record("X", FetchStatus::Ok)];
+        let a = analyze(&requery);
+        assert_eq!(a.all_row.inactive_accounts, 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let a = analyze(&[]);
+        assert_eq!(a.all_row.visible_accounts, 0);
+        assert_eq!(a.all_row.blocking_efficacy_pct, 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Machine-readable figure exports.
+//!
+//! The paper's figures are plots; the [`crate::report`] renderers print
+//! their series as text. This module additionally exports each figure's
+//! underlying data as CSV so external plotting tools can redraw them.
+
+use crate::dynamics::ListingDynamics;
+use crate::setup::CreationCdf;
+use acctrade_net::clock::format_date;
+
+/// Figure 2 as CSV: `iteration,cumulative,active`.
+pub fn figure2_csv(d: &ListingDynamics) -> String {
+    let mut out = String::from("iteration,cumulative,active\n");
+    for &(it, cum, act) in &d.series {
+        out.push_str(&format!("{},{cum},{act}\n", it + 1));
+    }
+    out
+}
+
+/// Figure 4 as CSV: one `(platform, date, cdf)` row per sample point,
+/// down-sampled to at most `max_points` per platform so full-scale
+/// exports stay plottable.
+pub fn figure4_csv(cdf: &CreationCdf, max_points: usize) -> String {
+    let mut out = String::from("platform,date,cdf\n");
+    for (platform, dates) in &cdf.per_platform {
+        if dates.is_empty() {
+            continue;
+        }
+        let n = dates.len();
+        let step = (n / max_points.max(1)).max(1);
+        for (i, &date) in dates.iter().enumerate() {
+            if i % step != 0 && i != n - 1 {
+                continue;
+            }
+            let f = (i + 1) as f64 / n as f64;
+            out.push_str(&format!("{platform},{},{f:.4}\n", format_date(date)));
+        }
+    }
+    out
+}
+
+/// Generic histogram CSV for price/follower distributions:
+/// `bucket_low,bucket_high,count` over log-spaced buckets.
+pub fn log_histogram_csv(values: &[f64], buckets_per_decade: usize) -> String {
+    let mut out = String::from("bucket_low,bucket_high,count\n");
+    let positive: Vec<f64> = values.iter().copied().filter(|&v| v > 0.0).collect();
+    if positive.is_empty() {
+        return out;
+    }
+    let lo = positive.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = positive.iter().copied().fold(0.0f64, f64::max);
+    let lo_exp = lo.log10().floor();
+    let hi_exp = hi.log10().ceil();
+    let step = 1.0 / buckets_per_decade.max(1) as f64;
+    let mut edge = lo_exp;
+    while edge < hi_exp {
+        let (a, b) = (10f64.powf(edge), 10f64.powf(edge + step));
+        let count = positive.iter().filter(|&&v| v >= a && v < b).count();
+        if count > 0 {
+            out.push_str(&format!("{a:.2},{b:.2},{count}\n"));
+        }
+        edge += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acctrade_crawler::schedule::IterationSnapshot;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn figure2_csv_rows() {
+        let snaps = vec![
+            IterationSnapshot { iteration: 0, at_unix: 0, cumulative_offers: 100, active_offers: 100, new_offers: 100 },
+            IterationSnapshot { iteration: 1, at_unix: 1, cumulative_offers: 110, active_offers: 95, new_offers: 10 },
+        ];
+        let d = ListingDynamics::from_snapshots(&snaps);
+        let csv = figure2_csv(&d);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "iteration,cumulative,active");
+        assert_eq!(lines[1], "1,100,100");
+        assert_eq!(lines[2], "2,110,95");
+    }
+
+    #[test]
+    fn figure4_csv_downsamples_and_ends_at_1() {
+        let mut per_platform = BTreeMap::new();
+        per_platform.insert("X".to_string(), (0..1000).map(|i| i * 86_400).collect());
+        let cdf = CreationCdf {
+            per_platform,
+            pre_2020: 1.0,
+            last_3_5_years: 0.0,
+            youtube_2006_2010: 0.0,
+        };
+        let csv = figure4_csv(&cdf, 50);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines.len() <= 53, "too many rows: {}", lines.len());
+        assert!(lines.last().unwrap().ends_with("1.0000"));
+    }
+
+    #[test]
+    fn log_histogram_counts_everything_positive() {
+        let values = vec![1.0, 5.0, 14.0, 157.0, 755.0, 45_000.0, 5_000_000.0, 0.0, -3.0];
+        let csv = log_histogram_csv(&values, 2);
+        let total: usize = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(2).unwrap().parse::<usize>().unwrap())
+            .sum();
+        assert_eq!(total, 7, "all positive values bucketed exactly once");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(log_histogram_csv(&[], 3).lines().count(), 1);
+        let d = ListingDynamics::from_snapshots(&[]);
+        assert_eq!(figure2_csv(&d).lines().count(), 1);
+    }
+}

@@ -1,0 +1,257 @@
+//! §9 — evaluating the paper's proposed detection indicators.
+//!
+//! The paper *recommends* two platform-side indicators without being able
+//! to test them; the simulation can. This module deploys both against a
+//! generated world and scores them with ground truth:
+//!
+//! * **referral monitoring** — instrument every platform's public web
+//!   host with a [`ReferralMonitor`], simulate buyer browsing sessions
+//!   (marketplace offer page → profile click-through, `Referer` set, as
+//!   browsers do) mixed with organic traffic, and measure what fraction
+//!   of advertised accounts the platform flags;
+//! * **rapid-growth detection** — score every visible account's follower
+//!   telemetry with the [`RapidGrowthDetector`] and compute
+//!   precision/recall against the generator's disposition ground truth
+//!   (farmed + scam-operator accounts are the positives).
+
+use acctrade_crawler::record::OfferRecord;
+use acctrade_net::client::Client;
+use acctrade_net::http::Request;
+use acctrade_net::sim::SimNet;
+use acctrade_net::url::Url;
+use acctrade_social::account::AccountDisposition;
+use acctrade_social::detector::{
+    telemetry_trajectory, DetectorMetrics, RapidGrowthDetector, ReferralMonitor,
+};
+use acctrade_social::platform::{Platform, ALL_PLATFORMS};
+use acctrade_workload::world::World;
+use rand::prelude::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Outcome of the referral-monitoring experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferralReport {
+    /// Buyer click-through sessions simulated.
+    pub buyer_sessions: usize,
+    /// Organic (non-marketplace) profile visits simulated.
+    pub organic_visits: usize,
+    /// Advertised visible accounts flagged by at least one referral.
+    pub flagged_advertised: usize,
+    /// Advertised visible accounts in total.
+    pub advertised_total: usize,
+    /// Flags on accounts *not* advertised anywhere (false alarms).
+    pub flagged_unadvertised: usize,
+}
+
+impl ReferralReport {
+    /// Fraction of advertised accounts the indicator surfaced.
+    pub fn coverage(&self) -> f64 {
+        if self.advertised_total == 0 {
+            return 0.0;
+        }
+        self.flagged_advertised as f64 / self.advertised_total as f64
+    }
+}
+
+/// Deploy referral monitors on every platform web host, replay buyer and
+/// organic traffic, and measure coverage.
+///
+/// `buyer_sessions` buyers each browse one marketplace offer and click
+/// through to its profile link with the `Referer` header a real browser
+/// sends; `organic_visits` visitors hit random profiles directly.
+pub fn evaluate_referral_monitoring(
+    world: &World,
+    net: &Arc<SimNet>,
+    offers: &[OfferRecord],
+    buyer_sessions: usize,
+    organic_visits: usize,
+    seed: u64,
+) -> ReferralReport {
+    let watchlist: Vec<String> = acctrade_market::config::ALL_MARKETPLACES
+        .iter()
+        .map(|m| m.host().to_string())
+        .collect();
+    let monitors: Vec<(Platform, Arc<ReferralMonitor>)> = ALL_PLATFORMS
+        .into_iter()
+        .map(|p| {
+            let monitor = Arc::new(ReferralMonitor::new(watchlist.clone()));
+            net.register(p.web_host(), Arc::clone(&monitor));
+            (p, monitor)
+        })
+        .collect();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x0BFE_44A1);
+    let client = Client::new(net, "buyer-browser/1.0");
+
+    // Buyer sessions: marketplace offer -> profile click-through.
+    let visible: Vec<&OfferRecord> = offers.iter().filter(|o| o.is_visible()).collect();
+    let mut sessions_run = 0usize;
+    if !visible.is_empty() {
+        for _ in 0..buyer_sessions {
+            let offer = visible.choose(&mut rng).expect("non-empty");
+            let Some(link) = &offer.profile_link else { continue };
+            let Ok(url) = Url::parse(link) else { continue };
+            let req = Request::get(url).with_header("referer", offer.offer_url.clone());
+            let _ = client.execute(req);
+            sessions_run += 1;
+        }
+    }
+
+    // Organic traffic: direct profile visits, no referer.
+    let mut organic_run = 0usize;
+    for _ in 0..organic_visits {
+        let platform = ALL_PLATFORMS[rng.random_range(0..ALL_PLATFORMS.len())];
+        let handle = {
+            let store = world.stores[&platform].read();
+            let accounts = store.accounts_sorted();
+            if accounts.is_empty() {
+                continue;
+            }
+            accounts[rng.random_range(0..accounts.len())].handle.clone()
+        };
+        let _ = client.get(&format!("http://{}/{}", platform.web_host(), handle));
+        organic_run += 1;
+    }
+
+    // Score: flagged handles vs advertised handles.
+    let advertised: HashSet<(Platform, String)> = visible
+        .iter()
+        .filter_map(|o| {
+            let p = o.platform.as_deref().and_then(Platform::parse)?;
+            Some((p, o.handle.clone()?))
+        })
+        .collect();
+    let mut flagged_advertised_set: HashSet<(Platform, String)> = HashSet::new();
+    let mut flagged_unadvertised = 0usize;
+    for (platform, monitor) in &monitors {
+        for handle in monitor.flagged().keys() {
+            let key = (*platform, handle.clone());
+            if advertised.contains(&key) {
+                flagged_advertised_set.insert(key);
+            } else {
+                flagged_unadvertised += 1;
+            }
+        }
+    }
+
+    ReferralReport {
+        buyer_sessions: sessions_run,
+        organic_visits: organic_run,
+        flagged_advertised: flagged_advertised_set.len(),
+        advertised_total: advertised.len(),
+        flagged_unadvertised,
+    }
+}
+
+/// Outcome of the rapid-growth experiment: metrics per threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrowthReport {
+    /// `(threshold, metrics)` per evaluated operating point.
+    pub operating_points: Vec<(f64, DetectorMetrics)>,
+    /// Accounts evaluated.
+    pub accounts_evaluated: usize,
+}
+
+impl GrowthReport {
+    /// The operating point with the best F1.
+    pub fn best(&self) -> Option<&(f64, DetectorMetrics)> {
+        self.operating_points.iter().max_by(|a, b| {
+            a.1.f1().partial_cmp(&b.1.f1()).expect("finite f1")
+        })
+    }
+}
+
+/// Evaluate the rapid-follower-growth indicator across thresholds.
+/// Positives = farmed and scam-operator accounts (the "engagement or
+/// account farming" the paper's recommendation targets).
+pub fn evaluate_growth_indicator(
+    world: &World,
+    thresholds: &[f64],
+    telemetry_days: u32,
+    seed: u64,
+) -> GrowthReport {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x64_0057);
+    // Collect (trajectory, is_positive) for every visible account.
+    let mut samples: Vec<(acctrade_social::engagement::Trajectory, bool)> = Vec::new();
+    for platform in ALL_PLATFORMS {
+        let store = world.stores[&platform].read();
+        for account in store.accounts_sorted() {
+            let positive = matches!(
+                account.disposition,
+                AccountDisposition::Farmed | AccountDisposition::ScamOperator
+            );
+            let trajectory = telemetry_trajectory(
+                account.disposition,
+                account.followers,
+                telemetry_days,
+                &mut rng,
+            );
+            samples.push((trajectory, positive));
+        }
+    }
+    let operating_points = thresholds
+        .iter()
+        .map(|&threshold| {
+            let detector = RapidGrowthDetector::new(threshold);
+            let mut metrics = DetectorMetrics::default();
+            for (trajectory, positive) in &samples {
+                metrics.record(detector.flags(trajectory), *positive);
+            }
+            (threshold, metrics)
+        })
+        .collect();
+    GrowthReport { operating_points, accounts_evaluated: samples.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acctrade_crawler::crawl::MarketplaceCrawler;
+    use acctrade_market::config::MarketplaceId;
+    use acctrade_workload::world::WorldParams;
+
+    fn small_world(seed: u64) -> (World, Arc<SimNet>) {
+        let world = World::generate(WorldParams { seed, scale: 0.02 });
+        let net = SimNet::new(seed);
+        world.deploy(&net);
+        (world, net)
+    }
+
+    #[test]
+    fn referral_monitoring_covers_advertised_accounts() {
+        let (world, net) = small_world(61);
+        let client = Client::new(&net, "acctrade-crawler/0.1");
+        let mut offers = Vec::new();
+        for market in [MarketplaceId::Accsmarket, MarketplaceId::FameSwap] {
+            let (o, _) = MarketplaceCrawler::new(&client, market).crawl(0);
+            offers.extend(o);
+        }
+        let report = evaluate_referral_monitoring(&world, &net, &offers, 2_000, 300, 61);
+        assert!(report.buyer_sessions > 1_900);
+        assert!(report.advertised_total > 0);
+        // Heavy buyer traffic surfaces most advertised accounts...
+        assert!(report.coverage() > 0.5, "coverage {}", report.coverage());
+        // ...with zero false alarms: only marketplace referers flag.
+        assert_eq!(report.flagged_unadvertised, 0);
+    }
+
+    #[test]
+    fn growth_indicator_beats_chance_and_sweeps_tradeoff() {
+        let (world, _net) = small_world(62);
+        let report =
+            evaluate_growth_indicator(&world, &[0.05, 0.2, 0.5, 2.0], 180, 62);
+        assert!(report.accounts_evaluated > 100);
+        let (threshold, best) = report.best().expect("operating points exist");
+        assert!(best.f1() > 0.7, "best f1 {} at {threshold}", best.f1());
+        // Recall decreases as the threshold rises.
+        let recalls: Vec<f64> =
+            report.operating_points.iter().map(|(_, m)| m.recall()).collect();
+        assert!(
+            recalls.windows(2).all(|w| w[1] <= w[0] + 1e-9),
+            "recall not monotone: {recalls:?}"
+        );
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # acctrade-core
+//!
+//! The paper's measurement pipeline: everything between "the crawler
+//! collected records" and "the tables in the paper".
+//!
+//! * [`stats`] — medians, quantiles, CDFs, and table formatting;
+//! * [`anatomy`] — §4.1: marketplace anatomy (Tables 1–3, Figure 3, and
+//!   the in-text §4.1 statistics);
+//! * [`dynamics`] — Figure 2: cumulative vs active listings per
+//!   iteration;
+//! * [`setup`] — §5: account setup & engagement (Table 4, Figure 4,
+//!   locations, categories, account types);
+//! * [`scamposts`] — §6: the NLP pipeline (language filter → dedup →
+//!   embed → reduce → density-cluster → keywords → vetting) and Tables
+//!   5–6;
+//! * [`network`] — §7: attribute clustering (Table 7, Figure 5);
+//! * [`efficacy`] — §8: detection efficacy (Table 8);
+//! * [`underground`] — §4.2: underground-market characteristics and the
+//!   listing-similarity analysis;
+//! * [`indicators`] — §9: the paper's *proposed* detection indicators
+//!   (referral monitoring, rapid-growth detection), deployed and scored
+//!   against ground truth — the experiment the paper recommends but
+//!   could not run;
+//! * [`report`] — plain-text renderers for every table and figure;
+//! * [`study`] — [`study::Study`]: the end-to-end orchestration
+//!   (generate world → deploy → crawl campaign → resolve profiles →
+//!   moderation → efficacy audit → analyze).
+
+pub mod anatomy;
+pub mod dynamics;
+pub mod efficacy;
+pub mod figures;
+pub mod indicators;
+pub mod network;
+pub mod payments_security;
+pub mod report;
+pub mod scamposts;
+pub mod setup;
+pub mod stats;
+pub mod study;
+pub mod underground;
+
+pub use study::{Study, StudyConfig, StudyReport};

@@ -1,0 +1,333 @@
+//! §7 — Tracking and network analysis (Table 7, Figure 5).
+//!
+//! Groups visible accounts by shared profile attributes, per platform,
+//! using the paper's attribute choices: TikTok by description, YouTube by
+//! name, Instagram by biography, Facebook by email/phone/website, X by
+//! name or description. Accounts sharing an attribute with at least one
+//! other account form a cluster; everything else is a singleton.
+
+use acctrade_crawler::record::{FetchStatus, ProfileRecord};
+use std::collections::{BTreeMap, HashMap};
+
+/// One Table 7 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table7Row {
+    /// Platform.
+    pub platform: String,
+    /// Attributes.
+    pub attributes: &'static str,
+    /// Min size.
+    pub min_size: usize,
+    /// Max size.
+    pub max_size: usize,
+    /// Median size.
+    pub median_size: usize,
+    /// Clusters.
+    pub clusters: usize,
+    /// Cluster accounts.
+    pub cluster_accounts: usize,
+    /// Singletons.
+    pub singletons: usize,
+    /// Clustered pct.
+    pub clustered_pct: f64,
+}
+
+/// A discovered cluster with its member handles (Figure 5 exemplars come
+/// from the biggest ones).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccountCluster {
+    /// Platform.
+    pub platform: String,
+    /// Shared value.
+    pub shared_value: String,
+    /// Handles.
+    pub handles: Vec<String>,
+}
+
+/// The attribute set used per platform (the paper's Table 7 choices).
+pub fn cluster_attributes(platform: &str) -> &'static str {
+    match platform {
+        "TikTok" => "Description",
+        "YouTube" => "Name",
+        "Instagram" => "Biography",
+        "Facebook" => "Email/Phone/Website",
+        "X" => "Name/Description",
+        _ => "-",
+    }
+}
+
+fn attribute_keys(platform: &str, p: &ProfileRecord) -> Vec<String> {
+    let nonempty = |s: &Option<String>| s.clone().filter(|v| !v.trim().is_empty());
+    match platform {
+        "TikTok" | "Instagram" => nonempty(&p.description)
+            .map(|d| vec![format!("d:{d}")])
+            .unwrap_or_default(),
+        "YouTube" => nonempty(&p.name).map(|n| vec![format!("n:{n}")]).unwrap_or_default(),
+        "Facebook" => {
+            let mut keys = Vec::new();
+            if let Some(e) = nonempty(&p.email) {
+                keys.push(format!("e:{e}"));
+            }
+            if let Some(ph) = nonempty(&p.phone) {
+                keys.push(format!("p:{ph}"));
+            }
+            if let Some(w) = nonempty(&p.website) {
+                keys.push(format!("w:{w}"));
+            }
+            keys
+        }
+        "X" => {
+            let mut keys = Vec::new();
+            if let Some(n) = nonempty(&p.name) {
+                keys.push(format!("n:{n}"));
+            }
+            if let Some(d) = nonempty(&p.description) {
+                keys.push(format!("d:{d}"));
+            }
+            keys
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// The full §7 analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkAnalysis {
+    /// Rows.
+    pub rows: Vec<Table7Row>,
+    /// Clusters.
+    pub clusters: Vec<AccountCluster>,
+    /// The overall "All" row.
+    pub all_row: Table7Row,
+}
+
+/// Run the attribute clustering over live profiles.
+pub fn analyze(profiles: &[ProfileRecord]) -> NetworkAnalysis {
+    let mut rows = Vec::new();
+    let mut all_clusters: Vec<AccountCluster> = Vec::new();
+    let (mut all_cluster_accounts, mut all_singletons) = (0usize, 0usize);
+    let (mut all_min, mut all_max) = (usize::MAX, 0usize);
+    let mut all_sizes: Vec<usize> = Vec::new();
+
+    for platform in ["TikTok", "YouTube", "Instagram", "Facebook", "X"] {
+        let live: Vec<&ProfileRecord> = profiles
+            .iter()
+            .filter(|p| p.status == FetchStatus::Ok && p.platform == platform)
+            .collect();
+
+        // Union-find over shared attribute keys (an account may share any
+        // of several keys — Facebook's email OR phone OR website).
+        let n = live.len();
+        let mut dsu: Vec<usize> = (0..n).collect();
+        fn find(dsu: &mut [usize], mut x: usize) -> usize {
+            while dsu[x] != x {
+                dsu[x] = dsu[dsu[x]];
+                x = dsu[x];
+            }
+            x
+        }
+        let mut key_owner: HashMap<String, usize> = HashMap::new();
+        for (i, p) in live.iter().enumerate() {
+            for key in attribute_keys(platform, p) {
+                match key_owner.get(&key) {
+                    Some(&j) => {
+                        let (ri, rj) = (find(&mut dsu, i), find(&mut dsu, j));
+                        if ri != rj {
+                            dsu[ri] = rj;
+                        }
+                    }
+                    None => {
+                        key_owner.insert(key, i);
+                    }
+                }
+            }
+        }
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for i in 0..n {
+            let r = find(&mut dsu, i);
+            groups.entry(r).or_default().push(i);
+        }
+
+        let mut sizes: Vec<usize> = Vec::new();
+        let mut cluster_accounts = 0usize;
+        let mut singletons = 0usize;
+        for members in groups.values() {
+            if members.len() >= 2 {
+                sizes.push(members.len());
+                cluster_accounts += members.len();
+                let shared_value = attribute_keys(platform, live[members[0]])
+                    .into_iter()
+                    .next()
+                    .unwrap_or_default();
+                all_clusters.push(AccountCluster {
+                    platform: platform.to_string(),
+                    shared_value,
+                    handles: members.iter().map(|&i| live[i].handle.clone()).collect(),
+                });
+            } else {
+                singletons += 1;
+            }
+        }
+        sizes.sort_unstable();
+        let clusters = sizes.len();
+        let median_size = if sizes.is_empty() { 0 } else { sizes[sizes.len() / 2] };
+        let (min_size, max_size) = (
+            sizes.first().copied().unwrap_or(0),
+            sizes.last().copied().unwrap_or(0),
+        );
+        let denom = (cluster_accounts + singletons).max(1);
+        rows.push(Table7Row {
+            platform: platform.to_string(),
+            attributes: cluster_attributes(platform),
+            min_size,
+            max_size,
+            median_size,
+            clusters,
+            cluster_accounts,
+            singletons,
+            clustered_pct: 100.0 * cluster_accounts as f64 / denom as f64,
+        });
+        all_cluster_accounts += cluster_accounts;
+        all_singletons += singletons;
+        if min_size > 0 {
+            all_min = all_min.min(min_size);
+        }
+        all_max = all_max.max(max_size);
+        all_sizes.extend(sizes);
+    }
+
+    all_sizes.sort_unstable();
+    let all_row = Table7Row {
+        platform: "All".to_string(),
+        attributes: "-",
+        min_size: if all_min == usize::MAX { 0 } else { all_min },
+        max_size: all_max,
+        median_size: if all_sizes.is_empty() { 0 } else { all_sizes[all_sizes.len() / 2] },
+        clusters: all_sizes.len(),
+        cluster_accounts: all_cluster_accounts,
+        singletons: all_singletons,
+        clustered_pct: 100.0 * all_cluster_accounts as f64
+            / (all_cluster_accounts + all_singletons).max(1) as f64,
+    };
+    NetworkAnalysis { rows, clusters: all_clusters, all_row }
+}
+
+/// Figure 5 exemplars: the descriptions of the largest clusters.
+pub fn figure5_exemplars(analysis: &NetworkAnalysis, k: usize) -> Vec<&AccountCluster> {
+    let mut sorted: Vec<&AccountCluster> = analysis.clusters.iter().collect();
+    sorted.sort_by_key(|c| std::cmp::Reverse(c.handles.len()));
+    sorted.into_iter().take(k).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(platform: &str, handle: &str) -> ProfileRecord {
+        ProfileRecord {
+            platform: platform.into(),
+            handle: handle.into(),
+            status: FetchStatus::Ok,
+            status_detail: None,
+            user_id: None,
+            name: Some(format!("name-{handle}")),
+            description: Some(format!("bio-{handle}")),
+            location: None,
+            category: None,
+            email: None,
+            phone: None,
+            website: None,
+            created_unix: None,
+            account_type: None,
+            followers: None,
+            post_count: None,
+        }
+    }
+
+    #[test]
+    fn shared_bios_cluster_on_instagram() {
+        let mut a = profile("Instagram", "a");
+        let mut b = profile("Instagram", "b");
+        let c = profile("Instagram", "c");
+        a.description = Some("free NFT giveaways, join us".into());
+        b.description = Some("free NFT giveaways, join us".into());
+        let analysis = analyze(&[a, b, c]);
+        let ig = analysis.rows.iter().find(|r| r.platform == "Instagram").unwrap();
+        assert_eq!(ig.clusters, 1);
+        assert_eq!(ig.cluster_accounts, 2);
+        assert_eq!(ig.singletons, 1);
+        assert!((ig.clustered_pct - 66.66).abs() < 1.0);
+    }
+
+    #[test]
+    fn facebook_unions_across_attributes() {
+        // a shares email with b; b shares phone with c -> one 3-cluster.
+        let mut a = profile("Facebook", "a");
+        let mut b = profile("Facebook", "b");
+        let mut c = profile("Facebook", "c");
+        a.email = Some("x@y.z".into());
+        b.email = Some("x@y.z".into());
+        b.phone = Some("+1555".into());
+        c.phone = Some("+1555".into());
+        let analysis = analyze(&[a, b, c]);
+        let fb = analysis.rows.iter().find(|r| r.platform == "Facebook").unwrap();
+        assert_eq!(fb.clusters, 1);
+        assert_eq!(fb.max_size, 3);
+    }
+
+    #[test]
+    fn x_clusters_on_name_or_description() {
+        let mut a = profile("X", "a");
+        let mut b = profile("X", "b");
+        a.name = Some("Growth Agency 7".into());
+        b.name = Some("Growth Agency 7".into());
+        let analysis = analyze(&[a, b]);
+        let x = analysis.rows.iter().find(|r| r.platform == "X").unwrap();
+        assert_eq!(x.clusters, 1);
+    }
+
+    #[test]
+    fn dead_accounts_excluded() {
+        let mut a = profile("TikTok", "a");
+        let mut b = profile("TikTok", "b");
+        a.description = Some("same".into());
+        b.description = Some("same".into());
+        b.status = FetchStatus::NotFound;
+        let analysis = analyze(&[a, b]);
+        let tt = analysis.rows.iter().find(|r| r.platform == "TikTok").unwrap();
+        assert_eq!(tt.clusters, 0);
+        assert_eq!(tt.singletons, 1);
+    }
+
+    #[test]
+    fn exemplars_are_largest_first() {
+        let mut profiles = Vec::new();
+        for i in 0..4 {
+            let mut p = profile("Instagram", &format!("big{i}"));
+            p.description = Some("mega cluster bio".into());
+            profiles.push(p);
+        }
+        for i in 0..2 {
+            let mut p = profile("Instagram", &format!("small{i}"));
+            p.description = Some("small cluster bio".into());
+            profiles.push(p);
+        }
+        let analysis = analyze(&profiles);
+        let ex = figure5_exemplars(&analysis, 2);
+        assert_eq!(ex[0].handles.len(), 4);
+        assert_eq!(ex[1].handles.len(), 2);
+    }
+
+    #[test]
+    fn all_row_aggregates() {
+        let mut a = profile("Instagram", "a");
+        let mut b = profile("Instagram", "b");
+        a.description = Some("same bio".into());
+        b.description = Some("same bio".into());
+        let c = profile("X", "c");
+        let analysis = analyze(&[a, b, c]);
+        assert_eq!(analysis.all_row.clusters, 1);
+        assert_eq!(analysis.all_row.cluster_accounts, 2);
+        assert_eq!(analysis.all_row.singletons, 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! Appendix A — security implications of the supported payment methods.
+//!
+//! The paper's appendix classifies each marketplace by the buyer's
+//! exposure: protected (chargeback-capable wallets / escrow), irreversible
+//! (crypto or vouchers only), or undisclosed. This module derives that
+//! classification from the Table 3 matrix.
+
+use acctrade_market::config::{MarketplaceId, ALL_MARKETPLACES};
+use acctrade_market::payments::PaymentMethod;
+
+/// Buyer-exposure classification of one marketplace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuyerExposure {
+    /// At least one method offers refunds/chargebacks or escrow.
+    Protected,
+    /// Every disclosed method is irreversible (crypto, vouchers).
+    IrreversibleOnly,
+    /// Methods partially disclosed, none protective, not all
+    /// irreversible.
+    Mixed,
+    /// The marketplace discloses nothing ("unknown" in Table 3).
+    Undisclosed,
+}
+
+impl BuyerExposure {
+    /// Label as the appendix discusses it.
+    pub fn label(self) -> &'static str {
+        match self {
+            BuyerExposure::Protected => "buyer protection available",
+            BuyerExposure::IrreversibleOnly => "irreversible payments only",
+            BuyerExposure::Mixed => "no protection, partially reversible",
+            BuyerExposure::Undisclosed => "payment methods undisclosed",
+        }
+    }
+}
+
+/// One appendix row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PaymentSecurityRow {
+    /// Marketplace.
+    pub marketplace: MarketplaceId,
+    /// Derived exposure class.
+    pub exposure: BuyerExposure,
+    /// Methods with buyer protection.
+    pub protective: Vec<PaymentMethod>,
+    /// Irreversible methods.
+    pub irreversible: Vec<PaymentMethod>,
+}
+
+/// Classify every marketplace (Appendix A.2).
+pub fn payment_security() -> Vec<PaymentSecurityRow> {
+    ALL_MARKETPLACES
+        .iter()
+        .map(|&marketplace| {
+            let methods = marketplace.config().payment_methods;
+            let disclosed: Vec<PaymentMethod> = methods
+                .iter()
+                .copied()
+                .filter(|m| *m != PaymentMethod::Unknown)
+                .collect();
+            let protective: Vec<PaymentMethod> = disclosed
+                .iter()
+                .copied()
+                .filter(|m| m.has_buyer_protection())
+                .collect();
+            let irreversible: Vec<PaymentMethod> = disclosed
+                .iter()
+                .copied()
+                .filter(|m| m.is_irreversible())
+                .collect();
+            let exposure = if disclosed.is_empty() {
+                BuyerExposure::Undisclosed
+            } else if !protective.is_empty() {
+                BuyerExposure::Protected
+            } else if irreversible.len() == disclosed.len() {
+                BuyerExposure::IrreversibleOnly
+            } else {
+                BuyerExposure::Mixed
+            };
+            PaymentSecurityRow { marketplace, exposure, protective, irreversible }
+        })
+        .collect()
+}
+
+/// Render the appendix summary.
+pub fn render_appendix_a() -> String {
+    let rows = payment_security();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.marketplace.name().to_string(),
+                r.exposure.label().to_string(),
+                r.protective
+                    .iter()
+                    .map(|m| m.label())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                r.irreversible
+                    .iter()
+                    .map(|m| m.label())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            ]
+        })
+        .collect();
+    format!(
+        "Appendix A: Payment-method security implications\n{}",
+        crate::stats::render_table(
+            &["Marketplace", "Buyer exposure", "Protective", "Irreversible"],
+            &body
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(m: MarketplaceId) -> PaymentSecurityRow {
+        payment_security()
+            .into_iter()
+            .find(|r| r.marketplace == m)
+            .expect("all marketplaces classified")
+    }
+
+    #[test]
+    fn z2u_and_fameseller_are_protected() {
+        // Appendix A: PayPal/Skrill "adopted only by two marketplaces (Z2U
+        // and FameSeller)".
+        assert_eq!(row(MarketplaceId::Z2U).exposure, BuyerExposure::Protected);
+        assert_eq!(row(MarketplaceId::FameSeller).exposure, BuyerExposure::Protected);
+    }
+
+    #[test]
+    fn crypto_only_markets_are_irreversible() {
+        assert_eq!(
+            row(MarketplaceId::BuySocia).exposure,
+            BuyerExposure::IrreversibleOnly
+        );
+        assert_eq!(
+            row(MarketplaceId::SocialTradia).exposure,
+            BuyerExposure::IrreversibleOnly
+        );
+    }
+
+    #[test]
+    fn escrow_counts_as_protection() {
+        // MidMan and SwapSocials carry Trustap escrow.
+        assert_eq!(row(MarketplaceId::MidMan).exposure, BuyerExposure::Protected);
+        assert_eq!(row(MarketplaceId::SwapSocials).exposure, BuyerExposure::Protected);
+    }
+
+    #[test]
+    fn undisclosed_markets_flagged() {
+        for m in [MarketplaceId::Accsmarket, MarketplaceId::FameSwap, MarketplaceId::TooFame] {
+            assert_eq!(row(m).exposure, BuyerExposure::Undisclosed, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn appendix_renders_all_rows() {
+        let text = render_appendix_a();
+        for m in ALL_MARKETPLACES {
+            assert!(text.contains(m.name()), "missing {}", m.name());
+        }
+        assert!(text.contains("irreversible payments only"));
+    }
+}

@@ -1,0 +1,490 @@
+//! Plain-text renderers: one function per table/figure, printing the same
+//! rows the paper reports.
+
+use crate::anatomy::{AnatomyStats, Table1Row, Table2Row};
+use crate::dynamics::ListingDynamics;
+use crate::efficacy::EfficacyAnalysis;
+use crate::network::NetworkAnalysis;
+use crate::scamposts::ScamAnalysis;
+use crate::setup::{CreationCdf, SetupStats, Table4Row};
+use crate::stats::{fmt_count, fmt_pct, fmt_usd, render_table};
+use crate::underground::UndergroundAnalysis;
+use acctrade_crawler::record::OfferRecord;
+use acctrade_market::config::{channel_inventory, ChannelCategory};
+
+/// Table 1 — marketplaces, sellers, accounts.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.marketplace.clone(),
+                r.sellers.map(|s| fmt_count(s as u64)).unwrap_or_else(|| "-".into()),
+                fmt_count(r.accounts as u64),
+            ]
+        })
+        .collect();
+    let total_sellers: usize = rows.iter().filter_map(|r| r.sellers).sum();
+    let total_accounts: usize = rows.iter().map(|r| r.accounts).sum();
+    body.push(vec![
+        "Total".into(),
+        fmt_count(total_sellers as u64),
+        fmt_count(total_accounts as u64),
+    ]);
+    format!(
+        "Table 1: Public marketplace sellers and advertised accounts\n{}",
+        render_table(&["Public Marketplace", "Sellers", "Accounts"], &body)
+    )
+}
+
+/// Table 2 — per-platform collection overview.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.platform.clone(),
+                fmt_count(r.visible_accounts as u64),
+                fmt_count(r.visible_posts as u64),
+                fmt_count(r.all_accounts as u64),
+            ]
+        })
+        .collect();
+    body.push(vec![
+        "Total".into(),
+        fmt_count(rows.iter().map(|r| r.visible_accounts as u64).sum()),
+        fmt_count(rows.iter().map(|r| r.visible_posts as u64).sum()),
+        fmt_count(rows.iter().map(|r| r.all_accounts as u64).sum()),
+    ]);
+    format!(
+        "Table 2: Social media data collection\n{}",
+        render_table(
+            &["Social Media", "Visible Accounts", "Visible Accts. Posts", "All Accounts"],
+            &body
+        )
+    )
+}
+
+/// Table 3 — payment-method support matrix.
+pub fn render_table3() -> String {
+    let rows = crate::anatomy::table3();
+    let mut body = Vec::new();
+    let mut last_cat = None;
+    for (cat, method, supporters) in rows {
+        if last_cat != Some(cat) {
+            body.push(vec![format!("[{}]", cat.label()), String::new()]);
+            last_cat = Some(cat);
+        }
+        let names: Vec<&str> = supporters.iter().map(|m| m.name()).collect();
+        body.push(vec![format!("  {}", method.label()), names.join(", ")]);
+    }
+    format!(
+        "Table 3: Payment methods supported by marketplaces\n{}",
+        render_table(&["Payment Method", "Marketplaces"], &body)
+    )
+}
+
+/// Table 4 — follower min/median/max of visible accounts.
+pub fn render_table4(rows: &[Table4Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.platform.clone(),
+                fmt_count(r.min),
+                fmt_count(r.median),
+                fmt_count(r.max),
+            ]
+        })
+        .collect();
+    format!(
+        "Table 4: Followers of visible advertised accounts\n{}",
+        render_table(&["Social Media", "Min", "Median", "Max"], &body)
+    )
+}
+
+/// Table 5 — scam accounts/posts per platform.
+pub fn render_table5(analysis: &ScamAnalysis) -> String {
+    let mut body: Vec<Vec<String>> = analysis
+        .table5
+        .iter()
+        .map(|r| {
+            vec![
+                r.platform.clone(),
+                fmt_count(r.scam_accounts as u64),
+                fmt_count(r.scam_posts as u64),
+            ]
+        })
+        .collect();
+    body.push(vec![
+        "Total".into(),
+        fmt_count(analysis.total_scam_accounts as u64),
+        fmt_count(analysis.total_scam_posts as u64),
+    ]);
+    format!(
+        "Table 5: Scam accounts and posts per platform\n{}",
+        render_table(&["Social Media", "Scam Accounts", "Scam Posts"], &body)
+    )
+}
+
+/// Table 6 — scam taxonomy.
+pub fn render_table6(analysis: &ScamAnalysis) -> String {
+    let mut body = Vec::new();
+    for row in &analysis.table6 {
+        body.push(vec![
+            row.category.label().to_string(),
+            fmt_count(row.accounts as u64),
+            fmt_count(row.posts as u64),
+        ]);
+        for (sub, accounts, posts) in &row.subrows {
+            body.push(vec![
+                format!("- {}", sub.label()),
+                fmt_count(*accounts as u64),
+                fmt_count(*posts as u64),
+            ]);
+        }
+    }
+    format!(
+        "Table 6: Fraudulent offer types across scammer posts\n{}",
+        render_table(&["Category", "Accounts", "Posts"], &body)
+    )
+}
+
+/// Table 7 — network clusters.
+pub fn render_table7(analysis: &NetworkAnalysis) -> String {
+    let body: Vec<Vec<String>> = analysis
+        .rows
+        .iter()
+        .chain(std::iter::once(&analysis.all_row))
+        .map(|r| {
+            vec![
+                r.platform.clone(),
+                r.attributes.to_string(),
+                r.min_size.to_string(),
+                r.max_size.to_string(),
+                r.median_size.to_string(),
+                fmt_count(r.clusters as u64),
+                fmt_count(r.cluster_accounts as u64),
+                fmt_count(r.singletons as u64),
+                format!("{}%", fmt_pct(r.clustered_pct)),
+            ]
+        })
+        .collect::<Vec<_>>();
+    format!(
+        "Table 7: Network cluster detail\n{}",
+        render_table(
+            &[
+                "Social Media",
+                "Cluster Attributes",
+                "Min",
+                "Max",
+                "Median",
+                "Clusters",
+                "Cluster Accts.",
+                "Singleton",
+                "Overall Cluster Accts.",
+            ],
+            &body
+        )
+    )
+}
+
+/// Table 8 — detection efficacy.
+pub fn render_table8(analysis: &EfficacyAnalysis) -> String {
+    let body: Vec<Vec<String>> = analysis
+        .rows
+        .iter()
+        .chain(std::iter::once(&analysis.all_row))
+        .map(|r| {
+            vec![
+                r.platform.clone(),
+                fmt_count(r.visible_accounts as u64),
+                fmt_count(r.inactive_accounts as u64),
+                fmt_pct(r.blocking_efficacy_pct),
+            ]
+        })
+        .collect();
+    format!(
+        "Table 8: Detection efficacy\n{}",
+        render_table(
+            &["Social Media", "Visible Accounts", "Inactive Accounts", "Blocking Efficacy"],
+            &body
+        )
+    )
+}
+
+/// Table 9 — the trading-channel inventory.
+pub fn render_table9() -> String {
+    let inv = channel_inventory();
+    let body: Vec<Vec<String>> = inv
+        .iter()
+        .map(|c| {
+            let mark = |b: bool| if b { "●" } else { "○" }.to_string();
+            vec![
+                match c.category {
+                    ChannelCategory::Public => "Public",
+                    ChannelCategory::Underground => "Underground",
+                    ChannelCategory::Contact => "Contact",
+                }
+                .to_string(),
+                c.channel.to_string(),
+                format!("{:?}", c.channel_type),
+                c.source.to_string(),
+                mark(c.selling),
+                mark(c.handles_public),
+                mark(c.monitored),
+            ]
+        })
+        .collect();
+    format!(
+        "Table 9: Trading channels identified\n{}",
+        render_table(
+            &["Category", "Channel", "Type", "Source", "Selling", "Handles", "Monitored"],
+            &body
+        )
+    )
+}
+
+/// Figure 1 — the evaluation setup (the paper's pipeline diagram, as
+/// text). Static: it describes the architecture, not data.
+pub fn render_figure1() -> String {
+    "\
+Figure 1: Evaluation setup
+  (1) Collect marketplaces   manual search -> 58 websites + 9 contacts;
+                             11 public markets with visible handles kept,
+                             8 underground Tor markets inspected
+  (2) Data collection        crawler: storefront -> listing pages -> every
+                             offer (DFS, polite, robots-respecting);
+                             platform APIs: profile metadata + timelines
+                             for every visible account; manual Tor
+                             collection for underground forums
+  (3) Tracking & analysis    marketplace anatomy (4), account setup (5),
+                             scam-post clustering (6), network analysis (7),
+                             detection efficacy (8)
+"
+    .to_string()
+}
+
+/// Figure 2 — cumulative vs active listings (text series).
+pub fn render_figure2(d: &ListingDynamics) -> String {
+    let body: Vec<Vec<String>> = d
+        .series
+        .iter()
+        .map(|&(it, cum, act)| {
+            vec![
+                format!("{}", it + 1),
+                fmt_count(cum as u64),
+                fmt_count(act as u64),
+            ]
+        })
+        .collect();
+    format!(
+        "Figure 2: Cumulative and active listings per crawl iteration\n{}\nretired={} replenished={}\n",
+        render_table(&["Iteration", "Cumulative", "Active"], &body),
+        fmt_count(d.total_retired as u64),
+        fmt_count(d.total_replenished as u64),
+    )
+}
+
+/// Figure 3 — the extreme-price listing.
+pub fn render_figure3(outlier: Option<&OfferRecord>) -> String {
+    match outlier {
+        Some(o) => format!(
+            "Figure 3: Highest-priced listing observed\n  marketplace: {}\n  title:       {}\n  price:       {}\n  followers:   {}\n",
+            o.marketplace,
+            o.title,
+            o.price_usd.map(fmt_usd).unwrap_or_else(|| "-".into()),
+            o.claimed_followers.map(fmt_count).unwrap_or_else(|| "-".into()),
+        ),
+        None => "Figure 3: no priced listings collected\n".to_string(),
+    }
+}
+
+/// Figure 4 — creation-date CDF anchors.
+pub fn render_figure4(cdf: &CreationCdf) -> String {
+    let mut out = String::from("Figure 4: Account creation dates (CDF anchors)\n");
+    out.push_str(&format!(
+        "  created before 2020:            {:.1}%\n",
+        cdf.pre_2020 * 100.0
+    ));
+    out.push_str(&format!(
+        "  created within last 3.5 years:  {:.1}%\n",
+        cdf.last_3_5_years * 100.0
+    ));
+    out.push_str(&format!(
+        "  YouTube created 2006-2010:      {:.2}%\n",
+        cdf.youtube_2006_2010 * 100.0
+    ));
+    for (platform, dates) in &cdf.per_platform {
+        if let (Some(&first), Some(&last)) = (dates.first(), dates.last()) {
+            out.push_str(&format!(
+                "  {platform}: {} accounts, {} .. {}\n",
+                fmt_count(dates.len() as u64),
+                acctrade_net::clock::format_date(first),
+                acctrade_net::clock::format_date(last),
+            ));
+        }
+    }
+    out
+}
+
+/// Figure 5 — cluster exemplars.
+pub fn render_figure5(analysis: &NetworkAnalysis) -> String {
+    let mut out = String::from("Figure 5: Example clustered profile descriptions\n");
+    for c in crate::network::figure5_exemplars(analysis, 3) {
+        // Cluster keys are "<kind>:<value>"; show only the value.
+        let value = c.shared_value.split_once(':').map(|(_, v)| v).unwrap_or(&c.shared_value);
+        out.push_str(&format!("  [{} x{}] {value}\n", c.platform, c.handles.len()));
+    }
+    out
+}
+
+/// §4.1 in-text statistics.
+pub fn render_anatomy(a: &AnatomyStats) -> String {
+    let mut out = String::from("Section 4.1: Anatomy of public marketplaces\n");
+    out.push_str(&format!("  advertised accounts:    {}\n", fmt_count(a.total_offers as u64)));
+    out.push_str(&format!("  distinct sellers:       {}\n", fmt_count(a.total_sellers as u64)));
+    if let Some(m) = a.seller_count_median {
+        out.push_str(&format!("  median sellers/market:  {}\n", fmt_count(m as u64)));
+    }
+    out.push_str(&format!("  seller countries:       {}\n", a.seller_countries));
+    out.push_str(&format!(
+        "  uncategorized listings: {} ({:.0}%)\n",
+        fmt_count(a.uncategorized as u64),
+        100.0 * a.uncategorized as f64 / a.total_offers.max(1) as f64
+    ));
+    out.push_str(&format!("  distinct categories:    {}\n", a.distinct_categories));
+    for (c, n) in &a.top_categories {
+        out.push_str(&format!("    top category: {c} ({})\n", fmt_count(*n as u64)));
+    }
+    out.push_str(&format!(
+        "  verified claims:        {} (all YouTube: {}, no links: {})\n",
+        a.verified_claims, a.verified_claims_all_youtube, a.verified_claims_without_links
+    ));
+    out.push_str(&format!(
+        "  monetized listings:     {} (median {}, total {}/month)\n",
+        a.monetized,
+        a.monetization_median_usd.map(fmt_usd).unwrap_or_else(|| "-".into()),
+        fmt_usd(a.monetization_total_usd)
+    ));
+    out.push_str(&format!("  with description:       {}\n", fmt_count(a.described as u64)));
+    for (label, n) in &a.description_strategies {
+        out.push_str(&format!("    strategy \"{label}\": {}\n", fmt_count(*n as u64)));
+    }
+    out.push_str(&format!("  followers shown:        {}\n", fmt_count(a.followers_shown as u64)));
+    out.push_str("  median price per platform:\n");
+    for (p, m) in &a.price_medians {
+        out.push_str(&format!("    {p}: {}\n", fmt_usd(*m)));
+    }
+    out.push_str(&format!(
+        "  total advertised value: {} (median {})\n",
+        fmt_usd(a.price_total_usd),
+        a.overall_price_median_usd.map(fmt_usd).unwrap_or_else(|| "-".into())
+    ));
+    out.push_str(&format!(
+        "  premium (> $20k):       {} listings, median {}, max {}, sum {}\n",
+        a.premium_count,
+        a.premium_median_usd.map(fmt_usd).unwrap_or_else(|| "-".into()),
+        fmt_usd(a.premium_max_usd),
+        fmt_usd(a.premium_total_usd)
+    ));
+    out
+}
+
+/// §5 in-text statistics.
+pub fn render_setup(s: &SetupStats) -> String {
+    let mut out = String::from("Section 5: Account setup\n");
+    out.push_str(&format!("  live profiles:       {}\n", fmt_count(s.live_profiles as u64)));
+    out.push_str(&format!(
+        "  with location:       {} across {} distinct locations\n",
+        fmt_count(s.located as u64),
+        s.distinct_locations
+    ));
+    for (l, n) in &s.top_locations {
+        out.push_str(&format!("    top location: {l} ({n})\n"));
+    }
+    out.push_str(&format!(
+        "  with category:       {} across {} categories\n",
+        fmt_count(s.categorized as u64),
+        s.distinct_categories
+    ));
+    out.push_str(&format!(
+        "  account types: business={} verified={} private={} protected={}\n",
+        s.business, s.verified, s.private, s.protected
+    ));
+    out
+}
+
+/// §4.2 underground findings.
+pub fn render_underground(u: &UndergroundAnalysis) -> String {
+    let mut out = String::from("Section 4.2: Underground marketplaces\n");
+    out.push_str(&format!("  posts collected: {}\n", u.total_posts));
+    for m in &u.markets {
+        out.push_str(&format!(
+            "  {}: {} posts, {} sellers, {} accounts offered, avg {} words, platforms: {}\n",
+            m.market,
+            m.posts,
+            m.sellers,
+            m.accounts_offered,
+            m.avg_words,
+            m.platforms.join("/")
+        ));
+    }
+    out.push_str(&format!(
+        "  near-duplicate pairs (>= 88% similarity): {}\n",
+        u.reuse_pairs.len()
+    ));
+    for (platform, n) in &u.near_dup_posts_by_platform {
+        out.push_str(&format!("    {platform}: {n} near-duplicate posts\n"));
+    }
+    out.push_str(&format!("  authors behind duplicates: {}\n", u.reuse_authors));
+    out.push_str(&format!(
+        "  cross-market sellers: {}\n",
+        if u.cross_market_sellers.is_empty() {
+            "none".to_string()
+        } else {
+            u.cross_market_sellers.join(", ")
+        }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_renders_totals() {
+        let rows = vec![
+            Table1Row { marketplace: "Accsmarket".into(), sellers: Some(10), accounts: 100 },
+            Table1Row { marketplace: "SocialTradia".into(), sellers: None, accounts: 50 },
+        ];
+        let t = render_table1(&rows);
+        assert!(t.contains("Accsmarket"));
+        assert!(t.contains("Total"));
+        assert!(t.contains("150"));
+        assert!(t.contains('-'), "hidden sellers render as dash");
+    }
+
+    #[test]
+    fn table9_covers_inventory() {
+        let t = render_table9();
+        assert!(t.contains("accsmarket.com"));
+        assert!(t.contains("Nexus Market"));
+        assert!(t.contains("t.me/BusinessAts"));
+        assert!(t.lines().count() > 60);
+    }
+
+    #[test]
+    fn table3_groups_by_category() {
+        let t = render_table3();
+        assert!(t.contains("[Crypto]"));
+        assert!(t.contains("PayPal"));
+        assert!(t.contains("Z2U"));
+    }
+
+    #[test]
+    fn figure3_handles_missing() {
+        assert!(render_figure3(None).contains("no priced listings"));
+    }
+}

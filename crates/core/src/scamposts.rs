@@ -1,0 +1,546 @@
+//! §6 — Scam post analysis.
+//!
+//! The paper's pipeline, reimplemented end to end:
+//!
+//! 1. keep English posts (CLD2 → our trigram language filter);
+//! 2. deduplicate posts to distinct documents (the template-generated
+//!    corpus collapses heavily; the real one did too, which is why topic
+//!    modeling worked at 205K posts);
+//! 3. embed documents (all-mpnet-base-v2 → hashed n-gram embeddings),
+//!    reduce (UMAP → PCA), and density-cluster (HDBSCAN → our
+//!    HDBSCAN-lite, with a DBSCAN backend for the ablation bench);
+//! 4. extract per-cluster keywords (KeyBERT → c-TF-IDF);
+//! 5. *vet* each cluster by sampling up to 25 posts and matching them
+//!    against analyst keyword lists — the stand-in for the authors'
+//!    manual qualitative analysis;
+//! 6. roll vetted clusters up into the six scam categories and sixteen
+//!    subcategories of Table 6, and count scam accounts/posts per
+//!    platform for Table 5.
+
+use acctrade_crawler::record::PostRecord;
+use acctrade_text::cluster::{dbscan, hdbscan, members_by_cluster, ClusterParams};
+use acctrade_text::embed::Embedder;
+use acctrade_text::keywords::class_tfidf_keywords;
+use acctrade_text::langdetect::is_english;
+use acctrade_text::reduce::pca_reduce;
+use acctrade_text::tokenize::tokenize_content;
+use acctrade_workload::textgen::{ScamCategory, ScamSubcategory, ALL_SUBCATEGORIES};
+use rand::{prelude::IndexedRandom, RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Clustering backend (ablation switch).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClusterBackend {
+    /// HDBSCAN-lite (the paper-faithful default).
+    /// Hdbscan.
+    Hdbscan {
+        /// Minimum condensed-cluster size (and density parameter).
+        min_cluster_size: usize,
+    },
+    /// Plain DBSCAN at a fixed radius.
+    /// Dbscan.
+    Dbscan {
+        /// Neighborhood radius in the reduced embedding space.
+        eps: f64,
+        /// Minimum neighbors (incl. self) for a core point.
+        min_pts: usize,
+    },
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ScamPipelineConfig {
+    /// Embed dim.
+    pub embed_dim: usize,
+    /// Reduce dim.
+    pub reduce_dim: usize,
+    /// Backend.
+    pub backend: ClusterBackend,
+    /// Posts sampled per cluster for vetting (the paper used 25).
+    pub vetting_sample: usize,
+    /// Fraction of vetted samples that must match one category.
+    pub vetting_threshold: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for ScamPipelineConfig {
+    fn default() -> Self {
+        ScamPipelineConfig {
+            embed_dim: 192,
+            reduce_dim: 48,
+            backend: ClusterBackend::Hdbscan { min_cluster_size: 3 },
+            vetting_sample: 25,
+            vetting_threshold: 0.4,
+            seed: 0x5CA4,
+        }
+    }
+}
+
+/// One discovered cluster after vetting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterInfo {
+    /// Id.
+    pub id: usize,
+    /// Distinct documents in the cluster.
+    pub documents: usize,
+    /// Posts (with multiplicity) the cluster covers.
+    pub posts: usize,
+    /// c-TF-IDF keywords.
+    pub keywords: Vec<String>,
+    /// Vetting outcome: scam category, when the cluster is scam-related.
+    pub category: Option<ScamCategory>,
+    /// Subcategory.
+    pub subcategory: Option<ScamSubcategory>,
+}
+
+/// One Table 5 row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table5Row {
+    /// Platform.
+    pub platform: String,
+    /// Scam accounts.
+    pub scam_accounts: usize,
+    /// Scam posts.
+    pub scam_posts: usize,
+}
+
+/// One Table 6 row (category with subcategory breakdown).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table6Row {
+    /// Category.
+    pub category: ScamCategory,
+    /// Accounts.
+    pub accounts: usize,
+    /// Posts.
+    pub posts: usize,
+    /// Subrows.
+    pub subrows: Vec<(ScamSubcategory, usize, usize)>,
+}
+
+/// The full §6 analysis output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScamAnalysis {
+    /// Total posts.
+    pub total_posts: usize,
+    /// English posts.
+    pub english_posts: usize,
+    /// Unique documents.
+    pub unique_documents: usize,
+    /// Clusters.
+    pub clusters: Vec<ClusterInfo>,
+    /// Scam cluster count.
+    pub scam_cluster_count: usize,
+    /// Table5.
+    pub table5: Vec<Table5Row>,
+    /// Table6.
+    pub table6: Vec<Table6Row>,
+    /// Total scam accounts.
+    pub total_scam_accounts: usize,
+    /// Total scam posts.
+    pub total_scam_posts: usize,
+}
+
+/// Analyst keyword lists per subcategory — the qualitative-coding
+/// codebook an analyst builds while reading sampled posts.
+pub fn subcategory_keywords(sub: ScamSubcategory) -> &'static [&'static str] {
+    use ScamSubcategory::*;
+    match sub {
+        CryptoScams => &["signals", "trading", "investment", "deposit", "wallet", "profit", "pool", "returns"],
+        NftGiveaway => &["nft", "mint", "whitelist", "drops"],
+        FinancialConsulting => &["consultant", "consulting", "portfolio", "savings", "offshore", "wealth"],
+        CharityExploitation => &["donate", "donation", "shelter", "surgery", "orphans", "flood", "victims"],
+        PhishingTrends => &["challenge", "viral", "badge", "trend", "qualify", "viewed"],
+        PhishingChat => &["security", "code", "notice", "draw", "unusual", "expires"],
+        ProductPromotion => &["serum", "smartwatch", "designer", "warehouse", "clearance", "skincare", "units"],
+        FakeTravel => &["vacation", "flights", "hotel", "resort", "honeymoon", "travelers", "inclusive"],
+        VehicleFraud => &["rent", "rental", "deployment", "abroad", "reserves", "holds"],
+        SportsBetting => &["betting", "odds", "jersey", "picks", "kickoff", "merch", "fixed"],
+        FakeEducation => &["diploma", "scholarship", "enroll", "academy", "exams", "students"],
+        Catphishing => &["lonely", "babe", "date", "photos", "private"],
+        PublicFigureImpersonation => &["fans", "announcement", "celebrities", "founder", "billionaire", "influencer"],
+        FakeTechSupport => &["helpdesk", "microsoft", "license", "infection", "remotely", "restores"],
+        LikeFollowRequests => &["follow", "subscribe", "train", "winners", "exclusive"],
+        GreetingsMotivation => &["morning", "blessed", "motivation", "humble", "grinding", "positive", "vibes"],
+    }
+}
+
+/// Run the full pipeline on collected posts.
+///
+/// ```
+/// use acctrade_core::scamposts::{analyze, synthetic_posts, ScamPipelineConfig};
+///
+/// let posts = synthetic_posts(8, 3, 1); // labeled mini-corpus
+/// let analysis = analyze(&posts, ScamPipelineConfig::default());
+/// assert_eq!(analysis.total_posts, posts.len());
+/// assert!(analysis.unique_documents <= posts.len());
+/// ```
+pub fn analyze(posts: &[PostRecord], cfg: ScamPipelineConfig) -> ScamAnalysis {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x6CA3_0000_0000_0001);
+
+    // 1+2: normalize, deduplicate, and language-filter distinct documents.
+    let mut doc_index: HashMap<String, usize> = HashMap::new();
+    let mut documents: Vec<String> = Vec::new();
+    let mut doc_posts: Vec<Vec<usize>> = Vec::new(); // doc -> post indices
+    let mut english_posts = 0usize;
+
+    for (pi, post) in posts.iter().enumerate() {
+        let key = tokenize_content(&post.text).join(" ");
+        let di = *doc_index.entry(key).or_insert_with(|| {
+            documents.push(post.text.clone());
+            doc_posts.push(Vec::new());
+            documents.len() - 1
+        });
+        doc_posts[di].push(pi);
+    }
+    let doc_is_english: Vec<bool> = documents.iter().map(|d| is_english(d)).collect();
+    for (di, posts_of) in doc_posts.iter().enumerate() {
+        if doc_is_english[di] {
+            english_posts += posts_of.len();
+        }
+    }
+
+    // English-only document view.
+    let eng_docs: Vec<usize> = (0..documents.len()).filter(|&d| doc_is_english[d]).collect();
+    let eng_texts: Vec<String> = eng_docs.iter().map(|&d| documents[d].clone()).collect();
+
+    // 3: embed -> reduce -> cluster.
+    let clusters_of_eng: Vec<Option<usize>> = if eng_texts.len() >= 8 {
+        let embedder = Embedder::new(cfg.embed_dim, cfg.seed);
+        let embedded = embedder.embed_all(&eng_texts);
+        let reduced = pca_reduce(&embedded, cfg.reduce_dim, cfg.seed);
+        let labels = match cfg.backend {
+            ClusterBackend::Hdbscan { min_cluster_size } => hdbscan(&reduced, min_cluster_size),
+            ClusterBackend::Dbscan { eps, min_pts } => {
+                dbscan(&reduced, ClusterParams { eps, min_pts })
+            }
+        };
+        labels.iter().map(|l| l.id()).collect()
+    } else {
+        vec![None; eng_texts.len()]
+    };
+
+    // 4: keywords per cluster.
+    let keywords = class_tfidf_keywords(&eng_texts, &clusters_of_eng, 6);
+
+    // 5: vetting — sample posts per cluster, match the analyst codebook.
+    let groups = members_by_cluster(
+        &clusters_of_eng
+            .iter()
+            .map(|c| match c {
+                Some(i) => acctrade_text::cluster::ClusterLabel::Cluster(*i),
+                None => acctrade_text::cluster::ClusterLabel::Noise,
+            })
+            .collect::<Vec<_>>(),
+    );
+    let mut clusters = Vec::new();
+    for (cid, members) in groups.iter().enumerate() {
+        // All post texts the cluster covers (with multiplicity).
+        let post_indices: Vec<usize> = members
+            .iter()
+            .flat_map(|&ei| doc_posts[eng_docs[ei]].iter().copied())
+            .collect();
+        let sample: Vec<&str> = {
+            let mut pool = post_indices.clone();
+            // Deterministic partial shuffle for the vetting sample.
+            for i in (1..pool.len()).rev() {
+                let j = rng.random_range(0..=i);
+                pool.swap(i, j);
+            }
+            pool.into_iter()
+                .take(cfg.vetting_sample)
+                .map(|pi| posts[pi].text.as_str())
+                .collect()
+        };
+        let (category, subcategory) = vet_cluster(&sample, cfg.vetting_threshold);
+        clusters.push(ClusterInfo {
+            id: cid,
+            documents: members.len(),
+            posts: post_indices.len(),
+            keywords: keywords.get(cid).cloned().unwrap_or_default(),
+            category,
+            subcategory,
+        });
+    }
+
+    // 6: Tables 5 and 6.
+    // Map each post to its cluster's vetted subcategory.
+    let mut doc_cluster: HashMap<usize, usize> = HashMap::new();
+    for (ei, c) in clusters_of_eng.iter().enumerate() {
+        if let Some(c) = c {
+            doc_cluster.insert(eng_docs[ei], *c);
+        }
+    }
+    let mut per_platform: BTreeMap<String, (HashSet<u64>, usize)> = BTreeMap::new();
+    let mut per_sub: BTreeMap<ScamSubcategory, (HashSet<(String, u64)>, usize)> = BTreeMap::new();
+    for (di, post_list) in doc_posts.iter().enumerate() {
+        let Some(&cid) = doc_cluster.get(&di) else { continue };
+        let info = &clusters[cid];
+        let (Some(_cat), Some(sub)) = (info.category, info.subcategory) else {
+            continue;
+        };
+        for &pi in post_list {
+            let post = &posts[pi];
+            let entry = per_platform.entry(post.platform.clone()).or_default();
+            entry.0.insert(post.author_id);
+            entry.1 += 1;
+            let sentry = per_sub.entry(sub).or_default();
+            sentry.0.insert((post.platform.clone(), post.author_id));
+            sentry.1 += 1;
+        }
+    }
+
+    let table5: Vec<Table5Row> = ["Facebook", "Instagram", "TikTok", "X", "YouTube"]
+        .iter()
+        .map(|p| {
+            let (accounts, posts) = per_platform
+                .get(*p)
+                .map(|(a, n)| (a.len(), *n))
+                .unwrap_or((0, 0));
+            Table5Row { platform: p.to_string(), scam_accounts: accounts, scam_posts: posts }
+        })
+        .collect();
+
+    let table6: Vec<Table6Row> = ScamCategory::all()
+        .into_iter()
+        .map(|cat| {
+            let subrows: Vec<(ScamSubcategory, usize, usize)> = ALL_SUBCATEGORIES
+                .iter()
+                .filter(|s| s.category() == cat)
+                .map(|&s| {
+                    let (accounts, posts) = per_sub
+                        .get(&s)
+                        .map(|(a, n)| (a.len(), *n))
+                        .unwrap_or((0, 0));
+                    (s, accounts, posts)
+                })
+                .collect();
+            // Category accounts: union of subcategory account sets.
+            let mut cat_accounts: HashSet<(String, u64)> = HashSet::new();
+            for (s, _, _) in &subrows {
+                if let Some((set, _)) = per_sub.get(s) {
+                    cat_accounts.extend(set.iter().cloned());
+                }
+            }
+            Table6Row {
+                category: cat,
+                accounts: cat_accounts.len(),
+                posts: subrows.iter().map(|&(_, _, p)| p).sum(),
+                subrows,
+            }
+        })
+        .collect();
+
+    let total_scam_posts: usize = table5.iter().map(|r| r.scam_posts).sum();
+    let total_scam_accounts: usize = table5.iter().map(|r| r.scam_accounts).sum();
+    let scam_cluster_count = clusters.iter().filter(|c| c.category.is_some()).count();
+
+    ScamAnalysis {
+        total_posts: posts.len(),
+        english_posts,
+        unique_documents: documents.len(),
+        clusters,
+        scam_cluster_count,
+        table5,
+        table6,
+        total_scam_accounts,
+        total_scam_posts,
+    }
+}
+
+/// Vet one cluster from sampled posts: majority keyword category, then the
+/// best-scoring subcategory within it.
+fn vet_cluster(sample: &[&str], threshold: f64) -> (Option<ScamCategory>, Option<ScamSubcategory>) {
+    if sample.is_empty() {
+        return (None, None);
+    }
+    let mut votes: BTreeMap<ScamCategory, usize> = BTreeMap::new();
+    let mut total_hits = 0usize;
+    for text in sample {
+        let lower = text.to_ascii_lowercase();
+        // First-max tie-break: ties go to the earlier (more specific)
+        // Table 6 category, not the later one.
+        let mut best: Option<(ScamCategory, usize)> = None;
+        for c in ScamCategory::all() {
+            let hits = c
+                .vetting_keywords()
+                .iter()
+                .filter(|k| lower.contains(**k))
+                .count();
+            if hits > 0 && best.map(|(_, h)| hits > h).unwrap_or(true) {
+                best = Some((c, hits));
+            }
+        }
+        if let Some((c, h)) = best {
+            *votes.entry(c).or_insert(0) += 1;
+            total_hits += h;
+        }
+    }
+    let Some((&category, &top_votes)) = votes.iter().max_by_key(|&(_, &v)| v) else {
+        return (None, None);
+    };
+    if (top_votes as f64) < threshold * sample.len() as f64 {
+        return (None, None);
+    }
+    // Evidence gate: one incidental keyword across a whole sample is not
+    // a scam signal — require hits on the order of the sample size.
+    if total_hits < sample.len().max(2) {
+        return (None, None);
+    }
+    // Subcategory: best codebook score over the whole sample.
+    let subcategory = ALL_SUBCATEGORIES
+        .iter()
+        .filter(|s| s.category() == category)
+        .map(|&s| {
+            let score: usize = sample
+                .iter()
+                .map(|t| {
+                    let lower = t.to_ascii_lowercase();
+                    subcategory_keywords(s)
+                        .iter()
+                        .filter(|k| lower.contains(**k))
+                        .count()
+                })
+                .sum();
+            (s, score)
+        })
+        .max_by_key(|&(_, score)| score)
+        .map(|(s, _)| s);
+    (Some(category), subcategory)
+}
+
+/// Build post records directly from generated text (test/bench helper).
+pub fn synthetic_posts(
+    count_per_sub: usize,
+    benign_per_topic: usize,
+    seed: u64,
+) -> Vec<PostRecord> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut posts = Vec::new();
+    let mut author = 0u64;
+    let platforms = ["X", "Instagram", "TikTok", "Facebook", "YouTube"];
+    for sub in ALL_SUBCATEGORIES {
+        for i in 0..count_per_sub {
+            if i % 3 == 0 {
+                author += 1;
+            }
+            posts.push(PostRecord {
+                platform: (*platforms.choose(&mut rng).expect("non-empty")).to_string(),
+                handle: format!("scam{author}"),
+                author_id: author,
+                post_id: posts.len() as u64,
+                text: acctrade_workload::textgen::scam_post_text(sub, &mut rng),
+                created_unix: 0,
+                likes: 0,
+                views: 0,
+            });
+        }
+    }
+    for topic in 0..acctrade_workload::textgen::BENIGN_TOPIC_COUNT {
+        for i in 0..benign_per_topic {
+            if i % 4 == 0 {
+                author += 1;
+            }
+            posts.push(PostRecord {
+                platform: (*platforms.choose(&mut rng).expect("non-empty")).to_string(),
+                handle: format!("benign{author}"),
+                author_id: author,
+                post_id: posts.len() as u64,
+                text: acctrade_workload::textgen::benign_post_text(topic, &mut rng),
+                created_unix: 0,
+                likes: 0,
+                views: 0,
+            });
+        }
+    }
+    posts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_recovers_scam_clusters_from_synthetic_corpus() {
+        let posts = synthetic_posts(40, 20, 9);
+        let analysis = analyze(&posts, ScamPipelineConfig::default());
+        assert_eq!(analysis.total_posts, posts.len());
+        assert!(analysis.english_posts > posts.len() * 8 / 10);
+        assert!(analysis.unique_documents < posts.len());
+        assert!(
+            analysis.scam_cluster_count >= 6,
+            "expected several scam clusters, got {}",
+            analysis.scam_cluster_count
+        );
+        // Most scam posts recovered.
+        let truth_scam = 16 * 40;
+        assert!(
+            analysis.total_scam_posts as f64 > truth_scam as f64 * 0.6,
+            "recovered {} of {truth_scam} scam posts",
+            analysis.total_scam_posts
+        );
+    }
+
+    #[test]
+    fn benign_topics_not_marked_scam() {
+        let posts = synthetic_posts(0, 25, 10);
+        let analysis = analyze(&posts, ScamPipelineConfig::default());
+        // A benign-only corpus must yield (almost) no scam posts.
+        assert!(
+            analysis.total_scam_posts < posts.len() / 10,
+            "false-positive scam posts: {}",
+            analysis.total_scam_posts
+        );
+    }
+
+    #[test]
+    fn table6_rolls_up_categories() {
+        let posts = synthetic_posts(30, 10, 11);
+        let analysis = analyze(&posts, ScamPipelineConfig::default());
+        let financial = analysis
+            .table6
+            .iter()
+            .find(|r| r.category == ScamCategory::Financial)
+            .unwrap();
+        assert!(financial.posts > 0, "financial scams must be found");
+        // Category posts equal the sum of sub-rows.
+        assert_eq!(
+            financial.posts,
+            financial.subrows.iter().map(|&(_, _, p)| p).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn vetting_requires_majority() {
+        let benign = ["lovely sunset photos from the beach today", "my cat sleeps all day"];
+        assert_eq!(vet_cluster(&benign, 0.4), (None, None));
+        let crypto = [
+            "huge bitcoin giveaway send wallet deposit profit",
+            "crypto trading signals guaranteed profit wallet",
+            "join the investment pool deposit bitcoin profit",
+        ];
+        let (cat, sub) = vet_cluster(&crypto, 0.4);
+        assert_eq!(cat, Some(ScamCategory::Financial));
+        assert_eq!(sub, Some(ScamSubcategory::CryptoScams));
+    }
+
+    #[test]
+    fn dbscan_backend_also_works() {
+        let posts = synthetic_posts(30, 10, 12);
+        let cfg = ScamPipelineConfig {
+            backend: ClusterBackend::Dbscan { eps: 0.35, min_pts: 3 },
+            ..Default::default()
+        };
+        let analysis = analyze(&posts, cfg);
+        assert!(analysis.scam_cluster_count >= 4);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let analysis = analyze(&[], ScamPipelineConfig::default());
+        assert_eq!(analysis.total_posts, 0);
+        assert_eq!(analysis.total_scam_posts, 0);
+        assert!(analysis.clusters.is_empty());
+    }
+}

@@ -1,0 +1,249 @@
+//! §5 — Account setup and engagement.
+//!
+//! Consumes resolved profile records (live accounts only) and produces:
+//! Table 4 (follower min/median/max per platform), Figure 4 (creation-date
+//! CDF), and the section's location / category / account-type statistics.
+
+use crate::stats;
+use acctrade_crawler::record::{FetchStatus, ProfileRecord};
+use acctrade_net::clock::unix_from_ymd;
+use std::collections::BTreeMap;
+
+/// One Table 4 row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table4Row {
+    /// Platform.
+    pub platform: String,
+    /// Min.
+    pub min: u64,
+    /// Median.
+    pub median: u64,
+    /// Max.
+    pub max: u64,
+}
+
+/// Compute Table 4 (follower distribution of visible accounts). The "All"
+/// row is appended last, as in the paper.
+pub fn table4(profiles: &[ProfileRecord]) -> Vec<Table4Row> {
+    let mut rows = Vec::new();
+    let mut all: Vec<u64> = Vec::new();
+    for platform in ["TikTok", "X", "Facebook", "Instagram", "YouTube"] {
+        let f: Vec<u64> = profiles
+            .iter()
+            .filter(|p| p.status == FetchStatus::Ok && p.platform == platform)
+            .filter_map(|p| p.followers)
+            .collect();
+        if f.is_empty() {
+            continue;
+        }
+        all.extend(&f);
+        rows.push(Table4Row {
+            platform: platform.to_string(),
+            min: *f.iter().min().expect("non-empty"),
+            median: stats::median_u64(&f).expect("non-empty") as u64,
+            max: *f.iter().max().expect("non-empty"),
+        });
+    }
+    if !all.is_empty() {
+        rows.push(Table4Row {
+            platform: "All".to_string(),
+            min: *all.iter().min().expect("non-empty"),
+            median: stats::median_u64(&all).expect("non-empty") as u64,
+            max: *all.iter().max().expect("non-empty"),
+        });
+    }
+    rows
+}
+
+/// Figure 4 — creation-date CDF per platform plus headline fractions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreationCdf {
+    /// Per-platform sorted creation dates (unix seconds).
+    pub per_platform: BTreeMap<String, Vec<i64>>,
+    /// Fraction of all accounts created before 2020-01-01.
+    pub pre_2020: f64,
+    /// Fraction created within 3.5 years of the collection start.
+    pub last_3_5_years: f64,
+    /// Fraction of YouTube accounts created 2006–2010.
+    pub youtube_2006_2010: f64,
+}
+
+/// Compute Figure 4 from live profiles.
+pub fn creation_cdf(profiles: &[ProfileRecord]) -> CreationCdf {
+    let mut per_platform: BTreeMap<String, Vec<i64>> = BTreeMap::new();
+    for p in profiles {
+        if p.status != FetchStatus::Ok {
+            continue;
+        }
+        if let Some(c) = p.created_unix {
+            per_platform.entry(p.platform.clone()).or_default().push(c);
+        }
+    }
+    for v in per_platform.values_mut() {
+        v.sort_unstable();
+    }
+    let all: Vec<i64> = per_platform.values().flatten().copied().collect();
+    let total = all.len().max(1) as f64;
+    let cut_2020 = unix_from_ymd(2020, 1, 1);
+    let cut_3_5y = acctrade_net::clock::COLLECTION_START_UNIX - (3.5 * 365.25 * 86_400.0) as i64;
+    let pre_2020 = all.iter().filter(|&&c| c < cut_2020).count() as f64 / total;
+    let last_3_5_years = all.iter().filter(|&&c| c >= cut_3_5y).count() as f64 / total;
+    let yt = per_platform.get("YouTube").cloned().unwrap_or_default();
+    let yt_total = yt.len().max(1) as f64;
+    let youtube_2006_2010 = yt
+        .iter()
+        .filter(|&&c| c >= unix_from_ymd(2006, 1, 1) && c < unix_from_ymd(2011, 1, 1))
+        .count() as f64
+        / yt_total;
+    CreationCdf { per_platform, pre_2020, last_3_5_years, youtube_2006_2010 }
+}
+
+/// The §5 profile-setup statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetupStats {
+    /// Live profiles.
+    pub live_profiles: usize,
+    /// Location stats.
+    pub located: usize,
+    /// Distinct locations.
+    pub distinct_locations: usize,
+    /// Top locations.
+    pub top_locations: Vec<(String, usize)>,
+    /// Platform-category stats.
+    pub categorized: usize,
+    /// Distinct categories.
+    pub distinct_categories: usize,
+    /// Top categories.
+    pub top_categories: Vec<(String, usize)>,
+    /// Account-type counts.
+    pub business: usize,
+    /// Verified.
+    pub verified: usize,
+    /// Private.
+    pub private: usize,
+    /// Protected.
+    pub protected: usize,
+}
+
+/// Compute the §5 statistics from live profiles.
+pub fn setup_stats(profiles: &[ProfileRecord]) -> SetupStats {
+    let live: Vec<&ProfileRecord> =
+        profiles.iter().filter(|p| p.status == FetchStatus::Ok).collect();
+
+    let mut locations: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut categories: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut by_type: BTreeMap<&str, usize> = BTreeMap::new();
+    for p in &live {
+        if let Some(l) = p.location.as_deref() {
+            *locations.entry(l).or_insert(0) += 1;
+        }
+        if let Some(c) = p.category.as_deref() {
+            *categories.entry(c).or_insert(0) += 1;
+        }
+        if let Some(t) = p.account_type.as_deref() {
+            *by_type.entry(t).or_insert(0) += 1;
+        }
+    }
+    let top = |map: &BTreeMap<&str, usize>| {
+        let mut v: Vec<(String, usize)> =
+            map.iter().map(|(k, n)| (k.to_string(), *n)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v.truncate(5);
+        v
+    };
+    SetupStats {
+        live_profiles: live.len(),
+        located: locations.values().sum(),
+        distinct_locations: locations.len(),
+        top_locations: top(&locations),
+        categorized: categories.values().sum(),
+        distinct_categories: categories.len(),
+        top_categories: top(&categories),
+        business: by_type.get("business").copied().unwrap_or(0),
+        verified: by_type.get("verified").copied().unwrap_or(0),
+        private: by_type.get("private").copied().unwrap_or(0),
+        protected: by_type.get("protected").copied().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(platform: &str, followers: u64, created: i64) -> ProfileRecord {
+        ProfileRecord {
+            platform: platform.into(),
+            handle: format!("h{followers}"),
+            status: FetchStatus::Ok,
+            status_detail: None,
+            user_id: Some(followers),
+            name: Some("n".into()),
+            description: Some("d".into()),
+            location: Some("United States".into()),
+            category: None,
+            email: None,
+            phone: None,
+            website: None,
+            created_unix: Some(created),
+            account_type: Some("standard".into()),
+            followers: Some(followers),
+            post_count: Some(0),
+        }
+    }
+
+    #[test]
+    fn table4_min_median_max() {
+        let profiles = vec![
+            profile("X", 55, 0),
+            profile("X", 2_752, 0),
+            profile("X", 1_000_000, 0),
+        ];
+        let t4 = table4(&profiles);
+        let x = t4.iter().find(|r| r.platform == "X").unwrap();
+        assert_eq!((x.min, x.median, x.max), (55, 2_752, 1_000_000));
+        let all = t4.iter().find(|r| r.platform == "All").unwrap();
+        assert_eq!(all.max, 1_000_000);
+    }
+
+    #[test]
+    fn dead_profiles_excluded() {
+        let mut dead = profile("X", 9, 0);
+        dead.status = FetchStatus::NotFound;
+        let t4 = table4(&[dead, profile("X", 100, 0), profile("X", 300, 0)]);
+        let x = t4.iter().find(|r| r.platform == "X").unwrap();
+        assert_eq!(x.min, 100);
+    }
+
+    #[test]
+    fn creation_cdf_fractions() {
+        let old = unix_from_ymd(2015, 6, 1);
+        let recent = unix_from_ymd(2023, 6, 1);
+        let ancient = unix_from_ymd(2008, 1, 1);
+        let profiles = vec![
+            profile("Instagram", 1, old),
+            profile("Instagram", 2, recent),
+            profile("Instagram", 3, recent),
+            profile("YouTube", 4, ancient),
+        ];
+        let cdf = creation_cdf(&profiles);
+        assert!((cdf.pre_2020 - 0.5).abs() < 1e-9);
+        assert!((cdf.last_3_5_years - 0.5).abs() < 1e-9);
+        assert!((cdf.youtube_2006_2010 - 1.0).abs() < 1e-9);
+        assert!(cdf.per_platform["Instagram"].windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn setup_stats_counts() {
+        let mut p1 = profile("X", 1, 0);
+        p1.account_type = Some("verified".into());
+        p1.category = Some("Brand and Business".into());
+        let mut p2 = profile("X", 2, 0);
+        p2.location = None;
+        let s = setup_stats(&[p1, p2]);
+        assert_eq!(s.live_profiles, 2);
+        assert_eq!(s.located, 1);
+        assert_eq!(s.verified, 1);
+        assert_eq!(s.categorized, 1);
+        assert_eq!(s.top_locations[0].0, "United States");
+    }
+}

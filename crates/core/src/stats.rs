@@ -1,0 +1,168 @@
+//! Descriptive statistics and table formatting shared by the analyses.
+
+/// Median of a sample (averaging the middle pair for even sizes). Returns
+/// `None` for an empty sample.
+pub fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let mid = v.len() / 2;
+    Some(if v.len() % 2 == 1 { v[mid] } else { (v[mid - 1] + v[mid]) / 2.0 })
+}
+
+/// Median of integer samples, reported as f64.
+pub fn median_u64(values: &[u64]) -> Option<f64> {
+    let v: Vec<f64> = values.iter().map(|&x| x as f64).collect();
+    median(&v)
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) via nearest-rank.
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let rank = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
+    Some(v[rank - 1])
+}
+
+/// An empirical CDF: sorted `(x, F(x))` sample points.
+pub fn ecdf(values: &[f64]) -> Vec<(f64, f64)> {
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = v.len() as f64;
+    v.into_iter()
+        .enumerate()
+        .map(|(i, x)| (x, (i + 1) as f64 / n))
+        .collect()
+}
+
+/// Fraction of samples at or below `x`.
+pub fn cdf_at(values: &[f64], x: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| v <= x).count() as f64 / values.len() as f64
+}
+
+/// Format a count with thousands separators (`38,253`).
+pub fn fmt_count(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::new();
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Format a dollar amount (`$64,228,836` / `$157`).
+pub fn fmt_usd(x: f64) -> String {
+    format!("${}", fmt_count(x.round().max(0.0) as u64))
+}
+
+/// Format a percentage with two decimals (`19.71`).
+pub fn fmt_pct(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Render an aligned text table: `header` then `rows`, column widths
+/// fitted to content. Used by every report.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+            .trim_end()
+            .to_string()
+    };
+    out.push_str(&fmt_row(header.to_vec(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(String::as_str).collect(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+        assert_eq!(median_u64(&[10, 20, 30]), Some(20.0));
+    }
+
+    #[test]
+    fn quantiles() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(quantile(&v, 0.5), Some(50.0));
+        assert_eq!(quantile(&v, 1.0), Some(100.0));
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+    }
+
+    #[test]
+    fn ecdf_monotone_and_normalized() {
+        let points = ecdf(&[5.0, 1.0, 3.0, 3.0]);
+        assert_eq!(points.len(), 4);
+        assert!((points.last().unwrap().1 - 1.0).abs() < 1e-12);
+        assert!(points.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        assert!((cdf_at(&[1.0, 2.0, 3.0, 4.0], 2.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_count(38_253), "38,253");
+        assert_eq!(fmt_count(7), "7");
+        assert_eq!(fmt_count(1_000_000), "1,000,000");
+        assert_eq!(fmt_usd(64_228_836.4), "$64,228,836");
+        assert_eq!(fmt_pct(19.714), "19.71");
+    }
+
+    #[test]
+    fn table_rendering_aligns() {
+        let t = render_table(
+            &["Market", "Accounts"],
+            &[
+                vec!["Accsmarket".into(), "13,665".into()],
+                vec!["Z2U".into(), "6,417".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[0].starts_with("Market"));
+        assert!(lines[2].starts_with("Accsmarket"));
+        // Numbers column starts at the same offset in every row.
+        let col = lines[2].find("13,665").unwrap();
+        assert_eq!(lines[3].find("6,417").unwrap(), col);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged table row")]
+    fn ragged_rows_rejected() {
+        let _ = render_table(&["a", "b"], &[vec!["only".into()]]);
+    }
+}

@@ -1,0 +1,342 @@
+//! The end-to-end study: §3's three modules wired together.
+//!
+//! [`Study::run`] executes the whole measurement campaign against a
+//! generated world:
+//!
+//! 1. **collect marketplaces** — the world deploys the Table 9 channels
+//!    (the 11 public marketplaces with visible handles, the platform
+//!    APIs, and the 8 underground forums);
+//! 2. **data collection** — the crawl campaign iterates Feb–Jun,
+//!    the profile resolver pulls metadata and timelines for every visible
+//!    account, and the manual collector walks the underground forums over
+//!    Tor;
+//! 3. **tracking & analysis** — moderation runs during the window, the
+//!    efficacy audit re-queries every visible account, and every analysis
+//!    of §§4–8 is computed.
+
+use crate::{anatomy, dynamics, efficacy, network, report, scamposts, setup, underground};
+use acctrade_crawler::record::{Dataset, ProfileRecord};
+use acctrade_crawler::resolve::ProfileResolver;
+use acctrade_crawler::schedule::CrawlCampaign;
+use acctrade_crawler::underground::UndergroundCollector;
+use acctrade_net::client::Client;
+use acctrade_net::clock::DAY;
+use acctrade_net::sim::SimNet;
+use acctrade_net::tor::TorDirectory;
+use acctrade_social::platform::Platform;
+use acctrade_workload::world::{World, WorldParams};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+/// Study configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StudyConfig {
+    /// Seed.
+    pub seed: u64,
+    /// World scale (1.0 = the paper's 38,253 listings).
+    pub scale: f64,
+    /// Crawl iterations across the collection window (the paper's
+    /// campaign ran ~10 passes over Feb–Jun 2024).
+    pub iterations: usize,
+    /// Scam-pipeline configuration.
+    pub scam: scamposts::ScamPipelineConfig,
+}
+
+impl StudyConfig {
+    /// A small, fast configuration for tests and the quickstart example.
+    pub fn small(seed: u64) -> StudyConfig {
+        StudyConfig {
+            seed,
+            scale: 0.02,
+            iterations: 4,
+            scam: scamposts::ScamPipelineConfig::default(),
+        }
+    }
+
+    /// The full paper-scale configuration.
+    pub fn full(seed: u64) -> StudyConfig {
+        StudyConfig {
+            seed,
+            scale: 1.0,
+            iterations: 10,
+            scam: scamposts::ScamPipelineConfig::default(),
+        }
+    }
+}
+
+/// Everything the study produces.
+pub struct StudyReport {
+    /// Config.
+    pub config: StudyConfig,
+    /// Dataset.
+    pub dataset: Dataset,
+    /// Table1.
+    pub table1: Vec<anatomy::Table1Row>,
+    /// Table2.
+    pub table2: Vec<anatomy::Table2Row>,
+    /// Anatomy.
+    pub anatomy: anatomy::AnatomyStats,
+    /// Dynamics.
+    pub dynamics: dynamics::ListingDynamics,
+    /// Table4.
+    pub table4: Vec<setup::Table4Row>,
+    /// Creation.
+    pub creation: setup::CreationCdf,
+    /// Setup.
+    pub setup: setup::SetupStats,
+    /// Scam.
+    pub scam: scamposts::ScamAnalysis,
+    /// Network.
+    pub network: network::NetworkAnalysis,
+    /// Efficacy.
+    pub efficacy: efficacy::EfficacyAnalysis,
+    /// Underground.
+    pub underground: underground::UndergroundAnalysis,
+    /// Requests the campaign issued on the fabric.
+    pub requests_issued: usize,
+    /// Virtual days the campaign spanned.
+    pub campaign_days: f64,
+}
+
+impl StudyReport {
+    /// Render every table and figure as one text report.
+    pub fn render_all(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&report::render_figure1());
+        out.push('\n');
+        out.push_str(&report::render_table1(&self.table1));
+        out.push('\n');
+        out.push_str(&report::render_table2(&self.table2));
+        out.push('\n');
+        out.push_str(&report::render_table3());
+        out.push('\n');
+        out.push_str(&report::render_anatomy(&self.anatomy));
+        out.push('\n');
+        out.push_str(&report::render_figure2(&self.dynamics));
+        out.push('\n');
+        out.push_str(&report::render_figure3(anatomy::figure3_outlier(&self.dataset.offers)));
+        out.push('\n');
+        out.push_str(&report::render_underground(&self.underground));
+        out.push('\n');
+        out.push_str(&report::render_table4(&self.table4));
+        out.push('\n');
+        out.push_str(&report::render_figure4(&self.creation));
+        out.push('\n');
+        out.push_str(&report::render_setup(&self.setup));
+        out.push('\n');
+        out.push_str(&report::render_table5(&self.scam));
+        out.push('\n');
+        out.push_str(&report::render_table6(&self.scam));
+        out.push('\n');
+        out.push_str(&report::render_table7(&self.network));
+        out.push('\n');
+        out.push_str(&report::render_figure5(&self.network));
+        out.push('\n');
+        out.push_str(&report::render_table8(&self.efficacy));
+        out.push('\n');
+        out.push_str(&report::render_table9());
+        out.push('\n');
+        out.push_str(&crate::payments_security::render_appendix_a());
+        out
+    }
+}
+
+/// The study driver.
+///
+/// ```no_run
+/// use acctrade_core::study::{Study, StudyConfig};
+///
+/// // A fast 2%-scale pass; StudyConfig::full(seed) reproduces the paper.
+/// let report = Study::new(StudyConfig::small(42)).run();
+/// println!("{}", report.render_all());
+/// assert!(report.scam.total_scam_posts > 0);
+/// ```
+pub struct Study {
+    /// Config.
+    pub config: StudyConfig,
+}
+
+impl Study {
+    /// Create a study.
+    pub fn new(config: StudyConfig) -> Study {
+        Study { config }
+    }
+
+    /// Run the full pipeline. This generates the world internally; use
+    /// [`Study::run_on`] to measure a pre-built world.
+    pub fn run(&self) -> StudyReport {
+        let mut world = World::generate(WorldParams {
+            seed: self.config.seed,
+            scale: self.config.scale,
+        });
+        self.run_on(&mut world)
+    }
+
+    /// Run the pipeline against an existing world.
+    pub fn run_on(&self, world: &mut World) -> StudyReport {
+        let net = SimNet::new(self.config.seed);
+        world.deploy(&net);
+        let t0 = net.clock().now_unix();
+
+        // -- Module 2a: the public-marketplace crawl campaign.
+        let crawler_client =
+            Client::new(&net, "acctrade-crawler/0.1").with_politeness(20.0, 8.0);
+        let campaign = CrawlCampaign::new(&crawler_client);
+        let (mut dataset, snapshots) = campaign.run(world, self.config.iterations.max(1));
+
+        // -- Module 2b: profile metadata + timelines for visible accounts.
+        let api_client = Client::new(&net, "acctrade-pipeline/0.1");
+        let resolver = ProfileResolver::new(&api_client);
+        let (profiles, posts) = resolver.resolve_offers(&dataset.offers);
+        dataset.profiles = profiles;
+        dataset.posts = posts;
+
+        // -- Module 2c: manual underground collection over Tor.
+        let directory = TorDirectory::default_consensus();
+        let mut tor_rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ 0x70C0_11EC);
+        // Every inspected market is visited — including the two that turn
+        // out to sell nothing (the paper did the same; their emptiness is
+        // itself a §4.2 finding).
+        for forum in &world.forums {
+            let cfg = forum.config();
+            let operator = Client::new(&net, "tor-browser/13")
+                .manual(self.config.seed ^ cfg.id as u64)
+                .via_tor(directory.build_circuit(&mut tor_rng));
+            let collector = UndergroundCollector::new(&operator, cfg.host.clone(), cfg.name);
+            let (records, _stats) = collector.collect();
+            dataset.underground.extend(records);
+        }
+
+        // -- Module 3: moderation acts during the window; the audit
+        //    re-queries at the end.
+        net.clock().advance(20 * DAY);
+        world.run_moderation(net.clock().now_unix());
+        let requery: Vec<ProfileRecord> = dataset
+            .profiles
+            .iter()
+            .map(|p| {
+                resolver.resolve(
+                    Platform::parse(&p.platform).expect("known platform"),
+                    &p.handle,
+                )
+            })
+            .collect();
+
+        // -- Analyses.
+        let table1 = anatomy::table1(&dataset.offers);
+        let mut visible_and_posts: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+        for p in &dataset.profiles {
+            visible_and_posts.entry(p.platform.clone()).or_default().0 += 1;
+        }
+        for p in &dataset.posts {
+            visible_and_posts.entry(p.platform.clone()).or_default().1 += 1;
+        }
+        let table2 = anatomy::table2(&dataset.offers, &visible_and_posts);
+        let anatomy_stats = anatomy::anatomy_stats(&dataset.offers);
+        let listing_dynamics = dynamics::ListingDynamics::from_snapshots(&snapshots);
+        let table4 = setup::table4(&dataset.profiles);
+        let creation = setup::creation_cdf(&dataset.profiles);
+        let setup_stats = setup::setup_stats(&dataset.profiles);
+        let scam = scamposts::analyze(&dataset.posts, self.config.scam);
+        let network_analysis = network::analyze(&dataset.profiles);
+        let efficacy_analysis = efficacy::analyze(&requery);
+        let underground_analysis = underground::analyze(&dataset.underground);
+
+        StudyReport {
+            config: self.config,
+            dataset,
+            table1,
+            table2,
+            anatomy: anatomy_stats,
+            dynamics: listing_dynamics,
+            table4,
+            creation,
+            setup: setup_stats,
+            scam,
+            network: network_analysis,
+            efficacy: efficacy_analysis,
+            underground: underground_analysis,
+            requests_issued: net.request_count(),
+            campaign_days: (net.clock().now_unix() - t0) as f64 / 86_400.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One shared small-study run (building it is the expensive part).
+    fn run_small() -> StudyReport {
+        Study::new(StudyConfig::small(1234)).run()
+    }
+
+    #[test]
+    fn small_study_end_to_end() {
+        let report = run_small();
+
+        // Table 1: all marketplaces present, counts at ~2% scale.
+        assert_eq!(report.table1.len(), 11);
+        let total: usize = report.table1.iter().map(|r| r.accounts).sum();
+        assert!((500..1_100).contains(&total), "total offers {total}");
+        let hidden = report.table1.iter().filter(|r| r.sellers.is_none()).count();
+        assert_eq!(hidden, 5, "five marketplaces hide sellers");
+
+        // Table 2: visible ~29% of all.
+        let vis: usize = report.table2.iter().map(|r| r.visible_accounts).sum();
+        let all: usize = report.table2.iter().map(|r| r.all_accounts).sum();
+        let frac = vis as f64 / all as f64;
+        assert!((0.2..0.45).contains(&frac), "visible fraction {frac}");
+
+        // Figure 2 shape.
+        assert!(report.dynamics.cumulative_monotone());
+        assert!(report.dynamics.final_gap() > 0);
+
+        // Figure 4 anchors.
+        assert!((0.15..0.45).contains(&report.creation.pre_2020));
+
+        // Table 5/6: scams found.
+        assert!(report.scam.total_scam_posts > 0);
+        assert!(report.scam.scam_cluster_count >= 3);
+
+        // Table 7: some clusters, low overall percentage.
+        assert!(report.network.all_row.clusters > 0);
+        assert!(report.network.all_row.clustered_pct < 25.0);
+
+        // Table 8: overall efficacy in the paper's band.
+        let eff = report.efficacy.all_row.blocking_efficacy_pct;
+        assert!((10.0..32.0).contains(&eff), "efficacy {eff}");
+
+        // Underground: 65 posts collected minus caps.
+        assert!(report.underground.total_posts >= 40);
+        assert!(!report.underground.reuse_pairs.is_empty());
+
+        // The report renders every table.
+        let text = report.render_all();
+        for needle in [
+            "Table 1", "Table 2", "Table 3", "Table 4", "Table 5", "Table 6", "Table 7",
+            "Table 8", "Table 9", "Figure 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5",
+            "Section 4.1", "Section 4.2", "Section 5", "Appendix A",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+
+        // The campaign consumed virtual time and issued real requests.
+        assert!(report.campaign_days > 30.0);
+        assert!(report.requests_issued > 1_000);
+    }
+
+    #[test]
+    fn study_is_deterministic() {
+        let a = Study::new(StudyConfig::small(77)).run();
+        let b = Study::new(StudyConfig::small(77)).run();
+        assert_eq!(a.dataset.offers.len(), b.dataset.offers.len());
+        assert_eq!(a.scam.total_scam_posts, b.scam.total_scam_posts);
+        assert_eq!(
+            a.efficacy.all_row.inactive_accounts,
+            b.efficacy.all_row.inactive_accounts
+        );
+        assert_eq!(a.render_all(), b.render_all());
+    }
+}

@@ -1,0 +1,233 @@
+//! §4.2 — Anatomy of underground marketplaces.
+//!
+//! Consumes the manual-collection records and reproduces the section's
+//! findings: per-market post counts and platform coverage, listing length
+//! statistics, and the similarity analysis that exposed template reuse
+//! (88–100% word similarity, case-insensitive, numbers and punctuation
+//! removed).
+
+use acctrade_crawler::record::UndergroundRecord;
+use acctrade_text::similarity::{similar_pairs, word_similarity};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-market summary (§4.2 "Characteristics of the Marketplaces").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarketSummary {
+    /// Market.
+    pub market: String,
+    /// Posts.
+    pub posts: usize,
+    /// Sellers.
+    pub sellers: usize,
+    /// Platforms.
+    pub platforms: Vec<String>,
+    /// Accounts offered (sums bulk quantities).
+    pub accounts_offered: u64,
+    /// Avg words.
+    pub avg_words: usize,
+}
+
+/// A reuse finding: a pair of near-duplicate posts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReusePair {
+    /// Market a.
+    pub market_a: String,
+    /// Market b.
+    pub market_b: String,
+    /// Author a.
+    pub author_a: String,
+    /// Author b.
+    pub author_b: String,
+    /// Similarity.
+    pub similarity: f64,
+    /// Same author on both sides?
+    pub same_author: bool,
+    /// Same market on both sides?
+    pub same_market: bool,
+}
+
+/// The §4.2 analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UndergroundAnalysis {
+    /// Total posts.
+    pub total_posts: usize,
+    /// Markets.
+    pub markets: Vec<MarketSummary>,
+    /// Near-duplicate pairs at the paper's 88% threshold.
+    pub reuse_pairs: Vec<ReusePair>,
+    /// Posts involved in at least one near-duplicate pair, per platform.
+    pub near_dup_posts_by_platform: BTreeMap<String, usize>,
+    /// Distinct authors behind the near-duplicates.
+    pub reuse_authors: usize,
+    /// Sellers operating under the same username on several markets.
+    pub cross_market_sellers: Vec<String>,
+}
+
+/// The paper's similarity threshold.
+pub const SIMILARITY_THRESHOLD: f64 = 0.88;
+
+/// Run the underground analysis.
+pub fn analyze(records: &[UndergroundRecord]) -> UndergroundAnalysis {
+    // Per-market summaries.
+    let mut by_market: BTreeMap<&str, Vec<&UndergroundRecord>> = BTreeMap::new();
+    for r in records {
+        by_market.entry(r.market.as_str()).or_default().push(r);
+    }
+    let markets: Vec<MarketSummary> = by_market
+        .iter()
+        .map(|(market, posts)| {
+            let sellers: BTreeSet<&str> = posts.iter().map(|p| p.author.as_str()).collect();
+            let platforms: BTreeSet<String> =
+                posts.iter().filter_map(|p| p.platform.clone()).collect();
+            let accounts: u64 = posts.iter().map(|p| u64::from(p.quantity.unwrap_or(1))).sum();
+            let words: usize = posts
+                .iter()
+                .map(|p| p.body.split_whitespace().count())
+                .sum::<usize>()
+                / posts.len().max(1);
+            MarketSummary {
+                market: market.to_string(),
+                posts: posts.len(),
+                sellers: sellers.len(),
+                platforms: platforms.into_iter().collect(),
+                accounts_offered: accounts,
+                avg_words: words,
+            }
+        })
+        .collect();
+
+    // Similarity analysis over all bodies (case-insensitive, numbers and
+    // punctuation stripped by the tokenizer inside `word_similarity`).
+    let bodies: Vec<String> = records.iter().map(|r| r.body.clone()).collect();
+    let pairs = similar_pairs(&bodies, SIMILARITY_THRESHOLD);
+    let reuse_pairs: Vec<ReusePair> = pairs
+        .iter()
+        .map(|&(i, j, sim)| ReusePair {
+            market_a: records[i].market.clone(),
+            market_b: records[j].market.clone(),
+            author_a: records[i].author.clone(),
+            author_b: records[j].author.clone(),
+            similarity: sim,
+            same_author: records[i].author == records[j].author,
+            same_market: records[i].market == records[j].market,
+        })
+        .collect();
+
+    let mut near_dup_posts: BTreeSet<usize> = BTreeSet::new();
+    for &(i, j, _) in &pairs {
+        near_dup_posts.insert(i);
+        near_dup_posts.insert(j);
+    }
+    let mut near_dup_posts_by_platform: BTreeMap<String, usize> = BTreeMap::new();
+    for &i in &near_dup_posts {
+        let platform = records[i].platform.clone().unwrap_or_else(|| "unknown".into());
+        *near_dup_posts_by_platform.entry(platform).or_insert(0) += 1;
+    }
+    let reuse_authors: BTreeSet<&str> = near_dup_posts
+        .iter()
+        .map(|&i| records[i].author.as_str())
+        .collect();
+
+    // Cross-market sellers: same username on more than one market.
+    let mut seller_markets: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for r in records {
+        seller_markets.entry(r.author.as_str()).or_default().insert(r.market.as_str());
+    }
+    let cross_market_sellers: Vec<String> = seller_markets
+        .iter()
+        .filter(|(_, m)| m.len() > 1)
+        .map(|(s, _)| s.to_string())
+        .collect();
+
+    UndergroundAnalysis {
+        total_posts: records.len(),
+        markets,
+        reuse_pairs,
+        near_dup_posts_by_platform,
+        reuse_authors: reuse_authors.len(),
+        cross_market_sellers,
+    }
+}
+
+/// Similarity between two specific posts — exposed for spot checks.
+pub fn post_similarity(a: &UndergroundRecord, b: &UndergroundRecord) -> f64 {
+    word_similarity(&a.body, &b.body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(market: &str, author: &str, platform: &str, body: &str) -> UndergroundRecord {
+        UndergroundRecord {
+            market: market.into(),
+            url: format!("http://x.onion/thread/{body:.8}"),
+            title: "t".into(),
+            body: body.into(),
+            author: author.into(),
+            platform: Some(platform.into()),
+            published_unix: None,
+            replies: None,
+            price_usd: Some(40.0),
+            quantity: Some(1),
+            screenshot: true,
+        }
+    }
+
+    const TEMPLATE: &str =
+        "Selling aged TikTok accounts with organic followers full email access instant delivery escrow accepted message on telegram for bulk pricing";
+
+    #[test]
+    fn detects_template_reuse() {
+        let records = vec![
+            record("Nexus", "v1", "TikTok", TEMPLATE),
+            record("Nexus", "v2", "TikTok", TEMPLATE),
+            record("Nexus", "v1", "TikTok", "completely different premium youtube channel with monetization enabled"),
+        ];
+        let a = analyze(&records);
+        assert_eq!(a.reuse_pairs.len(), 1);
+        assert!(!a.reuse_pairs[0].same_author);
+        assert!(a.reuse_pairs[0].same_market);
+        assert!(a.reuse_pairs[0].similarity >= SIMILARITY_THRESHOLD);
+        assert_eq!(a.near_dup_posts_by_platform["TikTok"], 2);
+        assert_eq!(a.reuse_authors, 2);
+    }
+
+    #[test]
+    fn cross_market_seller_detected() {
+        let records = vec![
+            record("Nexus", "shadowvendor", "X", "selling x account one"),
+            record("Kerberos", "shadowvendor", "X", "selling x account two bulk"),
+            record("Nexus", "other", "X", "unrelated listing entirely different words"),
+        ];
+        let a = analyze(&records);
+        assert_eq!(a.cross_market_sellers, vec!["shadowvendor".to_string()]);
+    }
+
+    #[test]
+    fn market_summaries_aggregate() {
+        let records = vec![
+            record("Kerberos", "v1", "TikTok", "bulk lot one"),
+            {
+                let mut r = record("Kerberos", "v1", "X", "bulk lot two");
+                r.quantity = Some(50);
+                r
+            },
+        ];
+        let a = analyze(&records);
+        assert_eq!(a.markets.len(), 1);
+        let k = &a.markets[0];
+        assert_eq!(k.posts, 2);
+        assert_eq!(k.sellers, 1);
+        assert_eq!(k.accounts_offered, 51);
+        assert_eq!(k.platforms, vec!["TikTok".to_string(), "X".to_string()]);
+    }
+
+    #[test]
+    fn empty_records() {
+        let a = analyze(&[]);
+        assert_eq!(a.total_posts, 0);
+        assert!(a.markets.is_empty());
+        assert!(a.reuse_pairs.is_empty());
+    }
+}

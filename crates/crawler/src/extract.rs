@@ -1,0 +1,304 @@
+//! Per-dialect extraction adapters.
+//!
+//! The eleven marketplaces render three HTML dialects (card grid, table,
+//! flat list); real crawlers carry per-site logic and so does this one.
+//! Each adapter turns an offer page into an [`OfferRecord`] and a listing
+//! index into offer links plus a next-page link.
+
+use crate::record::OfferRecord;
+use acctrade_html::{parse, Document, Selector};
+use acctrade_market::config::MarketplaceId;
+use acctrade_market::site::Dialect;
+
+/// Links discovered on a listing-index page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexPage {
+    /// Offer-page paths (`/offer/<id>`).
+    pub offer_paths: Vec<String>,
+    /// Path of the next page, when pagination continues.
+    pub next_path: Option<String>,
+}
+
+/// Parse a listing-index page (all dialects share link structure enough
+/// for one pass: any link to `/offer/` counts, `a.next` paginates).
+pub fn parse_index(html: &str) -> IndexPage {
+    let doc = parse(html);
+    let links = doc.select(&Selector::parse("a").expect("static selector"));
+    let mut offer_paths = Vec::new();
+    let mut next_path = None;
+    for a in links {
+        let Some(href) = a.attr("href") else { continue };
+        if href.starts_with("/offer/") {
+            offer_paths.push(href.to_string());
+        } else if a.has_class("next") {
+            next_path = Some(href.to_string());
+        }
+    }
+    IndexPage { offer_paths, next_path }
+}
+
+/// Parse a storefront page into the platform listing paths it links.
+pub fn parse_storefront(html: &str) -> Vec<String> {
+    let doc = parse(html);
+    doc.select(&Selector::parse("a").expect("static selector"))
+        .into_iter()
+        .filter_map(|a| a.attr("href"))
+        .filter(|h| h.starts_with("/listings/"))
+        .map(|h| h.to_string())
+        .collect()
+}
+
+/// Parse a price string like `$1,234.50` into USD.
+pub fn parse_price(text: &str) -> Option<f64> {
+    let start = text.find('$')?;
+    let number: String = text[start + 1..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == ',' || *c == '.')
+        .filter(|c| *c != ',')
+        .collect();
+    if number.is_empty() {
+        return None;
+    }
+    number.parse().ok()
+}
+
+/// Extract the handle from a profile URL (`http://host/<handle>`).
+pub fn handle_from_profile_link(link: &str) -> Option<String> {
+    let url = acctrade_net::url::Url::parse(link).ok()?;
+    let handle = url.path().trim_start_matches('/');
+    if handle.is_empty() {
+        None
+    } else {
+        Some(handle.to_string())
+    }
+}
+
+/// Extract an offer page into a record skeleton (caller fills URL,
+/// marketplace, time, iteration).
+pub fn parse_offer(market: MarketplaceId, html: &str) -> OfferRecord {
+    let doc = parse(html);
+    let mut record = OfferRecord {
+        marketplace: market.name().to_string(),
+        offer_url: String::new(),
+        title: String::new(),
+        seller: None,
+        seller_country: None,
+        price_usd: None,
+        platform: None,
+        category: None,
+        claimed_followers: None,
+        claims_verified: false,
+        monthly_revenue_usd: None,
+        income_source: None,
+        description: None,
+        profile_link: None,
+        handle: None,
+        collected_unix: 0,
+        iteration: 0,
+    };
+    match market.dialect() {
+        Dialect::Cards => extract_cards(&doc, &mut record),
+        Dialect::Table => extract_table(&doc, &mut record),
+        Dialect::List => extract_list(&doc, &mut record),
+    }
+    if let Some(link) = &record.profile_link {
+        record.handle = handle_from_profile_link(link);
+    }
+    record
+}
+
+fn sel(s: &str) -> Selector {
+    Selector::parse(s).expect("static selector")
+}
+
+fn text_of(doc: &Document, selector: &str) -> Option<String> {
+    doc.select_first(&sel(selector)).map(|e| e.text()).filter(|t| !t.is_empty())
+}
+
+fn extract_cards(doc: &Document, r: &mut OfferRecord) {
+    r.title = text_of(doc, "h1.offer-title").unwrap_or_default();
+    r.price_usd = text_of(doc, "span.price").as_deref().and_then(parse_price);
+    r.platform = text_of(doc, "span.platform");
+    r.seller = doc.select_first(&sel(".seller a")).map(|e| e.text());
+    r.seller_country = text_of(doc, ".seller .country");
+    r.category = text_of(doc, "span.category");
+    r.claimed_followers = text_of(doc, "span.followers").and_then(|t| t.parse().ok());
+    r.claims_verified = doc.select_first(&sel("span.badge-verified")).is_some();
+    r.monthly_revenue_usd = text_of(doc, "span.revenue").as_deref().and_then(parse_price);
+    r.income_source = text_of(doc, "span.income-source");
+    r.description = text_of(doc, "div.description");
+    r.profile_link = doc
+        .select_first(&sel("a.profile-link"))
+        .and_then(|e| e.attr("href").map(str::to_string));
+}
+
+fn extract_table(doc: &Document, r: &mut OfferRecord) {
+    r.title = text_of(doc, "h1").unwrap_or_default();
+    // <dl> of dt/dd pairs.
+    let dl = doc.select_first(&sel("#offer-fields"));
+    if let Some(dl) = dl {
+        let children = dl.children();
+        let mut i = 0;
+        while i + 1 < children.len() {
+            let key = children[i].text();
+            let value = children[i + 1].text();
+            match key.as_str() {
+                "Price" => r.price_usd = parse_price(&value),
+                "Platform" => r.platform = Some(value),
+                "Seller" => r.seller = Some(value),
+                "Country" => r.seller_country = Some(value),
+                "Category" => r.category = Some(value),
+                "Followers" => r.claimed_followers = value.parse().ok(),
+                "Verified" => r.claims_verified = value == "yes",
+                "Monthly revenue" => r.monthly_revenue_usd = parse_price(&value),
+                "Income source" => r.income_source = Some(value),
+                "Description" => r.description = Some(value),
+                _ => {}
+            }
+            i += 2;
+        }
+    }
+    r.profile_link = doc
+        .select_first(&sel("a.profile"))
+        .and_then(|e| e.attr("href").map(str::to_string));
+}
+
+fn extract_list(doc: &Document, r: &mut OfferRecord) {
+    let field = |name: &str| {
+        doc.select_first(&sel(&format!("[data-field={name}]")))
+            .map(|e| e.text())
+            .filter(|t| !t.is_empty())
+    };
+    r.title = field("title").unwrap_or_default();
+    r.price_usd = field("price").as_deref().and_then(parse_price);
+    r.platform = field("platform");
+    r.seller = field("seller");
+    r.seller_country = field("country");
+    r.category = field("category");
+    r.claimed_followers = field("followers").and_then(|t| t.parse().ok());
+    r.claims_verified = field("verified").as_deref() == Some("true");
+    r.monthly_revenue_usd = field("revenue").as_deref().and_then(parse_price);
+    r.income_source = field("income-source");
+    r.description = field("description");
+    r.profile_link = doc
+        .select_first(&sel("a[data-field=profile]"))
+        .and_then(|e| e.attr("href").map(str::to_string));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acctrade_market::lifecycle::MarketState;
+    use acctrade_market::listing::{Listing, Monetization};
+    use acctrade_market::seller::Seller;
+    use acctrade_market::site::MarketplaceSite;
+    use acctrade_net::http::Request;
+    use acctrade_net::server::{RequestCtx, Service};
+    use acctrade_net::url::Url;
+    use acctrade_social::platform::Platform;
+    use parking_lot::RwLock;
+    use std::sync::Arc;
+
+    /// Render a real offer page for a market and extract it back —
+    /// roundtrip through the genuine site templates.
+    fn roundtrip(market: MarketplaceId) -> OfferRecord {
+        let state = Arc::new(RwLock::new(MarketState::new(market)));
+        {
+            let mut s = state.write();
+            let sid = s.next_seller_id();
+            let mut seller = Seller::new(sid, "megaseller");
+            seller.country = Some("Turkey".into());
+            s.add_seller(seller);
+            let lid = s.next_listing_id();
+            let mut l = Listing::new(lid, market, Platform::TikTok, sid, 1_234.5);
+            l.title = "TikTok dance page 2.1M".into();
+            l.category = Some("Humor/Memes".into());
+            l.claimed_followers = Some(2_100_000);
+            l.description = Some("Fresh and ready for promotion.".into());
+            l.monetization = Some(Monetization {
+                monthly_revenue_usd: 136.0,
+                income_source: "Google AdSense".into(),
+            });
+            l.profile_link = Some("http://tiktok.example/dance.page99".into());
+            s.add_listing(l);
+        }
+        let site = MarketplaceSite::new(state);
+        let req = Request::get(Url::parse(&format!("http://{}/offer/1", market.host())).unwrap());
+        let resp = site.handle(&req, &RequestCtx::test());
+        parse_offer(market, &resp.text())
+    }
+
+    #[test]
+    fn extracts_all_three_dialects() {
+        for market in [
+            MarketplaceId::Accsmarket, // cards
+            MarketplaceId::FameSwap,   // table
+            MarketplaceId::Z2U,        // list
+        ] {
+            let r = roundtrip(market);
+            assert_eq!(r.title, "TikTok dance page 2.1M", "{market:?}");
+            assert_eq!(r.price_usd, Some(1_234.5), "{market:?}");
+            assert_eq!(r.platform.as_deref(), Some("TikTok"), "{market:?}");
+            assert_eq!(r.seller.as_deref(), Some("megaseller"), "{market:?}");
+            assert_eq!(r.seller_country.as_deref(), Some("Turkey"), "{market:?}");
+            assert_eq!(r.category.as_deref(), Some("Humor/Memes"), "{market:?}");
+            assert_eq!(r.claimed_followers, Some(2_100_000), "{market:?}");
+            assert_eq!(r.monthly_revenue_usd, Some(136.0), "{market:?}");
+            assert_eq!(r.income_source.as_deref(), Some("Google AdSense"), "{market:?}");
+            assert_eq!(
+                r.profile_link.as_deref(),
+                Some("http://tiktok.example/dance.page99"),
+                "{market:?}"
+            );
+            assert_eq!(r.handle.as_deref(), Some("dance.page99"), "{market:?}");
+        }
+    }
+
+    #[test]
+    fn hidden_seller_market_extracts_no_seller() {
+        let r = roundtrip(MarketplaceId::SocialTradia);
+        assert!(r.seller.is_none());
+        assert!(r.seller_country.is_none());
+        assert_eq!(r.price_usd, Some(1_234.5));
+    }
+
+    #[test]
+    fn price_parsing_variants() {
+        assert_eq!(parse_price("$157"), Some(157.0));
+        assert_eq!(parse_price("$1,234.50"), Some(1_234.5));
+        assert_eq!(parse_price("$50,000,000"), Some(50_000_000.0));
+        assert_eq!(parse_price("$136/month"), Some(136.0));
+        assert_eq!(parse_price("price: $7 only"), Some(7.0));
+        assert_eq!(parse_price("free"), None);
+        assert_eq!(parse_price("$"), None);
+    }
+
+    #[test]
+    fn handle_extraction() {
+        assert_eq!(
+            handle_from_profile_link("http://instagram.example/fashion.daily"),
+            Some("fashion.daily".to_string())
+        );
+        assert_eq!(handle_from_profile_link("http://instagram.example/"), None);
+        assert_eq!(handle_from_profile_link("not a url"), None);
+    }
+
+    #[test]
+    fn index_parsing_with_pagination() {
+        let html = r#"<div><a class="offer-link" href="/offer/3">a</a>
+            <a href="/offer/4">b</a><a class="next" href="/listings/x?page=1">next</a>
+            <a href="/other">skip</a></div>"#;
+        let page = parse_index(html);
+        assert_eq!(page.offer_paths, vec!["/offer/3", "/offer/4"]);
+        assert_eq!(page.next_path.as_deref(), Some("/listings/x?page=1"));
+    }
+
+    #[test]
+    fn storefront_parsing() {
+        let html = r#"<nav><a class="platform-link" href="/listings/instagram">IG</a>
+            <a class="platform-link" href="/listings/tiktok">TT</a>
+            <a href="/about">about</a></nav>"#;
+        let paths = parse_storefront(html);
+        assert_eq!(paths, vec!["/listings/instagram", "/listings/tiktok"]);
+    }
+}

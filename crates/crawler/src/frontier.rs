@@ -1,0 +1,147 @@
+//! The crawl frontier.
+//!
+//! §3.2: "Given a seed URL, the crawler employs a depth-first strategy: it
+//! visits a listing page, clicks on each offer to reach the offer webpage,
+//! and collects its details ... stopping only when no new offers or
+//! listing pages are found."
+//!
+//! Depth-first is the paper's choice; a breadth-first mode exists for the
+//! ablation bench (it changes *when* offers are reached, not whether).
+
+use std::collections::{HashSet, VecDeque};
+
+/// Visit-order strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CrawlOrder {
+    /// LIFO — the paper's strategy: drain each listing page's offers
+    /// before moving to the next page.
+    #[default]
+    DepthFirst,
+    /// FIFO — visit all listing pages first, then their offers.
+    BreadthFirst,
+}
+
+/// A de-duplicating frontier; every URL is visited at most once per
+/// campaign, in DFS or BFS order.
+#[derive(Debug, Default)]
+pub struct Frontier {
+    stack: VecDeque<String>,
+    seen: HashSet<String>,
+    order: CrawlOrder,
+}
+
+impl Frontier {
+    /// An empty depth-first frontier (the paper's strategy).
+    pub fn new() -> Frontier {
+        Frontier::default()
+    }
+
+    /// An empty frontier with an explicit visit order.
+    pub fn with_order(order: CrawlOrder) -> Frontier {
+        Frontier { order, ..Frontier::default() }
+    }
+
+    /// Push a URL if it has never been enqueued. Returns `true` when the
+    /// URL was fresh.
+    pub fn push(&mut self, url: impl Into<String>) -> bool {
+        let url = url.into();
+        if self.seen.insert(url.clone()) {
+            self.stack.push_back(url);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Push several URLs in order; later pushes pop first (DFS).
+    pub fn push_all<I: IntoIterator<Item = String>>(&mut self, urls: I) -> usize {
+        urls.into_iter().filter(|u| self.push(u.clone())).count()
+    }
+
+    /// Pop the next URL to visit (LIFO for depth-first, FIFO for
+    /// breadth-first).
+    pub fn pop(&mut self) -> Option<String> {
+        match self.order {
+            CrawlOrder::DepthFirst => self.stack.pop_back(),
+            CrawlOrder::BreadthFirst => self.stack.pop_front(),
+        }
+    }
+
+    /// Has the URL ever been enqueued?
+    pub fn has_seen(&self, url: &str) -> bool {
+        self.seen.contains(url)
+    }
+
+    /// URLs awaiting a visit.
+    pub fn pending(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Total distinct URLs ever enqueued.
+    pub fn seen_count(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Forget visit history but keep nothing queued — used between crawl
+    /// iterations when re-visiting the same marketplace is intended.
+    pub fn reset(&mut self) {
+        self.stack.clear();
+        self.seen.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dfs_order() {
+        let mut f = Frontier::new();
+        f.push("a");
+        f.push_all(vec!["b".to_string(), "c".to_string()]);
+        assert_eq!(f.pop().as_deref(), Some("c"));
+        assert_eq!(f.pop().as_deref(), Some("b"));
+        assert_eq!(f.pop().as_deref(), Some("a"));
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn bfs_order() {
+        let mut f = Frontier::with_order(CrawlOrder::BreadthFirst);
+        f.push("a");
+        f.push_all(vec!["b".to_string(), "c".to_string()]);
+        assert_eq!(f.pop().as_deref(), Some("a"));
+        assert_eq!(f.pop().as_deref(), Some("b"));
+        assert_eq!(f.pop().as_deref(), Some("c"));
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn dedup_across_lifetime() {
+        let mut f = Frontier::new();
+        assert!(f.push("x"));
+        assert!(!f.push("x"));
+        f.pop();
+        assert!(!f.push("x"), "visited URLs stay deduped");
+        assert!(f.has_seen("x"));
+        assert_eq!(f.seen_count(), 1);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut f = Frontier::new();
+        f.push("x");
+        f.reset();
+        assert!(!f.has_seen("x"));
+        assert_eq!(f.pending(), 0);
+        assert!(f.push("x"));
+    }
+
+    #[test]
+    fn push_all_reports_fresh_count() {
+        let mut f = Frontier::new();
+        f.push("a");
+        let fresh = f.push_all(vec!["a".into(), "b".into(), "c".into(), "b".into()]);
+        assert_eq!(fresh, 2);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # acctrade-crawler
+//!
+//! The paper's data-collection module (§3.2), rebuilt: a JavaScript-free
+//! stand-in for the authors' Selenium crawler that speaks to the simulated
+//! marketplaces over [`acctrade_net`] and parses their HTML with
+//! [`acctrade_html`].
+//!
+//! * [`extract`] — per-dialect extraction adapters (offer pages, listing
+//!   indexes, price strings);
+//! * [`frontier`] — the depth-first crawl frontier with a visited set;
+//! * [`crawl`] — the marketplace crawler: storefront → listing pages →
+//!   every offer, exactly the §3.2 strategy;
+//! * [`schedule`] — the Feb–Jun iteration scheduler (Figure 2's
+//!   collection iterations);
+//! * [`resolve`] — the profile resolver: queries platform APIs for
+//!   metadata and timelines of visible accounts, and re-queries them for
+//!   the §8 efficacy audit;
+//! * [`underground`] — the manual Tor collector (registration, CAPTCHA,
+//!   link-walking, ≤5 pages / ≤25 postings per platform);
+//! * [`record`] — dataset records and JSON export.
+
+pub mod crawl;
+pub mod extract;
+pub mod frontier;
+pub mod record;
+pub mod resolve;
+pub mod schedule;
+pub mod underground;
+
+pub use crawl::MarketplaceCrawler;
+pub use record::{Dataset, OfferRecord, PostRecord, ProfileRecord, UndergroundRecord};
+pub use resolve::ProfileResolver;
+pub use schedule::{CrawlCampaign, IterationSnapshot};
+pub use underground::UndergroundCollector;

@@ -1,0 +1,262 @@
+//! Dataset records — what the measurement campaign stores.
+//!
+//! The shapes mirror §3.2's collection: "offer URL, title, seller
+//! information, price, payment methods, social media account handles,
+//! account properties ..., and the offer description" for marketplaces;
+//! profile metadata and posts for visible accounts; and the §4.2 manual
+//! fields for underground postings.
+
+use serde::{Deserialize, Serialize};
+
+/// One scraped marketplace offer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OfferRecord {
+    /// Marketplace display name.
+    pub marketplace: String,
+    /// Full offer URL.
+    pub offer_url: String,
+    /// Title.
+    pub title: String,
+    /// Seller username, when the marketplace displays sellers.
+    pub seller: Option<String>,
+    /// Seller country.
+    pub seller_country: Option<String>,
+    /// Parsed price in USD.
+    pub price_usd: Option<f64>,
+    /// Platform name as advertised.
+    pub platform: Option<String>,
+    /// Category.
+    pub category: Option<String>,
+    /// Claimed followers.
+    pub claimed_followers: Option<u64>,
+    /// Claims verified.
+    pub claims_verified: bool,
+    /// Monthly revenue usd.
+    pub monthly_revenue_usd: Option<f64>,
+    /// Income source.
+    pub income_source: Option<String>,
+    /// Description.
+    pub description: Option<String>,
+    /// Link to the social profile, when advertised (the "visible
+    /// account" marker).
+    pub profile_link: Option<String>,
+    /// Handle extracted from the profile link.
+    pub handle: Option<String>,
+    /// Virtual time of collection (unix seconds).
+    pub collected_unix: i64,
+    /// Crawl iteration that first saw this offer.
+    pub iteration: usize,
+}
+
+impl OfferRecord {
+    /// Does the record point at a visible social profile?
+    pub fn is_visible(&self) -> bool {
+        self.profile_link.is_some()
+    }
+}
+
+/// Outcome of querying a platform API for one account.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FetchStatus {
+    /// 200 with profile JSON.
+    Ok,
+    /// 403 — banned (X's `Forbidden`).
+    Forbidden,
+    /// 404 — deleted / renamed / suspended-elsewhere.
+    NotFound,
+    /// Transport-level failure.
+    Error,
+}
+
+impl FetchStatus {
+    /// §8's conservative "inactive" definition: Forbidden or NotFound.
+    pub fn is_inactive(self) -> bool {
+        matches!(self, FetchStatus::Forbidden | FetchStatus::NotFound)
+    }
+}
+
+/// One resolved social media profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileRecord {
+    /// Platform.
+    pub platform: String,
+    /// Handle.
+    pub handle: String,
+    /// Status.
+    pub status: FetchStatus,
+    /// The body of a failed lookup (the platform's phrasing: "Page Not
+    /// Found", "Forbidden", ...).
+    pub status_detail: Option<String>,
+    /// User id.
+    pub user_id: Option<u64>,
+    /// Name.
+    pub name: Option<String>,
+    /// Description.
+    pub description: Option<String>,
+    /// Location.
+    pub location: Option<String>,
+    /// Category.
+    pub category: Option<String>,
+    /// Email.
+    pub email: Option<String>,
+    /// Phone.
+    pub phone: Option<String>,
+    /// Website.
+    pub website: Option<String>,
+    /// Created unix.
+    pub created_unix: Option<i64>,
+    /// Account type.
+    pub account_type: Option<String>,
+    /// Followers.
+    pub followers: Option<u64>,
+    /// Post count.
+    pub post_count: Option<u64>,
+}
+
+/// One collected post.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PostRecord {
+    /// Platform.
+    pub platform: String,
+    /// Handle.
+    pub handle: String,
+    /// Author id.
+    pub author_id: u64,
+    /// Post id.
+    pub post_id: u64,
+    /// Text.
+    pub text: String,
+    /// Created unix.
+    pub created_unix: i64,
+    /// Likes.
+    pub likes: u64,
+    /// Views.
+    pub views: u64,
+}
+
+/// One manually collected underground posting (§4.2's fields).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UndergroundRecord {
+    /// Market.
+    pub market: String,
+    /// Url.
+    pub url: String,
+    /// Title.
+    pub title: String,
+    /// Body.
+    pub body: String,
+    /// Author.
+    pub author: String,
+    /// Platform.
+    pub platform: Option<String>,
+    /// Published unix.
+    pub published_unix: Option<i64>,
+    /// Replies.
+    pub replies: Option<u32>,
+    /// Price usd.
+    pub price_usd: Option<f64>,
+    /// Quantity.
+    pub quantity: Option<u32>,
+    /// The paper captured a screenshot of every posting.
+    pub screenshot: bool,
+}
+
+/// The full campaign dataset.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Offers.
+    pub offers: Vec<OfferRecord>,
+    /// Profiles.
+    pub profiles: Vec<ProfileRecord>,
+    /// Posts.
+    pub posts: Vec<PostRecord>,
+    /// Underground.
+    pub underground: Vec<UndergroundRecord>,
+}
+
+impl Dataset {
+    /// Offers that advertise a visible profile.
+    pub fn visible_offers(&self) -> impl Iterator<Item = &OfferRecord> {
+        self.offers.iter().filter(|o| o.is_visible())
+    }
+
+    /// Serialize to pretty JSON (the release format of the paper's
+    /// artifact).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("dataset serializes")
+    }
+
+    /// Parse a dataset back from JSON.
+    pub fn from_json(json: &str) -> Result<Dataset, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Merge another dataset into this one.
+    pub fn merge(&mut self, other: Dataset) {
+        self.offers.extend(other.offers);
+        self.profiles.extend(other.profiles);
+        self.posts.extend(other.posts);
+        self.underground.extend(other.underground);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn offer(visible: bool) -> OfferRecord {
+        OfferRecord {
+            marketplace: "Accsmarket".into(),
+            offer_url: "http://accsmarket.com/offer/1".into(),
+            title: "IG page".into(),
+            seller: Some("seller1".into()),
+            seller_country: None,
+            price_usd: Some(298.0),
+            platform: Some("Instagram".into()),
+            category: Some("Fashion/Style".into()),
+            claimed_followers: Some(26_998),
+            claims_verified: false,
+            monthly_revenue_usd: None,
+            income_source: None,
+            description: None,
+            profile_link: visible.then(|| "http://instagram.example/x".to_string()),
+            handle: visible.then(|| "x".to_string()),
+            collected_unix: 0,
+            iteration: 0,
+        }
+    }
+
+    #[test]
+    fn visibility_marker() {
+        assert!(offer(true).is_visible());
+        assert!(!offer(false).is_visible());
+    }
+
+    #[test]
+    fn fetch_status_inactive_semantics() {
+        assert!(FetchStatus::Forbidden.is_inactive());
+        assert!(FetchStatus::NotFound.is_inactive());
+        assert!(!FetchStatus::Ok.is_inactive());
+        assert!(!FetchStatus::Error.is_inactive());
+    }
+
+    #[test]
+    fn dataset_json_roundtrip() {
+        let mut d = Dataset::default();
+        d.offers.push(offer(true));
+        d.offers.push(offer(false));
+        let back = Dataset::from_json(&d.to_json()).unwrap();
+        assert_eq!(d, back);
+        assert_eq!(back.visible_offers().count(), 1);
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = Dataset::default();
+        a.offers.push(offer(true));
+        let mut b = Dataset::default();
+        b.offers.push(offer(false));
+        a.merge(b);
+        assert_eq!(a.offers.len(), 2);
+    }
+}

@@ -1,0 +1,234 @@
+//! The profile resolver: §3.2's "Profile Metadata Collection" and §8's
+//! efficacy re-query.
+//!
+//! For every visible offer the resolver queries the platform's API for
+//! profile metadata and the account's recent posts, recording the
+//! platform's exact response vocabulary for failed lookups — that
+//! vocabulary *is* the §8 signal.
+
+use crate::record::{FetchStatus, OfferRecord, PostRecord, ProfileRecord};
+use acctrade_net::client::Client;
+use acctrade_net::http::Status;
+use acctrade_net::url::Url;
+use acctrade_social::api::{ApiPost, ApiProfile};
+use acctrade_social::platform::Platform;
+
+/// Resolves visible accounts against platform APIs.
+pub struct ProfileResolver<'a> {
+    client: &'a Client,
+    /// Posts fetched per account (the paper pulled recent timelines).
+    pub timeline_limit: usize,
+}
+
+impl<'a> ProfileResolver<'a> {
+    /// A resolver with the default timeline depth.
+    pub fn new(client: &'a Client) -> ProfileResolver<'a> {
+        ProfileResolver { client, timeline_limit: 400 }
+    }
+
+    /// Resolve one handle on one platform.
+    pub fn resolve(&self, platform: Platform, handle: &str) -> ProfileRecord {
+        let url = Url::http(platform.api_host(), "/users/lookup").with_param("handle", handle);
+        let mut record = ProfileRecord {
+            platform: platform.name().to_string(),
+            handle: handle.to_string(),
+            status: FetchStatus::Error,
+            status_detail: None,
+            user_id: None,
+            name: None,
+            description: None,
+            location: None,
+            category: None,
+            email: None,
+            phone: None,
+            website: None,
+            created_unix: None,
+            account_type: None,
+            followers: None,
+            post_count: None,
+        };
+        let resp = match self.client.get_url(&url) {
+            Ok(r) => r,
+            Err(e) => {
+                record.status_detail = Some(e.to_string());
+                return record;
+            }
+        };
+        match resp.status {
+            Status::Ok => {
+                record.status = FetchStatus::Ok;
+                if let Ok(p) = serde_json::from_str::<ApiProfile>(&resp.text()) {
+                    record.user_id = Some(p.user_id);
+                    record.name = Some(p.name);
+                    record.description = Some(p.description);
+                    record.location = p.location;
+                    record.category = p.category;
+                    record.email = p.email;
+                    record.phone = p.phone;
+                    record.website = p.website;
+                    record.created_unix = Some(p.created_unix);
+                    record.account_type = Some(p.account_type);
+                    record.followers = Some(p.followers);
+                    record.post_count = Some(p.post_count);
+                }
+            }
+            Status::Forbidden => {
+                record.status = FetchStatus::Forbidden;
+                record.status_detail = Some(resp.text());
+            }
+            Status::NotFound | Status::Gone => {
+                record.status = FetchStatus::NotFound;
+                record.status_detail = Some(resp.text());
+            }
+            _ => {
+                record.status = FetchStatus::Error;
+                record.status_detail = Some(format!("http {}", resp.status.code()));
+            }
+        }
+        record
+    }
+
+    /// Fetch an account's recent posts (empty on failure or restricted
+    /// accounts).
+    pub fn timeline(&self, platform: Platform, handle: &str) -> Vec<PostRecord> {
+        let url = Url::http(platform.api_host(), "/timeline")
+            .with_param("handle", handle)
+            .with_param("limit", &self.timeline_limit.to_string());
+        let Ok(resp) = self.client.get_url(&url) else {
+            return Vec::new();
+        };
+        if resp.status != Status::Ok {
+            return Vec::new();
+        }
+        let Ok(posts) = serde_json::from_str::<Vec<ApiPost>>(&resp.text()) else {
+            return Vec::new();
+        };
+        posts
+            .into_iter()
+            .map(|p| PostRecord {
+                platform: platform.name().to_string(),
+                handle: handle.to_string(),
+                author_id: p.author_id,
+                post_id: p.post_id,
+                text: p.text,
+                created_unix: p.created_unix,
+                likes: p.likes,
+                views: p.views,
+            })
+            .collect()
+    }
+
+    /// Resolve every visible offer: profiles plus timelines.
+    pub fn resolve_offers(
+        &self,
+        offers: &[OfferRecord],
+    ) -> (Vec<ProfileRecord>, Vec<PostRecord>) {
+        let mut profiles = Vec::new();
+        let mut posts = Vec::new();
+        for offer in offers.iter().filter(|o| o.is_visible()) {
+            let Some(handle) = &offer.handle else { continue };
+            let Some(platform) = offer.platform.as_deref().and_then(Platform::parse) else {
+                continue;
+            };
+            let record = self.resolve(platform, handle);
+            if record.status == FetchStatus::Ok {
+                posts.extend(self.timeline(platform, handle));
+            }
+            profiles.push(record);
+        }
+        (profiles, posts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acctrade_net::sim::SimNet;
+    use acctrade_social::account::AccountStatus;
+    use acctrade_workload::world::{World, WorldParams};
+
+    fn deployed_world(seed: u64) -> (World, std::sync::Arc<SimNet>) {
+        let world = World::generate(WorldParams { seed, scale: 0.02 });
+        let net = SimNet::new(seed);
+        world.deploy(&net);
+        (world, net)
+    }
+
+    #[test]
+    fn resolves_live_account_with_metadata() {
+        let (world, net) = deployed_world(11);
+        let client = Client::new(&net, "acctrade-pipeline/0.1");
+        let resolver = ProfileResolver::new(&client);
+        // Pick a real handle from the Instagram store.
+        let store = world.stores[&Platform::Instagram].read();
+        let account = store.accounts_sorted()[0].clone();
+        drop(store);
+        let record = resolver.resolve(Platform::Instagram, &account.handle);
+        assert_eq!(record.status, FetchStatus::Ok);
+        assert_eq!(record.followers, Some(account.followers));
+        assert_eq!(record.created_unix, Some(account.created_unix));
+    }
+
+    #[test]
+    fn banned_and_missing_statuses_decoded() {
+        let (world, net) = deployed_world(12);
+        let client = Client::new(&net, "acctrade-pipeline/0.1");
+        let resolver = ProfileResolver::new(&client);
+        let handle = {
+            let store = world.stores[&Platform::X].read();
+            store.accounts_sorted()[0].handle.clone()
+        };
+        world.stores[&Platform::X]
+            .write()
+            .set_status(acctrade_social::account::AccountId(1), AccountStatus::Banned);
+        // Re-find the account with id 1's handle.
+        let banned_handle = {
+            let store = world.stores[&Platform::X].read();
+            store.account(acctrade_social::account::AccountId(1)).unwrap().handle.clone()
+        };
+        let record = resolver.resolve(Platform::X, &banned_handle);
+        assert_eq!(record.status, FetchStatus::Forbidden);
+        assert_eq!(record.status_detail.as_deref(), Some("Forbidden"));
+
+        let record = resolver.resolve(Platform::X, "no_such_handle_ever");
+        assert_eq!(record.status, FetchStatus::NotFound);
+        assert_eq!(record.status_detail.as_deref(), Some("Not Found"));
+        let _ = handle;
+    }
+
+    #[test]
+    fn timelines_fetched_for_posting_accounts() {
+        let (world, net) = deployed_world(13);
+        let client = Client::new(&net, "acctrade-pipeline/0.1");
+        let resolver = ProfileResolver::new(&client);
+        // X accounts post heavily; find one with posts.
+        let store = world.stores[&Platform::X].read();
+        let account = store
+            .accounts_sorted()
+            .into_iter()
+            .find(|a| a.post_count > 0)
+            .expect("some X account posts")
+            .clone();
+        drop(store);
+        let posts = resolver.timeline(Platform::X, &account.handle);
+        assert!(!posts.is_empty());
+        assert!(posts.iter().all(|p| p.platform == "X"));
+        assert!(posts.len() as u64 <= account.post_count.max(400));
+    }
+
+    #[test]
+    fn resolve_offers_end_to_end() {
+        let (_world, net) = deployed_world(14);
+        let client = Client::new(&net, "acctrade-crawler/0.1");
+        let mut crawler =
+            crate::crawl::MarketplaceCrawler::new(&client, acctrade_market::config::MarketplaceId::FameSwap);
+        let (offers, _) = crawler.crawl(0);
+        let resolver = ProfileResolver::new(&client);
+        let (profiles, posts) = resolver.resolve_offers(&offers);
+        let visible = offers.iter().filter(|o| o.is_visible()).count();
+        assert_eq!(profiles.len(), visible);
+        assert!(profiles.iter().any(|p| p.status == FetchStatus::Ok));
+        // Some resolved accounts have timelines.
+        assert!(!posts.is_empty());
+    }
+}

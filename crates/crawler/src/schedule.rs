@@ -1,0 +1,170 @@
+//! The collection campaign: iterations over the Feb–Jun 2024 window.
+//!
+//! The paper crawled the marketplaces repeatedly between February and June
+//! 2024; Figure 2 plots cumulative vs active listings per iteration. A
+//! [`CrawlCampaign`] runs the crawler over all eleven marketplaces once
+//! per iteration, advances the virtual clock between iterations, lets the
+//! world churn/replenish, and records one [`IterationSnapshot`] per pass.
+
+use crate::crawl::MarketplaceCrawler;
+use crate::record::{Dataset, OfferRecord};
+use acctrade_market::config::ALL_MARKETPLACES;
+use acctrade_net::client::Client;
+use acctrade_net::clock::DAY;
+use acctrade_workload::world::World;
+use std::collections::HashSet;
+
+/// One iteration's view of the market (Figure 2's two curves).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IterationSnapshot {
+    /// Iteration.
+    pub iteration: usize,
+    /// Virtual date of the pass (unix seconds at iteration start).
+    pub at_unix: i64,
+    /// Distinct offers seen so far across all passes (cumulative curve).
+    pub cumulative_offers: usize,
+    /// Offers live during this pass (active curve).
+    pub active_offers: usize,
+    /// Offers first seen in this pass.
+    pub new_offers: usize,
+}
+
+/// The full collection campaign.
+pub struct CrawlCampaign<'a> {
+    client: &'a Client,
+    /// Virtual days between iterations (the Feb–Jun window spread over
+    /// the configured number of passes).
+    pub days_between: u64,
+}
+
+impl<'a> CrawlCampaign<'a> {
+    /// A campaign with the paper's spacing: 10 iterations across ~150
+    /// days.
+    pub fn new(client: &'a Client) -> CrawlCampaign<'a> {
+        CrawlCampaign { client, days_between: 15 }
+    }
+
+    /// Run `iterations` passes over all marketplaces, evolving `world`
+    /// between passes. Returns the deduplicated offer dataset and the
+    /// per-iteration snapshots.
+    pub fn run(
+        &self,
+        world: &mut World,
+        iterations: usize,
+    ) -> (Dataset, Vec<IterationSnapshot>) {
+        let mut dataset = Dataset::default();
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut snapshots = Vec::with_capacity(iterations);
+
+        for iteration in 0..iterations {
+            let at_unix = self.client.net().clock().now_unix();
+            let mut active = 0usize;
+            let mut fresh = 0usize;
+            for market in ALL_MARKETPLACES {
+                let mut crawler = MarketplaceCrawler::new(self.client, market);
+                let (records, _stats) = crawler.crawl(iteration);
+                active += records.len();
+                for record in records {
+                    if seen.insert(record.offer_url.clone()) {
+                        fresh += 1;
+                        dataset.offers.push(record);
+                    }
+                }
+            }
+            snapshots.push(IterationSnapshot {
+                iteration,
+                at_unix,
+                cumulative_offers: seen.len(),
+                active_offers: active,
+                new_offers: fresh,
+            });
+
+            if iteration + 1 < iterations {
+                // Advance the window and let the market evolve.
+                self.client.net().clock().advance(self.days_between * DAY);
+                world.step_iteration(self.client.net().clock().now_unix());
+            }
+        }
+        (dataset, snapshots)
+    }
+}
+
+/// Deduplicate offers by URL keeping first-seen order (used when merging
+/// externally collected record sets).
+pub fn dedup_offers(offers: Vec<OfferRecord>) -> Vec<OfferRecord> {
+    let mut seen = HashSet::new();
+    offers
+        .into_iter()
+        .filter(|o| seen.insert(o.offer_url.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acctrade_net::sim::SimNet;
+    use acctrade_workload::world::{World, WorldParams};
+
+    #[test]
+    fn campaign_reproduces_figure2_shape() {
+        let mut world = World::generate(WorldParams { seed: 21, scale: 0.01 });
+        let net = SimNet::new(21);
+        world.deploy(&net);
+        let client = Client::new(&net, "acctrade-crawler/0.1");
+        let campaign = CrawlCampaign::new(&client);
+        let (dataset, snaps) = campaign.run(&mut world, 6);
+
+        assert_eq!(snaps.len(), 6);
+        // Cumulative listings grow monotonically.
+        assert!(snaps.windows(2).all(|w| w[1].cumulative_offers >= w[0].cumulative_offers));
+        // Churn eventually pushes active below cumulative.
+        let last = snaps.last().unwrap();
+        assert!(last.active_offers < last.cumulative_offers);
+        // Replenishment adds new offers after the first pass.
+        assert!(snaps[1..].iter().any(|s| s.new_offers > 0));
+        // Dataset holds each offer exactly once.
+        let urls: HashSet<_> = dataset.offers.iter().map(|o| &o.offer_url).collect();
+        assert_eq!(urls.len(), dataset.offers.len());
+        assert_eq!(dataset.offers.len(), last.cumulative_offers);
+    }
+
+    #[test]
+    fn clock_advances_between_iterations() {
+        let mut world = World::generate(WorldParams { seed: 22, scale: 0.005 });
+        let net = SimNet::new(22);
+        world.deploy(&net);
+        let client = Client::new(&net, "acctrade-crawler/0.1");
+        let campaign = CrawlCampaign::new(&client);
+        let t0 = net.clock().now_unix();
+        let (_, snaps) = campaign.run(&mut world, 3);
+        let elapsed_days = (net.clock().now_unix() - t0) / 86_400;
+        assert!(elapsed_days >= 30, "two 15-day gaps expected, got {elapsed_days}d");
+        assert!(snaps[1].at_unix > snaps[0].at_unix);
+    }
+
+    #[test]
+    fn dedup_keeps_first_record() {
+        let mk = |url: &str, it: usize| OfferRecord {
+            marketplace: "m".into(),
+            offer_url: url.into(),
+            title: String::new(),
+            seller: None,
+            seller_country: None,
+            price_usd: None,
+            platform: None,
+            category: None,
+            claimed_followers: None,
+            claims_verified: false,
+            monthly_revenue_usd: None,
+            income_source: None,
+            description: None,
+            profile_link: None,
+            handle: None,
+            collected_unix: 0,
+            iteration: it,
+        };
+        let out = dedup_offers(vec![mk("a", 0), mk("b", 0), mk("a", 1)]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].iteration, 0);
+    }
+}

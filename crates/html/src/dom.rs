@@ -1,0 +1,444 @@
+//! An arena-backed DOM tree with a builder API and a renderer.
+
+use crate::escape::{escape_attr, escape_text};
+use crate::select::Selector;
+
+/// Index of a node in its document's arena.
+pub type NodeId = usize;
+
+/// Elements that never have children and render without a closing tag.
+pub const VOID_ELEMENTS: &[&str] =
+    &["br", "hr", "img", "input", "meta", "link", "area", "base", "col", "embed", "source", "wbr"];
+
+/// One DOM node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// An element: tag name, attributes in source order, child node ids.
+    Element {
+        /// Tag.
+        tag: String,
+        /// Attrs.
+        attrs: Vec<(String, String)>,
+        /// Children.
+        children: Vec<NodeId>,
+    },
+    /// A text node (unescaped content).
+    Text(String),
+    /// A comment (`<!-- ... -->`).
+    Comment(String),
+}
+
+/// A parsed or built HTML document.
+///
+/// Nodes live in an arena; the document root is a virtual element that holds
+/// top-level nodes. Use [`Document::select`] to query, [`Document::render`]
+/// to serialize.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+    root_children: Vec<NodeId>,
+}
+
+impl Document {
+    /// An empty document.
+    pub fn new() -> Document {
+        Document { nodes: Vec::new(), root_children: Vec::new() }
+    }
+
+    /// Number of nodes in the arena.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the document holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Access a node by id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Top-level node ids.
+    pub fn roots(&self) -> &[NodeId] {
+        &self.root_children
+    }
+
+    pub(crate) fn push_node(&mut self, node: Node) -> NodeId {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    pub(crate) fn add_root(&mut self, id: NodeId) {
+        self.root_children.push(id);
+    }
+
+    pub(crate) fn add_child(&mut self, parent: NodeId, child: NodeId) {
+        if let Node::Element { children, .. } = &mut self.nodes[parent] {
+            children.push(child);
+        }
+    }
+
+    /// Wrap a node id for ergonomic traversal.
+    pub fn element(&self, id: NodeId) -> ElementRef<'_> {
+        ElementRef { doc: self, id }
+    }
+
+    /// All element ids in depth-first document order.
+    pub fn all_elements(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<NodeId> = self.root_children.iter().rev().copied().collect();
+        while let Some(id) = stack.pop() {
+            if let Node::Element { children, .. } = &self.nodes[id] {
+                out.push(id);
+                for &c in children.iter().rev() {
+                    stack.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Elements matching a selector, in document order.
+    pub fn select(&self, selector: &Selector) -> Vec<ElementRef<'_>> {
+        self.all_elements()
+            .into_iter()
+            .filter(|&id| selector.matches(self, id))
+            .map(|id| self.element(id))
+            .collect()
+    }
+
+    /// First element matching a selector.
+    pub fn select_first(&self, selector: &Selector) -> Option<ElementRef<'_>> {
+        self.all_elements()
+            .into_iter()
+            .find(|&id| selector.matches(self, id))
+            .map(|id| self.element(id))
+    }
+
+    /// Parent of `id`, if any (linear scan; documents here are page-sized).
+    pub fn parent_of(&self, id: NodeId) -> Option<NodeId> {
+        self.all_ids_with_children()
+            .find(|(_, children)| children.contains(&id))
+            .map(|(pid, _)| pid)
+    }
+
+    fn all_ids_with_children(&self) -> impl Iterator<Item = (NodeId, Vec<NodeId>)> + '_ {
+        self.nodes.iter().enumerate().filter_map(|(i, n)| match n {
+            Node::Element { children, .. } => Some((i, children.clone())),
+            _ => None,
+        })
+    }
+
+    /// Serialize the document to HTML.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for &id in &self.root_children {
+            self.render_node(id, &mut out);
+        }
+        out
+    }
+
+    fn render_node(&self, id: NodeId, out: &mut String) {
+        match &self.nodes[id] {
+            Node::Text(t) => out.push_str(&escape_text(t)),
+            Node::Comment(c) => {
+                out.push_str("<!--");
+                out.push_str(c);
+                out.push_str("-->");
+            }
+            Node::Element { tag, attrs, children } => {
+                out.push('<');
+                out.push_str(tag);
+                for (k, v) in attrs {
+                    out.push(' ');
+                    out.push_str(k);
+                    out.push_str("=\"");
+                    out.push_str(&escape_attr(v));
+                    out.push('"');
+                }
+                out.push('>');
+                if !VOID_ELEMENTS.contains(&tag.as_str()) {
+                    for &c in children {
+                        self.render_node(c, out);
+                    }
+                    out.push_str("</");
+                    out.push_str(tag);
+                    out.push('>');
+                }
+            }
+        }
+    }
+}
+
+impl Default for Document {
+    fn default() -> Self {
+        Document::new()
+    }
+}
+
+/// A borrowed view of an element node.
+#[derive(Debug, Clone, Copy)]
+pub struct ElementRef<'a> {
+    doc: &'a Document,
+    id: NodeId,
+}
+
+impl<'a> ElementRef<'a> {
+    /// The node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Tag name, lowercase.
+    pub fn tag(&self) -> &'a str {
+        match self.doc.node(self.id) {
+            Node::Element { tag, .. } => tag,
+            _ => "",
+        }
+    }
+
+    /// Attribute value by name.
+    pub fn attr(&self, name: &str) -> Option<&'a str> {
+        match self.doc.node(self.id) {
+            Node::Element { attrs, .. } => attrs
+                .iter()
+                .find(|(k, _)| k.eq_ignore_ascii_case(name))
+                .map(|(_, v)| v.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Space-separated class list.
+    pub fn classes(&self) -> Vec<&'a str> {
+        self.attr("class")
+            .map(|c| c.split_whitespace().collect())
+            .unwrap_or_default()
+    }
+
+    /// `true` if the element carries the class.
+    pub fn has_class(&self, class: &str) -> bool {
+        self.classes().contains(&class)
+    }
+
+    /// Child element refs.
+    pub fn children(&self) -> Vec<ElementRef<'a>> {
+        match self.doc.node(self.id) {
+            Node::Element { children, .. } => children
+                .iter()
+                .filter(|&&c| matches!(self.doc.node(c), Node::Element { .. }))
+                .map(|&c| ElementRef { doc: self.doc, id: c })
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Concatenated text content of the subtree, whitespace-normalized.
+    pub fn text(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        self.collect_text(self.id, &mut parts);
+        parts.join(" ").split_whitespace().collect::<Vec<_>>().join(" ")
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut Vec<String>) {
+        match self.doc.node(id) {
+            Node::Text(t) => out.push(t.clone()),
+            Node::Element { children, .. } => {
+                for &c in children {
+                    self.collect_text(c, out);
+                }
+            }
+            Node::Comment(_) => {}
+        }
+    }
+
+    /// Descendant elements matching a selector, in document order.
+    pub fn select(&self, selector: &Selector) -> Vec<ElementRef<'a>> {
+        let mut out = Vec::new();
+        let mut stack: Vec<NodeId> = match self.doc.node(self.id) {
+            Node::Element { children, .. } => children.iter().rev().copied().collect(),
+            _ => Vec::new(),
+        };
+        while let Some(id) = stack.pop() {
+            if let Node::Element { children, .. } = self.doc.node(id) {
+                if selector.matches(self.doc, id) {
+                    out.push(ElementRef { doc: self.doc, id });
+                }
+                for &c in children.iter().rev() {
+                    stack.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// First descendant matching a selector.
+    pub fn select_first(&self, selector: &Selector) -> Option<ElementRef<'a>> {
+        self.select(selector).into_iter().next()
+    }
+
+    /// The document this element belongs to.
+    pub fn document(&self) -> &'a Document {
+        self.doc
+    }
+}
+
+/// A fluent builder for constructing documents in marketplace templates.
+///
+/// ```
+/// use acctrade_html::dom::Builder;
+///
+/// let mut b = Builder::new();
+/// b.open("div").attr("class", "offer");
+/// b.open("a").attr("href", "/offer/1").text("TikTok 2.1M").close();
+/// b.close();
+/// let html = b.finish().render();
+/// assert!(html.contains("class=\"offer\""));
+/// ```
+pub struct Builder {
+    doc: Document,
+    stack: Vec<NodeId>,
+}
+
+impl Builder {
+    /// Start building an empty document.
+    pub fn new() -> Builder {
+        Builder { doc: Document::new(), stack: Vec::new() }
+    }
+
+    /// Open an element and descend into it.
+    pub fn open(&mut self, tag: &str) -> &mut Builder {
+        let id = self.doc.push_node(Node::Element {
+            tag: tag.to_ascii_lowercase(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        });
+        match self.stack.last() {
+            Some(&parent) => self.doc.add_child(parent, id),
+            None => self.doc.add_root(id),
+        }
+        self.stack.push(id);
+        self
+    }
+
+    /// Set an attribute on the innermost open element.
+    pub fn attr(&mut self, name: &str, value: impl Into<String>) -> &mut Builder {
+        if let Some(&id) = self.stack.last() {
+            if let Node::Element { attrs, .. } = &mut self.doc.nodes[id] {
+                attrs.push((name.to_ascii_lowercase(), value.into()));
+            }
+        }
+        self
+    }
+
+    /// Append a text node to the innermost open element.
+    pub fn text(&mut self, content: impl Into<String>) -> &mut Builder {
+        let id = self.doc.push_node(Node::Text(content.into()));
+        match self.stack.last() {
+            Some(&parent) => self.doc.add_child(parent, id),
+            None => self.doc.add_root(id),
+        }
+        self
+    }
+
+    /// Append a comment node.
+    pub fn comment(&mut self, content: impl Into<String>) -> &mut Builder {
+        let id = self.doc.push_node(Node::Comment(content.into()));
+        match self.stack.last() {
+            Some(&parent) => self.doc.add_child(parent, id),
+            None => self.doc.add_root(id),
+        }
+        self
+    }
+
+    /// Open a void element (no children, self-closing render).
+    pub fn void(&mut self, tag: &str) -> &mut Builder {
+        self.open(tag).close()
+    }
+
+    /// Close the innermost open element.
+    pub fn close(&mut self) -> &mut Builder {
+        self.stack.pop();
+        self
+    }
+
+    /// Shorthand: `<tag>text</tag>`.
+    pub fn leaf(&mut self, tag: &str, text: &str) -> &mut Builder {
+        self.open(tag).text(text).close()
+    }
+
+    /// Finish building; closes any still-open elements.
+    pub fn finish(mut self) -> Document {
+        self.stack.clear();
+        self.doc
+    }
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_nested_markup() {
+        let mut b = Builder::new();
+        b.open("ul").attr("id", "offers");
+        for i in 0..2 {
+            b.open("li").leaf("span", &format!("offer {i}")).close();
+        }
+        b.close();
+        let html = b.finish().render();
+        assert_eq!(
+            html,
+            "<ul id=\"offers\"><li><span>offer 0</span></li><li><span>offer 1</span></li></ul>"
+        );
+    }
+
+    #[test]
+    fn text_is_escaped_on_render() {
+        let mut b = Builder::new();
+        b.leaf("p", "a < b & c");
+        assert_eq!(b.finish().render(), "<p>a &lt; b &amp; c</p>");
+    }
+
+    #[test]
+    fn void_elements_render_without_closing_tag() {
+        let mut b = Builder::new();
+        b.open("div").void("br").close();
+        assert_eq!(b.finish().render(), "<div><br></div>");
+    }
+
+    #[test]
+    fn element_text_concatenates_subtree() {
+        let mut b = Builder::new();
+        b.open("div").text("price: ").leaf("b", "$157").text(" total").close();
+        let doc = b.finish();
+        let root = doc.element(doc.roots()[0]);
+        assert_eq!(root.text(), "price: $157 total");
+    }
+
+    #[test]
+    fn classes_parse() {
+        let mut b = Builder::new();
+        b.open("div").attr("class", "offer featured sold").close();
+        let doc = b.finish();
+        let el = doc.element(doc.roots()[0]);
+        assert!(el.has_class("featured"));
+        assert!(!el.has_class("off"));
+        assert_eq!(el.classes().len(), 3);
+    }
+
+    #[test]
+    fn unbalanced_builder_is_tolerated() {
+        let mut b = Builder::new();
+        b.open("div").open("span").text("dangling");
+        let doc = b.finish(); // closes implicitly
+        assert!(doc.render().contains("dangling"));
+    }
+}

@@ -1,0 +1,110 @@
+//! HTML entity escaping and unescaping.
+
+/// Escape text content: `&`, `<`, `>`.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape an attribute value (double-quoted context): text escapes plus `"`.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Unescape the named entities we emit plus `&#NN;` / `&#xHH;` numeric
+/// references. Unknown entities pass through literally (browser behaviour).
+pub fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'&' {
+            if let Some(semi) = s[i..].find(';').map(|j| i + j) {
+                let entity = &s[i + 1..semi];
+                let decoded = match entity {
+                    "amp" => Some('&'),
+                    "lt" => Some('<'),
+                    "gt" => Some('>'),
+                    "quot" => Some('"'),
+                    "apos" => Some('\''),
+                    "nbsp" => Some('\u{a0}'),
+                    _ => {
+                        if let Some(hex) = entity.strip_prefix("#x").or(entity.strip_prefix("#X")) {
+                            u32::from_str_radix(hex, 16).ok().and_then(char::from_u32)
+                        } else if let Some(dec) = entity.strip_prefix('#') {
+                            dec.parse::<u32>().ok().and_then(char::from_u32)
+                        } else {
+                            None
+                        }
+                    }
+                };
+                if let Some(c) = decoded {
+                    // Entities longer than 24 chars are junk, not entities.
+                    if entity.len() <= 24 {
+                        out.push(c);
+                        i = semi + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        let ch = s[i..].chars().next().expect("in-bounds char");
+        out.push(ch);
+        i += ch.len_utf8();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_escaping_roundtrip() {
+        let raw = "price < $50 & followers > 10k";
+        assert_eq!(unescape(&escape_text(raw)), raw);
+        assert_eq!(escape_text(raw), "price &lt; $50 &amp; followers &gt; 10k");
+    }
+
+    #[test]
+    fn attr_escaping_handles_quotes() {
+        assert_eq!(escape_attr(r#"say "hi""#), "say &quot;hi&quot;");
+        assert_eq!(unescape("say &quot;hi&quot;"), r#"say "hi""#);
+    }
+
+    #[test]
+    fn numeric_entities() {
+        assert_eq!(unescape("&#36;64&#x41;"), "$64A");
+        assert_eq!(unescape("&#x1F600;"), "😀");
+    }
+
+    #[test]
+    fn unknown_entities_pass_through() {
+        assert_eq!(unescape("&bogus; &"), "&bogus; &");
+        assert_eq!(unescape("a&b"), "a&b");
+    }
+
+    #[test]
+    fn non_ascii_untouched() {
+        let s = "prix élevé — 你好";
+        assert_eq!(unescape(&escape_text(s)), s);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # acctrade-html
+//!
+//! A small HTML engine: a DOM tree, a renderer, a tolerant parser, and a
+//! CSS-ish selector engine.
+//!
+//! The reproduced paper crawled marketplace listing pages with
+//! Selenium-driven Chrome. Our simulated marketplaces render genuine HTML
+//! and the crawler genuinely parses it — so extraction bugs, malformed
+//! markup, and selector drift are all real phenomena in this reproduction,
+//! not stubs. The subset implemented covers everything the marketplace
+//! templates emit: elements, attributes, text, comments, void elements, and
+//! entity escaping.
+//!
+//! ```
+//! use acctrade_html::{parse, Selector};
+//!
+//! let doc = parse(r#"<div class="offer"><a href="/offer/7">IG account</a></div>"#);
+//! let sel = Selector::parse("div.offer a").unwrap();
+//! let links = doc.select(&sel);
+//! assert_eq!(links[0].attr("href"), Some("/offer/7"));
+//! assert_eq!(links[0].text(), "IG account");
+//! ```
+
+pub mod dom;
+pub mod escape;
+pub mod parser;
+pub mod select;
+
+pub use dom::{Document, ElementRef, Node, NodeId};
+pub use escape::{escape_attr, escape_text, unescape};
+pub use parser::parse;
+pub use select::Selector;

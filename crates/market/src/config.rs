@@ -1,0 +1,503 @@
+//! Static configuration of the measured ecosystem: the eleven public
+//! marketplaces (Tables 1 and 3) and the full trading-channel inventory
+//! (Table 9).
+
+use crate::payments::PaymentMethod;
+use acctrade_social::platform::Platform;
+use serde::{Deserialize, Serialize};
+
+/// The eleven monitored public marketplaces (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MarketplaceId {
+    /// Accsmarket.
+    Accsmarket,
+    /// Fame swap.
+    FameSwap,
+    /// Z2u.
+    Z2U,
+    /// Social tradia.
+    SocialTradia,
+    /// Insta sale.
+    InstaSale,
+    /// Mid man.
+    MidMan,
+    /// Too fame.
+    TooFame,
+    /// Swap socials.
+    SwapSocials,
+    /// Surge gram.
+    SurgeGram,
+    /// Buy socia.
+    BuySocia,
+    /// Fame seller.
+    FameSeller,
+}
+
+/// All marketplaces in Table 1 order.
+pub const ALL_MARKETPLACES: [MarketplaceId; 11] = [
+    MarketplaceId::Accsmarket,
+    MarketplaceId::FameSwap,
+    MarketplaceId::Z2U,
+    MarketplaceId::SocialTradia,
+    MarketplaceId::InstaSale,
+    MarketplaceId::MidMan,
+    MarketplaceId::TooFame,
+    MarketplaceId::SwapSocials,
+    MarketplaceId::SurgeGram,
+    MarketplaceId::BuySocia,
+    MarketplaceId::FameSeller,
+];
+
+/// Static configuration of one public marketplace.
+#[derive(Debug, Clone)]
+pub struct MarketplaceConfig {
+    /// Id.
+    pub id: MarketplaceId,
+    /// Display name as printed in Table 1.
+    pub name: &'static str,
+    /// Clearnet hostname the site is served from.
+    pub host: &'static str,
+    /// Seller counts from Table 1; `None` for the five marketplaces that
+    /// hide seller identity.
+    pub table1_sellers: Option<u32>,
+    /// Advertised-account counts from Table 1.
+    pub table1_accounts: u32,
+    /// Payment methods from Table 3.
+    pub payment_methods: &'static [PaymentMethod],
+    /// Relative platform mix of this marketplace's listings — calibrated
+    /// so the workload's platform marginals land near Table 2.
+    pub platform_weights: &'static [(Platform, f64)],
+    /// Offers per listing page (sites paginate differently).
+    pub page_size: usize,
+}
+
+impl MarketplaceId {
+    /// The marketplace's static configuration.
+    pub fn config(self) -> &'static MarketplaceConfig {
+        &MARKETPLACE_CONFIGS[self as usize]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        self.config().name
+    }
+
+    /// Hostname.
+    pub fn host(self) -> &'static str {
+        self.config().host
+    }
+
+    /// Does the marketplace display seller identities?
+    pub fn shows_sellers(self) -> bool {
+        self.config().table1_sellers.is_some()
+    }
+}
+
+use MarketplaceId::*;
+use PaymentMethod::*;
+
+const MIX_GENERAL: &[(Platform, f64)] = &[
+    (Platform::Instagram, 0.20),
+    (Platform::YouTube, 0.22),
+    (Platform::TikTok, 0.33),
+    (Platform::Facebook, 0.14),
+    (Platform::X, 0.11),
+];
+
+const MIX_IG_ONLY: &[(Platform, f64)] = &[(Platform::Instagram, 1.0)];
+
+const MIX_IG_HEAVY: &[(Platform, f64)] = &[
+    (Platform::Instagram, 0.60),
+    (Platform::TikTok, 0.20),
+    (Platform::YouTube, 0.15),
+    (Platform::X, 0.05),
+];
+
+const MIX_YT_HEAVY: &[(Platform, f64)] = &[
+    (Platform::YouTube, 0.42),
+    (Platform::Instagram, 0.24),
+    (Platform::TikTok, 0.18),
+    (Platform::Facebook, 0.10),
+    (Platform::X, 0.06),
+];
+
+const MIX_GAMING: &[(Platform, f64)] = &[
+    (Platform::YouTube, 0.28),
+    (Platform::TikTok, 0.27),
+    (Platform::Facebook, 0.24),
+    (Platform::X, 0.16),
+    (Platform::Instagram, 0.05),
+];
+
+/// Configurations, indexed by `MarketplaceId as usize` (Table 1 order).
+static MARKETPLACE_CONFIGS: [MarketplaceConfig; 11] = [
+    MarketplaceConfig {
+        id: Accsmarket,
+        name: "Accsmarket",
+        host: "accsmarket.com",
+        table1_sellers: Some(2_455),
+        table1_accounts: 13_665,
+        payment_methods: &[Unknown],
+        platform_weights: MIX_GENERAL,
+        page_size: 24,
+    },
+    MarketplaceConfig {
+        id: FameSwap,
+        name: "FameSwap",
+        host: "fameswap.com",
+        table1_sellers: Some(6_617),
+        table1_accounts: 8_833,
+        payment_methods: &[Unknown],
+        platform_weights: MIX_YT_HEAVY,
+        page_size: 20,
+    },
+    MarketplaceConfig {
+        id: Z2U,
+        name: "Z2U",
+        host: "z2u.com",
+        table1_sellers: Some(240),
+        table1_accounts: 6_417,
+        payment_methods: &[
+            Visa, PayDirekt, NeoSurf, Coinbase, AirWallex, PayPal, Trustly, Skrill, WeChat, AliPay,
+        ],
+        platform_weights: MIX_GAMING,
+        page_size: 30,
+    },
+    MarketplaceConfig {
+        id: SocialTradia,
+        name: "SocialTradia",
+        host: "socialtradia.com",
+        table1_sellers: None,
+        table1_accounts: 4_020,
+        payment_methods: &[Eth],
+        platform_weights: MIX_IG_ONLY,
+        page_size: 16,
+    },
+    MarketplaceConfig {
+        id: InstaSale,
+        name: "InstaSale",
+        host: "insta-sale.com",
+        table1_sellers: Some(251),
+        table1_accounts: 1_950,
+        payment_methods: &[Unknown],
+        platform_weights: MIX_IG_ONLY,
+        page_size: 25,
+    },
+    MarketplaceConfig {
+        id: MidMan,
+        name: "MidMan",
+        host: "mid-man.com",
+        table1_sellers: Some(304),
+        table1_accounts: 1_282,
+        payment_methods: &[
+            GPayVisa, DLocal, AppotaVisa, Btc, Eth, LiteCoin, Tether, Bnb, Matic, Dash, Payssion,
+            Trustap, Payer,
+        ],
+        platform_weights: MIX_GENERAL,
+        page_size: 20,
+    },
+    MarketplaceConfig {
+        id: TooFame,
+        name: "TooFame",
+        host: "toofame.com",
+        table1_sellers: None,
+        table1_accounts: 695,
+        payment_methods: &[Unknown],
+        platform_weights: MIX_IG_HEAVY,
+        page_size: 12,
+    },
+    MarketplaceConfig {
+        id: SwapSocials,
+        name: "SwapSocials",
+        host: "swapsocials.com",
+        table1_sellers: None,
+        table1_accounts: 530,
+        payment_methods: &[Btc, Eth, Matic, Coinbase, Trustap],
+        platform_weights: MIX_IG_HEAVY,
+        page_size: 15,
+    },
+    MarketplaceConfig {
+        id: SurgeGram,
+        name: "SurgeGram",
+        host: "surgegram.com",
+        table1_sellers: None,
+        table1_accounts: 205,
+        payment_methods: &[Visa],
+        platform_weights: MIX_IG_ONLY,
+        page_size: 10,
+    },
+    MarketplaceConfig {
+        id: BuySocia,
+        name: "BuySocia",
+        host: "buysocia.com",
+        table1_sellers: None,
+        table1_accounts: 547,
+        payment_methods: &[Btc, Eth],
+        platform_weights: MIX_IG_HEAVY,
+        page_size: 12,
+    },
+    MarketplaceConfig {
+        id: FameSeller,
+        name: "FameSeller",
+        host: "fameseller.com",
+        table1_sellers: Some(77),
+        table1_accounts: 109,
+        payment_methods: &[PayPal],
+        platform_weights: MIX_GENERAL,
+        page_size: 10,
+    },
+];
+
+/// Table 1's total advertised accounts.
+pub const TABLE1_TOTAL_ACCOUNTS: u32 = 38_253;
+/// Table 1's total sellers.
+pub const TABLE1_TOTAL_SELLERS: u32 = 9_944;
+/// Fraction of advertised accounts whose listings link a visible profile
+/// (§3.2: 11,457 / 38,253).
+pub const VISIBLE_PROFILE_FRACTION: f64 = 11_457.0 / 38_253.0;
+
+// ---------------------------------------------------------------------------
+// Table 9: the full channel inventory.
+// ---------------------------------------------------------------------------
+
+/// Channel category (Table 9 row groups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChannelCategory {
+    /// Public.
+    Public,
+    /// Underground.
+    Underground,
+    /// Contact.
+    Contact,
+}
+
+/// Channel exchange type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChannelType {
+    /// Marketplace.
+    Marketplace,
+    /// Shop.
+    Shop,
+    /// Black hat forum.
+    BlackHatForum,
+    /// Email.
+    Email,
+    /// Telegram.
+    Telegram,
+    /// Whatsapp.
+    Whatsapp,
+    /// Discord.
+    Discord,
+}
+
+/// One row of Table 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelRecord {
+    /// Channel.
+    pub channel: &'static str,
+    /// Category.
+    pub category: ChannelCategory,
+    /// Channel type.
+    pub channel_type: ChannelType,
+    /// Source.
+    pub source: &'static str,
+    /// Was the channel selling accounts at inspection time?
+    pub selling: bool,
+    /// Were account handles publicly visible?
+    pub handles_public: bool,
+    /// Was the channel monitored in the study?
+    pub monitored: bool,
+}
+
+macro_rules! chan {
+    ($name:expr, $cat:ident, $ty:ident, $src:expr, $sell:expr, $handles:expr, $mon:expr) => {
+        ChannelRecord {
+            channel: $name,
+            category: ChannelCategory::$cat,
+            channel_type: ChannelType::$ty,
+            source: $src,
+            selling: $sell,
+            handles_public: $handles,
+            monitored: $mon,
+        }
+    };
+}
+
+/// The full Table 9 inventory: 49 websites (40 public + 20 underground,
+/// minus duplicates the paper collapses) and 9 personal contact points.
+pub fn channel_inventory() -> &'static [ChannelRecord] {
+    &CHANNELS
+}
+
+static CHANNELS: [ChannelRecord; 69] = [
+    // Public — monitored (the eleven of Table 1, plus listing aliases).
+    chan!("accs-market.com", Public, Marketplace, "Google Search", true, true, true),
+    chan!("fameswap.com", Public, Marketplace, "Google Search", true, true, true),
+    chan!("www.z2u.com", Public, Marketplace, "Google Search", true, true, true),
+    chan!("fameseller.com", Public, Marketplace, "Google Search", true, true, true),
+    chan!("insta-sale.com/listings/", Public, Marketplace, "Google Search", true, true, true),
+    chan!("accsmarket.com", Public, Shop, "Google Search", true, true, true),
+    chan!("buysocia.com", Public, Shop, "Google Search", true, true, true),
+    chan!("mid-man.com", Public, Shop, "Google Search", true, true, true),
+    chan!("socialtradia.com", Public, Shop, "Google Search", true, true, true),
+    chan!("swapsocials.com", Public, Shop, "Google Search", true, true, true),
+    chan!("www.surgegram.com", Public, Shop, "Google Search", true, true, true),
+    chan!("www.toofame.com", Public, Shop, "Google Search", true, true, true),
+    // Public — selling but no public handles (monitored without automation).
+    chan!("cracked.io", Public, Marketplace, "[34]", true, false, true),
+    chan!("hackforums.net", Public, BlackHatForum, "Google Search", true, false, true),
+    chan!("swapd.co", Public, Marketplace, "Google Search", true, false, true),
+    // Public — selling, not monitored (crawling challenges / prerequisites).
+    chan!("accszone.com", Public, Shop, "Public BH Forum", true, false, false),
+    chan!("agedprofiles.com", Public, Shop, "Public BH Forum", true, false, false),
+    chan!("bulkacc.com", Public, Shop, "Public BH Forum", true, false, false),
+    chan!("digitalchaining.mysellix.io", Public, Shop, "Public BH Forum", true, false, false),
+    chan!("discord.gg/PMJCYxCcCu", Public, Shop, "Public BH Forum", true, false, false),
+    chan!("nwarlordyt.sellpass.io", Public, Shop, "Public BH Forum", true, false, false),
+    chan!("famousinfluencer.com", Public, Shop, "Public BH Forum", true, false, false),
+    chan!("nloaccs.com", Public, Shop, "Public BH Forum", true, false, false),
+    chan!("www.smmzone24.com", Public, Shop, "Public BH Forum", true, false, false),
+    chan!("acccluster.com", Public, Shop, "Google Search", true, false, false),
+    chan!("accsmaster.com", Public, Shop, "Google Search", true, false, false),
+    chan!("buyaccs.com", Public, Shop, "[57]", true, false, false),
+    chan!("getbulkaccounts.com", Public, Shop, "[57]", true, false, false),
+    chan!("bulkye.com", Public, Shop, "[57]", true, false, false),
+    chan!("quickaccounts.bigcartel.com", Public, Shop, "[57]", true, false, false),
+    // Public — no longer selling accounts.
+    chan!("twiends.com", Public, BlackHatForum, "[55]", false, false, false),
+    chan!("leakzone.net", Public, BlackHatForum, "Google Search", false, false, false),
+    chan!("magicsmm.com", Public, Shop, "Public BH Forum", false, false, false),
+    chan!("paneliniz.net", Public, Shop, "Public BH Forum", false, false, false),
+    chan!("smmorigins.com", Public, Shop, "Public BH Forum", false, false, false),
+    chan!("smmtake.com", Public, Shop, "Public BH Forum", false, false, false),
+    chan!("bigfollow.net", Public, Shop, "[55]", false, false, false),
+    chan!("intertwitter.com", Public, Shop, "[55]", false, false, false),
+    chan!("seguidores.com.br", Public, Shop, "Redirect from bigfollow", false, false, false),
+    chan!("scrowise.com", Public, Shop, "Google Search", false, false, false),
+    // Underground.
+    chan!("Dark Matter", Underground, Marketplace, "Onion Directory", true, false, true),
+    chan!("Nexus Market", Underground, Marketplace, "Onion Directory", true, false, true),
+    chan!("Torzon Market", Underground, Marketplace, "Onion Directory", true, false, true),
+    chan!("Black Pyramid", Underground, Marketplace, "Onion Directory", true, false, true),
+    chan!("Kerberos", Underground, Marketplace, "[33]", true, false, true),
+    chan!("We The North", Underground, Marketplace, "[33]", true, false, true),
+    chan!("MGM Grand", Underground, Marketplace, "[33]", true, false, false),
+    chan!("ARES Market", Underground, Marketplace, "Onion Directory", true, false, false),
+    chan!("Soza", Underground, Marketplace, "Onion Directory", true, false, false),
+    chan!("SuperMarket", Underground, Marketplace, "Onion Directory", false, false, false),
+    chan!("Quantum Market", Underground, Marketplace, "Onion Directory", true, false, false),
+    chan!("Quest Market", Underground, Marketplace, "Onion Directory", false, false, false),
+    chan!("Incognito", Underground, Marketplace, "Onion Directory", false, false, false),
+    chan!("Alias Market", Underground, Marketplace, "Onion Directory", false, false, false),
+    chan!("Archetyp", Underground, Marketplace, "Onion Directory", false, false, false),
+    chan!("City Market", Underground, Marketplace, "Onion Directory", false, false, false),
+    chan!("Elysium", Underground, Marketplace, "Onion Directory", false, false, false),
+    chan!("Fish Market", Underground, Marketplace, "Onion Directory", false, false, false),
+    chan!("Pegasus Market", Underground, Marketplace, "Onion Directory", false, false, false),
+    chan!("Abacus", Underground, Marketplace, "[33]", false, false, false),
+    // Contact points.
+    chan!("Skyisthelimitservice@gmail.com", Contact, Email, "Public BH Forum", true, false, false),
+    chan!("t.me/BusinessAts", Contact, Telegram, "Public BH Forum", true, false, false),
+    chan!("t.me/sheriff_x", Contact, Telegram, "Public BH Forum", true, false, false),
+    chan!("t.me/igexpertbhw", Contact, Telegram, "Public BH Forum", true, false, false),
+    chan!("t.me/lulpola", Contact, Telegram, "Public BH Forum", true, false, false),
+    chan!("t.me/prudentagency11", Contact, Telegram, "Public BH Forum", true, false, false),
+    chan!("t.me/gunnupgrades", Contact, Telegram, "Public BH Forum", true, false, false),
+    chan!("+16193762832", Contact, Whatsapp, "Public BH Forum", true, false, false),
+    chan!("@gunnupg", Contact, Discord, "Public BH Forum", true, false, false),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_counts_sum() {
+        let total: u32 = ALL_MARKETPLACES.iter().map(|m| m.config().table1_accounts).sum();
+        assert_eq!(total, TABLE1_TOTAL_ACCOUNTS);
+        let sellers: u32 = ALL_MARKETPLACES
+            .iter()
+            .filter_map(|m| m.config().table1_sellers)
+            .sum();
+        assert_eq!(sellers, TABLE1_TOTAL_SELLERS);
+    }
+
+    #[test]
+    fn exactly_five_marketplaces_hide_sellers() {
+        let hidden = ALL_MARKETPLACES.iter().filter(|m| !m.shows_sellers()).count();
+        assert_eq!(hidden, 5);
+    }
+
+    #[test]
+    fn accsmarket_largest_fameseller_smallest() {
+        let max = ALL_MARKETPLACES
+            .iter()
+            .max_by_key(|m| m.config().table1_accounts)
+            .unwrap();
+        let min = ALL_MARKETPLACES
+            .iter()
+            .min_by_key(|m| m.config().table1_accounts)
+            .unwrap();
+        assert_eq!(*max, Accsmarket);
+        assert_eq!(*min, FameSeller);
+    }
+
+    #[test]
+    fn platform_weights_normalized() {
+        for m in ALL_MARKETPLACES {
+            let sum: f64 = m.config().platform_weights.iter().map(|&(_, w)| w).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{}: {sum}", m.name());
+        }
+    }
+
+    #[test]
+    fn hosts_are_unique() {
+        let mut hosts: Vec<&str> = ALL_MARKETPLACES.iter().map(|m| m.host()).collect();
+        let n = hosts.len();
+        hosts.sort();
+        hosts.dedup();
+        assert_eq!(hosts.len(), n);
+    }
+
+    #[test]
+    fn config_index_matches_id() {
+        for m in ALL_MARKETPLACES {
+            assert_eq!(m.config().id, m);
+        }
+    }
+
+    #[test]
+    fn inventory_covers_paper_scope() {
+        let inv = channel_inventory();
+        let websites = inv
+            .iter()
+            .filter(|c| c.category != ChannelCategory::Contact)
+            .count();
+        let contacts = inv
+            .iter()
+            .filter(|c| c.category == ChannelCategory::Contact)
+            .count();
+        assert!(websites >= 58, "paper found 58 websites, inventory has {websites}");
+        assert_eq!(contacts, 9);
+        // 11 public channel rows of Table 1 map to 12 monitored public rows
+        // (insta-sale's listing alias) — all with public handles.
+        let monitored_with_handles = inv
+            .iter()
+            .filter(|c| c.monitored && c.handles_public)
+            .count();
+        assert_eq!(monitored_with_handles, 12);
+        // Six underground markets were monitored.
+        let ug_monitored = inv
+            .iter()
+            .filter(|c| c.category == ChannelCategory::Underground && c.monitored)
+            .count();
+        assert_eq!(ug_monitored, 6);
+    }
+
+    #[test]
+    fn z2u_has_wallets_midman_has_escrow() {
+        assert!(Z2U.config().payment_methods.contains(&PaymentMethod::PayPal));
+        assert!(MidMan.config().payment_methods.contains(&PaymentMethod::Trustap));
+        assert!(Accsmarket.config().payment_methods.contains(&PaymentMethod::Unknown));
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # acctrade-market
+//!
+//! The marketplaces the paper measures: **11 public marketplaces**
+//! (Table 1) serving HTML listing pages on the clearnet, and **8
+//! underground forums** (§4.2) reachable only over the simulated Tor
+//! overlay.
+//!
+//! * [`config`] — the eleven public-marketplace configurations (seller
+//!   visibility, payment methods, scale) and the full Table 9 channel
+//!   inventory;
+//! * [`listing`] / [`seller`] — the offer and seller data model;
+//! * [`payments`] — payment methods and the Table 3 matrix;
+//! * [`lifecycle`] — listing dynamics over the collection window
+//!   (sales, delistings, replenishment — Figure 2);
+//! * [`site`] — the public marketplace web application (HTML over
+//!   [`acctrade_net`], per-market template dialects);
+//! * [`underground`] — Tor forums with registration walls, CAPTCHAs, and
+//!   link-restricted navigation (why the paper collected them manually).
+
+pub mod config;
+pub mod lifecycle;
+pub mod listing;
+pub mod payments;
+pub mod seller;
+pub mod site;
+pub mod underground;
+
+pub use config::{channel_inventory, MarketplaceConfig, MarketplaceId, ALL_MARKETPLACES};
+pub use lifecycle::MarketState;
+pub use listing::{Listing, ListingId, ListingState};
+pub use payments::{PaymentCategory, PaymentMethod};
+pub use seller::{Seller, SellerId};
+pub use site::MarketplaceSite;
+pub use underground::{UndergroundConfig, UndergroundForum, UndergroundId, UndergroundPost};

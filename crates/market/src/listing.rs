@@ -1,0 +1,180 @@
+//! Listings (offers) on public marketplaces.
+
+use crate::config::MarketplaceId;
+use crate::seller::SellerId;
+use acctrade_social::platform::Platform;
+use serde::{Deserialize, Serialize};
+
+/// Marketplace-scoped listing id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ListingId(pub u64);
+
+/// Lifecycle state of a listing (Figure 2's active/offline dynamics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ListingState {
+    /// Visible and purchasable.
+    Active,
+    /// Went offline after a (presumed) successful sale.
+    Sold,
+    /// Taken offline by the seller without a sale.
+    Delisted,
+}
+
+/// Monetization details some sellers disclose (§4.1 "Account
+/// Monetization": 164 accounts report $1–$922/month).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Monetization {
+    /// Claimed monthly revenue in USD.
+    pub monthly_revenue_usd: f64,
+    /// Income-source narrative ("generic ad-based revenue", "Google
+    /// AdSense", ...).
+    pub income_source: String,
+}
+
+/// One account-for-sale offer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Listing {
+    /// Id.
+    pub id: ListingId,
+    /// Marketplace.
+    pub marketplace: MarketplaceId,
+    /// Platform.
+    pub platform: Platform,
+    /// Seller.
+    pub seller: SellerId,
+    /// Offer title shown on the listing page.
+    pub title: String,
+    /// Optional long description (§4.1: 63% of listings carry one).
+    pub description: Option<String>,
+    /// Advertised price in USD.
+    pub price_usd: f64,
+    /// Marketplace category label (§4.1: 212 unique categories; 22% of
+    /// listings have none).
+    pub category: Option<String>,
+    /// Follower count *claimed in the ad* (§4.1: 40% of listings show
+    /// one).
+    pub claimed_followers: Option<u64>,
+    /// Whether the ad claims the account is platform-verified (§4.1: 185
+    /// listings, all YouTube, none with profile links).
+    pub claims_verified: bool,
+    /// Claimed monetization, when disclosed.
+    pub monetization: Option<Monetization>,
+    /// Link to the account's public profile — present on only ~29% of
+    /// listings; the paper's "visible accounts".
+    pub profile_link: Option<String>,
+    /// The linked account's handle (derivable from `profile_link`; stored
+    /// for convenience).
+    pub linked_handle: Option<String>,
+    /// Unix seconds the listing was posted.
+    pub listed_unix: i64,
+    /// State.
+    pub state: ListingState,
+    /// Unix seconds the listing left the market (sold/delisted), if it
+    /// did.
+    pub closed_unix: Option<i64>,
+}
+
+impl Listing {
+    /// A minimal active listing; generators fill the rest.
+    pub fn new(
+        id: ListingId,
+        marketplace: MarketplaceId,
+        platform: Platform,
+        seller: SellerId,
+        price_usd: f64,
+    ) -> Listing {
+        Listing {
+            id,
+            marketplace,
+            platform,
+            seller,
+            title: String::new(),
+            description: None,
+            price_usd,
+            category: None,
+            claimed_followers: None,
+            claims_verified: false,
+            monetization: None,
+            profile_link: None,
+            linked_handle: None,
+            listed_unix: 0,
+            state: ListingState::Active,
+            closed_unix: None,
+        }
+    }
+
+    /// Is the listing visible on the marketplace right now?
+    pub fn is_active(&self) -> bool {
+        self.state == ListingState::Active
+    }
+
+    /// Does the listing link a visible social profile (the paper's 29%
+    /// subset)?
+    pub fn has_visible_profile(&self) -> bool {
+        self.profile_link.is_some()
+    }
+
+    /// Offer page path on the marketplace site.
+    pub fn offer_path(&self) -> String {
+        format!("/offer/{}", self.id.0)
+    }
+
+    /// Close the listing at `now_unix`.
+    pub fn close(&mut self, state: ListingState, now_unix: i64) {
+        debug_assert!(state != ListingState::Active, "close requires a terminal state");
+        self.state = state;
+        self.closed_unix = Some(now_unix);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Listing {
+        let mut l = Listing::new(
+            ListingId(9),
+            MarketplaceId::FameSwap,
+            Platform::Instagram,
+            SellerId(2),
+            298.0,
+        );
+        l.title = "IG fashion page, 27k real followers".into();
+        l.listed_unix = 100;
+        l
+    }
+
+    #[test]
+    fn lifecycle() {
+        let mut l = sample();
+        assert!(l.is_active());
+        l.close(ListingState::Sold, 500);
+        assert!(!l.is_active());
+        assert_eq!(l.closed_unix, Some(500));
+        assert_eq!(l.state, ListingState::Sold);
+    }
+
+    #[test]
+    fn offer_path_format() {
+        assert_eq!(sample().offer_path(), "/offer/9");
+    }
+
+    #[test]
+    fn visibility_flag() {
+        let mut l = sample();
+        assert!(!l.has_visible_profile());
+        l.profile_link = Some("http://instagram.example/fashion.page".into());
+        assert!(l.has_visible_profile());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut l = sample();
+        l.monetization = Some(Monetization {
+            monthly_revenue_usd: 136.0,
+            income_source: "Google AdSense".into(),
+        });
+        let back: Listing = serde_json::from_str(&serde_json::to_string(&l).unwrap()).unwrap();
+        assert_eq!(l, back);
+    }
+}

@@ -1,0 +1,224 @@
+//! Payment methods and the Table 3 marketplace matrix.
+
+use serde::{Deserialize, Serialize};
+
+/// A payment method observed across the 11 marketplaces (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PaymentMethod {
+    // Traditional
+    /// Visa.
+    Visa,
+    /// Pay direkt.
+    PayDirekt,
+    /// Google Pay backed Visa.
+    GPayVisa,
+    /// DLocal payment gateway.
+    DLocal,
+    /// Appota-issued Visa.
+    AppotaVisa,
+    // Prepaid vouchers
+    /// NeoSurf prepaid vouchers.
+    NeoSurf,
+    // Crypto
+    /// Bitcoin.
+    Btc,
+    /// Ethereum.
+    Eth,
+    /// Lite coin.
+    LiteCoin,
+    /// Tether.
+    Tether,
+    /// Binance Coin.
+    Bnb,
+    /// Matic.
+    Matic,
+    /// Dash.
+    Dash,
+    // Exchanges
+    /// Coinbase.
+    Coinbase,
+    /// Air wallex.
+    AirWallex,
+    // Digital wallets
+    /// Pay pal.
+    PayPal,
+    /// Trustly.
+    Trustly,
+    /// Skrill.
+    Skrill,
+    /// We chat.
+    WeChat,
+    /// Ali pay.
+    AliPay,
+    /// Payssion.
+    Payssion,
+    // Escrow-based
+    /// Trustap.
+    Trustap,
+    /// Payer.
+    Payer,
+    /// The marketplace does not disclose payment methods.
+    Unknown,
+}
+
+/// Table 3's row groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PaymentCategory {
+    /// Traditional.
+    Traditional,
+    /// Prepaid vouchers.
+    PrepaidVouchers,
+    /// Crypto.
+    Crypto,
+    /// Exchanges.
+    Exchanges,
+    /// Digital wallets.
+    DigitalWallets,
+    /// Escrow based.
+    EscrowBased,
+    /// Unknown.
+    Unknown,
+}
+
+impl PaymentCategory {
+    /// Category label as printed in Table 3.
+    pub fn label(self) -> &'static str {
+        match self {
+            PaymentCategory::Traditional => "Traditional",
+            PaymentCategory::PrepaidVouchers => "Prepaid Vouchers",
+            PaymentCategory::Crypto => "Crypto",
+            PaymentCategory::Exchanges => "Exchanges",
+            PaymentCategory::DigitalWallets => "Digital Wallets",
+            PaymentCategory::EscrowBased => "Escrow-Based",
+            PaymentCategory::Unknown => "Unknown",
+        }
+    }
+
+    /// All categories in Table 3 order.
+    pub fn all() -> [PaymentCategory; 7] {
+        [
+            PaymentCategory::Traditional,
+            PaymentCategory::PrepaidVouchers,
+            PaymentCategory::Crypto,
+            PaymentCategory::Exchanges,
+            PaymentCategory::DigitalWallets,
+            PaymentCategory::EscrowBased,
+            PaymentCategory::Unknown,
+        ]
+    }
+}
+
+impl PaymentMethod {
+    /// The method's Table 3 row group.
+    pub fn category(self) -> PaymentCategory {
+        use PaymentMethod::*;
+        match self {
+            Visa | PayDirekt | GPayVisa | DLocal | AppotaVisa => PaymentCategory::Traditional,
+            NeoSurf => PaymentCategory::PrepaidVouchers,
+            Btc | Eth | LiteCoin | Tether | Bnb | Matic | Dash => PaymentCategory::Crypto,
+            Coinbase | AirWallex => PaymentCategory::Exchanges,
+            PayPal | Trustly | Skrill | WeChat | AliPay | Payssion => {
+                PaymentCategory::DigitalWallets
+            }
+            Trustap | Payer => PaymentCategory::EscrowBased,
+            Unknown => PaymentCategory::Unknown,
+        }
+    }
+
+    /// Method label as printed in Table 3.
+    pub fn label(self) -> &'static str {
+        use PaymentMethod::*;
+        match self {
+            Visa => "Visa",
+            PayDirekt => "PayDirekt",
+            GPayVisa => "GPay Visa",
+            DLocal => "DLocal",
+            AppotaVisa => "Appota Visa",
+            NeoSurf => "NeoSurf",
+            Btc => "BTC",
+            Eth => "ETH",
+            LiteCoin => "LiteCoin",
+            Tether => "Tether",
+            Bnb => "BNB",
+            Matic => "Matic",
+            Dash => "Dash",
+            Coinbase => "Coinbase",
+            AirWallex => "AirWallex",
+            PayPal => "PayPal",
+            Trustly => "Trustly",
+            Skrill => "Skrill",
+            WeChat => "WeChat",
+            AliPay => "AliPay",
+            Payssion => "Payssion",
+            Trustap => "Trustap",
+            Payer => "Payer",
+            Unknown => "Unknown",
+        }
+    }
+
+    /// Does the method give the *buyer* meaningful recourse (refunds /
+    /// chargebacks / escrow)? Appendix A's security analysis.
+    pub fn has_buyer_protection(self) -> bool {
+        use PaymentMethod::*;
+        matches!(self, PayPal | Skrill | Trustly | Trustap | Payer | Visa | GPayVisa)
+    }
+
+    /// Are payments effectively irreversible (Appendix A: "Risk of
+    /// Irreversible Payments")?
+    pub fn is_irreversible(self) -> bool {
+        self.category() == PaymentCategory::Crypto
+            || matches!(self, PaymentMethod::NeoSurf)
+    }
+
+    /// All concrete methods (excluding [`PaymentMethod::Unknown`]) in
+    /// Table 3 order.
+    pub fn all_known() -> Vec<PaymentMethod> {
+        use PaymentMethod::*;
+        vec![
+            Visa, PayDirekt, GPayVisa, DLocal, AppotaVisa, NeoSurf, Btc, Eth, LiteCoin, Tether,
+            Bnb, Matic, Dash, Coinbase, AirWallex, PayPal, Trustly, Skrill, WeChat, AliPay,
+            Payssion, Trustap, Payer,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_method_has_a_category() {
+        for m in PaymentMethod::all_known() {
+            assert_ne!(m.category(), PaymentCategory::Unknown, "{m:?}");
+        }
+        assert_eq!(PaymentMethod::Unknown.category(), PaymentCategory::Unknown);
+    }
+
+    #[test]
+    fn crypto_is_irreversible_wallets_protected() {
+        assert!(PaymentMethod::Btc.is_irreversible());
+        assert!(PaymentMethod::Tether.is_irreversible());
+        assert!(!PaymentMethod::PayPal.is_irreversible());
+        assert!(PaymentMethod::PayPal.has_buyer_protection());
+        assert!(PaymentMethod::Trustap.has_buyer_protection());
+        assert!(!PaymentMethod::Btc.has_buyer_protection());
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = PaymentMethod::all_known().iter().map(|m| m.label()).collect();
+        let n = labels.len();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), n);
+    }
+
+    #[test]
+    fn table3_groups_cover_all_methods() {
+        // Every known method falls in one of the 6 non-unknown groups.
+        let groups = PaymentCategory::all();
+        for m in PaymentMethod::all_known() {
+            assert!(groups.contains(&m.category()));
+        }
+    }
+}

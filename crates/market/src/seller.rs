@@ -1,0 +1,101 @@
+//! Sellers on public marketplaces.
+
+use serde::{Deserialize, Serialize};
+
+/// Marketplace-scoped seller id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SellerId(pub u64);
+
+/// A marketplace seller profile.
+///
+/// §4.1: 9,949 sellers across the 11 marketplaces; 8,833 disclosed a
+/// country (138 countries, US/Ethiopia/Pakistan/UK/Turkey on top); five
+/// marketplaces hide seller identity entirely.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Seller {
+    /// Id.
+    pub id: SellerId,
+    /// Username.
+    pub username: String,
+    /// ISO-ish country name, when disclosed.
+    pub country: Option<String>,
+    /// Marketplace reputation score in [0, 5].
+    pub rating: f32,
+    /// Completed sales shown on the profile.
+    pub completed_sales: u32,
+    /// Unix seconds of marketplace registration.
+    pub joined_unix: i64,
+}
+
+impl Seller {
+    /// A minimal seller; generators fill the rest.
+    pub fn new(id: SellerId, username: impl Into<String>) -> Seller {
+        Seller {
+            id,
+            username: username.into(),
+            country: None,
+            rating: 0.0,
+            completed_sales: 0,
+            joined_unix: 0,
+        }
+    }
+}
+
+/// The §4.1 top-5 seller countries, with their reported counts, used by the
+/// workload generator's country prior.
+pub const TOP_SELLER_COUNTRIES: &[(&str, u32)] = &[
+    ("United States", 2_683),
+    ("Ethiopia", 844),
+    ("Pakistan", 596),
+    ("United Kingdom", 382),
+    ("Turkey", 366),
+];
+
+/// A pool of further countries for the long tail (the paper counts 138
+/// distinct seller countries).
+pub const LONG_TAIL_COUNTRIES: &[&str] = &[
+    "India", "Bangladesh", "Nigeria", "Indonesia", "Brazil", "Vietnam", "Philippines", "Egypt",
+    "Morocco", "Kenya", "Ukraine", "Russia", "Germany", "France", "Spain", "Italy", "Poland",
+    "Romania", "Netherlands", "Canada", "Mexico", "Argentina", "Colombia", "Peru", "Chile",
+    "South Africa", "Ghana", "Algeria", "Tunisia", "Jordan", "Lebanon", "Iraq", "Iran",
+    "Sri Lanka", "Nepal", "Myanmar", "Thailand", "Malaysia", "Singapore", "South Korea", "Japan",
+    "China", "Taiwan", "Australia", "New Zealand", "Sweden", "Norway", "Denmark", "Finland",
+    "Ireland", "Portugal", "Greece", "Czechia", "Hungary", "Austria", "Switzerland", "Belgium",
+    "Serbia", "Croatia", "Bulgaria", "Albania", "Georgia", "Armenia", "Azerbaijan", "Kazakhstan",
+    "Uzbekistan", "Belarus", "Moldova", "Latvia", "Lithuania", "Estonia", "Israel", "Saudi Arabia",
+    "United Arab Emirates", "Qatar", "Kuwait", "Oman", "Yemen", "Ecuador", "Bolivia", "Paraguay",
+    "Uruguay", "Venezuela", "Guatemala", "Honduras", "Panama", "Costa Rica", "Cuba", "Jamaica",
+    "Haiti", "Senegal", "Cameroon", "Ivory Coast", "Uganda", "Tanzania", "Zambia", "Zimbabwe",
+    "Mozambique", "Angola", "Botswana", "Namibia", "Rwanda", "Somalia", "Sudan", "Libya",
+    "Mauritius", "Madagascar", "Iceland", "Luxembourg", "Malta", "Cyprus", "Slovakia", "Slovenia",
+    "North Macedonia", "Bosnia", "Montenegro", "Kosovo", "Mongolia", "Cambodia", "Laos", "Brunei",
+    "Fiji", "Papua New Guinea", "Maldives", "Bhutan", "Afghanistan", "Syria", "Palestine",
+    "Bahrain", "Dominican Republic", "Trinidad", "Barbados", "Bahamas", "Belize", "Nicaragua",
+    "El Salvador", "Guyana", "Suriname",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn country_pool_supports_138_countries() {
+        // Top 5 + long tail must reach the paper's 138 distinct countries.
+        assert!(TOP_SELLER_COUNTRIES.len() + LONG_TAIL_COUNTRIES.len() >= 138);
+    }
+
+    #[test]
+    fn us_is_top_country() {
+        assert_eq!(TOP_SELLER_COUNTRIES[0].0, "United States");
+        assert!(TOP_SELLER_COUNTRIES.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn seller_serde_roundtrip() {
+        let mut s = Seller::new(SellerId(3), "fastdeals");
+        s.country = Some("Turkey".into());
+        s.rating = 4.7;
+        let back: Seller = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,187 @@
+//! CAPTCHA challenge gates.
+//!
+//! Underground forums in the paper all ran "complex, site-specific,
+//! non-standard CAPTCHAs", which is why the authors collected those markets
+//! *manually*. We model a challenge that an automated client, by policy,
+//! never solves (the paper's ethics constraint: no CAPTCHA bypassing), while
+//! a [`crate::client::Client`] operating in *manual* mode simulates a human
+//! operator solving it after a realistic delay.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// Kinds of challenge observed across the simulated sites, in increasing
+/// order of human solve time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CaptchaKind {
+    /// Distorted-text image.
+    DistortedText,
+    /// Pick-the-images grid.
+    ImageGrid,
+    /// Site-specific puzzle (rotate the symbol, order the cards, ...) — the
+    /// "non-standard" class that defeats off-the-shelf solvers.
+    SitePuzzle,
+}
+
+impl CaptchaKind {
+    /// Mean human solve time, virtual microseconds.
+    pub fn mean_solve_us(self) -> u64 {
+        match self {
+            CaptchaKind::DistortedText => 8_000_000,
+            CaptchaKind::ImageGrid => 15_000_000,
+            CaptchaKind::SitePuzzle => 35_000_000,
+        }
+    }
+
+    /// Probability a human solves it on a given attempt.
+    pub fn human_success_rate(self) -> f64 {
+        match self {
+            CaptchaKind::DistortedText => 0.92,
+            CaptchaKind::ImageGrid => 0.85,
+            CaptchaKind::SitePuzzle => 0.70,
+        }
+    }
+}
+
+/// A challenge issued by a gate, referencing an opaque nonce the server
+/// validates on solve.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Challenge {
+    /// Kind.
+    pub kind: CaptchaKind,
+    /// Nonce.
+    pub nonce: u64,
+}
+
+/// Outcome of a simulated human attempt at a challenge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveAttempt {
+    /// Did the attempt succeed?
+    pub solved: bool,
+    /// Virtual time the attempt consumed.
+    pub elapsed_us: u64,
+}
+
+/// A server-side CAPTCHA gate: issues challenges and verifies solutions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CaptchaGate {
+    kind: CaptchaKind,
+    counter: u64,
+    secret: u64,
+}
+
+impl CaptchaGate {
+    /// Create a gate of the given kind; `secret` keys the nonce sequence.
+    pub fn new(kind: CaptchaKind, secret: u64) -> CaptchaGate {
+        CaptchaGate { kind, counter: 0, secret }
+    }
+
+    /// Kind of challenge this gate issues.
+    pub fn kind(&self) -> CaptchaKind {
+        self.kind
+    }
+
+    /// Issue a fresh challenge.
+    pub fn issue(&mut self) -> Challenge {
+        self.counter += 1;
+        Challenge {
+            kind: self.kind,
+            nonce: splitmix64(self.secret ^ self.counter),
+        }
+    }
+
+    /// Verify a solution token for a previously issued challenge.
+    pub fn verify(&self, challenge: &Challenge, token: u64) -> bool {
+        token == expected_token(challenge)
+    }
+}
+
+/// Simulate a human operator attempting `challenge`. Returns the attempt
+/// outcome and, on success, the valid token.
+pub fn human_attempt<R: Rng + ?Sized>(
+    challenge: &Challenge,
+    rng: &mut R,
+) -> (SolveAttempt, Option<u64>) {
+    let kind = challenge.kind;
+    // Solve time ~ uniform in [0.5, 1.5] x mean.
+    let mean = kind.mean_solve_us();
+    let elapsed_us = rng.random_range(mean / 2..mean + mean / 2);
+    let solved = rng.random_bool(kind.human_success_rate());
+    let token = solved.then(|| expected_token(challenge));
+    (SolveAttempt { solved, elapsed_us }, token)
+}
+
+fn expected_token(challenge: &Challenge) -> u64 {
+    splitmix64(challenge.nonce ^ 0xC0FF_EE00_D15E_A5ED)
+}
+
+/// SplitMix64 — a tiny, high-quality mixing function used for nonces and
+/// tokens. Not cryptographic; does not need to be (the adversary here is a
+/// unit test).
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn issued_challenges_are_unique() {
+        let mut gate = CaptchaGate::new(CaptchaKind::SitePuzzle, 42);
+        let a = gate.issue();
+        let b = gate.issue();
+        assert_ne!(a.nonce, b.nonce);
+    }
+
+    #[test]
+    fn correct_token_verifies_wrong_token_fails() {
+        let mut gate = CaptchaGate::new(CaptchaKind::ImageGrid, 7);
+        let ch = gate.issue();
+        let (_, token) = loop {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let out = human_attempt(&ch, &mut rng);
+            if out.1.is_some() {
+                break out;
+            }
+        };
+        assert!(gate.verify(&ch, token.unwrap()));
+        assert!(!gate.verify(&ch, token.unwrap() ^ 1));
+    }
+
+    #[test]
+    fn human_solve_rate_matches_kind() {
+        let mut gate = CaptchaGate::new(CaptchaKind::SitePuzzle, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let n = 5000;
+        let mut solved = 0;
+        for _ in 0..n {
+            let ch = gate.issue();
+            let (att, _) = human_attempt(&ch, &mut rng);
+            if att.solved {
+                solved += 1;
+            }
+        }
+        let rate = solved as f64 / n as f64;
+        assert!((rate - 0.70).abs() < 0.03, "rate={rate}");
+    }
+
+    #[test]
+    fn solve_time_scales_with_difficulty() {
+        assert!(
+            CaptchaKind::SitePuzzle.mean_solve_us() > CaptchaKind::DistortedText.mean_solve_us()
+        );
+    }
+
+    #[test]
+    fn splitmix_is_a_bijection_probe() {
+        // Distinct inputs must give distinct outputs over a small probe set.
+        let outs: std::collections::HashSet<u64> = (0..10_000u64).map(splitmix64).collect();
+        assert_eq!(outs.len(), 10_000);
+    }
+}

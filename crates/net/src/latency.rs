@@ -1,0 +1,147 @@
+//! Seeded latency models.
+//!
+//! Every request routed through the fabric charges virtual time according to
+//! the destination's latency model. Clearnet marketplaces get tens of
+//! milliseconds; platform APIs are faster; Tor circuits add hundreds of
+//! milliseconds per hop (see [`crate::tor`]).
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// A latency model sampled once per request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Constant latency.
+    /// Fixed.
+    Fixed {
+        /// Constant latency in microseconds.
+        us: u64,
+    },
+    /// Uniform between `lo_us` and `hi_us` (inclusive of lo, exclusive hi).
+    /// Uniform.
+    Uniform {
+        /// Inclusive lower bound in microseconds.
+        lo_us: u64,
+        /// Exclusive upper bound in microseconds.
+        hi_us: u64,
+    },
+    /// Long-tailed: base plus an exponential tail with the given mean.
+    /// Models congested overlay paths and flaky shared hosting.
+    /// Long tail.
+    LongTail {
+        /// Minimum latency in microseconds.
+        base_us: u64,
+        /// Mean of the exponential tail in microseconds.
+        tail_mean_us: u64,
+    },
+}
+
+impl LatencyModel {
+    /// A typical clearnet web-server profile (~30-80 ms).
+    pub fn clearnet() -> LatencyModel {
+        LatencyModel::Uniform { lo_us: 30_000, hi_us: 80_000 }
+    }
+
+    /// A typical well-provisioned API profile (~10-25 ms).
+    pub fn api() -> LatencyModel {
+        LatencyModel::Uniform { lo_us: 10_000, hi_us: 25_000 }
+    }
+
+    /// A Tor onion-service profile (~400 ms base with a heavy tail).
+    pub fn onion() -> LatencyModel {
+        LatencyModel::LongTail { base_us: 400_000, tail_mean_us: 350_000 }
+    }
+
+    /// Sample one request's latency in microseconds.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match *self {
+            LatencyModel::Fixed { us } => us,
+            LatencyModel::Uniform { lo_us, hi_us } => {
+                if hi_us <= lo_us {
+                    lo_us
+                } else {
+                    rng.random_range(lo_us..hi_us)
+                }
+            }
+            LatencyModel::LongTail { base_us, tail_mean_us } => {
+                // Inverse-CDF exponential sample; clamp u away from 0 so the
+                // tail stays finite.
+                let u: f64 = rng.random_range(1e-9..1.0f64);
+                let tail = (-u.ln()) * tail_mean_us as f64;
+                base_us + tail as u64
+            }
+        }
+    }
+
+    /// The model's mean latency in microseconds (exact, not sampled).
+    pub fn mean_us(&self) -> u64 {
+        match *self {
+            LatencyModel::Fixed { us } => us,
+            LatencyModel::Uniform { lo_us, hi_us } => (lo_us + hi_us) / 2,
+            LatencyModel::LongTail { base_us, tail_mean_us } => base_us + tail_mean_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn fixed_is_constant() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let m = LatencyModel::Fixed { us: 500 };
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), 500);
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let m = LatencyModel::Uniform { lo_us: 100, hi_us: 200 };
+        for _ in 0..1000 {
+            let s = m.sample(&mut rng);
+            assert!((100..200).contains(&s));
+        }
+    }
+
+    #[test]
+    fn uniform_degenerate_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let m = LatencyModel::Uniform { lo_us: 100, hi_us: 100 };
+        assert_eq!(m.sample(&mut rng), 100);
+    }
+
+    #[test]
+    fn long_tail_exceeds_base_and_averages_near_mean() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let m = LatencyModel::LongTail { base_us: 1000, tail_mean_us: 2000 };
+        let n = 20_000;
+        let mut total = 0u64;
+        for _ in 0..n {
+            let s = m.sample(&mut rng);
+            assert!(s >= 1000);
+            total += s;
+        }
+        let avg = total as f64 / n as f64;
+        let expect = m.mean_us() as f64;
+        assert!((avg - expect).abs() / expect < 0.1, "avg={avg} expect={expect}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_seed() {
+        let m = LatencyModel::clearnet();
+        let a: Vec<u64> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(9);
+            (0..32).map(|_| m.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(9);
+            (0..32).map(|_| m.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

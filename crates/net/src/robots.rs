@@ -1,0 +1,248 @@
+//! A `robots.txt` subset: user-agent groups, `Allow`/`Disallow` prefix
+//! rules, and `Crawl-delay`.
+//!
+//! The paper's crawler was "entirely passive and limited to publicly
+//! available data"; our crawler enforces the same constraint mechanically by
+//! checking every URL against the host's robots policy before fetching.
+
+use serde::{Deserialize, Serialize};
+
+/// One rule inside a user-agent group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+enum Rule {
+    Allow(String),
+    Disallow(String),
+}
+
+/// A group of rules applying to one `User-agent` pattern.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Group {
+    agent: String,
+    rules: Vec<Rule>,
+    crawl_delay_s: Option<f64>,
+}
+
+/// A parsed robots.txt policy.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RobotsPolicy {
+    groups: Vec<Group>,
+}
+
+impl RobotsPolicy {
+    /// The permissive default used by hosts that serve no robots.txt.
+    pub fn allow_all() -> RobotsPolicy {
+        RobotsPolicy::default()
+    }
+
+    /// A policy that disallows everything for every agent.
+    pub fn deny_all() -> RobotsPolicy {
+        RobotsPolicy::parse("User-agent: *\nDisallow: /\n")
+    }
+
+    /// Parse robots.txt text. Unknown directives and comments are skipped;
+    /// parsing never fails (malformed lines are ignored, as real crawlers
+    /// do).
+    pub fn parse(text: &str) -> RobotsPolicy {
+        let mut groups: Vec<Group> = Vec::new();
+        // Consecutive `User-agent` lines share the rule block that follows.
+        let mut pending_agents: Vec<String> = Vec::new();
+        let mut open: Vec<usize> = Vec::new(); // indices of groups receiving rules
+
+        for raw in text.lines() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = line.split_once(':') else {
+                continue;
+            };
+            let key = key.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            match key.as_str() {
+                "user-agent" => {
+                    pending_agents.push(value.to_ascii_lowercase());
+                }
+                "allow" | "disallow" | "crawl-delay" => {
+                    if !pending_agents.is_empty() {
+                        open.clear();
+                        for agent in pending_agents.drain(..) {
+                            groups.push(Group {
+                                agent,
+                                rules: Vec::new(),
+                                crawl_delay_s: None,
+                            });
+                            open.push(groups.len() - 1);
+                        }
+                    }
+                    if open.is_empty() {
+                        continue; // rules before any user-agent line: ignored
+                    }
+                    for &gi in &open {
+                        match key.as_str() {
+                            "allow" if !value.is_empty() => {
+                                groups[gi].rules.push(Rule::Allow(value.clone()));
+                            }
+                            "disallow" => {
+                                if value.is_empty() {
+                                    // "Disallow:" (empty) means allow all.
+                                } else {
+                                    groups[gi].rules.push(Rule::Disallow(value.clone()));
+                                }
+                            }
+                            "crawl-delay" => {
+                                groups[gi].crawl_delay_s = value.parse().ok();
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        RobotsPolicy { groups }
+    }
+
+    /// Find the most specific group matching `agent` (longest agent-token
+    /// match, with `*` as fallback).
+    fn group_for(&self, agent: &str) -> Option<&Group> {
+        let agent = agent.to_ascii_lowercase();
+        let mut best: Option<&Group> = None;
+        let mut best_len = 0usize;
+        for g in &self.groups {
+            if g.agent == "*" {
+                if best.is_none() {
+                    best = Some(g);
+                }
+            } else if agent.contains(&g.agent) && g.agent.len() >= best_len {
+                best_len = g.agent.len();
+                best = Some(g);
+            }
+        }
+        best
+    }
+
+    /// Is `path` fetchable by `agent`? Longest-prefix-match wins; ties go to
+    /// `Allow` (Google semantics).
+    pub fn is_allowed(&self, agent: &str, path: &str) -> bool {
+        let Some(group) = self.group_for(agent) else {
+            return true;
+        };
+        let mut verdict = true;
+        let mut match_len = 0usize;
+        for rule in &group.rules {
+            let (pat, allow) = match rule {
+                Rule::Allow(p) => (p, true),
+                Rule::Disallow(p) => (p, false),
+            };
+            if path.starts_with(pat.as_str()) {
+                let better = pat.len() > match_len || (pat.len() == match_len && allow);
+                if better {
+                    match_len = pat.len();
+                    verdict = allow;
+                }
+            }
+        }
+        verdict
+    }
+
+    /// Crawl delay for `agent` in virtual microseconds, if specified.
+    pub fn crawl_delay_us(&self, agent: &str) -> Option<u64> {
+        self.group_for(agent)
+            .and_then(|g| g.crawl_delay_s)
+            .map(|s| (s * 1_000_000.0) as u64)
+    }
+
+    /// Render the policy back to robots.txt text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for g in &self.groups {
+            out.push_str(&format!("User-agent: {}\n", g.agent));
+            for r in &g.rules {
+                match r {
+                    Rule::Allow(p) => out.push_str(&format!("Allow: {p}\n")),
+                    Rule::Disallow(p) => out.push_str(&format!("Disallow: {p}\n")),
+                }
+            }
+            if let Some(d) = g.crawl_delay_s {
+                out.push_str(&format!("Crawl-delay: {d}\n"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# marketplace robots
+User-agent: *
+Disallow: /admin/
+Disallow: /checkout
+Allow: /admin/public
+Crawl-delay: 2
+
+User-agent: acctrade-crawler
+Disallow: /private/
+";
+
+    #[test]
+    fn wildcard_group_applies() {
+        let p = RobotsPolicy::parse(SAMPLE);
+        assert!(!p.is_allowed("GenericBot/1.0", "/admin/panel"));
+        assert!(p.is_allowed("GenericBot/1.0", "/listings/ig"));
+        assert!(p.is_allowed("GenericBot/1.0", "/admin/public/page"));
+    }
+
+    #[test]
+    fn specific_group_overrides_wildcard() {
+        let p = RobotsPolicy::parse(SAMPLE);
+        // The named group has its own (different) rules.
+        assert!(!p.is_allowed("acctrade-crawler/0.1", "/private/x"));
+        assert!(p.is_allowed("acctrade-crawler/0.1", "/admin/panel"));
+    }
+
+    #[test]
+    fn crawl_delay_parsed() {
+        let p = RobotsPolicy::parse(SAMPLE);
+        assert_eq!(p.crawl_delay_us("GenericBot"), Some(2_000_000));
+        assert_eq!(p.crawl_delay_us("acctrade-crawler"), None);
+    }
+
+    #[test]
+    fn empty_policy_allows_everything() {
+        let p = RobotsPolicy::allow_all();
+        assert!(p.is_allowed("anything", "/anywhere"));
+    }
+
+    #[test]
+    fn deny_all_blocks_root() {
+        let p = RobotsPolicy::deny_all();
+        assert!(!p.is_allowed("bot", "/"));
+        assert!(!p.is_allowed("bot", "/x/y"));
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let p = RobotsPolicy::parse("User-agent: *\nDisallow: /a/\nAllow: /a/b/\n");
+        assert!(!p.is_allowed("bot", "/a/x"));
+        assert!(p.is_allowed("bot", "/a/b/x"));
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let p = RobotsPolicy::parse(SAMPLE);
+        let q = RobotsPolicy::parse(&p.render());
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn malformed_lines_are_ignored() {
+        let p = RobotsPolicy::parse("garbage\nUser-agent *\nDisallow: /x\n");
+        // "User-agent *" lacks a colon, so the Disallow has no group and is
+        // dropped; everything is allowed.
+        assert!(p.is_allowed("bot", "/x"));
+    }
+}

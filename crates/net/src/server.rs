@@ -1,0 +1,203 @@
+//! The service abstraction simulated sites implement, plus a path router.
+
+use crate::http::{Request, Response, Status};
+use crate::robots::RobotsPolicy;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Per-request context supplied by the fabric.
+#[derive(Debug, Clone)]
+pub struct RequestCtx {
+    /// Virtual time the request arrives at the server.
+    pub now_us: u64,
+    /// Requester identity as the server sees it: the client's session id on
+    /// the clearnet, the Tor exit nickname for onion requests.
+    pub peer: String,
+    /// Whether the request arrived over the Tor overlay.
+    pub via_tor: bool,
+}
+
+impl RequestCtx {
+    /// Context for direct (test) invocation of a service.
+    pub fn test() -> RequestCtx {
+        RequestCtx { now_us: 0, peer: "test".into(), via_tor: false }
+    }
+}
+
+/// A simulated site: one request in, one response out.
+///
+/// Services are registered on a [`crate::sim::SimNet`] under a hostname.
+/// They should be cheap to call and must be deterministic given the same
+/// request, context, and internal state.
+pub trait Service: Send + Sync {
+    /// Handle one request.
+    fn handle(&self, req: &Request, ctx: &RequestCtx) -> Response;
+
+    /// The site's robots policy; the default permits everything.
+    fn robots(&self) -> RobotsPolicy {
+        RobotsPolicy::allow_all()
+    }
+}
+
+/// Boxed handler stored by the router.
+type Handler = Box<dyn Fn(&Request, &RequestCtx) -> Response + Send + Sync>;
+
+/// A longest-prefix path router.
+///
+/// Routes are matched against the request path; the longest registered
+/// prefix wins, so `/offer/` beats `/`. A missing match falls through to a
+/// 404 (customizable via [`Router::fallback`]).
+pub struct Router {
+    routes: BTreeMap<String, Handler>,
+    fallback: Handler,
+    robots: RobotsPolicy,
+}
+
+impl Router {
+    /// An empty router whose fallback is a plain 404.
+    pub fn new() -> Router {
+        Router {
+            routes: BTreeMap::new(),
+            fallback: Box::new(|req, _| {
+                Response::not_found(&format!("no route for {}", req.url.path()))
+            }),
+            robots: RobotsPolicy::allow_all(),
+        }
+    }
+
+    /// Register a handler for a path prefix.
+    pub fn route<F>(mut self, prefix: &str, handler: F) -> Router
+    where
+        F: Fn(&Request, &RequestCtx) -> Response + Send + Sync + 'static,
+    {
+        self.routes.insert(prefix.to_string(), Box::new(handler));
+        self
+    }
+
+    /// Replace the 404 fallback.
+    pub fn fallback<F>(mut self, handler: F) -> Router
+    where
+        F: Fn(&Request, &RequestCtx) -> Response + Send + Sync + 'static,
+    {
+        self.fallback = Box::new(handler);
+        self
+    }
+
+    /// Attach a robots policy, served at `/robots.txt` and reported through
+    /// [`Service::robots`].
+    pub fn with_robots(mut self, robots: RobotsPolicy) -> Router {
+        self.robots = robots;
+        self
+    }
+
+    fn dispatch(&self, req: &Request, ctx: &RequestCtx) -> Response {
+        if req.url.path() == "/robots.txt" {
+            return Response::ok().with_text(self.robots.render());
+        }
+        let path = req.url.path();
+        let best = self
+            .routes
+            .iter()
+            .filter(|(prefix, _)| path.starts_with(prefix.as_str()))
+            .max_by_key(|(prefix, _)| prefix.len());
+        match best {
+            Some((_, h)) => h(req, ctx),
+            None => (self.fallback)(req, ctx),
+        }
+    }
+}
+
+impl Default for Router {
+    fn default() -> Self {
+        Router::new()
+    }
+}
+
+impl Service for Router {
+    fn handle(&self, req: &Request, ctx: &RequestCtx) -> Response {
+        self.dispatch(req, ctx)
+    }
+
+    fn robots(&self) -> RobotsPolicy {
+        self.robots.clone()
+    }
+}
+
+impl<S: Service + ?Sized> Service for Arc<S> {
+    fn handle(&self, req: &Request, ctx: &RequestCtx) -> Response {
+        (**self).handle(req, ctx)
+    }
+
+    fn robots(&self) -> RobotsPolicy {
+        (**self).robots()
+    }
+}
+
+/// A service answering every request with a fixed status — handy for tests
+/// and for modeling taken-down marketplaces (Table 9's inaccessible
+/// channels).
+pub struct FixedStatus(pub Status, pub &'static str);
+
+impl Service for FixedStatus {
+    fn handle(&self, _req: &Request, _ctx: &RequestCtx) -> Response {
+        Response::status(self.0).with_text(self.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::url::Url;
+
+    fn get(path: &str) -> Request {
+        Request::get(Url::http("t.com", path))
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let r = Router::new()
+            .route("/", |_, _| Response::ok().with_text("root"))
+            .route("/offer/", |_, _| Response::ok().with_text("offer"));
+        assert_eq!(r.handle(&get("/offer/12"), &RequestCtx::test()).text(), "offer");
+        assert_eq!(r.handle(&get("/listings"), &RequestCtx::test()).text(), "root");
+    }
+
+    #[test]
+    fn fallback_404_when_no_match() {
+        let r = Router::new().route("/a", |_, _| Response::ok());
+        let resp = r.handle(&get("/b"), &RequestCtx::test());
+        assert_eq!(resp.status, Status::NotFound);
+    }
+
+    #[test]
+    fn custom_fallback() {
+        let r = Router::new().fallback(|_, _| Response::status(Status::Gone).with_text("dead"));
+        assert_eq!(r.handle(&get("/x"), &RequestCtx::test()).status, Status::Gone);
+    }
+
+    #[test]
+    fn robots_served_and_reported() {
+        let policy = RobotsPolicy::parse("User-agent: *\nDisallow: /private/\n");
+        let r = Router::new().with_robots(policy.clone());
+        let resp = r.handle(&get("/robots.txt"), &RequestCtx::test());
+        assert!(resp.text().contains("Disallow: /private/"));
+        assert!(!r.robots().is_allowed("bot", "/private/x"));
+    }
+
+    #[test]
+    fn fixed_status_service() {
+        let s = FixedStatus(Status::ServiceUnavailable, "taken down");
+        let resp = s.handle(&get("/any"), &RequestCtx::test());
+        assert_eq!(resp.status, Status::ServiceUnavailable);
+        assert_eq!(resp.text(), "taken down");
+    }
+
+    #[test]
+    fn handler_sees_context() {
+        let r = Router::new().route("/", |_, ctx: &RequestCtx| {
+            Response::ok().with_text(format!("peer={} tor={}", ctx.peer, ctx.via_tor))
+        });
+        let ctx = RequestCtx { now_us: 5, peer: "exit7".into(), via_tor: true };
+        assert_eq!(r.handle(&get("/"), &ctx).text(), "peer=exit7 tor=true");
+    }
+}

@@ -1,0 +1,431 @@
+//! The network fabric: host registry, routing, latency accounting, fault
+//! injection, and a request log.
+
+use crate::clock::SimClock;
+use crate::error::{NetError, NetResult};
+use crate::http::{Request, Response, Status};
+use crate::latency::LatencyModel;
+use crate::ratelimit::TokenBucket;
+use crate::robots::RobotsPolicy;
+use crate::server::{RequestCtx, Service};
+use parking_lot::Mutex;
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Fault-injection plan applied to every request on the fabric.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Probability a request dies with a connection reset.
+    pub reset_prob: f64,
+    /// Probability a request stalls past the client deadline.
+    pub timeout_prob: f64,
+    /// Client deadline in virtual microseconds.
+    pub deadline_us: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan { reset_prob: 0.0, timeout_prob: 0.0, deadline_us: 30_000_000 }
+    }
+}
+
+/// One entry in the fabric's request log.
+#[derive(Debug, Clone)]
+pub struct LogEntry {
+    /// At us.
+    pub at_us: u64,
+    /// Host.
+    pub host: String,
+    /// Target.
+    pub target: String,
+    /// Method.
+    pub method: crate::http::Method,
+    /// Status.
+    pub status: Option<Status>,
+    /// Via tor.
+    pub via_tor: bool,
+    /// Latency us.
+    pub latency_us: u64,
+    /// Response bytes.
+    pub response_bytes: usize,
+}
+
+struct HostEntry {
+    service: Arc<dyn Service>,
+    latency: LatencyModel,
+    limiter: Option<Mutex<TokenBucket>>,
+}
+
+/// The simulated network every component of a study shares.
+///
+/// `SimNet` owns the virtual clock, the host registry, a seeded RNG for
+/// latency/fault sampling, and an append-only request log used by the
+/// analyses ("how many requests did the crawl issue", "how long did the
+/// underground collection take").
+pub struct SimNet {
+    clock: SimClock,
+    hosts: Mutex<HashMap<String, HostEntry>>,
+    rng: Mutex<ChaCha8Rng>,
+    log: Mutex<Vec<LogEntry>>,
+    faults: Mutex<FaultPlan>,
+}
+
+impl SimNet {
+    /// Create a fabric with its clock at the paper's collection start and
+    /// all randomness derived from `seed`.
+    pub fn new(seed: u64) -> Arc<SimNet> {
+        SimNet::with_clock(seed, SimClock::at_collection_start())
+    }
+
+    /// Create a fabric sharing an existing clock.
+    pub fn with_clock(seed: u64, clock: SimClock) -> Arc<SimNet> {
+        Arc::new(SimNet {
+            clock,
+            hosts: Mutex::new(HashMap::new()),
+            rng: Mutex::new(ChaCha8Rng::seed_from_u64(seed ^ 0x5EED_0000_0000_00F0)),
+            log: Mutex::new(Vec::new()),
+            faults: Mutex::new(FaultPlan::default()),
+        })
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Replace the fault plan.
+    pub fn set_faults(&self, plan: FaultPlan) {
+        *self.faults.lock() = plan;
+    }
+
+    /// Register a service under `host` with a latency profile inferred from
+    /// the host kind (onion vs clearnet).
+    pub fn register<S: Service + 'static>(&self, host: &str, service: S) {
+        let latency = if host.ends_with(".onion") {
+            LatencyModel::onion()
+        } else {
+            LatencyModel::clearnet()
+        };
+        self.register_with(host, service, latency, None);
+    }
+
+    /// Register a service with an explicit latency model and optional
+    /// server-side rate limit (requests/sec, burst).
+    pub fn register_with<S: Service + 'static>(
+        &self,
+        host: &str,
+        service: S,
+        latency: LatencyModel,
+        rate_limit: Option<(f64, f64)>,
+    ) {
+        let limiter = rate_limit
+            .map(|(rate, burst)| Mutex::new(TokenBucket::new(rate, burst, self.clock.now_us())));
+        self.hosts.lock().insert(
+            host.to_ascii_lowercase(),
+            HostEntry { service: Arc::new(service), latency, limiter },
+        );
+    }
+
+    /// Remove a host (marketplace takedowns mid-study).
+    pub fn deregister(&self, host: &str) -> bool {
+        self.hosts.lock().remove(&host.to_ascii_lowercase()).is_some()
+    }
+
+    /// Is `host` registered?
+    pub fn knows_host(&self, host: &str) -> bool {
+        self.hosts.lock().contains_key(&host.to_ascii_lowercase())
+    }
+
+    /// Registered hostnames, sorted.
+    pub fn hosts(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.hosts.lock().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// The robots policy of `host`, if the host exists.
+    pub fn robots_for(&self, host: &str) -> Option<RobotsPolicy> {
+        self.hosts
+            .lock()
+            .get(&host.to_ascii_lowercase())
+            .map(|e| e.service.robots())
+    }
+
+    /// Route one request through the fabric.
+    ///
+    /// `peer` is the identity the server will see; `via_tor` marks overlay
+    /// requests and `extra_latency_us` carries the circuit's overlay cost.
+    pub fn dispatch(
+        &self,
+        req: &Request,
+        peer: &str,
+        via_tor: bool,
+        extra_latency_us: u64,
+    ) -> NetResult<Response> {
+        let host = req.url.host().to_string();
+        if req.url.is_onion() && !via_tor {
+            return Err(NetError::TorRequired(host));
+        }
+
+        // Sample latency and faults first so the RNG stream does not depend
+        // on registry state.
+        let (latency_us, reset, timeout) = {
+            let hosts = self.hosts.lock();
+            let Some(entry) = hosts.get(&host) else {
+                self.push_log(req, &host, None, via_tor, 0);
+                return Err(NetError::HostUnreachable(host));
+            };
+            let mut rng = self.rng.lock();
+            let faults = *self.faults.lock();
+            let lat = entry.latency.sample(&mut *rng) + extra_latency_us;
+            let reset = faults.reset_prob > 0.0 && rng.random_bool(faults.reset_prob);
+            let timeout = faults.timeout_prob > 0.0 && rng.random_bool(faults.timeout_prob);
+            (lat, reset, timeout)
+        };
+
+        let deadline = self.faults.lock().deadline_us;
+        if timeout {
+            self.clock.advance(deadline);
+            self.push_log(req, &host, None, via_tor, deadline);
+            return Err(NetError::Timeout { host, after_us: deadline });
+        }
+        if reset {
+            // A reset burns roughly half the would-be latency.
+            self.clock.advance(latency_us / 2);
+            self.push_log(req, &host, None, via_tor, latency_us / 2);
+            return Err(NetError::ConnectionReset(host));
+        }
+
+        self.clock.advance(latency_us);
+        let now_us = self.clock.now_us();
+
+        // Server-side throttling.
+        let throttled = {
+            let hosts = self.hosts.lock();
+            let entry = hosts.get(&host).ok_or_else(|| NetError::HostUnreachable(host.clone()))?;
+            match &entry.limiter {
+                Some(bucket) => !bucket.lock().try_acquire(now_us),
+                None => false,
+            }
+        };
+        if throttled {
+            let retry_at = {
+                let hosts = self.hosts.lock();
+                let entry = hosts.get(&host).expect("host vanished mid-request");
+                entry
+                    .limiter
+                    .as_ref()
+                    .map(|b| b.lock().next_allowed_at(now_us))
+                    .unwrap_or(now_us)
+            };
+            let resp = Response::status(Status::TooManyRequests)
+                .with_header("retry-after-us", (retry_at.saturating_sub(now_us)).to_string());
+            self.push_log(req, &host, Some(resp.status), via_tor, latency_us);
+            return Ok(resp);
+        }
+
+        let service = {
+            let hosts = self.hosts.lock();
+            let entry = hosts.get(&host).ok_or_else(|| NetError::HostUnreachable(host.clone()))?;
+            Arc::clone(&entry.service)
+        };
+        let ctx = RequestCtx { now_us, peer: peer.to_string(), via_tor };
+        let resp = service.handle(req, &ctx);
+        self.push_log_sized(req, &host, Some(resp.status), via_tor, latency_us, resp.body.len());
+        Ok(resp)
+    }
+
+    fn push_log(
+        &self,
+        req: &Request,
+        host: &str,
+        status: Option<Status>,
+        via_tor: bool,
+        latency_us: u64,
+    ) {
+        self.push_log_sized(req, host, status, via_tor, latency_us, 0);
+    }
+
+    fn push_log_sized(
+        &self,
+        req: &Request,
+        host: &str,
+        status: Option<Status>,
+        via_tor: bool,
+        latency_us: u64,
+        response_bytes: usize,
+    ) {
+        self.log.lock().push(LogEntry {
+            at_us: self.clock.now_us(),
+            host: host.to_string(),
+            target: req.url.target(),
+            method: req.method,
+            status,
+            via_tor,
+            latency_us,
+            response_bytes,
+        });
+    }
+
+    /// Total response bytes served by `host` — the bandwidth ledger the
+    /// collection-cost analysis reads.
+    pub fn bytes_served_by(&self, host: &str) -> usize {
+        let host = host.to_ascii_lowercase();
+        self.log
+            .lock()
+            .iter()
+            .filter(|e| e.host == host)
+            .map(|e| e.response_bytes)
+            .sum()
+    }
+
+    /// Snapshot of the request log.
+    pub fn log_snapshot(&self) -> Vec<LogEntry> {
+        self.log.lock().clone()
+    }
+
+    /// Total requests routed (including failures).
+    pub fn request_count(&self) -> usize {
+        self.log.lock().len()
+    }
+
+    /// Requests routed to one host.
+    pub fn request_count_for(&self, host: &str) -> usize {
+        let host = host.to_ascii_lowercase();
+        self.log.lock().iter().filter(|e| e.host == host).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Method;
+    use crate::server::FixedStatus;
+    use crate::url::Url;
+
+    fn req(url: &str) -> Request {
+        Request::get(Url::parse(url).unwrap())
+    }
+
+    #[test]
+    fn routes_to_registered_host() {
+        let net = SimNet::new(1);
+        net.register("shop.com", FixedStatus(Status::Ok, "hi"));
+        let resp = net.dispatch(&req("http://shop.com/x"), "c1", false, 0).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+    }
+
+    #[test]
+    fn unknown_host_unreachable() {
+        let net = SimNet::new(1);
+        let err = net.dispatch(&req("http://nope.com/"), "c1", false, 0).unwrap_err();
+        assert_eq!(err, NetError::HostUnreachable("nope.com".into()));
+    }
+
+    #[test]
+    fn onion_requires_tor() {
+        let net = SimNet::new(1);
+        net.register("abc.onion", FixedStatus(Status::Ok, "market"));
+        let err = net.dispatch(&req("http://abc.onion/"), "c1", false, 0).unwrap_err();
+        assert!(matches!(err, NetError::TorRequired(_)));
+        let ok = net.dispatch(&req("http://abc.onion/"), "exit3", true, 150_000).unwrap();
+        assert_eq!(ok.status, Status::Ok);
+    }
+
+    #[test]
+    fn latency_advances_clock() {
+        let net = SimNet::new(2);
+        net.register_with(
+            "fast.com",
+            FixedStatus(Status::Ok, ""),
+            LatencyModel::Fixed { us: 1234 },
+            None,
+        );
+        let t0 = net.clock().now_us();
+        net.dispatch(&req("http://fast.com/"), "c", false, 0).unwrap();
+        assert_eq!(net.clock().now_us(), t0 + 1234);
+    }
+
+    #[test]
+    fn server_rate_limit_yields_429() {
+        let net = SimNet::new(3);
+        net.register_with(
+            "slow.com",
+            FixedStatus(Status::Ok, ""),
+            LatencyModel::Fixed { us: 1 },
+            Some((0.001, 1.0)), // effectively one request total
+        );
+        let a = net.dispatch(&req("http://slow.com/"), "c", false, 0).unwrap();
+        assert_eq!(a.status, Status::Ok);
+        let b = net.dispatch(&req("http://slow.com/"), "c", false, 0).unwrap();
+        assert_eq!(b.status, Status::TooManyRequests);
+        assert!(b.headers.get("retry-after-us").is_some());
+    }
+
+    #[test]
+    fn faults_reset_and_timeout() {
+        let net = SimNet::new(4);
+        net.register("flaky.com", FixedStatus(Status::Ok, ""));
+        net.set_faults(FaultPlan { reset_prob: 1.0, timeout_prob: 0.0, deadline_us: 100 });
+        assert!(matches!(
+            net.dispatch(&req("http://flaky.com/"), "c", false, 0),
+            Err(NetError::ConnectionReset(_))
+        ));
+        net.set_faults(FaultPlan { reset_prob: 0.0, timeout_prob: 1.0, deadline_us: 100 });
+        assert!(matches!(
+            net.dispatch(&req("http://flaky.com/"), "c", false, 0),
+            Err(NetError::Timeout { .. })
+        ));
+    }
+
+    #[test]
+    fn log_records_every_attempt() {
+        let net = SimNet::new(5);
+        net.register("a.com", FixedStatus(Status::Ok, ""));
+        net.dispatch(&req("http://a.com/1"), "c", false, 0).unwrap();
+        net.dispatch(&req("http://b.com/2"), "c", false, 0).unwrap_err();
+        let log = net.log_snapshot();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].host, "a.com");
+        assert_eq!(log[0].status, Some(Status::Ok));
+        assert_eq!(log[0].method, Method::Get);
+        assert_eq!(log[1].status, None);
+        assert_eq!(net.request_count_for("a.com"), 1);
+    }
+
+    #[test]
+    fn log_tracks_response_bytes() {
+        let net = SimNet::new(9);
+        net.register("big.com", FixedStatus(Status::Ok, "0123456789"));
+        net.dispatch(&req("http://big.com/a"), "c", false, 0).unwrap();
+        net.dispatch(&req("http://big.com/b"), "c", false, 0).unwrap();
+        assert_eq!(net.bytes_served_by("big.com"), 20);
+        assert_eq!(net.bytes_served_by("other.com"), 0);
+    }
+
+    #[test]
+    fn deregister_takes_host_down() {
+        let net = SimNet::new(6);
+        net.register("gone.com", FixedStatus(Status::Ok, ""));
+        assert!(net.knows_host("gone.com"));
+        assert!(net.deregister("gone.com"));
+        assert!(!net.knows_host("gone.com"));
+        assert!(net.dispatch(&req("http://gone.com/"), "c", false, 0).is_err());
+    }
+
+    #[test]
+    fn same_seed_same_latency_sequence() {
+        let run = |seed| {
+            let net = SimNet::new(seed);
+            net.register("x.com", FixedStatus(Status::Ok, ""));
+            for _ in 0..5 {
+                net.dispatch(&req("http://x.com/"), "c", false, 0).unwrap();
+            }
+            net.clock().now_us()
+        };
+        assert_eq!(run(77), run(77));
+        assert_ne!(run(77), run(78));
+    }
+}

@@ -1,0 +1,79 @@
+//! The fabric is shared state (`Arc<SimNet>` + interior mutability); the
+//! analyses assume its request log and clock stay consistent under
+//! concurrent clients. These tests drive it from crossbeam scoped threads.
+
+use acctrade_net::latency::LatencyModel;
+use acctrade_net::prelude::*;
+
+struct Echo;
+
+impl Service for Echo {
+    fn handle(&self, req: &Request, ctx: &RequestCtx) -> Response {
+        Response::ok().with_text(format!("{} from {}", req.url.path(), ctx.peer))
+    }
+}
+
+#[test]
+fn parallel_clients_share_one_fabric() {
+    let net = SimNet::new(99);
+    net.register_with("echo.com", Echo, LatencyModel::Fixed { us: 10 }, None);
+
+    const THREADS: usize = 8;
+    const REQUESTS: usize = 50;
+    crossbeam::scope(|scope| {
+        for t in 0..THREADS {
+            let net = std::sync::Arc::clone(&net);
+            scope.spawn(move |_| {
+                let client = Client::new(&net, &format!("client-{t}"));
+                for i in 0..REQUESTS {
+                    let resp = client.get(&format!("http://echo.com/{t}/{i}")).unwrap();
+                    assert_eq!(resp.status, Status::Ok);
+                }
+            });
+        }
+    })
+    .expect("no thread panicked");
+
+    // Every request was logged exactly once, and the clock advanced by
+    // exactly the total fixed latency.
+    assert_eq!(net.request_count(), THREADS * REQUESTS);
+    let expected_us = (THREADS * REQUESTS) as u64 * 10;
+    let elapsed = net.clock().now_us()
+        - acctrade_net::clock::COLLECTION_START_UNIX as u64 * 1_000_000;
+    assert_eq!(elapsed, expected_us);
+}
+
+#[test]
+fn server_rate_limit_is_consistent_under_contention() {
+    let net = SimNet::new(7);
+    // A bucket that only ever grants its initial burst (refill is
+    // negligible at fixed 0 latency).
+    net.register_with(
+        "limited.com",
+        Echo,
+        LatencyModel::Fixed { us: 0 },
+        Some((0.000_001, 10.0)),
+    );
+    let ok_count = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for t in 0..4 {
+            let net = std::sync::Arc::clone(&net);
+            let ok_count = &ok_count;
+            scope.spawn(move |_| {
+                let client = Client::new(&net, &format!("c{t}"));
+                for i in 0..20 {
+                    let resp = client.get(&format!("http://limited.com/{t}/{i}")).unwrap();
+                    if resp.status == Status::Ok {
+                        ok_count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    } else {
+                        assert_eq!(resp.status, Status::TooManyRequests);
+                    }
+                }
+            });
+        }
+    })
+    .expect("no thread panicked");
+    // The burst is 10 tokens: exactly 10 requests succeed, however the
+    // threads interleave.
+    assert_eq!(ok_count.into_inner(), 10);
+}

@@ -1,0 +1,221 @@
+//! Account profiles — the metadata the paper collects per visible account.
+
+use crate::platform::Platform;
+use serde::{Deserialize, Serialize};
+
+/// Platform-scoped numeric account id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AccountId(pub u64);
+
+impl std::fmt::Display for AccountId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// Account type — §5 "Account Types": standard, business, verified,
+/// private, protected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccountType {
+    /// Standard.
+    Standard,
+    /// Business.
+    Business,
+    /// Verified.
+    Verified,
+    /// Private.
+    Private,
+    /// Protected.
+    Protected,
+}
+
+impl AccountType {
+    /// Label as printed in §5.
+    pub fn label(self) -> &'static str {
+        match self {
+            AccountType::Standard => "standard",
+            AccountType::Business => "business",
+            AccountType::Verified => "verified",
+            AccountType::Private => "private",
+            AccountType::Protected => "protected",
+        }
+    }
+}
+
+/// Live status of an account on its platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccountStatus {
+    /// Account is live and publicly visible.
+    Active,
+    /// Banned by the platform for policy violations (X reports
+    /// `Forbidden`).
+    Banned,
+    /// Deleted by its owner or renamed — the API reports the platform's
+    /// "not found" phrase.
+    Deleted,
+}
+
+impl AccountStatus {
+    /// Did the platform or the owner take the account offline?
+    pub fn is_inactive(self) -> bool {
+        !matches!(self, AccountStatus::Active)
+    }
+}
+
+/// Why an account was created / how it behaves — the ground-truth trait the
+/// workload generator sets and the moderation engine (imperfectly) infers.
+/// Never exposed through the public API; the measurement pipeline must
+/// rediscover it, as the paper's authors did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccountDisposition {
+    /// A genuine account organically grown (some sellers sell their real
+    /// accounts).
+    Organic,
+    /// Bulk-registered and engagement-farmed for sale ("fresh and ready").
+    Farmed,
+    /// Aged account harvested/compromised and resold.
+    Harvested,
+    /// Actively posting scam content (one of the six §6 categories).
+    ScamOperator,
+}
+
+/// Full profile metadata for one account.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccountProfile {
+    /// Id.
+    pub id: AccountId,
+    /// Platform.
+    pub platform: Platform,
+    /// Public handle (`@name` on X, channel handle on YouTube, ...).
+    pub handle: String,
+    /// Display name.
+    pub name: String,
+    /// Bio / description shown on the profile.
+    pub description: String,
+    /// Optional free-text location (§5: 3,236 profiles listed one).
+    pub location: Option<String>,
+    /// Platform-affiliated category tag (§5: 288 distinct categories).
+    pub category: Option<String>,
+    /// Contact attributes visible on business profiles — the clustering
+    /// keys of Table 7.
+    pub email: Option<String>,
+    /// Phone.
+    pub phone: Option<String>,
+    /// Website.
+    pub website: Option<String>,
+    /// Unix seconds of account creation.
+    pub created_unix: i64,
+    /// Account type.
+    pub account_type: AccountType,
+    /// Followers.
+    pub followers: u64,
+    /// Following.
+    pub following: u64,
+    /// Post count.
+    pub post_count: u64,
+    /// Status.
+    pub status: AccountStatus,
+    /// Ground truth, not exposed over the API.
+    pub disposition: AccountDisposition,
+}
+
+impl AccountProfile {
+    /// A minimal active standard profile; generators fill in the rest.
+    pub fn new(id: AccountId, platform: Platform, handle: impl Into<String>) -> AccountProfile {
+        AccountProfile {
+            id,
+            platform,
+            handle: handle.into(),
+            name: String::new(),
+            description: String::new(),
+            location: None,
+            category: None,
+            email: None,
+            phone: None,
+            website: None,
+            created_unix: 0,
+            account_type: AccountType::Standard,
+            followers: 0,
+            following: 0,
+            post_count: 0,
+            status: AccountStatus::Active,
+            disposition: AccountDisposition::Organic,
+        }
+    }
+
+    /// Public profile URL on the platform's web host.
+    pub fn profile_url(&self) -> String {
+        format!("http://{}/{}", self.platform.web_host(), self.handle)
+    }
+
+    /// Account age in whole days at `now_unix` (0 if created in the
+    /// future).
+    pub fn age_days(&self, now_unix: i64) -> u64 {
+        ((now_unix - self.created_unix).max(0) / 86_400) as u64
+    }
+
+    /// Account age in (fractional) years at `now_unix`.
+    pub fn age_years(&self, now_unix: i64) -> f64 {
+        (now_unix - self.created_unix).max(0) as f64 / (365.25 * 86_400.0)
+    }
+
+    /// Is the profile browsable by the public (active and not
+    /// private/protected)?
+    pub fn is_publicly_visible(&self) -> bool {
+        self.status == AccountStatus::Active
+            && !matches!(self.account_type, AccountType::Private | AccountType::Protected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AccountProfile {
+        let mut p = AccountProfile::new(AccountId(7), Platform::Instagram, "fashion.daily");
+        p.created_unix = acctrade_net::clock::unix_from_ymd(2021, 6, 15);
+        p
+    }
+
+    #[test]
+    fn profile_url_uses_platform_host() {
+        let p = sample();
+        assert_eq!(p.profile_url(), "http://instagram.example/fashion.daily");
+    }
+
+    #[test]
+    fn age_computation() {
+        let p = sample();
+        let now = acctrade_net::clock::unix_from_ymd(2024, 6, 15);
+        assert!((p.age_years(now) - 3.0).abs() < 0.01);
+        assert_eq!(p.age_days(p.created_unix), 0);
+        // Creation in the future clamps to zero.
+        assert_eq!(p.age_days(p.created_unix - 1000), 0);
+    }
+
+    #[test]
+    fn visibility_rules() {
+        let mut p = sample();
+        assert!(p.is_publicly_visible());
+        p.account_type = AccountType::Private;
+        assert!(!p.is_publicly_visible());
+        p.account_type = AccountType::Standard;
+        p.status = AccountStatus::Banned;
+        assert!(!p.is_publicly_visible());
+    }
+
+    #[test]
+    fn status_inactive() {
+        assert!(!AccountStatus::Active.is_inactive());
+        assert!(AccountStatus::Banned.is_inactive());
+        assert!(AccountStatus::Deleted.is_inactive());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = sample();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: AccountProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

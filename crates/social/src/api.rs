@@ -1,0 +1,357 @@
+//! The JSON API service of one platform.
+//!
+//! The paper collected profile metadata and posts "utilizing the
+//! respective API services of the social media platforms". This module is
+//! that surface: a [`Service`] with profile-lookup and timeline endpoints,
+//! speaking each platform's error vocabulary:
+//!
+//! * `GET /users/lookup?handle=NAME` — profile JSON, or the platform's
+//!   banned/missing response;
+//! * `GET /users/by_id?id=N` — same by numeric id;
+//! * `GET /timeline?handle=NAME&limit=K` — recent posts JSON.
+//!
+//! On X a banned account answers `403 Forbidden`; a deleted/renamed one
+//! answers `404 Not Found`. Instagram answers `404 Page Not Found`; TikTok,
+//! YouTube, and Facebook answer with their "does not exist" phrasing —
+//! exactly the signals the paper's §8 efficacy analysis decodes.
+
+use crate::account::{AccountProfile, AccountStatus, AccountType};
+use crate::platform::Platform;
+use crate::post::Post;
+use crate::store::PlatformStore;
+use acctrade_net::http::{Request, Response, Status};
+use acctrade_net::server::{RequestCtx, Service};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Public profile fields served over the API. Ground truth (disposition)
+/// and moderation state are intentionally absent: the measurement pipeline
+/// must infer them, as the paper's authors did.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApiProfile {
+    /// User id.
+    pub user_id: u64,
+    /// Handle.
+    pub handle: String,
+    /// Name.
+    pub name: String,
+    /// Description.
+    pub description: String,
+    /// Location.
+    pub location: Option<String>,
+    /// Category.
+    pub category: Option<String>,
+    /// Email.
+    pub email: Option<String>,
+    /// Phone.
+    pub phone: Option<String>,
+    /// Website.
+    pub website: Option<String>,
+    /// Created unix.
+    pub created_unix: i64,
+    /// Account type.
+    pub account_type: String,
+    /// Followers.
+    pub followers: u64,
+    /// Following.
+    pub following: u64,
+    /// Post count.
+    pub post_count: u64,
+    /// Platform.
+    pub platform: String,
+}
+
+impl ApiProfile {
+    /// Project the public view of a profile.
+    pub fn from_profile(p: &AccountProfile) -> ApiProfile {
+        ApiProfile {
+            user_id: p.id.0,
+            handle: p.handle.clone(),
+            name: p.name.clone(),
+            description: p.description.clone(),
+            location: p.location.clone(),
+            category: p.category.clone(),
+            email: p.email.clone(),
+            phone: p.phone.clone(),
+            website: p.website.clone(),
+            created_unix: p.created_unix,
+            account_type: p.account_type.label().to_string(),
+            followers: p.followers,
+            following: p.following,
+            post_count: p.post_count,
+            platform: p.platform.name().to_string(),
+        }
+    }
+
+    /// Parse the account type label back.
+    pub fn parsed_account_type(&self) -> Option<AccountType> {
+        Some(match self.account_type.as_str() {
+            "standard" => AccountType::Standard,
+            "business" => AccountType::Business,
+            "verified" => AccountType::Verified,
+            "private" => AccountType::Private,
+            "protected" => AccountType::Protected,
+            _ => return None,
+        })
+    }
+}
+
+/// Public post fields served over the API.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApiPost {
+    /// Post id.
+    pub post_id: u64,
+    /// Author id.
+    pub author_id: u64,
+    /// Text.
+    pub text: String,
+    /// Created unix.
+    pub created_unix: i64,
+    /// Likes.
+    pub likes: u64,
+    /// Views.
+    pub views: u64,
+    /// Replies.
+    pub replies: u64,
+    /// Shares.
+    pub shares: u64,
+}
+
+impl ApiPost {
+    /// Project the public view of a post.
+    pub fn from_post(p: &Post) -> ApiPost {
+        ApiPost {
+            post_id: p.id.0,
+            author_id: p.author.0,
+            text: p.text.clone(),
+            created_unix: p.created_unix,
+            likes: p.likes,
+            views: p.views,
+            replies: p.replies,
+            shares: p.shares,
+        }
+    }
+}
+
+/// The API service; register it on the fabric under
+/// [`Platform::api_host`].
+pub struct PlatformApi {
+    store: Arc<RwLock<PlatformStore>>,
+}
+
+impl PlatformApi {
+    /// Wrap a shared store.
+    pub fn new(store: Arc<RwLock<PlatformStore>>) -> PlatformApi {
+        PlatformApi { store }
+    }
+
+    /// The shared store handle.
+    pub fn store(&self) -> Arc<RwLock<PlatformStore>> {
+        Arc::clone(&self.store)
+    }
+
+    fn platform(&self) -> Platform {
+        self.store.read().platform()
+    }
+
+    /// The status/body pair for an account that cannot be served.
+    fn unavailable_response(&self, status: AccountStatus) -> Response {
+        let platform = self.platform();
+        match (platform, status) {
+            (Platform::X, AccountStatus::Banned) => {
+                Response::status(Status::Forbidden).with_text(platform.banned_account_phrase())
+            }
+            // Every other unavailable combination surfaces as the
+            // platform's "not found" phrasing, matching §8's observations.
+            _ => Response::not_found(platform.missing_account_phrase()),
+        }
+    }
+
+    fn lookup(&self, req: &Request) -> Response {
+        let store = self.store.read();
+        let profile = match (req.url.query_param("handle"), req.url.query_param("id")) {
+            (Some(h), _) => store.account_by_handle(&h).cloned(),
+            (None, Some(id)) => id
+                .parse::<u64>()
+                .ok()
+                .and_then(|n| store.account(crate::account::AccountId(n)).cloned()),
+            (None, None) => {
+                return Response::status(Status::BadRequest).with_text("handle or id required")
+            }
+        };
+        drop(store);
+        let Some(profile) = profile else {
+            return Response::not_found(self.platform().missing_account_phrase());
+        };
+        if profile.status != AccountStatus::Active {
+            return self.unavailable_response(profile.status);
+        }
+        let body = serde_json::to_string(&ApiProfile::from_profile(&profile))
+            .expect("profile serializes");
+        Response::ok().with_json(body)
+    }
+
+    fn timeline(&self, req: &Request) -> Response {
+        let Some(handle) = req.url.query_param("handle") else {
+            return Response::status(Status::BadRequest).with_text("handle required");
+        };
+        let limit: usize = req
+            .url
+            .query_param("limit")
+            .and_then(|l| l.parse().ok())
+            .unwrap_or(100);
+        let store = self.store.read();
+        let Some(profile) = store.account_by_handle(&handle) else {
+            return Response::not_found(self.platform().missing_account_phrase());
+        };
+        if profile.status != AccountStatus::Active {
+            let status = profile.status;
+            drop(store);
+            return self.unavailable_response(status);
+        }
+        if matches!(profile.account_type, AccountType::Private | AccountType::Protected) {
+            // Restricted accounts expose metadata but not content (§5's
+            // private/protected modes).
+            return Response::ok().with_json("[]");
+        }
+        let posts: Vec<ApiPost> = store
+            .timeline(profile.id)
+            .into_iter()
+            .take(limit)
+            .map(ApiPost::from_post)
+            .collect();
+        let body = serde_json::to_string(&posts).expect("posts serialize");
+        Response::ok().with_json(body)
+    }
+}
+
+impl Service for PlatformApi {
+    fn handle(&self, req: &Request, _ctx: &RequestCtx) -> Response {
+        match req.url.path() {
+            "/users/lookup" | "/users/by_id" => self.lookup(req),
+            "/timeline" => self.timeline(req),
+            _ => Response::not_found("unknown endpoint"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::account::AccountId;
+    use acctrade_net::prelude::*;
+
+    fn setup(platform: Platform) -> (Arc<RwLock<PlatformStore>>, Arc<SimNet>, Client) {
+        let store = Arc::new(RwLock::new(PlatformStore::new(platform)));
+        let net = SimNet::new(5);
+        net.register(platform.api_host(), PlatformApi::new(Arc::clone(&store)));
+        let client = Client::new(&net, "acctrade-pipeline/0.1");
+        (store, net, client)
+    }
+
+    fn add_account(store: &Arc<RwLock<PlatformStore>>, handle: &str) -> AccountId {
+        let mut s = store.write();
+        let id = s.next_account_id();
+        let platform = s.platform();
+        let mut p = AccountProfile::new(id, platform, handle);
+        p.name = "Daily Memes".into();
+        p.followers = 26_998;
+        s.insert_account(p);
+        id
+    }
+
+    #[test]
+    fn lookup_returns_profile_json() {
+        let (store, _net, client) = setup(Platform::Instagram);
+        add_account(&store, "memes.daily");
+        let resp = client
+            .get("http://api.instagram.example/users/lookup?handle=memes.daily")
+            .unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        let p: ApiProfile = serde_json::from_str(&resp.text()).unwrap();
+        assert_eq!(p.handle, "memes.daily");
+        assert_eq!(p.followers, 26_998);
+        assert_eq!(p.platform, "Instagram");
+        assert_eq!(p.parsed_account_type(), Some(AccountType::Standard));
+    }
+
+    #[test]
+    fn missing_account_uses_platform_phrase() {
+        let (_store, _net, client) = setup(Platform::Instagram);
+        let resp = client
+            .get("http://api.instagram.example/users/lookup?handle=ghost")
+            .unwrap();
+        assert_eq!(resp.status, Status::NotFound);
+        assert_eq!(resp.text(), "Page Not Found");
+    }
+
+    #[test]
+    fn banned_on_x_is_forbidden_elsewhere_not_found() {
+        let (store_x, _n1, client_x) = setup(Platform::X);
+        let id = add_account(&store_x, "scam_calls");
+        store_x.write().set_status(id, AccountStatus::Banned);
+        let resp = client_x.get("http://api.x.example/users/lookup?handle=scam_calls").unwrap();
+        assert_eq!(resp.status, Status::Forbidden);
+        assert_eq!(resp.text(), "Forbidden");
+
+        let (store_tt, _n2, client_tt) = setup(Platform::TikTok);
+        let id = add_account(&store_tt, "scam_dance");
+        store_tt.write().set_status(id, AccountStatus::Banned);
+        let resp = client_tt
+            .get("http://api.tiktok.example/users/lookup?handle=scam_dance")
+            .unwrap();
+        assert_eq!(resp.status, Status::NotFound);
+        assert_eq!(resp.text(), "Profile does not exist");
+    }
+
+    #[test]
+    fn deleted_account_not_found_even_on_x() {
+        let (store, _net, client) = setup(Platform::X);
+        let id = add_account(&store, "went_dark");
+        store.write().set_status(id, AccountStatus::Deleted);
+        let resp = client.get("http://api.x.example/users/lookup?handle=went_dark").unwrap();
+        assert_eq!(resp.status, Status::NotFound);
+        assert_eq!(resp.text(), "Not Found");
+    }
+
+    #[test]
+    fn timeline_respects_limit_and_order() {
+        let (store, _net, client) = setup(Platform::YouTube);
+        let id = add_account(&store, "channel1");
+        {
+            let mut s = store.write();
+            for i in 0..5i64 {
+                let pid = s.next_post_id();
+                s.add_post(Post::new(pid, Platform::YouTube, id, format!("video {i}"), i * 100));
+            }
+        }
+        let resp = client
+            .get("http://api.youtube.example/timeline?handle=channel1&limit=3")
+            .unwrap();
+        let posts: Vec<ApiPost> = serde_json::from_str(&resp.text()).unwrap();
+        assert_eq!(posts.len(), 3);
+        assert!(posts[0].created_unix > posts[1].created_unix);
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        let (store, _net, client) = setup(Platform::Facebook);
+        let id = add_account(&store, "pagex");
+        let resp = client
+            .get(&format!("http://api.facebook.example/users/by_id?id={}", id.0))
+            .unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        let resp = client.get("http://api.facebook.example/users/by_id?id=424242").unwrap();
+        assert_eq!(resp.status, Status::NotFound);
+    }
+
+    #[test]
+    fn bad_requests_rejected() {
+        let (_store, _net, client) = setup(Platform::X);
+        let resp = client.get("http://api.x.example/users/lookup").unwrap();
+        assert_eq!(resp.status, Status::BadRequest);
+        let resp = client.get("http://api.x.example/nope").unwrap();
+        assert_eq!(resp.status, Status::NotFound);
+    }
+}

@@ -1,0 +1,314 @@
+//! §9's proposed platform-side indicators, implemented so they can be
+//! evaluated — the paper recommends them but could not test them.
+//!
+//! * **Referral monitoring** — "monitoring referral headers that are
+//!   directed from marketplaces that buy and sell social media profiles":
+//!   [`ReferralMonitor`] wraps a platform's public web host and records
+//!   every profile visit whose `Referer` points at a known marketplace.
+//! * **Behavioral monitoring** — "rapid follower growth ... that may
+//!   indicate a likelihood of engagement or account farming":
+//!   [`RapidGrowthDetector`] scores follower trajectories by their
+//!   maximum single-day relative growth.
+
+use crate::account::AccountDisposition;
+use crate::engagement::{GrowthModel, Trajectory};
+use acctrade_net::http::{Request, Response};
+use acctrade_net::server::{RequestCtx, Service};
+use acctrade_net::url::Url;
+use parking_lot::Mutex;
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+
+// ---------------------------------------------------------------------------
+// Referral monitoring
+// ---------------------------------------------------------------------------
+
+/// A platform's public profile host instrumented with §9's referral
+/// monitor. Serves minimal profile pages; records `(handle, referer
+/// host)` whenever the referer belongs to the marketplace watchlist.
+pub struct ReferralMonitor {
+    watchlist: HashSet<String>,
+    flagged: Mutex<HashMap<String, Vec<String>>>,
+    visits: Mutex<u64>,
+}
+
+impl ReferralMonitor {
+    /// Create a monitor with a marketplace-host watchlist.
+    pub fn new<I: IntoIterator<Item = String>>(watchlist: I) -> ReferralMonitor {
+        ReferralMonitor {
+            watchlist: watchlist.into_iter().collect(),
+            flagged: Mutex::new(HashMap::new()),
+            visits: Mutex::new(0),
+        }
+    }
+
+    /// Handles flagged so far, with the marketplace hosts that referred
+    /// traffic to them.
+    pub fn flagged(&self) -> HashMap<String, Vec<String>> {
+        self.flagged.lock().clone()
+    }
+
+    /// Distinct flagged handles.
+    pub fn flagged_count(&self) -> usize {
+        self.flagged.lock().len()
+    }
+
+    /// Total profile visits observed (flagged or not).
+    pub fn visit_count(&self) -> u64 {
+        *self.visits.lock()
+    }
+}
+
+impl Service for ReferralMonitor {
+    fn handle(&self, req: &Request, _ctx: &RequestCtx) -> Response {
+        *self.visits.lock() += 1;
+        let handle = req.url.path().trim_start_matches('/').to_string();
+        if handle.is_empty() {
+            return Response::not_found("no such profile");
+        }
+        if let Some(referer) = req.headers.get("referer") {
+            if let Ok(url) = Url::parse(referer) {
+                if self.watchlist.contains(url.host()) {
+                    self.flagged
+                        .lock()
+                        .entry(handle.clone())
+                        .or_default()
+                        .push(url.host().to_string());
+                }
+            }
+        }
+        Response::ok().with_html(format!(
+            "<html><body><h1 class=\"profile\">@{handle}</h1></body></html>"
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rapid-growth detection
+// ---------------------------------------------------------------------------
+
+/// Simulate the follower trajectory a platform's telemetry would hold for
+/// an account of the given disposition (the behavioural ground truth the
+/// §9 recommendation assumes platforms can see).
+pub fn telemetry_trajectory<R: Rng + ?Sized>(
+    disposition: AccountDisposition,
+    current_followers: u64,
+    days: u32,
+    rng: &mut R,
+) -> Trajectory {
+    let start = (current_followers / 4).max(10);
+    let model = match disposition {
+        AccountDisposition::Organic => GrowthModel::Organic { daily_rate: 0.004 },
+        // Harvested accounts grew organically under their original owner.
+        AccountDisposition::Harvested => GrowthModel::Organic { daily_rate: 0.006 },
+        AccountDisposition::Farmed => GrowthModel::Farmed {
+            daily_rate: 0.002,
+            burst_prob: 0.04,
+            burst_size: (current_followers / 6).max(500),
+        },
+        AccountDisposition::ScamOperator => GrowthModel::Farmed {
+            daily_rate: 0.003,
+            burst_prob: 0.07,
+            burst_size: (current_followers / 4).max(800),
+        },
+    };
+    let mut trajectory = model.simulate(start, days, rng);
+    // Organic accounts occasionally go viral — a one-day spike that looks
+    // exactly like a follower purchase. This is what makes the indicator a
+    // real precision/recall tradeoff instead of a clean separator.
+    use rand::RngExt as _;
+    if matches!(
+        disposition,
+        AccountDisposition::Organic | AccountDisposition::Harvested
+    ) && days > 0
+        && rng.random_bool(0.08)
+    {
+        let day = rng.random_range(1..=days as usize);
+        let boost = rng.random_range(1.25..1.9);
+        for point in trajectory.iter_mut().skip(day) {
+            point.1 = (point.1 as f64 * boost) as u64;
+        }
+    }
+    trajectory
+}
+
+/// The rapid-follower-growth detector: flag accounts whose maximum
+/// single-day relative growth exceeds `ratio_threshold`.
+#[derive(Debug, Clone, Copy)]
+pub struct RapidGrowthDetector {
+    /// Ratio threshold.
+    pub ratio_threshold: f64,
+}
+
+impl RapidGrowthDetector {
+    /// A detector at the given threshold (e.g. 0.2 = +20% in one day).
+    pub fn new(ratio_threshold: f64) -> RapidGrowthDetector {
+        RapidGrowthDetector { ratio_threshold }
+    }
+
+    /// Score a trajectory (higher = more suspicious).
+    pub fn score(&self, trajectory: &Trajectory) -> f64 {
+        GrowthModel::max_daily_growth_ratio(trajectory)
+    }
+
+    /// Would the detector flag this trajectory?
+    pub fn flags(&self, trajectory: &Trajectory) -> bool {
+        self.score(trajectory) > self.ratio_threshold
+    }
+}
+
+/// Confusion-matrix metrics for a binary detector.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectorMetrics {
+    /// True positives.
+    pub true_positives: usize,
+    /// False positives.
+    pub false_positives: usize,
+    /// False negatives.
+    pub false_negatives: usize,
+    /// True negatives.
+    pub true_negatives: usize,
+}
+
+impl DetectorMetrics {
+    /// Record one prediction.
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.true_positives += 1,
+            (true, false) => self.false_positives += 1,
+            (false, true) => self.false_negatives += 1,
+            (false, false) => self.true_negatives += 1,
+        }
+    }
+
+    /// Precision (1.0 when nothing was flagged).
+    pub fn precision(&self) -> f64 {
+        let flagged = self.true_positives + self.false_positives;
+        if flagged == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / flagged as f64
+        }
+    }
+
+    /// Recall (1.0 when there were no positives to find).
+    pub fn recall(&self) -> f64 {
+        let actual = self.true_positives + self.false_negatives;
+        if actual == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / actual as f64
+        }
+    }
+
+    /// F1 score.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Total predictions recorded.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.false_positives + self.false_negatives + self.true_negatives
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acctrade_net::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn referral_monitor_flags_marketplace_referers_only() {
+        let net = SimNet::new(1);
+        net.register(
+            "instagram.example",
+            ReferralMonitor::new(vec!["accsmarket.com".to_string()]),
+        );
+        let client = Client::new(&net, "buyer-browser");
+
+        // Marketplace-referred visit: flagged.
+        let req = Request::get(Url::parse("http://instagram.example/fashion.daily").unwrap())
+            .with_header("referer", "http://accsmarket.com/offer/12");
+        client.execute(req).unwrap();
+        // Organic visit: not flagged.
+        client.get("http://instagram.example/other.profile").unwrap();
+        // Non-watchlist referer: not flagged.
+        let req = Request::get(Url::parse("http://instagram.example/third.profile").unwrap())
+            .with_header("referer", "http://blog.example/post");
+        client.execute(req).unwrap();
+
+        // Re-read the monitor through a fresh registration reference is
+        // not possible; use a second monitor instance to verify behaviour
+        // directly instead.
+        let monitor = ReferralMonitor::new(vec!["accsmarket.com".to_string()]);
+        let ctx = acctrade_net::server::RequestCtx::test();
+        let req = Request::get(Url::parse("http://x/handle1").unwrap())
+            .with_header("referer", "http://accsmarket.com/offer/1");
+        monitor.handle(&req, &ctx);
+        let req = Request::get(Url::parse("http://x/handle2").unwrap());
+        monitor.handle(&req, &ctx);
+        assert_eq!(monitor.flagged_count(), 1);
+        assert_eq!(monitor.visit_count(), 2);
+        assert!(monitor.flagged().contains_key("handle1"));
+    }
+
+    #[test]
+    fn farmed_accounts_score_higher_than_organic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let detector = RapidGrowthDetector::new(0.2);
+        let mut organic_flagged = 0;
+        let mut farmed_flagged = 0;
+        let n = 200;
+        for _ in 0..n {
+            let organic =
+                telemetry_trajectory(AccountDisposition::Organic, 20_000, 180, &mut rng);
+            let farmed = telemetry_trajectory(AccountDisposition::Farmed, 20_000, 180, &mut rng);
+            if detector.flags(&organic) {
+                organic_flagged += 1;
+            }
+            if detector.flags(&farmed) {
+                farmed_flagged += 1;
+            }
+        }
+        assert!(farmed_flagged > n * 8 / 10, "farmed flagged {farmed_flagged}/{n}");
+        assert!(organic_flagged < n * 15 / 100, "organic flagged {organic_flagged}/{n}");
+    }
+
+    #[test]
+    fn metrics_math() {
+        let mut m = DetectorMetrics::default();
+        m.record(true, true);
+        m.record(true, true);
+        m.record(true, false);
+        m.record(false, true);
+        m.record(false, false);
+        assert_eq!(m.total(), 5);
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_degenerate_cases() {
+        let m = DetectorMetrics::default();
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+    }
+
+    #[test]
+    fn monitor_404s_on_root() {
+        let monitor = ReferralMonitor::new(std::iter::empty());
+        let ctx = acctrade_net::server::RequestCtx::test();
+        let resp = monitor.handle(&Request::get(Url::parse("http://x/").unwrap()), &ctx);
+        assert_eq!(resp.status, Status::NotFound);
+    }
+}

@@ -1,0 +1,174 @@
+//! Follower-growth and engagement models.
+//!
+//! §5 of the paper observes that advertised accounts "are often highly
+//! engaged and likely employ engagement farming techniques". We model three
+//! growth regimes the moderation engine can (noisily) distinguish:
+//!
+//! * **organic** — slow compounding growth with daily noise;
+//! * **farmed** — bursts of purchased followers at irregular intervals
+//!   (the "rapid follower growth" signal §9 recommends monitoring);
+//! * **purchased-audience** — one large jump when an audience is bolted
+//!   onto a fresh account.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// A follower-count trajectory: `(day, followers)` samples.
+pub type Trajectory = Vec<(u32, u64)>;
+
+/// Growth regime of an account.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GrowthModel {
+    /// Daily growth ~ `rate` fraction of current size plus noise.
+    /// Organic.
+    Organic {
+        /// Expected daily growth as a fraction of current followers.
+        daily_rate: f64,
+    },
+    /// Organic base plus bursts of `burst_size` followers with probability
+    /// `burst_prob` per day.
+    /// Farmed.
+    Farmed {
+        /// Organic base growth rate.
+        daily_rate: f64,
+        /// Per-day probability of a purchased-follower burst.
+        burst_prob: f64,
+        /// Followers added per burst (±30% noise).
+        burst_size: u64,
+    },
+    /// A single purchase of `jump` followers on `jump_day`.
+    /// Purchased.
+    Purchased {
+        /// Day the audience purchase lands.
+        jump_day: u32,
+        /// Followers added by the purchase.
+        jump: u64,
+    },
+}
+
+impl GrowthModel {
+    /// Simulate `days` of growth from `start` followers.
+    pub fn simulate<R: Rng + ?Sized>(&self, start: u64, days: u32, rng: &mut R) -> Trajectory {
+        let mut out = Vec::with_capacity(days as usize + 1);
+        let mut current = start as f64;
+        out.push((0, start));
+        for day in 1..=days {
+            match *self {
+                GrowthModel::Organic { daily_rate } => {
+                    let noise = rng.random_range(0.5..1.5);
+                    current += (current * daily_rate * noise).max(0.0);
+                    // A floor of ~0.2 expected new followers/day keeps tiny
+                    // accounts from freezing at zero forever.
+                    if rng.random_bool(0.2) {
+                        current += 1.0;
+                    }
+                }
+                GrowthModel::Farmed { daily_rate, burst_prob, burst_size } => {
+                    let noise = rng.random_range(0.5..1.5);
+                    current += (current * daily_rate * noise).max(0.0);
+                    if rng.random_bool(burst_prob.clamp(0.0, 1.0)) {
+                        current += burst_size as f64 * rng.random_range(0.7..1.3);
+                    }
+                }
+                GrowthModel::Purchased { jump_day, jump } => {
+                    if day == jump_day {
+                        current += jump as f64;
+                    }
+                }
+            }
+            out.push((day, current as u64));
+        }
+        out
+    }
+
+    /// Maximum single-day relative growth over a trajectory — the
+    /// "rapid follower growth" feature the moderation engine scores.
+    pub fn max_daily_growth_ratio(traj: &Trajectory) -> f64 {
+        traj.windows(2)
+            .map(|w| {
+                let (prev, next) = (w[0].1 as f64, w[1].1 as f64);
+                if prev < 1.0 {
+                    next
+                } else {
+                    (next - prev) / prev
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Sample per-post engagement counters for an account with `followers`
+/// followers. `virality` in `[0, 1]` scales view amplification beyond the
+/// follower base.
+pub fn sample_post_engagement<R: Rng + ?Sized>(
+    followers: u64,
+    virality: f64,
+    rng: &mut R,
+) -> (u64, u64, u64, u64) {
+    let base_views = (followers as f64 * rng.random_range(0.05..0.6)).max(1.0);
+    let viral_mult = 1.0 + virality * rng.random_range(0.0..50.0);
+    let views = (base_views * viral_mult) as u64;
+    let like_rate = rng.random_range(0.01..0.12);
+    let likes = (views as f64 * like_rate) as u64;
+    let replies = (likes as f64 * rng.random_range(0.01..0.1)) as u64;
+    let shares = (likes as f64 * rng.random_range(0.01..0.15)) as u64;
+    (views, likes, replies, shares)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn organic_growth_is_smooth() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let m = GrowthModel::Organic { daily_rate: 0.01 };
+        let traj = m.simulate(1000, 365, &mut rng);
+        assert_eq!(traj.len(), 366);
+        // Monotone non-decreasing and roughly e^{0.01*365} ~ 38x at most.
+        assert!(traj.windows(2).all(|w| w[1].1 >= w[0].1));
+        let ratio = GrowthModel::max_daily_growth_ratio(&traj);
+        assert!(ratio < 0.05, "organic daily ratio too high: {ratio}");
+    }
+
+    #[test]
+    fn farmed_growth_has_bursts() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let m = GrowthModel::Farmed { daily_rate: 0.002, burst_prob: 0.05, burst_size: 5_000 };
+        let traj = m.simulate(500, 365, &mut rng);
+        let ratio = GrowthModel::max_daily_growth_ratio(&traj);
+        assert!(ratio > 0.5, "farmed growth should show bursts: {ratio}");
+        assert!(traj.last().unwrap().1 > 20_000);
+    }
+
+    #[test]
+    fn purchased_jump_lands_on_day() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let m = GrowthModel::Purchased { jump_day: 10, jump: 100_000 };
+        let traj = m.simulate(50, 30, &mut rng);
+        assert_eq!(traj[9].1, 50);
+        assert_eq!(traj[10].1, 100_050);
+        assert_eq!(traj[30].1, 100_050);
+    }
+
+    #[test]
+    fn engagement_counters_ordered() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..100 {
+            let (views, likes, replies, shares) = sample_post_engagement(10_000, 0.1, &mut rng);
+            assert!(views >= likes);
+            assert!(likes >= replies);
+            assert!(likes >= shares || likes == 0);
+        }
+    }
+
+    #[test]
+    fn virality_amplifies_views() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let flat: u64 = (0..200).map(|_| sample_post_engagement(1_000, 0.0, &mut rng).0).sum();
+        let viral: u64 = (0..200).map(|_| sample_post_engagement(1_000, 1.0, &mut rng).0).sum();
+        assert!(viral > flat * 3);
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # acctrade-social
+//!
+//! Simulators for the five social media platforms the paper studies: **X,
+//! Instagram, Facebook, TikTok, and YouTube**.
+//!
+//! Each platform is a stateful store of accounts and posts plus an HTTP API
+//! service (over [`acctrade_net`]) with the platform's own response
+//! vocabulary — the paper's efficacy analysis (§8) keys on exactly these
+//! differences (`Forbidden` vs `Not Found` on X, "Page Not Found" on
+//! Instagram, "profile/channel does not exist" elsewhere).
+//!
+//! * [`platform`] — the platform enum and per-platform constants
+//!   (creation-date windows, follower scales, API hosts, detection
+//!   efficacy targets from Table 8);
+//! * [`account`] — profile metadata (the fields the paper collects:
+//!   names, descriptions, locations, creation dates, categories, contact
+//!   attributes, account types);
+//! * [`post`] — posts with engagement counters;
+//! * [`engagement`] — follower-growth models (organic vs farmed vs
+//!   purchased) and engagement sampling;
+//! * [`moderation`] — the platform-side detection engine that bans or
+//!   removes accounts over time;
+//! * [`store`] — the in-memory account/post database;
+//! * [`api`] — the JSON API service the measurement pipeline queries.
+
+pub mod account;
+pub mod api;
+pub mod detector;
+pub mod engagement;
+pub mod moderation;
+pub mod platform;
+pub mod post;
+pub mod store;
+
+pub use account::{AccountId, AccountProfile, AccountStatus, AccountType};
+pub use detector::{DetectorMetrics, RapidGrowthDetector, ReferralMonitor};
+pub use api::PlatformApi;
+pub use moderation::ModerationEngine;
+pub use platform::Platform;
+pub use post::{Post, PostId};
+pub use store::PlatformStore;

@@ -1,0 +1,317 @@
+//! The platform-side detection engine.
+//!
+//! §8 of the paper measures each platform's *blocking efficacy*: the share
+//! of advertised accounts the platform actioned (or the owner deleted)
+//! during the study. The measured rates differ wildly — TikTok 48% and
+//! Instagram 46.41% versus YouTube 5.02% and Facebook 5.70% — and blocked
+//! accounts "frequently featured names associated with trends like crypto,
+//! NFTs, beauty, luxury".
+//!
+//! The engine models that behaviour mechanistically:
+//!
+//! 1. every account gets a **risk score** from observable signals
+//!    (trending-topic keywords in name/description, account youth,
+//!    behavioural disposition — the simulation's stand-in for the
+//!    behavioural telemetry real platforms have);
+//! 2. a per-platform **capacity** (calibrated to the platform's Table 8
+//!    efficacy) scales scores into action probabilities — platforms differ
+//!    in *how much* they act far more than in *what* looks suspicious;
+//! 3. actions are sampled; scam operators sometimes delete their own
+//!    account after a completed scam run, which the paper conservatively
+//!    counts in the same "inactive" bucket.
+
+use crate::account::{AccountDisposition, AccountStatus};
+use crate::platform::Platform;
+use crate::store::PlatformStore;
+use rand::{Rng, RngExt};
+
+/// Trending-topic keywords §8 reports as over-represented among blocked
+/// accounts.
+pub const TRENDING_KEYWORDS: &[&str] = &[
+    "crypto", "nft", "bitcoin", "beauty", "luxury", "animals", "pets", "giveaway", "forex",
+    "trading", "onlyfans", "followers",
+];
+
+/// Per-account risk signals and score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RiskAssessment {
+    /// Name/description mentions a trending topic.
+    pub trending_name: bool,
+    /// Account younger than 3.5 years (the §5 dominant cohort).
+    pub young_account: bool,
+    /// Behavioural signal strength from the account's disposition.
+    pub behavior_weight: f64,
+    /// Combined multiplicative risk score, >= 0.
+    pub score: f64,
+}
+
+/// Assess one account at virtual time `now_unix`.
+pub fn assess(profile: &crate::account::AccountProfile, now_unix: i64) -> RiskAssessment {
+    let text = format!("{} {}", profile.name, profile.description).to_ascii_lowercase();
+    let trending_name = TRENDING_KEYWORDS.iter().any(|k| text.contains(k));
+    let young_account = profile.age_years(now_unix) < 3.5;
+    let behavior_weight = match profile.disposition {
+        AccountDisposition::Organic => 0.3,
+        AccountDisposition::Harvested => 0.8,
+        AccountDisposition::Farmed => 1.4,
+        AccountDisposition::ScamOperator => 2.0,
+    };
+    let mut score = behavior_weight;
+    if trending_name {
+        score *= 1.8;
+    }
+    if young_account {
+        score *= 1.3;
+    }
+    RiskAssessment { trending_name, young_account, behavior_weight, score }
+}
+
+/// Outcome of one moderation sweep.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepReport {
+    /// Assessed.
+    pub assessed: usize,
+    /// Banned.
+    pub banned: usize,
+    /// Owner deleted.
+    pub owner_deleted: usize,
+}
+
+impl SweepReport {
+    /// Accounts taken offline by any path.
+    pub fn total_inactive(&self) -> usize {
+        self.banned + self.owner_deleted
+    }
+}
+
+/// The moderation engine of one platform.
+#[derive(Debug, Clone)]
+pub struct ModerationEngine {
+    platform: Platform,
+    /// Target fraction of the *advertised-account population* the platform
+    /// manages to action over the whole study (Table 8 calibration).
+    capacity: f64,
+    /// Probability a scam operator deletes their own account after a scam
+    /// run (counted as inactive by the paper's conservative definition).
+    self_delete_prob: f64,
+}
+
+impl ModerationEngine {
+    /// Engine calibrated to the platform's Table 8 efficacy.
+    pub fn calibrated(platform: Platform) -> ModerationEngine {
+        ModerationEngine {
+            platform,
+            capacity: platform.table8_efficacy_pct() / 100.0,
+            self_delete_prob: 0.25,
+        }
+    }
+
+    /// Engine with explicit capacity (ablations and what-if benches).
+    pub fn with_capacity(platform: Platform, capacity: f64) -> ModerationEngine {
+        ModerationEngine { platform, capacity: capacity.clamp(0.0, 1.0), self_delete_prob: 0.25 }
+    }
+
+    /// The platform this engine moderates.
+    pub fn platform(&self) -> Platform {
+        self.platform
+    }
+
+    /// Calibrated action capacity (fraction of the population).
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Run one sweep over the store at virtual time `now_unix`: assess all
+    /// active accounts, scale scores so the *expected* action count equals
+    /// `capacity x population`, sample actions, and apply them.
+    pub fn sweep<R: Rng + ?Sized>(
+        &self,
+        store: &mut PlatformStore,
+        now_unix: i64,
+        rng: &mut R,
+    ) -> SweepReport {
+        assert_eq!(store.platform(), self.platform, "engine/store platform mismatch");
+        let ids = store.account_ids();
+        let mut report = SweepReport::default();
+
+        // Assess the full population (active accounts only).
+        let mut scored: Vec<(crate::account::AccountId, f64, AccountDisposition)> = Vec::new();
+        for id in ids {
+            let Some(p) = store.account(id) else { continue };
+            if p.status != AccountStatus::Active {
+                continue;
+            }
+            let risk = assess(p, now_unix);
+            scored.push((id, risk.score, p.disposition));
+        }
+        report.assessed = scored.len();
+        if scored.is_empty() || self.capacity <= 0.0 {
+            return report;
+        }
+
+        // Scale so expected actions = capacity * population; probabilities
+        // saturate at 0.98 (even the riskiest account can slip through).
+        let target = self.capacity * scored.len() as f64;
+        let lambda = solve_lambda(&scored.iter().map(|&(_, s, _)| s).collect::<Vec<_>>(), target);
+
+        for (id, score, disposition) in scored {
+            let p_action = (lambda * score).min(0.98);
+            if rng.random_bool(p_action) {
+                let self_delete = disposition == AccountDisposition::ScamOperator
+                    && rng.random_bool(self.self_delete_prob);
+                if self_delete {
+                    store.set_status(id, AccountStatus::Deleted);
+                    report.owner_deleted += 1;
+                } else {
+                    store.set_status(id, AccountStatus::Banned);
+                    report.banned += 1;
+                }
+            }
+        }
+        report
+    }
+}
+
+/// Find `lambda` such that `sum(min(lambda * s_i, cap))` equals `target`
+/// (bisection; scores are non-negative).
+fn solve_lambda(scores: &[f64], target: f64) -> f64 {
+    const CAP: f64 = 0.98;
+    let expected = |lambda: f64| scores.iter().map(|&s| (lambda * s).min(CAP)).sum::<f64>();
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    while expected(hi) < target && hi < 1e9 {
+        hi *= 2.0;
+    }
+    for _ in 0..80 {
+        let mid = (lo + hi) / 2.0;
+        if expected(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo + hi) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::account::{AccountId, AccountProfile, AccountType};
+    use acctrade_net::clock::unix_from_ymd;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn now() -> i64 {
+        unix_from_ymd(2024, 6, 1)
+    }
+
+    fn populate(platform: Platform, n: usize) -> PlatformStore {
+        let mut store = PlatformStore::new(platform);
+        for i in 0..n {
+            let id = store.next_account_id();
+            let mut p = AccountProfile::new(id, platform, format!("acct{i}"));
+            p.created_unix = unix_from_ymd(2022, 1, 1);
+            p.account_type = AccountType::Standard;
+            p.disposition = match i % 4 {
+                0 => AccountDisposition::Organic,
+                1 => AccountDisposition::Farmed,
+                2 => AccountDisposition::Harvested,
+                _ => AccountDisposition::ScamOperator,
+            };
+            if i % 3 == 0 {
+                p.name = "Crypto Luxury Daily".into();
+            }
+            store.insert_account(p);
+        }
+        store
+    }
+
+    #[test]
+    fn sweep_hits_calibrated_capacity() {
+        for platform in [Platform::TikTok, Platform::YouTube, Platform::X] {
+            let mut store = populate(platform, 3000);
+            let engine = ModerationEngine::calibrated(platform);
+            let mut rng = ChaCha8Rng::seed_from_u64(42);
+            let report = engine.sweep(&mut store, now(), &mut rng);
+            let rate = report.total_inactive() as f64 / report.assessed as f64;
+            let target = platform.table8_efficacy_pct() / 100.0;
+            assert!(
+                (rate - target).abs() < 0.04,
+                "{platform}: rate={rate:.3} target={target:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn risky_accounts_actioned_more_often() {
+        let platform = Platform::Instagram;
+        let mut store = populate(platform, 4000);
+        let engine = ModerationEngine::calibrated(platform);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        engine.sweep(&mut store, now(), &mut rng);
+        let rate_for = |d: AccountDisposition| {
+            let (mut hit, mut total) = (0usize, 0usize);
+            for a in store.accounts_sorted() {
+                if a.disposition == d {
+                    total += 1;
+                    if a.status.is_inactive() {
+                        hit += 1;
+                    }
+                }
+            }
+            hit as f64 / total as f64
+        };
+        assert!(
+            rate_for(AccountDisposition::ScamOperator) > rate_for(AccountDisposition::Organic) * 2.0
+        );
+    }
+
+    #[test]
+    fn trending_names_raise_risk() {
+        let mut p = AccountProfile::new(AccountId(1), Platform::X, "h");
+        p.created_unix = unix_from_ymd(2023, 1, 1);
+        let plain = assess(&p, now()).score;
+        p.name = "NFT Giveaway Luxury".into();
+        let trendy = assess(&p, now()).score;
+        assert!(trendy > plain * 1.5);
+    }
+
+    #[test]
+    fn old_accounts_lower_risk() {
+        let mut p = AccountProfile::new(AccountId(1), Platform::X, "h");
+        p.created_unix = unix_from_ymd(2012, 1, 1);
+        let old = assess(&p, now()).score;
+        p.created_unix = unix_from_ymd(2023, 6, 1);
+        let young = assess(&p, now()).score;
+        assert!(young > old);
+    }
+
+    #[test]
+    fn zero_capacity_never_acts() {
+        let mut store = populate(Platform::Facebook, 200);
+        let engine = ModerationEngine::with_capacity(Platform::Facebook, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let report = engine.sweep(&mut store, now(), &mut rng);
+        assert_eq!(report.total_inactive(), 0);
+        assert_eq!(store.count_by_status(AccountStatus::Active), 200);
+    }
+
+    #[test]
+    fn some_owner_deletions_among_scammers() {
+        let mut store = populate(Platform::TikTok, 4000);
+        let engine = ModerationEngine::calibrated(Platform::TikTok);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let report = engine.sweep(&mut store, now(), &mut rng);
+        assert!(report.owner_deleted > 0);
+        assert!(report.banned > report.owner_deleted);
+    }
+
+    #[test]
+    fn lambda_solver_meets_target() {
+        let scores = vec![1.0, 2.0, 3.0, 4.0];
+        let target = 2.0;
+        let l = solve_lambda(&scores, target);
+        let got: f64 = scores.iter().map(|&s| (l * s).min(0.98)).sum();
+        assert!((got - target).abs() < 1e-6);
+    }
+}

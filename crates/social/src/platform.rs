@@ -1,0 +1,236 @@
+//! The five platforms and their per-platform constants.
+//!
+//! Calibration values come straight from the paper:
+//!
+//! * creation-date windows (§5, Figure 4): TikTok accounts date 2017–2024,
+//!   X/Instagram/Facebook back to 2010, YouTube back to 2006 (with < 0.5%
+//!   in 2006–2010);
+//! * visible-account follower medians (Table 4);
+//! * blocking-efficacy targets (Table 8): TikTok 48%, Instagram 46.41%,
+//!   X 18.67%, Facebook 5.70%, YouTube 5.02%.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A social media platform in the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Platform {
+    /// X (formerly Twitter).
+    X,
+    /// Instagram.
+    Instagram,
+    /// Facebook.
+    Facebook,
+    /// Tik tok.
+    TikTok,
+    /// You tube.
+    YouTube,
+}
+
+/// All five platforms, in the paper's canonical Table 2 order.
+pub const ALL_PLATFORMS: [Platform; 5] = [
+    Platform::Instagram,
+    Platform::YouTube,
+    Platform::TikTok,
+    Platform::Facebook,
+    Platform::X,
+];
+
+impl Platform {
+    /// Human-readable platform name as the paper prints it.
+    pub fn name(self) -> &'static str {
+        match self {
+            Platform::X => "X",
+            Platform::Instagram => "Instagram",
+            Platform::Facebook => "Facebook",
+            Platform::TikTok => "TikTok",
+            Platform::YouTube => "YouTube",
+        }
+    }
+
+    /// The simulated API hostname the measurement pipeline queries.
+    pub fn api_host(self) -> &'static str {
+        match self {
+            Platform::X => "api.x.example",
+            Platform::Instagram => "api.instagram.example",
+            Platform::Facebook => "api.facebook.example",
+            Platform::TikTok => "api.tiktok.example",
+            Platform::YouTube => "api.youtube.example",
+        }
+    }
+
+    /// The public profile hostname used in marketplace listing links.
+    pub fn web_host(self) -> &'static str {
+        match self {
+            Platform::X => "x.example",
+            Platform::Instagram => "instagram.example",
+            Platform::Facebook => "facebook.example",
+            Platform::TikTok => "tiktok.example",
+            Platform::YouTube => "youtube.example",
+        }
+    }
+
+    /// Earliest plausible account-creation year on the platform
+    /// (platform launch; §5/Figure 4).
+    pub fn earliest_creation_year(self) -> i32 {
+        match self {
+            Platform::YouTube => 2006,
+            Platform::X | Platform::Instagram | Platform::Facebook => 2010,
+            Platform::TikTok => 2017,
+        }
+    }
+
+    /// Median follower count of *visible advertised* accounts (Table 4).
+    pub fn table4_median_followers(self) -> u64 {
+        match self {
+            Platform::TikTok => 1,
+            Platform::X => 2_752,
+            Platform::Facebook => 27_669,
+            Platform::Instagram => 8_362,
+            Platform::YouTube => 8_460,
+        }
+    }
+
+    /// Maximum follower count of visible advertised accounts (Table 4).
+    pub fn table4_max_followers(self) -> u64 {
+        match self {
+            Platform::TikTok => 6_893,
+            Platform::X => 1_078_130,
+            Platform::Facebook => 5_239_529,
+            Platform::Instagram => 6_288_290,
+            Platform::YouTube => 20_500_000,
+        }
+    }
+
+    /// Minimum follower count of visible advertised accounts (Table 4).
+    pub fn table4_min_followers(self) -> u64 {
+        match self {
+            Platform::TikTok | Platform::YouTube => 0,
+            Platform::X => 55,
+            Platform::Facebook => 115,
+            Platform::Instagram => 1_032,
+        }
+    }
+
+    /// Blocking-efficacy target from Table 8, percent of visible accounts
+    /// actioned by the platform.
+    pub fn table8_efficacy_pct(self) -> f64 {
+        match self {
+            Platform::YouTube => 5.02,
+            Platform::Facebook => 5.70,
+            Platform::X => 18.67,
+            Platform::Instagram => 46.41,
+            Platform::TikTok => 48.0,
+        }
+    }
+
+    /// Median advertised *price* on public marketplaces (§4.1).
+    pub fn median_advertised_price_usd(self) -> f64 {
+        match self {
+            Platform::Facebook => 14.0,
+            Platform::X => 17.0,
+            Platform::Instagram => 298.0,
+            Platform::TikTok => 755.0,
+            Platform::YouTube => 759.0,
+        }
+    }
+
+    /// The phrase this platform's API uses for a missing account — the
+    /// vocabulary §8 keys on.
+    pub fn missing_account_phrase(self) -> &'static str {
+        match self {
+            Platform::X => "Not Found",
+            Platform::Instagram => "Page Not Found",
+            Platform::TikTok => "Profile does not exist",
+            Platform::YouTube => "Channel does not exist",
+            Platform::Facebook => "Profile does not exist",
+        }
+    }
+
+    /// The phrase this platform's API uses for a banned account.
+    pub fn banned_account_phrase(self) -> &'static str {
+        match self {
+            Platform::X => "Forbidden",
+            _ => "Account suspended",
+        }
+    }
+
+    /// Parse a platform from its printed name (case-insensitive; accepts
+    /// "twitter" for X).
+    pub fn parse(s: &str) -> Option<Platform> {
+        match s.to_ascii_lowercase().as_str() {
+            "x" | "twitter" => Some(Platform::X),
+            "instagram" | "ig" => Some(Platform::Instagram),
+            "facebook" | "fb" => Some(Platform::Facebook),
+            "tiktok" | "tt" => Some(Platform::TikTok),
+            "youtube" | "yt" => Some(Platform::YouTube),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_parse_back() {
+        for p in ALL_PLATFORMS {
+            assert_eq!(Platform::parse(p.name()), Some(p));
+        }
+        assert_eq!(Platform::parse("twitter"), Some(Platform::X));
+        assert_eq!(Platform::parse("myspace"), None);
+    }
+
+    #[test]
+    fn hosts_are_distinct() {
+        let mut hosts: Vec<&str> = ALL_PLATFORMS.iter().map(|p| p.api_host()).collect();
+        hosts.extend(ALL_PLATFORMS.iter().map(|p| p.web_host()));
+        let n = hosts.len();
+        hosts.sort();
+        hosts.dedup();
+        assert_eq!(hosts.len(), n);
+    }
+
+    #[test]
+    fn tiktok_is_youngest_platform() {
+        assert!(Platform::TikTok.earliest_creation_year() > Platform::YouTube.earliest_creation_year());
+    }
+
+    #[test]
+    fn efficacy_ordering_matches_table8() {
+        // TikTok & Instagram high; YouTube & Facebook low.
+        assert!(Platform::TikTok.table8_efficacy_pct() > 40.0);
+        assert!(Platform::Instagram.table8_efficacy_pct() > 40.0);
+        assert!(Platform::YouTube.table8_efficacy_pct() < 6.0);
+        assert!(Platform::Facebook.table8_efficacy_pct() < 6.0);
+    }
+
+    #[test]
+    fn price_ordering_matches_section41() {
+        assert!(
+            Platform::TikTok.median_advertised_price_usd()
+                > Platform::Instagram.median_advertised_price_usd()
+        );
+        assert!(
+            Platform::Instagram.median_advertised_price_usd()
+                > Platform::X.median_advertised_price_usd()
+        );
+        assert!(
+            Platform::X.median_advertised_price_usd()
+                > Platform::Facebook.median_advertised_price_usd()
+        );
+    }
+
+    #[test]
+    fn x_uses_forbidden_vocabulary() {
+        assert_eq!(Platform::X.banned_account_phrase(), "Forbidden");
+        assert_eq!(Platform::Instagram.missing_account_phrase(), "Page Not Found");
+    }
+}

@@ -1,0 +1,87 @@
+//! Posts and their engagement counters.
+
+use crate::account::AccountId;
+use crate::platform::Platform;
+use serde::{Deserialize, Serialize};
+
+/// Platform-scoped numeric post id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PostId(pub u64);
+
+/// One public post on a platform timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Post {
+    /// Id.
+    pub id: PostId,
+    /// Platform.
+    pub platform: Platform,
+    /// Author.
+    pub author: AccountId,
+    /// Post body text (what the §6 NLP pipeline consumes).
+    pub text: String,
+    /// Unix seconds of publication.
+    pub created_unix: i64,
+    /// Likes.
+    pub likes: u64,
+    /// Views.
+    pub views: u64,
+    /// Replies.
+    pub replies: u64,
+    /// Shares.
+    pub shares: u64,
+}
+
+impl Post {
+    /// A bare post; generators fill in engagement.
+    pub fn new(
+        id: PostId,
+        platform: Platform,
+        author: AccountId,
+        text: impl Into<String>,
+        created_unix: i64,
+    ) -> Post {
+        Post {
+            id,
+            platform,
+            author,
+            text: text.into(),
+            created_unix,
+            likes: 0,
+            views: 0,
+            replies: 0,
+            shares: 0,
+        }
+    }
+
+    /// A crude engagement-rate proxy: interactions per view (0 when the
+    /// post has no views).
+    pub fn engagement_rate(&self) -> f64 {
+        if self.views == 0 {
+            return 0.0;
+        }
+        (self.likes + self.replies + self.shares) as f64 / self.views as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engagement_rate_bounds() {
+        let mut p = Post::new(PostId(1), Platform::X, AccountId(1), "gm", 0);
+        assert_eq!(p.engagement_rate(), 0.0);
+        p.views = 1000;
+        p.likes = 90;
+        p.replies = 5;
+        p.shares = 5;
+        assert!((p.engagement_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = Post::new(PostId(3), Platform::TikTok, AccountId(9), "viral dance", 1_700_000_000);
+        let back: Post = serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,221 @@
+//! The in-memory account/post database backing one platform.
+
+use crate::account::{AccountId, AccountProfile, AccountStatus};
+use crate::platform::Platform;
+use crate::post::{Post, PostId};
+use std::collections::HashMap;
+
+/// All state of one simulated platform.
+#[derive(Debug, Clone)]
+pub struct PlatformStore {
+    platform: Platform,
+    accounts: HashMap<AccountId, AccountProfile>,
+    by_handle: HashMap<String, AccountId>,
+    posts: HashMap<AccountId, Vec<Post>>,
+    next_account: u64,
+    next_post: u64,
+}
+
+impl PlatformStore {
+    /// An empty store for `platform`.
+    pub fn new(platform: Platform) -> PlatformStore {
+        PlatformStore {
+            platform,
+            accounts: HashMap::new(),
+            by_handle: HashMap::new(),
+            posts: HashMap::new(),
+            next_account: 1,
+            next_post: 1,
+        }
+    }
+
+    /// The platform this store belongs to.
+    pub fn platform(&self) -> Platform {
+        self.platform
+    }
+
+    /// Allocate a fresh account id.
+    pub fn next_account_id(&mut self) -> AccountId {
+        let id = AccountId(self.next_account);
+        self.next_account += 1;
+        id
+    }
+
+    /// Allocate a fresh post id.
+    pub fn next_post_id(&mut self) -> PostId {
+        let id = PostId(self.next_post);
+        self.next_post += 1;
+        id
+    }
+
+    /// Insert an account.
+    ///
+    /// # Panics
+    /// Panics if the profile's platform differs from the store's, or the
+    /// handle is already taken (handles are unique per platform).
+    pub fn insert_account(&mut self, profile: AccountProfile) -> AccountId {
+        assert_eq!(profile.platform, self.platform, "platform mismatch");
+        assert!(
+            !self.by_handle.contains_key(&profile.handle),
+            "duplicate handle {}",
+            profile.handle
+        );
+        let id = profile.id;
+        self.by_handle.insert(profile.handle.clone(), id);
+        self.accounts.insert(id, profile);
+        id
+    }
+
+    /// Look up by id.
+    pub fn account(&self, id: AccountId) -> Option<&AccountProfile> {
+        self.accounts.get(&id)
+    }
+
+    /// Look up by handle (exact, case-sensitive — handles are generated
+    /// lowercase).
+    pub fn account_by_handle(&self, handle: &str) -> Option<&AccountProfile> {
+        self.by_handle.get(handle).and_then(|id| self.accounts.get(id))
+    }
+
+    /// Mutable account access.
+    pub fn account_mut(&mut self, id: AccountId) -> Option<&mut AccountProfile> {
+        self.accounts.get_mut(&id)
+    }
+
+    /// Append a post to its author's timeline and bump the author's post
+    /// count.
+    ///
+    /// # Panics
+    /// Panics if the author does not exist.
+    pub fn add_post(&mut self, post: Post) -> PostId {
+        assert!(self.accounts.contains_key(&post.author), "unknown author");
+        let id = post.id;
+        if let Some(acct) = self.accounts.get_mut(&post.author) {
+            acct.post_count += 1;
+        }
+        self.posts.entry(post.author).or_default().push(post);
+        id
+    }
+
+    /// The author's timeline, most recent first.
+    pub fn timeline(&self, author: AccountId) -> Vec<&Post> {
+        let mut posts: Vec<&Post> = self
+            .posts
+            .get(&author)
+            .map(|v| v.iter().collect())
+            .unwrap_or_default();
+        posts.sort_by_key(|p| std::cmp::Reverse(p.created_unix));
+        posts
+    }
+
+    /// Change an account's status (moderation actions, owner deletions).
+    pub fn set_status(&mut self, id: AccountId, status: AccountStatus) -> bool {
+        match self.accounts.get_mut(&id) {
+            Some(a) => {
+                a.status = status;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Total accounts.
+    pub fn account_count(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Total posts across all timelines.
+    pub fn post_count(&self) -> usize {
+        self.posts.values().map(Vec::len).sum()
+    }
+
+    /// Iterate accounts in id order (deterministic).
+    pub fn accounts_sorted(&self) -> Vec<&AccountProfile> {
+        let mut v: Vec<&AccountProfile> = self.accounts.values().collect();
+        v.sort_by_key(|a| a.id);
+        v
+    }
+
+    /// Ids of all accounts, sorted.
+    pub fn account_ids(&self) -> Vec<AccountId> {
+        let mut v: Vec<AccountId> = self.accounts.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Accounts with a given status.
+    pub fn count_by_status(&self, status: AccountStatus) -> usize {
+        self.accounts.values().filter(|a| a.status == status).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::account::AccountType;
+
+    fn store_with_account() -> (PlatformStore, AccountId) {
+        let mut s = PlatformStore::new(Platform::X);
+        let id = s.next_account_id();
+        let mut p = AccountProfile::new(id, Platform::X, "crypto_calls");
+        p.account_type = AccountType::Standard;
+        s.insert_account(p);
+        (s, id)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let (s, id) = store_with_account();
+        assert_eq!(s.account(id).unwrap().handle, "crypto_calls");
+        assert_eq!(s.account_by_handle("crypto_calls").unwrap().id, id);
+        assert!(s.account_by_handle("nobody").is_none());
+        assert_eq!(s.account_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate handle")]
+    fn duplicate_handles_rejected() {
+        let (mut s, _) = store_with_account();
+        let id2 = s.next_account_id();
+        s.insert_account(AccountProfile::new(id2, Platform::X, "crypto_calls"));
+    }
+
+    #[test]
+    #[should_panic(expected = "platform mismatch")]
+    fn cross_platform_insert_rejected() {
+        let (mut s, _) = store_with_account();
+        let id2 = s.next_account_id();
+        s.insert_account(AccountProfile::new(id2, Platform::TikTok, "other"));
+    }
+
+    #[test]
+    fn timeline_is_reverse_chronological() {
+        let (mut s, id) = store_with_account();
+        for (i, t) in [100i64, 300, 200].iter().enumerate() {
+            let pid = s.next_post_id();
+            s.add_post(Post::new(pid, Platform::X, id, format!("post {i}"), *t));
+        }
+        let tl = s.timeline(id);
+        let times: Vec<i64> = tl.iter().map(|p| p.created_unix).collect();
+        assert_eq!(times, vec![300, 200, 100]);
+        assert_eq!(s.account(id).unwrap().post_count, 3);
+        assert_eq!(s.post_count(), 3);
+    }
+
+    #[test]
+    fn status_transitions() {
+        let (mut s, id) = store_with_account();
+        assert!(s.set_status(id, AccountStatus::Banned));
+        assert_eq!(s.account(id).unwrap().status, AccountStatus::Banned);
+        assert_eq!(s.count_by_status(AccountStatus::Banned), 1);
+        assert!(!s.set_status(AccountId(999), AccountStatus::Banned));
+    }
+
+    #[test]
+    fn id_allocation_is_sequential() {
+        let mut s = PlatformStore::new(Platform::YouTube);
+        let a = s.next_account_id();
+        let b = s.next_account_id();
+        assert_eq!(b.0, a.0 + 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! DBSCAN over the KD-tree index.
+
+use super::kdtree::KdTree;
+use super::{ClusterLabel, ClusterParams};
+use std::collections::VecDeque;
+
+/// Run DBSCAN. Returns one label per input point.
+///
+/// Classic semantics: a point with at least `min_pts` neighbors within
+/// `eps` (counting itself) is a core point; clusters are the transitive
+/// closure of core points plus their border points; everything else is
+/// noise.
+pub fn dbscan(points: &[Vec<f32>], params: ClusterParams) -> Vec<ClusterLabel> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let tree = KdTree::build(points);
+    let n = points.len();
+    let mut labels = vec![None::<ClusterLabel>; n];
+    let mut next_cluster = 0usize;
+
+    for start in 0..n {
+        if labels[start].is_some() {
+            continue;
+        }
+        let neighbors = tree.within_radius(&points[start], params.eps);
+        if neighbors.len() < params.min_pts {
+            labels[start] = Some(ClusterLabel::Noise);
+            continue;
+        }
+        // Expand a new cluster from this core point (BFS).
+        let cid = next_cluster;
+        next_cluster += 1;
+        labels[start] = Some(ClusterLabel::Cluster(cid));
+        let mut queue: VecDeque<usize> = neighbors.into_iter().collect();
+        while let Some(p) = queue.pop_front() {
+            match labels[p] {
+                Some(ClusterLabel::Noise) => {
+                    // Noise reachable from a core point becomes a border
+                    // point of the cluster.
+                    labels[p] = Some(ClusterLabel::Cluster(cid));
+                }
+                Some(_) => continue,
+                None => {
+                    labels[p] = Some(ClusterLabel::Cluster(cid));
+                    let nbrs = tree.within_radius(&points[p], params.eps);
+                    if nbrs.len() >= params.min_pts {
+                        queue.extend(nbrs);
+                    }
+                }
+            }
+        }
+    }
+    labels.into_iter().map(|l| l.expect("all points labeled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{members_by_cluster, n_clusters, noise_fraction};
+    use super::*;
+    use rand::{RngExt, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Three well-separated Gaussian-ish blobs plus scattered outliers.
+    fn blobs_with_noise(seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let centers = [(0.0f32, 0.0f32), (10.0, 0.0), (0.0, 10.0)];
+        let mut pts = Vec::new();
+        let mut truth = Vec::new();
+        for (ci, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..30 {
+                pts.push(vec![
+                    cx + rng.random_range(-0.5..0.5),
+                    cy + rng.random_range(-0.5..0.5),
+                ]);
+                truth.push(ci);
+            }
+        }
+        for _ in 0..5 {
+            pts.push(vec![rng.random_range(3.0..7.0), rng.random_range(3.0..7.0)]);
+            truth.push(usize::MAX);
+        }
+        (pts, truth)
+    }
+
+    #[test]
+    fn recovers_three_blobs() {
+        let (pts, truth) = blobs_with_noise(1);
+        let labels = dbscan(&pts, ClusterParams { eps: 1.0, min_pts: 4 });
+        assert_eq!(n_clusters(&labels), 3);
+        // Every blob is pure: all members share a ground-truth id.
+        for group in members_by_cluster(&labels) {
+            let t0 = truth[group[0]];
+            assert!(group.iter().all(|&i| truth[i] == t0));
+            assert!(group.len() >= 28);
+        }
+    }
+
+    #[test]
+    fn outliers_are_noise() {
+        let (pts, truth) = blobs_with_noise(2);
+        let labels = dbscan(&pts, ClusterParams { eps: 1.0, min_pts: 4 });
+        for (i, t) in truth.iter().enumerate() {
+            if *t == usize::MAX {
+                assert!(labels[i].is_noise(), "outlier {i} not noise");
+            }
+        }
+    }
+
+    #[test]
+    fn eps_too_small_makes_everything_noise() {
+        let (pts, _) = blobs_with_noise(3);
+        let labels = dbscan(&pts, ClusterParams { eps: 1e-6, min_pts: 4 });
+        assert!(noise_fraction(&labels) > 0.99);
+    }
+
+    #[test]
+    fn eps_huge_makes_one_cluster() {
+        let (pts, _) = blobs_with_noise(4);
+        let labels = dbscan(&pts, ClusterParams { eps: 100.0, min_pts: 4 });
+        assert_eq!(n_clusters(&labels), 1);
+        assert_eq!(noise_fraction(&labels), 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(dbscan(&[], ClusterParams::default()).is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let (pts, _) = blobs_with_noise(5);
+        let p = ClusterParams { eps: 1.0, min_pts: 4 };
+        assert_eq!(dbscan(&pts, p), dbscan(&pts, p));
+    }
+
+    #[test]
+    fn border_points_join_a_cluster() {
+        // A dense core with one point at the rim: rim point is within eps
+        // of a core point but itself has too few neighbors.
+        let mut pts: Vec<Vec<f32>> = (0..6).map(|i| vec![i as f32 * 0.1, 0.0]).collect();
+        pts.push(vec![1.4, 0.0]); // within eps=1.0 of the last core point
+        let labels = dbscan(&pts, ClusterParams { eps: 1.0, min_pts: 5 });
+        assert_eq!(n_clusters(&labels), 1);
+        assert!(!labels[6].is_noise());
+    }
+}

@@ -1,0 +1,166 @@
+//! k-means — the baseline clusterer for the ablation bench.
+
+use super::kdtree::dist;
+use super::ClusterLabel;
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Run Lloyd's k-means with k-means++ initialization.
+///
+/// Returns `(labels, inertia)` where inertia is the sum of squared
+/// distances to assigned centroids. Every point gets a cluster (k-means has
+/// no noise concept), which is exactly why density methods win on scam
+/// corpora — see the ablation bench.
+pub fn kmeans(points: &[Vec<f32>], k: usize, seed: u64, max_iter: usize) -> (Vec<ClusterLabel>, f64) {
+    assert!(k > 0, "k must be positive");
+    let n = points.len();
+    if n == 0 {
+        return (Vec::new(), 0.0);
+    }
+    let k = k.min(n);
+    let dim = points[0].len();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x06EA_7000_0000_0001);
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..n)].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| dist(p, c))
+                    .fold(f64::INFINITY, f64::min)
+                    .powi(2)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total <= 0.0 {
+            // All remaining points coincide with centroids.
+            centroids.push(points[rng.random_range(0..n)].clone());
+            continue;
+        }
+        let mut target = rng.random_range(0.0..total);
+        let mut chosen = n - 1;
+        for (i, &w) in d2.iter().enumerate() {
+            if target < w {
+                chosen = i;
+                break;
+            }
+            target -= w;
+        }
+        centroids.push(points[chosen].clone());
+    }
+
+    let mut assignment = vec![0usize; n];
+    for _ in 0..max_iter {
+        // Assign.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    dist(p, &centroids[a])
+                        .partial_cmp(&dist(p, &centroids[b]))
+                        .expect("finite distances")
+                })
+                .expect("k > 0");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![vec![0.0f64; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            counts[assignment[i]] += 1;
+            for (s, &x) in sums[assignment[i]].iter_mut().zip(p) {
+                *s += f64::from(x);
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                centroids[c] = sums[c].iter().map(|&s| (s / counts[c] as f64) as f32).collect();
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let inertia: f64 = points
+        .iter()
+        .zip(&assignment)
+        .map(|(p, &a)| dist(p, &centroids[a]).powi(2))
+        .sum();
+    (
+        assignment.into_iter().map(ClusterLabel::Cluster).collect(),
+        inertia,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{members_by_cluster, n_clusters};
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f32>> {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            let j = (i % 5) as f32 * 0.05;
+            pts.push(vec![0.0 + j, 0.0 + j]);
+            pts.push(vec![10.0 + j, 10.0 + j]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = two_blobs();
+        let (labels, inertia) = kmeans(&pts, 2, 1, 100);
+        assert_eq!(n_clusters(&labels), 2);
+        let groups = members_by_cluster(&labels);
+        assert_eq!(groups[0].len(), 20);
+        assert_eq!(groups[1].len(), 20);
+        // Members of one group are all even or all odd indices.
+        let parity = groups[0][0] % 2;
+        assert!(groups[0].iter().all(|&i| i % 2 == parity));
+        assert!(inertia < 2.0);
+    }
+
+    #[test]
+    fn no_noise_ever() {
+        let pts = two_blobs();
+        let (labels, _) = kmeans(&pts, 5, 2, 50);
+        assert!(labels.iter().all(|l| !l.is_noise()));
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let pts = vec![vec![0.0f32], vec![1.0]];
+        let (labels, _) = kmeans(&pts, 10, 3, 10);
+        assert_eq!(labels.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let pts = two_blobs();
+        assert_eq!(kmeans(&pts, 2, 9, 50), kmeans(&pts, 2, 9, 50));
+    }
+
+    #[test]
+    fn more_clusters_lower_inertia() {
+        let pts = two_blobs();
+        let (_, i2) = kmeans(&pts, 2, 1, 100);
+        let (_, i4) = kmeans(&pts, 4, 1, 100);
+        assert!(i4 <= i2 + 1e-9);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (labels, inertia) = kmeans(&[], 3, 1, 10);
+        assert!(labels.is_empty());
+        assert_eq!(inertia, 0.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Class-based TF-IDF keyword extraction — the KeyBERT stand-in.
+//!
+//! BERTopic labels clusters by c-TF-IDF: treat each cluster as one
+//! super-document, compute term frequencies per class, and weight by how
+//! exclusive a term is to the class. The top-weighted terms are the
+//! cluster's keywords, which the paper's analysts used to decide whether a
+//! cluster is scam-related.
+
+use crate::tokenize::tokenize_content;
+use std::collections::HashMap;
+
+/// Extract the top `k` keywords for each cluster.
+///
+/// `docs` is the corpus; `cluster_of[i]` is the cluster id of `docs[i]` or
+/// `None` for noise. Returns a vector indexed by cluster id.
+pub fn class_tfidf_keywords(
+    docs: &[String],
+    cluster_of: &[Option<usize>],
+    k: usize,
+) -> Vec<Vec<String>> {
+    assert_eq!(docs.len(), cluster_of.len(), "corpus/label length mismatch");
+    let n_clusters = cluster_of.iter().flatten().max().map(|m| m + 1).unwrap_or(0);
+    if n_clusters == 0 {
+        return Vec::new();
+    }
+
+    // Per-class term frequencies and global term class-frequency.
+    let mut class_tf: Vec<HashMap<String, f64>> = vec![HashMap::new(); n_clusters];
+    let mut class_len = vec![0.0f64; n_clusters];
+    for (doc, label) in docs.iter().zip(cluster_of) {
+        let Some(c) = *label else { continue };
+        for t in tokenize_content(doc) {
+            *class_tf[c].entry(t).or_insert(0.0) += 1.0;
+            class_len[c] += 1.0;
+        }
+    }
+    let mut term_class_count: HashMap<&str, f64> = HashMap::new();
+    for tf in &class_tf {
+        for term in tf.keys() {
+            *term_class_count.entry(term.as_str()).or_insert(0.0) += 1.0;
+        }
+    }
+
+    let nc = n_clusters as f64;
+    (0..n_clusters)
+        .map(|c| {
+            let mut scored: Vec<(String, f64)> = class_tf[c]
+                .iter()
+                .map(|(term, &tf)| {
+                    let norm_tf = if class_len[c] > 0.0 { tf / class_len[c] } else { 0.0 };
+                    // BERTopic's c-TF-IDF: tf * ln(1 + C / cf).
+                    let cf = term_class_count[term.as_str()];
+                    (term.clone(), norm_tf * (1.0 + nc / cf).ln())
+                })
+                .collect();
+            scored.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .expect("finite scores")
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            scored.into_iter().take(k).map(|(t, _)| t).collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> (Vec<String>, Vec<Option<usize>>) {
+        let docs = vec![
+            "huge crypto giveaway send bitcoin wallet double rewards".to_string(),
+            "crypto bitcoin giveaway event send wallet win big".to_string(),
+            "bitcoin wallet giveaway crypto promo today".to_string(),
+            "cheap travel deals book flights hotel vacation".to_string(),
+            "travel vacation deals flights discount book today".to_string(),
+            "random unrelated noise post".to_string(),
+        ];
+        let labels = vec![Some(0), Some(0), Some(0), Some(1), Some(1), None];
+        (docs, labels)
+    }
+
+    #[test]
+    fn keywords_characterize_clusters() {
+        let (docs, labels) = corpus();
+        let kws = class_tfidf_keywords(&docs, &labels, 4);
+        assert_eq!(kws.len(), 2);
+        assert!(kws[0].iter().any(|w| w == "crypto" || w == "bitcoin" || w == "giveaway"));
+        assert!(kws[1].iter().any(|w| w == "travel" || w == "flights" || w == "vacation"));
+        // Cross-contamination check.
+        assert!(!kws[1].contains(&"crypto".to_string()));
+        assert!(!kws[0].contains(&"travel".to_string()));
+    }
+
+    #[test]
+    fn exclusive_terms_outrank_shared_terms() {
+        let docs = vec![
+            "alpha alpha shared".to_string(),
+            "beta beta shared".to_string(),
+        ];
+        let labels = vec![Some(0), Some(1)];
+        let kws = class_tfidf_keywords(&docs, &labels, 2);
+        assert_eq!(kws[0][0], "alpha");
+        assert_eq!(kws[1][0], "beta");
+    }
+
+    #[test]
+    fn noise_docs_are_ignored() {
+        let (docs, mut labels) = corpus();
+        // Turn the noise doc into would-be-dominant content.
+        let mut docs = docs;
+        docs[5] = "zebra zebra zebra zebra zebra".to_string();
+        labels[5] = None;
+        let kws = class_tfidf_keywords(&docs, &labels, 10);
+        assert!(kws.iter().all(|cluster| !cluster.contains(&"zebra".to_string())));
+    }
+
+    #[test]
+    fn empty_cluster_set() {
+        let docs = vec!["a b c".to_string()];
+        let labels = vec![None];
+        assert!(class_tfidf_keywords(&docs, &labels, 3).is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_vocab() {
+        let docs = vec!["one two".to_string()];
+        let labels = vec![Some(0)];
+        let kws = class_tfidf_keywords(&docs, &labels, 50);
+        assert_eq!(kws[0].len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_panic() {
+        let _ = class_tfidf_keywords(&["a".to_string()], &[], 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! Character n-gram extraction — the feature space of the language
+//! identifier and the hashing vectorizer.
+
+/// Extract character trigrams from text, after lowercasing and collapsing
+/// whitespace runs to single spaces. Text is padded with leading/trailing
+/// spaces so word boundaries contribute features.
+pub fn char_trigrams(text: &str) -> Vec<String> {
+    let normalized = normalize(text);
+    if normalized.trim().is_empty() {
+        return Vec::new();
+    }
+    let chars: Vec<char> = normalized.chars().collect();
+    if chars.len() < 3 {
+        return if chars.is_empty() {
+            Vec::new()
+        } else {
+            vec![chars.iter().collect()]
+        };
+    }
+    chars.windows(3).map(|w| w.iter().collect()).collect()
+}
+
+/// Lowercase, strip digits/punctuation to spaces, collapse whitespace, and
+/// pad with a leading/trailing space.
+fn normalize(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push(' ');
+    let mut prev_space = true;
+    for c in text.chars() {
+        if c.is_alphabetic() {
+            for lc in c.to_lowercase() {
+                out.push(lc);
+            }
+            prev_space = false;
+        } else if !prev_space {
+            out.push(' ');
+            prev_space = true;
+        }
+    }
+    if !out.ends_with(' ') {
+        out.push(' ');
+    }
+    out
+}
+
+/// Word n-grams (n >= 1) over a token sequence; used by the similarity
+/// analysis to catch near-duplicate listings with small word edits.
+pub fn word_ngrams(tokens: &[String], n: usize) -> Vec<String> {
+    assert!(n >= 1, "n-gram order must be at least 1");
+    if tokens.len() < n {
+        return Vec::new();
+    }
+    tokens.windows(n).map(|w| w.join(" ")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigram_counts() {
+        // " abc " -> 3 windows over 5 chars.
+        let t = char_trigrams("abc");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0], " ab");
+        assert_eq!(t[2], "bc ");
+    }
+
+    #[test]
+    fn digits_and_punct_become_boundaries() {
+        let t = char_trigrams("a1b");
+        // normalizes to " a b " -> windows " a ", "a b", " b "
+        assert!(t.contains(&"a b".to_string()));
+    }
+
+    #[test]
+    fn short_text() {
+        assert!(char_trigrams("").is_empty());
+        assert_eq!(char_trigrams("a"), vec![" a ".to_string()]);
+    }
+
+    #[test]
+    fn word_ngrams_basic() {
+        let toks: Vec<String> = ["selling", "tiktok", "account"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(word_ngrams(&toks, 2), vec!["selling tiktok", "tiktok account"]);
+        assert_eq!(word_ngrams(&toks, 1).len(), 3);
+        assert!(word_ngrams(&toks, 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "n-gram order")]
+    fn zero_order_panics() {
+        let _ = word_ngrams(&[], 0);
+    }
+}

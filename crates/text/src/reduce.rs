@@ -1,0 +1,179 @@
+//! Dimensionality reduction — the UMAP stand-in.
+//!
+//! Before density clustering, the paper's pipeline reduces embeddings with
+//! UMAP. We use PCA computed by power iteration with deflation: for this
+//! corpus (lexically separated template families) a linear projection
+//! preserves the cluster structure the density clusterer needs, and PCA is
+//! deterministic and dependency-free.
+
+use rand::{Rng, RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Reduce `data` (rows = points) to `k` principal components.
+///
+/// Returns the projected points (rows of length `k`). `seed` initializes
+/// the power iteration start vectors. Input rows must share one length.
+///
+/// # Panics
+/// Panics if `data` is empty, rows are ragged, or `k` is zero.
+pub fn pca_reduce(data: &[Vec<f32>], k: usize, seed: u64) -> Vec<Vec<f32>> {
+    assert!(!data.is_empty(), "no data");
+    assert!(k > 0, "k must be positive");
+    let dim = data[0].len();
+    assert!(data.iter().all(|r| r.len() == dim), "ragged rows");
+    let k = k.min(dim);
+    let n = data.len();
+
+    // Center the data.
+    let mut mean = vec![0.0f64; dim];
+    for row in data {
+        for (m, &x) in mean.iter_mut().zip(row) {
+            *m += f64::from(x);
+        }
+    }
+    for m in &mut mean {
+        *m /= n as f64;
+    }
+    let centered: Vec<Vec<f64>> = data
+        .iter()
+        .map(|row| row.iter().zip(&mean).map(|(&x, m)| f64::from(x) - m).collect())
+        .collect();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9CA0_0000_0000_000A);
+    let mut components: Vec<Vec<f64>> = Vec::with_capacity(k);
+
+    for _ in 0..k {
+        let mut v = random_unit(&mut rng, dim);
+        for _iter in 0..60 {
+            // w = C^T C v  computed as sum over rows without materializing C^T C.
+            let mut w = vec![0.0f64; dim];
+            for row in &centered {
+                let proj: f64 = row.iter().zip(&v).map(|(a, b)| a * b).sum();
+                for (wi, &ri) in w.iter_mut().zip(row) {
+                    *wi += proj * ri;
+                }
+            }
+            // Deflate previously found components.
+            for c in &components {
+                let d: f64 = w.iter().zip(c).map(|(a, b)| a * b).sum();
+                for (wi, &ci) in w.iter_mut().zip(c) {
+                    *wi -= d * ci;
+                }
+            }
+            let norm: f64 = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm < 1e-12 {
+                // Degenerate direction (rank exhausted); keep previous v.
+                break;
+            }
+            let mut next: Vec<f64> = w.into_iter().map(|x| x / norm).collect();
+            // Convergence check.
+            let delta: f64 = next
+                .iter()
+                .zip(&v)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            std::mem::swap(&mut v, &mut next);
+            if delta < 1e-9 {
+                break;
+            }
+        }
+        components.push(v);
+    }
+
+    centered
+        .iter()
+        .map(|row| {
+            components
+                .iter()
+                .map(|c| row.iter().zip(c).map(|(a, b)| a * b).sum::<f64>() as f32)
+                .collect()
+        })
+        .collect()
+}
+
+fn random_unit(rng: &mut impl Rng, dim: usize) -> Vec<f64> {
+    loop {
+        let v: Vec<f64> = (0..dim).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let n: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if n > 1e-9 {
+            return v.into_iter().map(|x| x / n).collect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight blobs along the x-axis in 5-D.
+    fn blobs() -> Vec<Vec<f32>> {
+        let mut data = Vec::new();
+        for i in 0..20 {
+            let jitter = (i % 5) as f32 * 0.01;
+            let mut a = vec![0.0f32; 5];
+            a[0] = 10.0 + jitter;
+            a[1] = jitter;
+            data.push(a);
+            let mut b = vec![0.0f32; 5];
+            b[0] = -10.0 - jitter;
+            b[1] = -jitter;
+            data.push(b);
+        }
+        data
+    }
+
+    #[test]
+    fn first_component_separates_blobs() {
+        let data = blobs();
+        let reduced = pca_reduce(&data, 1, 3);
+        // Points from blob A (even indices) all on one side, blob B other side.
+        let a_side = reduced[0][0].signum();
+        for (i, r) in reduced.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(r[0].signum(), a_side, "point {i}");
+            } else {
+                assert_eq!(r[0].signum(), -a_side, "point {i}");
+            }
+            assert!(r[0].abs() > 5.0);
+        }
+    }
+
+    #[test]
+    fn output_shape() {
+        let data = blobs();
+        let reduced = pca_reduce(&data, 3, 1);
+        assert_eq!(reduced.len(), data.len());
+        assert!(reduced.iter().all(|r| r.len() == 3));
+    }
+
+    #[test]
+    fn k_clamped_to_dim() {
+        let data = vec![vec![1.0f32, 2.0], vec![3.0, 4.0], vec![0.0, 1.0]];
+        let reduced = pca_reduce(&data, 10, 1);
+        assert_eq!(reduced[0].len(), 2);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let data = blobs();
+        assert_eq!(pca_reduce(&data, 2, 9), pca_reduce(&data, 2, 9));
+    }
+
+    #[test]
+    fn variance_ordering_of_components() {
+        // Column 0 has much higher variance than column 1.
+        let data = blobs();
+        let reduced = pca_reduce(&data, 2, 4);
+        let var = |idx: usize| {
+            let mean: f32 = reduced.iter().map(|r| r[idx]).sum::<f32>() / reduced.len() as f32;
+            reduced.iter().map(|r| (r[idx] - mean).powi(2)).sum::<f32>() / reduced.len() as f32
+        };
+        assert!(var(0) > var(1) * 10.0, "v0={} v1={}", var(0), var(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_input_panics() {
+        let _ = pca_reduce(&[], 2, 1);
+    }
+}

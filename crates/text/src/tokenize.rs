@@ -1,0 +1,104 @@
+//! Word tokenization and normalization.
+
+/// Tokenize text into lowercase word tokens. A token is a maximal run of
+/// alphanumeric characters (Unicode), with apostrophes allowed inside words
+/// (`don't` stays one token). Emoji, punctuation, and symbols are dropped.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            for lc in c.to_lowercase() {
+                current.push(lc);
+            }
+        } else if c == '\'' && !current.is_empty() {
+            current.push(c);
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    // Trim trailing apostrophes left by closing quotes.
+    for t in &mut tokens {
+        while t.ends_with('\'') {
+            t.pop();
+        }
+    }
+    tokens.retain(|t| !t.is_empty());
+    tokens
+}
+
+/// Tokenize and drop tokens that are pure numbers — the paper's underground
+/// similarity analysis removes numbers and punctuation before comparing.
+pub fn tokenize_alpha(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| !t.chars().all(|c| c.is_ascii_digit()))
+        .collect()
+}
+
+/// Tokenize, lowercase, and drop stop words — the standard pre-embedding
+/// pipeline.
+pub fn tokenize_content(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| !crate::stopwords::is_stopword(t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokenization() {
+        assert_eq!(
+            tokenize("Buy NOW: 2.1M followers!"),
+            vec!["buy", "now", "2", "1m", "followers"]
+        );
+    }
+
+    #[test]
+    fn apostrophes_inside_words() {
+        assert_eq!(tokenize("don't miss it"), vec!["don't", "miss", "it"]);
+    }
+
+    #[test]
+    fn closing_quotes_trimmed() {
+        assert_eq!(tokenize("the sellers' offer"), vec!["the", "sellers", "offer"]);
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        assert_eq!(tokenize("CRÈME Brûlée"), vec!["crème", "brûlée"]);
+    }
+
+    #[test]
+    fn emoji_and_punct_dropped() {
+        assert_eq!(tokenize("win 🎉 $$$ now!!!"), vec!["win", "now"]);
+    }
+
+    #[test]
+    fn alpha_filter_drops_numbers() {
+        assert_eq!(
+            tokenize_alpha("account 12345 with 99 likes"),
+            vec!["account", "with", "likes"]
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! ...").is_empty());
+    }
+
+    #[test]
+    fn content_tokens_exclude_stopwords() {
+        let toks = tokenize_content("this is the best crypto investment of the year");
+        assert!(!toks.contains(&"the".to_string()));
+        assert!(!toks.contains(&"is".to_string()));
+        assert!(toks.contains(&"crypto".to_string()));
+    }
+}

@@ -1,0 +1,244 @@
+//! TF-IDF vectorization — the sparse half of the embedding stand-in.
+
+use crate::tokenize::tokenize_content;
+use std::collections::HashMap;
+
+/// A sparse vector: sorted `(term_id, weight)` pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseVec {
+    entries: Vec<(u32, f64)>,
+}
+
+impl SparseVec {
+    /// Build from unsorted pairs; ids are sorted and duplicates summed.
+    pub fn from_pairs(mut pairs: Vec<(u32, f64)>) -> SparseVec {
+        pairs.sort_by_key(|&(id, _)| id);
+        let mut entries: Vec<(u32, f64)> = Vec::with_capacity(pairs.len());
+        for (id, w) in pairs {
+            match entries.last_mut() {
+                Some((last_id, last_w)) if *last_id == id => *last_w += w,
+                _ => entries.push((id, w)),
+            }
+        }
+        SparseVec { entries }
+    }
+
+    /// Sorted entries.
+    pub fn entries(&self) -> &[(u32, f64)] {
+        &self.entries
+    }
+
+    /// Number of non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.entries.iter().map(|(_, w)| w * w).sum::<f64>().sqrt()
+    }
+
+    /// Dot product with another sparse vector (merge join).
+    pub fn dot(&self, other: &SparseVec) -> f64 {
+        let (mut i, mut j) = (0, 0);
+        let mut acc = 0.0;
+        while i < self.entries.len() && j < other.entries.len() {
+            let (a_id, a_w) = self.entries[i];
+            let (b_id, b_w) = other.entries[j];
+            match a_id.cmp(&b_id) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += a_w * b_w;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+}
+
+/// Cosine similarity between two sparse vectors; 0 when either is empty.
+pub fn cosine(a: &SparseVec, b: &SparseVec) -> f64 {
+    let denom = a.norm() * b.norm();
+    if denom == 0.0 {
+        0.0
+    } else {
+        (a.dot(b) / denom).clamp(-1.0, 1.0)
+    }
+}
+
+/// A fitted TF-IDF model: vocabulary and per-term IDF weights.
+#[derive(Debug, Clone)]
+pub struct TfIdfModel {
+    vocab: HashMap<String, u32>,
+    idf: Vec<f64>,
+    n_docs: usize,
+}
+
+impl TfIdfModel {
+    /// Fit a model on a corpus. Terms appearing in fewer than `min_df`
+    /// documents are dropped (noise control on big corpora).
+    pub fn fit(corpus: &[String], min_df: usize) -> TfIdfModel {
+        let mut doc_freq: HashMap<String, usize> = HashMap::new();
+        for doc in corpus {
+            let mut seen: Vec<String> = tokenize_content(doc);
+            seen.sort();
+            seen.dedup();
+            for t in seen {
+                *doc_freq.entry(t).or_insert(0) += 1;
+            }
+        }
+        let mut terms: Vec<(String, usize)> = doc_freq
+            .into_iter()
+            .filter(|&(_, df)| df >= min_df.max(1))
+            .collect();
+        terms.sort(); // deterministic vocabulary order
+        let n_docs = corpus.len();
+        let mut vocab = HashMap::with_capacity(terms.len());
+        let mut idf = Vec::with_capacity(terms.len());
+        for (i, (term, df)) in terms.into_iter().enumerate() {
+            vocab.insert(term, i as u32);
+            // Smoothed IDF, scikit-learn style: ln((1+n)/(1+df)) + 1.
+            idf.push(((1.0 + n_docs as f64) / (1.0 + df as f64)).ln() + 1.0);
+        }
+        TfIdfModel { vocab, idf, n_docs }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Number of documents the model was fitted on.
+    pub fn n_docs(&self) -> usize {
+        self.n_docs
+    }
+
+    /// Term id for a token, if in vocabulary.
+    pub fn term_id(&self, term: &str) -> Option<u32> {
+        self.vocab.get(term).copied()
+    }
+
+    /// IDF weight of a term id.
+    pub fn idf(&self, id: u32) -> f64 {
+        self.idf[id as usize]
+    }
+
+    /// Transform one document into an L2-normalized TF-IDF vector.
+    pub fn transform(&self, doc: &str) -> SparseVec {
+        let tokens = tokenize_content(doc);
+        let mut tf: HashMap<u32, f64> = HashMap::new();
+        for t in tokens {
+            if let Some(&id) = self.vocab.get(&t) {
+                *tf.entry(id).or_insert(0.0) += 1.0;
+            }
+        }
+        let pairs: Vec<(u32, f64)> = tf
+            .into_iter()
+            .map(|(id, f)| (id, f * self.idf[id as usize]))
+            .collect();
+        let v = SparseVec::from_pairs(pairs);
+        let n = v.norm();
+        if n == 0.0 {
+            return v;
+        }
+        SparseVec {
+            entries: v.entries.into_iter().map(|(id, w)| (id, w / n)).collect(),
+        }
+    }
+
+    /// Transform a whole corpus.
+    pub fn transform_all(&self, corpus: &[String]) -> Vec<SparseVec> {
+        corpus.iter().map(|d| self.transform(d)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<String> {
+        vec![
+            "free crypto giveaway send bitcoin now".to_string(),
+            "crypto trading signals daily profit guaranteed".to_string(),
+            "cute cat pictures every morning".to_string(),
+            "cat and dog pictures daily".to_string(),
+        ]
+    }
+
+    #[test]
+    fn sparse_dot_merge_join() {
+        let a = SparseVec::from_pairs(vec![(1, 2.0), (3, 1.0), (5, 4.0)]);
+        let b = SparseVec::from_pairs(vec![(3, 3.0), (5, 0.5), (9, 7.0)]);
+        assert!((a.dot(&b) - (3.0 + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_ids_summed() {
+        let v = SparseVec::from_pairs(vec![(2, 1.0), (2, 2.0), (1, 1.0)]);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.entries()[1], (2, 3.0));
+    }
+
+    #[test]
+    fn transform_is_normalized() {
+        let m = TfIdfModel::fit(&corpus(), 1);
+        let v = m.transform("crypto giveaway bitcoin");
+        assert!((v.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn similar_docs_have_higher_cosine() {
+        let c = corpus();
+        let m = TfIdfModel::fit(&c, 1);
+        let vs = m.transform_all(&c);
+        let crypto_pair = cosine(&vs[0], &vs[1]);
+        let cross = cosine(&vs[0], &vs[2]);
+        let cat_pair = cosine(&vs[2], &vs[3]);
+        assert!(crypto_pair > cross, "crypto={crypto_pair} cross={cross}");
+        assert!(cat_pair > cross, "cat={cat_pair} cross={cross}");
+    }
+
+    #[test]
+    fn min_df_prunes_rare_terms() {
+        let c = corpus();
+        let all = TfIdfModel::fit(&c, 1);
+        let pruned = TfIdfModel::fit(&c, 2);
+        assert!(pruned.vocab_size() < all.vocab_size());
+        assert!(pruned.term_id("crypto").is_some()); // df = 2
+        assert!(pruned.term_id("giveaway").is_none()); // df = 1
+    }
+
+    #[test]
+    fn out_of_vocab_doc_is_empty() {
+        let m = TfIdfModel::fit(&corpus(), 1);
+        let v = m.transform("zzz qqq www");
+        assert_eq!(v.nnz(), 0);
+        assert_eq!(cosine(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn idf_orders_rarity() {
+        let c = corpus();
+        let m = TfIdfModel::fit(&c, 1);
+        let common = m.idf(m.term_id("crypto").unwrap()); // df 2
+        let rare = m.idf(m.term_id("bitcoin").unwrap()); // df 1
+        assert!(rare > common);
+    }
+
+    #[test]
+    fn cosine_bounds() {
+        let c = corpus();
+        let m = TfIdfModel::fit(&c, 1);
+        let vs = m.transform_all(&c);
+        for a in &vs {
+            for b in &vs {
+                let s = cosine(a, b);
+                assert!((-1.0..=1.0).contains(&s));
+            }
+            assert!((cosine(a, a) - 1.0).abs() < 1e-9);
+        }
+    }
+}

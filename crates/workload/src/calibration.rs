@@ -1,0 +1,236 @@
+//! Every calibration constant from the paper, in one place.
+//!
+//! These numbers are the *generative priors* of the synthetic world. The
+//! pipeline never reads them at analysis time — it measures the world
+//! through the crawler and the platform APIs and must rediscover them
+//! (within sampling noise). Integration tests assert shape, not identity.
+
+use acctrade_social::platform::Platform;
+
+/// Table 2, per-platform: (visible accounts, visible-account posts, all
+/// advertised accounts).
+pub fn table2(platform: Platform) -> (u32, u32, u32) {
+    match platform {
+        Platform::Instagram => (2_023, 4_207, 12_658),
+        Platform::YouTube => (6_271, 3_411, 9_087),
+        Platform::TikTok => (1_700, 25_131, 8_973),
+        Platform::Facebook => (649, 7_407, 4_216),
+        Platform::X => (814, 165_427, 3_319),
+    }
+}
+
+/// Fraction of a platform's advertised accounts whose listings link the
+/// profile (Table 2 visible / all).
+pub fn visible_fraction(platform: Platform) -> f64 {
+    let (vis, _, all) = table2(platform);
+    f64::from(vis) / f64::from(all)
+}
+
+/// Table 5, per-platform: (scam accounts, scam posts).
+pub fn table5(platform: Platform) -> (u32, u32) {
+    match platform {
+        Platform::Facebook => (512, 3_838),
+        Platform::Instagram => (525, 3_271),
+        Platform::TikTok => (461, 3_034),
+        Platform::X => (610, 6_988),
+        Platform::YouTube => (1_661, 1_661),
+    }
+}
+
+/// §3.2 / Table 2 totals.
+pub const TOTAL_VISIBLE_ACCOUNTS: u32 = 11_457;
+/// Total posts collected from visible accounts.
+pub const TOTAL_POSTS: u32 = 205_583;
+/// §6 totals.
+pub const TOTAL_SCAM_ACCOUNTS: u32 = 3_769;
+/// Total scam posts.
+pub const TOTAL_SCAM_POSTS: u32 = 18_792;
+
+/// §4.1 pricing: grand total of advertised prices.
+pub const TOTAL_PRICE_SUM_USD: f64 = 64_228_836.0;
+/// §4.1: listings priced above $20,000.
+pub const PREMIUM_LISTINGS: u32 = 345;
+/// §4.1: median price among the premium listings.
+pub const PREMIUM_MEDIAN_USD: f64 = 45_000.0;
+/// §4.1: maximum price among the premium listings.
+pub const PREMIUM_MAX_USD: f64 = 5_000_000.0;
+/// Abstract-level median price per advertised account.
+pub const OVERALL_MEDIAN_PRICE_USD: f64 = 157.0;
+
+/// §4.1 categories: listings with no category.
+pub const UNCATEGORIZED_FRACTION: f64 = 8_775.0 / 38_253.0;
+/// §4.1: distinct marketplace categories.
+pub const MARKETPLACE_CATEGORY_COUNT: usize = 212;
+
+/// §4.1 monetization: listings disclosing monthly revenue.
+pub const MONETIZED_LISTINGS: u32 = 164;
+/// Monthly revenue range and median among them.
+pub const MONETIZATION_RANGE_USD: (f64, f64) = (1.0, 922.0);
+/// Monetization median usd.
+pub const MONETIZATION_MEDIAN_USD: f64 = 136.0;
+
+/// §4.1: fraction of listings with a description.
+pub const DESCRIBED_FRACTION: f64 = 24_293.0 / 38_253.0;
+/// §4.1: fraction of listings showing a follower count.
+pub const FOLLOWERS_SHOWN_FRACTION: f64 = 15_358.0 / 38_253.0;
+/// §4.1: listings claiming verified status (all YouTube, none with
+/// profile links).
+pub const VERIFIED_CLAIMS: u32 = 185;
+
+/// §5 locations: profiles listing one, distinct locations, and the top-5
+/// with counts.
+pub const LOCATED_PROFILES: u32 = 3_236;
+/// Distinct locations.
+pub const DISTINCT_LOCATIONS: usize = 140;
+/// Top locations.
+pub const TOP_LOCATIONS: &[(&str, u32)] = &[
+    ("United States", 1_242),
+    ("India", 470),
+    ("Pakistan", 222),
+    ("South Korea", 156),
+    ("Bangladesh", 114),
+];
+
+/// §5 affiliated platform categories: tagged accounts and distinct tags.
+pub const PLATFORM_CATEGORIZED_ACCOUNTS: u32 = 1_171;
+/// Platform category count.
+pub const PLATFORM_CATEGORY_COUNT: usize = 288;
+
+/// §5 account types among visible accounts.
+pub const BUSINESS_ACCOUNTS: u32 = 193;
+/// Verified accounts.
+pub const VERIFIED_ACCOUNTS: u32 = 669;
+/// Private accounts.
+pub const PRIVATE_ACCOUNTS: u32 = 65;
+/// Protected accounts.
+pub const PROTECTED_ACCOUNTS: u32 = 5;
+
+/// Figure 4 creation-date anchors: fraction created before 2020 and the
+/// fraction created within the last 3.5 years of the collection window.
+pub const CREATED_PRE_2020: f64 = 0.30;
+/// Created last 3 5 years.
+pub const CREATED_LAST_3_5_YEARS: f64 = 0.70;
+/// YouTube accounts created 2006–2010 (<0.5%).
+pub const YT_ANCIENT_FRACTION: f64 = 0.004;
+
+/// Table 7 network clusters, per platform: (clusters, clustered accounts,
+/// max cluster size, attribute description).
+pub fn table7(platform: Platform) -> (u32, u32, u32, &'static str) {
+    match platform {
+        Platform::TikTok => (3, 26, 22, "Description"),
+        Platform::YouTube => (97, 195, 3, "Name"),
+        Platform::Instagram => (31, 152, 46, "Biography"),
+        Platform::Facebook => (37, 81, 4, "Email/Phone/Website"),
+        Platform::X => (35, 89, 7, "Name/Description"),
+    }
+}
+
+/// §8: overall blocking efficacy across all platforms.
+pub const OVERALL_EFFICACY_PCT: f64 = 19.71;
+
+/// §3.1/Figure 2: crawl iterations across the Feb–Jun 2024 window.
+pub const CRAWL_ITERATIONS: usize = 10;
+/// Fraction of the final cumulative stock present at the first crawl.
+pub const INITIAL_STOCK_FRACTION: f64 = 0.80;
+/// New listings per iteration, as a fraction of final cumulative stock.
+pub const REPLENISH_FRACTION: f64 = 0.02;
+/// Per-iteration sale and delist probabilities for active listings.
+pub const SALE_PROB_PER_ITERATION: f64 = 0.035;
+/// Delist prob per iteration.
+pub const DELIST_PROB_PER_ITERATION: f64 = 0.012;
+
+/// §4.1 description strategies: (label, listing count) from the paper's
+/// keyword analysis.
+pub const DESCRIPTION_STRATEGIES: &[(&str, u32)] = &[
+    ("authentic", 784),
+    ("fresh and ready", 157),
+    ("business adaptability", 122),
+    ("real users with activity", 116),
+    ("original email included", 98),
+];
+
+/// §4.1 income-source narratives: (label, seller count).
+pub const INCOME_SOURCES: &[(&str, u32)] = &[
+    ("generic ad-based revenue", 335),
+    ("Google AdSense", 73),
+    ("premium memberships / channel monetization", 73),
+    ("promotion plans for NFT and crypto projects", 52),
+    ("selling promo videos and watermarked shorts", 41),
+];
+
+/// §6: total clusters the topic model produced, and how many were
+/// scam-related.
+pub const TOPIC_CLUSTERS: usize = 86;
+/// Scam clusters.
+pub const SCAM_CLUSTERS: usize = 16;
+
+/// §4.2 underground: total posts across the six active markets.
+pub const UNDERGROUND_POSTS: usize = 65;
+/// §4.2: similarity band reported across near-duplicate listings.
+pub const UNDERGROUND_SIMILARITY_BAND: (f64, f64) = (0.88, 1.0);
+/// §4.2: of the 42 TikTok-related posts, 12 were near-duplicates tied to
+/// three authors.
+pub const TIKTOK_NEAR_DUP_POSTS: usize = 12;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acctrade_social::platform::ALL_PLATFORMS;
+
+    #[test]
+    fn table2_sums_match_totals() {
+        let (mut vis, mut posts, mut all) = (0u32, 0u32, 0u32);
+        for p in ALL_PLATFORMS {
+            let (v, ps, a) = table2(p);
+            vis += v;
+            posts += ps;
+            all += a;
+        }
+        assert_eq!(vis, TOTAL_VISIBLE_ACCOUNTS);
+        assert_eq!(posts, TOTAL_POSTS);
+        assert_eq!(all, 38_253);
+    }
+
+    #[test]
+    fn table5_sums_match_totals() {
+        let (mut accts, mut posts) = (0u32, 0u32);
+        for p in ALL_PLATFORMS {
+            let (a, ps) = table5(p);
+            accts += a;
+            posts += ps;
+        }
+        assert_eq!(accts, TOTAL_SCAM_ACCOUNTS);
+        assert_eq!(posts, TOTAL_SCAM_POSTS);
+    }
+
+    #[test]
+    fn scam_accounts_fit_within_visible() {
+        for p in ALL_PLATFORMS {
+            let (vis, _, _) = table2(p);
+            let (scam, _) = table5(p);
+            assert!(scam <= vis, "{p}: {scam} scam > {vis} visible");
+        }
+    }
+
+    #[test]
+    fn visible_fractions_bracket_29_percent() {
+        let overall = f64::from(TOTAL_VISIBLE_ACCOUNTS) / 38_253.0;
+        assert!((overall - 0.2995).abs() < 0.01);
+        assert!(visible_fraction(Platform::YouTube) > 0.6);
+        assert!(visible_fraction(Platform::Facebook) < 0.2);
+    }
+
+    #[test]
+    fn table7_totals() {
+        let clusters: u32 = ALL_PLATFORMS.iter().map(|&p| table7(p).0).sum();
+        let accounts: u32 = ALL_PLATFORMS.iter().map(|&p| table7(p).1).sum();
+        assert_eq!(clusters, 203);
+        assert_eq!(accounts, 543);
+    }
+
+    #[test]
+    fn replenishment_reaches_full_stock() {
+        let end = INITIAL_STOCK_FRACTION + REPLENISH_FRACTION * CRAWL_ITERATIONS as f64;
+        assert!((end - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,207 @@
+//! Category and location pools.
+//!
+//! §4.1 found 212 distinct *marketplace* categories (top-5: Humor/Memes,
+//! Luxury/Motivation, Fashion/Style, Reviews/How-to, Games); §5 found 288
+//! distinct *platform* profile categories (top-5: Brand and Business,
+//! Entities, Digital Assets & Crypto, Interests and Hobbies, Events) and
+//! 140 distinct profile locations (US, India, Pakistan, South Korea,
+//! Bangladesh on top).
+
+use rand::{Rng, RngExt};
+
+/// The heads of the marketplace-category distribution, with paper counts
+/// (per-category listing counts from §4.1).
+pub const TOP_MARKET_CATEGORIES: &[(&str, u32)] = &[
+    ("Humor/Memes", 5_056),
+    ("Luxury/Motivation", 2_292),
+    ("Fashion/Style", 1_678),
+    ("Reviews/How-to", 1_420),
+    ("Games", 1_062),
+];
+
+const MARKET_SUBJECTS: &[&str] = &[
+    "Travel", "Fitness", "Food", "Cars", "Crypto", "NFT", "Pets", "Animals", "Beauty", "Makeup",
+    "Sports", "Football", "Basketball", "Music", "Dance", "Art", "Photography", "Nature",
+    "Quotes", "Motivation", "Business", "Finance", "Investing", "Tech", "Gadgets", "Anime",
+    "Movies", "Celebrities", "Gossip", "News", "Politics", "Science", "History", "Books",
+    "Education", "DIY", "Crafts", "Gardening", "Parenting", "Relationships", "Astrology",
+    "Memes", "Comedy", "Pranks", "Gaming", "Esports", "Streetwear", "Sneakers", "Watches",
+    "Jewelry", "RealEstate",
+];
+
+const MARKET_MODIFIERS: &[&str] = &[
+    "Daily", "Hub", "Central", "World", "Nation", "Life", "Vibes", "Zone", "Page", "Club",
+];
+
+/// Deterministic pool of marketplace category names: the top-5 plus
+/// Subject/Modifier combinations, 212 in total.
+pub fn marketplace_categories() -> Vec<String> {
+    let mut cats: Vec<String> = TOP_MARKET_CATEGORIES.iter().map(|&(n, _)| n.to_string()).collect();
+    'outer: for subject in MARKET_SUBJECTS {
+        for modifier in MARKET_MODIFIERS {
+            if cats.len() >= crate::calibration::MARKETPLACE_CATEGORY_COUNT {
+                break 'outer;
+            }
+            cats.push(format!("{subject}/{modifier}"));
+        }
+    }
+    cats
+}
+
+/// Sample a marketplace category with the paper's head-heavy skew: the
+/// top-5 carry ~39% of categorized listings, the tail is near-uniform.
+pub fn sample_marketplace_category<R: Rng + ?Sized>(pool: &[String], rng: &mut R) -> String {
+    debug_assert!(pool.len() >= 6, "pool must include head and tail");
+    let head_total: u32 = TOP_MARKET_CATEGORIES.iter().map(|&(_, c)| c).sum();
+    // Categorized listings in the paper: 29,478. Head share:
+    let head_share = f64::from(head_total) / 29_478.0;
+    if rng.random_bool(head_share) {
+        let mut pick = rng.random_range(0..head_total);
+        for (i, &(_, c)) in TOP_MARKET_CATEGORIES.iter().enumerate() {
+            if pick < c {
+                return pool[i].clone();
+            }
+            pick -= c;
+        }
+        unreachable!("weights cover the range");
+    }
+    pool[rng.random_range(5..pool.len())].clone()
+}
+
+/// The heads of the platform profile-category distribution (§5).
+pub const TOP_PLATFORM_CATEGORIES: &[(&str, u32)] = &[
+    ("Brand and Business", 751),
+    ("Entities", 349),
+    ("Digital Assets & Crypto", 334),
+    ("Interests and Hobbies", 322),
+    ("Events", 219),
+];
+
+/// Deterministic pool of 288 platform profile categories.
+pub fn platform_categories() -> Vec<String> {
+    let mut cats: Vec<String> =
+        TOP_PLATFORM_CATEGORIES.iter().map(|&(n, _)| n.to_string()).collect();
+    let domains = [
+        "Creators", "Retail", "Media", "Health", "Wellness", "Legal", "Consulting", "Nonprofit",
+        "Restaurants", "Travel", "Automotive", "Beauty", "Gaming", "Sports", "Music", "Film",
+        "Education", "Technology", "Finance", "Insurance", "RealEstate", "Crafts", "Events",
+        "Photography",
+    ];
+    let kinds = [
+        "Agency", "Studio", "Shop", "Community", "Network", "Collective", "Services", "Brand",
+        "Official", "Group", "Channel", "Page",
+    ];
+    'outer: for d in domains {
+        for k in kinds {
+            if cats.len() >= crate::calibration::PLATFORM_CATEGORY_COUNT {
+                break 'outer;
+            }
+            cats.push(format!("{d} {k}"));
+        }
+    }
+    cats
+}
+
+/// Location pool: the §5 top-5 plus a long tail reaching 140 distinct
+/// locations.
+pub fn locations() -> Vec<&'static str> {
+    let mut locs: Vec<&'static str> = crate::calibration::TOP_LOCATIONS
+        .iter()
+        .map(|&(n, _)| n)
+        .collect();
+    locs.extend_from_slice(&[
+        "Indonesia", "Brazil", "Nigeria", "United Kingdom", "Turkey", "Egypt", "Vietnam",
+        "Philippines", "Mexico", "Germany", "France", "Italy", "Spain", "Canada", "Australia",
+        "Russia", "Ukraine", "Poland", "Netherlands", "Sweden", "Norway", "Japan", "China",
+        "Thailand", "Malaysia", "Singapore", "Argentina", "Colombia", "Chile", "Peru",
+        "South Africa", "Kenya", "Ghana", "Morocco", "Algeria", "Saudi Arabia", "UAE", "Qatar",
+        "Israel", "Jordan", "Lebanon", "Iraq", "Iran", "Afghanistan", "Sri Lanka", "Nepal",
+        "Myanmar", "Cambodia", "Laos", "Mongolia", "Kazakhstan", "Uzbekistan", "Georgia",
+        "Armenia", "Azerbaijan", "Belarus", "Romania", "Bulgaria", "Greece", "Serbia", "Croatia",
+        "Hungary", "Austria", "Switzerland", "Belgium", "Ireland", "Portugal", "Denmark",
+        "Finland", "Iceland", "Estonia", "Latvia", "Lithuania", "Czechia", "Slovakia", "Slovenia",
+        "Albania", "Bosnia", "Montenegro", "Moldova", "Cyprus", "Malta", "Luxembourg", "Ecuador",
+        "Bolivia", "Paraguay", "Uruguay", "Venezuela", "Guatemala", "Honduras", "Nicaragua",
+        "Panama", "Costa Rica", "Cuba", "Jamaica", "Haiti", "Dominican Republic", "Trinidad",
+        "Senegal", "Ivory Coast", "Cameroon", "Uganda", "Tanzania", "Ethiopia", "Zambia",
+        "Zimbabwe", "Mozambique", "Angola", "Botswana", "Namibia", "Rwanda", "Sudan", "Libya",
+        "Tunisia", "Mauritius", "Madagascar", "New Zealand", "Fiji", "Taiwan", "Hong Kong",
+        "South Sudan", "Bahrain", "Kuwait", "Oman", "Yemen", "Syria", "Palestine", "Brunei",
+        "Maldives", "Bhutan", "Somalia", "Niger", "Mali", "Chad", "Benin", "Togo", "Gabon",
+    ]);
+    locs.truncate(crate::calibration::DISTINCT_LOCATIONS);
+    locs
+}
+
+/// Sample a location with the paper's skew (top-5 carry ~68% of located
+/// profiles).
+pub fn sample_location<R: Rng + ?Sized>(pool: &[&'static str], rng: &mut R) -> &'static str {
+    let head_total: u32 = crate::calibration::TOP_LOCATIONS.iter().map(|&(_, c)| c).sum();
+    let head_share = f64::from(head_total) / f64::from(crate::calibration::LOCATED_PROFILES);
+    if rng.random_bool(head_share) {
+        let mut pick = rng.random_range(0..head_total);
+        for (i, &(_, c)) in crate::calibration::TOP_LOCATIONS.iter().enumerate() {
+            if pick < c {
+                return pool[i];
+            }
+            pick -= c;
+        }
+    }
+    pool[rng.random_range(5..pool.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn pools_have_paper_cardinalities() {
+        let m = marketplace_categories();
+        assert_eq!(m.len(), 212);
+        let mut uniq = m.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 212, "duplicate marketplace categories");
+
+        let p = platform_categories();
+        assert_eq!(p.len(), 288);
+
+        let l = locations();
+        assert_eq!(l.len(), 140);
+        let mut lu = l.clone();
+        lu.sort();
+        lu.dedup();
+        assert_eq!(lu.len(), 140, "duplicate locations");
+    }
+
+    #[test]
+    fn category_sampling_is_head_heavy() {
+        let pool = marketplace_categories();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 20_000;
+        let mut memes = 0;
+        for _ in 0..n {
+            if sample_marketplace_category(&pool, &mut rng) == "Humor/Memes" {
+                memes += 1;
+            }
+        }
+        let share = memes as f64 / n as f64;
+        let expect = 5_056.0 / 29_478.0;
+        assert!((share - expect).abs() < 0.02, "share={share} expect={expect}");
+    }
+
+    #[test]
+    fn location_sampling_prefers_us() {
+        let pool = locations();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let n = 10_000;
+        let us = (0..n)
+            .filter(|_| sample_location(&pool, &mut rng) == "United States")
+            .count();
+        let share = us as f64 / n as f64;
+        let expect = 1_242.0 / 3_236.0;
+        assert!((share - expect).abs() < 0.03, "share={share} expect={expect}");
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # acctrade-workload
+//!
+//! The calibrated world generator: instantiates the entire measured
+//! ecosystem — sellers, listings, accounts, posts, underground forums —
+//! with marginal distributions matching the paper's published statistics,
+//! so the measurement pipeline can *rediscover* those statistics through
+//! the same noisy channels the authors faced.
+//!
+//! * [`calibration`] — every constant from the paper's tables and text;
+//! * [`categories`] — marketplace categories (212), platform profile
+//!   categories (288), locations (140 across 3,236 profiles);
+//! * [`names`] — handle / display-name / seller-username generation;
+//! * [`prices`] — the per-platform price model (medians + heavy tail);
+//! * [`textgen`] — post text: 16 scam template families (Table 6's
+//!   taxonomy), dozens of benign topics, and non-English decoys;
+//! * [`world`] — [`world::World`]: generate, deploy on a fabric, and
+//!   evolve across crawl iterations (Figure 2's replenishment).
+
+pub mod calibration;
+pub mod categories;
+pub mod names;
+pub mod prices;
+pub mod textgen;
+pub mod world;
+
+pub use textgen::{ScamCategory, ScamSubcategory};
+pub use world::{World, WorldParams, WorldTruth};

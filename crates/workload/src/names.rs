@@ -1,0 +1,178 @@
+//! Handle, display-name, and seller-username generation.
+//!
+//! §8 notes that blocked accounts "frequently featured names associated
+//! with trends like crypto, NFTs, beauty, luxury, animals, or
+//! miscellaneous word combinations" — so the generator builds names from
+//! themed word pools, with trend-themed pools used for farmed and scam
+//! accounts.
+
+use rand::prelude::IndexedRandom;
+use rand::Rng;
+#[allow(unused_imports)]
+use rand::RngExt;
+
+/// Name theme — picks the word pools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NameTheme {
+    /// Trending-topic names (crypto/NFT/luxury/beauty/animals).
+    Trending,
+    /// Niche-content names (memes, fashion, games, travel, ...).
+    Niche,
+    /// Person-like names (organic accounts).
+    Personal,
+}
+
+const TREND_WORDS: &[&str] = &[
+    "crypto", "nft", "bitcoin", "luxury", "beauty", "animals", "pets", "forex", "trading",
+    "giveaway", "wealth", "rich", "gold", "diamond", "millionaire",
+];
+
+const NICHE_WORDS: &[&str] = &[
+    "memes", "humor", "fashion", "style", "games", "gaming", "travel", "fitness", "food",
+    "cars", "music", "dance", "art", "photo", "nature", "quotes", "sports", "anime", "movies",
+    "tech",
+];
+
+const SUFFIX_WORDS: &[&str] = &[
+    "daily", "hub", "world", "zone", "central", "official", "page", "club", "life", "vibes",
+    "nation", "source", "spot", "haven", "feed",
+];
+
+const FIRST_NAMES: &[&str] = &[
+    "alex", "maria", "james", "sofia", "david", "emma", "omar", "aisha", "liam", "chloe", "noah",
+    "fatima", "ethan", "nina", "lucas", "sara", "daniel", "leila", "ryan", "anna", "karim",
+    "julia", "victor", "amira", "oscar", "diana", "felix", "laura", "ivan", "maya",
+];
+
+const LAST_NAMES: &[&str] = &[
+    "smith", "garcia", "khan", "chen", "mueller", "rossi", "silva", "novak", "petrov", "tanaka",
+    "owens", "berg", "costa", "ali", "jones", "walker", "reed", "ortiz", "kaya", "young",
+];
+
+/// Generate a handle (lowercase, platform-safe) for a theme. `salt`
+/// guarantees cross-account uniqueness.
+pub fn handle<R: Rng + ?Sized>(theme: NameTheme, salt: u64, rng: &mut R) -> String {
+    let core = match theme {
+        NameTheme::Trending => format!(
+            "{}_{}",
+            TREND_WORDS.choose(rng).expect("non-empty"),
+            SUFFIX_WORDS.choose(rng).expect("non-empty")
+        ),
+        NameTheme::Niche => format!(
+            "{}.{}",
+            NICHE_WORDS.choose(rng).expect("non-empty"),
+            SUFFIX_WORDS.choose(rng).expect("non-empty")
+        ),
+        NameTheme::Personal => format!(
+            "{}{}",
+            FIRST_NAMES.choose(rng).expect("non-empty"),
+            LAST_NAMES.choose(rng).expect("non-empty")
+        ),
+    };
+    // Append a short salt-derived tag; real bulk registration does the
+    // same (Thomas et al.'s naming-pattern observation).
+    format!("{core}{}", salt % 10_000)
+}
+
+/// Generate a display name matching the handle's theme.
+pub fn display_name<R: Rng + ?Sized>(theme: NameTheme, rng: &mut R) -> String {
+    fn cap(s: &str) -> String {
+        let mut c = s.chars();
+        match c.next() {
+            Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+            None => String::new(),
+        }
+    }
+    match theme {
+        NameTheme::Trending => format!(
+            "{} {}",
+            cap(TREND_WORDS.choose(rng).expect("non-empty")),
+            cap(SUFFIX_WORDS.choose(rng).expect("non-empty"))
+        ),
+        NameTheme::Niche => format!(
+            "{} {}",
+            cap(NICHE_WORDS.choose(rng).expect("non-empty")),
+            cap(SUFFIX_WORDS.choose(rng).expect("non-empty"))
+        ),
+        NameTheme::Personal => format!(
+            "{} {}",
+            cap(FIRST_NAMES.choose(rng).expect("non-empty")),
+            cap(LAST_NAMES.choose(rng).expect("non-empty"))
+        ),
+    }
+}
+
+/// Generate a marketplace seller username.
+pub fn seller_username<R: Rng + ?Sized>(salt: u64, rng: &mut R) -> String {
+    // Every style carries the salt so usernames are unique per
+    // marketplace (Table 1 counts distinct sellers).
+    let styles = [
+        format!("{}{}", FIRST_NAMES.choose(rng).expect("x"), salt % 100_000),
+        format!(
+            "{}_{}{}",
+            NICHE_WORDS.choose(rng).expect("x"),
+            ["seller", "store", "deals", "shop", "trade"].choose(rng).expect("x"),
+            salt % 100_000
+        ),
+        format!("vendor_{}", salt % 100_000),
+    ];
+    styles.choose(rng).expect("non-empty").clone()
+}
+
+/// Does the name mention a trending topic (the moderation engine's
+/// keyword signal)?
+pub fn is_trending_name(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    TREND_WORDS.iter().any(|w| lower.contains(w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn handles_are_lowercase_and_salted() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for theme in [NameTheme::Trending, NameTheme::Niche, NameTheme::Personal] {
+            let h = handle(theme, 1234, &mut rng);
+            assert!(h.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.'));
+            assert!(h.ends_with("1234"));
+        }
+    }
+
+    #[test]
+    fn trending_handles_carry_trend_words() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for i in 0..50 {
+            let h = handle(NameTheme::Trending, i, &mut rng);
+            assert!(is_trending_name(&h), "handle {h} lacks trend word");
+        }
+    }
+
+    #[test]
+    fn personal_names_avoid_trend_words_mostly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let trendy = (0..200)
+            .filter(|&i| is_trending_name(&handle(NameTheme::Personal, i, &mut rng)))
+            .count();
+        assert!(trendy < 10, "{trendy} personal names look trending");
+    }
+
+    #[test]
+    fn display_names_are_capitalized() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let n = display_name(NameTheme::Niche, &mut rng);
+        assert!(n.chars().next().unwrap().is_uppercase());
+        assert!(n.contains(' '));
+    }
+
+    #[test]
+    fn seller_usernames_nonempty_and_varied() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let names: std::collections::HashSet<String> =
+            (0..100).map(|i| seller_username(i, &mut rng)).collect();
+        assert!(names.len() > 50, "too few distinct usernames: {}", names.len());
+    }
+}

@@ -1,0 +1,571 @@
+//! Post-text generation: the §6 scam taxonomy and the benign background.
+//!
+//! The paper's topic model found **86 clusters**, of which **16** were
+//! scam-related, rolling up into **six scam categories** (Table 6). We
+//! generate text from exactly that structure: 16 scam template families
+//! (one per scam cluster) and 70 benign topic families, each family a set
+//! of slot-filled templates sharing a distinctive lexical core — which is
+//! what makes the downstream embedding + density-clustering pipeline
+//! meaningful rather than decorative.
+//!
+//! Non-English decoy posts exercise the language filter the same way the
+//! real corpus exercised CLD2.
+
+use rand::prelude::IndexedRandom;
+use rand::Rng;
+#[allow(unused_imports)]
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// The six §6 scam categories (Table 6 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ScamCategory {
+    /// Financial.
+    Financial,
+    /// Phishing.
+    Phishing,
+    /// Product fraud.
+    ProductFraud,
+    /// Adult content.
+    AdultContent,
+    /// Impersonation.
+    Impersonation,
+    /// Engagement bait.
+    EngagementBait,
+}
+
+impl ScamCategory {
+    /// Category label as printed in Table 6.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScamCategory::Financial => "Financial Scams",
+            ScamCategory::Phishing => "Phishing",
+            ScamCategory::ProductFraud => "Product/Service Fraud",
+            ScamCategory::AdultContent => "Adult Content",
+            ScamCategory::Impersonation => "Impersonation",
+            ScamCategory::EngagementBait => "Engagement Bait",
+        }
+    }
+
+    /// All categories in Table 6 order.
+    pub fn all() -> [ScamCategory; 6] {
+        [
+            ScamCategory::Financial,
+            ScamCategory::Phishing,
+            ScamCategory::ProductFraud,
+            ScamCategory::AdultContent,
+            ScamCategory::Impersonation,
+            ScamCategory::EngagementBait,
+        ]
+    }
+
+    /// Keywords the manual-vetting oracle uses to decide whether a cluster
+    /// belongs to this category (the stand-in for the authors' manual
+    /// analysis of 25 sampled posts per cluster).
+    pub fn vetting_keywords(self) -> &'static [&'static str] {
+        match self {
+            ScamCategory::Financial => {
+                &["bitcoin", "crypto", "wallet", "profit", "invest", "nft", "donate", "charity", "portfolio", "consultant", "consulting", "wealth"]
+            }
+            ScamCategory::Phishing => &["click", "link", "verify", "login", "claim", "dm", "password"],
+            ScamCategory::ProductFraud => {
+                &["order", "shipping", "deal", "discount", "booking", "rental", "merch", "course", "betting", "picks", "book", "deposit", "enroll", "scholarship", "selling"]
+            }
+            ScamCategory::AdultContent => &["lonely", "chat", "private", "photos", "date", "meet"],
+            ScamCategory::Impersonation => {
+                &["official", "support", "celebrity", "helpdesk", "agent", "management"]
+            }
+            ScamCategory::EngagementBait => {
+                &["follow", "like", "subscribe", "share", "goodmorning", "blessed", "motivation"]
+            }
+        }
+    }
+}
+
+/// The sixteen §6 scam clusters (Table 6 sub-rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ScamSubcategory {
+    /// Crypto scams.
+    CryptoScams,
+    /// Nft giveaway.
+    NftGiveaway,
+    /// Financial consulting.
+    FinancialConsulting,
+    /// Charity exploitation.
+    CharityExploitation,
+    /// Phishing trends.
+    PhishingTrends,
+    /// Phishing chat.
+    PhishingChat,
+    /// Product promotion.
+    ProductPromotion,
+    /// Fake travel.
+    FakeTravel,
+    /// Vehicle fraud.
+    VehicleFraud,
+    /// Sports betting.
+    SportsBetting,
+    /// Fake education.
+    FakeEducation,
+    /// Catphishing.
+    Catphishing,
+    /// Public figure impersonation.
+    PublicFigureImpersonation,
+    /// Fake tech support.
+    FakeTechSupport,
+    /// Like follow requests.
+    LikeFollowRequests,
+    /// Greetings motivation.
+    GreetingsMotivation,
+}
+
+/// All sixteen subcategories in Table 6 order.
+pub const ALL_SUBCATEGORIES: [ScamSubcategory; 16] = [
+    ScamSubcategory::CryptoScams,
+    ScamSubcategory::NftGiveaway,
+    ScamSubcategory::FinancialConsulting,
+    ScamSubcategory::CharityExploitation,
+    ScamSubcategory::PhishingTrends,
+    ScamSubcategory::PhishingChat,
+    ScamSubcategory::ProductPromotion,
+    ScamSubcategory::FakeTravel,
+    ScamSubcategory::VehicleFraud,
+    ScamSubcategory::SportsBetting,
+    ScamSubcategory::FakeEducation,
+    ScamSubcategory::Catphishing,
+    ScamSubcategory::PublicFigureImpersonation,
+    ScamSubcategory::FakeTechSupport,
+    ScamSubcategory::LikeFollowRequests,
+    ScamSubcategory::GreetingsMotivation,
+];
+
+impl ScamSubcategory {
+    /// Parent category.
+    pub fn category(self) -> ScamCategory {
+        use ScamSubcategory::*;
+        match self {
+            CryptoScams | NftGiveaway | FinancialConsulting | CharityExploitation => {
+                ScamCategory::Financial
+            }
+            PhishingTrends | PhishingChat => ScamCategory::Phishing,
+            ProductPromotion | FakeTravel | VehicleFraud | SportsBetting | FakeEducation => {
+                ScamCategory::ProductFraud
+            }
+            Catphishing => ScamCategory::AdultContent,
+            PublicFigureImpersonation | FakeTechSupport => ScamCategory::Impersonation,
+            LikeFollowRequests | GreetingsMotivation => ScamCategory::EngagementBait,
+        }
+    }
+
+    /// Sub-row label as printed in Table 6.
+    pub fn label(self) -> &'static str {
+        use ScamSubcategory::*;
+        match self {
+            CryptoScams => "Crypto Scams",
+            NftGiveaway => "NFT and Giveaway Scams",
+            FinancialConsulting => "Financial Consulting",
+            CharityExploitation => "Emotional Exploitation (Charity)",
+            PhishingTrends => "Through Popular Content/Challenges/Trends",
+            PhishingChat => "Through Chat Communication",
+            ProductPromotion => "Product Promotion Scams",
+            FakeTravel => "Fake Travel Deals",
+            VehicleFraud => "Vehicle Sale/Rental Fraud",
+            SportsBetting => "Sports Betting and Merchandise Scams",
+            FakeEducation => "Fake Education-related Offers",
+            Catphishing => "Provocative and Catphishing Lures",
+            PublicFigureImpersonation => "Public Figures",
+            FakeTechSupport => "Fake Tech Support",
+            LikeFollowRequests => "Like/Follow/Subscribe Requests",
+            GreetingsMotivation => "Greetings and Motivational Phrases",
+        }
+    }
+
+    /// Table 6's (accounts, posts) for this subcategory.
+    pub fn paper_counts(self) -> (u32, u32) {
+        use ScamSubcategory::*;
+        match self {
+            CryptoScams => (2_352, 8_218),
+            NftGiveaway => (163, 389),
+            FinancialConsulting => (81, 133),
+            CharityExploitation => (53, 163),
+            PhishingTrends => (725, 1_749),
+            PhishingChat => (208, 544),
+            ProductPromotion => (296, 739),
+            FakeTravel => (131, 357),
+            VehicleFraud => (101, 279),
+            SportsBetting => (129, 451),
+            FakeEducation => (44, 183),
+            Catphishing => (244, 466),
+            PublicFigureImpersonation => (53, 133),
+            FakeTechSupport => (135, 259),
+            LikeFollowRequests => (1_509, 2_999),
+            GreetingsMotivation => (791, 1_598),
+        }
+    }
+}
+
+// --- slot pools -----------------------------------------------------------
+
+const COINS: &[&str] = &["bitcoin", "ethereum", "solana", "dogecoin", "tether"];
+const PCT: &[&str] = &["200", "300", "500", "150", "1000"];
+const HOURS: &[&str] = &["24", "48", "12", "72"];
+const CELEBS: &[&str] = &["the ceo", "a famous founder", "a top influencer", "a tv billionaire"];
+const PLACES: &[&str] = &["bali", "dubai", "maldives", "paris", "cancun", "santorini"];
+const CARS: &[&str] = &["bmw", "mercedes", "tesla", "audi", "lexus"];
+const TEAMS: &[&str] = &["united", "madrid", "lakers", "yankees", "city"];
+const NUMS: &[&str] = &["50", "100", "250", "500", "1000", "5000"];
+
+fn fill<R: Rng + ?Sized>(template: &str, rng: &mut R) -> String {
+    let mut out = template.to_string();
+    let slots: &[(&str, &[&str])] = &[
+        ("{coin}", COINS),
+        ("{pct}", PCT),
+        ("{hours}", HOURS),
+        ("{celeb}", CELEBS),
+        ("{place}", PLACES),
+        ("{car}", CARS),
+        ("{team}", TEAMS),
+        ("{num}", NUMS),
+    ];
+    for (slot, pool) in slots {
+        while out.contains(slot) {
+            out = out.replacen(slot, pool.choose(rng).expect("non-empty pool"), 1);
+        }
+    }
+    out
+}
+
+fn scam_templates(sub: ScamSubcategory) -> &'static [&'static str] {
+    use ScamSubcategory::*;
+    match sub {
+        CryptoScams => &[
+            "huge {coin} giveaway today send any amount to my wallet and receive {pct} percent back guaranteed profit",
+            "i turned {num} dollars into {num} thousand trading {coin} join my vip signals and copy my trades for guaranteed profit",
+            "limited {coin} investment pool closes in {hours} hours double your wallet deposit with zero risk",
+            "my mentor manages {coin} portfolios with {pct} percent monthly returns dm the word profit to invest now",
+        ],
+        NftGiveaway => &[
+            "free nft mint for the first {num} wallets connect now and claim your giveaway spot",
+            "massive nft giveaway to celebrate {num} holders tag friends and connect your wallet to claim",
+            "whitelist giveaway live rare nft drops for {num} lucky winners claim before the timer ends",
+            "exclusive nft airdrop for {num} early wallets connect and mint your free giveaway piece",
+        ],
+        FinancialConsulting => &[
+            "certified financial consultant helping families build wealth book a free portfolio review today",
+            "your savings are losing value every day let my consulting desk restructure your portfolio dm plan",
+            "tax free offshore investment strategies my consulting clients average {pct} percent yearly dm invest",
+            "my consulting desk rebalanced {num} portfolios this quarter book your free wealth review",
+        ],
+        CharityExploitation => &[
+            "urgent appeal little mia needs surgery in {hours} hours every donation counts please donate and share",
+            "we are building a shelter for {num} orphans donate what you can and god will repay you tenfold",
+            "flood victims need food and blankets tonight donate to the wallet below and share this post",
+            "only {num} dollars feeds a child for a week donate now and share with everyone you know",
+        ],
+        PhishingTrends => &[
+            "the viral {num} challenge is here click the link to see if you qualify before it closes",
+            "everyone is checking who viewed their profile try the new tool click the link and verify your account",
+            "trend alert claim the limited badge for your profile click the link and login to activate",
+            "the {num} second trend filter is blowing up click the link login and unlock it first",
+        ],
+        PhishingChat => &[
+            "hey i saw your profile please verify your account in dm there is a problem with your login",
+            "security notice we detected unusual activity from {num} locations send your verification code in chat to keep access",
+            "congratulations you won our weekly draw of {num} dollars dm your details and claim the prize before it expires in {hours} hours",
+            "your account will be limited in {hours} hours unless you verify dm the security code now",
+        ],
+        ProductPromotion => &[
+            "designer bags {pct} percent off warehouse clearance order today shipping is free for {hours} hours",
+            "miracle skincare serum clears skin in {hours} hours order now stock is almost gone",
+            "new smartwatch deal only {num} units left order from the link and get a second one free",
+        ],
+        FakeTravel => &[
+            "all inclusive {place} vacation for {num} dollars flights and hotel included book the deal today",
+            "we booked {num} travelers to {place} last month grab the last discount seats book now",
+            "dream honeymoon in {place} five star resort at {pct} off limited booking window",
+        ],
+        VehicleFraud => &[
+            "selling my {car} urgently moving abroad price {num} dollars shipping arranged after deposit",
+            "rent a {car} for {num} a week no credit check small deposit reserves your rental today",
+            "military officer selling {car} before deployment price below market deposit holds the car",
+        ],
+        SportsBetting => &[
+            "fixed match tonight {team} guaranteed win odds {num} join the vip betting group before kickoff",
+            "official {team} merch at {pct} percent off order the jersey today limited stock",
+            "my betting model hit {num} straight wins join premium picks and bet with confidence",
+        ],
+        FakeEducation => &[
+            "get an accredited diploma in {hours} days no classes no exams enroll with the course link",
+            "free scholarship applications close in {hours} hours pay the small processing fee and enroll",
+            "learn day trading with our academy course {pct} percent discount for the first {num} students",
+        ],
+        Catphishing => &[
+            "feeling lonely tonight i share private photos with people who chat with me dm me babe",
+            "i just moved to {place} and need a date who wants to meet check my private page link",
+            "my public page is too strict the real photos are on my private chat come say hi",
+            "only the first {num} people get access to my private photos tonight dm me before i log off babe",
+        ],
+        PublicFigureImpersonation => &[
+            "this is the official page of {celeb} i am giving back to fans send {coin} and i double it",
+            "hello fans {celeb} here my management opened a private investment round for followers only",
+            "official announcement from {celeb} claim your fan reward through the link before {hours} hours",
+            "{celeb} appreciation event the management team doubles the first {num} fan deposits",
+        ],
+        FakeTechSupport => &[
+            "your device shows signs of infection our certified support agents can fix it remotely call the helpdesk now",
+            "microsoft certified support here your license expired {hours} hours ago renew through our agent to avoid data loss",
+            "account locked contact the official support helpdesk in dm and our agent restores access in {num} minutes",
+            "we detected {num} threats on your device the helpdesk agent can clean it remotely today",
+        ],
+        LikeFollowRequests => &[
+            "follow this page and like the last {num} posts to enter the giveaway winners announced tonight",
+            "like share and subscribe we drop exclusive content when we hit {num} followers",
+            "follow back train active now follow everyone who likes this and gain {num} followers fast",
+            "tag {num} friends like this post and subscribe to win the exclusive drop this weekend",
+        ],
+        GreetingsMotivation => &[
+            "good morning beautiful people stay blessed stay humble and keep grinding",
+            "good morning champions monday motivation stay blessed and keep grinding toward your dreams",
+            "sending blessed morning vibes and motivation to everyone stay humble and keep grinding",
+            "rise and grind family good morning stay blessed positive vibes and motivation today",
+            "good morning winners stay blessed gratitude and motivation will keep you grinding all week",
+        ],
+    }
+}
+
+/// Generate one scam post for a subcategory.
+pub fn scam_post_text<R: Rng + ?Sized>(sub: ScamSubcategory, rng: &mut R) -> String {
+    let t = scam_templates(sub).choose(rng).expect("templates exist");
+    fill(t, rng)
+}
+
+// --- benign topics ---------------------------------------------------------
+
+/// Benign topic families: 86 total clusters − 16 scam = 70.
+pub const BENIGN_TOPIC_COUNT: usize = 70;
+
+const BENIGN_KEYWORDS: [(&str, &str, &str); BENIGN_TOPIC_COUNT] = [
+    ("sunset", "photography", "golden"),
+    ("recipe", "pasta", "kitchen"),
+    ("workout", "gym", "reps"),
+    ("puppy", "rescue", "adoption"),
+    ("makeup", "tutorial", "palette"),
+    ("sneaker", "collection", "drop"),
+    ("guitar", "cover", "acoustic"),
+    ("hiking", "trail", "summit"),
+    ("coffee", "roast", "espresso"),
+    ("garden", "tomatoes", "harvest"),
+    ("painting", "canvas", "brush"),
+    ("chess", "opening", "endgame"),
+    ("cycling", "ride", "kilometers"),
+    ("baking", "sourdough", "crumb"),
+    ("astronomy", "telescope", "nebula"),
+    ("poetry", "verse", "stanza"),
+    ("vintage", "thrift", "finds"),
+    ("surfing", "waves", "swell"),
+    ("keyboard", "mechanical", "switches"),
+    ("aquarium", "reef", "coral"),
+    ("origami", "paper", "fold"),
+    ("birdwatching", "warbler", "binoculars"),
+    ("pottery", "wheel", "glaze"),
+    ("running", "marathon", "pace"),
+    ("skincare", "routine", "moisturizer"),
+    ("lego", "build", "bricks"),
+    ("camping", "tent", "campfire"),
+    ("knitting", "yarn", "pattern"),
+    ("drone", "aerial", "footage"),
+    ("yoga", "flow", "breath"),
+    ("comics", "issue", "panel"),
+    ("fishing", "bass", "lure"),
+    ("woodworking", "joinery", "sawdust"),
+    ("skateboard", "kickflip", "park"),
+    ("tea", "oolong", "steep"),
+    ("calligraphy", "ink", "nib"),
+    ("climbing", "boulder", "crimp"),
+    ("vinyl", "records", "turntable"),
+    ("gaming", "speedrun", "boss"),
+    ("anime", "episode", "season"),
+    ("crochet", "stitches", "blanket"),
+    ("barbecue", "brisket", "smoker"),
+    ("language", "vocabulary", "fluent"),
+    ("minimalism", "declutter", "simple"),
+    ("houseplants", "monstera", "propagate"),
+    ("triathlon", "swim", "transition"),
+    ("beekeeping", "hive", "honey"),
+    ("magic", "card", "sleight"),
+    ("cosplay", "costume", "convention"),
+    ("journaling", "notebook", "spread"),
+    ("snowboarding", "powder", "slope"),
+    ("podcast", "episode", "interview"),
+    ("watchmaking", "movement", "dial"),
+    ("ramen", "broth", "noodles"),
+    ("architecture", "facade", "brutalist"),
+    ("trains", "locomotive", "railway"),
+    ("succulents", "cactus", "terrarium"),
+    ("pilates", "core", "mat"),
+    ("embroidery", "hoop", "thread"),
+    ("kayaking", "paddle", "rapids"),
+    ("film", "cinematography", "director"),
+    ("typography", "font", "serif"),
+    ("meteorology", "storm", "forecast"),
+    ("salsa", "dance", "rhythm"),
+    ("homebrew", "hops", "ferment"),
+    ("falconry", "hawk", "perch"),
+    ("quilting", "patchwork", "batting"),
+    ("parkour", "vault", "rooftop"),
+    ("mushrooms", "foraging", "spores"),
+    ("stargazing", "constellation", "meteor"),
+];
+
+const BENIGN_PATTERNS: &[&str] = &[
+    "daily {a} update more {a} and {b} experiments with the {c} and the {b} today",
+    "my {b} keeps getting better new {a} and {c} moments from todays {a} and {c} session",
+    "obsessed with {a} lately the {b} and the {c} made this {a} week my best {b} yet",
+    "sharing todays {a} highlights that {b} with the {c} was unreal more {a} and {b} soon",
+    "weekend {a} diary from the {b} to the {c} and back to {a} with a bonus {c}",
+];
+
+/// Generate one benign post for topic `idx` (`0..BENIGN_TOPIC_COUNT`).
+pub fn benign_post_text<R: Rng + ?Sized>(idx: usize, rng: &mut R) -> String {
+    let (a, b, c) = BENIGN_KEYWORDS[idx % BENIGN_TOPIC_COUNT];
+    let pattern = BENIGN_PATTERNS.choose(rng).expect("patterns exist");
+    pattern.replace("{a}", a).replace("{b}", b).replace("{c}", c)
+}
+
+// --- non-English decoys -----------------------------------------------------
+
+const FOREIGN_POSTS: &[&str] = &[
+    // Spanish
+    "vendo esta cuenta con seguidores reales y mucha actividad escríbeme antes de comprar por favor amigos",
+    "nueva publicación del día comparte y sigue la página para más contenido increíble cada semana",
+    // French
+    "je partage aujourd'hui une nouvelle photo merci à tous les abonnés pour votre soutien incroyable",
+    "nouveau contenu chaque semaine abonnez vous à la page pour ne rien manquer mes amis",
+    // German
+    "heute gibt es neue inhalte auf der seite danke an alle follower für die tolle unterstützung",
+    "folgt der seite für tägliche beiträge und teilt den post mit euren freunden bitte",
+    // Portuguese
+    "conteúdo novo toda semana sigam a página e compartilhem com os amigos muito obrigado pessoal",
+    "hoje trago mais uma publicação incrível obrigado a todos os seguidores pelo carinho de sempre",
+    // Russian
+    "новый пост каждый день подписывайтесь на страницу и делитесь с друзьями спасибо за поддержку",
+    "сегодня делюсь новым контентом спасибо всем подписчикам за вашу невероятную поддержку друзья",
+];
+
+/// Generate one non-English decoy post.
+pub fn foreign_post_text<R: Rng + ?Sized>(rng: &mut R) -> String {
+    (*FOREIGN_POSTS.choose(rng).expect("non-empty")).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acctrade_text::langdetect::{detect_language, Lang};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn taxonomy_counts_match_table6() {
+        // Category accounts = sum of sub accounts.
+        let cat_accounts = |c: ScamCategory| -> u32 {
+            ALL_SUBCATEGORIES
+                .iter()
+                .filter(|s| s.category() == c)
+                .map(|s| s.paper_counts().0)
+                .sum()
+        };
+        assert_eq!(cat_accounts(ScamCategory::Financial), 2_649);
+        assert_eq!(cat_accounts(ScamCategory::Phishing), 933);
+        assert_eq!(cat_accounts(ScamCategory::ProductFraud), 701);
+        assert_eq!(cat_accounts(ScamCategory::AdultContent), 244);
+        assert_eq!(cat_accounts(ScamCategory::Impersonation), 188);
+        assert_eq!(cat_accounts(ScamCategory::EngagementBait), 2_300);
+
+        let cat_posts = |c: ScamCategory| -> u32 {
+            ALL_SUBCATEGORIES
+                .iter()
+                .filter(|s| s.category() == c)
+                .map(|s| s.paper_counts().1)
+                .sum()
+        };
+        assert_eq!(cat_posts(ScamCategory::Financial), 8_903);
+        assert_eq!(cat_posts(ScamCategory::Phishing), 2_293);
+        assert_eq!(cat_posts(ScamCategory::ProductFraud), 2_009);
+        assert_eq!(cat_posts(ScamCategory::EngagementBait), 4_597);
+    }
+
+    #[test]
+    fn sixteen_scam_plus_seventy_benign_is_86() {
+        assert_eq!(
+            ALL_SUBCATEGORIES.len() + BENIGN_TOPIC_COUNT,
+            crate::calibration::TOPIC_CLUSTERS
+        );
+    }
+
+    #[test]
+    fn scam_posts_are_english_and_slotted() {
+        // The trigram language filter is imperfect on short domain text
+        // (CLD2 is too); require >= 90% of scam posts to pass as English.
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut total = 0;
+        let mut english = 0;
+        for sub in ALL_SUBCATEGORIES {
+            for _ in 0..10 {
+                let text = scam_post_text(sub, &mut rng);
+                assert!(!text.contains('{'), "unfilled slot in {text:?}");
+                total += 1;
+                if detect_language(&text) == Lang::English {
+                    english += 1;
+                }
+            }
+        }
+        assert!(
+            english as f64 / total as f64 >= 0.9,
+            "only {english}/{total} scam posts detected as English"
+        );
+    }
+
+    #[test]
+    fn scam_posts_carry_vetting_keywords() {
+        // Sampling several posts per subcategory must surface at least one
+        // of the parent category's vetting keywords.
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for sub in ALL_SUBCATEGORIES {
+            let kws = sub.category().vetting_keywords();
+            let hits = (0..20)
+                .filter(|_| {
+                    let t = scam_post_text(sub, &mut rng);
+                    kws.iter().any(|k| t.contains(k))
+                })
+                .count();
+            assert!(hits >= 10, "{sub:?}: only {hits}/20 posts carry keywords");
+        }
+    }
+
+    #[test]
+    fn benign_topics_are_lexically_distinct() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let a = benign_post_text(0, &mut rng);
+        let b = benign_post_text(1, &mut rng);
+        assert!(a.contains("sunset"));
+        assert!(b.contains("recipe") || b.contains("pasta"));
+    }
+
+    #[test]
+    fn foreign_posts_fail_english_filter() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..20 {
+            let t = foreign_post_text(&mut rng);
+            assert_ne!(detect_language(&t), Lang::English, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn keyword_triples_are_unique() {
+        let mut firsts: Vec<&str> = BENIGN_KEYWORDS.iter().map(|&(a, _, _)| a).collect();
+        let n = firsts.len();
+        firsts.sort();
+        firsts.dedup();
+        assert_eq!(firsts.len(), n, "duplicate benign topics");
+    }
+}

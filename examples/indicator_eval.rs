@@ -1,0 +1,68 @@
+//! §9 evaluated: the paper *recommends* two platform-side indicators —
+//! referral-header monitoring and rapid-follower-growth detection — but
+//! could not test them. The simulation can: deploy both against a
+//! generated world and score them with ground truth.
+//!
+//! ```sh
+//! cargo run --release --example indicator_eval
+//! ```
+
+use acctrade::core::indicators::{evaluate_growth_indicator, evaluate_referral_monitoring};
+use acctrade::crawler::MarketplaceCrawler;
+use acctrade::market::config::ALL_MARKETPLACES;
+use acctrade::net::{Client, SimNet};
+use acctrade::workload::world::{World, WorldParams};
+
+fn main() {
+    let world = World::generate(WorldParams { seed: 9001, scale: 0.05 });
+    let net = SimNet::new(9001);
+    world.deploy(&net);
+
+    // Crawl everything once so we know which accounts are advertised.
+    let client = Client::new(&net, "acctrade-crawler/0.1");
+    let mut offers = Vec::new();
+    for market in ALL_MARKETPLACES {
+        let (o, _) = MarketplaceCrawler::new(&client, market).crawl(0);
+        offers.extend(o);
+    }
+    println!("world: {} offers, {} visible accounts\n", offers.len(), world.truth.visible_total);
+
+    // -- Indicator 1: referral monitoring -----------------------------------
+    println!("== referral-header monitoring ==");
+    for buyers in [500usize, 2_000, 8_000] {
+        let report = evaluate_referral_monitoring(&world, &net, &offers, buyers, buyers / 4, 9001);
+        println!(
+            "  {buyers:>5} buyer sessions -> {:>4}/{} advertised accounts flagged ({:.0}% coverage), {} false alarms",
+            report.flagged_advertised,
+            report.advertised_total,
+            report.coverage() * 100.0,
+            report.flagged_unadvertised,
+        );
+    }
+    println!("  (every flag is actionable: only marketplace referers trigger)\n");
+
+    // -- Indicator 2: rapid follower growth ---------------------------------
+    println!("== rapid-follower-growth detection ==");
+    let report = evaluate_growth_indicator(&world, &[0.05, 0.1, 0.2, 0.5, 1.0, 2.0], 180, 9001);
+    println!(
+        "  {} visible accounts scored over 180 days of telemetry",
+        report.accounts_evaluated
+    );
+    println!("  threshold  precision  recall  f1");
+    for (threshold, m) in &report.operating_points {
+        println!(
+            "  {threshold:>9.2}  {:>9.2}  {:>6.2}  {:.2}",
+            m.precision(),
+            m.recall(),
+            m.f1()
+        );
+    }
+    if let Some((t, m)) = report.best() {
+        println!(
+            "\n  best operating point: +{:.0}%/day flags farming with precision {:.2}, recall {:.2}",
+            t * 100.0,
+            m.precision(),
+            m.recall()
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! The §6 NLP pipeline in isolation: language filter → dedup → embed →
+//! reduce → HDBSCAN → c-TF-IDF keywords → vetting → taxonomy.
+//!
+//! Generates a labeled synthetic corpus (so precision/recall against
+//! ground truth can be printed) and runs both clustering backends.
+//!
+//! ```sh
+//! cargo run --release --example scam_pipeline
+//! ```
+
+use acctrade::core::scamposts::{
+    analyze, synthetic_posts, ClusterBackend, ScamPipelineConfig,
+};
+
+fn main() {
+    // 60 posts per scam subcategory (16 of them), 25 per benign topic (70).
+    let posts = synthetic_posts(60, 25, 7);
+    let truth_scam = 16 * 60;
+    println!(
+        "corpus: {} posts ({truth_scam} scam by construction)\n",
+        posts.len()
+    );
+
+    for (name, backend) in [
+        ("HDBSCAN (paper-faithful)", ClusterBackend::Hdbscan { min_cluster_size: 3 }),
+        ("DBSCAN baseline", ClusterBackend::Dbscan { eps: 0.35, min_pts: 3 }),
+    ] {
+        let cfg = ScamPipelineConfig { backend, ..Default::default() };
+        let a = analyze(&posts, cfg);
+        println!("== {name} ==");
+        println!("  english posts:    {}", a.english_posts);
+        println!("  unique documents: {}", a.unique_documents);
+        println!("  clusters:         {} ({} scam)", a.clusters.len(), a.scam_cluster_count);
+        println!(
+            "  scam posts found: {} / {truth_scam} ({:.0}% recall)",
+            a.total_scam_posts,
+            100.0 * a.total_scam_posts as f64 / truth_scam as f64
+        );
+        println!("  scam accounts:    {}", a.total_scam_accounts);
+        println!("  taxonomy:");
+        for row in &a.table6 {
+            if row.posts == 0 {
+                continue;
+            }
+            println!("    {:<28} {:>5} accounts {:>6} posts", row.category.label(), row.accounts, row.posts);
+            for (sub, accounts, posts) in &row.subrows {
+                if *posts > 0 {
+                    println!("      - {:<40} {accounts:>4} / {posts}", sub.label());
+                }
+            }
+        }
+        println!("  sample scam-cluster keywords:");
+        for c in a.clusters.iter().filter(|c| c.category.is_some()).take(6) {
+            println!(
+                "    [{}] {}",
+                c.category.map(|c| c.label()).unwrap_or("-"),
+                c.keywords.join(", ")
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,35 @@
+//! # acctrade
+//!
+//! Facade crate for the `acctrade` workspace — a full-system Rust
+//! reproduction of *"Exploration of the Dynamics of Buy and Sale of Social
+//! Media Accounts"* (IMC 2025).
+//!
+//! The paper is a measurement study of marketplaces that sell social media
+//! accounts. This workspace rebuilds the entire measured ecosystem as a
+//! deterministic simulation (marketplaces, underground Tor forums, five
+//! social platforms, the network between them) plus the paper's measurement
+//! pipeline (crawler, profile resolver, NLP scam-post clustering, network
+//! analysis, efficacy audit) from scratch in Rust.
+//!
+//! Start with [`study`] ([`acctrade_core::study`]) to run the end-to-end
+//! pipeline, or see the `examples/` directory:
+//!
+//! * `quickstart` — small world, one marketplace, first numbers in seconds;
+//! * `full_study` — every table and figure from the paper;
+//! * `scam_pipeline` — the post-clustering NLP pipeline in isolation;
+//! * `underground_recon` — Tor-forum manual collection and listing
+//!   similarity;
+//! * `efficacy_audit` — platform moderation and blocking efficacy;
+//! * `indicator_eval` — §9's proposed detection indicators, deployed and
+//!   scored against ground truth.
+
+pub use acctrade_core as core;
+pub use acctrade_crawler as crawler;
+pub use acctrade_html as html;
+pub use acctrade_market as market;
+pub use acctrade_net as net;
+pub use acctrade_social as social;
+pub use acctrade_text as text;
+pub use acctrade_workload as workload;
+
+pub use acctrade_core::study;

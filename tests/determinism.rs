@@ -1,0 +1,24 @@
+//! Determinism: every artifact of a study is a pure function of the seed.
+
+use acctrade::core::{Study, StudyConfig};
+
+#[test]
+fn identical_seeds_identical_reports() {
+    let config = StudyConfig { seed: 31337, scale: 0.01, iterations: 3, scam: Default::default() };
+    let a = Study::new(config).run();
+    let b = Study::new(config).run();
+    assert_eq!(a.render_all(), b.render_all());
+    assert_eq!(a.dataset.to_json(), b.dataset.to_json());
+    assert_eq!(a.requests_issued, b.requests_issued);
+}
+
+#[test]
+fn different_seeds_different_worlds() {
+    let a = Study::new(StudyConfig { seed: 1, scale: 0.01, iterations: 2, scam: Default::default() })
+        .run();
+    let b = Study::new(StudyConfig { seed: 2, scale: 0.01, iterations: 2, scam: Default::default() })
+        .run();
+    // Same *shape*, different content.
+    assert_eq!(a.table1.len(), b.table1.len());
+    assert_ne!(a.dataset.to_json(), b.dataset.to_json());
+}

@@ -1,0 +1,154 @@
+//! Cross-crate integration: the generate → serve → crawl → resolve →
+//! analyze chain, dataset round-trips, and the paper's ethics invariants
+//! enforced mechanically.
+
+use acctrade::crawler::record::Dataset;
+use acctrade::crawler::{MarketplaceCrawler, ProfileResolver};
+use acctrade::market::config::{MarketplaceId, ALL_MARKETPLACES};
+use acctrade::net::http::Status;
+use acctrade::net::robots::RobotsPolicy;
+use acctrade::net::tor::TorDirectory;
+use acctrade::net::{Client, NetError, SimNet};
+use acctrade::workload::world::{World, WorldParams};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn deployed(seed: u64, scale: f64) -> (World, std::sync::Arc<SimNet>) {
+    let world = World::generate(WorldParams { seed, scale });
+    let net = SimNet::new(seed);
+    world.deploy(&net);
+    (world, net)
+}
+
+#[test]
+fn crawl_every_marketplace_and_roundtrip_the_dataset() {
+    let (world, net) = deployed(501, 0.01);
+    let client = Client::new(&net, "acctrade-crawler/0.1");
+
+    let mut dataset = Dataset::default();
+    for market in ALL_MARKETPLACES {
+        let mut crawler = MarketplaceCrawler::new(&client, market);
+        let (offers, stats) = crawler.crawl(0);
+        assert_eq!(stats.fetch_errors, 0, "{}", market.name());
+        assert_eq!(
+            offers.len(),
+            world.markets[&market].read().active_count(),
+            "{} offer count",
+            market.name()
+        );
+        dataset.offers.extend(offers);
+    }
+
+    let resolver = ProfileResolver::new(&client);
+    let (profiles, posts) = resolver.resolve_offers(&dataset.offers);
+    dataset.profiles = profiles;
+    dataset.posts = posts;
+
+    // JSON roundtrip of the full dataset (the release artifact path).
+    let json = dataset.to_json();
+    let back = Dataset::from_json(&json).expect("dataset parses");
+    assert_eq!(dataset, back);
+    assert!(dataset.visible_offers().count() > 0);
+    assert_eq!(dataset.profiles.len(), dataset.visible_offers().count());
+}
+
+#[test]
+fn ethics_invariant_automated_clients_never_enter_forums() {
+    let (world, net) = deployed(502, 0.005);
+    let directory = TorDirectory::default_consensus();
+    let mut rng = ChaCha8Rng::seed_from_u64(502);
+    // An automated client riding Tor still cannot pass the CAPTCHA wall.
+    let bot = Client::new(&net, "acctrade-crawler/0.1")
+        .via_tor(directory.build_circuit(&mut rng));
+    for forum in &world.forums {
+        let host = &forum.config().host;
+        let resp = bot.get(&format!("http://{host}/register")).unwrap();
+        assert_eq!(resp.status, Status::Unauthorized, "{host} let a bot in");
+        let resp = bot.get(&format!("http://{host}/section/accounts")).unwrap();
+        assert_eq!(resp.status, Status::Unauthorized);
+    }
+}
+
+#[test]
+fn ethics_invariant_onion_hosts_unreachable_without_tor() {
+    let (world, net) = deployed(503, 0.005);
+    let clearnet_client = Client::new(&net, "acctrade-crawler/0.1");
+    let host = world.forums[0].config().host.clone();
+    let err = clearnet_client.get(&format!("http://{host}/")).unwrap_err();
+    assert!(matches!(err, NetError::TorRequired(_)));
+}
+
+#[test]
+fn ethics_invariant_robots_disallow_is_honored() {
+    let (_world, net) = deployed(504, 0.005);
+    // Add a strict host and verify the automated client refuses.
+    struct Page;
+    impl acctrade::net::Service for Page {
+        fn handle(
+            &self,
+            _req: &acctrade::net::Request,
+            _ctx: &acctrade::net::RequestCtx,
+        ) -> acctrade::net::Response {
+            acctrade::net::Response::ok().with_text("secret")
+        }
+        fn robots(&self) -> RobotsPolicy {
+            RobotsPolicy::deny_all()
+        }
+    }
+    net.register("strict.example", Page);
+    let client = Client::new(&net, "acctrade-crawler/0.1");
+    let err = client.get("http://strict.example/anything").unwrap_err();
+    assert!(matches!(err, NetError::RobotsDisallowed(_)));
+}
+
+#[test]
+fn banned_accounts_vanish_from_apis_with_platform_vocabulary() {
+    let (mut world, net) = deployed(505, 0.01);
+    let at = net.clock().now_unix() + 120 * 86_400;
+    world.run_moderation(at);
+    let client = Client::new(&net, "acctrade-pipeline/0.1");
+    let resolver = ProfileResolver::new(&client);
+
+    // Find a banned X account and a banned Instagram account via ground
+    // truth, then verify the API vocabulary.
+    use acctrade::social::account::AccountStatus;
+    use acctrade::social::Platform;
+    let banned_handle = |p: Platform| {
+        world.stores[&p]
+            .read()
+            .accounts_sorted()
+            .into_iter()
+            .find(|a| a.status == AccountStatus::Banned)
+            .map(|a| a.handle.clone())
+    };
+    if let Some(h) = banned_handle(Platform::X) {
+        let r = resolver.resolve(Platform::X, &h);
+        assert_eq!(r.status_detail.as_deref(), Some("Forbidden"));
+    }
+    if let Some(h) = banned_handle(Platform::Instagram) {
+        let r = resolver.resolve(Platform::Instagram, &h);
+        assert_eq!(r.status_detail.as_deref(), Some("Page Not Found"));
+    }
+}
+
+#[test]
+fn sold_offers_disappear_between_iterations() {
+    let (mut world, net) = deployed(506, 0.01);
+    let client = Client::new(&net, "acctrade-crawler/0.1");
+    let market = MarketplaceId::FameSwap;
+    let mut crawler = MarketplaceCrawler::new(&client, market);
+    let (first, _) = crawler.crawl(0);
+
+    for i in 0..3 {
+        world.step_iteration(net.clock().now_unix() + i * 86_400 * 14);
+    }
+    crawler.reset();
+    let (second, stats) = crawler.crawl(1);
+    let first_urls: std::collections::HashSet<_> =
+        first.iter().map(|o| o.offer_url.clone()).collect();
+    let second_urls: std::collections::HashSet<_> =
+        second.iter().map(|o| o.offer_url.clone()).collect();
+    let gone = first_urls.difference(&second_urls).count();
+    assert!(gone > 0, "churn must remove offers");
+    let _ = stats;
+}

@@ -1,0 +1,61 @@
+//! Fault injection: the crawler on a lossy network.
+//!
+//! Real measurement campaigns ride flaky residential connections and
+//! overloaded marketplaces. The fabric injects connection resets and
+//! timeouts; the retrying client must still collect the full inventory.
+
+use acctrade::crawler::MarketplaceCrawler;
+use acctrade::market::config::MarketplaceId;
+use acctrade::net::sim::FaultPlan;
+use acctrade::net::{Client, SimNet};
+use acctrade::workload::world::{World, WorldParams};
+
+fn lossy_world(seed: u64, reset_prob: f64, timeout_prob: f64) -> (World, std::sync::Arc<SimNet>) {
+    let world = World::generate(WorldParams { seed, scale: 0.01 });
+    let net = SimNet::new(seed);
+    world.deploy(&net);
+    net.set_faults(FaultPlan { reset_prob, timeout_prob, deadline_us: 5_000_000 });
+    (world, net)
+}
+
+#[test]
+fn retrying_crawler_survives_10pct_resets() {
+    let (world, net) = lossy_world(71, 0.10, 0.0);
+    let client = Client::new(&net, "acctrade-crawler/0.1").with_retries(4);
+    let market = MarketplaceId::Accsmarket;
+    let mut crawler = MarketplaceCrawler::new(&client, market);
+    let (offers, stats) = crawler.crawl(0);
+    let active = world.markets[&market].read().active_count();
+    // With 4 retries at 10% loss, the chance of losing any page is
+    // ~1e-5 per page; the inventory must be complete.
+    assert_eq!(offers.len(), active, "lost offers under faults: {stats:?}");
+    assert_eq!(stats.fetch_errors, 0);
+}
+
+#[test]
+fn non_retrying_crawler_loses_coverage() {
+    let (world, net) = lossy_world(72, 0.15, 0.05);
+    let client = Client::new(&net, "acctrade-crawler/0.1"); // no retries
+    let market = MarketplaceId::FameSwap;
+    let mut crawler = MarketplaceCrawler::new(&client, market);
+    let (offers, stats) = crawler.crawl(0);
+    let active = world.markets[&market].read().active_count();
+    assert!(
+        offers.len() < active,
+        "expected losses without retries ({} of {active})",
+        offers.len()
+    );
+    assert!(stats.fetch_errors > 0);
+}
+
+#[test]
+fn faults_cost_virtual_time() {
+    let (_world, net) = lossy_world(73, 0.2, 0.0);
+    let client = Client::new(&net, "acctrade-crawler/0.1").with_retries(3);
+    let t0 = net.clock().now_us();
+    let mut crawler = MarketplaceCrawler::new(&client, MarketplaceId::SurgeGram);
+    let (_offers, _stats) = crawler.crawl(0);
+    // Retried requests pay latency plus backoff; the clock must have
+    // moved well past the fault-free cost.
+    assert!(net.clock().now_us() > t0);
+}

@@ -1,0 +1,276 @@
+//! Paper-shape assertions: the measured tables must reproduce the
+//! *orderings, ratios, and bands* the paper reports (DESIGN.md §4).
+//!
+//! Absolute identity is not expected — the substrate is a seeded
+//! simulation — but who wins, by roughly what factor, and where the
+//! crossovers fall must match.
+
+use acctrade::core::{Study, StudyConfig, StudyReport};
+use std::sync::OnceLock;
+
+/// One shared study run (scale 5%, full iteration count).
+fn report() -> &'static StudyReport {
+    static REPORT: OnceLock<StudyReport> = OnceLock::new();
+    REPORT.get_or_init(|| {
+        Study::new(StudyConfig {
+            seed: 0x9A9E5,
+            scale: 0.05,
+            iterations: 10,
+            scam: Default::default(),
+        })
+        .run()
+    })
+}
+
+fn row_accounts(r: &StudyReport, market: &str) -> usize {
+    r.table1.iter().find(|x| x.marketplace == market).expect("market row").accounts
+}
+
+#[test]
+fn table1_accsmarket_largest_fameseller_smallest() {
+    let r = report();
+    let accs = row_accounts(r, "Accsmarket");
+    let fame = row_accounts(r, "FameSeller");
+    for row in &r.table1 {
+        assert!(row.accounts <= accs, "{} exceeds Accsmarket", row.marketplace);
+        assert!(row.accounts >= fame, "{} below FameSeller", row.marketplace);
+    }
+    // Accsmarket holds ~35% of all listings.
+    let total: usize = r.table1.iter().map(|x| x.accounts).sum();
+    let share = accs as f64 / total as f64;
+    assert!((0.30..0.42).contains(&share), "Accsmarket share {share}");
+}
+
+#[test]
+fn table2_platform_marginals() {
+    let r = report();
+    let get = |p: &str| {
+        r.table2
+            .iter()
+            .find(|x| x.platform == p)
+            .expect("platform row")
+    };
+    // Instagram has the most advertised accounts; X the fewest (Table 2).
+    let ig = get("Instagram").all_accounts;
+    let x = get("X").all_accounts;
+    for row in &r.table2 {
+        assert!(row.all_accounts <= ig + ig / 4, "{} too large", row.platform);
+    }
+    assert!(x < ig / 2, "X={x} should be far below Instagram={ig}");
+    // YouTube dominates visible accounts (54% in the paper).
+    let yt_vis = get("YouTube").visible_accounts;
+    let total_vis: usize = r.table2.iter().map(|x| x.visible_accounts).sum();
+    let yt_share = yt_vis as f64 / total_vis as f64;
+    assert!((0.40..0.68).contains(&yt_share), "YouTube visible share {yt_share}");
+    // X accounts produced by far the most posts (165K of 205K).
+    let x_posts = get("X").visible_posts;
+    let total_posts: usize = r.table2.iter().map(|x| x.visible_posts).sum();
+    assert!(
+        x_posts as f64 / total_posts as f64 > 0.6,
+        "X post share {}",
+        x_posts as f64 / total_posts as f64
+    );
+}
+
+#[test]
+fn section4_1_economics() {
+    let r = report();
+    let a = &r.anatomy;
+    // Price ordering: TikTok/YouTube >> Instagram >> X/Facebook medians.
+    let med = |p: &str| *a.price_medians.get(p).expect("median");
+    assert!(med("TikTok") > med("Instagram"), "tiktok {} ig {}", med("TikTok"), med("Instagram"));
+    assert!(med("YouTube") > med("Instagram"));
+    assert!(med("Instagram") > med("X"));
+    assert!(med("Instagram") > med("Facebook"));
+    // Total value scales to the paper's $64M: at 5% scale expect $2–5M.
+    assert!(
+        (1_500_000.0..6_000_000.0).contains(&a.price_total_usd),
+        "total ${:.0}",
+        a.price_total_usd
+    );
+    // Premium segment: ~0.9% of listings, median near $45k.
+    let premium_rate = a.premium_count as f64 / a.total_offers as f64;
+    assert!((0.004..0.02).contains(&premium_rate), "premium rate {premium_rate}");
+    let pm = a.premium_median_usd.expect("premium listings exist");
+    assert!((25_000.0..90_000.0).contains(&pm), "premium median {pm}");
+    // ~63% described, ~40% show followers, ~22% uncategorized.
+    let described = a.described as f64 / a.total_offers as f64;
+    assert!((0.55..0.72).contains(&described), "described {described}");
+    let followers_shown = a.followers_shown as f64 / a.total_offers as f64;
+    assert!((0.32..0.48).contains(&followers_shown), "followers shown {followers_shown}");
+    let uncategorized = a.uncategorized as f64 / a.total_offers as f64;
+    assert!((0.15..0.30).contains(&uncategorized), "uncategorized {uncategorized}");
+    // Humor/Memes is the top category.
+    assert_eq!(a.top_categories[0].0, "Humor/Memes");
+    // Description strategies: "authentic" labeled listings dominate the
+    // other keyword strategies (784 of ~1,280 in the paper).
+    let strat = |label: &str| {
+        a.description_strategies
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    };
+    assert!(strat("authentic") > 0);
+    assert!(strat("authentic") >= strat("fresh and ready"));
+    assert!(strat("authentic") >= strat("business adaptability"));
+    // Verified claims: all YouTube, none with links.
+    assert!(a.verified_claims_all_youtube);
+    assert!(a.verified_claims_without_links);
+    // Monetization medians in the paper's band.
+    if let Some(m) = a.monetization_median_usd {
+        assert!((60.0..260.0).contains(&m), "monetization median {m}");
+    }
+}
+
+#[test]
+fn figure2_replenishment_dynamics() {
+    let r = report();
+    assert!(r.dynamics.cumulative_monotone());
+    assert!(r.dynamics.active_declined(), "active listings must dip");
+    assert!(r.dynamics.total_replenished > 0);
+    assert!(r.dynamics.total_retired > 0);
+}
+
+#[test]
+fn table4_follower_shape() {
+    let r = report();
+    let row = |p: &str| r.table4.iter().find(|x| x.platform == p).expect("row");
+    // TikTok's advertised accounts are fresh (tiny median); the others
+    // carry audiences in the thousands.
+    assert!(row("TikTok").median < 100, "tiktok median {}", row("TikTok").median);
+    assert!(row("Instagram").median > 1_000);
+    assert!(row("Facebook").median > row("X").median);
+    // The overall max is the per-platform max; the tail reaches deep
+    // into the millions (paper: YouTube at 20.5M). At small scales which
+    // platform draws the single largest account is seed noise.
+    let all = row("All");
+    let per_platform_max = ["TikTok", "X", "Facebook", "Instagram", "YouTube"]
+        .iter()
+        .map(|p| row(p).max)
+        .max()
+        .unwrap();
+    assert_eq!(all.max, per_platform_max);
+    assert!(all.max > 500_000, "max followers {}", all.max);
+}
+
+#[test]
+fn figure4_creation_cohorts() {
+    let r = report();
+    let c = &r.creation;
+    assert!((0.22..0.38).contains(&c.pre_2020), "pre-2020 {}", c.pre_2020);
+    assert!((0.60..0.80).contains(&c.last_3_5_years), "recent {}", c.last_3_5_years);
+    assert!(c.youtube_2006_2010 < 0.02, "ancient YT {}", c.youtube_2006_2010);
+    // TikTok accounts all post-2017.
+    let tiktok = &c.per_platform["TikTok"];
+    let cut = acctrade::net::clock::unix_from_ymd(2017, 1, 1);
+    assert!(tiktok.iter().all(|&t| t >= cut));
+}
+
+#[test]
+fn section5_profile_tailoring() {
+    let r = report();
+    let s = &r.setup;
+    // US is the top location; location coverage ~28%.
+    assert_eq!(s.top_locations[0].0, "United States");
+    let coverage = s.located as f64 / s.live_profiles as f64;
+    assert!((0.20..0.38).contains(&coverage), "location coverage {coverage}");
+    // Verified dominates the special account types (669 of 932 in the
+    // paper); protected is the rarest. Business-vs-private ordering is
+    // not stable at 5% scale (expected counts ~10 vs ~3), so assert the
+    // robust facts only.
+    assert!(s.verified > s.business);
+    assert!(s.verified > s.private + s.protected);
+    assert!(s.protected <= s.private.max(s.business));
+}
+
+#[test]
+fn tables5_6_scam_taxonomy_shape() {
+    let r = report();
+    let scam = &r.scam;
+    assert!(scam.scam_cluster_count >= 8, "scam clusters {}", scam.scam_cluster_count);
+    // Financial scams dominate posts; engagement bait dominates by
+    // accounts among non-financial categories.
+    let row = |c: acctrade::workload::ScamCategory| {
+        scam.table6.iter().find(|x| x.category == c).expect("category row")
+    };
+    use acctrade::workload::ScamCategory::*;
+    assert!(row(Financial).posts > row(Phishing).posts);
+    assert!(row(Financial).posts > row(ProductFraud).posts);
+    assert!(row(EngagementBait).accounts > row(Impersonation).accounts);
+    assert!(row(EngagementBait).accounts > row(AdultContent).accounts);
+    // Scam posts are a sizable minority of all collected posts (~9% in
+    // the paper).
+    let rate = scam.total_scam_posts as f64 / scam.total_posts.max(1) as f64;
+    assert!((0.03..0.25).contains(&rate), "scam post rate {rate}");
+    // X leads scam posts (Table 5).
+    let t5 = |p: &str| scam.table5.iter().find(|x| x.platform == p).expect("row");
+    assert!(t5("X").scam_posts >= t5("Facebook").scam_posts);
+    assert!(t5("X").scam_posts >= t5("TikTok").scam_posts);
+}
+
+#[test]
+fn table7_clusters_are_a_small_minority() {
+    let r = report();
+    let all = &r.network.all_row;
+    assert!(all.clusters > 0);
+    // 4.7% overall in the paper; generous band.
+    assert!(
+        (0.5..12.0).contains(&all.clustered_pct),
+        "clustered {}%",
+        all.clustered_pct
+    );
+    assert_eq!(all.min_size, 2);
+    // YouTube has the most clusters (97 of 203 in the paper).
+    let yt = r.network.rows.iter().find(|x| x.platform == "YouTube").expect("row");
+    for row in &r.network.rows {
+        assert!(row.clusters <= yt.clusters, "{} > YouTube", row.platform);
+    }
+}
+
+#[test]
+fn table8_efficacy_ordering() {
+    let r = report();
+    let e = |p: &str| {
+        r.efficacy
+            .rows
+            .iter()
+            .find(|x| x.platform == p)
+            .expect("row")
+            .blocking_efficacy_pct
+    };
+    // TikTok & Instagram high; YouTube & Facebook low; X in between.
+    assert!(e("TikTok") > 35.0, "tiktok {}", e("TikTok"));
+    assert!(e("Instagram") > 35.0, "instagram {}", e("Instagram"));
+    assert!(e("YouTube") < 12.0, "youtube {}", e("YouTube"));
+    assert!(e("Facebook") < 14.0, "facebook {}", e("Facebook"));
+    assert!(e("X") > e("YouTube") && e("X") < e("TikTok"), "x {}", e("X"));
+    // Overall ~19.7%.
+    let overall = r.efficacy.all_row.blocking_efficacy_pct;
+    assert!((12.0..30.0).contains(&overall), "overall {overall}");
+}
+
+#[test]
+fn section4_2_underground_shape() {
+    let r = report();
+    let u = &r.underground;
+    // Six markets yielded posts; Nexus the most.
+    assert!(u.markets.len() >= 5, "markets {}", u.markets.len());
+    let nexus = u.markets.iter().find(|m| m.market == "Nexus").expect("nexus");
+    for m in &u.markets {
+        assert!(m.posts <= nexus.posts, "{} > Nexus", m.market);
+    }
+    // Kerberos bulk: few posts, many accounts.
+    let kerberos = u.markets.iter().find(|m| m.market == "Kerberos").expect("kerberos");
+    assert!(kerberos.accounts_offered > kerberos.posts as u64 * 10);
+    // Template reuse found, at high similarity, tied to few authors.
+    assert!(!u.reuse_pairs.is_empty());
+    assert!(u.reuse_pairs.iter().all(|p| p.similarity >= 0.88));
+    // The paper ties TikTok near-dups to 3 authors; across all markets
+    // and platforms more authors share boilerplate ("lesser extent across
+    // different marketplaces").
+    assert!(u.reuse_authors <= 16, "reuse authors {}", u.reuse_authors);
+    // TikTok leads near-duplicates (Nexus's 12/42 in the paper).
+    let tiktok_dups = u.near_dup_posts_by_platform.get("TikTok").copied().unwrap_or(0);
+    assert!(tiktok_dups >= 2, "tiktok near-dups {tiktok_dups}");
+}

@@ -1,0 +1,144 @@
+//! Property-based tests on cross-crate invariants (proptest).
+
+use acctrade::html::{parse, Selector};
+use acctrade::market::site::format_price;
+use acctrade::net::ratelimit::TokenBucket;
+use acctrade::net::url::Url;
+use acctrade::text::similarity::{dice_similarity, jaccard_similarity, word_similarity};
+use acctrade::text::tokenize::tokenize;
+use acctrade::text::vectorize::{cosine, TfIdfModel};
+use proptest::prelude::*;
+
+/// Strategy for URL-safe host names.
+fn host_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,12}(\\.[a-z]{2,5}){1,2}"
+}
+
+/// Strategy for URL paths.
+fn path_strategy() -> impl Strategy<Value = String> {
+    "(/[a-zA-Z0-9_.-]{1,8}){0,4}"
+}
+
+proptest! {
+    #[test]
+    fn url_display_parse_roundtrip(host in host_strategy(), path in path_strategy()) {
+        let url = Url::http(&host, &path);
+        let reparsed = Url::parse(&url.to_string()).expect("display output parses");
+        prop_assert_eq!(url, reparsed);
+    }
+
+    #[test]
+    fn url_join_produces_same_host_for_relative(host in host_strategy(),
+                                                base in path_strategy(),
+                                                link in "[a-zA-Z0-9_.-]{1,8}") {
+        let url = Url::http(&host, &base);
+        let joined = url.join(&link).expect("relative join succeeds");
+        prop_assert_eq!(joined.host(), url.host());
+        prop_assert!(joined.path().starts_with('/'));
+    }
+
+    #[test]
+    fn html_escape_text_roundtrip(text in "[ -~]{0,64}") {
+        // Build a document with the text, render, reparse: the text
+        // content must survive (modulo whitespace normalization the DOM
+        // applies).
+        let mut b = acctrade::html::dom::Builder::new();
+        b.open("p").text(text.clone()).close();
+        let rendered = b.finish().render();
+        let doc = parse(&rendered);
+        let p = doc.select_first(&Selector::parse("p").unwrap()).unwrap();
+        let expect: String = text.split_whitespace().collect::<Vec<_>>().join(" ");
+        prop_assert_eq!(p.text(), expect);
+    }
+
+    #[test]
+    fn html_attr_roundtrip(value in "[ -~&&[^<>]]{0,40}") {
+        let mut b = acctrade::html::dom::Builder::new();
+        b.open("a").attr("title", value.clone()).close();
+        let rendered = b.finish().render();
+        let doc = parse(&rendered);
+        let a = doc.select_first(&Selector::parse("a").unwrap()).unwrap();
+        prop_assert_eq!(a.attr("title"), Some(value.as_str()));
+    }
+
+    #[test]
+    fn tokenizer_tokens_are_lowercase_nonempty(text in "\\PC{0,200}") {
+        for t in tokenize(&text) {
+            prop_assert!(!t.is_empty());
+            // Lowercasing is idempotent on every token (some scripts have
+            // uppercase-only codepoints with no lowercase mapping, e.g.
+            // mathematical alphanumerics — those are fixed points).
+            let lowered: String = t.chars().flat_map(char::to_lowercase).collect();
+            prop_assert_eq!(&lowered, &t, "token not lowercase-stable");
+            prop_assert!(!t.contains(char::is_whitespace));
+        }
+    }
+
+    #[test]
+    fn similarity_bounds_and_symmetry(a in "[a-z ]{0,80}", b in "[a-z ]{0,80}") {
+        for f in [word_similarity, jaccard_similarity, dice_similarity] {
+            let s_ab = f(&a, &b);
+            let s_ba = f(&b, &a);
+            prop_assert!((0.0..=1.0).contains(&s_ab));
+            prop_assert!((s_ab - s_ba).abs() < 1e-12);
+        }
+        prop_assert!((word_similarity(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tfidf_cosine_bounds(docs in proptest::collection::vec("[a-z ]{1,60}", 2..8)) {
+        let model = TfIdfModel::fit(&docs, 1);
+        let vecs = model.transform_all(&docs);
+        for x in &vecs {
+            for y in &vecs {
+                let c = cosine(x, y);
+                prop_assert!((-1.0001..=1.0001).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn token_bucket_never_exceeds_rate(rate in 1.0f64..50.0,
+                                       burst in 1.0f64..10.0,
+                                       steps in proptest::collection::vec(1_000u64..500_000, 1..100)) {
+        let mut bucket = TokenBucket::new(rate, burst, 0);
+        let mut now = 0u64;
+        let mut grants = 0u64;
+        for dt in &steps {
+            now += dt;
+            if bucket.try_acquire(now) {
+                grants += 1;
+            }
+        }
+        let cap = burst + rate * (now as f64 / 1e6) + 1.0;
+        prop_assert!((grants as f64) <= cap, "grants={grants} cap={cap}");
+    }
+
+    #[test]
+    fn price_format_parse_roundtrip(cents in 100i64..2_000_000_000) {
+        let usd = cents as f64 / 100.0;
+        let formatted = format_price(usd);
+        let parsed = acctrade::crawler::extract::parse_price(&formatted)
+            .expect("formatted price parses");
+        prop_assert!((parsed - usd).abs() < 0.005, "{usd} -> {formatted} -> {parsed}");
+    }
+
+    #[test]
+    fn median_is_order_statistic(mut values in proptest::collection::vec(0.0f64..1e6, 1..50)) {
+        let m = acctrade::core::stats::median(&values).unwrap();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert!(m >= values[0] && m <= *values.last().unwrap());
+        // At least half the values on each side.
+        let below = values.iter().filter(|&&v| v <= m).count();
+        let above = values.iter().filter(|&&v| v >= m).count();
+        prop_assert!(below * 2 >= values.len());
+        prop_assert!(above * 2 >= values.len());
+    }
+
+    #[test]
+    fn ecdf_is_monotone(values in proptest::collection::vec(-1e6f64..1e6, 1..60)) {
+        let points = acctrade::core::stats::ecdf(&values);
+        prop_assert!(points.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        prop_assert!((points.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+}
