@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# CI entry point for the acctrade workspace.
+#
+# The workspace is zero-dependency (std + the in-tree `foundation` crate
+# only), so everything here runs fully offline — no registry, no network.
+#
+#   ./ci.sh            # build + test (required), clippy (advisory)
+#
+# Gating steps: a failure in build or test fails CI.
+# Advisory steps: clippy findings are printed but do not fail the run
+# (toolchains without clippy, or clippy version drift, must not block).
+
+set -uo pipefail
+
+cd "$(dirname "$0")"
+
+run() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+fail=0
+
+# 1. Release build of every crate, offline.
+run cargo build --release --offline --workspace || fail=1
+
+# 2. The full test suite (unit + integration + property + doc), offline.
+run cargo test -q --offline --workspace || fail=1
+
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "ci: FAILED (build or tests)"
+    exit 1
+fi
+
+# 3. Clippy, advisory only.
+echo
+echo "==> cargo clippy --offline --workspace --all-targets -- -D warnings (advisory)"
+if cargo clippy --offline --workspace --all-targets -- -D warnings; then
+    echo "ci: clippy clean"
+else
+    echo "ci: clippy reported findings (advisory — not failing the build)"
+fi
+
+echo
+echo "ci: OK"

@@ -9,7 +9,7 @@ use acctrade_market::config::MarketplaceId;
 use acctrade_net::client::Client;
 use acctrade_net::sim::SimNet;
 use acctrade_workload::world::{World, WorldParams};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use foundation::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_crawl(c: &mut Criterion) {
@@ -81,7 +81,7 @@ fn bench_crawl(c: &mut Criterion) {
     }
 
     // Politeness ablation: how much *virtual* collection time the
-    // crawler's self-throttle costs (printed; wall time is what criterion
+    // crawler's self-throttle costs (printed; wall time is what the harness
     // measures).
     for rate in [2.0f64, 10.0, 50.0] {
         group.bench_with_input(

@@ -7,7 +7,7 @@ use acctrade_crawler::schedule::CrawlCampaign;
 use acctrade_net::client::Client;
 use acctrade_net::sim::SimNet;
 use acctrade_workload::world::{World, WorldParams};
-use criterion::{criterion_group, criterion_main, Criterion};
+use foundation::bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_dynamics(c: &mut Criterion) {

@@ -10,9 +10,9 @@ use acctrade_net::sim::SimNet;
 use acctrade_social::moderation::ModerationEngine;
 use acctrade_social::platform::{Platform, ALL_PLATFORMS};
 use acctrade_workload::world::{World, WorldParams};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use foundation::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use foundation::rng::SeedableRng;
+use foundation::rng::ChaCha8Rng;
 use std::hint::black_box;
 
 fn bench_efficacy(c: &mut Criterion) {

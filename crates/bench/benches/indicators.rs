@@ -8,7 +8,7 @@ use acctrade_market::config::MarketplaceId;
 use acctrade_net::client::Client;
 use acctrade_net::sim::SimNet;
 use acctrade_workload::world::{World, WorldParams};
-use criterion::{criterion_group, criterion_main, Criterion};
+use foundation::bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_indicators(c: &mut Criterion) {

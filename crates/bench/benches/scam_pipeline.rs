@@ -12,7 +12,7 @@ use acctrade_core::scamposts::{
 use acctrade_text::cluster::kmeans;
 use acctrade_text::embed::Embedder;
 use acctrade_text::reduce::pca_reduce;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use foundation::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_pipeline(c: &mut Criterion) {

@@ -2,7 +2,7 @@
 
 use acctrade_bench::shared_report;
 use acctrade_core::setup;
-use criterion::{criterion_group, criterion_main, Criterion};
+use foundation::bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_setup(c: &mut Criterion) {

@@ -8,9 +8,9 @@ use acctrade_net::client::Client;
 use acctrade_net::sim::SimNet;
 use acctrade_net::tor::TorDirectory;
 use acctrade_workload::world::{World, WorldParams};
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use foundation::bench::{criterion_group, criterion_main, Criterion};
+use foundation::rng::SeedableRng;
+use foundation::rng::ChaCha8Rng;
 use std::hint::black_box;
 
 fn bench_underground(c: &mut Criterion) {

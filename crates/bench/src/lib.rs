@@ -5,13 +5,13 @@
 //!
 //! * `cargo run -p acctrade-bench --bin report -- all 0.1` regenerates
 //!   every table/figure at the given scale;
-//! * `cargo bench -p acctrade-bench` runs the criterion benches (one
+//! * `cargo bench -p acctrade-bench` runs the benches on `foundation::bench` (one
 //!   bench target per experiment, plus ablations).
 
 use acctrade_core::study::{Study, StudyConfig, StudyReport};
 use std::sync::OnceLock;
 
-/// Scale used by the criterion benches — small enough to iterate, big
+/// Scale used by the benches — small enough to iterate, big
 /// enough that the pipelines do real work.
 pub const BENCH_SCALE: f64 = 0.05;
 

@@ -25,9 +25,9 @@ use acctrade_social::detector::{
 };
 use acctrade_social::platform::{Platform, ALL_PLATFORMS};
 use acctrade_workload::world::World;
-use rand::prelude::IndexedRandom;
-use rand::{RngExt, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use foundation::rng::IndexedRandom;
+use foundation::rng::{RngExt, SeedableRng};
+use foundation::rng::ChaCha8Rng;
 use std::collections::HashSet;
 use std::sync::Arc;
 

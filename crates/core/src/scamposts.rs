@@ -25,8 +25,8 @@ use acctrade_text::langdetect::is_english;
 use acctrade_text::reduce::pca_reduce;
 use acctrade_text::tokenize::tokenize_content;
 use acctrade_workload::textgen::{ScamCategory, ScamSubcategory, ALL_SUBCATEGORIES};
-use rand::{prelude::IndexedRandom, RngExt, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use foundation::rng::{IndexedRandom, RngExt, SeedableRng};
+use foundation::rng::ChaCha8Rng;
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Clustering backend (ablation switch).

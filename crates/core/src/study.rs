@@ -25,8 +25,8 @@ use acctrade_net::sim::SimNet;
 use acctrade_net::tor::TorDirectory;
 use acctrade_social::platform::Platform;
 use acctrade_workload::world::{World, WorldParams};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use foundation::rng::SeedableRng;
+use foundation::rng::ChaCha8Rng;
 use std::collections::BTreeMap;
 
 /// Study configuration.

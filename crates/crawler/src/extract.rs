@@ -196,7 +196,7 @@ mod tests {
     use acctrade_net::server::{RequestCtx, Service};
     use acctrade_net::url::Url;
     use acctrade_social::platform::Platform;
-    use parking_lot::RwLock;
+    use foundation::sync::RwLock;
     use std::sync::Arc;
 
     /// Render a real offer page for a market and extract it back —

@@ -6,10 +6,11 @@
 //! profile metadata and posts for visible accounts; and the §4.2 manual
 //! fields for underground postings.
 
-use serde::{Deserialize, Serialize};
+use foundation::json;
+use foundation::{json_codec_enum, json_codec_struct};
 
 /// One scraped marketplace offer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OfferRecord {
     /// Marketplace display name.
     pub marketplace: String,
@@ -56,7 +57,7 @@ impl OfferRecord {
 }
 
 /// Outcome of querying a platform API for one account.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FetchStatus {
     /// 200 with profile JSON.
     Ok,
@@ -76,7 +77,7 @@ impl FetchStatus {
 }
 
 /// One resolved social media profile.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProfileRecord {
     /// Platform.
     pub platform: String,
@@ -114,7 +115,7 @@ pub struct ProfileRecord {
 }
 
 /// One collected post.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PostRecord {
     /// Platform.
     pub platform: String,
@@ -135,7 +136,7 @@ pub struct PostRecord {
 }
 
 /// One manually collected underground posting (§4.2's fields).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UndergroundRecord {
     /// Market.
     pub market: String,
@@ -162,7 +163,7 @@ pub struct UndergroundRecord {
 }
 
 /// The full campaign dataset.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Dataset {
     /// Offers.
     pub offers: Vec<OfferRecord>,
@@ -183,12 +184,12 @@ impl Dataset {
     /// Serialize to pretty JSON (the release format of the paper's
     /// artifact).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("dataset serializes")
+        json::to_string_pretty(self)
     }
 
     /// Parse a dataset back from JSON.
-    pub fn from_json(json: &str) -> Result<Dataset, serde_json::Error> {
-        serde_json::from_str(json)
+    pub fn from_json(text: &str) -> Result<Dataset, json::JsonError> {
+        json::from_str(text)
     }
 
     /// Merge another dataset into this one.
@@ -198,6 +199,33 @@ impl Dataset {
         self.posts.extend(other.posts);
         self.underground.extend(other.underground);
     }
+}
+
+json_codec_enum! {
+    FetchStatus { Ok, Forbidden, NotFound, Error }
+}
+
+json_codec_struct! {
+    OfferRecord {
+        marketplace, offer_url, title, seller, seller_country, price_usd,
+        platform, category, claimed_followers, claims_verified,
+        monthly_revenue_usd, income_source, description, profile_link,
+        handle, collected_unix, iteration,
+    }
+    ProfileRecord {
+        platform, handle, status, status_detail, user_id, name, description,
+        location, category, email, phone, website, created_unix,
+        account_type, followers, post_count,
+    }
+    PostRecord {
+        platform, handle, author_id, post_id, text, created_unix, likes,
+        views,
+    }
+    UndergroundRecord {
+        market, url, title, body, author, platform, published_unix, replies,
+        price_usd, quantity, screenshot,
+    }
+    Dataset { offers, profiles, posts, underground }
 }
 
 #[cfg(test)]

@@ -57,7 +57,7 @@ impl<'a> ProfileResolver<'a> {
         match resp.status {
             Status::Ok => {
                 record.status = FetchStatus::Ok;
-                if let Ok(p) = serde_json::from_str::<ApiProfile>(&resp.text()) {
+                if let Ok(p) = foundation::json::from_str::<ApiProfile>(&resp.text()) {
                     record.user_id = Some(p.user_id);
                     record.name = Some(p.name);
                     record.description = Some(p.description);
@@ -100,7 +100,7 @@ impl<'a> ProfileResolver<'a> {
         if resp.status != Status::Ok {
             return Vec::new();
         }
-        let Ok(posts) = serde_json::from_str::<Vec<ApiPost>>(&resp.text()) else {
+        let Ok(posts) = foundation::json::from_str::<Vec<ApiPost>>(&resp.text()) else {
             return Vec::new();
         };
         posts

@@ -201,8 +201,8 @@ mod tests {
     use acctrade_net::sim::SimNet;
     use acctrade_net::tor::TorDirectory;
     use acctrade_workload::world::{World, WorldParams};
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use foundation::rng::SeedableRng;
+    use foundation::rng::ChaCha8Rng;
 
     fn manual_client(net: &std::sync::Arc<SimNet>, seed: u64) -> Client {
         let dir = TorDirectory::default_consensus();

@@ -1,0 +1,470 @@
+//! Criterion-style benchmark harness without the `criterion` crate.
+//!
+//! The surface mirrors the subset of criterion's API the bench targets
+//! use — [`Criterion`], [`BenchGroup`], [`Bencher`], [`BenchmarkId`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros — so a bench
+//! file ports by swapping `use criterion::…` for
+//! `use foundation::bench::…`.
+//!
+//! Two run modes:
+//!
+//! - **quick** (default, what `cargo test` sees for `harness = false`
+//!   targets): every routine runs once, proving the bench compiles and
+//!   executes. No warmup, near-zero added wall time.
+//! - **full** (when the process was started with `--bench`, which is
+//!   what `cargo bench` passes): each routine is warmed up and then
+//!   timed `sample_size` times.
+//!
+//! Either way the timings are appended to a merged JSON report
+//! (`BENCH_report.json`, overridable via `BENCH_REPORT_PATH`) keyed by
+//! benchmark id, so successive bench targets build one file.
+//!
+//! [`criterion_group!`]: crate::criterion_group
+//! [`criterion_main!`]: crate::criterion_main
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+pub use crate::{criterion_group, criterion_main};
+
+/// Default sample count when the config does not override it.
+const DEFAULT_SAMPLE_SIZE: usize = 50;
+
+/// Warmup budget per benchmark in full mode.
+const WARMUP: Duration = Duration::from_millis(50);
+
+/// A benchmark identifier; renders as `function/parameter` segments.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function/parameter` compound id.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Id that is just the parameter (the group supplies the prefix).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId(s)
+    }
+}
+
+/// Summary statistics for one benchmark (nanoseconds).
+#[derive(Debug, Clone)]
+pub struct Stats {
+    /// Number of timed iterations.
+    pub samples: usize,
+    /// Arithmetic mean.
+    pub mean_ns: f64,
+    /// Median (p50).
+    pub median_ns: f64,
+    /// 95th percentile.
+    pub p95_ns: f64,
+    /// Fastest iteration.
+    pub min_ns: f64,
+    /// Slowest iteration.
+    pub max_ns: f64,
+}
+
+impl Stats {
+    fn from_samples(mut ns: Vec<u64>) -> Stats {
+        if ns.is_empty() {
+            return Stats {
+                samples: 0,
+                mean_ns: 0.0,
+                median_ns: 0.0,
+                p95_ns: 0.0,
+                min_ns: 0.0,
+                max_ns: 0.0,
+            };
+        }
+        ns.sort_unstable();
+        let n = ns.len();
+        let sum: u128 = ns.iter().map(|&v| v as u128).sum();
+        let pct = |p: f64| {
+            let idx = ((n as f64 - 1.0) * p).round() as usize;
+            ns[idx.min(n - 1)] as f64
+        };
+        Stats {
+            samples: n,
+            mean_ns: sum as f64 / n as f64,
+            median_ns: pct(0.50),
+            p95_ns: pct(0.95),
+            min_ns: ns[0] as f64,
+            max_ns: ns[n - 1] as f64,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("samples".into(), Json::Num(self.samples as f64)),
+            ("mean_ns".into(), Json::Num(self.mean_ns)),
+            ("median_ns".into(), Json::Num(self.median_ns)),
+            ("p95_ns".into(), Json::Num(self.p95_ns)),
+            ("min_ns".into(), Json::Num(self.min_ns)),
+            ("max_ns".into(), Json::Num(self.max_ns)),
+        ])
+    }
+}
+
+/// Collects iteration timings for one benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    full: bool,
+    sample_size: usize,
+    samples: Vec<u64>,
+}
+
+impl Bencher {
+    fn new(full: bool, sample_size: usize) -> Bencher {
+        Bencher {
+            full,
+            sample_size,
+            samples: Vec::new(),
+        }
+    }
+
+    fn iters(&self) -> usize {
+        if self.full {
+            self.sample_size
+        } else {
+            1
+        }
+    }
+
+    /// Time `routine` once per sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.full {
+            let start = Instant::now();
+            let mut warmed = 0;
+            while start.elapsed() < WARMUP && warmed < self.sample_size {
+                black_box(routine());
+                warmed += 1;
+            }
+        }
+        for _ in 0..self.iters() {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Time `routine` on a fresh `setup()` value per sample; setup time
+    /// is excluded from the measurement.
+    pub fn iter_with_setup<I, R, S, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        if self.full {
+            let input = setup();
+            black_box(routine(input));
+        }
+        for _ in 0..self.iters() {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Top-level harness; accumulates results and flushes the JSON report
+/// when dropped (which is when a `criterion_group!` function returns).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    full: bool,
+    results: Vec<(String, Stats)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let full = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            full,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Override the timed-iteration count (full mode only).
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 1, "sample_size must be at least 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Criterion
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.into().0;
+        let stats = self.run(f);
+        self.record(id, stats);
+        self
+    }
+
+    /// Open a named group; ids inside are prefixed with `name/`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchGroup<'_> {
+        BenchGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    fn run<F: FnOnce(&mut Bencher)>(&mut self, f: F) -> Stats {
+        self.run_sized(self.sample_size, f)
+    }
+
+    fn run_sized<F: FnOnce(&mut Bencher)>(&mut self, sample_size: usize, f: F) -> Stats {
+        let mut b = Bencher::new(self.full, sample_size);
+        f(&mut b);
+        Stats::from_samples(b.samples)
+    }
+
+    fn record(&mut self, id: String, stats: Stats) {
+        eprintln!(
+            "[bench] {id}: median {:.0} ns (n={})",
+            stats.median_ns, stats.samples
+        );
+        self.results.push((id, stats));
+    }
+
+    fn flush(&mut self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let path = report_path();
+        let mut entries: Vec<(String, Json)> = match std::fs::read_to_string(&path) {
+            Ok(existing) => match Json::parse(&existing) {
+                Ok(Json::Obj(fields)) => fields,
+                _ => Vec::new(),
+            },
+            Err(_) => Vec::new(),
+        };
+        for (id, stats) in self.results.drain(..) {
+            let value = stats.to_json();
+            match entries.iter_mut().find(|(k, _)| *k == id) {
+                Some(slot) => slot.1 = value,
+                None => entries.push((id, value)),
+            }
+        }
+        let doc = Json::Obj(entries);
+        if let Err(err) = std::fs::write(&path, doc.render_pretty() + "\n") {
+            eprintln!("[bench] could not write {path}: {err}");
+        }
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+fn report_path() -> String {
+    std::env::var("BENCH_REPORT_PATH").unwrap_or_else(|_| "BENCH_report.json".to_string())
+}
+
+/// A named benchmark group (criterion's `BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchGroup<'_> {
+    /// Override the timed-iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1, "sample_size must be at least 1");
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+
+    /// Run a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().0);
+        let stats = self.criterion.run_sized(self.effective_sample_size(), f);
+        self.criterion.record(id, stats);
+        self
+    }
+
+    /// Run a parameterised benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.0);
+        let stats = self
+            .criterion
+            .run_sized(self.effective_sample_size(), |b| f(b, input));
+        self.criterion.record(id, stats);
+        self
+    }
+
+    /// End the group (flushes happen on `Criterion` drop).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function, mirroring criterion's macro.
+///
+/// Both forms are supported:
+///
+/// ```ignore
+/// criterion_group!(benches, bench_a, bench_b);
+/// criterion_group! {
+///     name = benches;
+///     config = Criterion::default().sample_size(20);
+///     targets = bench_a
+/// }
+/// ```
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::bench::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_from_sorted_samples() {
+        let s = Stats::from_samples(vec![10, 20, 30, 40, 100]);
+        assert_eq!(s.samples, 5);
+        assert_eq!(s.min_ns, 10.0);
+        assert_eq!(s.max_ns, 100.0);
+        assert_eq!(s.median_ns, 30.0);
+        assert!((s.mean_ns - 40.0).abs() < 1e-9);
+        assert_eq!(s.p95_ns, 100.0);
+    }
+
+    #[test]
+    fn quick_mode_runs_each_routine_once() {
+        let mut calls = 0usize;
+        let mut c = Criterion {
+            sample_size: 10,
+            full: false,
+            results: Vec::new(),
+        };
+        c.bench_function("count_calls", |b| b.iter(|| calls += 1));
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].0, "count_calls");
+        assert_eq!(c.results[0].1.samples, 1);
+        // Don't let Drop write a report file from a unit test.
+        c.results.clear();
+        drop(c);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn full_mode_collects_sample_size_timings() {
+        let mut c = Criterion {
+            sample_size: 7,
+            full: true,
+            results: Vec::new(),
+        };
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(5);
+            g.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+                b.iter_with_setup(|| n, |v| v * 2)
+            });
+            g.bench_function(BenchmarkId::new("f", "x"), |b| b.iter(|| 1 + 1));
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 2);
+        assert_eq!(c.results[0].0, "grp/3");
+        assert_eq!(c.results[0].1.samples, 5);
+        assert_eq!(c.results[1].0, "grp/f/x");
+        assert_eq!(c.results[1].1.samples, 5);
+        c.results.clear();
+    }
+
+    #[test]
+    fn report_merge_upserts_by_id() {
+        let dir = std::env::temp_dir().join(format!(
+            "foundation-bench-test-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_report.json");
+        std::env::set_var("BENCH_REPORT_PATH", &path);
+        {
+            let mut c = Criterion {
+                sample_size: 1,
+                full: false,
+                results: Vec::new(),
+            };
+            c.bench_function("alpha", |b| b.iter(|| 0));
+        }
+        {
+            let mut c = Criterion {
+                sample_size: 1,
+                full: false,
+                results: Vec::new(),
+            };
+            c.bench_function("alpha", |b| b.iter(|| 0));
+            c.bench_function("beta", |b| b.iter(|| 0));
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = Json::parse(&text).unwrap();
+        let fields = match doc {
+            Json::Obj(fields) => fields,
+            other => panic!("expected object, got {other:?}"),
+        };
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["alpha", "beta"]);
+        std::env::remove_var("BENCH_REPORT_PATH");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

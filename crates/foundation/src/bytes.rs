@@ -1,0 +1,192 @@
+//! Cheaply cloneable shared byte buffers (the `bytes` crate surface the
+//! workspace uses: `Bytes`, `BytesMut`, `BufMut::put_slice`,
+//! `freeze`).
+//!
+//! `Bytes` is an `Arc<[u8]>`: cloning a large listing page shares one
+//! allocation between the fabric's request log and the client, which is
+//! the property the HTTP layer depends on.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    pub fn new() -> Bytes {
+        static EMPTY: &[u8] = &[];
+        Bytes(Arc::from(EMPTY))
+    }
+
+    /// Copy a slice into a fresh shared buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes(Arc::from(data))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The contents as a slice (inherent, mirroring the `bytes` crate's
+    /// method so call sites need no explicit trait dispatch).
+    #[allow(clippy::should_implement_trait)]
+    pub fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({} bytes)", self.0.len())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state)
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(Arc::from(v.into_boxed_slice()))
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+/// Append-only byte assembly; `freeze()` converts into shared
+/// [`Bytes`] without copying.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> BytesMut {
+        BytesMut(Vec::new())
+    }
+
+    /// Pre-allocate `cap` bytes.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Convert into an immutable shared buffer.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.0)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Byte-sink trait: the subset of the `bytes` crate's `BufMut` in use.
+pub trait BufMut {
+    /// Append a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append a single byte.
+    fn put_u8(&mut self, b: u8) {
+        self.put_slice(&[b]);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_freeze_share() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_slice(b"hello ");
+        b.put_slice(b"world");
+        let frozen = b.freeze();
+        let clone = frozen.clone();
+        assert_eq!(&*frozen, b"hello world");
+        assert_eq!(frozen, clone);
+        // Cloning shares the allocation.
+        assert!(std::ptr::eq(frozen.as_ref().as_ptr(), clone.as_ref().as_ptr()));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(&*Bytes::from("abc"), b"abc");
+        assert_eq!(&*Bytes::from(vec![1u8, 2]), &[1, 2]);
+        assert_eq!(Bytes::copy_from_slice(b"xy").len(), 2);
+        assert!(Bytes::new().is_empty());
+    }
+}

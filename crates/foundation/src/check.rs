@@ -1,0 +1,988 @@
+//! A minimal property-testing harness with seeded generation and
+//! shrinking (replacing `proptest`).
+//!
+//! * [`Strategy`] — generate a random value, and propose strictly
+//!   simpler variants of a failing one (`shrink`).
+//! * [`pattern`] — a regex-subset string generator covering the
+//!   character-class/quantifier/alternation patterns the workspace's
+//!   property tests were written with.
+//! * [`run`] — execute a property over N seeded cases; on failure,
+//!   greedily shrink to a minimal counterexample and panic with it.
+//! * [`prop_check!`] — the test-declaration macro.
+//!
+//! Reproducibility: every case's RNG seed derives from the property
+//! name and case index; `CHECK_SEED` / `CHECK_CASES` environment
+//! variables override the defaults.
+
+use crate::rng::{splitmix64, ChaCha8Rng, Rng, RngExt, SampleRange, SeedableRng};
+use std::fmt::Debug;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A value generator with shrinking.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+
+    /// Candidate simplifications of `v` — each must stay inside this
+    /// strategy's support. An empty vector means fully shrunk.
+    fn shrink(&self, _v: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+// -------------------------------------------------------- numeric ranges
+
+macro_rules! int_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut ChaCha8Rng) -> $t {
+                self.clone().sample_from(rng)
+            }
+
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                let lo = self.start;
+                let mut out = Vec::new();
+                if *v == lo {
+                    return out;
+                }
+                out.push(lo);
+                let mid = lo + (*v - lo) / 2;
+                if mid != lo && mid != *v {
+                    out.push(mid);
+                }
+                out.push(*v - 1);
+                out
+            }
+        }
+    )+};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut ChaCha8Rng) -> $t {
+                self.clone().sample_from(rng)
+            }
+
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                let lo = self.start;
+                if *v == lo {
+                    return Vec::new();
+                }
+                let mut out = vec![lo];
+                let mid = lo + (*v - lo) / 2.0;
+                if mid != lo && mid != *v {
+                    out.push(mid);
+                }
+                out
+            }
+        }
+    )+};
+}
+
+float_strategy!(f32, f64);
+
+/// Any byte, uniform over `0..=255`.
+#[derive(Clone, Debug)]
+pub struct AnyByte;
+
+impl Strategy for AnyByte {
+    type Value = u8;
+
+    fn generate(&self, rng: &mut ChaCha8Rng) -> u8 {
+        rng.next_u32() as u8
+    }
+
+    fn shrink(&self, v: &u8) -> Vec<u8> {
+        if *v == 0 {
+            Vec::new()
+        } else {
+            vec![0, v / 2, v - 1]
+        }
+    }
+}
+
+/// Any byte.
+pub fn any_byte() -> AnyByte {
+    AnyByte
+}
+
+/// Any `u64`, uniform over the full range.
+#[derive(Clone, Debug)]
+pub struct AnyU64;
+
+impl Strategy for AnyU64 {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut ChaCha8Rng) -> u64 {
+        rng.next_u64()
+    }
+
+    fn shrink(&self, v: &u64) -> Vec<u64> {
+        if *v == 0 {
+            Vec::new()
+        } else {
+            vec![0, v / 2, v - 1]
+        }
+    }
+}
+
+/// Any `u64`.
+pub fn any_u64() -> AnyU64 {
+    AnyU64
+}
+
+// ---------------------------------------------------------------- vec
+
+/// Vector of values from an element strategy, length drawn from a
+/// range. See [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// `vec(strategy, 1..50)` — the `proptest::collection::vec`
+/// equivalent.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut ChaCha8Rng) -> Vec<S::Value> {
+        let n = rng.random_range(self.len.clone());
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        // Structural shrinks: drop elements (keeping length in range).
+        if v.len() > self.len.start {
+            if v.len() / 2 >= self.len.start && v.len() > 1 {
+                out.push(v[..v.len() / 2].to_vec());
+            }
+            for i in (0..v.len()).rev() {
+                let mut shorter = v.clone();
+                shorter.remove(i);
+                out.push(shorter);
+            }
+        }
+        // Element-wise shrinks.
+        for (i, item) in v.iter().enumerate() {
+            for cand in self.element.shrink(item) {
+                let mut modified = v.clone();
+                modified[i] = cand;
+                out.push(modified);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------- tuples
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&v.$idx) {
+                        let mut modified = v.clone();
+                        modified.$idx = cand;
+                        out.push(modified);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+}
+
+// ---------------------------------------------------------------- map
+
+/// A strategy post-processed through a function (no shrinking through
+/// the map).
+#[derive(Clone)]
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+/// Transform generated values.
+pub fn map<S, T, F>(inner: S, f: F) -> MapStrategy<S, F>
+where
+    S: Strategy,
+    T: Clone + Debug,
+    F: Fn(S::Value) -> T,
+{
+    MapStrategy { inner, f }
+}
+
+impl<S, T, F> Strategy for MapStrategy<S, F>
+where
+    S: Strategy,
+    T: Clone + Debug,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut ChaCha8Rng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+// ------------------------------------------------------------- patterns
+
+mod pat {
+    use super::*;
+
+    /// A character class: inclusive ranges minus an exclusion set.
+    #[derive(Clone, Debug)]
+    pub struct Class {
+        pub ranges: Vec<(char, char)>,
+        pub excluded: Vec<(char, char)>,
+    }
+
+    impl Class {
+        fn contains(&self, c: char) -> bool {
+            self.ranges.iter().any(|&(a, b)| (a..=b).contains(&c))
+                && !self.excluded.iter().any(|&(a, b)| (a..=b).contains(&c))
+        }
+
+        /// The shrink target: 'a' when allowed, else the lowest member.
+        pub fn canonical(&self) -> char {
+            if self.contains('a') {
+                return 'a';
+            }
+            let mut best: Option<char> = None;
+            for &(lo, hi) in &self.ranges {
+                let mut c = lo;
+                loop {
+                    if self.contains(c) {
+                        best = Some(match best {
+                            Some(b) if b <= c => b,
+                            _ => c,
+                        });
+                        break;
+                    }
+                    if c == hi {
+                        break;
+                    }
+                    c = char::from_u32(c as u32 + 1).unwrap_or(hi);
+                }
+            }
+            best.unwrap_or('a')
+        }
+
+        pub fn sample(&self, rng: &mut ChaCha8Rng) -> char {
+            // Weight ranges by size; retry around exclusions.
+            let total: u32 = self.ranges.iter().map(|&(a, b)| b as u32 - a as u32 + 1).sum();
+            for _ in 0..64 {
+                let mut pick = rng.random_range(0..total.max(1));
+                for &(a, b) in &self.ranges {
+                    let size = b as u32 - a as u32 + 1;
+                    if pick < size {
+                        if let Some(c) = char::from_u32(a as u32 + pick) {
+                            if self.contains(c) {
+                                return c;
+                            }
+                        }
+                        break;
+                    }
+                    pick -= size;
+                }
+            }
+            self.canonical()
+        }
+    }
+
+    /// Parsed pattern node.
+    #[derive(Clone, Debug)]
+    pub enum Ast {
+        Lit(char),
+        Class(Class),
+        /// Alternation of sequences.
+        Group(Vec<Vec<Quantified>>),
+    }
+
+    /// A node with repetition bounds.
+    #[derive(Clone, Debug)]
+    pub struct Quantified {
+        pub ast: Ast,
+        pub min: u32,
+        pub max: u32,
+    }
+
+    /// Expansion of one quantified node: which items were emitted.
+    #[derive(Clone, Debug)]
+    pub enum Exp {
+        Char { c: char, canonical: char },
+        /// One expansion per emitted repetition; each repetition is the
+        /// expansion of the node's sequence.
+        Rep { items: Vec<Vec<Exp>>, min: u32 },
+        /// Chosen alternative index, plus its expansion.
+        Alt { chosen: usize, seq: Vec<Exp> },
+    }
+
+    pub fn render(seq: &[Exp], out: &mut String) {
+        for e in seq {
+            match e {
+                Exp::Char { c, .. } => out.push(*c),
+                Exp::Rep { items, .. } => {
+                    for item in items {
+                        render(item, out);
+                    }
+                }
+                Exp::Alt { seq, .. } => render(seq, out),
+            }
+        }
+    }
+
+    /// Parse the supported regex subset.
+    pub fn parse(pattern: &str) -> Vec<Quantified> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0usize;
+        let seq = parse_seq(&chars, &mut pos, pattern);
+        assert!(pos == chars.len(), "unsupported pattern syntax in {pattern:?} at {pos}");
+        seq
+    }
+
+    fn parse_seq(chars: &[char], pos: &mut usize, pattern: &str) -> Vec<Quantified> {
+        let mut seq = Vec::new();
+        while *pos < chars.len() && chars[*pos] != ')' && chars[*pos] != '|' {
+            let ast = parse_atom(chars, pos, pattern);
+            let (min, max) = parse_quantifier(chars, pos, pattern);
+            seq.push(Quantified { ast, min, max });
+        }
+        seq
+    }
+
+    fn parse_atom(chars: &[char], pos: &mut usize, pattern: &str) -> Ast {
+        match chars[*pos] {
+            '(' => {
+                *pos += 1;
+                let mut alts = vec![parse_seq(chars, pos, pattern)];
+                while *pos < chars.len() && chars[*pos] == '|' {
+                    *pos += 1;
+                    alts.push(parse_seq(chars, pos, pattern));
+                }
+                assert!(
+                    *pos < chars.len() && chars[*pos] == ')',
+                    "unclosed group in {pattern:?}"
+                );
+                *pos += 1;
+                Ast::Group(alts)
+            }
+            '[' => {
+                *pos += 1;
+                Ast::Class(parse_class(chars, pos, pattern))
+            }
+            '\\' => {
+                *pos += 1;
+                let c = chars[*pos];
+                *pos += 1;
+                match c {
+                    // \PC — proptest's "any non-control char". Generate
+                    // from printable ASCII plus a sprinkle of multibyte
+                    // scalars to exercise UTF-8 handling.
+                    'P' => {
+                        assert!(chars[*pos] == 'C', "only \\PC is supported");
+                        *pos += 1;
+                        Ast::Class(Class {
+                            ranges: vec![
+                                (' ', '~'),
+                                ('\u{a1}', '\u{ff}'),
+                                ('α', 'ω'),
+                                ('一', '三'),
+                            ],
+                            excluded: Vec::new(),
+                        })
+                    }
+                    'd' => Ast::Class(Class { ranges: vec![('0', '9')], excluded: Vec::new() }),
+                    c => Ast::Lit(c),
+                }
+            }
+            '.' => {
+                *pos += 1;
+                Ast::Class(Class { ranges: vec![(' ', '~')], excluded: Vec::new() })
+            }
+            c => {
+                *pos += 1;
+                Ast::Lit(c)
+            }
+        }
+    }
+
+    fn parse_class(chars: &[char], pos: &mut usize, pattern: &str) -> Class {
+        let mut ranges = Vec::new();
+        let mut excluded = Vec::new();
+        let mut target_excluded = false;
+        loop {
+            assert!(*pos < chars.len(), "unclosed class in {pattern:?}");
+            match chars[*pos] {
+                ']' => {
+                    *pos += 1;
+                    break;
+                }
+                '&' if chars.get(*pos + 1) == Some(&'&') => {
+                    // proptest's class intersection `[...&&[^...]]`: we
+                    // support the exclusion form.
+                    *pos += 2;
+                    assert!(
+                        chars.get(*pos) == Some(&'[') && chars.get(*pos + 1) == Some(&'^'),
+                        "only `&&[^...]` class intersection is supported in {pattern:?}"
+                    );
+                    *pos += 2;
+                    target_excluded = true;
+                }
+                _ => {
+                    let lo = read_class_char(chars, pos);
+                    let hi = if chars.get(*pos) == Some(&'-')
+                        && chars.get(*pos + 1).map(|&c| c != ']').unwrap_or(false)
+                    {
+                        *pos += 1;
+                        read_class_char(chars, pos)
+                    } else {
+                        lo
+                    };
+                    if target_excluded {
+                        excluded.push((lo, hi));
+                    } else {
+                        ranges.push((lo, hi));
+                    }
+                }
+            }
+        }
+        // When the exclusion form was used the outer `]` closes the
+        // inner class; consume the outer one too.
+        if target_excluded {
+            assert!(chars.get(*pos) == Some(&']'), "unclosed outer class in {pattern:?}");
+            *pos += 1;
+        }
+        Class { ranges, excluded }
+    }
+
+    fn read_class_char(chars: &[char], pos: &mut usize) -> char {
+        let c = chars[*pos];
+        *pos += 1;
+        if c == '\\' {
+            let e = chars[*pos];
+            *pos += 1;
+            match e {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                other => other,
+            }
+        } else {
+            c
+        }
+    }
+
+    fn parse_quantifier(chars: &[char], pos: &mut usize, pattern: &str) -> (u32, u32) {
+        match chars.get(*pos) {
+            Some('{') => {
+                *pos += 1;
+                let mut min_text = String::new();
+                while chars[*pos].is_ascii_digit() {
+                    min_text.push(chars[*pos]);
+                    *pos += 1;
+                }
+                let min: u32 = min_text.parse().expect("quantifier min");
+                let max = if chars[*pos] == ',' {
+                    *pos += 1;
+                    let mut max_text = String::new();
+                    while chars[*pos].is_ascii_digit() {
+                        max_text.push(chars[*pos]);
+                        *pos += 1;
+                    }
+                    max_text.parse().expect("quantifier max")
+                } else {
+                    min
+                };
+                assert!(chars[*pos] == '}', "unclosed quantifier in {pattern:?}");
+                *pos += 1;
+                (min, max)
+            }
+            Some('?') => {
+                *pos += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                *pos += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                *pos += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    pub fn expand_seq(seq: &[Quantified], rng: &mut ChaCha8Rng) -> Vec<Exp> {
+        seq.iter()
+            .map(|q| {
+                let n = rng.random_range(q.min..=q.max);
+                let items = (0..n).map(|_| vec![expand_ast(&q.ast, rng)]).collect();
+                Exp::Rep { items, min: q.min }
+            })
+            .collect()
+    }
+
+    fn expand_ast(ast: &Ast, rng: &mut ChaCha8Rng) -> Exp {
+        match ast {
+            Ast::Lit(c) => Exp::Char { c: *c, canonical: *c },
+            Ast::Class(class) => {
+                Exp::Char { c: class.sample(rng), canonical: class.canonical() }
+            }
+            Ast::Group(alts) => {
+                let chosen = rng.random_range(0..alts.len());
+                Exp::Alt { chosen, seq: expand_seq(&alts[chosen], rng) }
+            }
+        }
+    }
+
+    /// Deterministic minimal expansion: every repetition at `min`,
+    /// every char canonical, every alternation on alternative 0.
+    pub fn minimal_seq(seq: &[Quantified]) -> Vec<Exp> {
+        seq.iter()
+            .map(|q| Exp::Rep {
+                items: (0..q.min).map(|_| vec![minimal_ast(&q.ast)]).collect(),
+                min: q.min,
+            })
+            .collect()
+    }
+
+    fn minimal_ast(ast: &Ast) -> Exp {
+        match ast {
+            Ast::Lit(c) => Exp::Char { c: *c, canonical: *c },
+            Ast::Class(class) => {
+                let c = class.canonical();
+                Exp::Char { c, canonical: c }
+            }
+            Ast::Group(alts) => Exp::Alt { chosen: 0, seq: minimal_seq(&alts[0]) },
+        }
+    }
+
+    /// All single-step simplifications of an expansion sequence.
+    pub fn shrink_seq(pattern: &[Quantified], seq: &[Exp]) -> Vec<Vec<Exp>> {
+        let mut out = Vec::new();
+        for (i, (q, e)) in pattern.iter().zip(seq.iter()).enumerate() {
+            for cand in shrink_exp(q, e) {
+                let mut modified = seq.to_vec();
+                modified[i] = cand;
+                out.push(modified);
+            }
+        }
+        out
+    }
+
+    fn shrink_exp(q: &Quantified, e: &Exp) -> Vec<Exp> {
+        let mut out = Vec::new();
+        if let Exp::Rep { items, min } = e {
+            // Drop one repetition (each position).
+            if items.len() as u32 > *min {
+                for i in (0..items.len()).rev() {
+                    let mut fewer = items.clone();
+                    fewer.remove(i);
+                    out.push(Exp::Rep { items: fewer, min: *min });
+                }
+            }
+            // Simplify one repetition's contents.
+            for (i, item) in items.iter().enumerate() {
+                debug_assert_eq!(item.len(), 1);
+                for cand in shrink_inner(&q.ast, &item[0]) {
+                    let mut modified = items.clone();
+                    modified[i] = vec![cand];
+                    out.push(Exp::Rep { items: modified, min: *min });
+                }
+            }
+        }
+        out
+    }
+
+    fn shrink_inner(ast: &Ast, e: &Exp) -> Vec<Exp> {
+        match (ast, e) {
+            (_, Exp::Char { c, canonical }) if c != canonical => {
+                vec![Exp::Char { c: *canonical, canonical: *canonical }]
+            }
+            (Ast::Group(alts), Exp::Alt { chosen, seq }) => {
+                let mut out = Vec::new();
+                if *chosen != 0 {
+                    out.push(Exp::Alt { chosen: 0, seq: minimal_seq(&alts[0]) });
+                }
+                for cand in shrink_seq(&alts[*chosen], seq) {
+                    out.push(Exp::Alt { chosen: *chosen, seq: cand });
+                }
+                out
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// A string generated from a [`pattern`] strategy. Dereferences to
+/// `str`; keeps its expansion tree so shrinking stays inside the
+/// pattern's language.
+#[derive(Clone)]
+pub struct PatStr {
+    value: String,
+    tree: Vec<pat::Exp>,
+}
+
+impl PatStr {
+    /// The generated text.
+    pub fn as_str(&self) -> &str {
+        &self.value
+    }
+}
+
+impl std::ops::Deref for PatStr {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        &self.value
+    }
+}
+
+impl AsRef<str> for PatStr {
+    fn as_ref(&self) -> &str {
+        &self.value
+    }
+}
+
+impl From<PatStr> for String {
+    fn from(p: PatStr) -> String {
+        p.value
+    }
+}
+
+impl std::fmt::Display for PatStr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.value)
+    }
+}
+
+impl Debug for PatStr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        Debug::fmt(&self.value, f)
+    }
+}
+
+impl PartialEq<&str> for PatStr {
+    fn eq(&self, other: &&str) -> bool {
+        self.value == *other
+    }
+}
+
+/// String generator for a regex subset: literals, `[a-z0-9_.-]`
+/// classes (with `&&[^...]` exclusion), `(...|...)` groups, `{m,n}` /
+/// `?` / `*` / `+` quantifiers, `\PC` (any non-control char), `\d`,
+/// and escaped literals.
+#[derive(Clone, Debug)]
+pub struct PatternStrategy {
+    ast: std::rc::Rc<Vec<pat::Quantified>>,
+}
+
+/// Build a [`PatternStrategy`]. Panics on unsupported syntax — the
+/// supported subset is exactly what the workspace's properties use.
+pub fn pattern(p: &str) -> PatternStrategy {
+    PatternStrategy { ast: std::rc::Rc::new(pat::parse(p)) }
+}
+
+impl Strategy for PatternStrategy {
+    type Value = PatStr;
+
+    fn generate(&self, rng: &mut ChaCha8Rng) -> PatStr {
+        let tree = pat::expand_seq(&self.ast, rng);
+        let mut value = String::new();
+        pat::render(&tree, &mut value);
+        PatStr { value, tree }
+    }
+
+    fn shrink(&self, v: &PatStr) -> Vec<PatStr> {
+        pat::shrink_seq(&self.ast, &v.tree)
+            .into_iter()
+            .map(|tree| {
+                let mut value = String::new();
+                pat::render(&tree, &mut value);
+                PatStr { value, tree }
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------- runner
+
+/// Harness configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Cap on shrink candidate evaluations after a failure.
+    pub max_shrink: u32,
+    /// Base seed; case `i` uses `splitmix64(seed ^ splitmix64(i))`.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Defaults, with `CHECK_CASES` / `CHECK_SEED` env overrides.
+    pub fn from_env(name: &str) -> Config {
+        let cases = std::env::var("CHECK_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        let seed = std::env::var("CHECK_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                // Stable per-name seed so failures reproduce without
+                // any environment setup.
+                name.bytes().fold(0xA77E_5EED_u64, |acc, b| {
+                    splitmix64(acc ^ b as u64)
+                })
+            });
+        Config { cases, max_shrink: 4_096, seed }
+    }
+}
+
+fn failure_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Run `property` over `config.cases` generated inputs; shrink and
+/// panic on the first failure.
+pub fn run_with<S, F>(name: &str, config: &Config, strategy: &S, property: F)
+where
+    S: Strategy,
+    F: Fn(&S::Value),
+{
+    let fails = |v: &S::Value| -> Option<String> {
+        catch_unwind(AssertUnwindSafe(|| property(v)))
+            .err()
+            .map(|p| failure_message(p.as_ref()))
+    };
+
+    for case in 0..config.cases {
+        let case_seed = splitmix64(config.seed ^ splitmix64(case as u64));
+        let mut rng = ChaCha8Rng::seed_from_u64(case_seed);
+        let value = strategy.generate(&mut rng);
+        let Some(first_message) = fails(&value) else {
+            continue;
+        };
+
+        // Greedy shrink: keep taking the first candidate that still
+        // fails until none does (or the evaluation budget runs out).
+        let mut minimal = value;
+        let mut message = first_message;
+        let mut evaluated = 0u32;
+        'shrinking: loop {
+            for candidate in strategy.shrink(&minimal) {
+                evaluated += 1;
+                if evaluated > config.max_shrink {
+                    break 'shrinking;
+                }
+                if let Some(m) = fails(&candidate) {
+                    minimal = candidate;
+                    message = m;
+                    continue 'shrinking;
+                }
+            }
+            break;
+        }
+
+        panic!(
+            "[check] property `{name}` failed (case {case}/{cases}, seed {seed})\n\
+             minimal input: {minimal:?}\n\
+             failure: {message}\n\
+             reproduce with CHECK_SEED={seed}",
+            cases = config.cases,
+            seed = config.seed,
+        );
+    }
+}
+
+/// [`run_with`] under the environment-derived [`Config`].
+pub fn run<S, F>(name: &str, strategy: &S, property: F)
+where
+    S: Strategy,
+    F: Fn(&S::Value),
+{
+    run_with(name, &Config::from_env(name), strategy, property)
+}
+
+/// Declare property tests. Each `fn` becomes a `#[test]` that runs the
+/// body over generated inputs, shrinking failures to minimal
+/// counterexamples:
+///
+/// ```ignore
+/// foundation::prop_check! {
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! prop_check {
+    ($( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )+) => {$(
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let strategy = ( $($strat,)+ );
+            $crate::check::run(stringify!($name), &strategy, |case| {
+                let ( $($arg,)+ ) = case.clone();
+                $body
+            });
+        }
+    )+};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_passes() {
+        run("tautology", &(0u64..100,), |&(v,)| assert!(v < 100));
+    }
+
+    #[test]
+    fn int_shrinking_finds_boundary() {
+        // Property "v < 10" fails for v >= 10; the minimal
+        // counterexample is exactly 10.
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run_with(
+                "boundary",
+                &Config { cases: 256, max_shrink: 4_096, seed: 99 },
+                &(0u64..1_000,),
+                |&(v,)| assert!(v < 10, "too big: {v}"),
+            );
+        }))
+        .expect_err("property must fail");
+        let msg = failure_message(err.as_ref());
+        assert!(msg.contains("minimal input: (10,)"), "shrunk to boundary, got:\n{msg}");
+    }
+
+    #[test]
+    fn vec_shrinking_minimizes_structure() {
+        // Fails whenever the vec contains an element >= 5; minimal
+        // counterexample is the single-element vec [5].
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run_with(
+                "vec_boundary",
+                &Config { cases: 256, max_shrink: 65_536, seed: 7 },
+                &(vec(0u64..100, 1..20),),
+                |(xs,)| assert!(xs.iter().all(|&x| x < 5)),
+            );
+        }))
+        .expect_err("property must fail");
+        let msg = failure_message(err.as_ref());
+        assert!(msg.contains("minimal input: ([5],)"), "got:\n{msg}");
+    }
+
+    #[test]
+    fn pattern_generates_matching_strings() {
+        let strat = pattern("[a-z][a-z0-9-]{0,12}(\\.[a-z]{2,5}){1,2}");
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            let text = s.as_str();
+            assert!(text.chars().next().unwrap().is_ascii_lowercase(), "{text}");
+            assert!(text.contains('.'), "{text}");
+            assert!(
+                text.chars().all(|c| c.is_ascii_lowercase()
+                    || c.is_ascii_digit()
+                    || c == '-'
+                    || c == '.'),
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_exclusion_classes() {
+        let strat = pattern("[ -~&&[^<>]]{0,40}");
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c) && c != '<' && c != '>'));
+        }
+    }
+
+    #[test]
+    fn pattern_alternation() {
+        let strat = pattern("(div|span|a|p|li)");
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let s = strat.generate(&mut rng).to_string();
+            assert!(["div", "span", "a", "p", "li"].contains(&s.as_str()), "{s}");
+            seen.insert(s);
+        }
+        assert!(seen.len() >= 4, "alternation explores variants: {seen:?}");
+    }
+
+    #[test]
+    fn pattern_shrinking_reaches_minimal_string() {
+        // Any host fails; the shrinker must walk down to the minimal
+        // member of the pattern's language ("a.aa"), never leaving it.
+        let strat = pattern("[a-z][a-z0-9-]{0,12}(\\.[a-z]{2,5}){1,2}");
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run_with(
+                "host_minimal",
+                &Config { cases: 1, max_shrink: 65_536, seed: 11 },
+                &(strat,),
+                |(h,)| assert!(h.as_str().is_empty(), "always fails"),
+            );
+        }))
+        .expect_err("property must fail");
+        let msg = failure_message(err.as_ref());
+        assert!(msg.contains("minimal input: (\"a.aa\",)"), "got:\n{msg}");
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let strat = pattern("[a-z]{1,10}");
+        let gen = |seed: u64| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            (0..20).map(|_| strat.generate(&mut rng).to_string()).collect::<Vec<_>>()
+        };
+        assert_eq!(gen(5), gen(5));
+        assert_ne!(gen(5), gen(6));
+    }
+}

@@ -1,0 +1,721 @@
+//! A small JSON value model with a strict parser, deterministic
+//! serializers, and the [`JsonCodec`] trait the workspace's serialized
+//! types implement (replacing `serde`/`serde_json`).
+//!
+//! Determinism contract: serialization is a pure function of the value
+//! — object keys keep insertion order, numbers print via Rust's
+//! shortest-round-trip formatting — so equal values always produce
+//! byte-identical JSON. The study's determinism tests rely on this.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; integers up to 2^53 are exact).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object: insertion-ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Error raised by parsing or decoding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub msg: String,
+    /// Byte offset in the input, when known.
+    pub offset: Option<usize>,
+}
+
+impl JsonError {
+    /// A decode-stage error (no input offset).
+    pub fn decode(msg: impl Into<String>) -> JsonError {
+        JsonError { msg: msg.into(), offset: None }
+    }
+
+    fn parse(msg: impl Into<String>, offset: usize) -> JsonError {
+        JsonError { msg: msg.into(), offset: Some(offset) }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(o) => write!(f, "json error at byte {o}: {}", self.msg),
+            None => write!(f, "json error: {}", self.msg),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if numeric.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`, if boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Compact serialization.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, None, 0);
+        out
+    }
+
+    /// Pretty serialization (two-space indent, like `serde_json`'s).
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, Some(2), 0);
+        out
+    }
+
+    /// Parse a JSON document. The whole input must be consumed.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let bytes = input.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError::parse("trailing characters", pos));
+        }
+        Ok(value)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+// ---------------------------------------------------------------- writer
+
+/// Deterministic number formatting: integers without a fractional part
+/// print as integers; everything else uses Rust's shortest-round-trip
+/// `Display`. Non-finite values (never produced by the pipeline) print
+/// as `null`, matching `serde_json`.
+fn write_num(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9.007_199_254_740_992e15 {
+        use fmt::Write;
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        use fmt::Write;
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn indent(out: &mut String, step: Option<usize>, depth: usize) {
+    if let Some(step) = step {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', step * depth));
+    }
+}
+
+fn write_value(out: &mut String, v: &Json, step: Option<usize>, depth: usize) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(n) => write_num(out, *n),
+        Json::Str(s) => write_escaped(out, s),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                indent(out, step, depth + 1);
+                write_value(out, item, step, depth + 1);
+            }
+            indent(out, step, depth);
+            out.push(']');
+        }
+        Json::Obj(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                indent(out, step, depth + 1);
+                write_escaped(out, k);
+                out.push(':');
+                if step.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, step, depth + 1);
+            }
+            indent(out, step, depth);
+            out.push('}');
+        }
+    }
+}
+
+// ---------------------------------------------------------------- parser
+
+const MAX_DEPTH: usize = 128;
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), JsonError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(JsonError::parse(format!("expected `{lit}`"), *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
+    if depth > MAX_DEPTH {
+        return Err(JsonError::parse("nesting too deep", *pos));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(JsonError::parse("unexpected end of input", *pos)),
+        Some(b'n') => expect(bytes, pos, "null").map(|_| Json::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|_| Json::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|_| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(JsonError::parse("expected `,` or `]`", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(JsonError::parse("expected `:`", *pos));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos, depth + 1)?;
+                entries.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(entries));
+                    }
+                    _ => return Err(JsonError::parse("expected `,` or `}`", *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(JsonError::parse("expected string", *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(JsonError::parse("unterminated string", *pos)),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = *bytes.get(*pos).ok_or_else(|| {
+                    JsonError::parse("unterminated escape", *pos)
+                })?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{08}'),
+                    b'f' => out.push('\u{0c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hi = parse_hex4(bytes, pos)?;
+                        let c = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: require the low half.
+                            expect(bytes, pos, "\\u")?;
+                            let lo = parse_hex4(bytes, pos)?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(JsonError::parse("bad low surrogate", *pos));
+                            }
+                            let code =
+                                0x10000 + (((hi - 0xD800) as u32) << 10) + (lo - 0xDC00) as u32;
+                            char::from_u32(code)
+                        } else if (0xDC00..0xE000).contains(&hi) {
+                            None
+                        } else {
+                            char::from_u32(hi as u32)
+                        };
+                        out.push(c.ok_or_else(|| {
+                            JsonError::parse("invalid unicode escape", *pos)
+                        })?);
+                    }
+                    _ => return Err(JsonError::parse("unknown escape", *pos - 1)),
+                }
+            }
+            Some(&b) if b < 0x20 => {
+                return Err(JsonError::parse("unescaped control character", *pos))
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so this is
+                // always valid).
+                let s = unsafe { std::str::from_utf8_unchecked(&bytes[*pos..]) };
+                let c = s.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u16, JsonError> {
+    let chunk = bytes
+        .get(*pos..*pos + 4)
+        .ok_or_else(|| JsonError::parse("truncated unicode escape", *pos))?;
+    let s = std::str::from_utf8(chunk).map_err(|_| JsonError::parse("bad hex", *pos))?;
+    let v = u16::from_str_radix(s, 16).map_err(|_| JsonError::parse("bad hex", *pos))?;
+    *pos += 4;
+    Ok(v)
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits_start = *pos;
+    while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+        *pos += 1;
+    }
+    if *pos == digits_start {
+        return Err(JsonError::parse("expected value", start));
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let frac_start = *pos;
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+        if *pos == frac_start {
+            return Err(JsonError::parse("digits required after decimal point", *pos));
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let exp_start = *pos;
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+        if *pos == exp_start {
+            return Err(JsonError::parse("digits required in exponent", *pos));
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii");
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| JsonError::parse("invalid number", start))
+}
+
+// ---------------------------------------------------------------- codec
+
+/// Types that convert to and from [`Json`]. The manual replacement for
+/// `serde::{Serialize, Deserialize}` — implement with
+/// [`json_codec_struct!`], [`json_codec_enum!`], or
+/// [`json_codec_newtype!`] for the common shapes.
+pub trait JsonCodec: Sized {
+    /// Project into a JSON value.
+    fn to_json(&self) -> Json;
+
+    /// Reconstruct from a JSON value.
+    fn from_json(v: &Json) -> Result<Self, JsonError>;
+}
+
+/// Serialize any codec-implementing value to compact JSON.
+pub fn to_string<T: JsonCodec>(value: &T) -> String {
+    value.to_json().render()
+}
+
+/// Serialize any codec-implementing value to pretty JSON.
+pub fn to_string_pretty<T: JsonCodec>(value: &T) -> String {
+    value.to_json().render_pretty()
+}
+
+/// Parse JSON text straight into a codec-implementing type.
+pub fn from_str<T: JsonCodec>(s: &str) -> Result<T, JsonError> {
+    T::from_json(&Json::parse(s)?)
+}
+
+/// A `'static` null, used by the codec macros for missing-field lookups.
+pub static JSON_NULL: Json = Json::Null;
+
+macro_rules! int_codec {
+    ($($t:ty),+) => {$(
+        impl JsonCodec for $t {
+            fn to_json(&self) -> Json {
+                Json::Num(*self as f64)
+            }
+
+            fn from_json(v: &Json) -> Result<$t, JsonError> {
+                let n = v.as_num().ok_or_else(|| {
+                    JsonError::decode(concat!("expected number for ", stringify!($t)))
+                })?;
+                if n.fract() != 0.0 {
+                    return Err(JsonError::decode("expected integer, found fraction"));
+                }
+                if n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                    return Err(JsonError::decode(concat!(stringify!($t), " out of range")));
+                }
+                Ok(n as $t)
+            }
+        }
+    )+};
+}
+
+int_codec!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl JsonCodec for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+
+    fn from_json(v: &Json) -> Result<f64, JsonError> {
+        v.as_num().ok_or_else(|| JsonError::decode("expected number"))
+    }
+}
+
+impl JsonCodec for f32 {
+    fn to_json(&self) -> Json {
+        // Round-trip through the shortest f32 decimal so the printed
+        // number looks like the f32, not its widened f64 neighbour.
+        Json::Num(format!("{self}").parse::<f64>().unwrap_or(*self as f64))
+    }
+
+    fn from_json(v: &Json) -> Result<f32, JsonError> {
+        Ok(v.as_num().ok_or_else(|| JsonError::decode("expected number"))? as f32)
+    }
+}
+
+impl JsonCodec for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+
+    fn from_json(v: &Json) -> Result<bool, JsonError> {
+        v.as_bool().ok_or_else(|| JsonError::decode("expected bool"))
+    }
+}
+
+impl JsonCodec for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+
+    fn from_json(v: &Json) -> Result<String, JsonError> {
+        v.as_str().map(str::to_string).ok_or_else(|| JsonError::decode("expected string"))
+    }
+}
+
+impl<T: JsonCodec> JsonCodec for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            None => Json::Null,
+            Some(v) => v.to_json(),
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<Option<T>, JsonError> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: JsonCodec> JsonCodec for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(JsonCodec::to_json).collect())
+    }
+
+    fn from_json(v: &Json) -> Result<Vec<T>, JsonError> {
+        v.as_arr()
+            .ok_or_else(|| JsonError::decode("expected array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+/// Implement [`JsonCodec`] for a plain struct: fields serialize in
+/// declaration order under their own names; missing fields decode as
+/// `null` (so `Option` fields tolerate omission, everything else
+/// rejects).
+///
+/// ```ignore
+/// json_codec_struct! { Post { id, author, text, created_unix } }
+/// ```
+#[macro_export]
+macro_rules! json_codec_struct {
+    ($($ty:ident { $($field:ident),+ $(,)? })+) => {$(
+        impl $crate::json::JsonCodec for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                $crate::json::Json::Obj(vec![
+                    $( (stringify!($field).to_string(), $crate::json::JsonCodec::to_json(&self.$field)), )+
+                ])
+            }
+
+            fn from_json(v: &$crate::json::Json) -> Result<$ty, $crate::json::JsonError> {
+                if !matches!(v, $crate::json::Json::Obj(_)) {
+                    return Err($crate::json::JsonError::decode(concat!(
+                        "expected object for ", stringify!($ty)
+                    )));
+                }
+                Ok($ty {
+                    $($field: {
+                        let field_value =
+                            v.get(stringify!($field)).unwrap_or(&$crate::json::JSON_NULL);
+                        $crate::json::JsonCodec::from_json(field_value).map_err(|e| {
+                            $crate::json::JsonError::decode(format!(
+                                "{}.{}: {}", stringify!($ty), stringify!($field), e.msg
+                            ))
+                        })?
+                    },)+
+                })
+            }
+        }
+    )+};
+}
+
+/// Implement [`JsonCodec`] for a fieldless enum: unit variants
+/// serialize as their identifier string, mirroring serde's default
+/// representation.
+///
+/// ```ignore
+/// json_codec_enum! { FetchStatus { Ok, Forbidden, NotFound, Error } }
+/// ```
+#[macro_export]
+macro_rules! json_codec_enum {
+    ($($ty:ident { $($variant:ident),+ $(,)? })+) => {$(
+        impl $crate::json::JsonCodec for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                let name = match self {
+                    $($ty::$variant => stringify!($variant),)+
+                };
+                $crate::json::Json::Str(name.to_string())
+            }
+
+            fn from_json(v: &$crate::json::Json) -> Result<$ty, $crate::json::JsonError> {
+                let s = v.as_str().ok_or_else(|| {
+                    $crate::json::JsonError::decode(concat!(
+                        "expected string variant for ", stringify!($ty)
+                    ))
+                })?;
+                match s {
+                    $(stringify!($variant) => Ok($ty::$variant),)+
+                    other => Err($crate::json::JsonError::decode(format!(
+                        "unknown {} variant {:?}", stringify!($ty), other
+                    ))),
+                }
+            }
+        }
+    )+};
+}
+
+/// Implement [`JsonCodec`] for a single-field tuple struct
+/// (`struct AccountId(pub u64)`): transparent, like serde newtypes.
+#[macro_export]
+macro_rules! json_codec_newtype {
+    ($($ty:ident),+ $(,)?) => {$(
+        impl $crate::json::JsonCodec for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                $crate::json::JsonCodec::to_json(&self.0)
+            }
+
+            fn from_json(v: &$crate::json::Json) -> Result<$ty, $crate::json::JsonError> {
+                Ok($ty($crate::json::JsonCodec::from_json(v)?))
+            }
+        }
+    )+};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        for text in ["null", "true", "false", "0", "-17", "3.5", "\"hi\"", "[]", "{}"] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(v.render(), text, "compact render is canonical");
+        }
+    }
+
+    #[test]
+    fn nested_roundtrip_and_pretty() {
+        let v = Json::parse(r#"{"a":[1,2,{"b":null}],"c":"x\ny"}"#).unwrap();
+        let pretty = v.render_pretty();
+        assert_eq!(Json::parse(&pretty).unwrap(), v);
+        assert!(pretty.contains("\n  \"a\""));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = Json::parse(r#""A\t\\\"é😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("A\t\\\"é😀"));
+        let back = Json::parse(&v.render()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "", "{", "[1,", "{\"a\"}", "{\"a\":}", "nul", "01x", "\"unterminated",
+            "[1] trailing", "1.", "--2", "\"\\q\"", "\"\\ud800\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_bounded() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn integer_formatting_is_integral() {
+        assert_eq!(Json::Num(298.0).render(), "298");
+        assert_eq!(Json::Num(4.5).render(), "4.5");
+        assert_eq!(Json::Num(-0.25).render(), "-0.25");
+    }
+
+    #[test]
+    fn option_and_vec_codecs() {
+        let v: Option<u64> = None;
+        assert_eq!(to_string(&v), "null");
+        let xs = vec![1u64, 2, 3];
+        assert_eq!(to_string(&xs), "[1,2,3]");
+        let back: Vec<u64> = from_str("[1,2,3]").unwrap();
+        assert_eq!(back, xs);
+        assert!(from_str::<Vec<u64>>("[1,2.5]").is_err());
+        assert!(from_str::<u8>("300").is_err());
+    }
+
+    #[test]
+    fn f32_prints_shortest() {
+        let r: f32 = 4.7;
+        let s = to_string(&r);
+        assert_eq!(s, "4.7");
+        let back: f32 = from_str(&s).unwrap();
+        assert_eq!(back, r);
+    }
+}

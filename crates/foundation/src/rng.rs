@@ -1,0 +1,399 @@
+//! Deterministic random numbers: a ChaCha8 stream-cipher RNG plus the
+//! `rand`-shaped trait surface the codebase grew up with.
+//!
+//! The generator is a faithful ChaCha implementation (the RFC 8439 core
+//! with 8 double-round-pairs' worth of quarter rounds, i.e. 8 ChaCha
+//! rounds) keyed by a SplitMix64 expansion of a `u64` seed. The exact
+//! stream for a given seed is part of the workspace's compatibility
+//! contract: the determinism tests assert byte-identical study reports
+//! across runs, so changing this module's output is a breaking change.
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64 — the canonical 64-bit mixer (Steele et al.). Used to
+/// expand seeds and to decorrelate per-case seeds in [`crate::check`].
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The core random source: raw words and bytes.
+pub trait Rng {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods over any [`Rng`].
+pub trait RngExt: Rng {
+    /// Uniform sample from `range` (`a..b` or `a..=b`; integers and
+    /// floats). Panics on an empty range.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        self.random_f64() < p
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 random bits.
+    fn random_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) as f64))
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Uniform selection from slices (the `rand` `IndexedRandom` surface).
+pub trait IndexedRandom {
+    /// Element type.
+    type Item;
+
+    /// A uniformly random element, or `None` when empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> IndexedRandom for [T] {
+    type Item = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i = rng.random_range(0..self.len());
+            Some(&self[i])
+        }
+    }
+}
+
+/// A range that knows how to sample itself uniformly.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Element types that can be drawn uniformly from a range. A single
+/// generic `SampleRange` impl keys on this trait so `rng.random_range`
+/// infers the element type from untyped literals (`0.05..0.6`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi)` (`inclusive == false`) or
+    /// `[lo, hi]` (`inclusive == true`). Panics on an empty range.
+    fn sample_uniform<R: Rng + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(*self.start(), *self.end(), true, rng)
+    }
+}
+
+/// Widening-multiply bounded sample in `[0, span)`; `span == 0` means
+/// the full 64-bit range.
+#[inline]
+fn bounded_u64<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    // Lemire-style widening multiply. Deterministic, single draw; the
+    // modulo bias at 64-bit width is immaterial for simulation use.
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty => $wide:ty),+ $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: Rng + ?Sized>(
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> $t {
+                let span = if inclusive {
+                    assert!(lo <= hi, "cannot sample empty range");
+                    // Span of 0 encodes the full 64-bit range.
+                    (hi as $wide).wrapping_sub(lo as $wide).wrapping_add(1) as u64
+                } else {
+                    assert!(lo < hi, "cannot sample empty range");
+                    (hi as $wide).wrapping_sub(lo as $wide) as u64
+                };
+                (lo as $wide).wrapping_add(bounded_u64(rng, span) as $wide) as $t
+            }
+        }
+    )+};
+}
+
+int_sample_uniform! {
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+}
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: Rng + ?Sized>(
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> $t {
+                if inclusive {
+                    assert!(lo <= hi, "cannot sample empty range");
+                } else {
+                    assert!(lo < hi, "cannot sample empty range");
+                }
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) as f64));
+                let v = (lo as f64 + unit * (hi as f64 - lo as f64)) as $t;
+                // Guard against landing exactly on the excluded bound
+                // after rounding at low precision.
+                if !inclusive && v >= hi {
+                    lo
+                } else {
+                    v
+                }
+            }
+        }
+    )+};
+}
+
+float_sample_uniform!(f32, f64);
+
+/// The ChaCha8 stream-cipher RNG — the workspace's one true generator.
+///
+/// Seeded via [`SeedableRng::seed_from_u64`]; the 256-bit key is the
+/// SplitMix64 expansion of the seed, the stream position starts at
+/// block 0. Cloning captures the exact stream position.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Input block: constants, key, counter, nonce.
+    state: [u32; 16],
+    /// Current keystream block.
+    buf: [u32; 16],
+    /// Next unserved word index in `buf`; 16 means "refill".
+    idx: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// Build from a raw 256-bit key (8 little-endian words).
+    pub fn from_key(key: [u32; 8]) -> ChaCha8Rng {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&key);
+        // words 12..14: 64-bit block counter; 14..16: nonce (zero).
+        ChaCha8Rng { state, buf: [0; 16], idx: 16 }
+    }
+
+    /// Generate the next keystream block into `buf`.
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // One double round = 8 quarter rounds; 4 double rounds = 8
+            // ChaCha rounds (the "8" in ChaCha8).
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (dst, (w, s)) in self.buf.iter_mut().zip(working.iter().zip(self.state.iter())) {
+            *dst = w.wrapping_add(*s);
+        }
+        // Advance the 64-bit block counter.
+        let counter = ((self.state[13] as u64) << 32 | self.state[12] as u64).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.idx = 0;
+    }
+
+    /// Number of 32-bit words served so far (diagnostics).
+    pub fn word_position(&self) -> u64 {
+        let blocks = (self.state[13] as u64) << 32 | self.state[12] as u64;
+        blocks.saturating_sub(if self.idx < 16 { 1 } else { 0 }) * 16 + (self.idx as u64 % 16)
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> ChaCha8Rng {
+        let mut key = [0u32; 8];
+        let mut s = seed;
+        for pair in key.chunks_exact_mut(2) {
+            s = splitmix64(s.wrapping_add(0x9E37_79B9_7F4A_7C15));
+            pair[0] = s as u32;
+            pair[1] = (s >> 32) as u32;
+        }
+        ChaCha8Rng::from_key(key)
+    }
+}
+
+impl Rng for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..37 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_sampling_in_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..2000 {
+            let v = rng.random_range(10..20u64);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(-5..=5i64);
+            assert!((-5..=5).contains(&w));
+            let f = rng.random_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_u64_range_supported() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut seen_high = false;
+        for _ in 0..64 {
+            if rng.random_range(0..=u64::MAX) > u64::MAX / 2 {
+                seen_high = true;
+            }
+        }
+        assert!(seen_high, "full-range sampling covers the upper half");
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        assert!(rng.random_bool(1.0));
+        assert!(!rng.random_bool(0.0));
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "p=0.3 hit rate ~30%, got {hits}");
+    }
+
+    #[test]
+    fn choose_is_uniformish_and_total() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let items = [1u8, 2, 3, 4];
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[(*items.choose(&mut rng).unwrap() - 1) as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 700), "roughly uniform: {counts:?}");
+    }
+
+    #[test]
+    fn fill_bytes_matches_words() {
+        let mut a = ChaCha8Rng::seed_from_u64(8);
+        let mut b = ChaCha8Rng::seed_from_u64(8);
+        let mut buf = [0u8; 16];
+        a.fill_bytes(&mut buf);
+        let expect: [u8; 16] = {
+            let mut e = [0u8; 16];
+            e[..8].copy_from_slice(&b.next_u64().to_le_bytes());
+            e[8..].copy_from_slice(&b.next_u64().to_le_bytes());
+            e
+        };
+        assert_eq!(buf, expect);
+    }
+
+    #[test]
+    fn splitmix_mixes() {
+        assert_ne!(splitmix64(0), 0);
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+}

@@ -1,51 +1,47 @@
 //! Property tests: the parser's browser-grade tolerance guarantees.
 
 use acctrade_html::{parse, Selector};
-use proptest::prelude::*;
+use foundation::check::pattern;
+use foundation::prop_check;
 
-proptest! {
+prop_check! {
     /// The parser never panics, whatever bytes arrive.
-    #[test]
-    fn parser_total_on_arbitrary_input(input in "\\PC{0,300}") {
+    fn parser_total_on_arbitrary_input(input in pattern("\\PC{0,300}")) {
         let _ = parse(&input);
     }
 
     /// Parsing is idempotent through a render cycle: parse → render →
     /// parse → render reaches a fixpoint after the first render.
-    #[test]
-    fn render_parse_fixpoint(input in "[ -~]{0,200}") {
+    fn render_parse_fixpoint(input in pattern("[ -~]{0,200}")) {
         let once = parse(&input).render();
         let twice = parse(&once).render();
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice);
     }
 
     /// Every selector hit is genuinely an element with the queried tag.
-    #[test]
-    fn tag_selection_sound(tag in "(div|span|a|p|li)", input in "[ -~]{0,200}") {
+    fn tag_selection_sound(tag in pattern("(div|span|a|p|li)"), input in pattern("[ -~]{0,200}")) {
         let doc = parse(&input);
         let sel = Selector::parse(&tag).unwrap();
         for el in doc.select(&sel) {
-            prop_assert_eq!(el.tag(), tag.as_str());
+            assert_eq!(el.tag(), tag.as_str());
         }
     }
 
     /// Documents built from balanced markup survive a roundtrip with
     /// attribute values intact.
-    #[test]
-    fn attr_values_survive(value in "[a-zA-Z0-9 ._/-]{0,40}") {
+    fn attr_values_survive(value in pattern("[a-zA-Z0-9 ._/-]{0,40}")) {
         let html = format!(r#"<div data-x="{value}">t</div>"#);
         let doc = parse(&html);
         let el = doc.select_first(&Selector::parse("div").unwrap()).unwrap();
-        prop_assert_eq!(el.attr("data-x"), Some(value.as_str()));
+        assert_eq!(el.attr("data-x"), Some(value.as_str()));
         // And through a render cycle.
         let doc2 = parse(&doc.render());
         let el2 = doc2.select_first(&Selector::parse("div").unwrap()).unwrap();
-        prop_assert_eq!(el2.attr("data-x"), Some(value.as_str()));
+        assert_eq!(el2.attr("data-x"), Some(value.as_str()));
     }
 
     /// Selector parsing never panics.
-    #[test]
-    fn selector_parse_total(input in "\\PC{0,60}") {
+    fn selector_parse_total(input in pattern("\\PC{0,60}")) {
         let _ = Selector::parse(&input);
     }
 }

@@ -4,10 +4,10 @@
 
 use crate::payments::PaymentMethod;
 use acctrade_social::platform::Platform;
-use serde::{Deserialize, Serialize};
+use foundation::json_codec_enum;
 
 /// The eleven monitored public marketplaces (Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum MarketplaceId {
     /// Accsmarket.
     Accsmarket,
@@ -31,6 +31,13 @@ pub enum MarketplaceId {
     BuySocia,
     /// Fame seller.
     FameSeller,
+}
+
+json_codec_enum! {
+    MarketplaceId {
+        Accsmarket, FameSwap, Z2U, SocialTradia, InstaSale, MidMan, TooFame,
+        SwapSocials, SurgeGram, BuySocia, FameSeller,
+    }
 }
 
 /// All marketplaces in Table 1 order.
@@ -261,7 +268,7 @@ pub const VISIBLE_PROFILE_FRACTION: f64 = 11_457.0 / 38_253.0;
 // ---------------------------------------------------------------------------
 
 /// Channel category (Table 9 row groups).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChannelCategory {
     /// Public.
     Public,
@@ -272,7 +279,7 @@ pub enum ChannelCategory {
 }
 
 /// Channel exchange type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChannelType {
     /// Marketplace.
     Marketplace,
@@ -291,7 +298,7 @@ pub enum ChannelType {
 }
 
 /// One row of Table 9.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChannelRecord {
     /// Channel.
     pub channel: &'static str,

@@ -12,7 +12,7 @@ use crate::config::MarketplaceId;
 use crate::listing::{Listing, ListingId, ListingState};
 use crate::seller::{Seller, SellerId};
 use acctrade_social::platform::Platform;
-use rand::{Rng, RngExt};
+use foundation::rng::{Rng, RngExt};
 use std::collections::HashMap;
 
 /// Mutable state of one public marketplace.
@@ -188,8 +188,8 @@ impl MarketState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use foundation::rng::SeedableRng;
+    use foundation::rng::ChaCha8Rng;
 
     fn state_with_listings(n: usize, price: f64) -> MarketState {
         let mut s = MarketState::new(MarketplaceId::Accsmarket);

@@ -3,14 +3,14 @@
 use crate::config::MarketplaceId;
 use crate::seller::SellerId;
 use acctrade_social::platform::Platform;
-use serde::{Deserialize, Serialize};
+use foundation::{json_codec_enum, json_codec_newtype, json_codec_struct};
 
 /// Marketplace-scoped listing id.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ListingId(pub u64);
 
 /// Lifecycle state of a listing (Figure 2's active/offline dynamics).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ListingState {
     /// Visible and purchasable.
     Active,
@@ -22,7 +22,7 @@ pub enum ListingState {
 
 /// Monetization details some sellers disclose (§4.1 "Account
 /// Monetization": 164 accounts report $1–$922/month).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Monetization {
     /// Claimed monthly revenue in USD.
     pub monthly_revenue_usd: f64,
@@ -32,7 +32,7 @@ pub struct Monetization {
 }
 
 /// One account-for-sale offer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Listing {
     /// Id.
     pub id: ListingId,
@@ -127,6 +127,21 @@ impl Listing {
     }
 }
 
+json_codec_newtype!(ListingId);
+
+json_codec_enum! {
+    ListingState { Active, Sold, Delisted }
+}
+
+json_codec_struct! {
+    Monetization { monthly_revenue_usd, income_source }
+    Listing {
+        id, marketplace, platform, seller, title, description, price_usd,
+        category, claimed_followers, claims_verified, monetization,
+        profile_link, linked_handle, listed_unix, state, closed_unix,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,7 +189,7 @@ mod tests {
             monthly_revenue_usd: 136.0,
             income_source: "Google AdSense".into(),
         });
-        let back: Listing = serde_json::from_str(&serde_json::to_string(&l).unwrap()).unwrap();
+        let back: Listing = foundation::json::from_str(&foundation::json::to_string(&l)).unwrap();
         assert_eq!(l, back);
     }
 }

@@ -1,9 +1,8 @@
 //! Payment methods and the Table 3 marketplace matrix.
 
-use serde::{Deserialize, Serialize};
 
 /// A payment method observed across the 11 marketplaces (Table 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum PaymentMethod {
     // Traditional
     /// Visa.
@@ -62,7 +61,7 @@ pub enum PaymentMethod {
 }
 
 /// Table 3's row groups.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum PaymentCategory {
     /// Traditional.
     Traditional,

@@ -1,9 +1,9 @@
 //! Sellers on public marketplaces.
 
-use serde::{Deserialize, Serialize};
+use foundation::{json_codec_newtype, json_codec_struct};
 
 /// Marketplace-scoped seller id.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SellerId(pub u64);
 
 /// A marketplace seller profile.
@@ -11,7 +11,7 @@ pub struct SellerId(pub u64);
 /// §4.1: 9,949 sellers across the 11 marketplaces; 8,833 disclosed a
 /// country (138 countries, US/Ethiopia/Pakistan/UK/Turkey on top); five
 /// marketplaces hide seller identity entirely.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Seller {
     /// Id.
     pub id: SellerId,
@@ -39,6 +39,12 @@ impl Seller {
             joined_unix: 0,
         }
     }
+}
+
+json_codec_newtype!(SellerId);
+
+json_codec_struct! {
+    Seller { id, username, country, rating, completed_sales, joined_unix }
 }
 
 /// The §4.1 top-5 seller countries, with their reported counts, used by the
@@ -95,7 +101,7 @@ mod tests {
         let mut s = Seller::new(SellerId(3), "fastdeals");
         s.country = Some("Turkey".into());
         s.rating = 4.7;
-        let back: Seller = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        let back: Seller = foundation::json::from_str(&foundation::json::to_string(&s)).unwrap();
         assert_eq!(s, back);
     }
 }

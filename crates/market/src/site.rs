@@ -17,7 +17,7 @@ use acctrade_net::http::{Request, Response, Status};
 use acctrade_net::robots::RobotsPolicy;
 use acctrade_net::server::{RequestCtx, Service};
 use acctrade_social::platform::Platform;
-use parking_lot::RwLock;
+use foundation::sync::RwLock;
 use std::sync::Arc;
 
 /// Template dialect a marketplace renders in.

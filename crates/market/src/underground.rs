@@ -23,12 +23,11 @@ use acctrade_net::http::{Request, Response, Status};
 use acctrade_net::server::{RequestCtx, Service};
 use acctrade_net::tor::onion_address;
 use acctrade_social::platform::Platform;
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use foundation::sync::Mutex;
 use std::collections::{HashMap, HashSet};
 
 /// The eight inspected underground markets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum UndergroundId {
     /// Dark matter.
     DarkMatter,
@@ -179,7 +178,7 @@ impl UndergroundId {
 }
 
 /// One forum post advertising accounts.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UndergroundPost {
     /// Id.
     pub id: u64,
@@ -474,8 +473,8 @@ mod tests {
     use super::*;
     use acctrade_net::prelude::*;
     use acctrade_net::tor::TorDirectory;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use foundation::rng::SeedableRng;
+    use foundation::rng::ChaCha8Rng;
     use std::sync::Arc;
 
     fn sample_posts(market: UndergroundId, n: usize) -> Vec<UndergroundPost> {

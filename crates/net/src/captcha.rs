@@ -7,12 +7,11 @@
 //! a [`crate::client::Client`] operating in *manual* mode simulates a human
 //! operator solving it after a realistic delay.
 
-use rand::{Rng, RngExt};
-use serde::{Deserialize, Serialize};
+use foundation::rng::{Rng, RngExt};
 
 /// Kinds of challenge observed across the simulated sites, in increasing
 /// order of human solve time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CaptchaKind {
     /// Distorted-text image.
     DistortedText,
@@ -45,7 +44,7 @@ impl CaptchaKind {
 
 /// A challenge issued by a gate, referencing an opaque nonce the server
 /// validates on solve.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Challenge {
     /// Kind.
     pub kind: CaptchaKind,
@@ -63,7 +62,7 @@ pub struct SolveAttempt {
 }
 
 /// A server-side CAPTCHA gate: issues challenges and verifies solutions.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CaptchaGate {
     kind: CaptchaKind,
     counter: u64,
@@ -128,8 +127,8 @@ pub fn splitmix64(mut x: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use foundation::rng::SeedableRng;
+    use foundation::rng::ChaCha8Rng;
 
     #[test]
     fn issued_challenges_are_unique() {

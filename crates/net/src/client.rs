@@ -15,9 +15,9 @@ use crate::ratelimit::TokenBucket;
 use crate::sim::SimNet;
 use crate::tor::TorCircuit;
 use crate::url::Url;
-use parking_lot::Mutex;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use foundation::sync::Mutex;
+use foundation::rng::SeedableRng;
+use foundation::rng::ChaCha8Rng;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -320,7 +320,7 @@ mod tests {
     use crate::robots::RobotsPolicy;
     use crate::server::{RequestCtx, Router, Service};
     use crate::tor::TorDirectory;
-    use parking_lot::Mutex as PMutex;
+    use foundation::sync::Mutex as PMutex;
 
     #[test]
     fn follows_redirects() {
@@ -450,7 +450,7 @@ mod tests {
             },
         );
         let dir = TorDirectory::default_consensus();
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4);
+        let mut rng = foundation::rng::ChaCha8Rng::seed_from_u64(4);
         let bot = Client::new(&net, "bot").via_tor(dir.build_circuit(&mut rng));
         let resp = bot.get("http://gated.onion/").unwrap();
         assert_eq!(resp.status, Status::Unauthorized, "bot must not bypass the gate");

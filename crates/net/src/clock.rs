@@ -6,7 +6,7 @@
 //! latency, crawl politeness delays, inter-iteration gaps). Determinism of
 //! the whole study depends on nothing reading the host's real clock.
 
-use parking_lot::Mutex;
+use foundation::sync::Mutex;
 use std::sync::Arc;
 
 /// Microseconds in one second.

@@ -1,18 +1,17 @@
 //! HTTP request/response types and wire framing.
 //!
 //! The simulated services speak a compact HTTP/1.1 subset. Bodies are
-//! [`bytes::Bytes`] so large listing pages are shared, not copied, between
+//! [`foundation::bytes::Bytes`] so large listing pages are shared, not copied, between
 //! the fabric's request log and the client.
 
 use crate::error::{NetError, NetResult};
 use crate::url::Url;
-use bytes::{BufMut, Bytes, BytesMut};
-use serde::{Deserialize, Serialize};
+use foundation::bytes::{BufMut, Bytes, BytesMut};
 use std::fmt;
 
 /// HTTP method subset used by the study (the crawler only reads; forum
 /// registration posts forms).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Method {
     /// HTTP GET.
     Get,
@@ -35,7 +34,7 @@ impl fmt::Display for Method {
 /// Status codes the simulated services emit. The vocabulary matters: the
 /// paper's efficacy analysis (§8) keys on `Forbidden` vs `Not Found`
 /// platform responses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Status {
     /// 200 OK.
     Ok,
@@ -127,7 +126,7 @@ impl Status {
 
 /// An ordered, case-insensitive header map (small-N linear scan; requests in
 /// this system carry a handful of headers).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Headers {
     entries: Vec<(String, String)>,
 }
@@ -172,6 +171,41 @@ impl Headers {
     /// `true` when no headers are set.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+}
+
+foundation::json_codec_enum! {
+    Method { Get, Post, Head }
+    Status {
+        Ok, MovedPermanently, Found, BadRequest, Unauthorized, Forbidden,
+        NotFound, Gone, TooManyRequests, InternalError, ServiceUnavailable,
+    }
+}
+
+/// Headers serialize as a JSON object in insertion order; decoding rejects
+/// non-string values.
+impl foundation::json::JsonCodec for Headers {
+    fn to_json(&self) -> foundation::json::Json {
+        foundation::json::Json::Obj(
+            self.entries
+                .iter()
+                .map(|(n, v)| (n.clone(), foundation::json::Json::Str(v.clone())))
+                .collect(),
+        )
+    }
+
+    fn from_json(v: &foundation::json::Json) -> Result<Headers, foundation::json::JsonError> {
+        let foundation::json::Json::Obj(fields) = v else {
+            return Err(foundation::json::JsonError::decode("expected header object"));
+        };
+        let mut headers = Headers::new();
+        for (name, value) in fields {
+            let value = value.as_str().ok_or_else(|| {
+                foundation::json::JsonError::decode(format!("header {name:?} must be a string"))
+            })?;
+            headers.set(name, value);
+        }
+        Ok(headers)
     }
 }
 

@@ -5,11 +5,10 @@
 //! milliseconds; platform APIs are faster; Tor circuits add hundreds of
 //! milliseconds per hop (see [`crate::tor`]).
 
-use rand::{Rng, RngExt};
-use serde::{Deserialize, Serialize};
+use foundation::rng::{Rng, RngExt};
 
 /// A latency model sampled once per request.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LatencyModel {
     /// Constant latency.
     /// Fixed.
@@ -86,8 +85,8 @@ impl LatencyModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use foundation::rng::SeedableRng;
+    use foundation::rng::ChaCha8Rng;
 
     #[test]
     fn fixed_is_constant() {

@@ -13,7 +13,7 @@
 //! * [`url`] — a small, strict URL type (scheme/host/path/query) with `.onion`
 //!   host awareness.
 //! * [`http`] — request/response types, methods, status codes, headers, and
-//!   wire framing on top of [`bytes::Bytes`].
+//!   wire framing on top of [`foundation::bytes::Bytes`].
 //! * [`latency`] — seeded latency models (fixed, uniform, long-tailed) used by
 //!   the fabric to charge virtual time per request.
 //! * [`ratelimit`] — token-bucket rate limiting, used both by servers
@@ -35,7 +35,7 @@
 //! Everything is synchronous and single-threaded by design: the workload is
 //! CPU-bound simulation, for which the async-runtime guides explicitly
 //! recommend *not* reaching for an async runtime. Determinism comes from a
-//! single seed threaded through `rand_chacha`.
+//! single seed threaded through `foundation::rng`.
 //!
 //! ## Example
 //!

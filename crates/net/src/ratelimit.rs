@@ -8,7 +8,6 @@
 //! * **Client side** — the crawler self-throttles (politeness) so that it
 //!   never trips automation triggers, per the paper's ethics statement.
 
-use serde::{Deserialize, Serialize};
 
 /// A token bucket measured in virtual microseconds.
 ///
@@ -16,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// tokens per virtual second. [`TokenBucket::try_acquire`] is the
 /// non-blocking server-side check; [`TokenBucket::next_allowed_at`] lets a
 /// polite client compute how long to sleep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TokenBucket {
     rate_per_sec: f64,
     burst: f64,

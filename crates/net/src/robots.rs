@@ -5,17 +5,16 @@
 //! available data"; our crawler enforces the same constraint mechanically by
 //! checking every URL against the host's robots policy before fetching.
 
-use serde::{Deserialize, Serialize};
 
 /// One rule inside a user-agent group.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 enum Rule {
     Allow(String),
     Disallow(String),
 }
 
 /// A group of rules applying to one `User-agent` pattern.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct Group {
     agent: String,
     rules: Vec<Rule>,
@@ -23,7 +22,7 @@ struct Group {
 }
 
 /// A parsed robots.txt policy.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RobotsPolicy {
     groups: Vec<Group>,
 }

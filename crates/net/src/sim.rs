@@ -8,9 +8,9 @@ use crate::latency::LatencyModel;
 use crate::ratelimit::TokenBucket;
 use crate::robots::RobotsPolicy;
 use crate::server::{RequestCtx, Service};
-use parking_lot::Mutex;
-use rand::{RngExt, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use foundation::sync::Mutex;
+use foundation::rng::{RngExt, SeedableRng};
+use foundation::rng::ChaCha8Rng;
 use std::collections::HashMap;
 use std::sync::Arc;
 

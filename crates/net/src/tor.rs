@@ -11,12 +11,11 @@
 //!   client, as the requester.
 
 use crate::latency::LatencyModel;
-use rand::prelude::IndexedRandom;
-use rand::{Rng, RngExt};
-use serde::{Deserialize, Serialize};
+use foundation::rng::IndexedRandom;
+use foundation::rng::{Rng, RngExt};
 
 /// One relay in the simulated Tor directory.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Relay {
     /// Nickname.
     pub nickname: String,
@@ -27,7 +26,7 @@ pub struct Relay {
 }
 
 /// The relay directory circuits are built from.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TorDirectory {
     relays: Vec<Relay>,
 }
@@ -99,7 +98,7 @@ impl TorDirectory {
 }
 
 /// A built 3-hop circuit.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TorCircuit {
     /// Opaque circuit identifier (what the fabric logs instead of a client
     /// identity).
@@ -164,8 +163,8 @@ pub fn weighted_nickname<'a, R: Rng + ?Sized>(dir: &'a TorDirectory, rng: &mut R
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use foundation::rng::SeedableRng;
+    use foundation::rng::ChaCha8Rng;
 
     #[test]
     fn circuit_has_three_distinct_hops() {

@@ -6,13 +6,12 @@
 //! through `Display`.
 
 use crate::error::{NetError, NetResult};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// URL scheme. The fabric only routes `http`/`https`; `.onion` hosts are
 /// conventionally reached over `http` through a Tor circuit, as on the real
 /// dark web.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scheme {
     /// Http.
     Http,
@@ -34,7 +33,7 @@ impl fmt::Display for Scheme {
 /// Invariants: `host` is non-empty lowercase; `path` always begins with `/`;
 /// `query` excludes the leading `?` and is empty when absent. Fragments are
 /// not modeled (servers never see them).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Url {
     scheme: Scheme,
     host: String,
@@ -221,6 +220,26 @@ impl std::str::FromStr for Url {
     type Err = NetError;
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         Url::parse(s)
+    }
+}
+
+foundation::json_codec_enum! {
+    Scheme { Http, Https }
+}
+
+/// URLs serialize as their canonical string form and parse back through
+/// [`Url::parse`] — malformed URL strings are decode errors.
+impl foundation::json::JsonCodec for Url {
+    fn to_json(&self) -> foundation::json::Json {
+        foundation::json::Json::Str(self.to_string())
+    }
+
+    fn from_json(v: &foundation::json::Json) -> Result<Url, foundation::json::JsonError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| foundation::json::JsonError::decode("expected URL string"))?;
+        Url::parse(s)
+            .map_err(|e| foundation::json::JsonError::decode(format!("bad URL: {e}")))
     }
 }
 

@@ -1,10 +1,10 @@
 //! Account profiles — the metadata the paper collects per visible account.
 
 use crate::platform::Platform;
-use serde::{Deserialize, Serialize};
+use foundation::{json_codec_enum, json_codec_newtype, json_codec_struct};
 
 /// Platform-scoped numeric account id.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AccountId(pub u64);
 
 impl std::fmt::Display for AccountId {
@@ -15,7 +15,7 @@ impl std::fmt::Display for AccountId {
 
 /// Account type — §5 "Account Types": standard, business, verified,
 /// private, protected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccountType {
     /// Standard.
     Standard,
@@ -43,7 +43,7 @@ impl AccountType {
 }
 
 /// Live status of an account on its platform.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccountStatus {
     /// Account is live and publicly visible.
     Active,
@@ -66,7 +66,7 @@ impl AccountStatus {
 /// workload generator sets and the moderation engine (imperfectly) infers.
 /// Never exposed through the public API; the measurement pipeline must
 /// rediscover it, as the paper's authors did.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccountDisposition {
     /// A genuine account organically grown (some sellers sell their real
     /// accounts).
@@ -79,8 +79,16 @@ pub enum AccountDisposition {
     ScamOperator,
 }
 
+json_codec_newtype!(AccountId);
+
+json_codec_enum! {
+    AccountType { Standard, Business, Verified, Private, Protected }
+    AccountStatus { Active, Banned, Deleted }
+    AccountDisposition { Organic, Farmed, Harvested, ScamOperator }
+}
+
 /// Full profile metadata for one account.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AccountProfile {
     /// Id.
     pub id: AccountId,
@@ -167,6 +175,14 @@ impl AccountProfile {
     }
 }
 
+json_codec_struct! {
+    AccountProfile {
+        id, platform, handle, name, description, location, category, email,
+        phone, website, created_unix, account_type, followers, following,
+        post_count, status, disposition,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,8 +230,8 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let p = sample();
-        let json = serde_json::to_string(&p).unwrap();
-        let back: AccountProfile = serde_json::from_str(&json).unwrap();
+        let json = foundation::json::to_string(&p);
+        let back: AccountProfile = foundation::json::from_str(&json).unwrap();
         assert_eq!(p, back);
     }
 }

@@ -21,14 +21,14 @@ use crate::post::Post;
 use crate::store::PlatformStore;
 use acctrade_net::http::{Request, Response, Status};
 use acctrade_net::server::{RequestCtx, Service};
-use parking_lot::RwLock;
-use serde::{Deserialize, Serialize};
+use foundation::json_codec_struct;
+use foundation::sync::RwLock;
 use std::sync::Arc;
 
 /// Public profile fields served over the API. Ground truth (disposition)
 /// and moderation state are intentionally absent: the measurement pipeline
 /// must infer them, as the paper's authors did.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ApiProfile {
     /// User id.
     pub user_id: u64,
@@ -98,7 +98,7 @@ impl ApiProfile {
 }
 
 /// Public post fields served over the API.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ApiPost {
     /// Post id.
     pub post_id: u64,
@@ -131,6 +131,18 @@ impl ApiPost {
             replies: p.replies,
             shares: p.shares,
         }
+    }
+}
+
+json_codec_struct! {
+    ApiProfile {
+        user_id, handle, name, description, location, category, email,
+        phone, website, created_unix, account_type, followers, following,
+        post_count, platform,
+    }
+    ApiPost {
+        post_id, author_id, text, created_unix, likes, views, replies,
+        shares,
     }
 }
 
@@ -187,8 +199,7 @@ impl PlatformApi {
         if profile.status != AccountStatus::Active {
             return self.unavailable_response(profile.status);
         }
-        let body = serde_json::to_string(&ApiProfile::from_profile(&profile))
-            .expect("profile serializes");
+        let body = foundation::json::to_string(&ApiProfile::from_profile(&profile));
         Response::ok().with_json(body)
     }
 
@@ -221,7 +232,7 @@ impl PlatformApi {
             .take(limit)
             .map(ApiPost::from_post)
             .collect();
-        let body = serde_json::to_string(&posts).expect("posts serialize");
+        let body = foundation::json::to_string(&posts);
         Response::ok().with_json(body)
     }
 }
@@ -269,7 +280,7 @@ mod tests {
             .get("http://api.instagram.example/users/lookup?handle=memes.daily")
             .unwrap();
         assert_eq!(resp.status, Status::Ok);
-        let p: ApiProfile = serde_json::from_str(&resp.text()).unwrap();
+        let p: ApiProfile = foundation::json::from_str(&resp.text()).unwrap();
         assert_eq!(p.handle, "memes.daily");
         assert_eq!(p.followers, 26_998);
         assert_eq!(p.platform, "Instagram");
@@ -329,7 +340,7 @@ mod tests {
         let resp = client
             .get("http://api.youtube.example/timeline?handle=channel1&limit=3")
             .unwrap();
-        let posts: Vec<ApiPost> = serde_json::from_str(&resp.text()).unwrap();
+        let posts: Vec<ApiPost> = foundation::json::from_str(&resp.text()).unwrap();
         assert_eq!(posts.len(), 3);
         assert!(posts[0].created_unix > posts[1].created_unix);
     }

@@ -15,8 +15,8 @@ use crate::engagement::{GrowthModel, Trajectory};
 use acctrade_net::http::{Request, Response};
 use acctrade_net::server::{RequestCtx, Service};
 use acctrade_net::url::Url;
-use parking_lot::Mutex;
-use rand::Rng;
+use foundation::sync::Mutex;
+use foundation::rng::Rng;
 use std::collections::{HashMap, HashSet};
 
 // ---------------------------------------------------------------------------
@@ -116,7 +116,7 @@ pub fn telemetry_trajectory<R: Rng + ?Sized>(
     // Organic accounts occasionally go viral — a one-day spike that looks
     // exactly like a follower purchase. This is what makes the indicator a
     // real precision/recall tradeoff instead of a clean separator.
-    use rand::RngExt as _;
+    use foundation::rng::RngExt as _;
     if matches!(
         disposition,
         AccountDisposition::Organic | AccountDisposition::Harvested
@@ -222,8 +222,8 @@ impl DetectorMetrics {
 mod tests {
     use super::*;
     use acctrade_net::prelude::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use foundation::rng::SeedableRng;
+    use foundation::rng::ChaCha8Rng;
 
     #[test]
     fn referral_monitor_flags_marketplace_referers_only() {

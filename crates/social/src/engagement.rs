@@ -10,14 +10,13 @@
 //! * **purchased-audience** — one large jump when an audience is bolted
 //!   onto a fresh account.
 
-use rand::{Rng, RngExt};
-use serde::{Deserialize, Serialize};
+use foundation::rng::{Rng, RngExt};
 
 /// A follower-count trajectory: `(day, followers)` samples.
 pub type Trajectory = Vec<(u32, u64)>;
 
 /// Growth regime of an account.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum GrowthModel {
     /// Daily growth ~ `rate` fraction of current size plus noise.
     /// Organic.
@@ -118,8 +117,8 @@ pub fn sample_post_engagement<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use foundation::rng::SeedableRng;
+    use foundation::rng::ChaCha8Rng;
 
     #[test]
     fn organic_growth_is_smooth() {

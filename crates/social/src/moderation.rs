@@ -23,7 +23,7 @@
 use crate::account::{AccountDisposition, AccountStatus};
 use crate::platform::Platform;
 use crate::store::PlatformStore;
-use rand::{Rng, RngExt};
+use foundation::rng::{Rng, RngExt};
 
 /// Trending-topic keywords §8 reports as over-represented among blocked
 /// accounts.
@@ -198,8 +198,8 @@ mod tests {
     use super::*;
     use crate::account::{AccountId, AccountProfile, AccountType};
     use acctrade_net::clock::unix_from_ymd;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use foundation::rng::SeedableRng;
+    use foundation::rng::ChaCha8Rng;
 
     fn now() -> i64 {
         unix_from_ymd(2024, 6, 1)

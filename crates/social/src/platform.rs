@@ -9,11 +9,11 @@
 //! * blocking-efficacy targets (Table 8): TikTok 48%, Instagram 46.41%,
 //!   X 18.67%, Facebook 5.70%, YouTube 5.02%.
 
-use serde::{Deserialize, Serialize};
+use foundation::json_codec_enum;
 use std::fmt;
 
 /// A social media platform in the study.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Platform {
     /// X (formerly Twitter).
     X,
@@ -167,6 +167,10 @@ impl Platform {
             _ => None,
         }
     }
+}
+
+json_codec_enum! {
+    Platform { X, Instagram, Facebook, TikTok, YouTube }
 }
 
 impl fmt::Display for Platform {

@@ -2,14 +2,14 @@
 
 use crate::account::AccountId;
 use crate::platform::Platform;
-use serde::{Deserialize, Serialize};
+use foundation::{json_codec_newtype, json_codec_struct};
 
 /// Platform-scoped numeric post id.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PostId(pub u64);
 
 /// One public post on a platform timeline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Post {
     /// Id.
     pub id: PostId,
@@ -63,6 +63,15 @@ impl Post {
     }
 }
 
+json_codec_newtype!(PostId);
+
+json_codec_struct! {
+    Post {
+        id, platform, author, text, created_unix, likes, views, replies,
+        shares,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,7 +90,7 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let p = Post::new(PostId(3), Platform::TikTok, AccountId(9), "viral dance", 1_700_000_000);
-        let back: Post = serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
+        let back: Post = foundation::json::from_str(&foundation::json::to_string(&p)).unwrap();
         assert_eq!(p, back);
     }
 }

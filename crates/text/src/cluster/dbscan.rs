@@ -58,8 +58,8 @@ pub fn dbscan(points: &[Vec<f32>], params: ClusterParams) -> Vec<ClusterLabel> {
 mod tests {
     use super::super::{members_by_cluster, n_clusters, noise_fraction};
     use super::*;
-    use rand::{RngExt, SeedableRng};
-    use rand_chacha::ChaCha8Rng;
+    use foundation::rng::{RngExt, SeedableRng};
+    use foundation::rng::ChaCha8Rng;
 
     /// Three well-separated Gaussian-ish blobs plus scattered outliers.
     fn blobs_with_noise(seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {

@@ -316,8 +316,8 @@ fn extract(edges: &[(f64, usize, usize)], n: usize, min_size: usize) -> Vec<Clus
 mod tests {
     use super::super::{members_by_cluster, n_clusters};
     use super::*;
-    use rand::{RngExt, SeedableRng};
-    use rand_chacha::ChaCha8Rng;
+    use foundation::rng::{RngExt, SeedableRng};
+    use foundation::rng::ChaCha8Rng;
 
     fn blobs(seed: u64, centers: &[(f32, f32)], per: usize, spread: f32) -> (Vec<Vec<f32>>, Vec<usize>) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);

@@ -149,8 +149,8 @@ pub fn dist(a: &[f32], b: &[f32]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{RngExt, SeedableRng};
-    use rand_chacha::ChaCha8Rng;
+    use foundation::rng::{RngExt, SeedableRng};
+    use foundation::rng::ChaCha8Rng;
 
     fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);

@@ -2,8 +2,8 @@
 
 use super::kdtree::dist;
 use super::ClusterLabel;
-use rand::{RngExt, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use foundation::rng::{RngExt, SeedableRng};
+use foundation::rng::ChaCha8Rng;
 
 /// Run Lloyd's k-means with k-means++ initialization.
 ///

@@ -6,8 +6,8 @@
 //! preserves the cluster structure the density clusterer needs, and PCA is
 //! deterministic and dependency-free.
 
-use rand::{Rng, RngExt, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use foundation::rng::{Rng, RngExt, SeedableRng};
+use foundation::rng::ChaCha8Rng;
 
 /// Reduce `data` (rows = points) to `k` principal components.
 ///

@@ -5,76 +5,70 @@ use acctrade_text::embed::Embedder;
 use acctrade_text::langdetect::detect_language;
 use acctrade_text::reduce::pca_reduce;
 use acctrade_text::tokenize::{tokenize, tokenize_content};
-use proptest::prelude::*;
+use foundation::check::{self, pattern, VecStrategy};
+use foundation::prop_check;
+use std::ops::Range;
 
-fn points_strategy() -> impl Strategy<Value = Vec<Vec<f32>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(-100.0f32..100.0, 3),
-        1..60,
-    )
+/// 3-d points, 1–59 of them.
+fn points_strategy() -> VecStrategy<VecStrategy<Range<f32>>> {
+    check::vec(check::vec(-100.0f32..100.0, 3..4), 1..60)
 }
 
-proptest! {
+prop_check! {
     /// Cluster labels are dense: ids form `0..k` with no gaps, and every
     /// non-noise label is in range.
-    #[test]
     fn cluster_labels_are_dense(points in points_strategy(), min_pts in 2usize..6) {
         for labels in [hdbscan(&points, min_pts), dbscan(&points, ClusterParams { eps: 5.0, min_pts })] {
-            prop_assert_eq!(labels.len(), points.len());
+            assert_eq!(labels.len(), points.len());
             let k = n_clusters(&labels);
             let mut seen = vec![false; k];
             for l in &labels {
                 if let ClusterLabel::Cluster(c) = l {
-                    prop_assert!(*c < k);
+                    assert!(*c < k);
                     seen[*c] = true;
                 }
             }
-            prop_assert!(seen.into_iter().all(|s| s), "gapped cluster ids");
+            assert!(seen.into_iter().all(|s| s), "gapped cluster ids");
         }
     }
 
     /// Clustering is deterministic.
-    #[test]
     fn clustering_deterministic(points in points_strategy()) {
-        prop_assert_eq!(hdbscan(&points, 3), hdbscan(&points, 3));
+        assert_eq!(hdbscan(&points, 3), hdbscan(&points, 3));
         let p = ClusterParams { eps: 2.0, min_pts: 3 };
-        prop_assert_eq!(dbscan(&points, p), dbscan(&points, p));
+        assert_eq!(dbscan(&points, p), dbscan(&points, p));
     }
 
     /// Embeddings are unit-norm or exactly zero.
-    #[test]
-    fn embeddings_unit_or_zero(text in "\\PC{0,120}", dim in 8usize..128) {
+    fn embeddings_unit_or_zero(text in pattern("\\PC{0,120}"), dim in 8usize..128) {
         let e = Embedder::new(dim, 7);
         let v = e.embed(&text);
-        prop_assert_eq!(v.len(), dim);
+        assert_eq!(v.len(), dim);
         let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
-        prop_assert!(norm == 0.0 || (norm - 1.0).abs() < 1e-4, "norm {norm}");
+        assert!(norm == 0.0 || (norm - 1.0).abs() < 1e-4, "norm {norm}");
     }
 
     /// PCA output preserves point count and requested dimensionality.
-    #[test]
     fn pca_shape(points in points_strategy(), k in 1usize..4) {
         let reduced = pca_reduce(&points, k, 3);
-        prop_assert_eq!(reduced.len(), points.len());
+        assert_eq!(reduced.len(), points.len());
         let expect = k.min(points[0].len());
-        prop_assert!(reduced.iter().all(|r| r.len() == expect));
+        assert!(reduced.iter().all(|r| r.len() == expect));
     }
 
     /// Content tokens are a subset of raw tokens (stop-word removal only
     /// ever removes).
-    #[test]
-    fn content_tokens_subset(text in "\\PC{0,200}") {
+    fn content_tokens_subset(text in pattern("\\PC{0,200}")) {
         let all = tokenize(&text);
         let content = tokenize_content(&text);
-        prop_assert!(content.len() <= all.len());
+        assert!(content.len() <= all.len());
         for t in &content {
-            prop_assert!(all.contains(t));
+            assert!(all.contains(t));
         }
     }
 
     /// Language detection is total and deterministic.
-    #[test]
-    fn langdetect_total(text in "\\PC{0,200}") {
-        prop_assert_eq!(detect_language(&text), detect_language(&text));
+    fn langdetect_total(text in pattern("\\PC{0,200}")) {
+        assert_eq!(detect_language(&text), detect_language(&text));
     }
 }

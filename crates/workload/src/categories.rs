@@ -7,7 +7,7 @@
 //! 140 distinct profile locations (US, India, Pakistan, South Korea,
 //! Bangladesh on top).
 
-use rand::{Rng, RngExt};
+use foundation::rng::{Rng, RngExt};
 
 /// The heads of the marketplace-category distribution, with paper counts
 /// (per-category listing counts from §4.1).
@@ -153,8 +153,8 @@ pub fn sample_location<R: Rng + ?Sized>(pool: &[&'static str], rng: &mut R) -> &
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use foundation::rng::SeedableRng;
+    use foundation::rng::ChaCha8Rng;
 
     #[test]
     fn pools_have_paper_cardinalities() {

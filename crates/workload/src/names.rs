@@ -6,10 +6,10 @@
 //! themed word pools, with trend-themed pools used for farmed and scam
 //! accounts.
 
-use rand::prelude::IndexedRandom;
-use rand::Rng;
+use foundation::rng::IndexedRandom;
+use foundation::rng::Rng;
 #[allow(unused_imports)]
-use rand::RngExt;
+use foundation::rng::RngExt;
 
 /// Name theme — picks the word pools.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,8 +129,8 @@ pub fn is_trending_name(name: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use foundation::rng::SeedableRng;
+    use foundation::rng::ChaCha8Rng;
 
     #[test]
     fn handles_are_lowercase_and_salted() {

@@ -11,7 +11,7 @@
 //!   clamped to $5M (the paper's observed premium segment).
 
 use acctrade_social::platform::Platform;
-use rand::{Rng, RngExt};
+use foundation::rng::{Rng, RngExt};
 
 /// Probability a listing belongs to the premium segment
 /// (345 / 38,253 ≈ 0.9%).
@@ -81,8 +81,8 @@ pub fn sample_monthly_revenue<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 mod tests {
     use super::*;
     use acctrade_social::platform::ALL_PLATFORMS;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use foundation::rng::SeedableRng;
+    use foundation::rng::ChaCha8Rng;
 
     fn median(mut v: Vec<f64>) -> f64 {
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());

@@ -11,14 +11,13 @@
 //! Non-English decoy posts exercise the language filter the same way the
 //! real corpus exercised CLD2.
 
-use rand::prelude::IndexedRandom;
-use rand::Rng;
+use foundation::rng::IndexedRandom;
+use foundation::rng::Rng;
 #[allow(unused_imports)]
-use rand::RngExt;
-use serde::{Deserialize, Serialize};
+use foundation::rng::RngExt;
 
 /// The six §6 scam categories (Table 6 rows).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ScamCategory {
     /// Financial.
     Financial,
@@ -83,7 +82,7 @@ impl ScamCategory {
 }
 
 /// The sixteen §6 scam clusters (Table 6 sub-rows).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ScamSubcategory {
     /// Crypto scams.
     CryptoScams,
@@ -461,8 +460,8 @@ pub fn foreign_post_text<R: Rng + ?Sized>(rng: &mut R) -> String {
 mod tests {
     use super::*;
     use acctrade_text::langdetect::{detect_language, Lang};
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use foundation::rng::SeedableRng;
+    use foundation::rng::ChaCha8Rng;
 
     #[test]
     fn taxonomy_counts_match_table6() {

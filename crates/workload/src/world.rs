@@ -39,10 +39,10 @@ use acctrade_social::moderation::ModerationEngine;
 use acctrade_social::platform::{Platform, ALL_PLATFORMS};
 use acctrade_social::post::Post;
 use acctrade_social::store::PlatformStore;
-use parking_lot::RwLock;
-use rand::prelude::IndexedRandom;
-use rand::{RngExt, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use foundation::sync::RwLock;
+use foundation::rng::IndexedRandom;
+use foundation::rng::{RngExt, SeedableRng};
+use foundation::rng::ChaCha8Rng;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 

@@ -12,8 +12,8 @@ use acctrade::crawler::UndergroundCollector;
 use acctrade::net::tor::TorDirectory;
 use acctrade::net::{Client, SimNet};
 use acctrade::workload::world::{World, WorldParams};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use foundation::rng::SeedableRng;
+use foundation::rng::ChaCha8Rng;
 
 fn main() {
     let world = World::generate(WorldParams { seed: 99, scale: 0.05 });

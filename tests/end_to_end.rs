@@ -10,8 +10,8 @@ use acctrade::net::robots::RobotsPolicy;
 use acctrade::net::tor::TorDirectory;
 use acctrade::net::{Client, NetError, SimNet};
 use acctrade::workload::world::{World, WorldParams};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use foundation::rng::SeedableRng;
+use foundation::rng::ChaCha8Rng;
 
 fn deployed(seed: u64, scale: f64) -> (World, std::sync::Arc<SimNet>) {
     let world = World::generate(WorldParams { seed, scale });

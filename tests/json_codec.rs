@@ -1,0 +1,413 @@
+//! Round-trip coverage for every `foundation::json::JsonCodec` impl in the
+//! workspace, plus malformed-input rejection.
+//!
+//! The dataset artifact, the API bodies, and the bench report all flow
+//! through these codecs; a silent asymmetry between encode and decode
+//! would corrupt the study's released JSON. Every serializable type gets
+//! `value -> to_string -> from_str -> value` checked for equality, and the
+//! decoders are probed with the classic malformed shapes: unknown enum
+//! variants, missing fields, wrong primitive types, truncated documents.
+
+use acctrade::crawler::record::{
+    Dataset, FetchStatus, OfferRecord, PostRecord, ProfileRecord, UndergroundRecord,
+};
+use acctrade::market::config::{MarketplaceId, ALL_MARKETPLACES};
+use acctrade::market::listing::{Listing, ListingId, ListingState, Monetization};
+use acctrade::market::seller::{Seller, SellerId};
+use acctrade::net::http::{Headers, Method, Status};
+use acctrade::net::url::{Scheme, Url};
+use acctrade::social::account::{
+    AccountDisposition, AccountId, AccountProfile, AccountStatus, AccountType,
+};
+use acctrade::social::api::{ApiPost, ApiProfile};
+use acctrade::social::platform::{Platform, ALL_PLATFORMS};
+use acctrade::social::post::{Post, PostId};
+use foundation::json::{self, JsonCodec};
+
+/// Encode → decode → compare, returning the wire string for extra checks.
+fn roundtrip<T: JsonCodec + PartialEq + std::fmt::Debug>(value: &T) -> String {
+    let wire = json::to_string(value);
+    let back: T = json::from_str(&wire).expect("round-trip decode");
+    assert_eq!(&back, value, "decode(encode(x)) != x; wire = {wire}");
+    // Pretty form decodes to the same value too.
+    let pretty: T = json::from_str(&json::to_string_pretty(value)).expect("pretty decode");
+    assert_eq!(&pretty, value);
+    wire
+}
+
+// ---------------------------------------------------------------- enums --
+
+#[test]
+fn platform_enum_roundtrips_and_rejects_unknown() {
+    for p in ALL_PLATFORMS {
+        let wire = roundtrip(&p);
+        assert_eq!(wire, format!("{:?}", format!("{p:?}")), "unit variant is its name string");
+    }
+    assert!(json::from_str::<Platform>("\"MySpace\"").is_err());
+    assert!(json::from_str::<Platform>("42").is_err());
+}
+
+#[test]
+fn marketplace_enum_roundtrips_and_rejects_unknown() {
+    for m in ALL_MARKETPLACES {
+        roundtrip(&m);
+    }
+    assert!(json::from_str::<MarketplaceId>("\"Craigslist\"").is_err());
+    assert!(json::from_str::<MarketplaceId>("null").is_err());
+}
+
+#[test]
+fn account_enums_roundtrip() {
+    for t in [
+        AccountType::Standard,
+        AccountType::Business,
+        AccountType::Verified,
+        AccountType::Private,
+        AccountType::Protected,
+    ] {
+        roundtrip(&t);
+    }
+    for s in [AccountStatus::Active, AccountStatus::Banned, AccountStatus::Deleted] {
+        roundtrip(&s);
+    }
+    for d in [
+        AccountDisposition::Organic,
+        AccountDisposition::Farmed,
+        AccountDisposition::Harvested,
+        AccountDisposition::ScamOperator,
+    ] {
+        roundtrip(&d);
+    }
+    assert!(json::from_str::<AccountType>("\"Influencer\"").is_err());
+    assert!(json::from_str::<AccountStatus>("\"Zombie\"").is_err());
+}
+
+#[test]
+fn listing_and_fetch_enums_roundtrip() {
+    for s in [ListingState::Active, ListingState::Sold, ListingState::Delisted] {
+        roundtrip(&s);
+    }
+    for f in [
+        FetchStatus::Ok,
+        FetchStatus::Forbidden,
+        FetchStatus::NotFound,
+        FetchStatus::Error,
+    ] {
+        roundtrip(&f);
+    }
+    assert!(json::from_str::<ListingState>("\"Pending\"").is_err());
+    assert!(json::from_str::<FetchStatus>("\"Teapot\"").is_err());
+}
+
+#[test]
+fn http_enums_roundtrip() {
+    for m in [Method::Get, Method::Post, Method::Head] {
+        roundtrip(&m);
+    }
+    for s in [
+        Status::Ok,
+        Status::MovedPermanently,
+        Status::Found,
+        Status::BadRequest,
+        Status::Unauthorized,
+        Status::Forbidden,
+        Status::NotFound,
+        Status::Gone,
+        Status::TooManyRequests,
+        Status::InternalError,
+        Status::ServiceUnavailable,
+    ] {
+        roundtrip(&s);
+    }
+    for s in [Scheme::Http, Scheme::Https] {
+        roundtrip(&s);
+    }
+    assert!(json::from_str::<Method>("\"PATCH\"").is_err());
+    assert!(json::from_str::<Status>("\"ImATeapot\"").is_err());
+}
+
+// ------------------------------------------------------------- newtypes --
+
+#[test]
+fn newtype_ids_roundtrip_as_bare_numbers() {
+    assert_eq!(roundtrip(&AccountId(77)), "77");
+    assert_eq!(roundtrip(&PostId(12_345)), "12345");
+    assert_eq!(roundtrip(&SellerId(3)), "3");
+    // 2^53 - 1: the largest integer the f64-backed number model carries
+    // exactly — ids above that are out of the codec's contract.
+    assert_eq!(roundtrip(&ListingId((1 << 53) - 1)), ((1u64 << 53) - 1).to_string());
+    assert!(json::from_str::<AccountId>("\"77\"").is_err(), "string is not an id");
+    assert!(json::from_str::<ListingId>("-1").is_err(), "ids are unsigned");
+}
+
+// --------------------------------------------------------- URL / headers --
+
+#[test]
+fn url_roundtrips_as_canonical_string() {
+    for raw in [
+        "http://fameswap.example/offer/9",
+        "https://api.youtube.example/channel/abc?part=stats",
+        "http://dreadxyz.onion/forum/accounts",
+    ] {
+        let url = Url::parse(raw).unwrap();
+        let wire = roundtrip(&url);
+        assert_eq!(wire, format!("{:?}", url.to_string()));
+    }
+    // Malformed URL strings are decode errors, not panics.
+    assert!(json::from_str::<Url>("\"ftp://nope.example/\"").is_err());
+    assert!(json::from_str::<Url>("\"http://\"").is_err());
+    assert!(json::from_str::<Url>("17").is_err());
+}
+
+#[test]
+fn headers_roundtrip_in_insertion_order() {
+    let mut h = Headers::new();
+    h.set("User-Agent", "acctrade-crawler/1.0");
+    h.set("Accept", "text/html");
+    h.set("X-Request-Id", "abc-123");
+    let wire = roundtrip(&h);
+    // Insertion order is preserved on the wire.
+    let ua = wire.find("User-Agent").unwrap();
+    let acc = wire.find("Accept").unwrap();
+    let rid = wire.find("X-Request-Id").unwrap();
+    assert!(ua < acc && acc < rid, "header order lost: {wire}");
+    // Non-string header values are rejected.
+    assert!(json::from_str::<Headers>(r#"{"Content-Length": 42}"#).is_err());
+    assert!(json::from_str::<Headers>("[]").is_err());
+}
+
+// -------------------------------------------------------------- structs --
+
+fn sample_profile() -> AccountProfile {
+    AccountProfile {
+        id: AccountId(501),
+        platform: Platform::Instagram,
+        handle: "fashion.page".into(),
+        name: "Fashion Page".into(),
+        description: "27k real followers, niche fashion".into(),
+        location: Some("US".into()),
+        category: Some("fashion".into()),
+        email: Some("seller@mail.example".into()),
+        phone: None,
+        website: Some("http://linkhub.example/fp".into()),
+        created_unix: 1_431_648_000,
+        account_type: AccountType::Business,
+        followers: 27_431,
+        following: 310,
+        post_count: 902,
+        status: AccountStatus::Active,
+        disposition: AccountDisposition::Harvested,
+    }
+}
+
+#[test]
+fn account_profile_roundtrips_and_rejects_missing_fields() {
+    roundtrip(&sample_profile());
+
+    // Dropping a required field must fail the decode.
+    let wire = json::to_string(&sample_profile());
+    let truncated = wire.replace("\"handle\":", "\"renamed\":");
+    assert!(json::from_str::<AccountProfile>(&truncated).is_err(), "missing field accepted");
+    // Wrong primitive type in a field.
+    let wrong = wire.replace("27431", "\"lots\"");
+    assert!(json::from_str::<AccountProfile>(&wrong).is_err(), "string-for-u64 accepted");
+}
+
+#[test]
+fn post_roundtrips() {
+    let post = Post {
+        id: PostId(9_001),
+        platform: Platform::X,
+        author: AccountId(501),
+        text: "crypto doubling giveaway \u{1F680} — dm me".into(),
+        created_unix: 1_706_000_000,
+        likes: 12,
+        views: 4_403,
+        replies: 2,
+        shares: 1,
+    };
+    let wire = roundtrip(&post);
+    assert!(wire.contains("\\ud83d\\ude80") || wire.contains('\u{1F680}'), "non-BMP text survives");
+    assert!(json::from_str::<Post>("{}").is_err());
+    assert!(json::from_str::<Post>("[1,2,3]").is_err());
+}
+
+#[test]
+fn api_types_roundtrip() {
+    let profile = ApiProfile {
+        user_id: 501,
+        handle: "fashion.page".into(),
+        name: "Fashion Page".into(),
+        description: "bio".into(),
+        location: None,
+        category: Some("fashion".into()),
+        email: None,
+        phone: Some("+1-555-0100".into()),
+        website: None,
+        created_unix: 1_431_648_000,
+        account_type: "business".into(),
+        followers: 27_431,
+        following: 310,
+        post_count: 902,
+        platform: "Instagram".into(),
+    };
+    roundtrip(&profile);
+
+    let post = ApiPost {
+        post_id: 9_001,
+        author_id: 501,
+        text: "hello".into(),
+        created_unix: 1_706_000_000,
+        likes: 1,
+        views: 2,
+        replies: 0,
+        shares: 0,
+    };
+    roundtrip(&post);
+    let wire = json::to_string(&vec![post.clone(), post]);
+    let timeline: Vec<ApiPost> = json::from_str(&wire).unwrap();
+    assert_eq!(timeline.len(), 2);
+
+    assert!(json::from_str::<ApiProfile>(r#"{"user_id": "501"}"#).is_err());
+}
+
+#[test]
+fn seller_and_listing_roundtrip() {
+    let seller = Seller {
+        id: SellerId(3),
+        username: "igking".into(),
+        country: Some("ID".into()),
+        rating: 4.75,
+        completed_sales: 212,
+        joined_unix: 1_600_000_000,
+    };
+    roundtrip(&seller);
+
+    let mut listing = Listing::new(
+        ListingId(9),
+        MarketplaceId::FameSwap,
+        Platform::Instagram,
+        SellerId(3),
+        298.0,
+    );
+    listing.title = "IG fashion page, 27k real followers".into();
+    listing.description = Some("aged 2015, organic growth".into());
+    listing.category = Some("fashion".into());
+    listing.claimed_followers = Some(27_431);
+    listing.monetization = Some(Monetization {
+        monthly_revenue_usd: 136.0,
+        income_source: "Google AdSense".into(),
+    });
+    listing.profile_link = Some("http://instagram.example/fashion.page".into());
+    listing.linked_handle = Some("fashion.page".into());
+    listing.listed_unix = 1_700_000_000;
+    listing.close(ListingState::Sold, 1_700_086_400);
+    roundtrip(&listing);
+
+    // `None` optionals encode as null and decode back to None.
+    let bare = Listing::new(ListingId(1), MarketplaceId::Z2U, Platform::X, SellerId(1), 17.0);
+    let wire = roundtrip(&bare);
+    assert!(wire.contains("\"description\":null"), "missing optionals are explicit nulls");
+}
+
+// ------------------------------------------------------- crawl records --
+
+fn sample_dataset() -> Dataset {
+    Dataset {
+        offers: vec![OfferRecord {
+            marketplace: "FameSwap".into(),
+            offer_url: "http://fameswap.example/offer/9".into(),
+            title: "IG fashion page".into(),
+            seller: Some("igking".into()),
+            seller_country: Some("ID".into()),
+            price_usd: Some(298.0),
+            platform: Some("Instagram".into()),
+            category: Some("fashion".into()),
+            claimed_followers: Some(27_431),
+            claims_verified: false,
+            monthly_revenue_usd: Some(136.0),
+            income_source: Some("Google AdSense".into()),
+            description: Some("aged 2015".into()),
+            profile_link: Some("http://instagram.example/fashion.page".into()),
+            handle: Some("fashion.page".into()),
+            collected_unix: 1_700_000_000,
+            iteration: 2,
+        }],
+        profiles: vec![ProfileRecord {
+            platform: "Instagram".into(),
+            handle: "fashion.page".into(),
+            status: FetchStatus::Ok,
+            status_detail: None,
+            user_id: Some(501),
+            name: Some("Fashion Page".into()),
+            description: Some("bio".into()),
+            location: None,
+            category: Some("fashion".into()),
+            email: None,
+            phone: None,
+            website: None,
+            created_unix: Some(1_431_648_000),
+            account_type: Some("business".into()),
+            followers: Some(27_431),
+            post_count: Some(902),
+        }],
+        posts: vec![PostRecord {
+            platform: "Instagram".into(),
+            handle: "fashion.page".into(),
+            author_id: 501,
+            post_id: 9_001,
+            text: "new drop".into(),
+            created_unix: 1_706_000_000,
+            likes: 12,
+            views: 4_403,
+        }],
+        underground: vec![UndergroundRecord {
+            market: "dread".into(),
+            url: "http://dreadxyz.onion/post/4".into(),
+            title: "aged IG accounts x100".into(),
+            body: "bulk aged accounts, escrow ok".into(),
+            author: "vendor77".into(),
+            platform: Some("Instagram".into()),
+            published_unix: Some(1_699_000_000),
+            replies: Some(6),
+            price_usd: Some(4.0),
+            quantity: Some(100),
+            screenshot: true,
+        }],
+    }
+}
+
+#[test]
+fn crawl_records_and_dataset_roundtrip() {
+    let ds = sample_dataset();
+    roundtrip(&ds.offers[0]);
+    roundtrip(&ds.profiles[0]);
+    roundtrip(&ds.posts[0]);
+    roundtrip(&ds.underground[0]);
+
+    // The whole dataset through its public artifact API.
+    let artifact = ds.to_json();
+    let back = Dataset::from_json(&artifact).expect("artifact parses");
+    assert_eq!(back, ds);
+    // Encoding is canonical: re-encoding the decoded dataset is stable.
+    assert_eq!(back.to_json(), artifact);
+}
+
+#[test]
+fn dataset_rejects_malformed_documents() {
+    // Truncated JSON.
+    let artifact = sample_dataset().to_json();
+    assert!(Dataset::from_json(&artifact[..artifact.len() / 2]).is_err());
+    // Trailing garbage after a valid document.
+    assert!(Dataset::from_json(&format!("{artifact} trailing")).is_err());
+    // Wrong top-level shape.
+    assert!(Dataset::from_json("[]").is_err());
+    assert!(Dataset::from_json("\"dataset\"").is_err());
+    // A record with a mistyped field deep inside.
+    let poisoned = artifact.replace("\"claims_verified\": false", "\"claims_verified\": \"no\"");
+    assert_ne!(poisoned, artifact, "replacement must hit");
+    assert!(Dataset::from_json(&poisoned).is_err());
+    // Not JSON at all.
+    assert!(Dataset::from_json("").is_err());
+    assert!(Dataset::from_json("{offers: []}").is_err(), "unquoted keys rejected");
+}

@@ -1,4 +1,4 @@
-//! Property-based tests on cross-crate invariants (proptest).
+//! Property-based tests on cross-crate invariants (`foundation::check`).
 
 use acctrade::html::{parse, Selector};
 use acctrade::market::site::format_price;
@@ -7,100 +7,94 @@ use acctrade::net::url::Url;
 use acctrade::text::similarity::{dice_similarity, jaccard_similarity, word_similarity};
 use acctrade::text::tokenize::tokenize;
 use acctrade::text::vectorize::{cosine, TfIdfModel};
-use proptest::prelude::*;
+use foundation::check::{self, pattern, PatternStrategy};
+use foundation::prop_check;
 
 /// Strategy for URL-safe host names.
-fn host_strategy() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9-]{0,12}(\\.[a-z]{2,5}){1,2}"
+fn host_strategy() -> PatternStrategy {
+    pattern("[a-z][a-z0-9-]{0,12}(\\.[a-z]{2,5}){1,2}")
 }
 
 /// Strategy for URL paths.
-fn path_strategy() -> impl Strategy<Value = String> {
-    "(/[a-zA-Z0-9_.-]{1,8}){0,4}"
+fn path_strategy() -> PatternStrategy {
+    pattern("(/[a-zA-Z0-9_.-]{1,8}){0,4}")
 }
 
-proptest! {
-    #[test]
+prop_check! {
     fn url_display_parse_roundtrip(host in host_strategy(), path in path_strategy()) {
         let url = Url::http(&host, &path);
         let reparsed = Url::parse(&url.to_string()).expect("display output parses");
-        prop_assert_eq!(url, reparsed);
+        assert_eq!(url, reparsed);
     }
 
-    #[test]
     fn url_join_produces_same_host_for_relative(host in host_strategy(),
                                                 base in path_strategy(),
-                                                link in "[a-zA-Z0-9_.-]{1,8}") {
+                                                link in pattern("[a-zA-Z0-9_.-]{1,8}")) {
         let url = Url::http(&host, &base);
         let joined = url.join(&link).expect("relative join succeeds");
-        prop_assert_eq!(joined.host(), url.host());
-        prop_assert!(joined.path().starts_with('/'));
+        assert_eq!(joined.host(), url.host());
+        assert!(joined.path().starts_with('/'));
     }
 
-    #[test]
-    fn html_escape_text_roundtrip(text in "[ -~]{0,64}") {
+    fn html_escape_text_roundtrip(text in pattern("[ -~]{0,64}")) {
         // Build a document with the text, render, reparse: the text
         // content must survive (modulo whitespace normalization the DOM
         // applies).
         let mut b = acctrade::html::dom::Builder::new();
-        b.open("p").text(text.clone()).close();
+        b.open("p").text(text.to_string()).close();
         let rendered = b.finish().render();
         let doc = parse(&rendered);
         let p = doc.select_first(&Selector::parse("p").unwrap()).unwrap();
         let expect: String = text.split_whitespace().collect::<Vec<_>>().join(" ");
-        prop_assert_eq!(p.text(), expect);
+        assert_eq!(p.text(), expect);
     }
 
-    #[test]
-    fn html_attr_roundtrip(value in "[ -~&&[^<>]]{0,40}") {
+    fn html_attr_roundtrip(value in pattern("[ -~&&[^<>]]{0,40}")) {
         let mut b = acctrade::html::dom::Builder::new();
-        b.open("a").attr("title", value.clone()).close();
+        b.open("a").attr("title", value.to_string()).close();
         let rendered = b.finish().render();
         let doc = parse(&rendered);
         let a = doc.select_first(&Selector::parse("a").unwrap()).unwrap();
-        prop_assert_eq!(a.attr("title"), Some(value.as_str()));
+        assert_eq!(a.attr("title"), Some(value.as_str()));
     }
 
-    #[test]
-    fn tokenizer_tokens_are_lowercase_nonempty(text in "\\PC{0,200}") {
+    fn tokenizer_tokens_are_lowercase_nonempty(text in pattern("\\PC{0,200}")) {
         for t in tokenize(&text) {
-            prop_assert!(!t.is_empty());
+            assert!(!t.is_empty());
             // Lowercasing is idempotent on every token (some scripts have
             // uppercase-only codepoints with no lowercase mapping, e.g.
             // mathematical alphanumerics — those are fixed points).
             let lowered: String = t.chars().flat_map(char::to_lowercase).collect();
-            prop_assert_eq!(&lowered, &t, "token not lowercase-stable");
-            prop_assert!(!t.contains(char::is_whitespace));
+            assert_eq!(&lowered, &t, "token not lowercase-stable");
+            assert!(!t.contains(char::is_whitespace));
         }
     }
 
-    #[test]
-    fn similarity_bounds_and_symmetry(a in "[a-z ]{0,80}", b in "[a-z ]{0,80}") {
+    fn similarity_bounds_and_symmetry(a in pattern("[a-z ]{0,80}"), b in pattern("[a-z ]{0,80}")) {
         for f in [word_similarity, jaccard_similarity, dice_similarity] {
             let s_ab = f(&a, &b);
             let s_ba = f(&b, &a);
-            prop_assert!((0.0..=1.0).contains(&s_ab));
-            prop_assert!((s_ab - s_ba).abs() < 1e-12);
+            assert!((0.0..=1.0).contains(&s_ab));
+            assert!((s_ab - s_ba).abs() < 1e-12);
         }
-        prop_assert!((word_similarity(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((word_similarity(&a, &a) - 1.0).abs() < 1e-12);
     }
 
-    #[test]
-    fn tfidf_cosine_bounds(docs in proptest::collection::vec("[a-z ]{1,60}", 2..8)) {
+    fn tfidf_cosine_bounds(docs in check::vec(pattern("[a-z ]{1,60}"), 2..8)) {
+        let docs: Vec<String> = docs.iter().map(|d| d.to_string()).collect();
         let model = TfIdfModel::fit(&docs, 1);
         let vecs = model.transform_all(&docs);
         for x in &vecs {
             for y in &vecs {
                 let c = cosine(x, y);
-                prop_assert!((-1.0001..=1.0001).contains(&c));
+                assert!((-1.0001..=1.0001).contains(&c));
             }
         }
     }
 
-    #[test]
     fn token_bucket_never_exceeds_rate(rate in 1.0f64..50.0,
                                        burst in 1.0f64..10.0,
-                                       steps in proptest::collection::vec(1_000u64..500_000, 1..100)) {
+                                       steps in check::vec(1_000u64..500_000, 1..100)) {
         let mut bucket = TokenBucket::new(rate, burst, 0);
         let mut now = 0u64;
         let mut grants = 0u64;
@@ -111,34 +105,62 @@ proptest! {
             }
         }
         let cap = burst + rate * (now as f64 / 1e6) + 1.0;
-        prop_assert!((grants as f64) <= cap, "grants={grants} cap={cap}");
+        assert!((grants as f64) <= cap, "grants={grants} cap={cap}");
     }
 
-    #[test]
     fn price_format_parse_roundtrip(cents in 100i64..2_000_000_000) {
         let usd = cents as f64 / 100.0;
         let formatted = format_price(usd);
         let parsed = acctrade::crawler::extract::parse_price(&formatted)
             .expect("formatted price parses");
-        prop_assert!((parsed - usd).abs() < 0.005, "{usd} -> {formatted} -> {parsed}");
+        assert!((parsed - usd).abs() < 0.005, "{usd} -> {formatted} -> {parsed}");
     }
 
-    #[test]
-    fn median_is_order_statistic(mut values in proptest::collection::vec(0.0f64..1e6, 1..50)) {
+    fn median_is_order_statistic(values in check::vec(0.0f64..1e6, 1..50)) {
+        let mut values = values;
         let m = acctrade::core::stats::median(&values).unwrap();
         values.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        prop_assert!(m >= values[0] && m <= *values.last().unwrap());
+        assert!(m >= values[0] && m <= *values.last().unwrap());
         // At least half the values on each side.
         let below = values.iter().filter(|&&v| v <= m).count();
         let above = values.iter().filter(|&&v| v >= m).count();
-        prop_assert!(below * 2 >= values.len());
-        prop_assert!(above * 2 >= values.len());
+        assert!(below * 2 >= values.len());
+        assert!(above * 2 >= values.len());
     }
 
-    #[test]
-    fn ecdf_is_monotone(values in proptest::collection::vec(-1e6f64..1e6, 1..60)) {
+    fn ecdf_is_monotone(values in check::vec(-1e6f64..1e6, 1..60)) {
         let points = acctrade::core::stats::ecdf(&values);
-        prop_assert!(points.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
-        prop_assert!((points.last().unwrap().1 - 1.0).abs() < 1e-9);
+        assert!(points.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        assert!((points.last().unwrap().1 - 1.0).abs() < 1e-9);
     }
+}
+
+/// Shrinking regression: a failing property must be reported with the
+/// *minimal* counterexample inside the strategy's support, not merely
+/// the first failure found.
+#[test]
+fn shrinking_reports_minimal_counterexample() {
+    let config = check::Config {
+        cases: 64,
+        max_shrink: 4_096,
+        seed: 0xDECAF,
+    };
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        check::run_with(
+            "never_250_or_more",
+            &config,
+            &(0u64..100_000,),
+            |&(v,)| assert!(v < 250),
+        );
+    }))
+    .expect_err("property must fail");
+    let message = err
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("panic carries a message");
+    assert!(
+        message.contains("minimal input: (250,)"),
+        "expected the boundary counterexample 250, got: {message}"
+    );
+    assert!(message.contains("reproduce with CHECK_SEED="));
 }
