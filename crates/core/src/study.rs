@@ -97,6 +97,9 @@ pub struct StudyReport {
     pub requests_issued: usize,
     /// Virtual days the campaign spanned.
     pub campaign_days: f64,
+    /// Run-provenance manifest: per-stage timings, crawl/API tallies,
+    /// counters (exported as `TELEMETRY_report.json`).
+    pub telemetry: telemetry::RunManifest,
 }
 
 impl StudyReport {
@@ -174,56 +177,87 @@ impl Study {
     }
 
     /// Run the pipeline against an existing world.
+    ///
+    /// The run is instrumented end-to-end: if the caller has already
+    /// scoped a [`telemetry::Recorder`], the study records into it;
+    /// otherwise it creates its own. Either way the resulting
+    /// [`telemetry::RunManifest`] lands in [`StudyReport::telemetry`].
     pub fn run_on(&self, world: &mut World) -> StudyReport {
+        // Resolve the recorder before touching the fabric so
+        // `SimNet::with_clock` installs the virtual clock into it.
+        let current = telemetry::recorder();
+        let rec = if current.is_enabled() { current } else { telemetry::Recorder::new() };
+        let _scope = rec.enter();
+
         let net = SimNet::new(self.config.seed);
-        world.deploy(&net);
+        {
+            let _stage = telemetry::span("deploy");
+            world.deploy(&net);
+        }
         let t0 = net.clock().now_unix();
 
         // -- Module 2a: the public-marketplace crawl campaign.
-        let crawler_client =
-            Client::new(&net, "acctrade-crawler/0.1").with_politeness(20.0, 8.0);
-        let campaign = CrawlCampaign::new(&crawler_client);
-        let (mut dataset, snapshots) = campaign.run(world, self.config.iterations.max(1));
+        let (mut dataset, snapshots) = {
+            let _stage = telemetry::span("crawl_campaign");
+            let crawler_client =
+                Client::new(&net, "acctrade-crawler/0.1").with_politeness(20.0, 8.0);
+            let campaign = CrawlCampaign::new(&crawler_client);
+            campaign.run(world, self.config.iterations.max(1))
+        };
 
         // -- Module 2b: profile metadata + timelines for visible accounts.
         let api_client = Client::new(&net, "acctrade-pipeline/0.1");
         let resolver = ProfileResolver::new(&api_client);
-        let (profiles, posts) = resolver.resolve_offers(&dataset.offers);
-        dataset.profiles = profiles;
-        dataset.posts = posts;
+        {
+            let _stage = telemetry::span("resolve_profiles");
+            let (profiles, posts) = resolver.resolve_offers(&dataset.offers);
+            dataset.profiles = profiles;
+            dataset.posts = posts;
+        }
 
         // -- Module 2c: manual underground collection over Tor.
-        let directory = TorDirectory::default_consensus();
-        let mut tor_rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ 0x70C0_11EC);
-        // Every inspected market is visited — including the two that turn
-        // out to sell nothing (the paper did the same; their emptiness is
-        // itself a §4.2 finding).
-        for forum in &world.forums {
-            let cfg = forum.config();
-            let operator = Client::new(&net, "tor-browser/13")
-                .manual(self.config.seed ^ cfg.id as u64)
-                .via_tor(directory.build_circuit(&mut tor_rng));
-            let collector = UndergroundCollector::new(&operator, cfg.host.clone(), cfg.name);
-            let (records, _stats) = collector.collect();
-            dataset.underground.extend(records);
+        {
+            let _stage = telemetry::span("underground_collection");
+            let directory = TorDirectory::default_consensus();
+            let mut tor_rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ 0x70C0_11EC);
+            // Every inspected market is visited — including the two that
+            // turn out to sell nothing (the paper did the same; their
+            // emptiness is itself a §4.2 finding).
+            for forum in &world.forums {
+                let cfg = forum.config();
+                let operator = Client::new(&net, "tor-browser/13")
+                    .manual(self.config.seed ^ cfg.id as u64)
+                    .via_tor(directory.build_circuit(&mut tor_rng));
+                let collector =
+                    UndergroundCollector::new(&operator, cfg.host.clone(), cfg.name);
+                let (records, _stats) = collector.collect();
+                dataset.underground.extend(records);
+            }
         }
 
         // -- Module 3: moderation acts during the window; the audit
         //    re-queries at the end.
-        net.clock().advance(20 * DAY);
-        world.run_moderation(net.clock().now_unix());
-        let requery: Vec<ProfileRecord> = dataset
-            .profiles
-            .iter()
-            .map(|p| {
-                resolver.resolve(
-                    Platform::parse(&p.platform).expect("known platform"),
-                    &p.handle,
-                )
-            })
-            .collect();
+        {
+            let _stage = telemetry::span("moderation");
+            net.clock().advance(20 * DAY);
+            world.run_moderation(net.clock().now_unix());
+        }
+        let requery: Vec<ProfileRecord> = {
+            let _stage = telemetry::span("efficacy_requery");
+            dataset
+                .profiles
+                .iter()
+                .map(|p| {
+                    resolver.resolve(
+                        Platform::parse(&p.platform).expect("known platform"),
+                        &p.handle,
+                    )
+                })
+                .collect()
+        };
 
         // -- Analyses.
+        let _stage = telemetry::span("analysis");
         let table1 = anatomy::table1(&dataset.offers);
         let mut visible_and_posts: BTreeMap<String, (usize, usize)> = BTreeMap::new();
         for p in &dataset.profiles {
@@ -242,6 +276,13 @@ impl Study {
         let network_analysis = network::analyze(&dataset.profiles);
         let efficacy_analysis = efficacy::analyze(&requery);
         let underground_analysis = underground::analyze(&dataset.underground);
+        drop(_stage); // close the analysis span before exporting stages
+
+        let manifest = rec.manifest(
+            "study",
+            self.config.seed,
+            &telemetry::digest64(&format!("{:?}", self.config)),
+        );
 
         StudyReport {
             config: self.config,
@@ -259,6 +300,7 @@ impl Study {
             underground: underground_analysis,
             requests_issued: net.request_count(),
             campaign_days: (net.clock().now_unix() - t0) as f64 / 86_400.0,
+            telemetry: manifest,
         }
     }
 }
@@ -325,6 +367,27 @@ mod tests {
         // The campaign consumed virtual time and issued real requests.
         assert!(report.campaign_days > 30.0);
         assert!(report.requests_issued > 1_000);
+
+        // The run manifest is well-formed and carries the provenance the
+        // paper's credibility rests on.
+        assert!(report.telemetry.validate().is_ok());
+        let stage_names: Vec<&str> =
+            report.telemetry.stages.iter().map(|s| s.name.as_str()).collect();
+        for stage in [
+            "deploy",
+            "crawl_campaign",
+            "resolve_profiles",
+            "underground_collection",
+            "moderation",
+            "efficacy_requery",
+            "analysis",
+        ] {
+            assert!(stage_names.contains(&stage), "missing stage {stage}");
+        }
+        assert_eq!(report.telemetry.crawl.len(), 11, "one crawl row per marketplace");
+        assert!(!report.telemetry.api.is_empty(), "API outcome tallies recorded");
+        let manifest_pages: u64 = report.telemetry.crawl.iter().map(|c| c.pages).sum();
+        assert!(manifest_pages > 0);
     }
 
     #[test]

@@ -67,6 +67,7 @@ impl<'a> MarketplaceCrawler<'a> {
         // manually identified seed URLs).
         let Ok(front) = self.client.get_url(&base) else {
             stats.fetch_errors += 1;
+            self.record_stats(&stats);
             return (records, stats);
         };
         stats.pages_fetched += 1;
@@ -76,6 +77,9 @@ impl<'a> MarketplaceCrawler<'a> {
 
         // DFS over listing pages and offers.
         while let Some(url) = self.frontier.pop() {
+            telemetry::with_recorder(|r| {
+                r.observe("crawl.frontier_depth", &[], self.frontier.pending() as u64);
+            });
             let resp = match self.client.get(&url) {
                 Ok(r) => r,
                 Err(_) => {
@@ -111,7 +115,21 @@ impl<'a> MarketplaceCrawler<'a> {
                 }
             }
         }
+        self.record_stats(&stats);
         (records, stats)
+    }
+
+    /// Mirror one crawl's stats into the current telemetry recorder, keyed
+    /// by marketplace — the `crawl` section of the run manifest.
+    fn record_stats(&self, stats: &CrawlStats) {
+        telemetry::with_recorder(|r| {
+            let market = self.market.name();
+            let labels = [("marketplace", market)];
+            r.incr("crawl.pages", &labels, stats.pages_fetched as u64);
+            r.incr("crawl.offers", &labels, stats.offers_collected as u64);
+            r.incr("crawl.fetch_errors", &labels, stats.fetch_errors as u64);
+            r.incr("crawl.gone_offers", &labels, stats.gone_offers as u64);
+        });
     }
 
     /// Forget visit history (between iterations we re-visit everything;

@@ -51,6 +51,13 @@ impl<'a> ProfileResolver<'a> {
             Ok(r) => r,
             Err(e) => {
                 record.status_detail = Some(e.to_string());
+                telemetry::with_recorder(|r| {
+                    r.incr(
+                        "resolve.lookups",
+                        &[("platform", platform.name()), ("status", "transport_error")],
+                        1,
+                    );
+                });
                 return record;
             }
         };
@@ -85,6 +92,19 @@ impl<'a> ProfileResolver<'a> {
                 record.status_detail = Some(format!("http {}", resp.status.code()));
             }
         }
+        telemetry::with_recorder(|r| {
+            let status = match record.status {
+                FetchStatus::Ok => "ok",
+                FetchStatus::Forbidden => "forbidden",
+                FetchStatus::NotFound => "not_found",
+                FetchStatus::Error => "error",
+            };
+            r.incr(
+                "resolve.lookups",
+                &[("platform", platform.name()), ("status", status)],
+                1,
+            );
+        });
         record
     }
 

@@ -71,6 +71,17 @@ impl<'a> CrawlCampaign<'a> {
                     }
                 }
             }
+            telemetry::with_recorder(|r| {
+                r.event(
+                    "campaign.iteration",
+                    format!(
+                        "iteration={iteration} active={active} new={fresh} cumulative={}",
+                        seen.len()
+                    ),
+                );
+                r.gauge_set("campaign.cumulative_offers", &[], seen.len() as f64);
+                r.gauge_set("campaign.active_offers", &[], active as f64);
+            });
             snapshots.push(IterationSnapshot {
                 iteration,
                 at_unix,

@@ -117,6 +117,15 @@ impl<'a> UndergroundCollector<'a> {
             }
         }
 
+        telemetry::with_recorder(|r| {
+            let labels = [("market", self.market_name.as_str())];
+            r.incr("underground.pages_browsed", &labels, stats.pages_browsed as u64);
+            r.incr("underground.searches", &labels, stats.searches_run as u64);
+            r.incr("underground.posts", &labels, stats.posts_recorded as u64);
+            if stats.registered {
+                r.incr("underground.registered", &labels, 1);
+            }
+        });
         (records, stats)
     }
 

@@ -312,8 +312,10 @@ impl MarketplaceSite {
     }
 }
 
-impl Service for MarketplaceSite {
-    fn handle(&self, req: &Request, _ctx: &RequestCtx) -> Response {
+impl MarketplaceSite {
+    /// Route one request to a page renderer (telemetry-free inner body
+    /// of [`Service::handle`]).
+    fn route_request(&self, req: &Request) -> Response {
         let path = req.url.path();
         if path == "/robots.txt" {
             return Response::ok().with_text(self.robots().render());
@@ -343,6 +345,21 @@ impl Service for MarketplaceSite {
             return Response::ok().with_html("<html><body>seller profile</body></html>");
         }
         Response::not_found(&format!("no route for {path} on {}", self.market().name()))
+    }
+}
+
+impl Service for MarketplaceSite {
+    fn handle(&self, req: &Request, _ctx: &RequestCtx) -> Response {
+        let resp = self.route_request(req);
+        telemetry::with_recorder(|r| {
+            let code = resp.status.code().to_string();
+            r.incr(
+                "market.pages_served",
+                &[("marketplace", self.market().name()), ("status", &code)],
+                1,
+            );
+        });
+        resp
     }
 
     fn robots(&self) -> RobotsPolicy {

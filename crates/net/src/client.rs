@@ -149,13 +149,22 @@ impl Client {
                         Persona::Automated => {
                             // Ethics: automated collection never bypasses
                             // CAPTCHAs. Surface the 401 to the caller.
+                            telemetry::with_recorder(|r| {
+                                r.incr("net.captcha", &[("outcome", "refused")], 1);
+                            });
                             return Ok(resp);
                         }
                         Persona::Manual => {
                             if let Some(token) = self.solve_captcha(&challenge) {
+                                telemetry::with_recorder(|r| {
+                                    r.incr("net.captcha", &[("outcome", "solved")], 1);
+                                });
                                 req.headers.set(CAPTCHA_TOKEN_HEADER, token.to_string());
                                 continue;
                             }
+                            telemetry::with_recorder(|r| {
+                                r.incr("net.captcha", &[("outcome", "failed")], 1);
+                            });
                             return Ok(resp); // gave up
                         }
                     }
@@ -188,6 +197,9 @@ impl Client {
                     if attempt < self.retries =>
                 {
                     attempt += 1;
+                    telemetry::with_recorder(|r| {
+                        r.incr("net.retries", &[("host", req.url.host())], 1);
+                    });
                     // Linear virtual-time backoff before the retry.
                     self.net.clock().advance(u64::from(attempt) * 500_000);
                 }
@@ -220,6 +232,9 @@ impl Client {
         }
         if let Some(policy) = self.net.robots_for(url.host()) {
             if !policy.is_allowed(&self.user_agent, url.path()) {
+                telemetry::with_recorder(|r| {
+                    r.incr("net.robots_denied", &[("host", url.host())], 1);
+                });
                 return Err(NetError::RobotsDisallowed(url.to_string()));
             }
             if let Some(delay) = policy.crawl_delay_us(&self.user_agent) {
@@ -241,6 +256,9 @@ impl Client {
         let at = bucket.next_allowed_at(now);
         if at > now {
             self.net.clock().advance_to(at);
+            telemetry::with_recorder(|r| {
+                r.observe("net.politeness_wait_us", &[], at - now);
+            });
         }
         let t = self.net.clock().now_us();
         let acquired = bucket.try_acquire(t);

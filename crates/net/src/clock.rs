@@ -87,6 +87,12 @@ impl SimClock {
     }
 }
 
+impl telemetry::VirtualClock for SimClock {
+    fn now_us(&self) -> u64 {
+        SimClock::now_us(self)
+    }
+}
+
 impl std::fmt::Debug for SimClock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "SimClock({}us)", self.now_us())

@@ -80,7 +80,12 @@ impl SimNet {
     }
 
     /// Create a fabric sharing an existing clock.
+    ///
+    /// Installs the clock as the current telemetry recorder's
+    /// [`telemetry::VirtualClock`], so spans and events recorded anywhere
+    /// downstream are stamped with the fabric's virtual time.
     pub fn with_clock(seed: u64, clock: SimClock) -> Arc<SimNet> {
+        telemetry::with_recorder(|r| r.set_virtual_clock(Arc::new(clock.clone())));
         Arc::new(SimNet {
             clock,
             hosts: Mutex::new(HashMap::new()),
@@ -174,7 +179,11 @@ impl SimNet {
         let (latency_us, reset, timeout) = {
             let hosts = self.hosts.lock();
             let Some(entry) = hosts.get(&host) else {
+                drop(hosts);
                 self.push_log(req, &host, None, via_tor, 0);
+                telemetry::with_recorder(|r| {
+                    r.incr("net.faults", &[("kind", "unreachable")], 1);
+                });
                 return Err(NetError::HostUnreachable(host));
             };
             let mut rng = self.rng.lock();
@@ -189,12 +198,18 @@ impl SimNet {
         if timeout {
             self.clock.advance(deadline);
             self.push_log(req, &host, None, via_tor, deadline);
+            telemetry::with_recorder(|r| {
+                r.incr("net.faults", &[("kind", "timeout")], 1);
+            });
             return Err(NetError::Timeout { host, after_us: deadline });
         }
         if reset {
             // A reset burns roughly half the would-be latency.
             self.clock.advance(latency_us / 2);
             self.push_log(req, &host, None, via_tor, latency_us / 2);
+            telemetry::with_recorder(|r| {
+                r.incr("net.faults", &[("kind", "reset")], 1);
+            });
             return Err(NetError::ConnectionReset(host));
         }
 
@@ -223,6 +238,12 @@ impl SimNet {
             let resp = Response::status(Status::TooManyRequests)
                 .with_header("retry-after-us", (retry_at.saturating_sub(now_us)).to_string());
             self.push_log(req, &host, Some(resp.status), via_tor, latency_us);
+            telemetry::with_recorder(|r| {
+                r.incr("net.throttled", &[("host", &host)], 1);
+                let code = resp.status.code().to_string();
+                r.incr("net.requests", &[("host", &host), ("status", &code)], 1);
+                r.observe("net.latency_us", &[], latency_us);
+            });
             return Ok(resp);
         }
 
@@ -234,6 +255,11 @@ impl SimNet {
         let ctx = RequestCtx { now_us, peer: peer.to_string(), via_tor };
         let resp = service.handle(req, &ctx);
         self.push_log_sized(req, &host, Some(resp.status), via_tor, latency_us, resp.body.len());
+        telemetry::with_recorder(|r| {
+            let code = resp.status.code().to_string();
+            r.incr("net.requests", &[("host", &host), ("status", &code)], 1);
+            r.observe("net.latency_us", &[], latency_us);
+        });
         Ok(resp)
     }
 

@@ -239,11 +239,28 @@ impl PlatformApi {
 
 impl Service for PlatformApi {
     fn handle(&self, req: &Request, _ctx: &RequestCtx) -> Response {
-        match req.url.path() {
+        let resp = match req.url.path() {
             "/users/lookup" | "/users/by_id" => self.lookup(req),
             "/timeline" => self.timeline(req),
             _ => Response::not_found("unknown endpoint"),
-        }
+        };
+        // Server-side API outcome tally — the `api` section of the run
+        // manifest (§8's error-vocabulary provenance).
+        telemetry::with_recorder(|r| {
+            let outcome = match resp.status {
+                Status::Ok => "ok",
+                Status::Forbidden => "forbidden",
+                Status::NotFound => "not_found",
+                Status::BadRequest => "bad_request",
+                _ => "other",
+            };
+            r.incr(
+                "api.calls",
+                &[("platform", self.platform().name()), ("outcome", outcome)],
+                1,
+            );
+        });
+        resp
     }
 }
 

@@ -146,6 +146,7 @@ impl ModerationEngine {
         }
         report.assessed = scored.len();
         if scored.is_empty() || self.capacity <= 0.0 {
+            self.record_sweep(&report);
             return report;
         }
 
@@ -168,7 +169,18 @@ impl ModerationEngine {
                 }
             }
         }
+        self.record_sweep(&report);
         report
+    }
+
+    /// Mirror one sweep's tallies into the current telemetry recorder.
+    fn record_sweep(&self, report: &SweepReport) {
+        telemetry::with_recorder(|r| {
+            let labels = [("platform", self.platform.name())];
+            r.incr("moderation.assessed", &labels, report.assessed as u64);
+            r.incr("moderation.banned", &labels, report.banned as u64);
+            r.incr("moderation.owner_deleted", &labels, report.owner_deleted as u64);
+        });
     }
 }
 

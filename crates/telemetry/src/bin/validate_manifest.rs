@@ -1,0 +1,40 @@
+//! CI gate: parse and validate a `TELEMETRY_report.json` manifest.
+//!
+//! ```sh
+//! cargo run -p acctrade-telemetry --bin validate_manifest -- target/TELEMETRY_report.json
+//! ```
+//!
+//! Exits 0 when the file exists, parses as a [`telemetry::RunManifest`],
+//! and passes structural validation; exits 1 (with a reason on stderr)
+//! otherwise.
+
+use telemetry::RunManifest;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| format!("target/{}", telemetry::REPORT_FILE));
+    match check(&path) {
+        Ok(summary) => println!("manifest OK: {summary}"),
+        Err(err) => {
+            eprintln!("manifest INVALID ({path}): {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn check(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read file: {e}"))?;
+    let manifest = RunManifest::parse(&text).map_err(|e| format!("bad JSON: {e}"))?;
+    manifest.validate()?;
+    Ok(format!(
+        "run={} seed={} stages={} counters={} crawl_rows={} api_rows={}",
+        manifest.run,
+        manifest.seed,
+        manifest.stages.len(),
+        manifest.counters.len(),
+        manifest.crawl.len(),
+        manifest.api.len(),
+    ))
+}

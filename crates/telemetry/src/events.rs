@@ -1,0 +1,128 @@
+//! A bounded, virtual-time-stamped event log.
+//!
+//! Events are breadcrumbs ("iteration 3 finished", "marketplace X
+//! deployed") kept in a fixed-capacity ring buffer: recording never
+//! allocates beyond the cap and never blocks progress — the oldest events
+//! are evicted first. Timestamps are *virtual* microseconds only, so the
+//! exported log is deterministic for a fixed seed.
+
+use foundation::sync::Mutex;
+use std::collections::VecDeque;
+
+/// Default ring capacity.
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual time (microseconds since epoch) the event was recorded at.
+    pub at_virtual_us: u64,
+    /// Event name (`crawl.iteration`).
+    pub name: String,
+    /// Free-form detail string.
+    pub detail: String,
+}
+
+/// The fixed-capacity event ring.
+pub struct EventLog {
+    inner: Mutex<Ring>,
+}
+
+struct Ring {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    total: u64,
+}
+
+impl EventLog {
+    /// A ring with the given capacity (minimum 1).
+    pub fn with_capacity(capacity: usize) -> EventLog {
+        EventLog {
+            inner: Mutex::new(Ring {
+                buf: VecDeque::with_capacity(capacity.max(1)),
+                capacity: capacity.max(1),
+                total: 0,
+            }),
+        }
+    }
+
+    /// Record one event, evicting the oldest if the ring is full.
+    pub fn push(&self, at_virtual_us: u64, name: &str, detail: String) {
+        let mut ring = self.inner.lock();
+        if ring.buf.len() == ring.capacity {
+            ring.buf.pop_front();
+        }
+        ring.buf.push_back(Event {
+            at_virtual_us,
+            name: name.to_string(),
+            detail,
+        });
+        ring.total += 1;
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.inner.lock().buf.iter().cloned().collect()
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.inner.lock().total
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().buf.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_in_order() {
+        let log = EventLog::with_capacity(8);
+        log.push(10, "a", "one".into());
+        log.push(20, "b", "two".into());
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].name, "a");
+        assert_eq!(snap[1].at_virtual_us, 20);
+        assert_eq!(log.total_recorded(), 2);
+    }
+
+    #[test]
+    fn evicts_oldest_at_capacity() {
+        let log = EventLog::with_capacity(3);
+        for i in 0..10u64 {
+            log.push(i, "e", i.to_string());
+        }
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].detail, "7");
+        assert_eq!(snap[2].detail, "9");
+        assert_eq!(log.total_recorded(), 10);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_clamped_to_one() {
+        let log = EventLog::with_capacity(0);
+        log.push(1, "x", String::new());
+        log.push(2, "y", String::new());
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.snapshot()[0].name, "y");
+    }
+}

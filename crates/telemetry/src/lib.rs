@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+
+//! # acctrade-telemetry
+//!
+//! Virtual-clock-aware tracing, metrics, and crawl-provenance manifests
+//! for the `acctrade` workspace — zero-dependency (std + `foundation`).
+//!
+//! The reproduced paper's credibility rests on *pipeline provenance*:
+//! pages crawled, offers parsed, API calls issued, error vocabularies
+//! observed, CAPTCHA/robots refusals honoured (§3.2). This crate makes
+//! that provenance first-class:
+//!
+//! * [`metrics`] — a lock-sharded registry of counters, gauges, and
+//!   log-bucketed histograms, cheap enough for per-request hot paths;
+//! * [`span`] — hierarchical spans that record **both** wall time and
+//!   the simulation's virtual time;
+//! * [`events`] — a bounded ring buffer of virtual-time-stamped
+//!   breadcrumbs;
+//! * [`recorder`] — the pluggable [`Recorder`] handle: a global default,
+//!   thread-scoped overrides for tests and concurrent studies, and a
+//!   no-op-cheap disabled fallback;
+//! * [`manifest`] — the [`RunManifest`] exporter behind
+//!   `TELEMETRY_report.json`: seed, config digest, per-stage timings,
+//!   per-marketplace crawl stats, per-platform API outcome tallies.
+//!
+//! ## Instrumentation idiom
+//!
+//! Library code records through the *current* recorder and never pays
+//! more than a thread-local read when telemetry is off:
+//!
+//! ```
+//! telemetry::with_recorder(|r| r.incr("net.requests", &[("host", "x.com")], 1));
+//! ```
+//!
+//! Pipelines opt in by scoping a recorder:
+//!
+//! ```
+//! let rec = telemetry::Recorder::new();
+//! {
+//!     let _scope = rec.enter();
+//!     let _stage = telemetry::span("crawl_campaign");
+//!     // ... run the pipeline; every instrumented crate records into `rec`
+//!     telemetry::with_recorder(|r| r.incr("crawl.pages", &[("marketplace", "swapd")], 1));
+//! }
+//! let manifest = rec.manifest("study", 42, &telemetry::digest64("config"));
+//! assert!(manifest.validate().is_ok());
+//! ```
+//!
+//! ## Determinism
+//!
+//! Counters, histograms, events, and span *virtual* times are pure
+//! functions of the seed; wall-clock fields are clearly named `wall_*`
+//! and stripped by [`RunManifest::deterministic_json`], which the
+//! determinism suite compares byte-for-byte across same-seed runs.
+
+pub mod events;
+pub mod manifest;
+pub mod metrics;
+pub mod recorder;
+pub mod span;
+
+pub use manifest::{digest64, RunManifest, REPORT_FILE};
+pub use metrics::{Histogram, Key, Registry};
+pub use recorder::{
+    clear_global, event, install_global, recorder, span, with_recorder, Recorder, RecorderScope,
+    Span, VirtualClock,
+};

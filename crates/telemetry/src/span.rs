@@ -1,0 +1,177 @@
+//! Hierarchical tracing spans.
+//!
+//! A span measures one named phase of the pipeline and records **two**
+//! clocks:
+//!
+//! * **virtual time** — the `net::clock` discrete-event clock the whole
+//!   study runs on. Virtual durations are deterministic for a fixed
+//!   seed and are the numbers the run manifest compares across runs.
+//! * **wall time** — the host monotonic clock, for "how long did this
+//!   stage really take". Wall fields are *excluded* from the manifest's
+//!   deterministic view by design.
+//!
+//! Spans nest: starting a span while another is open records the child
+//! with a `parent/child` path and a depth, which the stage-timing table
+//! uses for indentation. The open-span stack is per-tracker (one study
+//! pipeline runs single-threaded through its stages; concurrent tests use
+//! scoped recorders, each with its own tracker).
+
+use foundation::sync::Mutex;
+
+/// A completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FinishedSpan {
+    /// Span name (`crawl_campaign`).
+    pub name: String,
+    /// Slash-joined path from the root span (`study/crawl_campaign`).
+    pub path: String,
+    /// Nesting depth (0 = top level).
+    pub depth: usize,
+    /// Order in which the span *started* (stable sort key for reports).
+    pub start_seq: u64,
+    /// Virtual time at start (µs since epoch).
+    pub virtual_start_us: u64,
+    /// Virtual time at end (µs since epoch).
+    pub virtual_end_us: u64,
+    /// Wall-clock duration in nanoseconds (non-deterministic).
+    pub wall_ns: u64,
+}
+
+impl FinishedSpan {
+    /// Virtual duration in microseconds.
+    pub fn virtual_us(&self) -> u64 {
+        self.virtual_end_us.saturating_sub(self.virtual_start_us)
+    }
+}
+
+/// Ticket handed out when a span starts; closed via
+/// [`SpanTracker::finish`].
+#[derive(Debug, Clone)]
+pub struct SpanTicket {
+    /// Span name.
+    pub name: String,
+    /// Full path at start time.
+    pub path: String,
+    /// Depth at start time.
+    pub depth: usize,
+    /// Start ordinal.
+    pub start_seq: u64,
+}
+
+/// Tracks the open-span stack and the finished-span list.
+#[derive(Default)]
+pub struct SpanTracker {
+    state: Mutex<TrackerState>,
+}
+
+#[derive(Default)]
+struct TrackerState {
+    stack: Vec<String>,
+    finished: Vec<FinishedSpan>,
+    next_seq: u64,
+}
+
+impl SpanTracker {
+    /// Open a span named `name`, nesting under any currently open span.
+    pub fn start(&self, name: &str) -> SpanTicket {
+        let mut st = self.state.lock();
+        let depth = st.stack.len();
+        let path = if depth == 0 {
+            name.to_string()
+        } else {
+            format!("{}/{}", st.stack.join("/"), name)
+        };
+        st.stack.push(name.to_string());
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        SpanTicket { name: name.to_string(), path, depth, start_seq: seq }
+    }
+
+    /// Close a span, recording both clocks.
+    pub fn finish(
+        &self,
+        ticket: SpanTicket,
+        virtual_start_us: u64,
+        virtual_end_us: u64,
+        wall_ns: u64,
+    ) {
+        let mut st = self.state.lock();
+        // Pop the matching frame (tolerate out-of-order drops: remove the
+        // deepest frame with this name).
+        if let Some(pos) = st.stack.iter().rposition(|n| n == &ticket.name) {
+            st.stack.remove(pos);
+        }
+        st.finished.push(FinishedSpan {
+            name: ticket.name,
+            path: ticket.path,
+            depth: ticket.depth,
+            start_seq: ticket.start_seq,
+            virtual_start_us,
+            virtual_end_us,
+            wall_ns,
+        });
+    }
+
+    /// Finished spans sorted by start order (parents before children).
+    pub fn finished(&self) -> Vec<FinishedSpan> {
+        let mut spans = self.state.lock().finished.clone();
+        spans.sort_by_key(|s| s.start_seq);
+        spans
+    }
+
+    /// Number of spans currently open.
+    pub fn open_count(&self) -> usize {
+        self.state.lock().stack.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_builds_paths_and_depths() {
+        let t = SpanTracker::default();
+        let outer = t.start("study");
+        let inner = t.start("crawl");
+        assert_eq!(inner.path, "study/crawl");
+        assert_eq!(inner.depth, 1);
+        t.finish(inner, 10, 30, 5);
+        t.finish(outer, 0, 100, 9);
+        assert_eq!(t.open_count(), 0);
+        let spans = t.finished();
+        assert_eq!(spans.len(), 2);
+        // Start order: parent first.
+        assert_eq!(spans[0].name, "study");
+        assert_eq!(spans[1].name, "crawl");
+        assert_eq!(spans[1].virtual_us(), 20);
+    }
+
+    #[test]
+    fn sibling_spans_share_depth() {
+        let t = SpanTracker::default();
+        let root = t.start("root");
+        let a = t.start("a");
+        t.finish(a, 0, 1, 1);
+        let b = t.start("b");
+        assert_eq!(b.depth, 1);
+        assert_eq!(b.path, "root/b");
+        t.finish(b, 1, 2, 1);
+        t.finish(root, 0, 2, 2);
+        assert_eq!(t.finished().len(), 3);
+    }
+
+    #[test]
+    fn saturating_virtual_duration() {
+        let s = FinishedSpan {
+            name: "x".into(),
+            path: "x".into(),
+            depth: 0,
+            start_seq: 0,
+            virtual_start_us: 10,
+            virtual_end_us: 5,
+            wall_ns: 0,
+        };
+        assert_eq!(s.virtual_us(), 0);
+    }
+}

@@ -172,6 +172,18 @@ impl World {
         for forum in &self.forums {
             net.register(&forum.config().host.clone(), Arc::clone(forum));
         }
+        telemetry::with_recorder(|r| {
+            r.event(
+                "world.deployed",
+                format!(
+                    "markets={} platforms={} forums={}",
+                    self.markets.len(),
+                    self.stores.len(),
+                    self.forums.len()
+                ),
+            );
+            r.gauge_set("world.hosts", &[], net.hosts().len() as f64);
+        });
     }
 
     // -- sellers ------------------------------------------------------------

@@ -27,9 +27,23 @@ fn main() {
     };
     eprintln!("running study at scale {scale} (seed {:#x}) ...", config.seed);
     let report = Study::new(config).run();
-    println!("{}", report.render_all());
+    let rendered = report.render_all();
+    println!("{rendered}");
     eprintln!(
         "campaign: {} requests over {:.0} virtual days",
         report.requests_issued, report.campaign_days
     );
+
+    // Stage-timing table (virtual vs wall time per pipeline stage).
+    eprintln!("\n{}", report.telemetry.render_stage_table());
+
+    // Persist the artefacts under target/ (kept out of the repo).
+    std::fs::create_dir_all("target").expect("create target/");
+    let report_path = "target/full_scale_report.txt";
+    std::fs::write(report_path, &rendered).expect("write full report");
+    let manifest_path = format!("target/{}", acctrade::telemetry::REPORT_FILE);
+    report.telemetry.validate().expect("study manifest must validate");
+    std::fs::write(&manifest_path, report.telemetry.to_json_pretty())
+        .expect("write telemetry manifest");
+    eprintln!("report written to {report_path}; telemetry manifest to {manifest_path}");
 }

@@ -1,5 +1,6 @@
 //! Quickstart: generate a small world, crawl one marketplace, resolve its
-//! visible accounts, and print the first numbers.
+//! visible accounts, print the first numbers, and export the run's
+//! telemetry manifest to `target/TELEMETRY_report.json`.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -11,18 +12,29 @@ use acctrade::net::{Client, SimNet};
 use acctrade::workload::world::{World, WorldParams};
 
 fn main() {
+    // Scope a telemetry recorder around the whole run: every instrumented
+    // crate below records into it, and we export the manifest at the end.
+    let rec = acctrade::telemetry::Recorder::new();
+    let _scope = rec.enter();
+
     // A deterministic miniature of the measured ecosystem (5% of the
     // paper's scale).
     let world = World::generate(WorldParams { seed: 2024, scale: 0.05 });
     let net = SimNet::new(2024);
-    world.deploy(&net);
+    {
+        let _stage = acctrade::telemetry::span("deploy");
+        world.deploy(&net);
+    }
 
     // Crawl one marketplace, §3.2-style: storefront → listing pages →
     // every offer, politely.
     let client = Client::new(&net, "acctrade-crawler/0.1").with_politeness(20.0, 8.0);
     let market = MarketplaceId::Accsmarket;
     let mut crawler = MarketplaceCrawler::new(&client, market);
-    let (offers, stats) = crawler.crawl(0);
+    let (offers, stats) = {
+        let _stage = acctrade::telemetry::span("crawl");
+        crawler.crawl(0)
+    };
     println!("crawled {}:", market.name());
     println!("  pages fetched:    {}", stats.pages_fetched);
     println!("  offers collected: {}", stats.offers_collected);
@@ -39,6 +51,7 @@ fn main() {
     println!("  advertised value: ${total:.0}");
 
     // Resolve a few visible accounts against the platform APIs.
+    let _stage = acctrade::telemetry::span("resolve");
     let resolver = ProfileResolver::new(&client);
     println!("\nfirst visible accounts:");
     for offer in visible.iter().take(5) {
@@ -62,4 +75,13 @@ fn main() {
         net.clock().days_into_collection() * 24.0,
         net.request_count()
     );
+
+    // Export the provenance manifest (what the CI gate validates).
+    drop(_stage);
+    let manifest = rec.manifest("quickstart", 2024, &acctrade::telemetry::digest64("quickstart"));
+    manifest.validate().expect("quickstart manifest must validate");
+    let path = format!("target/{}", acctrade::telemetry::REPORT_FILE);
+    std::fs::create_dir_all("target").expect("create target/");
+    std::fs::write(&path, manifest.to_json_pretty()).expect("write manifest");
+    println!("telemetry manifest written to {path}");
 }

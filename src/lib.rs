@@ -29,6 +29,7 @@ pub use acctrade_html as html;
 pub use acctrade_market as market;
 pub use acctrade_net as net;
 pub use acctrade_social as social;
+pub use ::telemetry;
 pub use acctrade_text as text;
 pub use acctrade_workload as workload;
 

@@ -51,6 +51,29 @@ fn concurrent_runs_agree() {
     assert_eq!(a.render_all(), b.render_all());
 }
 
+/// The telemetry manifest's virtual-time view is part of the determinism
+/// contract: two same-seed runs must serialize to *byte-identical*
+/// deterministic JSON once the clearly-named `wall_*` fields are
+/// stripped. (Wall-clock timings legitimately differ between runs; the
+/// counters, stage virtual times, crawl/API tallies, and events must
+/// not.)
+#[test]
+fn telemetry_manifests_byte_identical_without_wall_fields() {
+    let config = StudyConfig { seed: 909, scale: 0.01, iterations: 2, scam: Default::default() };
+    let a = Study::new(config).run().telemetry;
+    let b = Study::new(config).run().telemetry;
+    assert!(a.validate().is_ok());
+    assert_eq!(
+        a.deterministic_string().as_bytes(),
+        b.deterministic_string().as_bytes(),
+        "virtual-time manifest fields must be byte-identical"
+    );
+    // And the full manifest roundtrips through its JSON codec.
+    let parsed = acctrade::telemetry::RunManifest::parse(&a.to_json_string())
+        .expect("manifest JSON parses");
+    assert_eq!(parsed.deterministic_string(), a.deterministic_string());
+}
+
 #[test]
 fn different_seeds_different_worlds() {
     let a = Study::new(StudyConfig { seed: 1, scale: 0.01, iterations: 2, scam: Default::default() })

@@ -59,3 +59,82 @@ fn faults_cost_virtual_time() {
     // moved well past the fault-free cost.
     assert!(net.clock().now_us() > t0);
 }
+
+/// The telemetry fault counters must agree *exactly* with the fabric's
+/// own request log: every injected reset/timeout shows up once in
+/// `net.faults`, every completed request once in `net.requests`, and the
+/// crawler's error counter mirrors its returned stats.
+#[test]
+fn telemetry_counters_match_injected_fault_counts() {
+    let rec = acctrade::telemetry::Recorder::new();
+    let _scope = rec.enter();
+
+    let (_world, net) = lossy_world(74, 0.10, 0.05);
+    let client = Client::new(&net, "acctrade-crawler/0.1").with_retries(3);
+    let market = MarketplaceId::Accsmarket;
+    let mut crawler = MarketplaceCrawler::new(&client, market);
+    let (_offers, stats) = crawler.crawl(0);
+
+    let log = net.log_snapshot();
+    let logged_faults = log.iter().filter(|e| e.status.is_none()).count() as u64;
+    let logged_responses = log.iter().filter(|e| e.status.is_some()).count() as u64;
+
+    let counted_faults = rec.counter("net.faults", &[("kind", "reset")])
+        + rec.counter("net.faults", &[("kind", "timeout")])
+        + rec.counter("net.faults", &[("kind", "unreachable")]);
+    assert!(counted_faults > 0, "lossy run must inject faults");
+    assert_eq!(counted_faults, logged_faults, "fault counters vs request log");
+    assert_eq!(
+        rec.counter_total("net.requests"),
+        logged_responses,
+        "request counters vs request log"
+    );
+    // Every transparent client retry burned one logged fault.
+    assert_eq!(rec.counter_total("net.retries") + stats.fetch_errors as u64, logged_faults);
+    // The crawler's own stats mirror into the crawl.* counters.
+    assert_eq!(
+        rec.counter("crawl.fetch_errors", &[("marketplace", market.name())]),
+        stats.fetch_errors as u64
+    );
+    assert_eq!(
+        rec.counter("crawl.pages", &[("marketplace", market.name())]),
+        stats.pages_fetched as u64
+    );
+}
+
+/// Eight threads hammering one recorder through scoped handles: the
+/// sharded registry must conserve every increment and histogram sample.
+#[test]
+fn concurrent_recording_conserves_totals() {
+    const THREADS: u64 = 8;
+    const OPS: u64 = 2_000;
+    let rec = acctrade::telemetry::Recorder::new();
+    foundation::sync::scope(|s| {
+        for t in 0..THREADS {
+            let rec = rec.clone();
+            s.spawn(move || {
+                let _scope = rec.enter();
+                let label = t.to_string();
+                for i in 0..OPS {
+                    acctrade::telemetry::with_recorder(|r| {
+                        r.incr("stress.ops", &[("thread", &label)], 1);
+                        r.incr("stress.shared", &[], 1);
+                        r.observe("stress.val", &[], i);
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(rec.counter_total("stress.ops"), THREADS * OPS);
+    assert_eq!(rec.counter("stress.shared", &[]), THREADS * OPS);
+    for t in 0..THREADS {
+        assert_eq!(rec.counter("stress.ops", &[("thread", &t.to_string())]), OPS);
+    }
+    let hists = rec.histograms();
+    let (_, hist) = hists
+        .iter()
+        .find(|(k, _)| k.name == "stress.val")
+        .expect("histogram recorded");
+    assert_eq!(hist.count(), THREADS * OPS);
+    assert_eq!(hist.max(), OPS - 1);
+}
