@@ -13,6 +13,10 @@
 #   4. quickstart example must produce a well-formed
 #      target/TELEMETRY_report.json (validated by the
 #      acctrade-telemetry `validate_manifest` binary)
+#   5. crash recovery: a persisted quickstart campaign is killed
+#      mid-run (exit code 3), resumed, and its dataset + deterministic
+#      telemetry manifest must be byte-identical to a clean
+#      uninterrupted same-seed run
 
 set -uo pipefail
 
@@ -68,6 +72,43 @@ if [ "$fail" -ne 0 ]; then
     echo "ci: FAILED (telemetry manifest invalid)"
     exit 1
 fi
+
+# 5. Crash-recovery gate: kill a persisted campaign mid-run, resume it,
+#    and demand byte-identical artifacts versus a clean same-seed run.
+rm -rf target/store/ci-clean target/store/ci-crash target/gate-clean target/gate-crash
+
+run cargo run --release --offline --example quickstart -- --campaign \
+    --store-dir target/store/ci-clean --out target/gate-clean || fail=1
+
+echo
+echo "==> cargo run --release --offline --example quickstart -- --campaign" \
+     "--store-dir target/store/ci-crash --kill-at 2   (expecting exit code 3)"
+cargo run --release --offline --example quickstart -- --campaign \
+    --store-dir target/store/ci-crash --kill-at 2
+kill_status=$?
+if [ "$kill_status" -ne 3 ]; then
+    echo
+    echo "ci: FAILED (injected kill exited with $kill_status, expected 3)"
+    exit 1
+fi
+
+run cargo run --release --offline --example quickstart -- --campaign \
+    --store-dir target/store/ci-crash --resume --out target/gate-crash || fail=1
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "ci: FAILED (crash-recovery runs did not complete)"
+    exit 1
+fi
+
+run cmp target/gate-clean/dataset.json target/gate-crash/dataset.json || fail=1
+run cmp target/gate-clean/TELEMETRY_deterministic.txt \
+        target/gate-crash/TELEMETRY_deterministic.txt || fail=1
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "ci: FAILED (resumed campaign artifacts differ from the clean run)"
+    exit 1
+fi
+echo "ci: crash-recovery artifacts byte-identical"
 
 echo
 echo "ci: OK"

@@ -15,9 +15,14 @@
 //!    of §§4–8 is computed.
 
 use crate::{anatomy, dynamics, efficacy, network, report, scamposts, setup, underground};
+use acctrade_crawler::persist::{
+    ApiOutcomeRecord, CampaignCheckpoint, CampaignStore, CHECKPOINT_SCHEMA,
+};
 use acctrade_crawler::record::{Dataset, ProfileRecord};
 use acctrade_crawler::resolve::ProfileResolver;
-use acctrade_crawler::schedule::CrawlCampaign;
+use acctrade_crawler::schedule::{
+    CampaignProgress, CrawlCampaign, IterationSnapshot, DEFAULT_DAYS_BETWEEN,
+};
 use acctrade_crawler::underground::UndergroundCollector;
 use acctrade_net::client::Client;
 use acctrade_net::clock::DAY;
@@ -28,6 +33,9 @@ use acctrade_workload::world::{World, WorldParams};
 use foundation::rng::SeedableRng;
 use foundation::rng::ChaCha8Rng;
 use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+use store::{RecoveryReport, StoreError};
 
 /// Study configuration.
 #[derive(Debug, Clone, Copy)]
@@ -100,6 +108,9 @@ pub struct StudyReport {
     /// Run-provenance manifest: per-stage timings, crawl/API tallies,
     /// counters (exported as `TELEMETRY_report.json`).
     pub telemetry: telemetry::RunManifest,
+    /// What store recovery salvaged, when this report came out of
+    /// [`Study::resume_from`] (`None` on uninterrupted runs).
+    pub recovery: Option<RecoveryReport>,
 }
 
 impl StudyReport {
@@ -183,6 +194,144 @@ impl Study {
     /// otherwise it creates its own. Either way the resulting
     /// [`telemetry::RunManifest`] lands in [`StudyReport::telemetry`].
     pub fn run_on(&self, world: &mut World) -> StudyReport {
+        self.run_on_store(world, None, None)
+            .expect("in-memory study cannot fail")
+            .expect("no kill was requested")
+    }
+
+    /// Run the full pipeline, streaming every dataset record into a
+    /// durable store at `store_dir` with per-iteration checkpoints.
+    ///
+    /// A process that dies mid-campaign leaves behind a WAL plus a
+    /// checkpoint from which [`Study::resume_from`] continues the run —
+    /// producing a byte-identical dataset and telemetry manifest versus
+    /// an uninterrupted run of the same seed.
+    pub fn run_persisted(&self, store_dir: &Path) -> Result<StudyReport, StoreError> {
+        let mut world = World::generate(WorldParams {
+            seed: self.config.seed,
+            scale: self.config.scale,
+        });
+        let mut store = CampaignStore::create(store_dir)?;
+        Ok(self
+            .run_on_store(&mut world, Some(&mut store), None)?
+            .expect("no kill was requested"))
+    }
+
+    /// [`Study::run_persisted`], but stop (simulating a crash) once
+    /// `kill_after_iterations` campaign iterations have completed and
+    /// checkpointed. Returns `Ok(None)` when the kill fired; `Ok(Some)`
+    /// when the whole study finished first.
+    pub fn run_persisted_with_kill(
+        &self,
+        store_dir: &Path,
+        kill_after_iterations: usize,
+    ) -> Result<Option<StudyReport>, StoreError> {
+        let mut world = World::generate(WorldParams {
+            seed: self.config.seed,
+            scale: self.config.scale,
+        });
+        let mut store = CampaignStore::create(store_dir)?;
+        self.run_on_store(&mut world, Some(&mut store), Some(kill_after_iterations))
+    }
+
+    /// Resume an interrupted persisted study from `store_dir`.
+    ///
+    /// Recovery first (on the *ambient* telemetry recorder): the WAL is
+    /// replayed, torn tails truncated, uncommitted records rolled back.
+    /// Then the run is rebuilt exactly — world regenerated and stepped
+    /// through the checkpointed evolution timestamps, virtual clock and
+    /// fabric RNG seeked to their checkpointed positions, telemetry
+    /// restored from its snapshot — and the campaign continues at the
+    /// checkpointed iteration as if never interrupted.
+    pub fn resume_from(config: StudyConfig, store_dir: &Path) -> Result<StudyReport, StoreError> {
+        let (mut store, cp, wal_dataset, recovery) = CampaignStore::open_resume(store_dir)?;
+        if cp.complete {
+            return Err(StoreError::Invalid(
+                "checkpoint marks the study complete; nothing to resume".into(),
+            ));
+        }
+        if cp.seed != config.seed {
+            return Err(StoreError::Invalid(format!(
+                "checkpoint seed {} does not match config seed {}",
+                cp.seed, config.seed
+            )));
+        }
+        let config_digest = telemetry::digest64(&format!("{:?}", config));
+        if cp.config_digest != config_digest {
+            return Err(StoreError::Invalid(format!(
+                "checkpoint config digest {} does not match config digest {config_digest}",
+                cp.config_digest
+            )));
+        }
+
+        let study = Study::new(config);
+
+        // Rebuild the simulation silently: deploy and world evolution were
+        // already recorded before the interruption; re-recording them would
+        // diverge from an uninterrupted run.
+        let mut world;
+        let net;
+        {
+            let quiet = telemetry::Recorder::disabled();
+            let _gag = quiet.enter();
+            world = World::generate(WorldParams { seed: config.seed, scale: config.scale });
+            net = SimNet::new(config.seed);
+            world.deploy(&net);
+            for &at in &cp.step_unixes {
+                world.step_iteration(at);
+            }
+            net.clock().advance_to(cp.clock_us);
+            net.set_rng_word_position(cp.net_rng_words);
+        }
+
+        let rec = telemetry::Recorder::from_snapshot(&cp.telemetry);
+        rec.set_virtual_clock(Arc::new(net.clock().clone()));
+        let _scope = rec.enter();
+
+        let ctx = PersistCtx {
+            config_digest,
+            iterations: cp.iterations_total,
+            days_between: cp.days_between,
+            t0_unix: cp.t0_unix,
+            campaign_started_us: cp.campaign_started_us,
+            requests_base: cp.requests_issued,
+            kill_after: None,
+        };
+        let mut progress = CampaignProgress {
+            seen: wal_dataset.offers.iter().map(|o| o.offer_url.clone()).collect(),
+            offers: wal_dataset.offers,
+            snapshots: cp.snapshots,
+            next_iteration: cp.next_iteration,
+            step_unixes: cp.step_unixes,
+        };
+        {
+            // Re-open the interrupted `crawl_campaign` span at its original
+            // virtual start, so the resumed manifest reports the same stage.
+            let _stage = rec.span_starting_at("crawl_campaign", cp.campaign_started_us);
+            study.run_campaign_segment(&mut world, &net, &rec, &mut progress, &mut store, &ctx)?;
+        }
+
+        let dataset =
+            Dataset { offers: std::mem::take(&mut progress.offers), ..Dataset::default() };
+        let outcome = CampaignOutcome {
+            dataset,
+            snapshots: progress.snapshots,
+            step_unixes: progress.step_unixes,
+            recovery: Some(recovery),
+        };
+        study.finish(&mut world, &net, &rec, Some(&mut store), outcome, &ctx)
+    }
+
+    /// The shared engine behind [`Study::run_on`], [`Study::run_persisted`]
+    /// and [`Study::run_persisted_with_kill`]: deploy, campaign (with
+    /// optional persistence and crash injection), then the shared tail.
+    /// Returns `Ok(None)` when a requested kill fired mid-campaign.
+    fn run_on_store(
+        &self,
+        world: &mut World,
+        mut store: Option<&mut CampaignStore>,
+        kill_after: Option<usize>,
+    ) -> Result<Option<StudyReport>, StoreError> {
         // Resolve the recorder before touching the fabric so
         // `SimNet::with_clock` installs the virtual clock into it.
         let current = telemetry::recorder();
@@ -196,21 +345,138 @@ impl Study {
         }
         let t0 = net.clock().now_unix();
 
-        // -- Module 2a: the public-marketplace crawl campaign.
-        let (mut dataset, snapshots) = {
-            let _stage = telemetry::span("crawl_campaign");
-            let crawler_client =
-                Client::new(&net, "acctrade-crawler/0.1").with_politeness(20.0, 8.0);
-            let campaign = CrawlCampaign::new(&crawler_client);
-            campaign.run(world, self.config.iterations.max(1))
+        let mut ctx = PersistCtx {
+            config_digest: telemetry::digest64(&format!("{:?}", self.config)),
+            iterations: self.config.iterations.max(1),
+            days_between: DEFAULT_DAYS_BETWEEN,
+            t0_unix: t0,
+            campaign_started_us: 0,
+            requests_base: 0,
+            kill_after,
         };
 
+        // -- Module 2a: the public-marketplace crawl campaign.
+        let mut progress = CampaignProgress::default();
+        ctx.campaign_started_us = rec.virtual_now();
+        {
+            let _stage = telemetry::span("crawl_campaign");
+            if let Some(s) = store.as_deref_mut() {
+                self.run_campaign_segment(world, &net, &rec, &mut progress, s, &ctx)?;
+            } else {
+                let crawler_client =
+                    Client::new(&net, "acctrade-crawler/0.1").with_politeness(20.0, 8.0);
+                let mut campaign = CrawlCampaign::new(&crawler_client);
+                campaign.days_between = ctx.days_between;
+                campaign
+                    .run_resumable(world, ctx.iterations, &mut progress, None, |_, _| Ok(true))
+                    .map_err(StoreError::Io)?;
+            }
+        }
+        if progress.next_iteration < ctx.iterations {
+            // The injected kill fired; the checkpoint and WAL are on disk.
+            return Ok(None);
+        }
+
+        let dataset =
+            Dataset { offers: std::mem::take(&mut progress.offers), ..Dataset::default() };
+        let outcome = CampaignOutcome {
+            dataset,
+            snapshots: progress.snapshots,
+            step_unixes: progress.step_unixes,
+            recovery: None,
+        };
+        self.finish(world, &net, &rec, store, outcome, &ctx).map(Some)
+    }
+
+    /// Run (or continue) the crawl campaign against a durable store,
+    /// checkpointing after every iteration and honouring `ctx.kill_after`.
+    fn run_campaign_segment(
+        &self,
+        world: &mut World,
+        net: &std::sync::Arc<SimNet>,
+        rec: &telemetry::Recorder,
+        progress: &mut CampaignProgress,
+        store: &mut CampaignStore,
+        ctx: &PersistCtx,
+    ) -> Result<(), StoreError> {
+        let crawler_client = Client::new(net, "acctrade-crawler/0.1").with_politeness(20.0, 8.0);
+        let mut campaign = CrawlCampaign::new(&crawler_client);
+        campaign.days_between = ctx.days_between;
+        campaign
+            .run_resumable(world, ctx.iterations, progress, Some(store), |progress, store| {
+                if let Some(s) = store {
+                    let cp = self.make_checkpoint(
+                        net,
+                        rec,
+                        s,
+                        ctx,
+                        progress.next_iteration,
+                        &progress.snapshots,
+                        &progress.step_unixes,
+                        false,
+                    );
+                    s.write_checkpoint(&cp)?;
+                }
+                Ok(ctx.kill_after.is_none_or(|k| progress.next_iteration < k))
+            })
+            .map_err(StoreError::Io)
+    }
+
+    /// Build a checkpoint capturing the run's entire resumable state.
+    #[allow(clippy::too_many_arguments)]
+    fn make_checkpoint(
+        &self,
+        net: &std::sync::Arc<SimNet>,
+        rec: &telemetry::Recorder,
+        store: &CampaignStore,
+        ctx: &PersistCtx,
+        next_iteration: usize,
+        snapshots: &[IterationSnapshot],
+        step_unixes: &[i64],
+        complete: bool,
+    ) -> CampaignCheckpoint {
+        CampaignCheckpoint {
+            schema: CHECKPOINT_SCHEMA.to_string(),
+            seed: self.config.seed,
+            config_digest: ctx.config_digest.clone(),
+            iterations_total: ctx.iterations,
+            next_iteration,
+            days_between: ctx.days_between,
+            t0_unix: ctx.t0_unix,
+            campaign_started_us: ctx.campaign_started_us,
+            clock_us: net.clock().now_us(),
+            net_rng_words: net.rng_word_position(),
+            requests_issued: ctx.requests_base + net.request_count(),
+            committed_records: store.total_records(),
+            segment_max_bytes: store.segment_max_bytes(),
+            step_unixes: step_unixes.to_vec(),
+            snapshots: snapshots.to_vec(),
+            telemetry: rec.snapshot(),
+            complete,
+        }
+    }
+
+    /// Everything after the crawl campaign: resolution, underground
+    /// collection, moderation, the §8 re-query, the analyses, the
+    /// manifest, and — on persisted runs — the final complete checkpoint.
+    fn finish(
+        &self,
+        world: &mut World,
+        net: &std::sync::Arc<SimNet>,
+        rec: &telemetry::Recorder,
+        mut store: Option<&mut CampaignStore>,
+        outcome: CampaignOutcome,
+        ctx: &PersistCtx,
+    ) -> Result<StudyReport, StoreError> {
+        let CampaignOutcome { mut dataset, snapshots, step_unixes, recovery } = outcome;
+
         // -- Module 2b: profile metadata + timelines for visible accounts.
-        let api_client = Client::new(&net, "acctrade-pipeline/0.1");
+        let api_client = Client::new(net, "acctrade-pipeline/0.1");
         let resolver = ProfileResolver::new(&api_client);
         {
             let _stage = telemetry::span("resolve_profiles");
-            let (profiles, posts) = resolver.resolve_offers(&dataset.offers);
+            let (profiles, posts) =
+                resolver.resolve_offers_into(&dataset.offers, store.as_deref_mut())?;
             dataset.profiles = profiles;
             dataset.posts = posts;
         }
@@ -225,13 +491,18 @@ impl Study {
             // emptiness is itself a §4.2 finding).
             for forum in &world.forums {
                 let cfg = forum.config();
-                let operator = Client::new(&net, "tor-browser/13")
+                let operator = Client::new(net, "tor-browser/13")
                     .manual(self.config.seed ^ cfg.id as u64)
                     .via_tor(directory.build_circuit(&mut tor_rng));
                 let collector =
                     UndergroundCollector::new(&operator, cfg.host.clone(), cfg.name);
                 let (records, _stats) = collector.collect();
-                dataset.underground.extend(records);
+                for record in records {
+                    if let Some(s) = store.as_deref_mut() {
+                        s.append_underground(&record)?;
+                    }
+                    dataset.underground.push(record);
+                }
             }
         }
 
@@ -244,16 +515,21 @@ impl Study {
         }
         let requery: Vec<ProfileRecord> = {
             let _stage = telemetry::span("efficacy_requery");
-            dataset
-                .profiles
-                .iter()
-                .map(|p| {
-                    resolver.resolve(
-                        Platform::parse(&p.platform).expect("known platform"),
-                        &p.handle,
-                    )
-                })
-                .collect()
+            let mut requery = Vec::with_capacity(dataset.profiles.len());
+            for p in &dataset.profiles {
+                let record = resolver
+                    .resolve(Platform::parse(&p.platform).expect("known platform"), &p.handle);
+                if let Some(s) = store.as_deref_mut() {
+                    s.append_api_outcome(&ApiOutcomeRecord {
+                        platform: record.platform.clone(),
+                        handle: record.handle.clone(),
+                        status: record.status,
+                        at_unix: net.clock().now_unix(),
+                    })?;
+                }
+                requery.push(record);
+            }
+            requery
         };
 
         // -- Analyses.
@@ -278,13 +554,27 @@ impl Study {
         let underground_analysis = underground::analyze(&dataset.underground);
         drop(_stage); // close the analysis span before exporting stages
 
-        let manifest = rec.manifest(
-            "study",
-            self.config.seed,
-            &telemetry::digest64(&format!("{:?}", self.config)),
-        );
+        let manifest = rec.manifest("study", self.config.seed, &ctx.config_digest);
 
-        StudyReport {
+        // Persisted runs end with a durable sync and a `complete`
+        // checkpoint, so a finished store is never mistaken for an
+        // interrupted one.
+        if let Some(s) = store {
+            s.sync()?;
+            let cp = self.make_checkpoint(
+                net,
+                rec,
+                s,
+                ctx,
+                ctx.iterations,
+                &snapshots,
+                &step_unixes,
+                true,
+            );
+            s.write_checkpoint(&cp)?;
+        }
+
+        Ok(StudyReport {
             config: self.config,
             dataset,
             table1,
@@ -298,11 +588,38 @@ impl Study {
             network: network_analysis,
             efficacy: efficacy_analysis,
             underground: underground_analysis,
-            requests_issued: net.request_count(),
-            campaign_days: (net.clock().now_unix() - t0) as f64 / 86_400.0,
+            requests_issued: ctx.requests_base + net.request_count(),
+            campaign_days: (net.clock().now_unix() - ctx.t0_unix) as f64 / 86_400.0,
             telemetry: manifest,
-        }
+            recovery,
+        })
     }
+}
+
+/// Context shared by every phase of a (possibly persisted) run.
+struct PersistCtx {
+    /// Digest of the study configuration.
+    config_digest: String,
+    /// Campaign iterations (`config.iterations.max(1)`).
+    iterations: usize,
+    /// Virtual days between iterations.
+    days_between: u64,
+    /// Virtual unix time right after deploy (campaign_days basis).
+    t0_unix: i64,
+    /// Virtual µs when the `crawl_campaign` stage opened.
+    campaign_started_us: u64,
+    /// Requests issued before this process took over (resume only).
+    requests_base: usize,
+    /// Crash injection: stop after this many completed iterations.
+    kill_after: Option<usize>,
+}
+
+/// What the campaign phase hands to the shared tail.
+struct CampaignOutcome {
+    dataset: Dataset,
+    snapshots: Vec<IterationSnapshot>,
+    step_unixes: Vec<i64>,
+    recovery: Option<RecoveryReport>,
 }
 
 #[cfg(test)]

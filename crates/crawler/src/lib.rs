@@ -19,18 +19,23 @@
 //!   the §8 efficacy audit;
 //! * [`underground`] — the manual Tor collector (registration, CAPTCHA,
 //!   link-walking, ≤5 pages / ≤25 postings per platform);
-//! * [`record`] — dataset records and JSON export.
+//! * [`record`] — dataset records and JSON export;
+//! * [`persist`] — the durable campaign store: every record streamed
+//!   into an `acctrade-store` WAL plus per-iteration checkpoints, so an
+//!   interrupted campaign resumes byte-identically.
 
 pub mod crawl;
 pub mod extract;
 pub mod frontier;
+pub mod persist;
 pub mod record;
 pub mod resolve;
 pub mod schedule;
 pub mod underground;
 
 pub use crawl::MarketplaceCrawler;
+pub use persist::{ApiOutcomeRecord, CampaignCheckpoint, CampaignStore};
 pub use record::{Dataset, OfferRecord, PostRecord, ProfileRecord, UndergroundRecord};
 pub use resolve::ProfileResolver;
-pub use schedule::{CrawlCampaign, IterationSnapshot};
+pub use schedule::{CampaignProgress, CrawlCampaign, IterationSnapshot};
 pub use underground::UndergroundCollector;

@@ -1,0 +1,533 @@
+//! Durable campaign persistence — the crawler's binding to
+//! [`acctrade-store`](store).
+//!
+//! A five-month crawl campaign survives crashes by writing every dataset
+//! record into an append-only WAL ([`CampaignStore`]) and, at each
+//! iteration boundary, an atomic [`CampaignCheckpoint`] capturing
+//! everything needed to rebuild the run mid-flight: the seed and config
+//! digest, the virtual clock, the fabric RNG position, the campaign
+//! cursor, and a full telemetry snapshot. Resume replays the WAL into a
+//! [`Dataset`], rolls back anything the checkpoint never committed, and
+//! continues — producing byte-identical artifacts versus an
+//! uninterrupted same-seed run.
+//!
+//! Telemetry: appends increment `store.records_appended`,
+//! `store.bytes_appended` and `store.segments_rotated`; recovery
+//! increments `store.records_replayed` and `store.torn_tails_truncated`
+//! on whatever recorder is current at [`CampaignStore::open_resume`]
+//! time (the *ambient* recorder — deliberately not the restored study
+//! recorder, so a resumed run's manifest stays byte-identical to an
+//! uninterrupted one). Checkpoint writes are not instrumented for the
+//! same reason.
+
+use crate::record::{
+    Dataset, FetchStatus, OfferRecord, PostRecord, ProfileRecord, UndergroundRecord,
+};
+use crate::schedule::IterationSnapshot;
+use foundation::json;
+use foundation::json_codec_struct;
+use std::io;
+use std::path::Path;
+use store::checkpoint::{read_if_exists, tmp_path, write_atomic};
+use store::{
+    compact, CompactionReport, Disposition, Record, RecoveryReport, StoreError, WalOptions,
+    Writer, WriterStats,
+};
+use telemetry::TelemetrySnapshot;
+
+/// WAL record kind: a marketplace offer ([`OfferRecord`]).
+pub const KIND_OFFER: u8 = 1;
+/// WAL record kind: a resolved profile ([`ProfileRecord`]).
+pub const KIND_PROFILE: u8 = 2;
+/// WAL record kind: a collected post ([`PostRecord`]).
+pub const KIND_POST: u8 = 3;
+/// WAL record kind: an underground posting ([`UndergroundRecord`]).
+pub const KIND_UNDERGROUND: u8 = 4;
+/// WAL record kind: a §8 efficacy re-query outcome ([`ApiOutcomeRecord`]).
+pub const KIND_API_OUTCOME: u8 = 5;
+
+/// Checkpoint file name inside a store directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.json";
+
+/// Checkpoint schema identifier.
+pub const CHECKPOINT_SCHEMA: &str = "acctrade-campaign-checkpoint/v1";
+
+/// One §8 efficacy re-query outcome, persisted compactly (the full
+/// profile is not needed — the audit only consumes platform/handle/
+/// status).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiOutcomeRecord {
+    /// Platform name.
+    pub platform: String,
+    /// Account handle.
+    pub handle: String,
+    /// Lookup outcome.
+    pub status: FetchStatus,
+    /// Virtual time of the re-query (unix seconds).
+    pub at_unix: i64,
+}
+
+/// The per-iteration campaign checkpoint: everything a cold process
+/// needs to continue the run as if never interrupted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignCheckpoint {
+    /// Schema identifier ([`CHECKPOINT_SCHEMA`]).
+    pub schema: String,
+    /// Study seed.
+    pub seed: u64,
+    /// Digest of the study configuration (resume refuses a mismatch).
+    pub config_digest: String,
+    /// Total iterations the campaign will run.
+    pub iterations_total: usize,
+    /// Next iteration to execute on resume.
+    pub next_iteration: usize,
+    /// Virtual days between iterations.
+    pub days_between: u64,
+    /// Virtual unix time when the study started (campaign_days basis).
+    pub t0_unix: i64,
+    /// Virtual µs when the `crawl_campaign` span opened.
+    pub campaign_started_us: u64,
+    /// Virtual clock (µs) at checkpoint time.
+    pub clock_us: u64,
+    /// Fabric RNG stream position (words consumed) at checkpoint time.
+    pub net_rng_words: u64,
+    /// Requests issued on the fabric at checkpoint time.
+    pub requests_issued: usize,
+    /// Records durably synced into the WAL at checkpoint time; recovery
+    /// rolls back anything beyond this.
+    pub committed_records: u64,
+    /// Segment rotation threshold the writer was configured with.
+    pub segment_max_bytes: u64,
+    /// Virtual timestamps at which `world.step_iteration` already ran.
+    pub step_unixes: Vec<i64>,
+    /// Per-iteration snapshots so far.
+    pub snapshots: Vec<IterationSnapshot>,
+    /// Full telemetry snapshot at checkpoint time.
+    pub telemetry: TelemetrySnapshot,
+    /// True once the study finished; a complete checkpoint cannot be
+    /// resumed (there is nothing left to do).
+    pub complete: bool,
+}
+
+json_codec_struct! {
+    ApiOutcomeRecord { platform, handle, status, at_unix }
+    CampaignCheckpoint {
+        schema, seed, config_digest, iterations_total, next_iteration,
+        days_between, t0_unix, campaign_started_us, clock_us, net_rng_words,
+        requests_issued, committed_records, segment_max_bytes, step_unixes,
+        snapshots, telemetry, complete,
+    }
+}
+
+impl CampaignCheckpoint {
+    /// Pretty JSON (the on-disk format).
+    pub fn to_json_pretty(&self) -> String {
+        json::to_string_pretty(self)
+    }
+
+    /// Parse a checkpoint back from JSON text.
+    pub fn parse(text: &str) -> Result<CampaignCheckpoint, json::JsonError> {
+        json::from_str(text)
+    }
+
+    /// Structural sanity checks.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != CHECKPOINT_SCHEMA {
+            return Err(format!("unknown checkpoint schema {:?}", self.schema));
+        }
+        if self.next_iteration > self.iterations_total {
+            return Err(format!(
+                "next_iteration {} beyond iterations_total {}",
+                self.next_iteration, self.iterations_total
+            ));
+        }
+        if self.snapshots.len() != self.next_iteration {
+            return Err(format!(
+                "{} snapshots but next_iteration {}",
+                self.snapshots.len(),
+                self.next_iteration
+            ));
+        }
+        if self.config_digest.len() != 16 {
+            return Err("config_digest is not a 16-hex-char digest".into());
+        }
+        self.telemetry.validate()?;
+        Ok(())
+    }
+}
+
+/// A durable campaign dataset store: a [`store::Writer`] plus the
+/// record-kind vocabulary and checkpoint protocol of the crawl pipeline.
+pub struct CampaignStore {
+    writer: Writer,
+}
+
+impl CampaignStore {
+    /// Create a fresh store at `dir`, wiping any previous chain and any
+    /// stale checkpoint.
+    pub fn create(dir: &Path) -> io::Result<CampaignStore> {
+        let writer = Writer::create(dir, WalOptions::default())?;
+        let ckpt = dir.join(CHECKPOINT_FILE);
+        let _ = std::fs::remove_file(&ckpt);
+        let _ = std::fs::remove_file(tmp_path(&ckpt));
+        Ok(CampaignStore { writer })
+    }
+
+    /// Open an interrupted store for resumption.
+    ///
+    /// Reads and validates the checkpoint, replays the WAL (truncating
+    /// torn tails, rolling back records past the checkpoint's
+    /// `committed_records`), decodes the surviving records into a
+    /// [`Dataset`], and positions the writer to append. Recovery tallies
+    /// land on the current (ambient) telemetry recorder.
+    pub fn open_resume(
+        dir: &Path,
+    ) -> Result<(CampaignStore, CampaignCheckpoint, Dataset, RecoveryReport), StoreError> {
+        let cp = Self::read_checkpoint(dir)?.ok_or_else(|| {
+            StoreError::Invalid(format!(
+                "no {CHECKPOINT_FILE} in {}: nothing to resume",
+                dir.display()
+            ))
+        })?;
+        cp.validate().map_err(StoreError::Invalid)?;
+        let opts = WalOptions { segment_max_bytes: cp.segment_max_bytes };
+        let (writer, records, report) = Writer::open_resume(dir, opts, cp.committed_records)?;
+        telemetry::with_recorder(|r| {
+            r.incr("store.records_replayed", &[], report.records_replayed);
+            r.incr("store.torn_tails_truncated", &[], report.torn_tails_truncated);
+        });
+        let dataset = decode_dataset(&records)?;
+        Ok((CampaignStore { writer }, cp, dataset, report))
+    }
+
+    /// Read the checkpoint at `dir`, if any.
+    pub fn read_checkpoint(dir: &Path) -> Result<Option<CampaignCheckpoint>, StoreError> {
+        match read_if_exists(&dir.join(CHECKPOINT_FILE))? {
+            None => Ok(None),
+            Some(text) => CampaignCheckpoint::parse(&text)
+                .map(Some)
+                .map_err(|e| StoreError::Invalid(format!("bad checkpoint: {e}"))),
+        }
+    }
+
+    /// Atomically replace the checkpoint. Deliberately uninstrumented:
+    /// checkpoint cadence must not perturb the study's telemetry.
+    pub fn write_checkpoint(&self, cp: &CampaignCheckpoint) -> io::Result<()> {
+        write_atomic(
+            &self.writer.dir().join(CHECKPOINT_FILE),
+            cp.to_json_pretty().as_bytes(),
+        )
+    }
+
+    /// Append one offer record.
+    pub fn append_offer(&mut self, record: &OfferRecord) -> io::Result<()> {
+        self.append_json(KIND_OFFER, &json::to_string(record))
+    }
+
+    /// Append one resolved profile.
+    pub fn append_profile(&mut self, record: &ProfileRecord) -> io::Result<()> {
+        self.append_json(KIND_PROFILE, &json::to_string(record))
+    }
+
+    /// Append one collected post.
+    pub fn append_post(&mut self, record: &PostRecord) -> io::Result<()> {
+        self.append_json(KIND_POST, &json::to_string(record))
+    }
+
+    /// Append one underground posting.
+    pub fn append_underground(&mut self, record: &UndergroundRecord) -> io::Result<()> {
+        self.append_json(KIND_UNDERGROUND, &json::to_string(record))
+    }
+
+    /// Append one efficacy re-query outcome.
+    pub fn append_api_outcome(&mut self, record: &ApiOutcomeRecord) -> io::Result<()> {
+        self.append_json(KIND_API_OUTCOME, &json::to_string(record))
+    }
+
+    fn append_json(&mut self, kind: u8, text: &str) -> io::Result<()> {
+        let receipt = self.writer.append(kind, text.as_bytes())?;
+        telemetry::with_recorder(|r| {
+            r.incr("store.records_appended", &[], 1);
+            r.incr("store.bytes_appended", &[], receipt.bytes);
+            if receipt.rotated {
+                r.incr("store.segments_rotated", &[], 1);
+            }
+        });
+        Ok(())
+    }
+
+    /// Fsync the chain and atomically rewrite the store manifest.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.writer.sync()
+    }
+
+    /// Records appended across the writer's lifetime (committed or not).
+    pub fn total_records(&self) -> u64 {
+        self.writer.total_records()
+    }
+
+    /// Writer statistics.
+    pub fn stats(&self) -> WriterStats {
+        self.writer.stats()
+    }
+
+    /// Segment rotation threshold in effect.
+    pub fn segment_max_bytes(&self) -> u64 {
+        self.writer.options().segment_max_bytes
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        self.writer.dir()
+    }
+
+    /// Read-only load of a store directory into a [`Dataset`] (no writer,
+    /// no checkpoint required; used to inspect finished campaigns).
+    pub fn load(dir: &Path) -> Result<(Dataset, RecoveryReport), StoreError> {
+        let (records, report) = store::replay(dir)?;
+        Ok((decode_dataset(&records)?, report))
+    }
+}
+
+/// Decode replayed WAL records into a [`Dataset`].
+///
+/// [`KIND_API_OUTCOME`] records are part of the §8 audit, not the
+/// dataset, and are skipped here; unknown kinds are an error (the store
+/// never contains records this module did not write).
+pub fn decode_dataset(records: &[Record]) -> Result<Dataset, StoreError> {
+    let mut dataset = Dataset::default();
+    for r in records {
+        let text = std::str::from_utf8(&r.payload).map_err(|e| {
+            StoreError::Invalid(format!("record seq {} is not UTF-8: {e}", r.seq))
+        })?;
+        let bad = |e: json::JsonError| {
+            StoreError::Invalid(format!("record seq {} undecodable: {e}", r.seq))
+        };
+        match r.kind {
+            KIND_OFFER => dataset.offers.push(json::from_str(text).map_err(bad)?),
+            KIND_PROFILE => dataset.profiles.push(json::from_str(text).map_err(bad)?),
+            KIND_POST => dataset.posts.push(json::from_str(text).map_err(bad)?),
+            KIND_UNDERGROUND => dataset.underground.push(json::from_str(text).map_err(bad)?),
+            KIND_API_OUTCOME => {
+                let _: ApiOutcomeRecord = json::from_str(text).map_err(bad)?;
+            }
+            other => {
+                return Err(StoreError::Invalid(format!(
+                    "record seq {} has unknown kind {other}",
+                    r.seq
+                )))
+            }
+        }
+    }
+    Ok(dataset)
+}
+
+/// Offline compaction of a campaign store: keep, per
+/// `(marketplace, offer_url)`, only the offer version from the highest
+/// crawl iteration; pass every other record kind through untouched.
+pub fn compact_campaign_store(dir: &Path) -> Result<CompactionReport, StoreError> {
+    let opts = match CampaignStore::read_checkpoint(dir)? {
+        Some(cp) => WalOptions { segment_max_bytes: cp.segment_max_bytes },
+        None => WalOptions::default(),
+    };
+    compact(dir, opts, |kind, payload| {
+        if kind != KIND_OFFER {
+            return Disposition::Keep;
+        }
+        let parsed = std::str::from_utf8(payload)
+            .ok()
+            .and_then(|t| json::from_str::<OfferRecord>(t).ok());
+        match parsed {
+            Some(o) => Disposition::Dedup {
+                key: format!("{}|{}", o.marketplace, o.offer_url),
+                version: o.iteration as u64,
+            },
+            None => Disposition::Keep,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("acctrade-crawler-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn offer(url: &str, iteration: usize) -> OfferRecord {
+        OfferRecord {
+            marketplace: "FameSwap".into(),
+            offer_url: url.into(),
+            title: "IG page".into(),
+            seller: None,
+            seller_country: None,
+            price_usd: Some(120.0),
+            platform: Some("Instagram".into()),
+            category: None,
+            claimed_followers: Some(10_000),
+            claims_verified: false,
+            monthly_revenue_usd: None,
+            income_source: None,
+            description: None,
+            profile_link: None,
+            handle: None,
+            collected_unix: 0,
+            iteration,
+        }
+    }
+
+    fn checkpoint(store: &CampaignStore) -> CampaignCheckpoint {
+        CampaignCheckpoint {
+            schema: CHECKPOINT_SCHEMA.into(),
+            seed: 7,
+            config_digest: "00000000deadbeef".into(),
+            iterations_total: 4,
+            next_iteration: 0,
+            days_between: 15,
+            t0_unix: 0,
+            campaign_started_us: 0,
+            clock_us: 0,
+            net_rng_words: 0,
+            requests_issued: 0,
+            committed_records: store.total_records(),
+            segment_max_bytes: store.segment_max_bytes(),
+            step_unixes: Vec::new(),
+            snapshots: Vec::new(),
+            telemetry: telemetry::Recorder::new().snapshot(),
+            complete: false,
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_store_and_checkpoint() {
+        let dir = scratch("roundtrip");
+        let mut s = CampaignStore::create(&dir).unwrap();
+        s.append_offer(&offer("http://fameswap.com/o/1", 0)).unwrap();
+        s.append_offer(&offer("http://fameswap.com/o/2", 0)).unwrap();
+        s.append_api_outcome(&ApiOutcomeRecord {
+            platform: "Instagram".into(),
+            handle: "x".into(),
+            status: FetchStatus::NotFound,
+            at_unix: 99,
+        })
+        .unwrap();
+        s.sync().unwrap();
+        s.write_checkpoint(&checkpoint(&s)).unwrap();
+        drop(s);
+
+        let (s2, cp, dataset, report) = CampaignStore::open_resume(&dir).unwrap();
+        assert_eq!(cp.committed_records, 3);
+        assert_eq!(report.records_replayed, 3);
+        assert_eq!(report.torn_tails_truncated, 0);
+        assert_eq!(dataset.offers.len(), 2, "api outcomes are not dataset rows");
+        assert_eq!(dataset.offers[1].offer_url, "http://fameswap.com/o/2");
+        assert_eq!(s2.total_records(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uncommitted_tail_is_rolled_back_on_resume() {
+        let dir = scratch("rollback");
+        let mut s = CampaignStore::create(&dir).unwrap();
+        s.append_offer(&offer("http://fameswap.com/o/1", 0)).unwrap();
+        s.sync().unwrap();
+        s.write_checkpoint(&checkpoint(&s)).unwrap();
+        // Appended and even synced — but never checkpointed.
+        s.append_offer(&offer("http://fameswap.com/o/2", 1)).unwrap();
+        s.sync().unwrap();
+        drop(s);
+
+        let (_s2, cp, dataset, report) = CampaignStore::open_resume(&dir).unwrap();
+        assert_eq!(cp.committed_records, 1);
+        assert_eq!(dataset.offers.len(), 1);
+        assert_eq!(report.uncommitted_records_dropped, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_checkpoint_refuses_resume() {
+        let dir = scratch("nockpt");
+        let mut s = CampaignStore::create(&dir).unwrap();
+        s.append_offer(&offer("http://fameswap.com/o/1", 0)).unwrap();
+        s.sync().unwrap();
+        drop(s);
+        match CampaignStore::open_resume(&dir) {
+            Err(StoreError::Invalid(msg)) => assert!(msg.contains("nothing to resume")),
+            Err(other) => panic!("expected Invalid, got {other:?}"),
+            Ok(_) => panic!("expected Invalid, got Ok"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_wipes_stale_checkpoint() {
+        let dir = scratch("wipe");
+        let mut s = CampaignStore::create(&dir).unwrap();
+        s.append_offer(&offer("http://fameswap.com/o/1", 0)).unwrap();
+        s.sync().unwrap();
+        s.write_checkpoint(&checkpoint(&s)).unwrap();
+        drop(s);
+        let s2 = CampaignStore::create(&dir).unwrap();
+        assert_eq!(s2.total_records(), 0);
+        assert!(CampaignStore::read_checkpoint(&dir).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_keeps_latest_offer_version() {
+        let dir = scratch("compact");
+        let mut s = CampaignStore::create(&dir).unwrap();
+        // Same logical offer re-observed across three iterations, plus an
+        // unrelated post record.
+        for it in 0..3usize {
+            s.append_offer(&offer("http://fameswap.com/o/1", it)).unwrap();
+        }
+        s.append_post(&PostRecord {
+            platform: "X".into(),
+            handle: "h".into(),
+            author_id: 1,
+            post_id: 2,
+            text: "hello".into(),
+            created_unix: 0,
+            likes: 0,
+            views: 0,
+        })
+        .unwrap();
+        s.sync().unwrap();
+        drop(s);
+
+        let report = compact_campaign_store(&dir).unwrap();
+        assert_eq!(report.records_in, 4);
+        assert_eq!(report.records_out, 2);
+        assert_eq!(report.records_deduped, 2);
+
+        let (dataset, _) = CampaignStore::load(&dir).unwrap();
+        assert_eq!(dataset.offers.len(), 1);
+        assert_eq!(dataset.offers[0].iteration, 2);
+        assert_eq!(dataset.posts.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_json_roundtrip_and_validation() {
+        let dir = scratch("cpjson");
+        let s = CampaignStore::create(&dir).unwrap();
+        let cp = checkpoint(&s);
+        assert!(cp.validate().is_ok());
+        let back = CampaignCheckpoint::parse(&cp.to_json_pretty()).unwrap();
+        assert_eq!(back, cp);
+
+        let mut bad = cp.clone();
+        bad.schema = "nope/v9".into();
+        assert!(bad.validate().is_err());
+        let mut bad = cp.clone();
+        bad.next_iteration = 99;
+        assert!(bad.validate().is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -57,7 +57,7 @@ impl OfferRecord {
 }
 
 /// Outcome of querying a platform API for one account.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FetchStatus {
     /// 200 with profile JSON.
     Ok,

@@ -6,6 +6,7 @@
 //! platform's exact response vocabulary for failed lookups — that
 //! vocabulary *is* the §8 signal.
 
+use crate::persist::CampaignStore;
 use crate::record::{FetchStatus, OfferRecord, PostRecord, ProfileRecord};
 use acctrade_net::client::Client;
 use acctrade_net::http::Status;
@@ -143,6 +144,16 @@ impl<'a> ProfileResolver<'a> {
         &self,
         offers: &[OfferRecord],
     ) -> (Vec<ProfileRecord>, Vec<PostRecord>) {
+        self.resolve_offers_into(offers, None).expect("in-memory resolution cannot fail")
+    }
+
+    /// [`ProfileResolver::resolve_offers`], streaming every record into a
+    /// durable [`CampaignStore`] as it is produced (when one is given).
+    pub fn resolve_offers_into(
+        &self,
+        offers: &[OfferRecord],
+        mut store: Option<&mut CampaignStore>,
+    ) -> std::io::Result<(Vec<ProfileRecord>, Vec<PostRecord>)> {
         let mut profiles = Vec::new();
         let mut posts = Vec::new();
         for offer in offers.iter().filter(|o| o.is_visible()) {
@@ -152,11 +163,19 @@ impl<'a> ProfileResolver<'a> {
             };
             let record = self.resolve(platform, handle);
             if record.status == FetchStatus::Ok {
-                posts.extend(self.timeline(platform, handle));
+                for post in self.timeline(platform, handle) {
+                    if let Some(s) = store.as_deref_mut() {
+                        s.append_post(&post)?;
+                    }
+                    posts.push(post);
+                }
+            }
+            if let Some(s) = store.as_deref_mut() {
+                s.append_profile(&record)?;
             }
             profiles.push(record);
         }
-        (profiles, posts)
+        Ok((profiles, posts))
     }
 }
 

@@ -7,12 +7,15 @@
 //! world churn/replenish, and records one [`IterationSnapshot`] per pass.
 
 use crate::crawl::MarketplaceCrawler;
+use crate::persist::CampaignStore;
 use crate::record::{Dataset, OfferRecord};
 use acctrade_market::config::ALL_MARKETPLACES;
 use acctrade_net::client::Client;
 use acctrade_net::clock::DAY;
 use acctrade_workload::world::World;
+use foundation::json_codec_struct;
 use std::collections::HashSet;
+use std::io;
 
 /// One iteration's view of the market (Figure 2's two curves).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,6 +32,35 @@ pub struct IterationSnapshot {
     pub new_offers: usize,
 }
 
+json_codec_struct! {
+    IterationSnapshot { iteration, at_unix, cumulative_offers, active_offers, new_offers }
+}
+
+/// Accumulated campaign state, carried across an interruption.
+///
+/// A fresh campaign starts from [`CampaignProgress::default`]; a resumed
+/// campaign rebuilds it from the checkpoint plus the records replayed out
+/// of the store, then [`CrawlCampaign::run_resumable`] continues at
+/// `next_iteration` as if the interruption never happened.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignProgress {
+    /// Deduplicated offers in first-seen order.
+    pub offers: Vec<OfferRecord>,
+    /// Offer URLs already seen (the dedup set).
+    pub seen: HashSet<String>,
+    /// Per-iteration snapshots so far.
+    pub snapshots: Vec<IterationSnapshot>,
+    /// The next iteration to execute.
+    pub next_iteration: usize,
+    /// Virtual timestamps at which `world.step_iteration` already ran
+    /// (replayed verbatim on resume so the world evolves identically).
+    pub step_unixes: Vec<i64>,
+}
+
+/// Default virtual days between iterations (the paper's ~150-day
+/// Feb–Jun window spread over ~10 passes).
+pub const DEFAULT_DAYS_BETWEEN: u64 = 15;
+
 /// The full collection campaign.
 pub struct CrawlCampaign<'a> {
     client: &'a Client,
@@ -41,7 +73,7 @@ impl<'a> CrawlCampaign<'a> {
     /// A campaign with the paper's spacing: 10 iterations across ~150
     /// days.
     pub fn new(client: &'a Client) -> CrawlCampaign<'a> {
-        CrawlCampaign { client, days_between: 15 }
+        CrawlCampaign { client, days_between: DEFAULT_DAYS_BETWEEN }
     }
 
     /// Run `iterations` passes over all marketplaces, evolving `world`
@@ -52,11 +84,35 @@ impl<'a> CrawlCampaign<'a> {
         world: &mut World,
         iterations: usize,
     ) -> (Dataset, Vec<IterationSnapshot>) {
-        let mut dataset = Dataset::default();
-        let mut seen: HashSet<String> = HashSet::new();
-        let mut snapshots = Vec::with_capacity(iterations);
+        let mut progress = CampaignProgress::default();
+        self.run_resumable(world, iterations, &mut progress, None, |_, _| Ok(true))
+            .expect("in-memory campaign cannot fail");
+        let dataset = Dataset { offers: progress.offers, ..Dataset::default() };
+        (dataset, progress.snapshots)
+    }
 
-        for iteration in 0..iterations {
+    /// Run (or continue) the campaign, optionally streaming every newly
+    /// seen offer into a durable [`CampaignStore`].
+    ///
+    /// The loop starts at `progress.next_iteration` and executes exactly
+    /// the same work — in exactly the same telemetry order — as
+    /// [`CrawlCampaign::run`]. After each iteration the store (when
+    /// present) is synced and `after_iteration` runs; the caller uses it
+    /// to write a checkpoint. Returning `Ok(false)` from the closure
+    /// stops the campaign early (the crash-injection hook); the progress
+    /// accumulated so far stays in `progress`.
+    pub fn run_resumable<F>(
+        &self,
+        world: &mut World,
+        iterations: usize,
+        progress: &mut CampaignProgress,
+        mut store: Option<&mut CampaignStore>,
+        mut after_iteration: F,
+    ) -> io::Result<()>
+    where
+        F: FnMut(&CampaignProgress, &mut Option<&mut CampaignStore>) -> io::Result<bool>,
+    {
+        for iteration in progress.next_iteration..iterations {
             let at_unix = self.client.net().clock().now_unix();
             let mut active = 0usize;
             let mut fresh = 0usize;
@@ -65,9 +121,12 @@ impl<'a> CrawlCampaign<'a> {
                 let (records, _stats) = crawler.crawl(iteration);
                 active += records.len();
                 for record in records {
-                    if seen.insert(record.offer_url.clone()) {
+                    if progress.seen.insert(record.offer_url.clone()) {
                         fresh += 1;
-                        dataset.offers.push(record);
+                        if let Some(s) = store.as_deref_mut() {
+                            s.append_offer(&record)?;
+                        }
+                        progress.offers.push(record);
                     }
                 }
             }
@@ -76,27 +135,37 @@ impl<'a> CrawlCampaign<'a> {
                     "campaign.iteration",
                     format!(
                         "iteration={iteration} active={active} new={fresh} cumulative={}",
-                        seen.len()
+                        progress.seen.len()
                     ),
                 );
-                r.gauge_set("campaign.cumulative_offers", &[], seen.len() as f64);
+                r.gauge_set("campaign.cumulative_offers", &[], progress.seen.len() as f64);
                 r.gauge_set("campaign.active_offers", &[], active as f64);
             });
-            snapshots.push(IterationSnapshot {
+            progress.snapshots.push(IterationSnapshot {
                 iteration,
                 at_unix,
-                cumulative_offers: seen.len(),
+                cumulative_offers: progress.seen.len(),
                 active_offers: active,
                 new_offers: fresh,
             });
+            progress.next_iteration = iteration + 1;
 
             if iteration + 1 < iterations {
                 // Advance the window and let the market evolve.
                 self.client.net().clock().advance(self.days_between * DAY);
-                world.step_iteration(self.client.net().clock().now_unix());
+                let stepped_at = self.client.net().clock().now_unix();
+                world.step_iteration(stepped_at);
+                progress.step_unixes.push(stepped_at);
+            }
+
+            if let Some(s) = store.as_deref_mut() {
+                s.sync()?;
+            }
+            if !after_iteration(progress, &mut store)? {
+                return Ok(());
             }
         }
-        (dataset, snapshots)
+        Ok(())
     }
 }
 

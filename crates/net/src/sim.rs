@@ -100,6 +100,22 @@ impl SimNet {
         &self.clock
     }
 
+    /// The absolute word position of the fabric's latency/fault RNG stream.
+    ///
+    /// Together with [`SimNet::set_rng_word_position`] this makes the fabric
+    /// checkpointable: a resumed fabric seeded identically and seeked to the
+    /// recorded position produces the exact same latency samples and fault
+    /// draws as the uninterrupted original.
+    pub fn rng_word_position(&self) -> u64 {
+        self.rng.lock().word_position()
+    }
+
+    /// Seek the fabric's RNG to an absolute word position previously read
+    /// via [`SimNet::rng_word_position`] (checkpoint restore).
+    pub fn set_rng_word_position(&self, words: u64) {
+        self.rng.lock().set_word_position(words);
+    }
+
     /// Replace the fault plan.
     pub fn set_faults(&self, plan: FaultPlan) {
         *self.faults.lock() = plan;

@@ -1,0 +1,103 @@
+//! Atomic small-file persistence (checkpoints, manifests).
+//!
+//! The WAL gives durability to the *stream*; checkpoints give the layer
+//! above a durable *cursor* into it. A checkpoint must never be observed
+//! half-written, so every write goes through the classic
+//! write-temp → fsync-temp → rename → fsync-dir dance: on any crash the
+//! path holds either the old complete file or the new complete file,
+//! never a torn hybrid. A stale `*.tmp` left by a crash mid-sequence is
+//! ignored by readers and silently replaced by the next write.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Suffix of the scratch file used during an atomic replace.
+pub const TMP_SUFFIX: &str = ".tmp";
+
+/// Best-effort fsync of the directory containing `path`, so the rename
+/// itself is durable. Errors are swallowed: not every platform lets you
+/// open a directory for syncing, and the rename is still atomic without
+/// it.
+fn sync_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+}
+
+/// Atomically replace the file at `path` with `bytes`.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    {
+        let mut f = OpenOptions::new().create(true).write(true).truncate(true).open(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path);
+    Ok(())
+}
+
+/// The scratch path [`write_atomic`] uses for `path`.
+pub fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(TMP_SUFFIX);
+    path.with_file_name(name)
+}
+
+/// Read a UTF-8 file, mapping "missing" to `Ok(None)` so callers can
+/// distinguish "no checkpoint yet" from real I/O failure.
+pub fn read_if_exists(path: &Path) -> io::Result<Option<String>> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Ok(Some(text)),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("acctrade-store-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn replace_is_complete_or_old() {
+        let dir = scratch_dir("replace");
+        let path = dir.join("checkpoint.json");
+        write_atomic(&path, b"v1").unwrap();
+        assert_eq!(read_if_exists(&path).unwrap().as_deref(), Some("v1"));
+        write_atomic(&path, b"v2 with more bytes").unwrap();
+        assert_eq!(read_if_exists(&path).unwrap().as_deref(), Some("v2 with more bytes"));
+        assert!(!tmp_path(&path).exists(), "scratch file cleaned up by rename");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_reads_as_none() {
+        let dir = scratch_dir("missing");
+        assert_eq!(read_if_exists(&dir.join("nope.json")).unwrap(), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_tmp_is_ignored_and_overwritten() {
+        let dir = scratch_dir("stale");
+        let path = dir.join("checkpoint.json");
+        // A crash mid-write leaves garbage at the tmp path; the real path
+        // is untouched and the next atomic write replaces the garbage.
+        std::fs::write(tmp_path(&path), b"torn garbage").unwrap();
+        assert_eq!(read_if_exists(&path).unwrap(), None);
+        write_atomic(&path, b"good").unwrap();
+        assert_eq!(read_if_exists(&path).unwrap().as_deref(), Some("good"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,72 @@
+//! CRC-32 (ISO-HDLC / "zlib" polynomial, reflected) — the checksum that
+//! guards every WAL frame.
+//!
+//! The implementation is the classic byte-at-a-time table walk: a 256-entry
+//! table generated at first use from the reflected polynomial `0xEDB88320`,
+//! initial value `0xFFFF_FFFF`, final XOR `0xFFFF_FFFF`. This is the same
+//! CRC-32 variant used by zlib, PNG, and gzip, with the well-known check
+//! value `crc32(b"123456789") == 0xCBF4_3926` (asserted in the tests so a
+//! typo in the polynomial can never ship).
+//!
+//! Why a CRC and not a cryptographic hash: the WAL's threat model is
+//! *accidental* corruption — torn writes on crash, bit rot, truncated
+//! copies — not an adversary. CRC-32 detects all single-bit and
+//! single-byte errors and all burst errors up to 32 bits, which is exactly
+//! the failure vocabulary of an append-only log, at a fraction of the
+//! cost.
+
+use std::sync::OnceLock;
+
+/// Reflected CRC-32 polynomial (ISO-HDLC).
+const POLY: u32 = 0xEDB8_8320;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { (c >> 1) ^ POLY } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `bytes` (ISO-HDLC variant; see module docs).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = table();
+    let mut c: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        c = t[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_check_value() {
+        // The canonical CRC-32/ISO-HDLC check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn single_byte_sensitivity() {
+        let base = crc32(b"hello, wal");
+        for i in 0..10 {
+            let mut corrupted = b"hello, wal".to_vec();
+            corrupted[i] ^= 0x01;
+            assert_ne!(crc32(&corrupted), base, "flip at byte {i} must change the CRC");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! The store manifest (`store_manifest.json`).
+//!
+//! An advisory, atomically-replaced summary of the segment chain: which
+//! segments exist, how many records and bytes each holds, and the total
+//! record count the writer had durably synced. Recovery **does not trust
+//! it** — the segment files are re-scanned frame by frame — but it gives
+//! operators a cheap `cat`-able view of the store and lets recovery
+//! report when the scan disagrees with the last synced state (a signal
+//! that the process died between appends and the final sync).
+
+use foundation::json::JsonError;
+use foundation::json_codec_struct;
+
+/// Manifest schema identifier.
+pub const SCHEMA: &str = "acctrade-store/v1";
+
+/// Manifest file name inside a store directory.
+pub const MANIFEST_FILE: &str = "store_manifest.json";
+
+/// One segment's summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentEntry {
+    /// File name (`wal-00000.seg`).
+    pub file: String,
+    /// Whole records in the segment.
+    pub records: u64,
+    /// Bytes of framed data in the segment.
+    pub bytes: u64,
+}
+
+/// The store manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreManifest {
+    /// Schema identifier ([`SCHEMA`]).
+    pub schema: String,
+    /// Segment rotation threshold the writer was configured with.
+    pub segment_max_bytes: u64,
+    /// Total records across all segments at last sync.
+    pub total_records: u64,
+    /// Per-segment summaries, ascending by index.
+    pub segments: Vec<SegmentEntry>,
+}
+
+json_codec_struct! {
+    SegmentEntry { file, records, bytes }
+    StoreManifest { schema, segment_max_bytes, total_records, segments }
+}
+
+impl StoreManifest {
+    /// Pretty JSON (the on-disk format).
+    pub fn to_json_pretty(&self) -> String {
+        foundation::json::to_string_pretty(self)
+    }
+
+    /// Parse a manifest back from JSON text.
+    pub fn parse(text: &str) -> Result<StoreManifest, JsonError> {
+        foundation::json::from_str(text)
+    }
+
+    /// Structural sanity checks.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != SCHEMA {
+            return Err(format!("unknown store manifest schema {:?}", self.schema));
+        }
+        let sum: u64 = self.segments.iter().map(|s| s.records).sum();
+        if sum != self.total_records {
+            return Err(format!(
+                "segment record sum {} != total_records {}",
+                sum, self.total_records
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_validate() {
+        let m = StoreManifest {
+            schema: SCHEMA.to_string(),
+            segment_max_bytes: 1024,
+            total_records: 5,
+            segments: vec![
+                SegmentEntry { file: "wal-00000.seg".into(), records: 3, bytes: 900 },
+                SegmentEntry { file: "wal-00001.seg".into(), records: 2, bytes: 400 },
+            ],
+        };
+        assert!(m.validate().is_ok());
+        let back = StoreManifest::parse(&m.to_json_pretty()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn mismatched_totals_rejected() {
+        let m = StoreManifest {
+            schema: SCHEMA.to_string(),
+            segment_max_bytes: 1024,
+            total_records: 9,
+            segments: vec![SegmentEntry { file: "wal-00000.seg".into(), records: 3, bytes: 1 }],
+        };
+        assert!(m.validate().is_err());
+    }
+}

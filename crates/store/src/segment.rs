@@ -1,0 +1,67 @@
+//! Segment file naming and directory scanning.
+//!
+//! A store directory holds a numbered chain of segment files
+//! (`wal-00000.seg`, `wal-00001.seg`, …) plus a JSON manifest
+//! (`store_manifest.json`) and, for resumable pipelines, a checkpoint
+//! written by the layer above. Only the segment chain is authoritative:
+//! recovery always re-scans the files and treats the manifest as an
+//! advisory cross-check.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Segment file prefix.
+pub const SEGMENT_PREFIX: &str = "wal-";
+
+/// Segment file extension.
+pub const SEGMENT_SUFFIX: &str = ".seg";
+
+/// File name of segment `index` (`wal-00042.seg`).
+pub fn segment_file_name(index: u64) -> String {
+    format!("{SEGMENT_PREFIX}{index:05}{SEGMENT_SUFFIX}")
+}
+
+/// Parse a segment index back out of a file name produced by
+/// [`segment_file_name`]. Returns `None` for anything else.
+pub fn parse_segment_index(name: &str) -> Option<u64> {
+    let stem = name.strip_prefix(SEGMENT_PREFIX)?.strip_suffix(SEGMENT_SUFFIX)?;
+    if stem.is_empty() || !stem.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    stem.parse().ok()
+}
+
+/// All segment files in `dir`, sorted ascending by index. Non-segment
+/// files are ignored. Errors only on I/O failure listing the directory.
+pub fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(index) = parse_segment_index(name) {
+            out.push((index, entry.path()));
+        }
+    }
+    out.sort_by_key(|(i, _)| *i);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naming_roundtrips() {
+        for i in [0u64, 1, 99, 100_000] {
+            assert_eq!(parse_segment_index(&segment_file_name(i)), Some(i));
+        }
+    }
+
+    #[test]
+    fn foreign_names_rejected() {
+        for name in ["wal-.seg", "wal-12x.seg", "wal-5.log", "manifest.json", "seg-00001.wal"] {
+            assert_eq!(parse_segment_index(name), None, "{name}");
+        }
+    }
+}

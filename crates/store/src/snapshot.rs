@@ -1,0 +1,262 @@
+//! Snapshot/compaction: rewrite a store to its minimal equivalent.
+//!
+//! A five-month crawl campaign re-observes the same listings iteration
+//! after iteration, so the raw WAL holds many versions of each offer.
+//! Compaction rewrites the log keeping, per logical key, only the
+//! **latest version** (highest version number; ties broken by log
+//! position), while passing every non-versioned record through
+//! untouched.
+//!
+//! The store stays generic: the caller classifies each record via a
+//! closure ([`Disposition`]) — the crawler's persist layer maps offer
+//! records to `Dedup { key: "marketplace|offer_url", version: iteration }`
+//! and everything else to `Keep`.
+//!
+//! Compaction is an **offline maintenance operation** on a complete,
+//! healthy store: it refuses to run when the scan finds a torn tail
+//! (recover first — see `Writer::open_resume`). The rewrite builds the
+//! new chain in a scratch subdirectory, fsyncs it, and only then swaps it
+//! into place and rewrites the manifest, so an interrupted compaction
+//! leaves either the old chain or a recoverable mixture, never silent
+//! partial data.
+
+use crate::checkpoint::write_atomic;
+use crate::manifest::MANIFEST_FILE;
+use crate::segment::list_segments;
+use crate::wal::{replay, StoreError, WalOptions, Writer};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// Scratch subdirectory used while building the compacted chain.
+pub const COMPACT_TMP_DIR: &str = "compact.tmp";
+
+/// How one record participates in compaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Disposition {
+    /// Copy the record through unchanged.
+    Keep,
+    /// The record is one *version* of a logical entity: keep only the
+    /// highest `version` per `key` (ties: the later log position wins).
+    Dedup {
+        /// Logical identity (e.g. `marketplace|offer_url`).
+        key: String,
+        /// Version ordinal (e.g. crawl iteration).
+        version: u64,
+    },
+    /// Drop the record entirely.
+    Drop,
+}
+
+/// What compaction did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Records in the input chain.
+    pub records_in: u64,
+    /// Records in the rewritten chain.
+    pub records_out: u64,
+    /// Versioned records superseded by a newer version.
+    pub records_deduped: u64,
+    /// Records dropped by the classifier.
+    pub records_dropped: u64,
+    /// Framed bytes in the input chain.
+    pub bytes_in: u64,
+    /// Framed bytes in the rewritten chain.
+    pub bytes_out: u64,
+    /// Segments in the rewritten chain.
+    pub segments_out: u64,
+}
+
+/// Compact the store at `dir` (see the module docs).
+pub fn compact(
+    dir: &Path,
+    opts: WalOptions,
+    mut classify: impl FnMut(u8, &[u8]) -> Disposition,
+) -> Result<CompactionReport, StoreError> {
+    let (records, scan) = replay(dir)?;
+    if scan.torn_tails_truncated > 0 {
+        return Err(StoreError::Invalid(
+            "store has a torn tail; run recovery before compacting".into(),
+        ));
+    }
+
+    // Pass 1: classify, electing a winner per dedup key.
+    let mut winners: HashMap<String, (u64, u64)> = HashMap::new(); // key -> (version, seq)
+    let dispositions: Vec<Disposition> = records
+        .iter()
+        .map(|r| {
+            let d = classify(r.kind, &r.payload);
+            if let Disposition::Dedup { key, version } = &d {
+                let cand = (*version, r.seq);
+                match winners.get(key) {
+                    Some(best) if *best >= cand => {}
+                    _ => {
+                        winners.insert(key.clone(), cand);
+                    }
+                }
+            }
+            d
+        })
+        .collect();
+
+    // Pass 2: rewrite the survivors, in original log order, into a
+    // scratch chain.
+    let tmp = dir.join(COMPACT_TMP_DIR);
+    let _ = std::fs::remove_dir_all(&tmp);
+    let mut out = Writer::create(&tmp, opts)?;
+    let mut report = CompactionReport {
+        records_in: records.len() as u64,
+        bytes_in: scan.bytes_replayed,
+        ..CompactionReport::default()
+    };
+    for (r, d) in records.iter().zip(dispositions.iter()) {
+        let keep = match d {
+            Disposition::Keep => true,
+            Disposition::Drop => {
+                report.records_dropped += 1;
+                false
+            }
+            Disposition::Dedup { key, version } => {
+                if winners.get(key) == Some(&(*version, r.seq)) {
+                    true
+                } else {
+                    report.records_deduped += 1;
+                    false
+                }
+            }
+        };
+        if keep {
+            let receipt = out.append(r.kind, &r.payload)?;
+            report.records_out += 1;
+            report.bytes_out += receipt.bytes;
+        }
+    }
+    out.sync()?;
+    let new_manifest = out.manifest();
+    report.segments_out = out.segment_count();
+    drop(out);
+
+    // Swap: remove the old chain, move the new one in, rewrite the
+    // manifest last.
+    for (_, path) in list_segments(dir)? {
+        std::fs::remove_file(path)?;
+    }
+    for (_, path) in list_segments(&tmp)? {
+        let name = path.file_name().expect("segment file has a name").to_os_string();
+        std::fs::rename(&path, dir.join(name))?;
+    }
+    write_atomic(&dir.join(MANIFEST_FILE), new_manifest.to_json_pretty().as_bytes())?;
+    let _ = std::fs::remove_dir_all(&tmp);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("acctrade-store-compact-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    const OFFER: u8 = 1;
+    const POST: u8 = 2;
+
+    /// Payload convention for the test: `key|version|body`.
+    fn offer(key: &str, version: u64) -> Vec<u8> {
+        format!("{key}|{version}|body-{key}-{version}").into_bytes()
+    }
+
+    fn classify(kind: u8, payload: &[u8]) -> Disposition {
+        if kind != OFFER {
+            return Disposition::Keep;
+        }
+        let text = String::from_utf8_lossy(payload);
+        let mut parts = text.splitn(3, '|');
+        let key = parts.next().unwrap_or_default().to_string();
+        let version: u64 = parts.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+        Disposition::Dedup { key, version }
+    }
+
+    #[test]
+    fn latest_version_wins_and_order_is_preserved() {
+        let dir = scratch("latest");
+        let opts = WalOptions { segment_max_bytes: 96 };
+        let mut w = Writer::create(&dir, opts).unwrap();
+        // Three iterations over two offers, interleaved with posts.
+        for iter in 0..3u64 {
+            w.append(OFFER, &offer("swapd:a", iter)).unwrap();
+            w.append(POST, format!("post-{iter}").as_bytes()).unwrap();
+            w.append(OFFER, &offer("fameswap:b", iter)).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+
+        let report = compact(&dir, opts, classify).unwrap();
+        assert_eq!(report.records_in, 9);
+        assert_eq!(report.records_out, 5); // 3 posts + 2 latest offers
+        assert_eq!(report.records_deduped, 4);
+        assert_eq!(report.records_dropped, 0);
+        assert!(report.bytes_out < report.bytes_in);
+
+        let (records, scan) = replay(&dir).unwrap();
+        assert_eq!(scan.torn_tails_truncated, 0);
+        assert!(scan.manifest_agrees);
+        let payloads: Vec<String> =
+            records.iter().map(|r| String::from_utf8_lossy(&r.payload).into_owned()).collect();
+        assert_eq!(
+            payloads,
+            vec![
+                "post-0",
+                "post-1",
+                "swapd:a|2|body-swapd:a-2",
+                "post-2",
+                "fameswap:b|2|body-fameswap:b-2",
+            ]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drop_disposition_drops() {
+        let dir = scratch("drop");
+        let opts = WalOptions::default();
+        let mut w = Writer::create(&dir, opts).unwrap();
+        w.append(POST, b"keep me").unwrap();
+        w.append(9, b"ephemeral").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let report = compact(&dir, opts, |kind, _| {
+            if kind == 9 { Disposition::Drop } else { Disposition::Keep }
+        })
+        .unwrap();
+        assert_eq!(report.records_out, 1);
+        assert_eq!(report.records_dropped, 1);
+        let (records, _) = replay(&dir).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].payload, b"keep me");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_store_refuses_compaction() {
+        let dir = scratch("torn");
+        let opts = WalOptions::default();
+        let mut w = Writer::create(&dir, opts).unwrap();
+        w.append(POST, b"fine").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        // Torn half-frame at the tail.
+        let last = list_segments(&dir).unwrap().pop().unwrap().1;
+        let mut bytes = std::fs::read(&last).unwrap();
+        bytes.extend_from_slice(&[1, 2, 3]);
+        std::fs::write(&last, bytes).unwrap();
+        match compact(&dir, opts, |_, _| Disposition::Keep) {
+            Err(StoreError::Invalid(msg)) => assert!(msg.contains("torn")),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -57,9 +57,11 @@ pub mod events;
 pub mod manifest;
 pub mod metrics;
 pub mod recorder;
+pub mod snapshot;
 pub mod span;
 
 pub use manifest::{digest64, RunManifest, REPORT_FILE};
+pub use snapshot::TelemetrySnapshot;
 pub use metrics::{Histogram, Key, Registry};
 pub use recorder::{
     clear_global, event, install_global, recorder, span, with_recorder, Recorder, RecorderScope,

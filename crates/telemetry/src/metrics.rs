@@ -151,6 +151,39 @@ impl Histogram {
         self.max
     }
 
+    /// Raw per-bucket counts (65 log₂ buckets; see the type docs for the
+    /// bucket layout). Exposed so checkpoints can serialize a histogram
+    /// exactly and rebuild it with [`Histogram::from_parts`].
+    pub fn bucket_counts(&self) -> &[u64; 65] {
+        &self.counts
+    }
+
+    /// Rebuild a histogram from exported parts — the inverse of the
+    /// accessors ([`Histogram::bucket_counts`], [`Histogram::count`],
+    /// [`Histogram::sum`], [`Histogram::min`], [`Histogram::max`]).
+    /// `buckets` holds `(bucket index, count)` pairs; out-of-range indices
+    /// are ignored. `min` is ignored when `count` is 0 (the empty-histogram
+    /// sentinel is restored instead).
+    pub fn from_parts(
+        buckets: &[(usize, u64)],
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+    ) -> Histogram {
+        let mut h = Histogram::default();
+        for &(i, n) in buckets {
+            if i < h.counts.len() {
+                h.counts[i] = n;
+            }
+        }
+        h.count = count;
+        h.sum = sum;
+        h.min = if count == 0 { u64::MAX } else { min };
+        h.max = max;
+        h
+    }
+
     /// Merge another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
@@ -213,6 +246,13 @@ impl Registry {
             .entry(key)
             .or_default()
             .observe(value);
+    }
+
+    /// Insert a fully-formed histogram under `key`, replacing any existing
+    /// entry (checkpoint restore; normal recording goes through
+    /// [`Registry::observe`]).
+    pub fn insert_histogram(&self, key: Key, histogram: Histogram) {
+        self.shard_for(&key).histograms.lock().insert(key, histogram);
     }
 
     /// Current value of one counter (0 when absent).

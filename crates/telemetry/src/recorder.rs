@@ -159,6 +159,26 @@ impl Recorder {
         }
     }
 
+    /// Open a span whose *virtual* start stamp is `virtual_start_us`
+    /// instead of "now". Used when resuming a checkpointed run: the stage
+    /// span that was live at snapshot time is reopened with its original
+    /// start, so the resumed manifest's stage table matches an
+    /// uninterrupted run exactly.
+    pub fn span_starting_at(&self, name: &str, virtual_start_us: u64) -> Span {
+        if !self.inner.enabled {
+            return Span { live: None };
+        }
+        let ticket = self.inner.spans.start(name);
+        Span {
+            live: Some(LiveSpan {
+                rec: self.clone(),
+                ticket,
+                virtual_start_us,
+                wall_start: Instant::now(),
+            }),
+        }
+    }
+
     // ---- reads --------------------------------------------------------
 
     /// Current value of one counter.
@@ -194,6 +214,20 @@ impl Recorder {
     /// Finished spans in start order.
     pub fn finished_spans(&self) -> Vec<FinishedSpan> {
         self.inner.spans.finished()
+    }
+
+    // ---- internal state hooks (snapshot/restore) ----------------------
+
+    pub(crate) fn registry_ref(&self) -> &Registry {
+        &self.inner.registry
+    }
+
+    pub(crate) fn events_ref(&self) -> &EventLog {
+        &self.inner.events
+    }
+
+    pub(crate) fn spans_ref(&self) -> &SpanTracker {
+        &self.inner.spans
     }
 
     // ---- scoping ------------------------------------------------------

@@ -123,6 +123,25 @@ impl SpanTracker {
     pub fn open_count(&self) -> usize {
         self.state.lock().stack.len()
     }
+
+    /// The next start ordinal **not counting currently open spans**. An
+    /// open span has already consumed its ordinal but will re-consume it
+    /// when reopened after a checkpoint restore, so snapshots record this
+    /// value rather than the raw counter.
+    pub fn next_seq_excluding_open(&self) -> u64 {
+        let st = self.state.lock();
+        st.next_seq - st.stack.len() as u64
+    }
+
+    /// Replace the tracker's state with previously finished spans and a
+    /// start ordinal (checkpoint restore). The open-span stack is cleared;
+    /// the caller reopens any span that was live at snapshot time.
+    pub fn restore(&self, finished: Vec<FinishedSpan>, next_seq: u64) {
+        let mut st = self.state.lock();
+        st.stack.clear();
+        st.finished = finished;
+        st.next_seq = next_seq;
+    }
 }
 
 #[cfg(test)]

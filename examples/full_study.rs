@@ -37,13 +37,17 @@ fn main() {
     // Stage-timing table (virtual vs wall time per pipeline stage).
     eprintln!("\n{}", report.telemetry.render_stage_table());
 
-    // Persist the artefacts under target/ (kept out of the repo).
-    std::fs::create_dir_all("target").expect("create target/");
-    let report_path = "target/full_scale_report.txt";
-    std::fs::write(report_path, &rendered).expect("write full report");
-    let manifest_path = format!("target/{}", acctrade::telemetry::REPORT_FILE);
+    // Persist the artefacts under target/ (kept out of the repo), via the
+    // shared output-dir helper every example uses.
+    let report_path = acctrade::output::artifact("full_scale_report.txt");
+    std::fs::write(&report_path, &rendered).expect("write full report");
+    let manifest_path = acctrade::output::artifact(acctrade::telemetry::REPORT_FILE);
     report.telemetry.validate().expect("study manifest must validate");
     std::fs::write(&manifest_path, report.telemetry.to_json_pretty())
         .expect("write telemetry manifest");
-    eprintln!("report written to {report_path}; telemetry manifest to {manifest_path}");
+    eprintln!(
+        "report written to {}; telemetry manifest to {}",
+        report_path.display(),
+        manifest_path.display()
+    );
 }

@@ -5,13 +5,108 @@
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! With `--campaign` the example instead runs a small *persisted* study
+//! against a durable `acctrade-store` campaign store — the CI
+//! crash-recovery gate drives it through a kill-and-resume cycle:
+//!
+//! ```sh
+//! # clean persisted run
+//! cargo run --release --example quickstart -- --campaign \
+//!     --store-dir target/store/clean --out target/gate-clean
+//! # crash after 2 iterations (exits with code 3) …
+//! cargo run --release --example quickstart -- --campaign \
+//!     --store-dir target/store/crash --kill-at 2
+//! # … resume, byte-identical to the clean run
+//! cargo run --release --example quickstart -- --campaign \
+//!     --store-dir target/store/crash --resume --out target/gate-crash
+//! ```
 
+use acctrade::core::{Study, StudyConfig};
 use acctrade::crawler::{MarketplaceCrawler, ProfileResolver};
 use acctrade::market::config::MarketplaceId;
 use acctrade::net::{Client, SimNet};
 use acctrade::workload::world::{World, WorldParams};
+use std::path::PathBuf;
+
+/// The `--flag value` lookup for the campaign mode's tiny CLI.
+fn arg_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(|s| s.as_str())
+}
+
+/// The fixed configuration the CI gate compares across clean and
+/// crashed-then-resumed runs.
+fn campaign_config() -> StudyConfig {
+    StudyConfig { seed: 2024, scale: 0.01, iterations: 4, scam: Default::default() }
+}
+
+/// `--campaign`: a persisted (and optionally crashed / resumed) study.
+fn campaign_mode(args: &[String]) {
+    let store_dir = arg_value(args, "--store-dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| acctrade::output::store_dir("quickstart"));
+    let out_dir = arg_value(args, "--out").map(PathBuf::from).unwrap_or_else(acctrade::output::dir);
+    let config = campaign_config();
+
+    let rec = acctrade::telemetry::Recorder::new();
+    let _scope = rec.enter();
+
+    if let Some(k) = arg_value(args, "--kill-at") {
+        let k: usize = k.parse().expect("--kill-at takes an iteration count");
+        eprintln!("campaign: running with an injected crash after {k} iterations ...");
+        let outcome = Study::new(config)
+            .run_persisted_with_kill(&store_dir, k)
+            .expect("persisted run with kill");
+        if outcome.is_none() {
+            eprintln!(
+                "campaign: killed after {k} iterations; interrupted store left at {}",
+                store_dir.display()
+            );
+            // A distinctive exit code the CI gate asserts on.
+            std::process::exit(3);
+        }
+        eprintln!("campaign: kill point {k} was never reached; study completed");
+        return;
+    }
+
+    let report = if args.iter().any(|a| a == "--resume") {
+        eprintln!("campaign: resuming interrupted store at {} ...", store_dir.display());
+        let report = Study::resume_from(config, &store_dir).expect("resume");
+        let recovery = report.recovery.as_ref().expect("resumed runs report recovery");
+        eprintln!("campaign: {}", recovery.describe());
+        report
+    } else {
+        eprintln!("campaign: clean persisted run into {} ...", store_dir.display());
+        Study::new(config).run_persisted(&store_dir).expect("persisted run")
+    };
+
+    report.telemetry.validate().expect("campaign manifest must validate");
+    std::fs::create_dir_all(&out_dir).expect("create --out directory");
+    let dataset_path = out_dir.join("dataset.json");
+    std::fs::write(&dataset_path, report.dataset.to_json()).expect("write dataset");
+    let manifest_path = out_dir.join("TELEMETRY_deterministic.txt");
+    std::fs::write(&manifest_path, report.telemetry.deterministic_string())
+        .expect("write deterministic manifest");
+    eprintln!(
+        "campaign: {} offers, {} profiles, {} posts over {:.0} virtual days",
+        report.dataset.offers.len(),
+        report.dataset.profiles.len(),
+        report.dataset.posts.len(),
+        report.campaign_days,
+    );
+    eprintln!(
+        "campaign: dataset written to {}; deterministic manifest to {}",
+        dataset_path.display(),
+        manifest_path.display()
+    );
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--campaign") {
+        campaign_mode(&args);
+        return;
+    }
     // Scope a telemetry recorder around the whole run: every instrumented
     // crate below records into it, and we export the manifest at the end.
     let rec = acctrade::telemetry::Recorder::new();
@@ -80,8 +175,7 @@ fn main() {
     drop(_stage);
     let manifest = rec.manifest("quickstart", 2024, &acctrade::telemetry::digest64("quickstart"));
     manifest.validate().expect("quickstart manifest must validate");
-    let path = format!("target/{}", acctrade::telemetry::REPORT_FILE);
-    std::fs::create_dir_all("target").expect("create target/");
+    let path = acctrade::output::artifact(acctrade::telemetry::REPORT_FILE);
     std::fs::write(&path, manifest.to_json_pretty()).expect("write manifest");
-    println!("telemetry manifest written to {path}");
+    println!("telemetry manifest written to {}", path.display());
 }

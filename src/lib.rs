@@ -29,8 +29,36 @@ pub use acctrade_html as html;
 pub use acctrade_market as market;
 pub use acctrade_net as net;
 pub use acctrade_social as social;
+pub use ::store;
 pub use ::telemetry;
 pub use acctrade_text as text;
 pub use acctrade_workload as workload;
 
 pub use acctrade_core::study;
+
+/// Shared output-directory helper: every example and CI gate writes its
+/// artifacts under `target/` (kept out of the repo by `.gitignore`), and
+/// durable campaign stores under `target/store/<tag>`.
+pub mod output {
+    use std::path::PathBuf;
+
+    /// The artifact root (`target/`), created on demand.
+    pub fn dir() -> PathBuf {
+        let dir = PathBuf::from("target");
+        std::fs::create_dir_all(&dir).expect("create target/");
+        dir
+    }
+
+    /// The path of a named artifact under [`dir`].
+    pub fn artifact(name: &str) -> PathBuf {
+        dir().join(name)
+    }
+
+    /// A durable campaign-store directory under `target/store/<tag>`.
+    /// The parent is created on demand; the store itself owns `<tag>`.
+    pub fn store_dir(tag: &str) -> PathBuf {
+        let parent = dir().join("store");
+        std::fs::create_dir_all(&parent).expect("create target/store/");
+        parent.join(tag)
+    }
+}

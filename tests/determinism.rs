@@ -74,6 +74,72 @@ fn telemetry_manifests_byte_identical_without_wall_fields() {
     assert_eq!(parsed.deterministic_string(), a.deterministic_string());
 }
 
+/// The persistence layer must not weaken the determinism contract: an
+/// interrupted-then-resumed persisted study produces the same bytes as
+/// an *uninterrupted, unpersisted* same-seed run — the WAL, checkpoints,
+/// and recovery machinery are invisible in the artifacts. (The deeper
+/// per-kill-point variants live in `tests/crash_recovery.rs`; this is
+/// the determinism-suite view: persisted == resumed == in-memory.)
+#[test]
+fn interrupted_and_resumed_run_matches_uninterrupted_run() {
+    let config =
+        StudyConfig { seed: 5150, scale: 0.01, iterations: 3, scam: Default::default() };
+
+    let scratch = |tag: &str| {
+        let dir = std::env::temp_dir()
+            .join(format!("acctrade-determinism-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    };
+
+    // Uninterrupted runs: one in-memory, one persisted (the persisted
+    // run's manifest additionally carries the `store.*` counters, so the
+    // manifest comparison is persisted-vs-persisted).
+    let clean_mem = Study::new(config).run();
+    let clean_dir = scratch("clean");
+    let clean = {
+        let rec = acctrade::telemetry::Recorder::new();
+        let _scope = rec.enter();
+        Study::new(config).run_persisted(&clean_dir).unwrap()
+    };
+
+    // Persisted run killed after one iteration, then resumed cold.
+    let crash_dir = scratch("crash");
+    {
+        let rec = acctrade::telemetry::Recorder::new();
+        let _scope = rec.enter();
+        let outcome = Study::new(config).run_persisted_with_kill(&crash_dir, 1).unwrap();
+        assert!(outcome.is_none(), "kill after iteration 1 must interrupt the run");
+    }
+    let resumed = {
+        let rec = acctrade::telemetry::Recorder::new();
+        let _scope = rec.enter();
+        Study::resume_from(config, &crash_dir).unwrap()
+    };
+    assert!(resumed.recovery.is_some(), "resumed runs report their recovery");
+
+    // Persistence itself is artifact-invisible: the persisted clean run
+    // matches the in-memory run's dataset and rendered report …
+    assert_eq!(clean.dataset.to_json().as_bytes(), clean_mem.dataset.to_json().as_bytes());
+    assert_eq!(clean.render_all(), clean_mem.render_all());
+
+    // … and the interruption is too: resumed == uninterrupted, to the byte.
+    assert_eq!(
+        resumed.dataset.to_json().as_bytes(),
+        clean.dataset.to_json().as_bytes(),
+        "resumed dataset JSON must be byte-identical to the uninterrupted run"
+    );
+    assert_eq!(
+        resumed.telemetry.deterministic_string().as_bytes(),
+        clean.telemetry.deterministic_string().as_bytes(),
+        "resumed telemetry manifest (wall fields stripped) must be byte-identical"
+    );
+    assert_eq!(resumed.render_all(), clean.render_all(), "every table and figure agrees");
+    assert_eq!(resumed.requests_issued, clean.requests_issued);
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let _ = std::fs::remove_dir_all(&crash_dir);
+}
+
 #[test]
 fn different_seeds_different_worlds() {
     let a = Study::new(StudyConfig { seed: 1, scale: 0.01, iterations: 2, scam: Default::default() })

@@ -4,6 +4,7 @@ use acctrade::html::{parse, Selector};
 use acctrade::market::site::format_price;
 use acctrade::net::ratelimit::TokenBucket;
 use acctrade::net::url::Url;
+use acctrade::store::{decode_frame, encode_frame, Decoded};
 use acctrade::text::similarity::{dice_similarity, jaccard_similarity, word_similarity};
 use acctrade::text::tokenize::tokenize;
 use acctrade::text::vectorize::{cosine, TfIdfModel};
@@ -132,6 +133,72 @@ prop_check! {
         let points = acctrade::core::stats::ecdf(&values);
         assert!(points.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
         assert!((points.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+}
+
+// WAL framing (`acctrade-store`): the checksummed binary format every
+// crawl record passes through. Round-trip fidelity and corruption
+// detection are what make the crash-recovery guarantees honest.
+prop_check! {
+    fn wal_frame_roundtrips_any_kind_and_payload(kind in 0u64..256,
+                                                 payload in check::vec(0u64..256, 0..120)) {
+        let kind = kind as u8;
+        let payload: Vec<u8> = payload.iter().map(|&b| b as u8).collect();
+        let frame = encode_frame(kind, &payload);
+        match decode_frame(&frame) {
+            Decoded::Frame { kind: k, payload: p, consumed } => {
+                assert_eq!(k, kind);
+                assert_eq!(p, &payload[..]);
+                assert_eq!(consumed, frame.len(), "frame is self-delimiting");
+            }
+            other => panic!("round-trip lost the frame: {other:?}"),
+        }
+        // With trailing garbage (the next frame, a torn tail, anything),
+        // decoding still yields exactly the first frame.
+        let mut noisy = frame.clone();
+        noisy.extend_from_slice(&payload);
+        noisy.push(0x5A);
+        match decode_frame(&noisy) {
+            Decoded::Frame { payload: p, consumed, .. } => {
+                assert_eq!(p, &payload[..]);
+                assert_eq!(consumed, frame.len());
+            }
+            other => panic!("trailing bytes broke the first frame: {other:?}"),
+        }
+    }
+
+    fn wal_frame_single_byte_corruption_is_always_detected(
+            kind in 0u64..256,
+            payload in check::vec(0u64..256, 0..120),
+            idx in 0u64..1_000_000,
+            mask in 1u64..256) {
+        let payload: Vec<u8> = payload.iter().map(|&b| b as u8).collect();
+        let mut frame = encode_frame(kind as u8, &payload);
+        let idx = (idx as usize) % frame.len();
+        frame[idx] ^= mask as u8;
+        // Any single-byte flip — header, CRC, kind, or payload — must be
+        // *rejected* (corrupt, or incomplete when the flipped length now
+        // claims more bytes than exist), never silently decoded and never
+        // a panic. CRC-32 detects all single-byte errors in the body; the
+        // length-field guards catch the rest.
+        match decode_frame(&frame) {
+            Decoded::Corrupt | Decoded::Incomplete => {}
+            Decoded::Frame { kind: k, payload: p, .. } => panic!(
+                "corrupted frame (byte {idx} ^ {mask:#04x}) decoded as kind {k}, {} payload bytes",
+                p.len()
+            ),
+        }
+    }
+
+    fn wal_frame_truncation_never_yields_a_frame(payload in check::vec(0u64..256, 0..80),
+                                                 cut in 0u64..1_000_000) {
+        let payload: Vec<u8> = payload.iter().map(|&b| b as u8).collect();
+        let frame = encode_frame(1, &payload);
+        let cut = (cut as usize) % frame.len(); // strictly shorter than the frame
+        match decode_frame(&frame[..cut]) {
+            Decoded::Incomplete | Decoded::Corrupt => {}
+            Decoded::Frame { .. } => panic!("truncated frame decoded at cut {cut}"),
+        }
     }
 }
 
