@@ -17,6 +17,10 @@
 #      mid-run (exit code 3), resumed, and its dataset + deterministic
 #      telemetry manifest must be byte-identical to a clean
 #      uninterrupted same-seed run
+#   6. conformance: the in-tree static analyzer
+#      (`acctrade-conformance`) must report zero findings over the
+#      workspace, and two back-to-back runs must emit byte-identical
+#      LINT_report.json files
 
 set -uo pipefail
 
@@ -109,6 +113,27 @@ if [ "$fail" -ne 0 ]; then
     exit 1
 fi
 echo "ci: crash-recovery artifacts byte-identical"
+
+# 6. Conformance gate: the tree must lint clean, and the report must be
+#    deterministic — two runs, byte-compared.
+rm -f target/LINT_report.json target/LINT_report.second.json
+
+run cargo run --release --offline -p acctrade-conformance -- \
+    --out target/LINT_report.json || fail=1
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "ci: FAILED (conformance findings — see lines above)"
+    exit 1
+fi
+run cargo run --release --offline -p acctrade-conformance -- --quiet \
+    --out target/LINT_report.second.json || fail=1
+run cmp target/LINT_report.json target/LINT_report.second.json || fail=1
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "ci: FAILED (conformance report not deterministic across runs)"
+    exit 1
+fi
+echo "ci: conformance clean, report deterministic"
 
 echo
 echo "ci: OK"

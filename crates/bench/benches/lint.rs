@@ -1,0 +1,52 @@
+//! The conformance analyzer itself — scanner throughput and the cost of
+//! a full workspace pass (what gate 6 of `ci.sh` pays, twice).
+
+use conformance::lexer::tokenize;
+use foundation::bench::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::path::Path;
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("repo root")
+}
+
+fn bench_lint(c: &mut Criterion) {
+    let root = workspace_root();
+
+    // A corpus that exercises every lexer mode: the analyzer's own rule
+    // engine (annotation comments, cfg-test regions) plus the property
+    // harness (raw strings, escapes, pattern literals).
+    let mut corpus = String::new();
+    for rel in ["crates/conformance/src/rules.rs", "crates/foundation/src/check.rs"] {
+        corpus.push_str(&std::fs::read_to_string(root.join(rel)).expect("corpus file"));
+    }
+    let tokens = tokenize(&corpus).len();
+    eprintln!("[lint] corpus={} bytes, {tokens} tokens", corpus.len());
+
+    c.bench_function("scanner_tokenize_corpus", |b| {
+        b.iter(|| tokenize(black_box(&corpus)))
+    });
+
+    let report = conformance::run(&root).expect("full pass");
+    eprintln!(
+        "[lint] full pass: {} files, {} manifests, {} findings, {} suppressed",
+        report.files_scanned,
+        report.manifests_scanned,
+        report.findings.len(),
+        report.suppressed
+    );
+
+    let mut group = c.benchmark_group("full_pass");
+    group.sample_size(10);
+    group.bench_function("workspace_lint", |b| {
+        b.iter(|| conformance::run(black_box(&root)).expect("full pass"))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_lint
+}
+criterion_main!(benches);

@@ -1,0 +1,575 @@
+//! A self-contained Rust token scanner — the lexical substrate of the
+//! conformance rules, replacing `syn`/`proc-macro2`.
+//!
+//! The scanner is deliberately a *lexer*, not a parser: the rules only
+//! need to know which bytes are code and which are comments, strings,
+//! or char literals, plus identifier and punctuation boundaries. It
+//! handles the Rust surface that defeats naive regex linting:
+//!
+//! * raw strings `r"…"`, `r#"…"#`, … with any number of `#` guards
+//!   (and their byte-string cousins `b"…"`, `br#"…"#`);
+//! * nested block comments `/* /* */ */`;
+//! * `'a` lifetimes vs `'a'` char literals (including `'\''` and
+//!   `'\u{1F600}'` escape forms);
+//! * raw identifiers `r#type`;
+//! * `//` and `/*` sequences inside string literals, which are text,
+//!   not comments.
+//!
+//! Totality contract, enforced by a `prop_check!` property: scanning
+//! any `&str` never panics, and the produced token spans exactly tile
+//! the input (`tokens[0].start == 0`, each token starts where the
+//! previous ended, the last ends at `input.len()`), so no byte ever
+//! escapes classification. Malformed input (unterminated strings or
+//! comments) degrades to a token that runs to end-of-input.
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Runs of whitespace.
+    Whitespace,
+    /// `// …` to end of line (newline excluded).
+    LineComment,
+    /// `/* … */`, nesting-aware; unterminated runs to EOF.
+    BlockComment,
+    /// `"…"` or `b"…"`, escape-aware; unterminated runs to EOF.
+    Str,
+    /// `r"…"` / `r#"…"#` / `br#"…"#`; unterminated runs to EOF.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'x'`, `'\u{…}'`.
+    Char,
+    /// `'ident` (no closing quote).
+    Lifetime,
+    /// Identifiers and keywords, including raw `r#ident` forms.
+    Ident,
+    /// Numeric literals (integers, floats, radix prefixes, suffixes).
+    Num,
+    /// A single punctuation or operator character.
+    Punct,
+    /// Anything unclassifiable (e.g. a lone `'` at EOF).
+    Unknown,
+}
+
+/// One lexed token: a kind plus the `[start, end)` byte span it covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte, exclusive.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within its source.
+    pub fn text<'a>(&self, source: &'a str) -> &'a str {
+        source.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// Cursor over the source with char-boundary-safe advancement.
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(n)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek() {
+            if !pred(c) {
+                break;
+            }
+            self.pos += c.len_utf8();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenize `source` completely. Total: never panics, and the returned
+/// spans tile `0..source.len()` exactly.
+pub fn tokenize(source: &str) -> Vec<Token> {
+    let mut cursor = Cursor { src: source, pos: 0 };
+    let mut tokens = Vec::new();
+    while cursor.pos < source.len() {
+        let start = cursor.pos;
+        let kind = next_kind(&mut cursor);
+        // Totality guard: every token consumes at least one byte.
+        if cursor.pos == start {
+            cursor.bump();
+        }
+        tokens.push(Token { kind, start, end: cursor.pos });
+    }
+    tokens
+}
+
+fn next_kind(c: &mut Cursor<'_>) -> TokenKind {
+    let Some(first) = c.peek() else {
+        return TokenKind::Unknown;
+    };
+
+    if first.is_whitespace() {
+        c.eat_while(char::is_whitespace);
+        return TokenKind::Whitespace;
+    }
+
+    if first == '/' {
+        match c.peek_at(1) {
+            Some('/') => {
+                c.eat_while(|ch| ch != '\n');
+                return TokenKind::LineComment;
+            }
+            Some('*') => {
+                c.bump();
+                c.bump();
+                return block_comment(c);
+            }
+            _ => {
+                c.bump();
+                return TokenKind::Punct;
+            }
+        }
+    }
+
+    // Raw strings / raw identifiers: r"…", r#"…"#, r#ident.
+    if first == 'r' {
+        match c.peek_at(1) {
+            Some('"') => {
+                c.bump();
+                return raw_string(c);
+            }
+            Some('#') => {
+                // Distinguish r#"…"# (raw string) from r#ident.
+                if let Some(kind) = raw_hash_form(c) {
+                    return kind;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Byte strings: b"…", b'…', br"…", br#"…"#.
+    if first == 'b' {
+        match c.peek_at(1) {
+            Some('"') => {
+                c.bump();
+                c.bump();
+                return string_body(c);
+            }
+            Some('\'') => {
+                c.bump();
+                c.bump();
+                return char_body(c);
+            }
+            Some('r') if matches!(c.peek_at(2), Some('"') | Some('#')) => {
+                c.bump(); // the `b`; cursor now at `r`, shared raw paths apply
+                if c.peek_at(1) == Some('"') {
+                    c.bump();
+                    return raw_string(c);
+                }
+                if let Some(kind) = raw_hash_form(c) {
+                    return kind;
+                }
+                c.eat_while(is_ident_continue);
+                return TokenKind::Ident;
+            }
+            _ => {}
+        }
+    }
+
+    if is_ident_start(first) {
+        c.eat_while(is_ident_continue);
+        return TokenKind::Ident;
+    }
+
+    if first.is_ascii_digit() {
+        return number(c);
+    }
+
+    if first == '"' {
+        c.bump();
+        return string_body(c);
+    }
+
+    if first == '\'' {
+        c.bump();
+        return quote_form(c);
+    }
+
+    c.bump();
+    TokenKind::Punct
+}
+
+/// After consuming `/*`: scan a nesting-aware block comment.
+fn block_comment(c: &mut Cursor<'_>) -> TokenKind {
+    let mut depth = 1usize;
+    while depth > 0 {
+        match c.bump() {
+            None => break, // unterminated: token runs to EOF
+            Some('/') if c.peek() == Some('*') => {
+                c.bump();
+                depth += 1;
+            }
+            Some('*') if c.peek() == Some('/') => {
+                c.bump();
+                depth -= 1;
+            }
+            Some(_) => {}
+        }
+    }
+    TokenKind::BlockComment
+}
+
+/// At `r` (or after `br`'s `b`) with `"` next: `r"…"` raw string.
+fn raw_string(c: &mut Cursor<'_>) -> TokenKind {
+    c.bump(); // the quote (caller consumed `r`)
+    raw_string_body(c, 0)
+}
+
+/// At `r` with `#` next: either `r#ident` or `r#…#"…"#…#`. Consumes the
+/// whole token and returns its kind, or `None` when it is just the
+/// identifier `r` followed by punctuation (caller falls through).
+fn raw_hash_form(c: &mut Cursor<'_>) -> Option<TokenKind> {
+    // Count the guard hashes without consuming yet (cursor is at `r`).
+    let mut hashes = 0usize;
+    while c.peek_at(1 + hashes) == Some('#') {
+        hashes += 1;
+    }
+    match c.peek_at(1 + hashes) {
+        Some('"') => {
+            c.bump(); // r
+            for _ in 0..hashes {
+                c.bump(); // the guard #s
+            }
+            c.bump(); // the opening quote
+            Some(raw_string_body(c, hashes))
+        }
+        Some(ch) if hashes == 1 && is_ident_start(ch) => {
+            c.bump(); // r
+            c.bump(); // #
+            c.eat_while(is_ident_continue);
+            Some(TokenKind::Ident)
+        }
+        _ => None,
+    }
+}
+
+/// After the opening quote of a raw string with `guards` hashes: scan
+/// until `"` followed by that many `#`s.
+fn raw_string_body(c: &mut Cursor<'_>, guards: usize) -> TokenKind {
+    loop {
+        match c.bump() {
+            None => return TokenKind::RawStr, // unterminated
+            Some('"') => {
+                let mut seen = 0usize;
+                while seen < guards && c.peek() == Some('#') {
+                    c.bump();
+                    seen += 1;
+                }
+                if seen == guards {
+                    return TokenKind::RawStr;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// After an opening `"`: escape-aware string body.
+fn string_body(c: &mut Cursor<'_>) -> TokenKind {
+    loop {
+        match c.bump() {
+            None => return TokenKind::Str, // unterminated
+            Some('\\') => {
+                c.bump(); // the escaped char, whatever it is
+            }
+            Some('"') => return TokenKind::Str,
+            Some(_) => {}
+        }
+    }
+}
+
+/// After an opening `'`: lifetime vs char literal disambiguation.
+///
+/// * `'\…'` — char with escape;
+/// * `'x'` — char;
+/// * `'ident` not followed by `'` — lifetime (`'a`, `'static`);
+/// * `'x` where `x` is not ident-start — char body (possibly
+///   malformed; consumed through the closing quote when present).
+fn quote_form(c: &mut Cursor<'_>) -> TokenKind {
+    match c.peek() {
+        None => TokenKind::Unknown,
+        Some('\\') => {
+            c.bump();
+            c.bump(); // escaped char
+            char_tail(c)
+        }
+        Some(ch) if is_ident_start(ch) => {
+            // `'a'` is a char; `'a` / `'abc` is a lifetime.
+            if c.peek_at(1) == Some('\'') {
+                c.bump();
+                c.bump();
+                TokenKind::Char
+            } else {
+                c.eat_while(is_ident_continue);
+                TokenKind::Lifetime
+            }
+        }
+        Some('\'') => {
+            // `''` — empty (malformed) char literal.
+            c.bump();
+            TokenKind::Char
+        }
+        Some(_) => {
+            c.bump();
+            char_tail(c)
+        }
+    }
+}
+
+/// After `b'`: byte-char body.
+fn char_body(c: &mut Cursor<'_>) -> TokenKind {
+    c.eat('\\'); // an escape prefix just means one extra byte to skip
+    c.bump();
+    char_tail(c)
+}
+
+/// Consume through a closing `'`, tolerating `\u{…}`-style multi-char
+/// bodies; give up (still a Char token) at newline or EOF so malformed
+/// input cannot swallow the rest of the file.
+fn char_tail(c: &mut Cursor<'_>) -> TokenKind {
+    loop {
+        match c.peek() {
+            None | Some('\n') => return TokenKind::Char,
+            Some('\'') => {
+                c.bump();
+                return TokenKind::Char;
+            }
+            Some(_) => {
+                c.bump();
+            }
+        }
+    }
+}
+
+/// At a digit: numeric literal (radix prefixes, `_` separators, float
+/// forms, type suffixes). Careful not to consume `..` range operators.
+fn number(c: &mut Cursor<'_>) -> TokenKind {
+    c.eat_while(|ch| ch.is_ascii_alphanumeric() || ch == '_');
+    // Fraction: `.` followed by a digit (so `0..10` and `1.max(2)` stay
+    // separate tokens).
+    if c.peek() == Some('.') && c.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+        c.bump();
+        c.eat_while(|ch| ch.is_ascii_alphanumeric() || ch == '_');
+    }
+    // Signed exponent: `1e-9` (the unsigned form was consumed above).
+    if c.src[..c.pos].ends_with(['e', 'E'])
+        && matches!(c.peek(), Some('+') | Some('-'))
+        && c.peek_at(1).is_some_and(|d| d.is_ascii_digit())
+    {
+        c.bump();
+        c.eat_while(|ch| ch.is_ascii_alphanumeric() || ch == '_');
+    }
+    TokenKind::Num
+}
+
+/// Byte offsets of each line start; lines are 1-based in findings.
+pub struct LineIndex {
+    starts: Vec<usize>,
+}
+
+impl LineIndex {
+    /// Index `source`'s newlines.
+    pub fn new(source: &str) -> LineIndex {
+        let mut starts = vec![0];
+        for (i, b) in source.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        LineIndex { starts }
+    }
+
+    /// 1-based (line, column) of a byte offset. Columns count bytes.
+    pub fn position(&self, offset: usize) -> (usize, usize) {
+        let line = match self.starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        };
+        let col = offset - self.starts.get(line).copied().unwrap_or(0);
+        (line + 1, col + 1)
+    }
+
+    /// 1-based line of a byte offset.
+    pub fn line(&self, offset: usize) -> usize {
+        self.position(offset).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        tokenize(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    fn assert_tiles(src: &str) {
+        let tokens = tokenize(src);
+        let mut pos = 0;
+        for t in &tokens {
+            assert_eq!(t.start, pos, "gap before {t:?} in {src:?}");
+            assert!(t.end > t.start, "empty token {t:?} in {src:?}");
+            pos = t.end;
+        }
+        assert_eq!(pos, src.len(), "tail not covered in {src:?}");
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let src = r####"let s = r#"quoted " inside"# ;"####;
+        let k = kinds(src);
+        assert!(k.contains(&(TokenKind::RawStr, r###"r#"quoted " inside"#"###)));
+        assert_tiles(src);
+
+        let src2 = "r\"plain\" r##\"two # guards\"##";
+        let k2 = kinds(src2);
+        assert_eq!(k2[0].0, TokenKind::RawStr);
+        assert_eq!(k2[1].0, TokenKind::RawStr);
+        assert_tiles(src2);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let k = kinds("let r#type = r#match;");
+        assert!(k.contains(&(TokenKind::Ident, "r#type")));
+        assert!(k.contains(&(TokenKind::Ident, "r#match")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let k = kinds(src);
+        assert_eq!(k[0], (TokenKind::Ident, "a"));
+        assert_eq!(k[1].0, TokenKind::BlockComment);
+        assert_eq!(k[1].1, "/* outer /* inner */ still comment */");
+        assert_eq!(k[2], (TokenKind::Ident, "b"));
+        assert_tiles(src);
+    }
+
+    #[test]
+    fn unterminated_forms_run_to_eof() {
+        for src in ["/* never closed", "\"never closed", "r#\"never closed\"", "'"] {
+            let tokens = tokenize(src);
+            assert_tiles(src);
+            assert_eq!(tokens.last().map(|t| t.end), Some(src.len()));
+        }
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; let q = '\\''; }";
+        let k = kinds(src);
+        let lifetimes: Vec<_> = k.iter().filter(|(kind, _)| *kind == TokenKind::Lifetime).collect();
+        let chars: Vec<_> = k.iter().filter(|(kind, _)| *kind == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2, "{k:?}");
+        assert!(lifetimes.iter().all(|(_, t)| *t == "'a"));
+        assert_eq!(chars.len(), 3, "{k:?}");
+        assert!(chars.contains(&&(TokenKind::Char, "'a'")));
+        assert!(chars.contains(&&(TokenKind::Char, "'\\n'")));
+        assert!(chars.contains(&&(TokenKind::Char, "'\\''")));
+        assert_tiles(src);
+    }
+
+    #[test]
+    fn static_lifetime_and_unicode_escape() {
+        let src = "&'static str; let c = '\\u{1F600}';";
+        let k = kinds(src);
+        assert!(k.contains(&(TokenKind::Lifetime, "'static")));
+        assert!(k.contains(&(TokenKind::Char, "'\\u{1F600}'")));
+        assert_tiles(src);
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_are_text() {
+        let src = r#"let url = "https://example.com/*notacomment*/"; x();"#;
+        let k = kinds(src);
+        assert!(k.iter().all(|(kind, _)| *kind != TokenKind::LineComment));
+        assert!(k.iter().all(|(kind, _)| *kind != TokenKind::BlockComment));
+        assert!(k.contains(&(TokenKind::Ident, "x")));
+        assert_tiles(src);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = "b\"bytes\" b'x' br#\"raw bytes\"#";
+        let k = kinds(src);
+        assert_eq!(k[0].0, TokenKind::Str);
+        assert_eq!(k[1].0, TokenKind::Char);
+        assert_eq!(k[2].0, TokenKind::RawStr);
+        assert_tiles(src);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let src = "0..10; 1.5e-3; 0xFF_u8; 1.max(2)";
+        let k = kinds(src);
+        assert!(k.contains(&(TokenKind::Num, "0")));
+        assert!(k.contains(&(TokenKind::Num, "10")));
+        assert!(k.contains(&(TokenKind::Num, "1.5e-3")));
+        assert!(k.contains(&(TokenKind::Num, "0xFF_u8")));
+        assert!(k.contains(&(TokenKind::Ident, "max")));
+        assert_tiles(src);
+    }
+
+    #[test]
+    fn line_index_positions() {
+        let idx = LineIndex::new("ab\ncde\n\nf");
+        assert_eq!(idx.position(0), (1, 1));
+        assert_eq!(idx.position(3), (2, 1));
+        assert_eq!(idx.position(5), (2, 3));
+        assert_eq!(idx.position(7), (3, 1));
+        assert_eq!(idx.position(8), (4, 1));
+    }
+
+    #[test]
+    fn empty_and_whitespace_inputs() {
+        assert!(tokenize("").is_empty());
+        let t = tokenize("  \n\t ");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].kind, TokenKind::Whitespace);
+    }
+}

@@ -1,0 +1,136 @@
+//! # acctrade-conformance
+//!
+//! The workspace's in-tree static conformance analyzer. The repo's
+//! scientific claim is determinism — byte-identical datasets, telemetry
+//! manifests, and WAL artifacts from a seed — and this crate enforces
+//! the source-level invariants that claim rests on, the way sanitizers
+//! guard a training stack:
+//!
+//! * [`lexer`] — a self-contained Rust token scanner (raw strings,
+//!   nested block comments, lifetime-vs-char disambiguation; no `syn`);
+//! * [`workspace`] — deterministic discovery of every `.rs` file and
+//!   `Cargo.toml` in the tree;
+//! * [`manifest`] — rule `zero-dep` over manifests;
+//! * [`rules`] — rules `determinism`, `panic-policy`, and
+//!   `lock-discipline` over lexed sources, with `#[cfg(test)]`-region
+//!   tracking and `// conformance: allow(<rule>)` annotations;
+//! * [`report`] — the sorted, `JsonCodec`-backed [`report::LintReport`]
+//!   written to `LINT_report.json`, byte-identical across runs.
+//!
+//! The dynamic complement lives in `foundation::sync`: a debug-build
+//! lock-order registry that panics on acquisition-order cycles (see
+//! DESIGN.md §2.3). Run the analyzer with
+//! `cargo run -p acctrade-conformance`; CI gates on a clean tree and on
+//! report determinism (two runs, `cmp`).
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod manifest;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+use report::LintReport;
+use std::fmt;
+use std::path::Path;
+
+/// Analyzer failure (I/O or discovery), distinct from lint findings.
+#[derive(Debug)]
+pub struct Error {
+    /// Human-readable description, including the path involved.
+    pub msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conformance: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Run the full conformance pass over the workspace rooted at `root`.
+///
+/// Every `.rs` file is lexed (totality exercise for the scanner);
+/// rules apply per the role matrix in [`rules`]. The returned report
+/// is sorted and ready to serialize.
+pub fn run(root: &Path) -> Result<LintReport, Error> {
+    let ws = workspace::discover(root)
+        .map_err(|e| Error { msg: format!("discovering {}: {e}", root.display()) })?;
+
+    let mut report = LintReport::default();
+
+    // First pass: scan every source, remembering `#[cfg(test)] mod x;`
+    // out-of-line declarations so the files they point at are exempt.
+    let mut scans = Vec::new();
+    let mut test_module_files: Vec<String> = Vec::new();
+    for file in &ws.sources {
+        let text = std::fs::read_to_string(ws.abs(&file.rel))
+            .map_err(|e| Error { msg: format!("reading {}: {e}", file.rel) })?;
+        let scan = rules::scan_file(file, &text);
+        for module in &scan.test_modules {
+            let dir = match file.rel.rsplit_once('/') {
+                Some((dir, _)) => dir,
+                None => "",
+            };
+            test_module_files.push(format!("{dir}/{module}.rs"));
+            test_module_files.push(format!("{dir}/{module}/mod.rs"));
+        }
+        scans.push((file.rel.clone(), scan));
+        report.files_scanned += 1;
+    }
+
+    for (rel, scan) in scans {
+        if test_module_files.contains(&rel) {
+            continue; // the whole file is a #[cfg(test)] module
+        }
+        report.suppressed += scan.suppressed;
+        report.findings.extend(scan.findings);
+    }
+
+    for rel in &ws.manifests {
+        let text = std::fs::read_to_string(ws.abs(rel))
+            .map_err(|e| Error { msg: format!("reading {rel}: {e}") })?;
+        report.findings.extend(manifest::check(rel, &text));
+        report.manifests_scanned += 1;
+    }
+
+    report.sort();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn repo_root() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("repo root")
+    }
+
+    #[test]
+    fn full_pass_over_this_workspace_is_deterministic() {
+        let a = run(&repo_root()).expect("first pass");
+        let b = run(&repo_root()).expect("second pass");
+        assert_eq!(a, b, "two scans of the same tree must agree exactly");
+        assert_eq!(
+            foundation::json::to_string_pretty(&a),
+            foundation::json::to_string_pretty(&b)
+        );
+        assert!(a.files_scanned > 100, "the whole tree is scanned");
+        assert!(a.manifests_scanned >= 12, "every crate manifest is scanned");
+    }
+
+    #[test]
+    fn this_tree_is_conformance_clean() {
+        let report = run(&repo_root()).expect("pass");
+        let rendered: Vec<String> =
+            report.findings.iter().map(|f| f.to_string()).collect();
+        assert!(
+            report.clean(),
+            "the tree must lint clean; findings:\n{}",
+            rendered.join("\n")
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! `acctrade-conformance` — lint the workspace for conformance
+//! violations and emit the deterministic `LINT_report.json`.
+//!
+//! ```text
+//! cargo run -p acctrade-conformance                  # lint ., report to target/LINT_report.json
+//! cargo run -p acctrade-conformance -- --root DIR    # lint another tree
+//! cargo run -p acctrade-conformance -- --out FILE    # report path override
+//! cargo run -p acctrade-conformance -- --quiet       # no per-finding lines
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    out: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { root: PathBuf::from("."), out: None, quiet: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root needs a path")?;
+                args.root = PathBuf::from(v);
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a path")?;
+                args.out = Some(PathBuf::from(v));
+            }
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                println!("usage: acctrade-conformance [--root DIR] [--out FILE] [--quiet]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match conformance::run(&args.root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let out = args.out.unwrap_or_else(|| args.root.join("target").join("LINT_report.json"));
+    if let Some(parent) = out.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(err) = std::fs::create_dir_all(parent) {
+                eprintln!("conformance: creating {}: {err}", parent.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let rendered = foundation::json::to_string_pretty(&report) + "\n";
+    if let Err(err) = std::fs::write(&out, rendered) {
+        eprintln!("conformance: writing {}: {err}", out.display());
+        return ExitCode::from(2);
+    }
+
+    if !args.quiet {
+        for finding in &report.findings {
+            eprintln!("{finding}");
+        }
+    }
+    eprintln!(
+        "conformance: {} file(s), {} manifest(s) scanned; {} finding(s), {} suppressed \
+         by annotation → {}",
+        report.files_scanned,
+        report.manifests_scanned,
+        report.findings.len(),
+        report.suppressed,
+        out.display()
+    );
+
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,194 @@
+//! Rule `zero-dep` (R1): no external crates in any workspace manifest.
+//!
+//! The workspace's scientific claim — byte-identical artifacts from a
+//! seed, fully offline — rests on every capability being in-tree (see
+//! DESIGN.md §2.1). This pass walks each `Cargo.toml` with a
+//! deliberately small line-oriented TOML-subset reader (sections +
+//! `key = value` lines; the only shapes the workspace's manifests use)
+//! and flags any dependency that is not one of:
+//!
+//! * a workspace-path crate (`acctrade-*`),
+//! * a `path = "…"` dependency,
+//! * a `workspace = true` / `name.workspace = true` reference.
+
+use crate::report::Finding;
+
+/// Is this `[section]` header one whose entries declare dependencies?
+fn is_dependency_section(name: &str) -> bool {
+    name == "dependencies"
+        || name == "dev-dependencies"
+        || name == "build-dependencies"
+        || name == "workspace.dependencies"
+        || name.ends_with(".dependencies")
+        || name.ends_with(".dev-dependencies")
+        || name.ends_with(".build-dependencies")
+}
+
+/// A dependency is allowed when it resolves inside the tree.
+fn dependency_allowed(key: &str, value: &str) -> bool {
+    let name = key.strip_suffix(".workspace").unwrap_or(key);
+    name.starts_with("acctrade-")
+        || value.contains("path =")
+        || value.contains("path=")
+        || value.contains("workspace = true")
+        || value.contains("workspace=true")
+}
+
+/// Scan one manifest; `rel` is its workspace-relative path for
+/// findings.
+pub fn check(rel: &str, text: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut section = String::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let header = header.trim_start_matches('[');
+            let name = header
+                .split(']')
+                .next()
+                .unwrap_or("")
+                .trim()
+                .trim_matches('"')
+                .to_string();
+            // `[dependencies.foo]` sub-tables count as a dep entry for
+            // the crate named in the header tail.
+            if let Some((table, dep)) = name.rsplit_once('.') {
+                if is_dependency_section(table) {
+                    // The sub-table body is this one dependency's
+                    // config, not further dependency entries.
+                    section = format!("{table}.{dep}.body");
+                    if !dep.starts_with("acctrade-") {
+                        // The sub-table body may still say `path = …`;
+                        // peek ahead until the next header.
+                        let mut body_ok = false;
+                        for later in text.lines().skip(i + 1) {
+                            let later = later.trim();
+                            if later.starts_with('[') {
+                                break;
+                            }
+                            if later.starts_with("path") || later.contains("workspace = true") {
+                                body_ok = true;
+                                break;
+                            }
+                        }
+                        if !body_ok {
+                            findings.push(Finding {
+                                rule: "zero-dep".into(),
+                                file: rel.into(),
+                                line: (i + 1) as u64,
+                                col: 1,
+                                message: format!(
+                                    "external dependency `{dep}`: the workspace is \
+                                     zero-dependency (std + in-tree crates only)"
+                                ),
+                            });
+                        }
+                    }
+                    continue;
+                }
+            }
+            section = name;
+            continue;
+        }
+        if !is_dependency_section(&section) {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        if !dependency_allowed(key, value) {
+            let name = key.strip_suffix(".workspace").unwrap_or(key);
+            findings.push(Finding {
+                rule: "zero-dep".into(),
+                file: rel.into(),
+                line: (i + 1) as u64,
+                col: 1,
+                message: format!(
+                    "external dependency `{name}`: the workspace is zero-dependency \
+                     (std + in-tree crates only)"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_path_deps_pass() {
+        let toml = r#"
+[package]
+name = "acctrade-net"
+version.workspace = true
+
+[dependencies]
+acctrade-foundation.workspace = true
+acctrade-html = { path = "../html" }
+"#;
+        assert!(check("crates/net/Cargo.toml", toml).is_empty());
+    }
+
+    #[test]
+    fn registry_deps_are_flagged() {
+        let toml = r#"
+[dependencies]
+serde = "1.0"
+rand = { version = "0.8", features = ["std"] }
+
+[dev-dependencies]
+proptest = "1"
+"#;
+        let findings = check("crates/x/Cargo.toml", toml);
+        let names: Vec<&str> = findings
+            .iter()
+            .map(|f| {
+                f.message
+                    .split('`')
+                    .nth(1)
+                    .expect("message names the dep")
+            })
+            .collect();
+        assert_eq!(names, vec!["serde", "rand", "proptest"]);
+        assert!(findings.iter().all(|f| f.rule == "zero-dep"));
+    }
+
+    #[test]
+    fn dependency_subtables_are_checked() {
+        let bad = "[dependencies.libc]\nversion = \"0.2\"\n";
+        assert_eq!(check("Cargo.toml", bad).len(), 1);
+        let good = "[dependencies.helper]\npath = \"../helper\"\n";
+        assert!(check("Cargo.toml", good).is_empty());
+    }
+
+    #[test]
+    fn non_dependency_sections_are_ignored() {
+        let toml = r#"
+[package]
+edition = "2021"
+
+[features]
+default = []
+
+[workspace.package]
+license = "MIT"
+"#;
+        assert!(check("Cargo.toml", toml).is_empty());
+    }
+
+    #[test]
+    fn workspace_dependency_table_must_be_paths() {
+        let toml = "[workspace.dependencies]\nacctrade-core = { path = \"crates/core\" }\nserde = \"1\"\n";
+        let findings = check("Cargo.toml", toml);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("serde"));
+        assert_eq!(findings[0].line, 3);
+    }
+}

@@ -1,0 +1,132 @@
+//! The analyzer's output model: [`Finding`]s collected into a
+//! [`LintReport`], serialized through `foundation::json::JsonCodec`
+//! into the machine-diffable `LINT_report.json`.
+//!
+//! Determinism contract (the report is itself gated by CI's double-run
+//! `cmp`): findings are sorted by `(file, line, col, rule)`, paths are
+//! workspace-relative with forward slashes, and nothing time- or
+//! environment-dependent is recorded.
+
+use foundation::json_codec_struct;
+use std::fmt;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule slug (`zero-dep`, `determinism`, `panic-policy`,
+    /// `lock-discipline`).
+    pub rule: String,
+    /// Workspace-relative path, `/`-separated on every platform.
+    pub file: String,
+    /// 1-based line.
+    pub line: u64,
+    /// 1-based byte column.
+    pub col: u64,
+    /// What was matched and why it is forbidden here.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// The full deterministic lint report.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LintReport {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: u64,
+    /// Number of `Cargo.toml` manifests scanned.
+    pub manifests_scanned: u64,
+    /// Findings silenced by `// conformance: allow(<rule>)` annotations.
+    pub suppressed: u64,
+    /// Unallowed findings, sorted by `(file, line, col, rule)`.
+    pub findings: Vec<Finding>,
+}
+
+impl LintReport {
+    /// Canonical ordering — applied before serialization so equal scans
+    /// always render byte-identically.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule))
+        });
+    }
+
+    /// Does the tree pass (no unallowed findings)?
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+json_codec_struct! {
+    Finding { rule, file, line, col, message }
+    LintReport { files_scanned, manifests_scanned, suppressed, findings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foundation::json;
+
+    fn finding(file: &str, line: u64, col: u64, rule: &str) -> Finding {
+        Finding {
+            rule: rule.into(),
+            file: file.into(),
+            line,
+            col,
+            message: format!("{rule} violated"),
+        }
+    }
+
+    #[test]
+    fn sort_orders_by_file_line_col_rule() {
+        let mut report = LintReport {
+            files_scanned: 2,
+            manifests_scanned: 1,
+            suppressed: 0,
+            findings: vec![
+                finding("b.rs", 1, 1, "determinism"),
+                finding("a.rs", 9, 2, "panic-policy"),
+                finding("a.rs", 9, 2, "determinism"),
+                finding("a.rs", 3, 7, "panic-policy"),
+            ],
+        };
+        report.sort();
+        let order: Vec<(String, u64, String)> = report
+            .findings
+            .iter()
+            .map(|f| (f.file.clone(), f.line, f.rule.clone()))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a.rs".into(), 3, "panic-policy".into()),
+                ("a.rs".into(), 9, "determinism".into()),
+                ("a.rs".into(), 9, "panic-policy".into()),
+                ("b.rs".into(), 1, "determinism".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn report_renders_deterministically() {
+        let mut report = LintReport {
+            files_scanned: 1,
+            manifests_scanned: 1,
+            suppressed: 3,
+            findings: vec![finding("x.rs", 2, 5, "lock-discipline")],
+        };
+        report.sort();
+        let a = json::to_string_pretty(&report);
+        let b = json::to_string_pretty(&report);
+        assert_eq!(a, b);
+        let back: LintReport = json::from_str(&a).expect("roundtrip");
+        assert_eq!(back, report);
+    }
+}

@@ -1,0 +1,603 @@
+//! The conformance rules over lexed Rust sources.
+//!
+//! | rule              | what it forbids                                        | where it applies |
+//! |-------------------|--------------------------------------------------------|------------------|
+//! | `zero-dep`        | external crates in any manifest (see [`crate::manifest`]) | every `Cargo.toml` |
+//! | `determinism`     | `SystemTime::now` / `Instant::now` / `RandomState`; `HashMap`/`HashSet` in output-feeding crates | lib/bin/example code; the hash ban only in `core`, `crawler`, `store`, `telemetry`, `workload` libs |
+//! | `panic-policy`    | `.unwrap()` / `.expect(` / `panic!` / `todo!`          | library code |
+//! | `lock-discipline` | raw `std::sync::Mutex` / `std::sync::RwLock`           | everything outside `foundation` |
+//!
+//! Exemptions, in order of evaluation:
+//!
+//! 1. **Location**: `tests/` and `benches/` directories are never
+//!    scanned by source rules; `panic-policy` additionally skips bins
+//!    and examples (operator-facing entry points may crash loudly).
+//! 2. **`#[cfg(test)]` regions**: the scanner tracks the byte span of
+//!    every `#[cfg(test)]`-gated item (attribute through the closing
+//!    brace or semicolon) and suppresses findings inside; a
+//!    `#[cfg(test)] mod name;` out-of-line declaration marks the
+//!    sibling `name.rs` / `name/mod.rs` as test code.
+//! 3. **Allowlist**: a small built-in table grants whole-file waivers
+//!    where a capability is the rule's *raison d'être* (the virtual
+//!    clock, telemetry's wall-time stamping, the bench harness).
+//! 4. **Annotations**: a comment `// conformance: allow(<rule>)` on a
+//!    line (or the line directly above) waives that rule there;
+//!    waived matches are tallied in `LintReport::suppressed` so silent
+//!    debt stays visible.
+//!
+//! The `HashMap`/`HashSet` facet deliberately over-approximates: with
+//! token-level analysis we cannot see *iteration*, so the rule flags
+//! the type itself in crates whose data reaches serialized artifacts —
+//! use `BTreeMap`/`BTreeSet` (deterministic order), or annotate the
+//! line with the reason the map never leaks ordering.
+
+use crate::lexer::{tokenize, LineIndex, Token, TokenKind};
+use crate::report::Finding;
+use crate::workspace::{Role, SourceFile};
+
+/// Crates whose in-memory collections feed serialized output; hash
+/// containers are banned in their library code.
+const OUTPUT_CRATES: [&str; 5] = ["core", "crawler", "store", "telemetry", "workload"];
+
+/// Whole-file waivers: `(rule, workspace-relative path)`.
+const ALLOWLIST: [(&str, &str); 3] = [
+    // The simulation's virtual clock is *the* sanctioned time source.
+    ("determinism", "crates/net/src/clock.rs"),
+    // Telemetry stamps spans with wall time for operator ergonomics;
+    // deterministic artifacts strip the wall_* fields (PR 2).
+    ("determinism", "crates/telemetry/src/recorder.rs"),
+    // The bench harness measures real elapsed time by definition.
+    ("determinism", "crates/foundation/src/bench.rs"),
+];
+
+/// Marker any comment can carry to waive a rule on its line and the
+/// line below.
+const ALLOW_MARKER: &str = "conformance: allow(";
+
+/// Result of scanning one file: real findings plus the count of
+/// annotation-suppressed matches.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    /// Unallowed findings.
+    pub findings: Vec<Finding>,
+    /// Matches waived by `conformance: allow(...)` annotations.
+    pub suppressed: u64,
+    /// Module names declared as `#[cfg(test)] mod <name>;` — the
+    /// caller should treat the referenced sibling files as test code.
+    pub test_modules: Vec<String>,
+}
+
+struct FileCtx<'a> {
+    source: &'a str,
+    file: &'a SourceFile,
+    lines: LineIndex,
+    /// Significant (non-whitespace, non-comment) tokens.
+    sig: Vec<Token>,
+    /// Byte ranges covered by `#[cfg(test)]` items.
+    test_regions: Vec<(usize, usize)>,
+    /// `(line, rule-slug)` pairs granted by allow annotations.
+    allows: Vec<(usize, String)>,
+}
+
+impl FileCtx<'_> {
+    fn text(&self, i: usize) -> &str {
+        self.sig.get(i).map(|t| t.text(self.source)).unwrap_or("")
+    }
+
+    fn kind(&self, i: usize) -> Option<TokenKind> {
+        self.sig.get(i).map(|t| t.kind)
+    }
+
+    fn in_test_region(&self, offset: usize) -> bool {
+        self.test_regions.iter().any(|&(s, e)| (s..e).contains(&offset))
+    }
+
+    fn allowed(&self, line: usize, rule: &str) -> bool {
+        self.allows.iter().any(|(l, r)| *l == line && r == rule)
+    }
+}
+
+/// Scan one source file under every rule applicable to its role.
+pub fn scan_file(file: &SourceFile, source: &str) -> FileScan {
+    let tokens = tokenize(source);
+    let lines = LineIndex::new(source);
+
+    // Allow annotations: a comment grants its rule on the comment's
+    // own line (trailing form) and the next line (standalone form).
+    let mut allows = Vec::new();
+    for t in tokens.iter().filter(|t| {
+        matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }) {
+        let text = t.text(source);
+        let mut rest = text;
+        while let Some(at) = rest.find(ALLOW_MARKER) {
+            let tail = &rest[at + ALLOW_MARKER.len()..];
+            if let Some(end) = tail.find(')') {
+                let slug = tail[..end].trim().to_string();
+                let line = lines.line(t.start);
+                allows.push((line, slug.clone()));
+                allows.push((line + 1, slug));
+            }
+            rest = &rest[at + ALLOW_MARKER.len()..];
+        }
+    }
+
+    let sig: Vec<Token> = tokens
+        .iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+        .copied()
+        .collect();
+
+    let mut ctx = FileCtx {
+        source,
+        file,
+        lines,
+        sig,
+        test_regions: Vec::new(),
+        allows,
+    };
+    let test_modules = find_test_regions(&mut ctx);
+
+    let mut scan = FileScan { test_modules, ..FileScan::default() };
+    determinism_clock(&ctx, &mut scan);
+    determinism_hash(&ctx, &mut scan);
+    panic_policy(&ctx, &mut scan);
+    lock_discipline(&ctx, &mut scan);
+    scan.findings.sort_by(|a, b| (a.line, a.col, &a.rule).cmp(&(b.line, b.col, &b.rule)));
+    scan
+}
+
+/// Locate `#[cfg(test)]`-gated items; fills `ctx.test_regions` and
+/// returns the names of out-of-line `mod name;` declarations.
+fn find_test_regions(ctx: &mut FileCtx<'_>) -> Vec<String> {
+    let mut test_modules = Vec::new();
+    let mut regions = Vec::new();
+    let sig = &ctx.sig;
+    let n = sig.len();
+    let is = |i: usize, text: &str| sig.get(i).map(|t| t.text(ctx.source)) == Some(text);
+
+    let mut i = 0;
+    while i < n {
+        // Match `# [ cfg ( test ) ]`.
+        let matched = is(i, "#")
+            && is(i + 1, "[")
+            && is(i + 2, "cfg")
+            && is(i + 3, "(")
+            && is(i + 4, "test")
+            && is(i + 5, ")")
+            && is(i + 6, "]");
+        if !matched {
+            i += 1;
+            continue;
+        }
+        let start = sig[i].start;
+        // Walk the following item: further attributes are absorbed by
+        // depth tracking; the item ends at a top-level `;` or at the
+        // close of its first top-level brace block.
+        let mut j = i + 7;
+        let mut depth = 0i64;
+        let mut opened_brace = false;
+        let mut end = sig.get(j).map(|t| t.end).unwrap_or(start);
+        let mut mod_name: Option<String> = None;
+        while j < n {
+            let text = sig[j].text(ctx.source);
+            match text {
+                "(" | "[" | "{" => {
+                    if text == "{" && depth == 0 {
+                        opened_brace = true;
+                    }
+                    depth += 1;
+                }
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 && opened_brace && text == "}" {
+                        end = sig[j].end;
+                        break;
+                    }
+                }
+                ";" if depth == 0 => {
+                    end = sig[j].end;
+                    break;
+                }
+                "mod" if depth == 0 && mod_name.is_none() => {
+                    // Remember the module name in case this is an
+                    // out-of-line `mod name;` declaration.
+                    if let Some(next) = sig.get(j + 1) {
+                        if next.kind == TokenKind::Ident {
+                            let name = next.text(ctx.source).to_string();
+                            let terminated_by_semi = sig
+                                .get(j + 2)
+                                .map(|t| t.text(ctx.source) == ";")
+                                .unwrap_or(false);
+                            if terminated_by_semi {
+                                test_modules.push(name.clone());
+                            }
+                            mod_name = Some(name);
+                        }
+                    }
+                }
+                _ => {}
+            }
+            end = sig[j].end;
+            j += 1;
+        }
+        regions.push((start, end));
+        i = j + 1;
+    }
+    ctx.test_regions = regions;
+    test_modules
+}
+
+/// Push a finding unless the location is test code or annotated away.
+fn emit(ctx: &FileCtx<'_>, scan: &mut FileScan, offset: usize, rule: &str, message: String) {
+    if ctx.in_test_region(offset) {
+        return;
+    }
+    let (line, col) = ctx.lines.position(offset);
+    if ctx.allowed(line, rule) {
+        scan.suppressed += 1;
+        return;
+    }
+    scan.findings.push(Finding {
+        rule: rule.into(),
+        file: ctx.file.rel.clone(),
+        line: line as u64,
+        col: col as u64,
+        message,
+    });
+}
+
+fn file_allowlisted(ctx: &FileCtx<'_>, rule: &str) -> bool {
+    ALLOWLIST.iter().any(|&(r, path)| r == rule && path == ctx.file.rel)
+}
+
+/// R2a — wall-clock reads and randomized hashing outside the sanctioned
+/// modules. Applies to lib, bin, and example code.
+fn determinism_clock(ctx: &FileCtx<'_>, scan: &mut FileScan) {
+    if !matches!(ctx.file.role, Role::Lib | Role::Bin | Role::Example) {
+        return;
+    }
+    if file_allowlisted(ctx, "determinism") {
+        return;
+    }
+    for i in 0..ctx.sig.len() {
+        if ctx.kind(i) != Some(TokenKind::Ident) {
+            continue;
+        }
+        let text = ctx.text(i);
+        if (text == "SystemTime" || text == "Instant")
+            && ctx.text(i + 1) == ":"
+            && ctx.text(i + 2) == ":"
+            && ctx.text(i + 3) == "now"
+        {
+            emit(
+                ctx,
+                scan,
+                ctx.sig[i].start,
+                "determinism",
+                format!(
+                    "`{text}::now` reads the host clock; use the virtual clock \
+                     (net::clock::SimClock) so same-seed runs stay byte-identical"
+                ),
+            );
+        }
+        if text == "RandomState" {
+            emit(
+                ctx,
+                scan,
+                ctx.sig[i].start,
+                "determinism",
+                "`RandomState` seeds hashing from OS entropy; iteration order \
+                 would differ across runs"
+                    .into(),
+            );
+        }
+    }
+}
+
+/// R2b — hash containers in output-feeding crates' library code.
+fn determinism_hash(ctx: &FileCtx<'_>, scan: &mut FileScan) {
+    if ctx.file.role != Role::Lib {
+        return;
+    }
+    let Some(name) = ctx.file.crate_name.as_deref() else {
+        return;
+    };
+    if !OUTPUT_CRATES.contains(&name) {
+        return;
+    }
+    if file_allowlisted(ctx, "determinism") {
+        return;
+    }
+    for i in 0..ctx.sig.len() {
+        if ctx.kind(i) != Some(TokenKind::Ident) {
+            continue;
+        }
+        let text = ctx.text(i);
+        if text == "HashMap" || text == "HashSet" {
+            emit(
+                ctx,
+                scan,
+                ctx.sig[i].start,
+                "determinism",
+                format!(
+                    "`{text}` in a crate that feeds serialized output: iteration \
+                     order is randomized per process — use BTreeMap/BTreeSet, or \
+                     annotate why ordering never reaches an artifact"
+                ),
+            );
+        }
+    }
+}
+
+/// R3 — panicking calls in library code.
+fn panic_policy(ctx: &FileCtx<'_>, scan: &mut FileScan) {
+    if ctx.file.role != Role::Lib {
+        return;
+    }
+    for i in 0..ctx.sig.len() {
+        if ctx.kind(i) != Some(TokenKind::Ident) {
+            continue;
+        }
+        let text = ctx.text(i);
+        let method_call = |name: &str| {
+            text == name && (i > 0 && ctx.text(i - 1) == ".") && ctx.text(i + 1) == "("
+        };
+        if method_call("unwrap") || method_call("expect") {
+            emit(
+                ctx,
+                scan,
+                ctx.sig[i].start,
+                "panic-policy",
+                format!(
+                    "`.{text}(…)` in library code: return an error (or annotate \
+                     the invariant that makes this unreachable)"
+                ),
+            );
+        }
+        if (text == "panic" || text == "todo") && ctx.text(i + 1) == "!" {
+            emit(
+                ctx,
+                scan,
+                ctx.sig[i].start,
+                "panic-policy",
+                format!("`{text}!` in library code: return an error instead"),
+            );
+        }
+    }
+}
+
+/// R4 — raw std locks outside `foundation` (whose guard API feeds the
+/// lock-order deadlock detector).
+fn lock_discipline(ctx: &FileCtx<'_>, scan: &mut FileScan) {
+    if ctx.file.role == Role::Test || ctx.file.role == Role::Bench {
+        return;
+    }
+    if ctx.file.crate_name.as_deref() == Some("foundation") {
+        return;
+    }
+    let n = ctx.sig.len();
+    for i in 0..n {
+        if ctx.kind(i) != Some(TokenKind::Ident) || ctx.text(i) != "std" {
+            continue;
+        }
+        // `std :: sync :: X` — qualified use or path expression.
+        if !(ctx.text(i + 1) == ":"
+            && ctx.text(i + 2) == ":"
+            && ctx.text(i + 3) == "sync"
+            && ctx.text(i + 4) == ":"
+            && ctx.text(i + 5) == ":")
+        {
+            continue;
+        }
+        let leaf = ctx.text(i + 6);
+        if leaf == "Mutex" || leaf == "RwLock" {
+            emit(
+                ctx,
+                scan,
+                ctx.sig[i].start,
+                "lock-discipline",
+                format!(
+                    "raw `std::sync::{leaf}`: use foundation::sync::{leaf} so the \
+                     acquisition goes through the deadlock-detecting guard API"
+                ),
+            );
+        } else if leaf == "{" {
+            // `use std::sync::{A, B, …};` — flag banned leaves inside
+            // the brace group (depth-1 idents only; `atomic::{…}`
+            // nested groups cannot contain lock types).
+            let mut j = i + 7;
+            let mut depth = 1i64;
+            while j < n && depth > 0 {
+                match ctx.text(j) {
+                    "{" => depth += 1,
+                    "}" => depth -= 1,
+                    "Mutex" | "RwLock" if depth == 1 => {
+                        let name = ctx.text(j).to_string();
+                        // Skip renamed imports of other things
+                        // (`x as Mutex` would be flagged — good).
+                        emit(
+                            ctx,
+                            scan,
+                            ctx.sig[j].start,
+                            "lock-discipline",
+                            format!(
+                                "raw `std::sync::{name}` import: use \
+                                 foundation::sync::{name} so the acquisition goes \
+                                 through the deadlock-detecting guard API"
+                            ),
+                        );
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_file(rel: &str, crate_name: Option<&str>) -> SourceFile {
+        SourceFile {
+            rel: rel.into(),
+            crate_name: crate_name.map(str::to_string),
+            role: Role::Lib,
+        }
+    }
+
+    fn rules_of(scan: &FileScan) -> Vec<(&str, u64)> {
+        scan.findings.iter().map(|f| (f.rule.as_str(), f.line)).collect()
+    }
+
+    #[test]
+    fn clock_reads_are_flagged_and_annotatable() {
+        let src = "fn f() {\n\
+                   let t = std::time::Instant::now();\n\
+                   let s = SystemTime::now(); // conformance: allow(determinism)\n\
+                   }\n";
+        let scan = scan_file(&lib_file("crates/net/src/x.rs", Some("net")), src);
+        assert_eq!(rules_of(&scan), vec![("determinism", 2)]);
+        assert_eq!(scan.suppressed, 1);
+    }
+
+    #[test]
+    fn standalone_annotation_covers_next_line() {
+        let src = "fn f() {\n\
+                   // conformance: allow(determinism) — measured, not emitted\n\
+                   let t = Instant::now();\n\
+                   }\n";
+        let scan = scan_file(&lib_file("crates/net/src/x.rs", Some("net")), src);
+        assert!(scan.findings.is_empty());
+        assert_eq!(scan.suppressed, 1);
+    }
+
+    #[test]
+    fn hash_containers_flagged_only_in_output_crates() {
+        let src = "use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) {}\n";
+        let in_core = scan_file(&lib_file("crates/core/src/x.rs", Some("core")), src);
+        assert_eq!(in_core.findings.len(), 2);
+        assert!(in_core.findings.iter().all(|f| f.rule == "determinism"));
+        let in_net = scan_file(&lib_file("crates/net/src/x.rs", Some("net")), src);
+        assert!(in_net.findings.is_empty());
+    }
+
+    #[test]
+    fn panic_policy_flags_unwrap_expect_panic_todo() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n\
+                   let a = x.unwrap();\n\
+                   let b = x.expect(\"msg\");\n\
+                   if a == b { panic!(\"boom\") }\n\
+                   todo!()\n\
+                   }\n";
+        let scan = scan_file(&lib_file("crates/html/src/x.rs", Some("html")), src);
+        assert_eq!(
+            rules_of(&scan),
+            vec![
+                ("panic-policy", 2),
+                ("panic-policy", 3),
+                ("panic-policy", 4),
+                ("panic-policy", 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn panic_policy_ignores_lookalikes_and_strings() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n\
+                   let a = x.unwrap_or(7);\n\
+                   let b = x.unwrap_or_else(|| 9);\n\
+                   let s = \"don't .unwrap() or panic! here\";\n\
+                   let p = std::panic::Location::caller();\n\
+                   #[should_panic]\n\
+                   a + b\n\
+                   }\n";
+        let scan = scan_file(&lib_file("crates/html/src/x.rs", Some("html")), src);
+        assert!(scan.findings.is_empty(), "{:?}", scan.findings);
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let src = "fn lib_code(x: Option<u32>) -> Option<u32> { x }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   #[test]\n\
+                   fn t() { lib_code(None).unwrap(); panic!(\"fine in tests\"); }\n\
+                   }\n";
+        let scan = scan_file(&lib_file("crates/html/src/x.rs", Some("html")), src);
+        assert!(scan.findings.is_empty(), "{:?}", scan.findings);
+    }
+
+    #[test]
+    fn cfg_test_mod_declaration_reports_module_name() {
+        let src = "#[cfg(test)]\nmod proptests;\nfn f(x: Option<u32>) { x.unwrap(); }\n";
+        let scan = scan_file(&lib_file("crates/html/src/lib.rs", Some("html")), src);
+        assert_eq!(scan.test_modules, vec!["proptests".to_string()]);
+        // The unwrap outside the region is still caught.
+        assert_eq!(rules_of(&scan), vec![("panic-policy", 3)]);
+    }
+
+    #[test]
+    fn lock_discipline_flags_raw_std_locks() {
+        let src = "use std::sync::{Arc, Mutex};\n\
+                   use std::sync::RwLock;\n\
+                   static M: std::sync::Mutex<u32> = std::sync::Mutex::new(0);\n";
+        let scan = scan_file(&lib_file("crates/net/src/x.rs", Some("net")), src);
+        assert_eq!(
+            rules_of(&scan),
+            vec![
+                ("lock-discipline", 1),
+                ("lock-discipline", 2),
+                ("lock-discipline", 3),
+                ("lock-discipline", 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn lock_discipline_exempts_foundation_and_atomics() {
+        let src = "use std::sync::{Arc, Mutex};\n";
+        let foundation =
+            scan_file(&lib_file("crates/foundation/src/sync.rs", Some("foundation")), src);
+        assert!(foundation.findings.is_empty());
+        let atomics = "use std::sync::atomic::{AtomicU64, Ordering};\nuse std::sync::Arc;\n";
+        let scan = scan_file(&lib_file("crates/net/src/x.rs", Some("net")), atomics);
+        assert!(scan.findings.is_empty());
+    }
+
+    #[test]
+    fn foundation_sync_locks_pass() {
+        let src = "use foundation::sync::{Mutex, RwLock};\nfn f() { let m = Mutex::new(0); }\n";
+        let scan = scan_file(&lib_file("crates/net/src/x.rs", Some("net")), src);
+        assert!(scan.findings.is_empty());
+    }
+
+    #[test]
+    fn tests_and_benches_roles_are_never_scanned() {
+        let src = "fn t() { None::<u32>.unwrap(); let i = Instant::now(); }\n";
+        for role in [Role::Test, Role::Bench] {
+            let file = SourceFile { rel: "tests/x.rs".into(), crate_name: None, role };
+            let scan = scan_file(&file, src);
+            assert!(scan.findings.is_empty());
+        }
+    }
+
+    #[test]
+    fn bins_skip_panic_policy_but_not_determinism() {
+        let src = "fn main() { None::<u32>.unwrap(); let i = Instant::now(); }\n";
+        let file = SourceFile {
+            rel: "crates/telemetry/src/bin/x.rs".into(),
+            crate_name: Some("telemetry".into()),
+            role: Role::Bin,
+        };
+        let scan = scan_file(&file, src);
+        assert_eq!(rules_of(&scan), vec![("determinism", 1)]);
+    }
+}

@@ -1,0 +1,229 @@
+//! Deterministic workspace discovery: every `.rs` source and every
+//! `Cargo.toml` manifest, classified by the role that decides which
+//! rules apply to it.
+//!
+//! Directory entries are visited in sorted order, and paths are
+//! emitted workspace-relative with `/` separators, so two scans of the
+//! same tree always produce the same file list — the first link in the
+//! report-determinism chain CI verifies with a double-run `cmp`.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// What kind of target a source file belongs to; rules scope by role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Library code under a crate's `src/` (or the root facade's).
+    Lib,
+    /// Binary code: `src/main.rs` or `src/bin/**`.
+    Bin,
+    /// Integration tests under `tests/`.
+    Test,
+    /// Bench targets under `benches/`.
+    Bench,
+    /// Examples under `examples/`.
+    Example,
+}
+
+/// One discovered `.rs` file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative `/`-separated path.
+    pub rel: String,
+    /// The owning crate's directory name under `crates/`, or `None`
+    /// for the root facade package.
+    pub crate_name: Option<String>,
+    /// Target role.
+    pub role: Role,
+}
+
+/// The discovered workspace: sources, manifests, and the root they are
+/// relative to.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Absolute workspace root.
+    pub root: PathBuf,
+    /// All `.rs` files, sorted by relative path.
+    pub sources: Vec<SourceFile>,
+    /// All `Cargo.toml` manifests, sorted by relative path.
+    pub manifests: Vec<String>,
+}
+
+impl Workspace {
+    /// Absolute path of a workspace-relative file.
+    pub fn abs(&self, rel: &str) -> PathBuf {
+        let mut p = self.root.clone();
+        for part in rel.split('/') {
+            p.push(part);
+        }
+        p
+    }
+}
+
+/// Child entries of `dir`, sorted by file name for determinism.
+fn sorted_entries(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+    entries.sort();
+    Ok(entries)
+}
+
+/// Recursively collect `.rs` files under `dir` into `out` as
+/// `(prefix-relative path, is_under_bin)` pairs.
+fn collect_rs(dir: &Path, prefix: &str, under_bin: bool, out: &mut Vec<(String, bool)>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in sorted_entries(dir)? {
+        let name = match entry.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n.to_string(),
+            None => continue, // non-UTF-8 names cannot be workspace sources
+        };
+        let rel = if prefix.is_empty() { name.clone() } else { format!("{prefix}/{name}") };
+        if entry.is_dir() {
+            let bin = under_bin || name == "bin";
+            collect_rs(&entry, &rel, bin, out)?;
+        } else if name.ends_with(".rs") {
+            out.push((rel, under_bin));
+        }
+    }
+    Ok(())
+}
+
+/// Register one package directory (the root or a `crates/<name>` dir).
+fn add_package(
+    ws: &mut Workspace,
+    pkg_dir: &Path,
+    pkg_rel: &str,
+    crate_name: Option<&str>,
+) -> io::Result<()> {
+    let join_rel = |tail: &str| {
+        if pkg_rel.is_empty() {
+            tail.to_string()
+        } else {
+            format!("{pkg_rel}/{tail}")
+        }
+    };
+
+    let manifest = pkg_dir.join("Cargo.toml");
+    if manifest.is_file() {
+        ws.manifests.push(join_rel("Cargo.toml"));
+    }
+
+    let sections: [(&str, Role); 4] = [
+        ("src", Role::Lib),
+        ("tests", Role::Test),
+        ("benches", Role::Bench),
+        ("examples", Role::Example),
+    ];
+    for (sub, role) in sections {
+        let mut files = Vec::new();
+        collect_rs(&pkg_dir.join(sub), sub, false, &mut files)?;
+        for (rel_in_pkg, under_bin) in files {
+            let role = if role == Role::Lib
+                && (under_bin || rel_in_pkg == "src/main.rs")
+            {
+                Role::Bin
+            } else {
+                role
+            };
+            ws.sources.push(SourceFile {
+                rel: join_rel(&rel_in_pkg),
+                crate_name: crate_name.map(str::to_string),
+                role,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Discover the workspace rooted at `root` (must contain the top-level
+/// `Cargo.toml` and the `crates/` directory).
+pub fn discover(root: &Path) -> io::Result<Workspace> {
+    if !root.join("Cargo.toml").is_file() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            "no Cargo.toml at the workspace root — wrong --root?",
+        ));
+    }
+    let mut ws = Workspace {
+        root: root.to_path_buf(),
+        sources: Vec::new(),
+        manifests: Vec::new(),
+    };
+
+    add_package(&mut ws, root, "", None)?;
+
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in sorted_entries(&crates_dir)? {
+            if !entry.is_dir() {
+                continue;
+            }
+            let Some(name) = entry.file_name().and_then(|n| n.to_str()).map(str::to_string)
+            else {
+                continue;
+            };
+            add_package(&mut ws, &entry, &format!("crates/{name}"), Some(&name))?;
+        }
+    }
+
+    ws.sources.sort_by(|a, b| a.rel.cmp(&b.rel));
+    ws.manifests.sort();
+    Ok(ws)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_root() -> PathBuf {
+        // crates/conformance → workspace root is two levels up.
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("repo root")
+    }
+
+    #[test]
+    fn discovers_this_workspace() {
+        let ws = discover(&repo_root()).expect("discover");
+        let rels: Vec<&str> = ws.sources.iter().map(|s| s.rel.as_str()).collect();
+        assert!(rels.contains(&"src/lib.rs"));
+        assert!(rels.contains(&"crates/foundation/src/sync.rs"));
+        assert!(rels.contains(&"crates/conformance/src/lexer.rs"));
+        assert!(ws.manifests.iter().any(|m| m == "Cargo.toml"));
+        assert!(ws.manifests.iter().any(|m| m == "crates/conformance/Cargo.toml"));
+    }
+
+    #[test]
+    fn roles_are_classified_by_location() {
+        let ws = discover(&repo_root()).expect("discover");
+        let role_of = |rel: &str| {
+            ws.sources
+                .iter()
+                .find(|s| s.rel == rel)
+                .map(|s| s.role)
+                .unwrap_or_else(|| panic!("{rel} not discovered"))
+        };
+        assert_eq!(role_of("crates/net/src/client.rs"), Role::Lib);
+        assert_eq!(role_of("crates/telemetry/src/bin/validate_manifest.rs"), Role::Bin);
+        assert_eq!(role_of("crates/net/tests/concurrency.rs"), Role::Test);
+        assert_eq!(role_of("tests/determinism.rs"), Role::Test);
+        assert_eq!(role_of("examples/quickstart.rs"), Role::Example);
+        let bench = ws
+            .sources
+            .iter()
+            .find(|s| s.rel.starts_with("crates/bench/benches/"))
+            .expect("bench targets discovered");
+        assert_eq!(bench.role, Role::Bench);
+    }
+
+    #[test]
+    fn discovery_is_deterministic() {
+        let a = discover(&repo_root()).expect("first");
+        let b = discover(&repo_root()).expect("second");
+        let ra: Vec<&str> = a.sources.iter().map(|s| s.rel.as_str()).collect();
+        let rb: Vec<&str> = b.sources.iter().map(|s| s.rel.as_str()).collect();
+        assert_eq!(ra, rb);
+        assert_eq!(a.manifests, b.manifests);
+    }
+}

@@ -1,0 +1,49 @@
+//! Property tests: the conformance lexer's totality contract.
+//!
+//! The analyzer's rules are only as trustworthy as the scanner beneath
+//! them, and the scanner sees every byte of the workspace — so it must
+//! be total. These properties pin the contract the unit tests spot-check:
+//! any input tokenizes without panicking, and the produced spans tile the
+//! input exactly (start at 0, no gaps, no overlaps, no empty tokens, end
+//! at `len`).
+
+use conformance::lexer::tokenize;
+use foundation::check::pattern;
+use foundation::prop_check;
+
+fn assert_tiles(src: &str) {
+    let tokens = tokenize(src);
+    let mut pos = 0;
+    for t in &tokens {
+        assert_eq!(t.start, pos, "gap or overlap at byte {pos} in {src:?}");
+        assert!(t.end > t.start, "empty token at byte {pos} in {src:?}");
+        pos = t.end;
+    }
+    assert_eq!(pos, src.len(), "tail not covered in {src:?}");
+}
+
+prop_check! {
+    /// Arbitrary printable soup (any chars, any length) scans totally.
+    fn scanner_total_on_arbitrary_input(input in pattern("\\PC{0,300}")) {
+        assert_tiles(&input);
+    }
+
+    /// Soup biased toward the modal constructs — quotes, raw-string
+    /// guards, comment markers, escapes — where a lexer state machine
+    /// would get stuck or double-consume if it could. Unterminated forms
+    /// must run to EOF and still tile.
+    fn scanner_total_on_rust_soup(
+        input in pattern("(\"|'|//|/\\*|\\*/|r#|#|b|\\\\n|\\\\|[a-z0-9_ ]|\n){0,120}"),
+    ) {
+        assert_tiles(&input);
+    }
+
+    /// Tokens survive re-slicing: every span is a valid `str` range (the
+    /// scanner never splits a UTF-8 character).
+    fn spans_are_char_boundaries(input in pattern("\\PC{0,200}")) {
+        for t in tokenize(&input) {
+            assert!(input.get(t.start..t.end).is_some(),
+                "span {}..{} splits a char in {input:?}", t.start, t.end);
+        }
+    }
+}

@@ -8,7 +8,7 @@ use crate::stats;
 use acctrade_crawler::record::OfferRecord;
 use acctrade_market::config::{MarketplaceId, ALL_MARKETPLACES};
 use acctrade_market::payments::{PaymentCategory, PaymentMethod};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One Table 1 row.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,7 +29,7 @@ pub fn table1(offers: &[OfferRecord]) -> Vec<Table1Row> {
             let name = m.name();
             let market_offers: Vec<&OfferRecord> =
                 offers.iter().filter(|o| o.marketplace == name).collect();
-            let sellers: HashSet<&str> = market_offers
+            let sellers: BTreeSet<&str> = market_offers
                 .iter()
                 .filter_map(|o| o.seller.as_deref())
                 .collect();
@@ -165,8 +165,8 @@ pub struct AnatomyStats {
 
 /// Compute the §4.1 statistics from offer records.
 pub fn anatomy_stats(offers: &[OfferRecord]) -> AnatomyStats {
-    let mut seller_countries: BTreeMap<String, HashSet<&str>> = BTreeMap::new();
-    let mut sellers: HashSet<(&str, &str)> = HashSet::new();
+    let mut seller_countries: BTreeMap<String, BTreeSet<&str>> = BTreeMap::new();
+    let mut sellers: BTreeSet<(&str, &str)> = BTreeSet::new();
     for o in offers {
         if let Some(s) = o.seller.as_deref() {
             sellers.insert((o.marketplace.as_str(), s));
@@ -175,7 +175,7 @@ pub fn anatomy_stats(offers: &[OfferRecord]) -> AnatomyStats {
             }
         }
     }
-    let mut per_market_sellers: BTreeMap<&str, HashSet<&str>> = BTreeMap::new();
+    let mut per_market_sellers: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
     for &(market, seller) in &sellers {
         per_market_sellers.entry(market).or_default().insert(seller);
     }
@@ -226,7 +226,7 @@ pub fn anatomy_stats(offers: &[OfferRecord]) -> AnatomyStats {
     let monetized: Vec<&OfferRecord> =
         offers.iter().filter(|o| o.monthly_revenue_usd.is_some()).collect();
     let revenues: Vec<f64> = monetized.iter().filter_map(|o| o.monthly_revenue_usd).collect();
-    let income_source_sellers: HashSet<&str> = offers
+    let income_source_sellers: BTreeSet<&str> = offers
         .iter()
         .filter(|o| o.income_source.is_some())
         .filter_map(|o| o.seller.as_deref())
@@ -297,9 +297,8 @@ pub fn figure3_outlier(offers: &[OfferRecord]) -> Option<&OfferRecord> {
         .iter()
         .filter(|o| o.price_usd.is_some())
         .max_by(|a, b| {
-            a.price_usd
-                .partial_cmp(&b.price_usd)
-                .expect("finite prices")
+            let (pa, pb) = (a.price_usd, b.price_usd);
+            pa.unwrap_or(f64::NEG_INFINITY).total_cmp(&pb.unwrap_or(f64::NEG_INFINITY))
         })
 }
 

@@ -28,7 +28,7 @@ use acctrade_workload::world::World;
 use foundation::rng::IndexedRandom;
 use foundation::rng::{RngExt, SeedableRng};
 use foundation::rng::ChaCha8Rng;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Outcome of the referral-monitoring experiment.
@@ -91,7 +91,7 @@ pub fn evaluate_referral_monitoring(
     let mut sessions_run = 0usize;
     if !visible.is_empty() {
         for _ in 0..buyer_sessions {
-            let offer = visible.choose(&mut rng).expect("non-empty");
+            let offer = visible.choose(&mut rng).expect("non-empty"); // conformance: allow(panic-policy) — `visible` is checked non-empty above
             let Some(link) = &offer.profile_link else { continue };
             let Ok(url) = Url::parse(link) else { continue };
             let req = Request::get(url).with_header("referer", offer.offer_url.clone());
@@ -117,14 +117,14 @@ pub fn evaluate_referral_monitoring(
     }
 
     // Score: flagged handles vs advertised handles.
-    let advertised: HashSet<(Platform, String)> = visible
+    let advertised: BTreeSet<(Platform, String)> = visible
         .iter()
         .filter_map(|o| {
             let p = o.platform.as_deref().and_then(Platform::parse)?;
             Some((p, o.handle.clone()?))
         })
         .collect();
-    let mut flagged_advertised_set: HashSet<(Platform, String)> = HashSet::new();
+    let mut flagged_advertised_set: BTreeSet<(Platform, String)> = BTreeSet::new();
     let mut flagged_unadvertised = 0usize;
     for (platform, monitor) in &monitors {
         for handle in monitor.flagged().keys() {
@@ -159,7 +159,7 @@ impl GrowthReport {
     /// The operating point with the best F1.
     pub fn best(&self) -> Option<&(f64, DetectorMetrics)> {
         self.operating_points.iter().max_by(|a, b| {
-            a.1.f1().partial_cmp(&b.1.f1()).expect("finite f1")
+            a.1.f1().total_cmp(&b.1.f1())
         })
     }
 }

@@ -7,7 +7,7 @@
 //! other account form a cluster; everything else is a singleton.
 
 use acctrade_crawler::record::{FetchStatus, ProfileRecord};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// One Table 7 row.
 #[derive(Debug, Clone, PartialEq)]
@@ -126,7 +126,7 @@ pub fn analyze(profiles: &[ProfileRecord]) -> NetworkAnalysis {
             }
             x
         }
-        let mut key_owner: HashMap<String, usize> = HashMap::new();
+        let mut key_owner: BTreeMap<String, usize> = BTreeMap::new();
         for (i, p) in live.iter().enumerate() {
             for key in attribute_keys(platform, p) {
                 match key_owner.get(&key) {

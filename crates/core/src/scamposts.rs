@@ -27,7 +27,7 @@ use acctrade_text::tokenize::tokenize_content;
 use acctrade_workload::textgen::{ScamCategory, ScamSubcategory, ALL_SUBCATEGORIES};
 use foundation::rng::{IndexedRandom, RngExt, SeedableRng};
 use foundation::rng::ChaCha8Rng;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Clustering backend (ablation switch).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -180,7 +180,7 @@ pub fn analyze(posts: &[PostRecord], cfg: ScamPipelineConfig) -> ScamAnalysis {
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x6CA3_0000_0000_0001);
 
     // 1+2: normalize, deduplicate, and language-filter distinct documents.
-    let mut doc_index: HashMap<String, usize> = HashMap::new();
+    let mut doc_index: BTreeMap<String, usize> = BTreeMap::new();
     let mut documents: Vec<String> = Vec::new();
     let mut doc_posts: Vec<Vec<usize>> = Vec::new(); // doc -> post indices
     let mut english_posts = 0usize;
@@ -266,14 +266,14 @@ pub fn analyze(posts: &[PostRecord], cfg: ScamPipelineConfig) -> ScamAnalysis {
 
     // 6: Tables 5 and 6.
     // Map each post to its cluster's vetted subcategory.
-    let mut doc_cluster: HashMap<usize, usize> = HashMap::new();
+    let mut doc_cluster: BTreeMap<usize, usize> = BTreeMap::new();
     for (ei, c) in clusters_of_eng.iter().enumerate() {
         if let Some(c) = c {
             doc_cluster.insert(eng_docs[ei], *c);
         }
     }
-    let mut per_platform: BTreeMap<String, (HashSet<u64>, usize)> = BTreeMap::new();
-    let mut per_sub: BTreeMap<ScamSubcategory, (HashSet<(String, u64)>, usize)> = BTreeMap::new();
+    let mut per_platform: BTreeMap<String, (BTreeSet<u64>, usize)> = BTreeMap::new();
+    let mut per_sub: BTreeMap<ScamSubcategory, (BTreeSet<(String, u64)>, usize)> = BTreeMap::new();
     for (di, post_list) in doc_posts.iter().enumerate() {
         let Some(&cid) = doc_cluster.get(&di) else { continue };
         let info = &clusters[cid];
@@ -317,7 +317,7 @@ pub fn analyze(posts: &[PostRecord], cfg: ScamPipelineConfig) -> ScamAnalysis {
                 })
                 .collect();
             // Category accounts: union of subcategory account sets.
-            let mut cat_accounts: HashSet<(String, u64)> = HashSet::new();
+            let mut cat_accounts: BTreeSet<(String, u64)> = BTreeSet::new();
             for (s, _, _) in &subrows {
                 if let Some((set, _)) = per_sub.get(s) {
                     cat_accounts.extend(set.iter().cloned());
@@ -426,7 +426,7 @@ pub fn synthetic_posts(
                 author += 1;
             }
             posts.push(PostRecord {
-                platform: (*platforms.choose(&mut rng).expect("non-empty")).to_string(),
+                platform: (*platforms.choose(&mut rng).expect("non-empty")).to_string(), // conformance: allow(panic-policy) — static platform table is non-empty
                 handle: format!("scam{author}"),
                 author_id: author,
                 post_id: posts.len() as u64,
@@ -443,7 +443,7 @@ pub fn synthetic_posts(
                 author += 1;
             }
             posts.push(PostRecord {
-                platform: (*platforms.choose(&mut rng).expect("non-empty")).to_string(),
+                platform: (*platforms.choose(&mut rng).expect("non-empty")).to_string(), // conformance: allow(panic-policy) — static platform table is non-empty
                 handle: format!("benign{author}"),
                 author_id: author,
                 post_id: posts.len() as u64,

@@ -7,7 +7,7 @@ pub fn median(values: &[f64]) -> Option<f64> {
         return None;
     }
     let mut v: Vec<f64> = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    v.sort_by(|a, b| a.total_cmp(b));
     let mid = v.len() / 2;
     Some(if v.len() % 2 == 1 { v[mid] } else { (v[mid - 1] + v[mid]) / 2.0 })
 }
@@ -25,7 +25,7 @@ pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
     }
     assert!((0.0..=1.0).contains(&q), "quantile out of range");
     let mut v: Vec<f64> = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    v.sort_by(|a, b| a.total_cmp(b));
     let rank = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
     Some(v[rank - 1])
 }
@@ -33,7 +33,7 @@ pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
 /// An empirical CDF: sorted `(x, F(x))` sample points.
 pub fn ecdf(values: &[f64]) -> Vec<(f64, f64)> {
     let mut v: Vec<f64> = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    v.sort_by(|a, b| a.total_cmp(b));
     let n = v.len() as f64;
     v.into_iter()
         .enumerate()

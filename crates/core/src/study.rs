@@ -195,7 +195,7 @@ impl Study {
     /// [`telemetry::RunManifest`] lands in [`StudyReport::telemetry`].
     pub fn run_on(&self, world: &mut World) -> StudyReport {
         self.run_on_store(world, None, None)
-            .expect("in-memory study cannot fail")
+            .expect("in-memory study cannot fail") // conformance: allow(panic-policy) — no store and no kill hook: infallible by construction
             .expect("no kill was requested")
     }
 
@@ -214,7 +214,7 @@ impl Study {
         let mut store = CampaignStore::create(store_dir)?;
         Ok(self
             .run_on_store(&mut world, Some(&mut store), None)?
-            .expect("no kill was requested"))
+            .expect("no kill was requested")) // conformance: allow(panic-policy) — no kill hook was passed
     }
 
     /// [`Study::run_persisted`], but stop (simulating a crash) once
@@ -518,7 +518,7 @@ impl Study {
             let mut requery = Vec::with_capacity(dataset.profiles.len());
             for p in &dataset.profiles {
                 let record = resolver
-                    .resolve(Platform::parse(&p.platform).expect("known platform"), &p.handle);
+                    .resolve(Platform::parse(&p.platform).expect("known platform"), &p.handle); // conformance: allow(panic-policy) — dataset platforms come from Platform::name
                 if let Some(s) = store.as_deref_mut() {
                     s.append_api_outcome(&ApiOutcomeRecord {
                         platform: record.platform.clone(),

@@ -8,7 +8,7 @@
 //! Depth-first is the paper's choice; a breadth-first mode exists for the
 //! ablation bench (it changes *when* offers are reached, not whether).
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 /// Visit-order strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -26,7 +26,7 @@ pub enum CrawlOrder {
 #[derive(Debug, Default)]
 pub struct Frontier {
     stack: VecDeque<String>,
-    seen: HashSet<String>,
+    seen: BTreeSet<String>,
     order: CrawlOrder,
 }
 

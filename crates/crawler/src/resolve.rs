@@ -144,7 +144,7 @@ impl<'a> ProfileResolver<'a> {
         &self,
         offers: &[OfferRecord],
     ) -> (Vec<ProfileRecord>, Vec<PostRecord>) {
-        self.resolve_offers_into(offers, None).expect("in-memory resolution cannot fail")
+        self.resolve_offers_into(offers, None).expect("in-memory resolution cannot fail") // conformance: allow(panic-policy) — no store: infallible by construction
     }
 
     /// [`ProfileResolver::resolve_offers`], streaming every record into a

@@ -14,7 +14,7 @@ use acctrade_net::client::Client;
 use acctrade_net::clock::DAY;
 use acctrade_workload::world::World;
 use foundation::json_codec_struct;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::io;
 
 /// One iteration's view of the market (Figure 2's two curves).
@@ -47,7 +47,7 @@ pub struct CampaignProgress {
     /// Deduplicated offers in first-seen order.
     pub offers: Vec<OfferRecord>,
     /// Offer URLs already seen (the dedup set).
-    pub seen: HashSet<String>,
+    pub seen: BTreeSet<String>,
     /// Per-iteration snapshots so far.
     pub snapshots: Vec<IterationSnapshot>,
     /// The next iteration to execute.
@@ -86,7 +86,7 @@ impl<'a> CrawlCampaign<'a> {
     ) -> (Dataset, Vec<IterationSnapshot>) {
         let mut progress = CampaignProgress::default();
         self.run_resumable(world, iterations, &mut progress, None, |_, _| Ok(true))
-            .expect("in-memory campaign cannot fail");
+            .expect("in-memory campaign cannot fail"); // conformance: allow(panic-policy) — no store and no kill hook: infallible by construction
         let dataset = Dataset { offers: progress.offers, ..Dataset::default() };
         (dataset, progress.snapshots)
     }
@@ -172,7 +172,7 @@ impl<'a> CrawlCampaign<'a> {
 /// Deduplicate offers by URL keeping first-seen order (used when merging
 /// externally collected record sets).
 pub fn dedup_offers(offers: Vec<OfferRecord>) -> Vec<OfferRecord> {
-    let mut seen = HashSet::new();
+    let mut seen = BTreeSet::new();
     offers
         .into_iter()
         .filter(|o| seen.insert(o.offer_url.clone()))
@@ -203,7 +203,7 @@ mod tests {
         // Replenishment adds new offers after the first pass.
         assert!(snaps[1..].iter().any(|s| s.new_offers > 0));
         // Dataset holds each offer exactly once.
-        let urls: HashSet<_> = dataset.offers.iter().map(|o| &o.offer_url).collect();
+        let urls: BTreeSet<_> = dataset.offers.iter().map(|o| &o.offer_url).collect();
         assert_eq!(urls.len(), dataset.offers.len());
         assert_eq!(dataset.offers.len(), last.cumulative_offers);
     }

@@ -16,7 +16,7 @@ use acctrade_html::{parse, Selector};
 use acctrade_net::client::Client;
 use acctrade_net::http::Status;
 use acctrade_social::platform::{Platform, ALL_PLATFORMS};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// §3.2's collection caps.
 pub const MAX_PAGES: usize = 5;
@@ -55,9 +55,9 @@ impl<'a> UndergroundCollector<'a> {
     pub fn collect(&self) -> (Vec<UndergroundRecord>, CollectStats) {
         let mut stats = CollectStats::default();
         let mut records = Vec::new();
-        let mut seen_threads: HashSet<String> = HashSet::new();
-        let mut per_platform: std::collections::HashMap<String, usize> =
-            std::collections::HashMap::new();
+        let mut seen_threads: BTreeSet<String> = BTreeSet::new();
+        let mut per_platform: std::collections::BTreeMap<String, usize> =
+            std::collections::BTreeMap::new();
 
         // Registration (the manual persona solves the CAPTCHA).
         let Ok(resp) = self.client.get(&format!("http://{}/register", self.host)) else {
@@ -132,8 +132,8 @@ impl<'a> UndergroundCollector<'a> {
     fn record_thread(
         &self,
         path: &str,
-        seen: &mut HashSet<String>,
-        per_platform: &mut std::collections::HashMap<String, usize>,
+        seen: &mut BTreeSet<String>,
+        per_platform: &mut std::collections::BTreeMap<String, usize>,
         records: &mut Vec<UndergroundRecord>,
         stats: &mut CollectStats,
     ) {
@@ -162,7 +162,7 @@ impl<'a> UndergroundCollector<'a> {
 
 fn extract_thread_links(html: &str) -> Vec<String> {
     let doc = parse(html);
-    doc.select(&Selector::parse("a").expect("static selector"))
+    doc.select(&Selector::parse("a").expect("static selector")) // conformance: allow(panic-policy) — selector literal is valid
         .into_iter()
         .filter_map(|a| a.attr("href"))
         .filter(|h| h.starts_with("/thread/"))
@@ -174,7 +174,7 @@ fn extract_thread_links(html: &str) -> Vec<String> {
 /// were consistently available across forums").
 fn parse_thread(market: &str, url: &str, html: &str) -> Option<UndergroundRecord> {
     let doc = parse(html);
-    let sel = |s: &str| Selector::parse(s).expect("static selector");
+    let sel = |s: &str| Selector::parse(s).expect("static selector"); // conformance: allow(panic-policy) — callers pass valid selector literals
     let text = |s: &str| doc.select_first(&sel(s)).map(|e| e.text()).filter(|t| !t.is_empty());
     let title = text(".title")?;
     Some(UndergroundRecord {

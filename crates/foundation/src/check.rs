@@ -516,7 +516,7 @@ mod pat {
                     min_text.push(chars[*pos]);
                     *pos += 1;
                 }
-                let min: u32 = min_text.parse().expect("quantifier min");
+                let min: u32 = min_text.parse().expect("quantifier min"); // conformance: allow(panic-policy) — panicking on a malformed test pattern is the harness contract
                 let max = if chars[*pos] == ',' {
                     *pos += 1;
                     let mut max_text = String::new();
@@ -524,7 +524,7 @@ mod pat {
                         max_text.push(chars[*pos]);
                         *pos += 1;
                     }
-                    max_text.parse().expect("quantifier max")
+                    max_text.parse().expect("quantifier max") // conformance: allow(panic-policy) — panicking on a malformed test pattern is the harness contract
                 } else {
                     min
                 };
@@ -826,7 +826,7 @@ where
             break;
         }
 
-        panic!(
+        panic!( // conformance: allow(panic-policy) — property failure must panic: that is prop_check's contract
             "[check] property `{name}` failed (case {case}/{cases}, seed {seed})\n\
              minimal input: {minimal:?}\n\
              failure: {message}\n\

@@ -367,7 +367,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                 // Consume one UTF-8 scalar (input is a &str, so this is
                 // always valid).
                 let s = unsafe { std::str::from_utf8_unchecked(&bytes[*pos..]) };
-                let c = s.chars().next().unwrap();
+                let c = s.chars().next().unwrap(); // conformance: allow(panic-policy) — pos < len is the loop guard; slice starts on a char boundary
                 out.push(c);
                 *pos += c.len_utf8();
             }
@@ -420,7 +420,7 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
             return Err(JsonError::parse("digits required in exponent", *pos));
         }
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii");
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii"); // conformance: allow(panic-policy) — scanner only accepted ASCII number bytes
     text.parse::<f64>()
         .map(Json::Num)
         .map_err(|_| JsonError::parse("invalid number", start))

@@ -66,7 +66,7 @@ pub fn unescape(s: &str) -> String {
                 }
             }
         }
-        let ch = s[i..].chars().next().expect("in-bounds char");
+        let ch = s[i..].chars().next().expect("in-bounds char"); // conformance: allow(panic-policy) — i < s.len() on a char boundary by loop construction
         out.push(ch);
         i += ch.len_utf8();
     }

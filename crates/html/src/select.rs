@@ -98,7 +98,7 @@ impl Selector {
     /// Does the element `id` match this selector (with its ancestors
     /// satisfying the leading compounds)?
     pub fn matches(&self, doc: &Document, id: NodeId) -> bool {
-        let (last, prefix) = self.chain.split_last().expect("non-empty chain");
+        let (last, prefix) = self.chain.split_last().expect("non-empty chain"); // conformance: allow(panic-policy) — the selector parser never yields an empty chain
         if !last.matches(doc, id) {
             return false;
         }

@@ -244,7 +244,7 @@ impl SimNet {
         if throttled {
             let retry_at = {
                 let hosts = self.hosts.lock();
-                let entry = hosts.get(&host).expect("host vanished mid-request");
+                let entry = hosts.get(&host).expect("host vanished mid-request"); // conformance: allow(panic-policy) — host was inserted under this same lock
                 entry
                     .limiter
                     .as_ref()

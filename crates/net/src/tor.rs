@@ -109,7 +109,7 @@ pub struct TorCircuit {
 impl TorCircuit {
     /// The exit relay's nickname — the "source" an onion service observes.
     pub fn exit_nickname(&self) -> &str {
-        &self.hops.last().expect("circuit has hops").nickname
+        &self.hops.last().expect("circuit has hops").nickname // conformance: allow(panic-policy) — circuits are built with >= 1 hop
     }
 
     /// Hop nicknames in path order (guard, middle, exit).

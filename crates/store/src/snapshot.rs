@@ -24,7 +24,7 @@ use crate::checkpoint::write_atomic;
 use crate::manifest::MANIFEST_FILE;
 use crate::segment::list_segments;
 use crate::wal::{replay, StoreError, WalOptions, Writer};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::Path;
 
 /// Scratch subdirectory used while building the compacted chain.
@@ -80,7 +80,7 @@ pub fn compact(
     }
 
     // Pass 1: classify, electing a winner per dedup key.
-    let mut winners: HashMap<String, (u64, u64)> = HashMap::new(); // key -> (version, seq)
+    let mut winners: BTreeMap<String, (u64, u64)> = BTreeMap::new(); // key -> (version, seq)
     let dispositions: Vec<Disposition> = records
         .iter()
         .map(|r| {
@@ -141,7 +141,7 @@ pub fn compact(
         std::fs::remove_file(path)?;
     }
     for (_, path) in list_segments(&tmp)? {
-        let name = path.file_name().expect("segment file has a name").to_os_string();
+        let name = path.file_name().expect("segment file has a name").to_os_string(); // conformance: allow(panic-policy) — list_segments only yields named segment files
         std::fs::rename(&path, dir.join(name))?;
     }
     write_atomic(&dir.join(MANIFEST_FILE), new_manifest.to_json_pretty().as_bytes())?;

@@ -470,7 +470,7 @@ impl Writer {
             });
         }
         let (bpos, boffset) =
-            boundary.expect("boundary set once committed records are gathered");
+            boundary.expect("boundary set once committed records are gathered"); // conformance: allow(panic-policy) — boundary is set whenever committed records were gathered
         let bseg = &scanned[bpos];
 
         // Everything past the boundary is discarded: first the tail of

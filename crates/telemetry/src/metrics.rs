@@ -9,7 +9,7 @@
 //! every export is deterministic regardless of shard layout.
 
 use foundation::sync::Mutex;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Number of shards. A power of two so the hash maps onto shards with a
 /// mask; 16 is plenty for the 8-thread test workloads while keeping the
@@ -198,9 +198,9 @@ impl Histogram {
 
 #[derive(Default)]
 struct Shard {
-    counters: Mutex<HashMap<Key, u64>>,
-    gauges: Mutex<HashMap<Key, f64>>,
-    histograms: Mutex<HashMap<Key, Histogram>>,
+    counters: Mutex<BTreeMap<Key, u64>>,
+    gauges: Mutex<BTreeMap<Key, f64>>,
+    histograms: Mutex<BTreeMap<Key, Histogram>>,
 }
 
 /// The sharded registry. All methods take `&self`; interior mutability is

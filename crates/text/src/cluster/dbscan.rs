@@ -51,7 +51,7 @@ pub fn dbscan(points: &[Vec<f32>], params: ClusterParams) -> Vec<ClusterLabel> {
             }
         }
     }
-    labels.into_iter().map(|l| l.expect("all points labeled")).collect()
+    labels.into_iter().map(|l| l.expect("all points labeled")).collect() // conformance: allow(panic-policy) — the sweep labels every point
 }
 
 #[cfg(test)]

@@ -108,7 +108,7 @@ fn lambda_of(weight: f64) -> f64 {
 fn extract(edges: &[(f64, usize, usize)], n: usize, min_size: usize) -> Vec<ClusterLabel> {
     // ---- single-linkage dendrogram ---------------------------------------
     let mut sorted: Vec<(f64, usize, usize)> = edges.to_vec();
-    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite weights"));
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     // Union-find mapping points to their current dendrogram node.
     let mut uf_parent: Vec<usize> = (0..n).collect();

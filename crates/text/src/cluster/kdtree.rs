@@ -99,7 +99,7 @@ impl<'a> KdTree<'a> {
             hits.retain(|&j| j != i);
             if hits.len() >= k {
                 let mut ds: Vec<f64> = hits.iter().map(|&j| dist(&self.points[j], query)).collect();
-                ds.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+                ds.sort_by(|a, b| a.total_cmp(b));
                 return ds[k - 1];
             }
             radius = (radius * 2.0).max(1e-6);
@@ -125,9 +125,7 @@ fn build_recursive(points: &[Vec<f32>], order: &mut [usize], depth: usize, dim: 
     let axis = depth % dim;
     let mid = order.len() / 2;
     order.select_nth_unstable_by(mid, |&a, &b| {
-        points[a][axis]
-            .partial_cmp(&points[b][axis])
-            .expect("finite coordinates")
+        points[a][axis].total_cmp(&points[b][axis])
     });
     let (left, rest) = order.split_at_mut(mid);
     build_recursive(points, left, depth + 1, dim);

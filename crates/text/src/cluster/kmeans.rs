@@ -60,11 +60,9 @@ pub fn kmeans(points: &[Vec<f32>], k: usize, seed: u64, max_iter: usize) -> (Vec
         for (i, p) in points.iter().enumerate() {
             let best = (0..k)
                 .min_by(|&a, &b| {
-                    dist(p, &centroids[a])
-                        .partial_cmp(&dist(p, &centroids[b]))
-                        .expect("finite distances")
+                    dist(p, &centroids[a]).total_cmp(&dist(p, &centroids[b]))
                 })
-                .expect("k > 0");
+                .expect("k > 0"); // conformance: allow(panic-policy) — k > 0 is asserted at entry
             if assignment[i] != best {
                 assignment[i] = best;
                 changed = true;

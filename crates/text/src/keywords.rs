@@ -54,8 +54,7 @@ pub fn class_tfidf_keywords(
                 })
                 .collect();
             scored.sort_by(|a, b| {
-                b.1.partial_cmp(&a.1)
-                    .expect("finite scores")
+                b.1.total_cmp(&a.1)
                     .then_with(|| a.0.cmp(&b.0))
             });
             scored.into_iter().take(k).map(|(t, _)| t).collect()

@@ -201,7 +201,7 @@ pub fn detect_language(text: &str) -> Lang {
             (p.lang, score)
         })
         .collect();
-    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+    scores.sort_by(|a, b| b.1.total_cmp(&a.1));
     let (best, best_score) = scores[0];
     let (_, second_score) = scores[1];
     // Per-trigram margin gate against ambiguous text.

@@ -55,17 +55,17 @@ pub fn handle<R: Rng + ?Sized>(theme: NameTheme, salt: u64, rng: &mut R) -> Stri
     let core = match theme {
         NameTheme::Trending => format!(
             "{}_{}",
-            TREND_WORDS.choose(rng).expect("non-empty"),
+            TREND_WORDS.choose(rng).expect("non-empty"), // conformance: allow(panic-policy) — static non-empty word pool
             SUFFIX_WORDS.choose(rng).expect("non-empty")
         ),
         NameTheme::Niche => format!(
             "{}.{}",
-            NICHE_WORDS.choose(rng).expect("non-empty"),
+            NICHE_WORDS.choose(rng).expect("non-empty"), // conformance: allow(panic-policy) — static non-empty word pool
             SUFFIX_WORDS.choose(rng).expect("non-empty")
         ),
         NameTheme::Personal => format!(
             "{}{}",
-            FIRST_NAMES.choose(rng).expect("non-empty"),
+            FIRST_NAMES.choose(rng).expect("non-empty"), // conformance: allow(panic-policy) — static non-empty word pool
             LAST_NAMES.choose(rng).expect("non-empty")
         ),
     };
@@ -86,17 +86,17 @@ pub fn display_name<R: Rng + ?Sized>(theme: NameTheme, rng: &mut R) -> String {
     match theme {
         NameTheme::Trending => format!(
             "{} {}",
-            cap(TREND_WORDS.choose(rng).expect("non-empty")),
+            cap(TREND_WORDS.choose(rng).expect("non-empty")), // conformance: allow(panic-policy) — static non-empty word pool
             cap(SUFFIX_WORDS.choose(rng).expect("non-empty"))
         ),
         NameTheme::Niche => format!(
             "{} {}",
-            cap(NICHE_WORDS.choose(rng).expect("non-empty")),
+            cap(NICHE_WORDS.choose(rng).expect("non-empty")), // conformance: allow(panic-policy) — static non-empty word pool
             cap(SUFFIX_WORDS.choose(rng).expect("non-empty"))
         ),
         NameTheme::Personal => format!(
             "{} {}",
-            cap(FIRST_NAMES.choose(rng).expect("non-empty")),
+            cap(FIRST_NAMES.choose(rng).expect("non-empty")), // conformance: allow(panic-policy) — static non-empty word pool
             cap(LAST_NAMES.choose(rng).expect("non-empty"))
         ),
     }
@@ -107,16 +107,16 @@ pub fn seller_username<R: Rng + ?Sized>(salt: u64, rng: &mut R) -> String {
     // Every style carries the salt so usernames are unique per
     // marketplace (Table 1 counts distinct sellers).
     let styles = [
-        format!("{}{}", FIRST_NAMES.choose(rng).expect("x"), salt % 100_000),
+        format!("{}{}", FIRST_NAMES.choose(rng).expect("x"), salt % 100_000), // conformance: allow(panic-policy) — static non-empty word pool
         format!(
             "{}_{}{}",
-            NICHE_WORDS.choose(rng).expect("x"),
+            NICHE_WORDS.choose(rng).expect("x"), // conformance: allow(panic-policy) — static non-empty word pool
             ["seller", "store", "deals", "shop", "trade"].choose(rng).expect("x"),
             salt % 100_000
         ),
         format!("vendor_{}", salt % 100_000),
     ];
-    styles.choose(rng).expect("non-empty").clone()
+    styles.choose(rng).expect("non-empty").clone() // conformance: allow(panic-policy) — `styles` is a non-empty literal array
 }
 
 /// Does the name mention a trending topic (the moderation engine's

@@ -228,7 +228,7 @@ fn fill<R: Rng + ?Sized>(template: &str, rng: &mut R) -> String {
     ];
     for (slot, pool) in slots {
         while out.contains(slot) {
-            out = out.replacen(slot, pool.choose(rng).expect("non-empty pool"), 1);
+            out = out.replacen(slot, pool.choose(rng).expect("non-empty pool"), 1); // conformance: allow(panic-policy) — every template pool is a non-empty static table
         }
     }
     out
@@ -334,7 +334,7 @@ fn scam_templates(sub: ScamSubcategory) -> &'static [&'static str] {
 
 /// Generate one scam post for a subcategory.
 pub fn scam_post_text<R: Rng + ?Sized>(sub: ScamSubcategory, rng: &mut R) -> String {
-    let t = scam_templates(sub).choose(rng).expect("templates exist");
+    let t = scam_templates(sub).choose(rng).expect("templates exist"); // conformance: allow(panic-policy) — every subcategory has templates
     fill(t, rng)
 }
 
@@ -427,7 +427,7 @@ const BENIGN_PATTERNS: &[&str] = &[
 /// Generate one benign post for topic `idx` (`0..BENIGN_TOPIC_COUNT`).
 pub fn benign_post_text<R: Rng + ?Sized>(idx: usize, rng: &mut R) -> String {
     let (a, b, c) = BENIGN_KEYWORDS[idx % BENIGN_TOPIC_COUNT];
-    let pattern = BENIGN_PATTERNS.choose(rng).expect("patterns exist");
+    let pattern = BENIGN_PATTERNS.choose(rng).expect("patterns exist"); // conformance: allow(panic-policy) — static non-empty pattern table
     pattern.replace("{a}", a).replace("{b}", b).replace("{c}", c)
 }
 
@@ -453,7 +453,7 @@ const FOREIGN_POSTS: &[&str] = &[
 
 /// Generate one non-English decoy post.
 pub fn foreign_post_text<R: Rng + ?Sized>(rng: &mut R) -> String {
-    (*FOREIGN_POSTS.choose(rng).expect("non-empty")).to_string()
+    (*FOREIGN_POSTS.choose(rng).expect("non-empty")).to_string() // conformance: allow(panic-policy) — static non-empty post table
 }
 
 #[cfg(test)]

@@ -43,7 +43,7 @@ use foundation::sync::RwLock;
 use foundation::rng::IndexedRandom;
 use foundation::rng::{RngExt, SeedableRng};
 use foundation::rng::ChaCha8Rng;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Parameters of a world.
@@ -76,7 +76,7 @@ impl WorldParams {
 #[derive(Debug, Clone, Default)]
 pub struct WorldTruth {
     /// Primary + secondary scam categories per (platform, account id).
-    pub scam_accounts: HashMap<(Platform, u64), Vec<ScamSubcategory>>,
+    pub scam_accounts: BTreeMap<(Platform, u64), Vec<ScamSubcategory>>,
     /// Scam posts generated per subcategory.
     pub scam_posts_by_sub: BTreeMap<ScamSubcategory, u32>,
     /// Coordinated clusters planted per platform: account-id groups.
@@ -227,7 +227,7 @@ impl World {
                 pick -= c;
             }
         }
-        (*LONG_TAIL_COUNTRIES.choose(&mut self.rng).expect("non-empty")).to_string()
+        (*LONG_TAIL_COUNTRIES.choose(&mut self.rng).expect("non-empty")).to_string() // conformance: allow(panic-policy) — static non-empty country table
     }
 
     // -- listings -------------------------------------------------------------
@@ -322,7 +322,7 @@ impl World {
             }
             pick -= w;
         }
-        weights.last().expect("non-empty weights").0
+        weights.last().expect("non-empty weights").0 // conformance: allow(panic-policy) — static non-empty weight table
     }
 
     fn listing_title(&mut self, platform: Platform, listing: &Listing) -> String {
@@ -372,7 +372,7 @@ impl World {
                 platform.name()
             ),
         ];
-        generic.choose(&mut self.rng).expect("non-empty").clone()
+        generic.choose(&mut self.rng).expect("non-empty").clone() // conformance: allow(panic-policy) — `generic` is a non-empty literal array
     }
 
     /// A description carrying one of §4.1's eight keyword-identifiable
@@ -456,7 +456,7 @@ impl World {
             profile.category = Some(
                 self.platform_category_pool
                     .choose(&mut self.rng)
-                    .expect("non-empty")
+                    .expect("non-empty") // conformance: allow(panic-policy) — category pool is seeded non-empty at construction
                     .clone(),
             );
         }
@@ -512,7 +512,7 @@ impl World {
                 "Trying to post more this year.",
             ],
         };
-        bios.choose(&mut self.rng).expect("non-empty").to_string()
+        bios.choose(&mut self.rng).expect("non-empty").to_string() // conformance: allow(panic-policy) — `bios` is a non-empty literal array
     }
 
     fn sample_creation_date(&mut self, platform: Platform) -> i64 {
@@ -723,7 +723,7 @@ impl World {
             for k in 0..scam_post_target {
                 let id = scam_ids[k % scam_ids.len()];
                 let cats = self.truth.scam_accounts[&(platform, id.0)].clone();
-                let sub = *cats.choose(&mut self.rng).expect("scam account has categories");
+                let sub = *cats.choose(&mut self.rng).expect("scam account has categories"); // conformance: allow(panic-policy) — ground truth records >= 1 category per scam account
                 let text = textgen::scam_post_text(sub, &mut self.rng);
                 self.push_post(&mut store, platform, id, text);
                 *self.truth.scam_posts_by_sub.entry(sub).or_insert(0) += 1;
@@ -776,7 +776,7 @@ impl World {
             }
             pick -= w;
         }
-        weights.last().expect("non-empty").0
+        weights.last().expect("non-empty").0 // conformance: allow(panic-policy) — static non-empty weight table
     }
 
     fn push_post(
@@ -941,9 +941,9 @@ impl World {
         let signoffs = ["Cheers.", "Stay safe out there.", "PGP on request.", "Vouch thread open."];
         format!(
             "{} {} {} {}",
-            openings.choose(&mut self.rng).expect("non-empty"),
+            openings.choose(&mut self.rng).expect("non-empty"), // conformance: allow(panic-policy) — static non-empty phrase pools
             details.choose(&mut self.rng).expect("non-empty"),
-            closings.choose(&mut self.rng).expect("non-empty"),
+            closings.choose(&mut self.rng).expect("non-empty"), // conformance: allow(panic-policy) — static non-empty phrase pools
             signoffs.choose(&mut self.rng).expect("non-empty"),
         )
     }

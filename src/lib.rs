@@ -23,6 +23,7 @@
 //! * `indicator_eval` — §9's proposed detection indicators, deployed and
 //!   scored against ground truth.
 
+pub use ::conformance;
 pub use acctrade_core as core;
 pub use acctrade_crawler as crawler;
 pub use acctrade_html as html;
@@ -45,7 +46,7 @@ pub mod output {
     /// The artifact root (`target/`), created on demand.
     pub fn dir() -> PathBuf {
         let dir = PathBuf::from("target");
-        std::fs::create_dir_all(&dir).expect("create target/");
+        std::fs::create_dir_all(&dir).expect("create target/"); // conformance: allow(panic-policy) — artifact helper: an unwritable target/ should abort examples and CI
         dir
     }
 
@@ -58,7 +59,7 @@ pub mod output {
     /// The parent is created on demand; the store itself owns `<tag>`.
     pub fn store_dir(tag: &str) -> PathBuf {
         let parent = dir().join("store");
-        std::fs::create_dir_all(&parent).expect("create target/store/");
+        std::fs::create_dir_all(&parent).expect("create target/store/"); // conformance: allow(panic-policy) — artifact helper: an unwritable target/ should abort examples and CI
         parent.join(tag)
     }
 }

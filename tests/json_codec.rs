@@ -525,3 +525,58 @@ fn dataset_rejects_malformed_documents() {
     assert!(Dataset::from_json("").is_err());
     assert!(Dataset::from_json("{offers: []}").is_err(), "unquoted keys rejected");
 }
+
+// ------------------------------------------------- conformance report --
+
+#[test]
+fn conformance_finding_roundtrips() {
+    let finding = acctrade::conformance::report::Finding {
+        rule: "determinism".into(),
+        file: "crates/core/src/anatomy.rs".into(),
+        line: 42,
+        col: 7,
+        message: "`HashMap` in a crate that feeds serialized output".into(),
+    };
+    let wire = roundtrip(&finding);
+    assert!(wire.contains("\"rule\""), "field names are on the wire: {wire}");
+    // Missing field and mistyped line are rejected.
+    assert!(json::from_str::<acctrade::conformance::report::Finding>(
+        "{\"rule\": \"determinism\", \"file\": \"a.rs\"}"
+    )
+    .is_err());
+    assert!(json::from_str::<acctrade::conformance::report::Finding>(
+        &wire.replace("42", "\"42\"")
+    )
+    .is_err());
+}
+
+#[test]
+fn conformance_report_roundtrips() {
+    let report = acctrade::conformance::report::LintReport {
+        files_scanned: 140,
+        manifests_scanned: 14,
+        suppressed: 3,
+        findings: vec![
+            acctrade::conformance::report::Finding {
+                rule: "panic-policy".into(),
+                file: "crates/core/src/study.rs".into(),
+                line: 198,
+                col: 14,
+                message: "`.expect(…)` in library code".into(),
+            },
+            acctrade::conformance::report::Finding {
+                rule: "zero-dep".into(),
+                file: "Cargo.toml".into(),
+                line: 12,
+                col: 1,
+                message: "external dependency `serde`".into(),
+            },
+        ],
+    };
+    roundtrip(&report);
+    // An empty (clean) report round-trips too — that is the shape CI
+    // byte-compares across the double run.
+    assert!(acctrade::conformance::report::LintReport::default().clean());
+    roundtrip(&acctrade::conformance::report::LintReport::default());
+    assert!(json::from_str::<acctrade::conformance::report::LintReport>("[]").is_err());
+}
