@@ -21,6 +21,10 @@
 #      (`acctrade-conformance`) must report zero findings over the
 #      workspace, and two back-to-back runs must emit byte-identical
 #      LINT_report.json files
+#   7. parallel determinism: the persisted quickstart campaign run at
+#      --workers 4 must produce byte-identical artifacts to the
+#      --workers 1 run from gate 5, and the parallel-crawl bench
+#      records the speedup trajectory into target/BENCH_report.json
 
 set -uo pipefail
 
@@ -134,6 +138,43 @@ if [ "$fail" -ne 0 ]; then
     exit 1
 fi
 echo "ci: conformance clean, report deterministic"
+
+# 7. Parallel-determinism gate: the same campaign on 4 crawl workers
+#    must be byte-identical to the sequential gate-5 run, and the
+#    parallel-crawl bench records the speedup trajectory.
+rm -rf target/store/ci-parallel target/gate-parallel
+
+run cargo run --release --offline --example quickstart -- --campaign \
+    --store-dir target/store/ci-parallel --workers 4 --out target/gate-parallel || fail=1
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "ci: FAILED (parallel campaign run did not complete)"
+    exit 1
+fi
+
+run cmp target/gate-clean/dataset.json target/gate-parallel/dataset.json || fail=1
+run cmp target/gate-clean/TELEMETRY_deterministic.txt \
+        target/gate-parallel/TELEMETRY_deterministic.txt || fail=1
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "ci: FAILED (--workers 4 artifacts differ from --workers 1)"
+    exit 1
+fi
+echo "ci: campaign artifacts byte-identical at 1 and 4 workers"
+
+echo
+echo "==> BENCH_REPORT_PATH=target/BENCH_report.json cargo bench --offline" \
+     "-p acctrade-bench --bench parallel_crawl"
+# Absolute path: cargo runs bench binaries from the package directory,
+# not the workspace root.
+BENCH_REPORT_PATH="$PWD/target/BENCH_report.json" cargo bench --offline \
+    -p acctrade-bench --bench parallel_crawl || fail=1
+if [ "$fail" -ne 0 ] || [ ! -f target/BENCH_report.json ]; then
+    echo
+    echo "ci: FAILED (parallel-crawl bench did not record target/BENCH_report.json)"
+    exit 1
+fi
+echo "ci: parallel-crawl speedup trajectory recorded in target/BENCH_report.json"
 
 echo
 echo "ci: OK"

@@ -16,7 +16,7 @@
 
 use crate::{anatomy, dynamics, efficacy, network, report, scamposts, setup, underground};
 use acctrade_crawler::persist::{
-    ApiOutcomeRecord, CampaignCheckpoint, CampaignStore, CHECKPOINT_SCHEMA,
+    ApiOutcomeRecord, CampaignCheckpoint, CampaignStore, ShardCursor, CHECKPOINT_SCHEMA,
 };
 use acctrade_crawler::record::{Dataset, ProfileRecord};
 use acctrade_crawler::resolve::ProfileResolver;
@@ -169,12 +169,24 @@ impl StudyReport {
 pub struct Study {
     /// Config.
     pub config: StudyConfig,
+    /// Worker threads for the sharded crawl engine (default 1). Not
+    /// part of [`StudyConfig`] on purpose: any worker count produces
+    /// byte-identical artifacts, so it must not perturb the config
+    /// digest a resume validates against — a campaign started at
+    /// `--workers 1` may legitimately resume at `--workers 8`.
+    pub workers: usize,
 }
 
 impl Study {
     /// Create a study.
     pub fn new(config: StudyConfig) -> Study {
-        Study { config }
+        Study { config, workers: 1 }
+    }
+
+    /// Set the crawl-engine worker count (builder style).
+    pub fn with_workers(mut self, workers: usize) -> Study {
+        self.workers = workers.max(1);
+        self
     }
 
     /// Run the full pipeline. This generates the world internally; use
@@ -194,7 +206,7 @@ impl Study {
     /// otherwise it creates its own. Either way the resulting
     /// [`telemetry::RunManifest`] lands in [`StudyReport::telemetry`].
     pub fn run_on(&self, world: &mut World) -> StudyReport {
-        self.run_on_store(world, None, None)
+        self.run_on_store(world, None, None, None)
             .expect("in-memory study cannot fail") // conformance: allow(panic-policy) — no store and no kill hook: infallible by construction
             .expect("no kill was requested")
     }
@@ -213,7 +225,7 @@ impl Study {
         });
         let mut store = CampaignStore::create(store_dir)?;
         Ok(self
-            .run_on_store(&mut world, Some(&mut store), None)?
+            .run_on_store(&mut world, Some(&mut store), None, None)?
             .expect("no kill was requested")) // conformance: allow(panic-policy) — no kill hook was passed
     }
 
@@ -231,7 +243,28 @@ impl Study {
             scale: self.config.scale,
         });
         let mut store = CampaignStore::create(store_dir)?;
-        self.run_on_store(&mut world, Some(&mut store), Some(kill_after_iterations))
+        self.run_on_store(&mut world, Some(&mut store), Some(kill_after_iterations), None)
+    }
+
+    /// [`Study::run_persisted`], but simulate a process death *inside*
+    /// the parallel crawl phase: during campaign iteration `iteration`,
+    /// the engine stops after `after_shards` shard completions and the
+    /// run aborts with nothing of that iteration persisted (the WAL and
+    /// checkpoint still describe the previous iteration boundary).
+    /// Returns `Ok(None)` when the kill fired; `Ok(Some)` if the run
+    /// finished before reaching it.
+    pub fn run_persisted_with_shard_kill(
+        &self,
+        store_dir: &Path,
+        iteration: usize,
+        after_shards: usize,
+    ) -> Result<Option<StudyReport>, StoreError> {
+        let mut world = World::generate(WorldParams {
+            seed: self.config.seed,
+            scale: self.config.scale,
+        });
+        let mut store = CampaignStore::create(store_dir)?;
+        self.run_on_store(&mut world, Some(&mut store), None, Some((iteration, after_shards)))
     }
 
     /// Resume an interrupted persisted study from `store_dir`.
@@ -244,6 +277,17 @@ impl Study {
     /// restored from its snapshot — and the campaign continues at the
     /// checkpointed iteration as if never interrupted.
     pub fn resume_from(config: StudyConfig, store_dir: &Path) -> Result<StudyReport, StoreError> {
+        Study::resume_from_with_workers(config, store_dir, 1)
+    }
+
+    /// [`Study::resume_from`] with an explicit crawl-engine worker
+    /// count. The count need not match the interrupted run's — any
+    /// combination converges on byte-identical artifacts.
+    pub fn resume_from_with_workers(
+        config: StudyConfig,
+        store_dir: &Path,
+        workers: usize,
+    ) -> Result<StudyReport, StoreError> {
         let (mut store, cp, wal_dataset, recovery) = CampaignStore::open_resume(store_dir)?;
         if cp.complete {
             return Err(StoreError::Invalid(
@@ -264,7 +308,7 @@ impl Study {
             )));
         }
 
-        let study = Study::new(config);
+        let study = Study::new(config).with_workers(workers);
 
         // Rebuild the simulation silently: deploy and world evolution were
         // already recorded before the interruption; re-recording them would
@@ -296,6 +340,7 @@ impl Study {
             campaign_started_us: cp.campaign_started_us,
             requests_base: cp.requests_issued,
             kill_after: None,
+            shard_kill: None,
         };
         let mut progress = CampaignProgress {
             seen: wal_dataset.offers.iter().map(|o| o.offer_url.clone()).collect(),
@@ -303,6 +348,7 @@ impl Study {
             snapshots: cp.snapshots,
             next_iteration: cp.next_iteration,
             step_unixes: cp.step_unixes,
+            shard_cursors: cp.shard_cursors,
         };
         {
             // Re-open the interrupted `crawl_campaign` span at its original
@@ -317,6 +363,7 @@ impl Study {
             dataset,
             snapshots: progress.snapshots,
             step_unixes: progress.step_unixes,
+            shard_cursors: progress.shard_cursors,
             recovery: Some(recovery),
         };
         study.finish(&mut world, &net, &rec, Some(&mut store), outcome, &ctx)
@@ -331,6 +378,7 @@ impl Study {
         world: &mut World,
         mut store: Option<&mut CampaignStore>,
         kill_after: Option<usize>,
+        shard_kill: Option<(usize, usize)>,
     ) -> Result<Option<StudyReport>, StoreError> {
         // Resolve the recorder before touching the fabric so
         // `SimNet::with_clock` installs the virtual clock into it.
@@ -353,6 +401,7 @@ impl Study {
             campaign_started_us: 0,
             requests_base: 0,
             kill_after,
+            shard_kill,
         };
 
         // -- Module 2a: the public-marketplace crawl campaign.
@@ -367,6 +416,8 @@ impl Study {
                     Client::new(&net, "acctrade-crawler/0.1").with_politeness(20.0, 8.0);
                 let mut campaign = CrawlCampaign::new(&crawler_client);
                 campaign.days_between = ctx.days_between;
+                campaign.workers = self.workers;
+                campaign.shard_kill = ctx.shard_kill;
                 campaign
                     .run_resumable(world, ctx.iterations, &mut progress, None, |_, _| Ok(true))
                     .map_err(StoreError::Io)?;
@@ -383,6 +434,7 @@ impl Study {
             dataset,
             snapshots: progress.snapshots,
             step_unixes: progress.step_unixes,
+            shard_cursors: progress.shard_cursors,
             recovery: None,
         };
         self.finish(world, &net, &rec, store, outcome, &ctx).map(Some)
@@ -402,6 +454,8 @@ impl Study {
         let crawler_client = Client::new(net, "acctrade-crawler/0.1").with_politeness(20.0, 8.0);
         let mut campaign = CrawlCampaign::new(&crawler_client);
         campaign.days_between = ctx.days_between;
+        campaign.workers = self.workers;
+        campaign.shard_kill = ctx.shard_kill;
         campaign
             .run_resumable(world, ctx.iterations, progress, Some(store), |progress, store| {
                 if let Some(s) = store {
@@ -413,6 +467,7 @@ impl Study {
                         progress.next_iteration,
                         &progress.snapshots,
                         &progress.step_unixes,
+                        &progress.shard_cursors,
                         false,
                     );
                     s.write_checkpoint(&cp)?;
@@ -433,6 +488,7 @@ impl Study {
         next_iteration: usize,
         snapshots: &[IterationSnapshot],
         step_unixes: &[i64],
+        shard_cursors: &[ShardCursor],
         complete: bool,
     ) -> CampaignCheckpoint {
         CampaignCheckpoint {
@@ -451,6 +507,7 @@ impl Study {
             segment_max_bytes: store.segment_max_bytes(),
             step_unixes: step_unixes.to_vec(),
             snapshots: snapshots.to_vec(),
+            shard_cursors: shard_cursors.to_vec(),
             telemetry: rec.snapshot(),
             complete,
         }
@@ -468,7 +525,8 @@ impl Study {
         outcome: CampaignOutcome,
         ctx: &PersistCtx,
     ) -> Result<StudyReport, StoreError> {
-        let CampaignOutcome { mut dataset, snapshots, step_unixes, recovery } = outcome;
+        let CampaignOutcome { mut dataset, snapshots, step_unixes, shard_cursors, recovery } =
+            outcome;
 
         // -- Module 2b: profile metadata + timelines for visible accounts.
         let api_client = Client::new(net, "acctrade-pipeline/0.1");
@@ -569,6 +627,7 @@ impl Study {
                 ctx.iterations,
                 &snapshots,
                 &step_unixes,
+                &shard_cursors,
                 true,
             );
             s.write_checkpoint(&cp)?;
@@ -612,6 +671,9 @@ struct PersistCtx {
     requests_base: usize,
     /// Crash injection: stop after this many completed iterations.
     kill_after: Option<usize>,
+    /// Crash injection inside the parallel phase: abort during
+    /// iteration `.0` once `.1` shards completed.
+    shard_kill: Option<(usize, usize)>,
 }
 
 /// What the campaign phase hands to the shared tail.
@@ -619,6 +681,7 @@ struct CampaignOutcome {
     dataset: Dataset,
     snapshots: Vec<IterationSnapshot>,
     step_unixes: Vec<i64>,
+    shard_cursors: Vec<ShardCursor>,
     recovery: Option<RecoveryReport>,
 }
 

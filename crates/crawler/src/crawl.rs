@@ -59,7 +59,6 @@ impl<'a> MarketplaceCrawler<'a> {
     /// Crawl the whole marketplace once. `iteration` stamps the records.
     pub fn crawl(&mut self, iteration: usize) -> (Vec<OfferRecord>, CrawlStats) {
         let mut stats = CrawlStats::default();
-        let mut records = Vec::new();
         let host = self.market.host();
         let base = Url::http(host, "/");
 
@@ -68,14 +67,60 @@ impl<'a> MarketplaceCrawler<'a> {
         let Ok(front) = self.client.get_url(&base) else {
             stats.fetch_errors += 1;
             self.record_stats(&stats);
-            return (records, stats);
+            return (Vec::new(), stats);
         };
         stats.pages_fetched += 1;
         for path in extract::parse_storefront(&front.text()) {
             self.frontier.push(format!("http://{host}{path}"));
         }
 
-        // DFS over listing pages and offers.
+        let records = self.drain_frontier(iteration, &mut stats);
+        self.record_stats(&stats);
+        (records, stats)
+    }
+
+    /// Fetch the storefront only and return the seed listing URLs, one
+    /// per platform chain. The parallel engine runs this discovery phase
+    /// sequentially on the coordinator, then crawls each chain as its
+    /// own shard via [`MarketplaceCrawler::crawl_chain`].
+    pub fn discover(&mut self) -> (Vec<String>, CrawlStats) {
+        let mut stats = CrawlStats::default();
+        let host = self.market.host();
+        let base = Url::http(host, "/");
+        let Ok(front) = self.client.get_url(&base) else {
+            stats.fetch_errors += 1;
+            self.record_stats(&stats);
+            return (Vec::new(), stats);
+        };
+        stats.pages_fetched += 1;
+        let seeds: Vec<String> = extract::parse_storefront(&front.text())
+            .into_iter()
+            .map(|path| format!("http://{host}{path}"))
+            .collect();
+        self.record_stats(&stats);
+        (seeds, stats)
+    }
+
+    /// Crawl one platform listing chain starting from `seed_url` (a URL
+    /// returned by [`MarketplaceCrawler::discover`]). Walks the chain's
+    /// pagination and every offer it links, exactly as the whole-market
+    /// crawl would have.
+    pub fn crawl_chain(
+        &mut self,
+        seed_url: &str,
+        iteration: usize,
+    ) -> (Vec<OfferRecord>, CrawlStats) {
+        let mut stats = CrawlStats::default();
+        self.frontier.push(seed_url.to_string());
+        let records = self.drain_frontier(iteration, &mut stats);
+        self.record_stats(&stats);
+        (records, stats)
+    }
+
+    /// DFS over listing pages and offers until the frontier is empty.
+    fn drain_frontier(&mut self, iteration: usize, stats: &mut CrawlStats) -> Vec<OfferRecord> {
+        let host = self.market.host();
+        let mut records = Vec::new();
         while let Some(url) = self.frontier.pop() {
             telemetry::with_recorder(|r| {
                 r.observe("crawl.frontier_depth", &[], self.frontier.pending() as u64);
@@ -99,7 +144,7 @@ impl<'a> MarketplaceCrawler<'a> {
             if is_offer {
                 let mut record = extract::parse_offer(self.market, &resp.text());
                 record.offer_url = url.clone();
-                record.collected_unix = self.client.net().clock().now_unix();
+                record.collected_unix = self.client.virtual_now_unix();
                 record.iteration = iteration;
                 records.push(record);
                 stats.offers_collected += 1;
@@ -115,8 +160,7 @@ impl<'a> MarketplaceCrawler<'a> {
                 }
             }
         }
-        self.record_stats(&stats);
-        (records, stats)
+        records
     }
 
     /// Mirror one crawl's stats into the current telemetry recorder, keyed

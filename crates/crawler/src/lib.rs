@@ -12,6 +12,12 @@
 //! * [`frontier`] — the depth-first crawl frontier with a visited set;
 //! * [`crawl`] — the marketplace crawler: storefront → listing pages →
 //!   every offer, exactly the §3.2 strategy;
+//! * [`steal`] — the sharded work-stealing parallel engine: one
+//!   (marketplace, platform-chain) shard per work unit, per-worker
+//!   steal deques, per-shard deterministic lanes;
+//! * [`merge`] — the canonical `(virtual timestamp, stable tiebreak)`
+//!   record order that makes parallel output byte-identical to
+//!   sequential output;
 //! * [`schedule`] — the Feb–Jun iteration scheduler (Figure 2's
 //!   collection iterations);
 //! * [`resolve`] — the profile resolver: queries platform APIs for
@@ -27,15 +33,18 @@
 pub mod crawl;
 pub mod extract;
 pub mod frontier;
+pub mod merge;
 pub mod persist;
 pub mod record;
 pub mod resolve;
 pub mod schedule;
+pub mod steal;
 pub mod underground;
 
 pub use crawl::MarketplaceCrawler;
-pub use persist::{ApiOutcomeRecord, CampaignCheckpoint, CampaignStore};
+pub use persist::{ApiOutcomeRecord, CampaignCheckpoint, CampaignStore, ShardCursor};
 pub use record::{Dataset, OfferRecord, PostRecord, ProfileRecord, UndergroundRecord};
 pub use resolve::ProfileResolver;
 pub use schedule::{CampaignProgress, CrawlCampaign, IterationSnapshot};
+pub use steal::{IterationRun, ShardJob, ShardOutcome, WorkerReport};
 pub use underground::UndergroundCollector;

@@ -49,8 +49,30 @@ pub const KIND_API_OUTCOME: u8 = 5;
 /// Checkpoint file name inside a store directory.
 pub const CHECKPOINT_FILE: &str = "checkpoint.json";
 
-/// Checkpoint schema identifier.
-pub const CHECKPOINT_SCHEMA: &str = "acctrade-campaign-checkpoint/v1";
+/// Checkpoint schema identifier. v2 added `shard_cursors` (per-shard
+/// lane provenance from the parallel crawl engine).
+pub const CHECKPOINT_SCHEMA: &str = "acctrade-campaign-checkpoint/v2";
+
+/// Per-shard lane provenance from the last completed iteration: where
+/// each (marketplace, chain) shard's private clock and RNG substream
+/// ended. Chain 0 is the marketplace's discovery pseudo-shard (the
+/// storefront fetch); chains ≥ 1 are platform listing chains in
+/// storefront order. Recorded so a resumed campaign can prove its
+/// parallel phase replayed identically (the cursors of a clean run and
+/// a killed-and-resumed run must match byte-for-byte).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardCursor {
+    /// Marketplace display name.
+    pub marketplace: String,
+    /// Chain index (0 = discovery, ≥ 1 = listing chains).
+    pub chain: usize,
+    /// Lane virtual-time cursor at shard end (µs since epoch).
+    pub lane_end_us: u64,
+    /// Words consumed from the lane's RNG substream.
+    pub lane_rng_words: u64,
+    /// Records the shard collected (pre-dedup).
+    pub records: u64,
+}
 
 /// One §8 efficacy re-query outcome, persisted compactly (the full
 /// profile is not needed — the audit only consumes platform/handle/
@@ -102,6 +124,9 @@ pub struct CampaignCheckpoint {
     pub step_unixes: Vec<i64>,
     /// Per-iteration snapshots so far.
     pub snapshots: Vec<IterationSnapshot>,
+    /// Per-shard lane cursors from the last completed iteration
+    /// (empty before the first iteration finishes).
+    pub shard_cursors: Vec<ShardCursor>,
     /// Full telemetry snapshot at checkpoint time.
     pub telemetry: TelemetrySnapshot,
     /// True once the study finished; a complete checkpoint cannot be
@@ -111,11 +136,12 @@ pub struct CampaignCheckpoint {
 
 json_codec_struct! {
     ApiOutcomeRecord { platform, handle, status, at_unix }
+    ShardCursor { marketplace, chain, lane_end_us, lane_rng_words, records }
     CampaignCheckpoint {
         schema, seed, config_digest, iterations_total, next_iteration,
         days_between, t0_unix, campaign_started_us, clock_us, net_rng_words,
         requests_issued, committed_records, segment_max_bytes, step_unixes,
-        snapshots, telemetry, complete,
+        snapshots, shard_cursors, telemetry, complete,
     }
 }
 
@@ -150,6 +176,17 @@ impl CampaignCheckpoint {
         }
         if self.config_digest.len() != 16 {
             return Err("config_digest is not a 16-hex-char digest".into());
+        }
+        let mut cursor_keys: Vec<(&str, usize)> = self
+            .shard_cursors
+            .iter()
+            .map(|c| (c.marketplace.as_str(), c.chain))
+            .collect();
+        cursor_keys.sort_unstable();
+        let before = cursor_keys.len();
+        cursor_keys.dedup();
+        if cursor_keys.len() != before {
+            return Err("duplicate (marketplace, chain) shard cursor".into());
         }
         self.telemetry.validate()?;
         Ok(())
@@ -398,6 +435,7 @@ mod tests {
             segment_max_bytes: store.segment_max_bytes(),
             step_unixes: Vec::new(),
             snapshots: Vec::new(),
+            shard_cursors: Vec::new(),
             telemetry: telemetry::Recorder::new().snapshot(),
             complete: false,
         }

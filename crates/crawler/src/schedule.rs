@@ -6,10 +6,10 @@
 //! per iteration, advances the virtual clock between iterations, lets the
 //! world churn/replenish, and records one [`IterationSnapshot`] per pass.
 
-use crate::crawl::MarketplaceCrawler;
-use crate::persist::CampaignStore;
+use crate::merge;
+use crate::persist::{CampaignStore, ShardCursor};
 use crate::record::{Dataset, OfferRecord};
-use acctrade_market::config::ALL_MARKETPLACES;
+use crate::steal;
 use acctrade_net::client::Client;
 use acctrade_net::clock::DAY;
 use acctrade_workload::world::World;
@@ -55,6 +55,9 @@ pub struct CampaignProgress {
     /// Virtual timestamps at which `world.step_iteration` already ran
     /// (replayed verbatim on resume so the world evolves identically).
     pub step_unixes: Vec<i64>,
+    /// Per-shard lane cursors from the last completed iteration (folded
+    /// into the checkpoint as parallel-crawl provenance).
+    pub shard_cursors: Vec<ShardCursor>,
 }
 
 /// Default virtual days between iterations (the paper's ~150-day
@@ -67,13 +70,28 @@ pub struct CrawlCampaign<'a> {
     /// Virtual days between iterations (the Feb–Jun window spread over
     /// the configured number of passes).
     pub days_between: u64,
+    /// Worker threads for the sharded crawl engine. Any value produces
+    /// byte-identical artifacts — shards run on deterministic lanes and
+    /// merge canonically ([`crate::steal`], [`crate::merge`]) — so this
+    /// knob only trades wall-clock time.
+    pub workers: usize,
+    /// Crash-injection hook: kill the process model after
+    /// `(iteration, shards)` — i.e. once that many shards of that
+    /// iteration completed — leaving the iteration unpersisted, exactly
+    /// like a real mid-crawl death. Test-only plumbing.
+    pub shard_kill: Option<(usize, usize)>,
 }
 
 impl<'a> CrawlCampaign<'a> {
     /// A campaign with the paper's spacing: 10 iterations across ~150
     /// days.
     pub fn new(client: &'a Client) -> CrawlCampaign<'a> {
-        CrawlCampaign { client, days_between: DEFAULT_DAYS_BETWEEN }
+        CrawlCampaign {
+            client,
+            days_between: DEFAULT_DAYS_BETWEEN,
+            workers: 1,
+            shard_kill: None,
+        }
     }
 
     /// Run `iterations` passes over all marketplaces, evolving `world`
@@ -114,20 +132,61 @@ impl<'a> CrawlCampaign<'a> {
     {
         for iteration in progress.next_iteration..iterations {
             let at_unix = self.client.net().clock().now_unix();
-            let mut active = 0usize;
+            let kill = match self.shard_kill {
+                Some((at, shards)) if at == iteration => Some(shards),
+                _ => None,
+            };
+            let run = steal::run_iteration(self.client, iteration, self.workers, kill);
+            if run.killed {
+                // A mid-parallel death: lanes are discarded, nothing
+                // was appended to the store, and `progress` still says
+                // this iteration never ran — resume re-executes it from
+                // the last checkpoint.
+                return Ok(());
+            }
+
+            // Fold the shard lanes back into the fabric in canonical
+            // shard order: the shared log and clock end up identical no
+            // matter which workers ran which shards.
+            let net = self.client.net();
+            let mut cursors = Vec::new();
+            for (market, lane) in &run.discovery {
+                cursors.push(ShardCursor {
+                    marketplace: market.name().to_string(),
+                    chain: 0,
+                    lane_end_us: lane.now_us(),
+                    lane_rng_words: lane.rng_word_position(),
+                    records: 0,
+                });
+                net.absorb_lane(lane);
+            }
+            for outcome in &run.outcomes {
+                cursors.push(ShardCursor {
+                    marketplace: outcome.market.name().to_string(),
+                    chain: outcome.chain,
+                    lane_end_us: outcome.lane.now_us(),
+                    lane_rng_words: outcome.lane.rng_word_position(),
+                    records: outcome.records.len() as u64,
+                });
+                net.absorb_lane(&outcome.lane);
+            }
+            cursors.sort_by(|a, b| (&a.marketplace, a.chain).cmp(&(&b.marketplace, b.chain)));
+            progress.shard_cursors = cursors;
+
+            // Deterministic merge: virtual-timestamp order with the
+            // stable (marketplace, offer_url, iteration) tiebreak —
+            // never completion order.
+            let merged =
+                merge::merge_shards(run.outcomes.into_iter().map(|o| o.records).collect());
+            let active = merged.len();
             let mut fresh = 0usize;
-            for market in ALL_MARKETPLACES {
-                let mut crawler = MarketplaceCrawler::new(self.client, market);
-                let (records, _stats) = crawler.crawl(iteration);
-                active += records.len();
-                for record in records {
-                    if progress.seen.insert(record.offer_url.clone()) {
-                        fresh += 1;
-                        if let Some(s) = store.as_deref_mut() {
-                            s.append_offer(&record)?;
-                        }
-                        progress.offers.push(record);
+            for record in merged {
+                if progress.seen.insert(record.offer_url.clone()) {
+                    fresh += 1;
+                    if let Some(s) = store.as_deref_mut() {
+                        s.append_offer(&record)?;
                     }
+                    progress.offers.push(record);
                 }
             }
             telemetry::with_recorder(|r| {

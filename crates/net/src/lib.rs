@@ -31,11 +31,16 @@
 //!   redirects, politeness) that talks to the fabric.
 //! * [`sim`] — [`sim::SimNet`], the fabric itself: host registry, per-host
 //!   latency and rate limits, fault injection, request log.
+//! * [`lane`] — deterministic per-shard execution lanes: a private RNG
+//!   substream, virtual-time cursor, and buffered request log that let the
+//!   parallel crawl engine run shards on worker threads without scheduling
+//!   order ever leaking into the simulation.
 //!
-//! Everything is synchronous and single-threaded by design: the workload is
-//! CPU-bound simulation, for which the async-runtime guides explicitly
-//! recommend *not* reaching for an async runtime. Determinism comes from a
-//! single seed threaded through `foundation::rng`.
+//! Everything is synchronous by design: the workload is CPU-bound
+//! simulation, for which the async-runtime guides explicitly recommend
+//! *not* reaching for an async runtime. Determinism comes from a single
+//! seed threaded through `foundation::rng`; parallel crawls keep it by
+//! confining each shard to its own [`lane::Lane`].
 //!
 //! ## Example
 //!
@@ -63,6 +68,7 @@ pub mod clock;
 pub mod client;
 pub mod error;
 pub mod http;
+pub mod lane;
 pub mod latency;
 pub mod ratelimit;
 pub mod robots;

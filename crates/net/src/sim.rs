@@ -4,13 +4,14 @@
 use crate::clock::SimClock;
 use crate::error::{NetError, NetResult};
 use crate::http::{Request, Response, Status};
+use crate::lane::Lane;
 use crate::latency::LatencyModel;
 use crate::ratelimit::TokenBucket;
 use crate::robots::RobotsPolicy;
 use crate::server::{RequestCtx, Service};
-use foundation::sync::Mutex;
-use foundation::rng::{RngExt, SeedableRng};
+use foundation::rng::{splitmix64, RngExt, SeedableRng};
 use foundation::rng::ChaCha8Rng;
+use foundation::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -65,6 +66,7 @@ struct HostEntry {
 /// analyses ("how many requests did the crawl issue", "how long did the
 /// underground collection take").
 pub struct SimNet {
+    seed: u64,
     clock: SimClock,
     hosts: Mutex<HashMap<String, HostEntry>>,
     rng: Mutex<ChaCha8Rng>,
@@ -87,12 +89,40 @@ impl SimNet {
     pub fn with_clock(seed: u64, clock: SimClock) -> Arc<SimNet> {
         telemetry::with_recorder(|r| r.set_virtual_clock(Arc::new(clock.clone())));
         Arc::new(SimNet {
+            seed,
             clock,
             hosts: Mutex::new(HashMap::new()),
             rng: Mutex::new(ChaCha8Rng::seed_from_u64(seed ^ 0x5EED_0000_0000_00F0)),
             log: Mutex::new(Vec::new()),
             faults: Mutex::new(FaultPlan::default()),
         })
+    }
+
+    /// Open a deterministic [`Lane`] starting at the current shared
+    /// clock. `salt` must be stable across runs (derive it from the
+    /// shard's marketplace/chain/iteration, never from scheduling) —
+    /// the lane's RNG substream is a pure function of `(seed, salt)`.
+    pub fn lane(&self, salt: u64) -> Arc<Lane> {
+        self.lane_starting_at(salt, self.clock.now_us())
+    }
+
+    /// Open a deterministic [`Lane`] with an explicit virtual start
+    /// (chain lanes start where their marketplace's discovery lane
+    /// ended, not at the shared clock).
+    pub fn lane_starting_at(&self, salt: u64, start_us: u64) -> Arc<Lane> {
+        let stream = splitmix64(self.seed ^ 0x5EED_0000_0000_1A4E) ^ splitmix64(salt);
+        Arc::new(Lane::new(start_us, ChaCha8Rng::seed_from_u64(stream)))
+    }
+
+    /// Fold a finished lane back into the fabric: drain its buffered
+    /// request log into the shared log and advance the shared clock to
+    /// the lane's cursor (never backwards). Callers absorb lanes in a
+    /// fixed shard order after all workers join, so the shared log's
+    /// contents are independent of worker scheduling.
+    pub fn absorb_lane(&self, lane: &Lane) {
+        let entries = lane.drain_log();
+        self.log.lock().extend(entries);
+        let _ = self.clock.advance_to(lane.now_us());
     }
 
     /// The shared clock.
@@ -185,35 +215,61 @@ impl SimNet {
         via_tor: bool,
         extra_latency_us: u64,
     ) -> NetResult<Response> {
+        self.dispatch_in(req, peer, via_tor, extra_latency_us, None)
+    }
+
+    /// [`SimNet::dispatch`], but charging virtual time, RNG draws, and
+    /// log entries to `lane` when one is given (the parallel-crawl
+    /// path). With `lane: None` the shared clock/RNG/log are used — the
+    /// original single-threaded semantics, unchanged.
+    pub fn dispatch_in(
+        &self,
+        req: &Request,
+        peer: &str,
+        via_tor: bool,
+        extra_latency_us: u64,
+        lane: Option<&Lane>,
+    ) -> NetResult<Response> {
         let host = req.url.host().to_string();
         if req.url.is_onion() && !via_tor {
             return Err(NetError::TorRequired(host));
         }
 
         // Sample latency and faults first so the RNG stream does not depend
-        // on registry state.
-        let (latency_us, reset, timeout) = {
+        // on registry state. Lock order: hosts → faults → rng (the lane RNG
+        // is a leaf — nothing else is acquired while it is held).
+        let (latency_us, reset, timeout, deadline) = {
             let hosts = self.hosts.lock();
             let Some(entry) = hosts.get(&host) else {
                 drop(hosts);
-                self.push_log(req, &host, None, via_tor, 0);
+                self.push_log_in(req, &host, None, via_tor, 0, lane);
                 telemetry::with_recorder(|r| {
                     r.incr("net.faults", &[("kind", "unreachable")], 1);
                 });
                 return Err(NetError::HostUnreachable(host));
             };
-            let mut rng = self.rng.lock();
             let faults = *self.faults.lock();
-            let lat = entry.latency.sample(&mut *rng) + extra_latency_us;
-            let reset = faults.reset_prob > 0.0 && rng.random_bool(faults.reset_prob);
-            let timeout = faults.timeout_prob > 0.0 && rng.random_bool(faults.timeout_prob);
-            (lat, reset, timeout)
+            let draw = |rng: &mut ChaCha8Rng| {
+                let lat = entry.latency.sample(rng) + extra_latency_us;
+                let reset = faults.reset_prob > 0.0 && rng.random_bool(faults.reset_prob);
+                let timeout = faults.timeout_prob > 0.0 && rng.random_bool(faults.timeout_prob);
+                (lat, reset, timeout, faults.deadline_us)
+            };
+            match lane {
+                Some(l) => draw(&mut l.rng()),
+                None => draw(&mut self.rng.lock()),
+            }
         };
 
-        let deadline = self.faults.lock().deadline_us;
+        let advance = |delta_us: u64| match lane {
+            Some(l) => l.advance(delta_us),
+            None => {
+                self.clock.advance(delta_us);
+            }
+        };
         if timeout {
-            self.clock.advance(deadline);
-            self.push_log(req, &host, None, via_tor, deadline);
+            advance(deadline);
+            self.push_log_in(req, &host, None, via_tor, deadline, lane);
             telemetry::with_recorder(|r| {
                 r.incr("net.faults", &[("kind", "timeout")], 1);
             });
@@ -221,16 +277,19 @@ impl SimNet {
         }
         if reset {
             // A reset burns roughly half the would-be latency.
-            self.clock.advance(latency_us / 2);
-            self.push_log(req, &host, None, via_tor, latency_us / 2);
+            advance(latency_us / 2);
+            self.push_log_in(req, &host, None, via_tor, latency_us / 2, lane);
             telemetry::with_recorder(|r| {
                 r.incr("net.faults", &[("kind", "reset")], 1);
             });
             return Err(NetError::ConnectionReset(host));
         }
 
-        self.clock.advance(latency_us);
-        let now_us = self.clock.now_us();
+        advance(latency_us);
+        let now_us = match lane {
+            Some(l) => l.now_us(),
+            None => self.clock.now_us(),
+        };
 
         // Server-side throttling.
         let throttled = {
@@ -253,7 +312,7 @@ impl SimNet {
             };
             let resp = Response::status(Status::TooManyRequests)
                 .with_header("retry-after-us", (retry_at.saturating_sub(now_us)).to_string());
-            self.push_log(req, &host, Some(resp.status), via_tor, latency_us);
+            self.push_log_in(req, &host, Some(resp.status), via_tor, latency_us, lane);
             telemetry::with_recorder(|r| {
                 r.incr("net.throttled", &[("host", &host)], 1);
                 let code = resp.status.code().to_string();
@@ -270,7 +329,15 @@ impl SimNet {
         };
         let ctx = RequestCtx { now_us, peer: peer.to_string(), via_tor };
         let resp = service.handle(req, &ctx);
-        self.push_log_sized(req, &host, Some(resp.status), via_tor, latency_us, resp.body.len());
+        self.push_log_sized_in(
+            req,
+            &host,
+            Some(resp.status),
+            via_tor,
+            latency_us,
+            resp.body.len(),
+            lane,
+        );
         telemetry::with_recorder(|r| {
             let code = resp.status.code().to_string();
             r.incr("net.requests", &[("host", &host), ("status", &code)], 1);
@@ -279,18 +346,20 @@ impl SimNet {
         Ok(resp)
     }
 
-    fn push_log(
+    fn push_log_in(
         &self,
         req: &Request,
         host: &str,
         status: Option<Status>,
         via_tor: bool,
         latency_us: u64,
+        lane: Option<&Lane>,
     ) {
-        self.push_log_sized(req, host, status, via_tor, latency_us, 0);
+        self.push_log_sized_in(req, host, status, via_tor, latency_us, 0, lane);
     }
 
-    fn push_log_sized(
+    #[allow(clippy::too_many_arguments)]
+    fn push_log_sized_in(
         &self,
         req: &Request,
         host: &str,
@@ -298,9 +367,13 @@ impl SimNet {
         via_tor: bool,
         latency_us: u64,
         response_bytes: usize,
+        lane: Option<&Lane>,
     ) {
-        self.log.lock().push(LogEntry {
-            at_us: self.clock.now_us(),
+        let entry = LogEntry {
+            at_us: match lane {
+                Some(l) => l.now_us(),
+                None => self.clock.now_us(),
+            },
             host: host.to_string(),
             target: req.url.target(),
             method: req.method,
@@ -308,7 +381,11 @@ impl SimNet {
             via_tor,
             latency_us,
             response_bytes,
-        });
+        };
+        match lane {
+            Some(l) => l.push_log(entry),
+            None => self.log.lock().push(entry),
+        }
     }
 
     /// Total response bytes served by `host` — the bandwidth ledger the

@@ -147,6 +147,75 @@ fn shared_token_bucket_conserves_tokens_across_eight_threads() {
     );
 }
 
+/// Crawl etiquette under sharding: when two shard clients (forked with
+/// `host_share = 2`) crawl the *same* host from two OS threads, their
+/// combined request stream — in virtual time, across both lanes — must
+/// never exceed what ONE sequential polite crawler with the full
+/// (rate, burst) budget would have issued. Parallelism is allowed to
+/// change wall-clock time, never request density against a host.
+#[test]
+fn two_shards_on_one_host_respect_the_single_crawler_budget() {
+    let net = SimNet::new(17);
+    net.register_with("market.example", Echo, LatencyModel::Fixed { us: 2_000 }, None);
+
+    let rate = 4.0; // the host's etiquette budget, requests per virtual second
+    let burst = 4.0;
+    let base = Client::new(&net, "acctrade-crawler/0.1").with_politeness(rate, burst);
+
+    const PER_SHARD: usize = 30;
+    let lanes = [net.lane(0xA11CE), net.lane(0xB0B)];
+    assert_eq!(lanes[0].start_us(), lanes[1].start_us(), "shards start together");
+    scope(|s| {
+        for lane in &lanes {
+            let shard = base.fork_for_shard(std::sync::Arc::clone(lane), 2);
+            s.spawn(move || {
+                for i in 0..PER_SHARD {
+                    let resp = shard.get(&format!("http://market.example/page/{i}")).unwrap();
+                    assert_eq!(resp.status, Status::Ok);
+                }
+            });
+        }
+    });
+    for lane in &lanes {
+        net.absorb_lane(lane);
+    }
+
+    let mut stamps: Vec<u64> = net
+        .log_snapshot()
+        .into_iter()
+        .filter(|e| e.host == "market.example")
+        .map(|e| e.at_us)
+        .collect();
+    assert_eq!(stamps.len(), 2 * PER_SHARD, "every request logged exactly once");
+    stamps.sort_unstable();
+
+    // Cumulative budget: after any prefix, the combined shards have not
+    // out-requested a single (rate, burst) token bucket.
+    let start = lanes[0].start_us();
+    for (i, &t) in stamps.iter().enumerate() {
+        let elapsed_s = (t - start) as f64 / 1e6;
+        let cap = burst + rate * elapsed_s + 1e-6;
+        assert!(
+            (i + 1) as f64 <= cap,
+            "request {} at {elapsed_s:.3}s virtual exceeds the one-crawler cap {cap:.2}",
+            i + 1,
+        );
+    }
+    // Sliding-window density: no one-second window of virtual time sees
+    // more than burst + rate combined requests.
+    for (i, &t) in stamps.iter().enumerate() {
+        let in_window = stamps[i..].iter().take_while(|&&u| u < t + 1_000_000).count();
+        assert!(
+            in_window as f64 <= burst + rate + 1e-6,
+            "{in_window} requests inside one virtual second starting at {t}us"
+        );
+    }
+    // The shards were genuinely throttled, not just fast: 60 requests
+    // against a 4/s budget force at least (60 - burst) / rate seconds.
+    let span_s = (stamps[stamps.len() - 1] - start) as f64 / 1e6;
+    assert!(span_s >= (2.0 * PER_SHARD as f64 - burst) / rate - 1.0, "span {span_s:.1}s");
+}
+
 /// Grant counts are interleaving-independent in both forced regimes:
 /// a starved bucket grants exactly its burst, a saturated bucket grants
 /// every attempt — run twice, the counts must agree exactly.

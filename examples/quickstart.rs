@@ -47,6 +47,12 @@ fn campaign_mode(args: &[String]) {
         .unwrap_or_else(|| acctrade::output::store_dir("quickstart"));
     let out_dir = arg_value(args, "--out").map(PathBuf::from).unwrap_or_else(acctrade::output::dir);
     let config = campaign_config();
+    // Crawl-engine worker threads. Any value yields byte-identical
+    // artifacts (the CI parallel-determinism gate compares --workers 1
+    // against --workers 4); it only changes wall-clock time.
+    let workers: usize = arg_value(args, "--workers")
+        .map(|w| w.parse().expect("--workers takes a thread count"))
+        .unwrap_or(1);
 
     let rec = acctrade::telemetry::Recorder::new();
     let _scope = rec.enter();
@@ -55,6 +61,7 @@ fn campaign_mode(args: &[String]) {
         let k: usize = k.parse().expect("--kill-at takes an iteration count");
         eprintln!("campaign: running with an injected crash after {k} iterations ...");
         let outcome = Study::new(config)
+            .with_workers(workers)
             .run_persisted_with_kill(&store_dir, k)
             .expect("persisted run with kill");
         if outcome.is_none() {
@@ -71,13 +78,14 @@ fn campaign_mode(args: &[String]) {
 
     let report = if args.iter().any(|a| a == "--resume") {
         eprintln!("campaign: resuming interrupted store at {} ...", store_dir.display());
-        let report = Study::resume_from(config, &store_dir).expect("resume");
+        let report =
+            Study::resume_from_with_workers(config, &store_dir, workers).expect("resume");
         let recovery = report.recovery.as_ref().expect("resumed runs report recovery");
         eprintln!("campaign: {}", recovery.describe());
         report
     } else {
         eprintln!("campaign: clean persisted run into {} ...", store_dir.display());
-        Study::new(config).run_persisted(&store_dir).expect("persisted run")
+        Study::new(config).with_workers(workers).run_persisted(&store_dir).expect("persisted run")
     };
 
     report.telemetry.validate().expect("campaign manifest must validate");

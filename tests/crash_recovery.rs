@@ -2,9 +2,11 @@
 //!
 //! The paper's dataset is the product of a five-month crawl campaign; in
 //! reality such campaigns die and restart. These tests kill a persisted
-//! study at three distinct points — a clean iteration boundary, a torn
-//! frame mid-segment, and a crash between the WAL fsync and the
-//! checkpoint replace — then resume and demand that *every* artifact is
+//! study at four distinct points — a clean iteration boundary, a torn
+//! frame mid-segment, a crash between the WAL fsync and the checkpoint
+//! replace, and a death *inside* the parallel crawl phase with shards
+//! in flight on 4 workers — then resume and demand that *every*
+//! artifact is
 //! byte-identical to an uninterrupted same-seed run: the dataset JSON,
 //! the deterministic telemetry manifest, the WAL segment files
 //! themselves, the store manifest, and the final checkpoint.
@@ -207,6 +209,45 @@ fn kill_before_checkpoint_fsync_rolls_back_uncommitted_records() {
     let recovery = report.recovery.expect("resumed run reports recovery");
     assert_eq!(recovery.uncommitted_records_dropped, 1, "the unseen record was rolled back");
     assert_eq!(recovery.torn_tails_truncated, 0);
+    assert_identical(&collect_artifacts(&report, &dir));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Kill point 4: inside the parallel crawl phase — the process dies on
+/// a 4-worker run after 5 shard completions of iteration 2, with the
+/// rest of the iteration's shards still in flight. The engine persists
+/// nothing of a torn iteration (no WAL appends, no progress), so the
+/// store still describes the iteration-1 boundary; resuming — at a
+/// *different* worker count, even — replays from there and converges
+/// on byte-identical artifacts.
+#[test]
+fn kill_mid_parallel_crawl_resumes_byte_identical() {
+    let dir = scratch("shardkill");
+    {
+        let rec = telemetry::Recorder::new();
+        let _scope = rec.enter();
+        let outcome = Study::new(config())
+            .with_workers(4)
+            .run_persisted_with_shard_kill(&dir, 2, 5)
+            .unwrap();
+        assert!(outcome.is_none(), "shard kill must fire before the campaign completes");
+    }
+
+    // The interrupted store's checkpoint is a clean iteration boundary
+    // carrying the previous iteration's shard cursors — the torn
+    // iteration left no trace.
+    let cp = acctrade::crawler::CampaignCheckpoint::parse(
+        &std::fs::read_to_string(dir.join("checkpoint.json")).unwrap(),
+    )
+    .unwrap();
+    assert!(!cp.complete, "interrupted store is not complete");
+    assert!(!cp.shard_cursors.is_empty(), "v2 checkpoint carries shard lane cursors");
+
+    let (report, _ambient) = resume(&dir);
+    let recovery = report.recovery.expect("resumed run reports recovery");
+    assert_eq!(recovery.torn_tails_truncated, 0);
+    assert_eq!(recovery.uncommitted_records_dropped, 0);
+    assert!(recovery.records_replayed > 0);
     assert_identical(&collect_artifacts(&report, &dir));
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -467,6 +467,22 @@ fn campaign_checkpoint_roundtrips_and_validates() {
                 new_offers: 30,
             },
         ],
+        shard_cursors: vec![
+            acctrade::crawler::persist::ShardCursor {
+                marketplace: "Accsmarket".into(),
+                chain: 0,
+                lane_end_us: 2_591_000_000_000,
+                lane_rng_words: 96,
+                records: 0,
+            },
+            acctrade::crawler::persist::ShardCursor {
+                marketplace: "Accsmarket".into(),
+                chain: 1,
+                lane_end_us: 2_591_900_000_000,
+                lane_rng_words: 1_024,
+                records: 41,
+            },
+        ],
         telemetry: acctrade::telemetry::Recorder::new().snapshot(),
         complete: false,
     };
@@ -486,6 +502,9 @@ fn campaign_checkpoint_roundtrips_and_validates() {
     let mut bad = cp.clone();
     bad.config_digest = "short".into();
     assert!(bad.validate().is_err(), "digest length is validated");
+    let mut dup = cp.clone();
+    dup.shard_cursors.push(dup.shard_cursors[0].clone());
+    assert!(dup.validate().is_err(), "duplicate (marketplace, chain) cursors are rejected");
 }
 
 #[test]

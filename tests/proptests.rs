@@ -202,6 +202,101 @@ prop_check! {
     }
 }
 
+/// Deterministic offer record derived from one seed word — enough
+/// field diversity to exercise every component of the merge key,
+/// including ties on the leading timestamp and on (timestamp, market).
+/// The payload (`title`) is a function of the merge key alone,
+/// mirroring the engine: one (offer URL, iteration) is crawled by
+/// exactly one shard at one virtual time, so records with equal keys
+/// are equal records.
+fn offer_from_seed(seed: u64) -> acctrade::crawler::OfferRecord {
+    let market = seed % 5;
+    let (url_id, time, iter) = (seed % 89, seed % 1_000, seed % 4);
+    acctrade::crawler::OfferRecord {
+        marketplace: format!("market-{market}"),
+        offer_url: format!("https://market-{market}.example/offer/{url_id}"),
+        title: format!("offer m{market} u{url_id} t{time} i{iter}"),
+        seller: None,
+        seller_country: None,
+        price_usd: None,
+        platform: None,
+        category: None,
+        claimed_followers: None,
+        claims_verified: false,
+        monthly_revenue_usd: None,
+        income_source: None,
+        description: None,
+        profile_link: None,
+        handle: None,
+        collected_unix: time as i64,
+        iteration: iter as usize,
+    }
+}
+
+// Deterministic merge (`acctrade-crawler::merge`): the two properties
+// the parallel crawl engine's honesty rests on. If either fails, the
+// merged dataset would depend on steal/completion order and the
+// byte-identity guarantee across worker counts would be a fluke.
+prop_check! {
+    fn merge_is_invariant_under_shard_permutation(seeds in check::vec(check::any_u64(), 1..48),
+                                                  twist in check::any_u64()) {
+        use acctrade::crawler::merge::merge_shards;
+        let records: Vec<_> = seeds.iter().map(|&s| offer_from_seed(s)).collect();
+
+        // One completion order: round-robin over k shards.
+        let k = (twist % 7 + 1) as usize;
+        let mut shards: Vec<Vec<_>> = vec![Vec::new(); k];
+        for (i, r) in records.iter().enumerate() {
+            shards[i % k].push(r.clone());
+        }
+        let merged = merge_shards(shards.clone());
+
+        // A different completion order: shards rotated and each shard's
+        // arrival order reversed — as if every worker finished in the
+        // opposite sequence.
+        let mut permuted: Vec<Vec<_>> = shards
+            .into_iter()
+            .map(|mut s| {
+                s.reverse();
+                s
+            })
+            .collect();
+        permuted.rotate_left((twist % k as u64) as usize);
+        assert_eq!(merged, merge_shards(permuted), "shard permutation changed the merge");
+
+        // And the degenerate single-shard order (pure sequential crawl).
+        assert_eq!(merged, merge_shards(vec![records]), "sharding itself changed the merge");
+    }
+
+    fn merge_key_is_a_total_order(seeds in check::vec(check::any_u64(), 1..24)) {
+        use acctrade::crawler::merge::{merge_key, merge_shards};
+        use std::cmp::Ordering;
+        let records: Vec<_> = seeds.iter().map(|&s| offer_from_seed(s)).collect();
+
+        for a in &records {
+            assert_eq!(merge_key(a).cmp(&merge_key(a)), Ordering::Equal, "reflexive");
+            for b in &records {
+                // Antisymmetry/totality: cmp in both directions agrees,
+                // and equal keys mean equal key tuples.
+                assert_eq!(
+                    merge_key(a).cmp(&merge_key(b)),
+                    merge_key(b).cmp(&merge_key(a)).reverse(),
+                );
+                for c in &records {
+                    if merge_key(a) <= merge_key(b) && merge_key(b) <= merge_key(c) {
+                        assert!(merge_key(a) <= merge_key(c), "transitive");
+                    }
+                }
+            }
+        }
+
+        // The merged stream is sorted under that order — the order is
+        // not just total but actually what the merge produces.
+        let merged = merge_shards(vec![records]);
+        assert!(merged.windows(2).all(|w| merge_key(&w[0]) <= merge_key(&w[1])));
+    }
+}
+
 /// Shrinking regression: a failing property must be reported with the
 /// *minimal* counterexample inside the strategy's support, not merely
 /// the first failure found.
