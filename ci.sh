@@ -25,6 +25,10 @@
 #      --workers 4 must produce byte-identical artifacts to the
 #      --workers 1 run from gate 5, and the parallel-crawl bench
 #      records the speedup trajectory into target/BENCH_report.json
+#   8. serving layer: the quickstart loopback run (real HTTP/1.1 server
+#      + sockets) must report parity with the simulated crawl in
+#      target/PARITY_loopback.json, and the httpd bench records
+#      req/s + latency percentiles into target/BENCH_report.json
 
 set -uo pipefail
 
@@ -175,6 +179,38 @@ if [ "$fail" -ne 0 ] || [ ! -f target/BENCH_report.json ]; then
     exit 1
 fi
 echo "ci: parallel-crawl speedup trajectory recorded in target/BENCH_report.json"
+
+# 8. Serving-layer gate: the quickstart loopback run crawls a real
+#    HTTP/1.1 server over real sockets and must surface the exact same
+#    offers as the simulated fabric; the httpd bench then records
+#    keep-alive throughput + latency percentiles.
+rm -f target/PARITY_loopback.json
+
+run cargo run --release --offline --example quickstart -- --transport loopback || fail=1
+if [ "$fail" -ne 0 ] || [ ! -f target/PARITY_loopback.json ]; then
+    echo
+    echo "ci: FAILED (loopback run did not produce target/PARITY_loopback.json)"
+    exit 1
+fi
+if ! grep -q '"parity": true' target/PARITY_loopback.json; then
+    echo
+    echo "ci: FAILED (loopback crawl diverged from the simulated crawl)"
+    cat target/PARITY_loopback.json
+    exit 1
+fi
+echo "ci: loopback crawl byte-identical to simulated crawl (after normalization)"
+
+echo
+echo "==> BENCH_REPORT_PATH=target/BENCH_report.json cargo bench --offline" \
+     "-p acctrade-bench --bench httpd"
+BENCH_REPORT_PATH="$PWD/target/BENCH_report.json" cargo bench --offline \
+    -p acctrade-bench --bench httpd || fail=1
+if [ "$fail" -ne 0 ] || ! grep -q '"httpd/keepalive_throughput"' target/BENCH_report.json; then
+    echo
+    echo "ci: FAILED (httpd bench did not record httpd/ entries in target/BENCH_report.json)"
+    exit 1
+fi
+echo "ci: httpd throughput + latency percentiles recorded in target/BENCH_report.json"
 
 echo
 echo "ci: OK"

@@ -43,6 +43,24 @@ pub fn merge_shards(shards: Vec<Vec<OfferRecord>>) -> Vec<OfferRecord> {
     all
 }
 
+/// Normalize records for cross-transport comparison.
+///
+/// A crawl over a real transport (`acctrade-httpd`'s loopback TCP)
+/// stamps `collected_unix` from the wall clock, so the timestamps —
+/// and nothing else — differ from the same crawl run in sim mode. This
+/// zeroes the timestamp and re-sorts by the remaining stable key, so
+/// two crawls of the same seeded world are comparable field-for-field
+/// regardless of transport. The parity gate (`tests/` at the workspace
+/// root, CI gate 8) asserts `normalize_for_parity(sim) ==
+/// normalize_for_parity(loopback)`.
+pub fn normalize_for_parity(mut records: Vec<OfferRecord>) -> Vec<OfferRecord> {
+    for r in &mut records {
+        r.collected_unix = 0;
+    }
+    sort_records(&mut records);
+    records
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,6 +94,21 @@ mod tests {
         let c = rec(5, "Z2U", "http://z2u.com/offer/1", 0);
         let merged = merge_shards(vec![vec![a.clone()], vec![b.clone(), c.clone()]]);
         assert_eq!(merged, vec![c, b, a]);
+    }
+
+    #[test]
+    fn normalize_strips_time_and_resorts() {
+        let a = rec(500, "Z2U", "http://z2u.com/offer/2", 0);
+        let b = rec(100, "Z2U", "http://z2u.com/offer/1", 0);
+        let sim = normalize_for_parity(vec![a.clone(), b.clone()]);
+        // Same offers collected at different (wall) times normalize equal.
+        let mut a2 = a.clone();
+        a2.collected_unix = 999_999;
+        let mut b2 = b.clone();
+        b2.collected_unix = 777;
+        let loopback = normalize_for_parity(vec![b2, a2]);
+        assert_eq!(sim, loopback);
+        assert!(sim.iter().all(|r| r.collected_unix == 0));
     }
 
     #[test]

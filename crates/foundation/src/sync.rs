@@ -446,9 +446,111 @@ impl<T> StealDeque<T> {
     }
 }
 
+/// A condition variable paired with [`Mutex`].
+///
+/// Wraps [`std::sync::Condvar`] so waiters hand over (and get back) the
+/// workspace's deadlock-checked [`MutexGuard`] rather than a raw std
+/// guard. While a thread is blocked in `wait*` it holds no other locks
+/// (the guard it surrendered is the only one a waiter may hold by the
+/// lock-discipline rule), so the held-lock marker is carried across the
+/// wait unchanged — conservative, and it keeps the re-acquisition
+/// invisible to the order graph (no new edges can form while parked).
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// A new condition variable.
+    pub fn new() -> Condvar {
+        Condvar { inner: std::sync::Condvar::new() }
+    }
+
+    /// Atomically release `guard` and block until notified; the lock is
+    /// re-acquired before returning. Poison is stripped like every
+    /// other acquisition in this module.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let MutexGuard {
+            inner,
+            #[cfg(debug_assertions)]
+            _held,
+        } = guard;
+        let inner = self.inner.wait(inner).unwrap_or_else(|p| p.into_inner());
+        MutexGuard {
+            inner,
+            #[cfg(debug_assertions)]
+            _held,
+        }
+    }
+
+    /// [`Condvar::wait`] with a timeout; the boolean is `true` when the
+    /// wait timed out rather than being notified.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let MutexGuard {
+            inner,
+            #[cfg(debug_assertions)]
+            _held,
+        } = guard;
+        let (inner, res) = self
+            .inner
+            .wait_timeout(inner, dur)
+            .unwrap_or_else(|p| p.into_inner());
+        (
+            MutexGuard {
+                inner,
+                #[cfg(debug_assertions)]
+                _held,
+            },
+            res.timed_out(),
+        )
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn condvar_wakes_waiter_and_times_out() {
+        let pair = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+        // Timeout path: nothing signals, so the wait must report a timeout.
+        {
+            let (lock, cv) = &*pair;
+            let guard = lock.lock();
+            let (_guard, timed_out) =
+                cv.wait_timeout(guard, std::time::Duration::from_millis(10));
+            assert!(timed_out);
+        }
+        // Notify path: a second thread flips the flag and signals.
+        let p2 = std::sync::Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (lock, cv) = &*p2;
+            *lock.lock() = true;
+            cv.notify_one();
+        });
+        let (lock, cv) = &*pair;
+        let mut guard = lock.lock();
+        while !*guard {
+            let (g, timed_out) = cv.wait_timeout(guard, std::time::Duration::from_secs(5));
+            guard = g;
+            assert!(!timed_out || *guard, "waiter starved");
+        }
+        t.join().unwrap();
+    }
     use std::panic::{catch_unwind, AssertUnwindSafe};
     use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -1,0 +1,50 @@
+//! # acctrade-httpd — the real-socket serving layer
+//!
+//! Everything else in this workspace runs against the deterministic
+//! [`acctrade_net::sim::SimNet`] fabric. This crate turns the same
+//! simulated sites into *a service under measurement*: a
+//! zero-dependency HTTP/1.1 server (`std::net::TcpListener`, a
+//! configurable worker pool over a bounded connection queue, keep-alive
+//! with idle timeouts, per-connection read/write deadlines, graceful
+//! drain on shutdown) that mounts any [`acctrade_net::server::Service`]
+//! — the marketplace sites, platform APIs, robots and CAPTCHA pages —
+//! behind a virtual-host route table, plus the matching client-side
+//! [`transport::LoopbackTransport`] so every study can run both
+//! **sim** (virtual clock, byte-identical artifacts) and **loopback**
+//! (real sockets, real concurrency, real backpressure).
+//!
+//! Module map:
+//!
+//! * [`parser`] — incremental, torn-read-tolerant HTTP/1.1 request
+//!   parser over [`acctrade_net::http`] types; malformed input is
+//!   hard-rejected with a clean 400.
+//! * [`pool`] — the bounded connection queue and worker threads.
+//! * [`server`] — acceptor, per-connection serve loop, keep-alive and
+//!   deadline policy, graceful shutdown with connection draining.
+//! * [`stats`] — lock-free server-side counters (accepted connections,
+//!   keep-alive reuse, parse rejects, queue depth high-water), published
+//!   into the telemetry recorder on demand.
+//! * [`transport`] — [`acctrade_net::transport::Transport`] over real
+//!   loopback TCP with client-side keep-alive connection reuse.
+//!
+//! ## Determinism contract
+//!
+//! This is the **one** crate in the workspace allowed to touch wall
+//! clocks and real sockets (the conformance analyzer's determinism rule
+//! carries a scoped allowlist entry for `crates/httpd/src/` — and only
+//! it). Artifacts produced over loopback therefore carry wall
+//! timestamps; deterministic comparisons normalize them away
+//! (`acctrade_crawler::merge::normalize_for_parity`), and the CI parity
+//! gate proves a loopback crawl yields the same offer set as the
+//! sim-mode crawl of the same seed.
+
+pub mod parser;
+pub mod pool;
+pub mod server;
+pub mod stats;
+pub mod transport;
+
+pub use parser::{ParseError, ParsedRequest, RequestParser};
+pub use server::{HostTable, HttpServer, ServerConfig, TimeSource};
+pub use stats::ServerStats;
+pub use transport::LoopbackTransport;

@@ -1,0 +1,123 @@
+//! The bounded connection queue feeding the worker pool.
+//!
+//! The acceptor thread pushes accepted sockets; worker threads block on
+//! [`ConnQueue::pop`]. The queue is bounded — when it is full the
+//! acceptor sheds load by refusing the connection instead of buffering
+//! unbounded work (the `queue_rejected` counter records every shed).
+//! Closing the queue wakes all workers; they drain whatever is still
+//! queued (graceful shutdown serves queued connections rather than
+//! resetting them) and then see `None`.
+//!
+//! Built on `foundation::sync` primitives (non-poisoning, deadlock-
+//! checked) rather than `std::sync` per workspace lock discipline.
+
+use foundation::sync::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue with close-and-drain semantics.
+pub struct ConnQueue<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> ConnQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> ConnQueue<T> {
+        ConnQueue {
+            state: Mutex::new(State { items: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Try to enqueue. Returns `Ok(depth_after_push)` or gives the item
+    /// back if the queue is full or closed.
+    pub fn push(&self, item: T) -> Result<usize, T> {
+        let mut st = self.state.lock();
+        if st.closed || st.items.len() >= self.capacity {
+            return Err(item);
+        }
+        st.items.push_back(item);
+        let depth = st.items.len();
+        drop(st);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Block until an item is available or the queue is closed *and*
+    /// drained. `None` means the worker should exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st);
+        }
+    }
+
+    /// Close the queue: no further pushes succeed, blocked workers wake
+    /// up, queued items remain poppable until drained.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Current depth (diagnostic).
+    pub fn depth(&self) -> usize {
+        self.state.lock().items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_roundtrip_and_capacity() {
+        let q = ConnQueue::new(2);
+        assert_eq!(q.push(1), Ok(1));
+        assert_eq!(q.push(2), Ok(2));
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.push(3), Ok(2));
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = ConnQueue::new(4);
+        q.push(10).ok();
+        q.push(11).ok();
+        q.close();
+        assert_eq!(q.push(12), Err(12));
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(11));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_workers_wake_on_close() {
+        let q: Arc<ConnQueue<u32>> = Arc::new(ConnQueue::new(4));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        q.push(7).ok();
+        q.close();
+        let mut got: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        got.sort();
+        assert_eq!(got, vec![None, None, Some(7)]);
+    }
+}

@@ -15,6 +15,7 @@ use crate::lane::Lane;
 use crate::ratelimit::TokenBucket;
 use crate::sim::SimNet;
 use crate::tor::TorCircuit;
+use crate::transport::Transport;
 use crate::url::Url;
 use foundation::sync::Mutex;
 use foundation::rng::SeedableRng;
@@ -64,6 +65,11 @@ pub struct Client {
     /// multiplied by it, so the *aggregate* request density on the host
     /// never exceeds what one sequential polite crawler would produce.
     host_share: u32,
+    /// Pluggable request transport. `None` = the native sim-fabric
+    /// path (lane-aware dispatch, virtual latency). `Some` = requests
+    /// go through the transport (e.g. real loopback TCP), while
+    /// politeness and robots *logic* stay identical.
+    transport: Option<Arc<dyn Transport>>,
 }
 
 impl Client {
@@ -83,6 +89,7 @@ impl Client {
             retries: 0,
             lane: None,
             host_share: 1,
+            transport: None,
         }
     }
 
@@ -115,7 +122,24 @@ impl Client {
             retries: self.retries,
             lane: Some(lane),
             host_share: share,
+            transport: self.transport.clone(),
         }
+    }
+
+    /// Route requests through `transport` instead of the in-process
+    /// fabric dispatch (e.g. `acctrade-httpd`'s loopback-TCP
+    /// transport). Robots enforcement, politeness pacing, cookies,
+    /// redirects, and CAPTCHA handling are unchanged; only the wire is
+    /// swapped. Tor-circuit requests keep riding the simulated overlay.
+    pub fn with_transport(mut self, transport: Arc<dyn Transport>) -> Client {
+        self.transport = Some(transport);
+        self
+    }
+
+    /// The installed transport's mode name, or "sim" for the native
+    /// fabric path — recorded as provenance by studies.
+    pub fn transport_mode(&self) -> &'static str {
+        self.transport.as_deref().map(Transport::mode).unwrap_or("sim")
     }
 
     /// Retry transient transport failures (connection resets, timeouts)
@@ -168,6 +192,11 @@ impl Client {
     /// `collected_unix` from this so records carry the time the fetch
     /// actually happened on the client's own timeline.
     pub fn virtual_now_unix(&self) -> i64 {
+        if let Some(t) = &self.transport {
+            if let Some(now) = t.now_unix() {
+                return now;
+            }
+        }
         match &self.lane {
             Some(l) => l.now_unix(),
             None => self.net.clock().now_unix(),
@@ -303,8 +332,12 @@ impl Client {
                 if req.url.is_onion() {
                     return Err(NetError::TorRequired(req.url.host().to_string()));
                 }
-                self.net
-                    .dispatch_in(req, &self.session_id, false, 0, self.lane.as_deref())
+                match &self.transport {
+                    Some(t) => t.send(req),
+                    None => self
+                        .net
+                        .dispatch_in(req, &self.session_id, false, 0, self.lane.as_deref()),
+                }
             }
         }
     }
@@ -316,7 +349,14 @@ impl Client {
         if url.path() == "/robots.txt" {
             return Ok(());
         }
-        if let Some(policy) = self.net.robots_for(url.host()) {
+        let policy = match &self.transport {
+            // A real transport fetches robots.txt over its own wire
+            // (cached); fall back to the fabric registry so hybrid
+            // setups (loopback marketplaces, simulated overlay) work.
+            Some(t) => t.robots(url.host()).or_else(|| self.net.robots_for(url.host())),
+            None => self.net.robots_for(url.host()),
+        };
+        if let Some(policy) = policy {
             if !policy.is_allowed(&self.user_agent, url.path()) {
                 telemetry::with_recorder(|r| {
                     r.incr("net.robots_denied", &[("host", url.host())], 1);

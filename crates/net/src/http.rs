@@ -368,6 +368,26 @@ impl Response {
     }
 }
 
+/// Serialize a request to HTTP/1.1 wire bytes: request line, a `host`
+/// header derived from the URL (virtual-hosting — the loopback server
+/// routes on it), the request's own headers, and an explicit
+/// `content-length`. Inverse of the incremental parser in
+/// `acctrade-httpd`.
+pub fn encode_request(req: &Request) -> Bytes {
+    let mut buf = BytesMut::with_capacity(96 + req.body.len());
+    buf.put_slice(format!("{} {} HTTP/1.1\r\n", req.method, req.url.target()).as_bytes());
+    buf.put_slice(format!("host: {}\r\n", req.url.host()).as_bytes());
+    for (n, v) in req.headers.iter() {
+        if n.eq_ignore_ascii_case("host") || n.eq_ignore_ascii_case("content-length") {
+            continue;
+        }
+        buf.put_slice(format!("{n}: {v}\r\n").as_bytes());
+    }
+    buf.put_slice(format!("content-length: {}\r\n\r\n", req.body.len()).as_bytes());
+    buf.put_slice(&req.body);
+    buf.freeze()
+}
+
 /// Serialize a response to HTTP/1.1 wire bytes. Used by the framing tests
 /// and the dataset exporter (raw captures).
 pub fn encode_response(resp: &Response) -> Bytes {
@@ -488,6 +508,18 @@ mod tests {
         let wire = encode_response(&resp);
         assert!(decode_response(&wire[..wire.len() - 3]).is_err());
         assert!(decode_response(b"garbage").is_err());
+    }
+
+    #[test]
+    fn request_wire_framing() {
+        let url = Url::parse("http://shop.com/offers?page=2").unwrap();
+        let req = Request::get(url).with_header("user-agent", "ua/1");
+        let wire = encode_request(&req);
+        let text = String::from_utf8(wire.to_vec()).unwrap();
+        assert!(text.starts_with("GET /offers?page=2 HTTP/1.1\r\n"));
+        assert!(text.contains("host: shop.com\r\n"));
+        assert!(text.contains("user-agent: ua/1\r\n"));
+        assert!(text.ends_with("content-length: 0\r\n\r\n"));
     }
 
     #[test]

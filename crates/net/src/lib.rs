@@ -75,6 +75,7 @@ pub mod robots;
 pub mod server;
 pub mod sim;
 pub mod tor;
+pub mod transport;
 pub mod url;
 
 /// Convenience re-exports of the types almost every consumer needs.
@@ -94,4 +95,5 @@ pub use error::{NetError, NetResult};
 pub use http::{Method, Request, Response, Status};
 pub use server::{RequestCtx, Router, Service};
 pub use sim::SimNet;
+pub use transport::{SimTransport, Transport};
 pub use url::Url;

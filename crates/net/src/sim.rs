@@ -196,6 +196,21 @@ impl SimNet {
         v
     }
 
+    /// Snapshot of every registered `(host, service)` pair, sorted by
+    /// host. The `Arc`s are shared, not cloned services: a loopback
+    /// HTTP server (`acctrade-httpd`) mounting this snapshot serves the
+    /// *same* live objects the fabric routes to, so world churn between
+    /// crawl iterations is visible on both transports.
+    pub fn services(&self) -> Vec<(String, Arc<dyn Service>)> {
+        let hosts = self.hosts.lock();
+        let mut v: Vec<(String, Arc<dyn Service>)> = hosts
+            .iter()
+            .map(|(h, e)| (h.clone(), Arc::clone(&e.service)))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
     /// The robots policy of `host`, if the host exists.
     pub fn robots_for(&self, host: &str) -> Option<RobotsPolicy> {
         self.hosts

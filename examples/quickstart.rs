@@ -6,6 +6,19 @@
 //! cargo run --release --example quickstart
 //! ```
 //!
+//! With `--transport loopback` the same crawl runs twice — once on the
+//! simulated fabric and once over real loopback TCP against an
+//! `acctrade-httpd` server mounting the same seeded sites — and the
+//! normalized offer sets are compared (the CI transport-parity gate
+//! asserts on the resulting `target/PARITY_loopback.json`). With
+//! `--serve <addr>` the example just binds the server and serves the
+//! seeded world until killed:
+//!
+//! ```sh
+//! cargo run --release --example quickstart -- --transport loopback
+//! cargo run --release --example quickstart -- --serve 127.0.0.1:8080
+//! ```
+//!
 //! With `--campaign` the example instead runs a small *persisted* study
 //! against a durable `acctrade-store` campaign store — the CI
 //! crash-recovery gate drives it through a kill-and-resume cycle:
@@ -23,11 +36,15 @@
 //! ```
 
 use acctrade::core::{Study, StudyConfig};
+use acctrade::crawler::merge::normalize_for_parity;
 use acctrade::crawler::{MarketplaceCrawler, ProfileResolver};
+use acctrade::httpd::{HostTable, HttpServer, LoopbackTransport, ServerConfig, TimeSource};
 use acctrade::market::config::MarketplaceId;
+use acctrade::net::transport::Transport;
 use acctrade::net::{Client, SimNet};
 use acctrade::workload::world::{World, WorldParams};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// The `--flag value` lookup for the campaign mode's tiny CLI.
 fn arg_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -109,11 +126,140 @@ fn campaign_mode(args: &[String]) {
     );
 }
 
+/// One crawl of the quickstart marketplace over the given transport
+/// (`None` = the native sim fabric), returning the parity-normalized
+/// offer records.
+fn crawl_once(
+    transport: Option<Arc<dyn Transport>>,
+) -> Vec<acctrade::crawler::OfferRecord> {
+    let world = World::generate(WorldParams { seed: 2024, scale: 0.05 });
+    let net = SimNet::new(2024);
+    world.deploy(&net);
+    let client = Client::new(&net, "acctrade-crawler/0.1").with_politeness(20.0, 8.0);
+    let client = match transport {
+        Some(t) => client.with_transport(t),
+        None => client,
+    };
+    let mut crawler = MarketplaceCrawler::new(&client, MarketplaceId::Accsmarket);
+    let (offers, _stats) = crawler.crawl(0);
+    normalize_for_parity(offers)
+}
+
+/// `--transport loopback`: crawl the same seeded marketplace on the sim
+/// fabric and over real loopback TCP, compare the normalized offer
+/// sets, and write `target/PARITY_loopback.json`.
+fn loopback_mode() {
+    let rec = acctrade::telemetry::Recorder::new();
+    let _scope = rec.enter();
+
+    eprintln!("transport parity: sim-mode crawl ...");
+    let sim = crawl_once(None);
+
+    eprintln!("transport parity: loopback crawl against a real server ...");
+    // A separate world/fabric with the same seed, mounted on real
+    // sockets; the server shares the study's virtual clock.
+    let world = World::generate(WorldParams { seed: 2024, scale: 0.05 });
+    let net = SimNet::new(2024);
+    world.deploy(&net);
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        HostTable::from_sim(&net),
+        ServerConfig {
+            workers: 4,
+            time: TimeSource::Virtual(net.clock().clone()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback server");
+    let transport: Arc<dyn Transport> = Arc::new(LoopbackTransport::new(server.addr()));
+    let loopback = {
+        let client = Client::new(&net, "acctrade-crawler/0.1")
+            .with_politeness(20.0, 8.0)
+            .with_transport(Arc::clone(&transport));
+        let mut crawler = MarketplaceCrawler::new(&client, MarketplaceId::Accsmarket);
+        let (offers, _stats) = crawler.crawl(0);
+        normalize_for_parity(offers)
+    };
+
+    let stats = server.stats();
+    server.shutdown();
+    stats.publish();
+    let snap = stats.snapshot();
+
+    let parity = sim == loopback;
+    let json = format!(
+        "{{\n  \"parity\": {parity},\n  \"sim_offers\": {},\n  \"loopback_offers\": {},\n  \"server_requests\": {},\n  \"server_conns_accepted\": {},\n  \"server_keepalive_reuse\": {},\n  \"server_parse_rejects\": {}\n}}\n",
+        sim.len(),
+        loopback.len(),
+        snap.requests,
+        snap.accepted,
+        snap.keepalive_reuse,
+        snap.parse_rejects,
+    );
+    let path = acctrade::output::artifact("PARITY_loopback.json");
+    std::fs::write(&path, &json).expect("write parity artifact");
+    eprintln!(
+        "transport parity: sim={} loopback={} offers; {} requests over {} connections \
+         ({} keep-alive reuses); artifact at {}",
+        sim.len(),
+        loopback.len(),
+        snap.requests,
+        snap.accepted,
+        snap.keepalive_reuse,
+        path.display()
+    );
+    if !parity {
+        eprintln!("transport parity: FAILED — offer sets diverge");
+        std::process::exit(4);
+    }
+    eprintln!("transport parity: offer sets identical");
+}
+
+/// `--serve <addr>`: mount the seeded world on a real server and serve
+/// until killed (wall-clock request contexts — demo mode, not parity).
+fn serve_mode(addr: &str) {
+    let world = World::generate(WorldParams { seed: 2024, scale: 0.05 });
+    let net = SimNet::new(2024);
+    world.deploy(&net);
+    let hosts = HostTable::from_sim(&net);
+    let names = hosts.hosts();
+    let server = HttpServer::bind(
+        addr,
+        hosts,
+        ServerConfig { workers: 4, time: TimeSource::Wall, ..ServerConfig::default() },
+    )
+    .expect("bind --serve address");
+    eprintln!("serving the seeded world on http://{}", server.addr());
+    eprintln!("virtual hosts (send a matching `host:` header):");
+    for host in names {
+        eprintln!("  {host}");
+    }
+    eprintln!("press ctrl-c to stop");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--campaign") {
         campaign_mode(&args);
         return;
+    }
+    if let Some(addr) = arg_value(&args, "--serve") {
+        serve_mode(addr);
+        return;
+    }
+    match arg_value(&args, "--transport") {
+        None | Some("sim") => {} // the default path below
+        Some("loopback") => {
+            loopback_mode();
+            return;
+        }
+        Some(other) => {
+            eprintln!("unknown --transport {other:?} (expected sim|loopback)");
+            std::process::exit(2);
+        }
     }
     // Scope a telemetry recorder around the whole run: every instrumented
     // crate below records into it, and we export the manifest at the end.

@@ -27,6 +27,7 @@ pub use ::conformance;
 pub use acctrade_core as core;
 pub use acctrade_crawler as crawler;
 pub use acctrade_html as html;
+pub use acctrade_httpd as httpd;
 pub use acctrade_market as market;
 pub use acctrade_net as net;
 pub use acctrade_social as social;
