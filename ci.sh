@@ -29,6 +29,12 @@
 #      + sockets) must report parity with the simulated crawl in
 #      target/PARITY_loopback.json, and the httpd bench records
 #      req/s + latency percentiles into target/BENCH_report.json
+#   9. economy determinism: the quickstart campaign with --scenario all
+#      must produce byte-identical ECONOMY_report.json +
+#      ECONOMY_events.jsonl across two clean runs, across --workers 1
+#      vs 4, and across a kill-at-2/resume cycle (proving the economy
+#      WAL record kinds survive crash recovery); the economy bench
+#      records events/sec into target/BENCH_report.json
 
 set -uo pipefail
 
@@ -211,6 +217,70 @@ if [ "$fail" -ne 0 ] || ! grep -q '"httpd/keepalive_throughput"' target/BENCH_re
     exit 1
 fi
 echo "ci: httpd throughput + latency percentiles recorded in target/BENCH_report.json"
+
+# 9. Economy-determinism gate: the live economy (escrow orders, price
+#    trajectories, bot inventory) must be byte-identical run to run,
+#    across worker counts, and across a crash/resume cycle — the resume
+#    path replays the economy WAL record kinds and verifies the rebuilt
+#    stream against them.
+rm -rf target/store/ci-econ-a target/store/ci-econ-b target/store/ci-econ-par \
+       target/store/ci-econ-crash \
+       target/gate-econ-a target/gate-econ-b target/gate-econ-par target/gate-econ-crash
+
+run cargo run --release --offline --example quickstart -- --campaign --scenario all \
+    --store-dir target/store/ci-econ-a --out target/gate-econ-a || fail=1
+run cargo run --release --offline --example quickstart -- --campaign --scenario all \
+    --store-dir target/store/ci-econ-b --out target/gate-econ-b || fail=1
+run cargo run --release --offline --example quickstart -- --campaign --scenario all \
+    --store-dir target/store/ci-econ-par --workers 4 --out target/gate-econ-par || fail=1
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "ci: FAILED (economy campaign runs did not complete)"
+    exit 1
+fi
+
+echo
+echo "==> cargo run --release --offline --example quickstart -- --campaign --scenario all" \
+     "--store-dir target/store/ci-econ-crash --kill-at 2   (expecting exit code 3)"
+cargo run --release --offline --example quickstart -- --campaign --scenario all \
+    --store-dir target/store/ci-econ-crash --kill-at 2
+kill_status=$?
+if [ "$kill_status" -ne 3 ]; then
+    echo
+    echo "ci: FAILED (economy injected kill exited with $kill_status, expected 3)"
+    exit 1
+fi
+run cargo run --release --offline --example quickstart -- --campaign --scenario all \
+    --store-dir target/store/ci-econ-crash --resume --out target/gate-econ-crash || fail=1
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "ci: FAILED (economy crash-recovery run did not complete)"
+    exit 1
+fi
+
+for variant in gate-econ-b gate-econ-par gate-econ-crash; do
+    run cmp target/gate-econ-a/ECONOMY_report.json "target/$variant/ECONOMY_report.json" || fail=1
+    run cmp target/gate-econ-a/ECONOMY_events.jsonl "target/$variant/ECONOMY_events.jsonl" || fail=1
+    run cmp target/gate-econ-a/dataset.json "target/$variant/dataset.json" || fail=1
+done
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "ci: FAILED (economy artifacts differ across runs/workers/resume)"
+    exit 1
+fi
+echo "ci: economy artifacts byte-identical across reruns, 1 vs 4 workers, and kill/resume"
+
+echo
+echo "==> BENCH_REPORT_PATH=target/BENCH_report.json cargo bench --offline" \
+     "-p acctrade-bench --bench economy"
+BENCH_REPORT_PATH="$PWD/target/BENCH_report.json" cargo bench --offline \
+    -p acctrade-bench --bench economy || fail=1
+if [ "$fail" -ne 0 ] || ! grep -q '"economy/scenario_all_campaign"' target/BENCH_report.json; then
+    echo
+    echo "ci: FAILED (economy bench did not record economy/ entries in target/BENCH_report.json)"
+    exit 1
+fi
+echo "ci: economy simulation throughput recorded in target/BENCH_report.json"
 
 echo
 echo "ci: OK"

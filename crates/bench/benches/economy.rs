@@ -1,0 +1,88 @@
+//! Economy benches: full-scenario simulation throughput (events/sec
+//! across a campaign's worth of virtual time), ledger replay (what the
+//! resume integrity gate and every analysis pay per event), and the
+//! event stream's JSON round-trip (the WAL persistence floor). Results
+//! land in `BENCH_report.json` with every other bench.
+
+use acctrade_workload::world::{World, WorldParams};
+use economy::{stream_digest, EconomyConfig, EconomySim, Ledger};
+use foundation::bench::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const SEED: u64 = 2024;
+const SCALE: f64 = 0.01;
+const T0: i64 = 1_706_745_600; // 2024-02-01, the campaign's start
+const STEPS: i64 = 4;
+const STEP_S: i64 = 15 * 86_400;
+
+/// Prime a fresh world + simulator pair (the per-iteration setup).
+fn primed() -> (World, EconomySim) {
+    let mut world = World::generate(WorldParams { seed: SEED, scale: SCALE });
+    let cfg = EconomyConfig::scenario("all").expect("known scenario");
+    let mut sim = EconomySim::new(SEED, SCALE, cfg);
+    sim.prime(&mut world, T0);
+    (world, sim)
+}
+
+/// Run the campaign's step schedule to completion, returning the sim.
+fn run_campaign(mut world: World, mut sim: EconomySim) -> EconomySim {
+    for step in 1..=STEPS {
+        let at = T0 + step * STEP_S;
+        world.step_iteration(at);
+        sim.advance_to(&mut world, at);
+    }
+    sim
+}
+
+fn bench_economy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("economy");
+    group.sample_size(10);
+
+    // Corpus for the replay/serde benches: one full scenario run.
+    let (world, sim) = primed();
+    let sim = run_campaign(world, sim);
+    let events = sim.events().to_vec();
+    eprintln!(
+        "[economy] corpus: {} events over {} virtual days (digest {})",
+        events.len(),
+        STEPS * STEP_S / 86_400,
+        stream_digest(&events)
+    );
+
+    // The three engines end to end: escrow orders, pricing sweeps, and
+    // bot inventory across a campaign's worth of virtual time.
+    group.bench_function("scenario_all_campaign", |b| {
+        b.iter_with_setup(primed, |(world, sim)| {
+            let sim = run_campaign(world, sim);
+            black_box(sim.events().len())
+        })
+    });
+
+    // Ledger replay: the per-event price of the resume integrity gate
+    // and of every E1–E3 analysis.
+    group.bench_function("ledger_replay", |b| {
+        b.iter(|| {
+            let ledger = Ledger::replay(black_box(&events)).expect("stream replays");
+            black_box(ledger.events_replayed)
+        })
+    });
+
+    // The WAL persistence floor: serialize every event to its JSON line
+    // and parse it back.
+    group.bench_function("event_stream_roundtrip", |b| {
+        b.iter(|| {
+            let mut parsed = 0usize;
+            for event in &events {
+                let line = event.to_json_line();
+                let back = economy::EconomyEvent::parse(&line).expect("line parses");
+                parsed += usize::from(back == *event);
+            }
+            black_box(parsed)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_economy);
+criterion_main!(benches);

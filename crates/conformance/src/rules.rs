@@ -37,7 +37,7 @@ use crate::workspace::{Role, SourceFile};
 
 /// Crates whose in-memory collections feed serialized output; hash
 /// containers are banned in their library code.
-const OUTPUT_CRATES: [&str; 5] = ["core", "crawler", "store", "telemetry", "workload"];
+const OUTPUT_CRATES: [&str; 6] = ["core", "crawler", "economy", "store", "telemetry", "workload"];
 
 /// Whole-file waivers: `(rule, workspace-relative path)`. An entry
 /// ending in `/` waives the rule for every file under that directory —

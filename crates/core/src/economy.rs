@@ -1,0 +1,528 @@
+//! Economy analysis: the three transaction-side tables (E1–E3).
+//!
+//! Everything here is computed from a **replayed** event stream
+//! ([`economy::Ledger::replay`]) — never from live engine state — so the
+//! persisted WAL stream is the analysis' provenance: equal streams
+//! produce byte-identical tables, and a corrupted stream fails loudly
+//! instead of skewing a table.
+//!
+//! * **E1** — the escrow order funnel per marketplace: opened → funded →
+//!   delivered → released, with the dispute/refund branch and the
+//!   exit-scam rate (the paper can only warn about exit scams; the
+//!   simulation books them);
+//! * **E2** — price-trajectory statistics per platform: tick counts by
+//!   cause (drift / staleness discount / demand shock) and the average
+//!   move size;
+//! * **E3** — posting cadence, bot-operated inventory accounts versus
+//!   human sellers;
+//! * plus the payment reconciliation: every settled order's method must
+//!   be one its marketplace actually lists (Table 3's matrix).
+
+use crate::stats::{fmt_pct, render_table};
+use acctrade_market::config::ALL_MARKETPLACES;
+use acctrade_workload::world::World;
+use economy::{stream_digest, EconomyEvent, Ledger};
+use foundation::json_codec_struct;
+use std::collections::BTreeMap;
+
+/// One marketplace's escrow order funnel (E1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunnelRow {
+    /// Marketplace display name (`ALL` for the totals row).
+    pub marketplace: String,
+    /// Orders opened (quotes issued).
+    pub opened: usize,
+    /// Orders whose escrow was ever funded.
+    pub funded: usize,
+    /// Orders whose credentials were delivered.
+    pub delivered: usize,
+    /// Orders released to the seller (happy path).
+    pub released: usize,
+    /// Orders refunded after a dispute.
+    pub refunded: usize,
+    /// Orders still mid-lifecycle at campaign end.
+    pub in_flight: usize,
+    /// Funded orders the seller never delivered (deadline lapsed).
+    pub exit_scams: usize,
+    /// Quotes never funded (abandoned carts).
+    pub abandoned: usize,
+    /// `exit_scams / funded`, percent.
+    pub exit_scam_rate_pct: f64,
+}
+
+/// One platform's price-trajectory statistics (E2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriceRow {
+    /// Platform name.
+    pub platform: String,
+    /// Repricing ticks observed.
+    pub ticks: usize,
+    /// Ticks caused by random drift.
+    pub drift: usize,
+    /// Ticks caused by staleness discounts.
+    pub stale_discounts: usize,
+    /// Ticks caused by demand shocks (sales, disputes, exit scams).
+    pub demand_shocks: usize,
+    /// Mean absolute move per tick, percent of the previous price.
+    pub mean_abs_move_pct: f64,
+    /// Mean signed move per tick, percent (the net pressure direction).
+    pub net_move_pct: f64,
+}
+
+/// One marketplace's posting cadence, bot vs human (E3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CadenceRow {
+    /// Marketplace display name.
+    pub marketplace: String,
+    /// Listings posted by registered bot accounts.
+    pub bot_posts: usize,
+    /// Bot postings per virtual day.
+    pub bot_posts_per_day: f64,
+    /// Listings posted by human sellers inside the window.
+    pub human_posts: usize,
+    /// Human postings per virtual day.
+    pub human_posts_per_day: f64,
+}
+
+/// Settled-order share of one payment category (the reconciliation
+/// cross-check against Table 3's marketplace payment matrix).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaymentMixRow {
+    /// Payment category label (Table 3's row groups).
+    pub category: String,
+    /// Settled orders paid through this category.
+    pub settled_orders: usize,
+    /// Share of all settled orders, percent.
+    pub share_pct: f64,
+}
+
+/// The full economy analysis: E1–E3 plus provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EconomyAnalysis {
+    /// Scenario pack the economy ran.
+    pub scenario: String,
+    /// Events replayed into this analysis.
+    pub events: usize,
+    /// Deterministic digest of the replayed event stream.
+    pub stream_digest: String,
+    /// Per-marketplace funnel rows (marketplaces with ≥ 1 order).
+    pub funnel: Vec<FunnelRow>,
+    /// Funnel totals across all marketplaces.
+    pub funnel_all: FunnelRow,
+    /// Per-platform price-trajectory rows.
+    pub prices: Vec<PriceRow>,
+    /// Per-marketplace cadence rows (marketplaces with ≥ 1 bot post).
+    pub cadence: Vec<CadenceRow>,
+    /// Settled-order payment mix by category.
+    pub payment_mix: Vec<PaymentMixRow>,
+    /// True iff every settled order's payment method is one its
+    /// marketplace lists in the Table 3 matrix.
+    pub reconciliation_ok: bool,
+}
+
+json_codec_struct! {
+    FunnelRow {
+        marketplace, opened, funded, delivered, released, refunded,
+        in_flight, exit_scams, abandoned, exit_scam_rate_pct,
+    }
+    PriceRow {
+        platform, ticks, drift, stale_discounts, demand_shocks,
+        mean_abs_move_pct, net_move_pct,
+    }
+    CadenceRow {
+        marketplace, bot_posts, bot_posts_per_day, human_posts,
+        human_posts_per_day,
+    }
+    PaymentMixRow { category, settled_orders, share_pct }
+    EconomyAnalysis {
+        scenario, events, stream_digest, funnel, funnel_all, prices,
+        cadence, payment_mix, reconciliation_ok,
+    }
+}
+
+/// Replay `events` and compute every economy table.
+///
+/// `world` supplies the human-posting side of E3 (listings posted after
+/// `t0_unix` by non-bot sellers); `campaign_days` normalises cadences.
+pub fn analyze(
+    scenario: &str,
+    events: &[EconomyEvent],
+    world: &World,
+    t0_unix: i64,
+    campaign_days: f64,
+) -> Result<EconomyAnalysis, String> {
+    let ledger = Ledger::replay(events).map_err(|e| e.to_string())?;
+    let days = campaign_days.max(f64::MIN_POSITIVE);
+
+    // -- E1: the order funnel. Path position is implied by final state
+    // (the machine has no shortcuts: Released implies Funded etc.).
+    let mut per_market: BTreeMap<&str, FunnelRow> = BTreeMap::new();
+    for order in ledger.orders.values() {
+        let row = per_market
+            .entry(order.marketplace.as_str())
+            .or_insert_with(|| blank_funnel(&order.marketplace));
+        use economy::OrderState::*;
+        row.opened += 1;
+        match order.state {
+            Quoted => row.abandoned += 1,
+            Funded => {
+                row.funded += 1;
+                row.in_flight += 1;
+            }
+            CredentialsDelivered | Disputed => {
+                row.funded += 1;
+                row.delivered += 1;
+                row.in_flight += 1;
+            }
+            Released => {
+                row.funded += 1;
+                row.delivered += 1;
+                row.released += 1;
+            }
+            Refunded => {
+                row.funded += 1;
+                row.delivered += 1;
+                row.refunded += 1;
+            }
+            ExitScam => {
+                row.funded += 1;
+                row.exit_scams += 1;
+            }
+        }
+    }
+    let mut funnel: Vec<FunnelRow> = per_market.into_values().collect();
+    let mut funnel_all = blank_funnel("ALL");
+    for row in &mut funnel {
+        funnel_all.opened += row.opened;
+        funnel_all.funded += row.funded;
+        funnel_all.delivered += row.delivered;
+        funnel_all.released += row.released;
+        funnel_all.refunded += row.refunded;
+        funnel_all.in_flight += row.in_flight;
+        funnel_all.exit_scams += row.exit_scams;
+        funnel_all.abandoned += row.abandoned;
+        row.exit_scam_rate_pct = rate_pct(row.exit_scams, row.funded);
+    }
+    funnel_all.exit_scam_rate_pct = rate_pct(funnel_all.exit_scams, funnel_all.funded);
+
+    // -- E2: price trajectories per platform.
+    let mut price_rows: BTreeMap<&str, (PriceRow, f64, f64)> = BTreeMap::new();
+    for tick in &ledger.ticks {
+        let entry = price_rows.entry(tick.platform.as_str()).or_insert_with(|| {
+            (
+                PriceRow {
+                    platform: tick.platform.clone(),
+                    ticks: 0,
+                    drift: 0,
+                    stale_discounts: 0,
+                    demand_shocks: 0,
+                    mean_abs_move_pct: 0.0,
+                    net_move_pct: 0.0,
+                },
+                0.0,
+                0.0,
+            )
+        });
+        let (row, abs_sum, signed_sum) = entry;
+        row.ticks += 1;
+        match tick.cause.as_str() {
+            economy::event::CAUSE_DRIFT => row.drift += 1,
+            economy::event::CAUSE_STALE_DISCOUNT => row.stale_discounts += 1,
+            _ => row.demand_shocks += 1,
+        }
+        if tick.prev_usd > 0.0 {
+            let move_pct = (tick.new_usd - tick.prev_usd) / tick.prev_usd * 100.0;
+            *abs_sum += move_pct.abs();
+            *signed_sum += move_pct;
+        }
+    }
+    let prices: Vec<PriceRow> = price_rows
+        .into_values()
+        .map(|(mut row, abs_sum, signed_sum)| {
+            let n = row.ticks.max(1) as f64;
+            row.mean_abs_move_pct = abs_sum / n;
+            row.net_move_pct = signed_sum / n;
+            row
+        })
+        .collect();
+
+    // -- E3: bot vs human posting cadence. Bots are identified by the
+    // ledger's registration events; human posts are window listings by
+    // anyone else.
+    let mut cadence: Vec<CadenceRow> = Vec::new();
+    if !ledger.bot_posts.is_empty() {
+        let mut bot_posts: BTreeMap<&str, usize> = BTreeMap::new();
+        for post in &ledger.bot_posts {
+            *bot_posts.entry(post.marketplace.as_str()).or_default() += 1;
+        }
+        for (market_name, bots) in bot_posts {
+            let market = ALL_MARKETPLACES.iter().find(|m| m.name() == market_name);
+            let humans = match market {
+                Some(&m) => {
+                    let bot_ids = ledger.bot_listings.get(market_name);
+                    let state = world.markets[&m].read();
+                    state
+                        .listings_sorted()
+                        .iter()
+                        .filter(|l| l.listed_unix > t0_unix)
+                        .filter(|l| !bot_ids.is_some_and(|ids| ids.contains(&l.id.0)))
+                        .count()
+                }
+                None => 0,
+            };
+            cadence.push(CadenceRow {
+                marketplace: market_name.to_string(),
+                bot_posts: bots,
+                bot_posts_per_day: bots as f64 / days,
+                human_posts: humans,
+                human_posts_per_day: humans as f64 / days,
+            });
+        }
+    }
+
+    // -- Payment reconciliation: settled orders against the Table 3
+    // matrix the listings advertise.
+    let mut by_category: BTreeMap<String, usize> = BTreeMap::new();
+    let mut settled_total = 0usize;
+    let mut reconciliation_ok = true;
+    for (_, order) in ledger.settled() {
+        settled_total += 1;
+        *by_category
+            .entry(format!("{:?}", order.method.category()))
+            .or_default() += 1;
+        let listed = ALL_MARKETPLACES
+            .iter()
+            .find(|m| m.name() == order.marketplace)
+            .is_some_and(|m| m.config().payment_methods.contains(&order.method));
+        if !listed {
+            reconciliation_ok = false;
+        }
+    }
+    let payment_mix: Vec<PaymentMixRow> = by_category
+        .into_iter()
+        .map(|(category, settled_orders)| PaymentMixRow {
+            category,
+            settled_orders,
+            share_pct: rate_pct(settled_orders, settled_total),
+        })
+        .collect();
+
+    Ok(EconomyAnalysis {
+        scenario: scenario.to_string(),
+        events: events.len(),
+        stream_digest: stream_digest(events),
+        funnel,
+        funnel_all,
+        prices,
+        cadence,
+        payment_mix,
+        reconciliation_ok,
+    })
+}
+
+impl EconomyAnalysis {
+    /// Serialize to pretty JSON (the `ECONOMY_report.json` artifact).
+    pub fn to_json_pretty(&self) -> String {
+        foundation::json::to_string_pretty(self)
+    }
+
+    /// Render E1–E3 and the reconciliation as one text section.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Economy: scenario {} ({} events, stream digest {})\n\n",
+            self.scenario, self.events, self.stream_digest
+        ));
+
+        let funnel_body: Vec<Vec<String>> = self
+            .funnel
+            .iter()
+            .chain(std::iter::once(&self.funnel_all))
+            .map(|r| {
+                vec![
+                    r.marketplace.clone(),
+                    r.opened.to_string(),
+                    r.abandoned.to_string(),
+                    r.funded.to_string(),
+                    r.delivered.to_string(),
+                    r.released.to_string(),
+                    r.refunded.to_string(),
+                    r.in_flight.to_string(),
+                    r.exit_scams.to_string(),
+                    format!("{}%", fmt_pct(r.exit_scam_rate_pct)),
+                ]
+            })
+            .collect();
+        out.push_str("Economy E1: Escrow order funnel\n");
+        out.push_str(&render_table(
+            &[
+                "Marketplace",
+                "Opened",
+                "Abandoned",
+                "Funded",
+                "Delivered",
+                "Released",
+                "Refunded",
+                "In flight",
+                "Exit scams",
+                "Exit-scam rate",
+            ],
+            &funnel_body,
+        ));
+        out.push('\n');
+
+        let price_body: Vec<Vec<String>> = self
+            .prices
+            .iter()
+            .map(|r| {
+                vec![
+                    r.platform.clone(),
+                    r.ticks.to_string(),
+                    r.drift.to_string(),
+                    r.stale_discounts.to_string(),
+                    r.demand_shocks.to_string(),
+                    format!("{}%", fmt_pct(r.mean_abs_move_pct)),
+                    format!("{}%", fmt_pct(r.net_move_pct)),
+                ]
+            })
+            .collect();
+        out.push_str("Economy E2: Price trajectories per platform\n");
+        out.push_str(&render_table(
+            &["Platform", "Ticks", "Drift", "Stale disc.", "Shocks", "Mean |move|", "Net move"],
+            &price_body,
+        ));
+        out.push('\n');
+
+        let cadence_body: Vec<Vec<String>> = self
+            .cadence
+            .iter()
+            .map(|r| {
+                vec![
+                    r.marketplace.clone(),
+                    r.bot_posts.to_string(),
+                    format!("{:.2}", r.bot_posts_per_day),
+                    r.human_posts.to_string(),
+                    format!("{:.2}", r.human_posts_per_day),
+                ]
+            })
+            .collect();
+        out.push_str("Economy E3: Posting cadence, bot vs human\n");
+        out.push_str(&render_table(
+            &["Marketplace", "Bot posts", "Bot/day", "Human posts", "Human/day"],
+            &cadence_body,
+        ));
+        out.push('\n');
+
+        let mix_body: Vec<Vec<String>> = self
+            .payment_mix
+            .iter()
+            .map(|r| {
+                vec![
+                    r.category.clone(),
+                    r.settled_orders.to_string(),
+                    format!("{}%", fmt_pct(r.share_pct)),
+                ]
+            })
+            .collect();
+        out.push_str("Economy: settled-order payment mix\n");
+        out.push_str(&render_table(&["Category", "Settled orders", "Share"], &mix_body));
+        out.push_str(&format!(
+            "Payment reconciliation: {}\n",
+            if self.reconciliation_ok {
+                "OK — every settled order used a method its marketplace lists (Table 3)"
+            } else {
+                "MISMATCH — a settled order used a method its marketplace does not list"
+            }
+        ));
+        out
+    }
+}
+
+fn blank_funnel(marketplace: &str) -> FunnelRow {
+    FunnelRow {
+        marketplace: marketplace.to_string(),
+        opened: 0,
+        funded: 0,
+        delivered: 0,
+        released: 0,
+        refunded: 0,
+        in_flight: 0,
+        exit_scams: 0,
+        abandoned: 0,
+        exit_scam_rate_pct: 0.0,
+    }
+}
+
+fn rate_pct(part: usize, whole: usize) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acctrade_workload::world::WorldParams;
+    use economy::{EconomyConfig, EconomySim};
+
+    #[test]
+    fn analysis_of_a_simulated_economy() {
+        let seed = 2024;
+        let mut world = World::generate(WorldParams { seed, scale: 0.01 });
+        let cfg = EconomyConfig::scenario("all").unwrap();
+        let mut sim = EconomySim::new(seed, 0.01, cfg);
+        let t0 = 1_706_745_600;
+        sim.prime(&mut world, t0);
+        for step in 1..=4i64 {
+            let at = t0 + step * 15 * 86_400;
+            world.step_iteration(at);
+            sim.advance_to(&mut world, at);
+        }
+
+        let analysis = analyze("all", sim.events(), &world, t0, 60.0).unwrap();
+        assert_eq!(analysis.events, sim.events().len());
+        assert!(analysis.funnel_all.opened > 0);
+        assert!(analysis.funnel_all.released > 0, "some order settles");
+        assert!(analysis.funnel_all.funded <= analysis.funnel_all.opened);
+        assert!(!analysis.prices.is_empty(), "pricing engine ticked");
+        assert!(!analysis.cadence.is_empty(), "bots posted");
+        assert!(analysis.reconciliation_ok, "methods must come from the Table 3 matrix");
+
+        // The analysis is a pure function of the stream: same events,
+        // same tables, byte for byte (JSON compares whole trees).
+        let again = analyze("all", sim.events(), &world, t0, 60.0).unwrap();
+        assert_eq!(
+            foundation::json::to_string(&analysis),
+            foundation::json::to_string(&again)
+        );
+
+        // And it renders.
+        let text = analysis.render();
+        for needle in ["Economy E1", "Economy E2", "Economy E3", "Payment reconciliation: OK"] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn empty_stream_analyzes_to_empty_tables() {
+        let world = World::generate(WorldParams { seed: 3, scale: 0.005 });
+        let analysis = analyze("escrow-basic", &[], &world, 0, 60.0).unwrap();
+        assert_eq!(analysis.funnel_all.opened, 0);
+        assert!(analysis.prices.is_empty());
+        assert!(analysis.cadence.is_empty());
+        assert!(analysis.reconciliation_ok);
+    }
+
+    #[test]
+    fn corrupted_stream_is_rejected() {
+        use economy::event::{EconomyEvent, EventKind};
+        let world = World::generate(WorldParams { seed: 3, scale: 0.005 });
+        // A transition for an order that was never opened.
+        let mut e = EconomyEvent::blank(0, 10, 2_000_001, EventKind::OrderTransition);
+        e.order = Some(1);
+        e.cause = Some("Fund".into());
+        assert!(analyze("all", &[e], &world, 0, 60.0).is_err());
+    }
+}

@@ -19,6 +19,10 @@
 //! * [`efficacy`] — §8: detection efficacy (Table 8);
 //! * [`underground`] — §4.2: underground-market characteristics and the
 //!   listing-similarity analysis;
+//! * [`economy`] — the transaction-side tables (E1–E3): escrow order
+//!   funnel with exit-scam rates, price-trajectory statistics, and bot
+//!   vs human posting cadence, all replayed from the persisted economy
+//!   event stream;
 //! * [`indicators`] — §9: the paper's *proposed* detection indicators
 //!   (referral monitoring, rapid-growth detection), deployed and scored
 //!   against ground truth — the experiment the paper recommends but
@@ -30,6 +34,7 @@
 
 pub mod anatomy;
 pub mod dynamics;
+pub mod economy;
 pub mod efficacy;
 pub mod figures;
 pub mod indicators;

@@ -24,6 +24,7 @@ use acctrade_crawler::schedule::{
     CampaignProgress, CrawlCampaign, IterationSnapshot, DEFAULT_DAYS_BETWEEN,
 };
 use acctrade_crawler::underground::UndergroundCollector;
+use ::economy::{EconomyConfig, EconomyEvent, EconomySim};
 use acctrade_net::client::Client;
 use acctrade_net::clock::DAY;
 use acctrade_net::transport::Transport;
@@ -112,6 +113,16 @@ pub struct StudyReport {
     /// What store recovery salvaged, when this report came out of
     /// [`Study::resume_from`] (`None` on uninterrupted runs).
     pub recovery: Option<RecoveryReport>,
+    /// Economy analysis (E1–E3 + payment reconciliation), when the
+    /// study ran with [`Study::with_economy`]; `None` otherwise.
+    pub economy: Option<crate::economy::EconomyAnalysis>,
+    /// The economy's full event stream (empty when disabled) — the
+    /// replayable provenance behind [`StudyReport::economy`], exported
+    /// by the quickstart as `ECONOMY_events.jsonl`.
+    pub economy_events: Vec<EconomyEvent>,
+    /// Repricings the crawler observed on re-visited offers (only ever
+    /// non-zero when a live economy repriced listings between passes).
+    pub price_observations: usize,
 }
 
 impl StudyReport {
@@ -153,6 +164,10 @@ impl StudyReport {
         out.push_str(&report::render_table9());
         out.push('\n');
         out.push_str(&crate::payments_security::render_appendix_a());
+        if let Some(economy) = &self.economy {
+            out.push('\n');
+            out.push_str(&economy.render());
+        }
         out
     }
 }
@@ -183,12 +198,34 @@ pub struct Study {
     /// runs on the fabric — the loopback server speaks clearnet HTTP
     /// only.
     pub transport: Option<Arc<dyn Transport>>,
+    /// Optional live economy (default `None` = the static seed world).
+    /// Like `workers` and `transport`, deliberately not part of
+    /// [`StudyConfig`]: with no economy attached every artifact is
+    /// byte-identical to the pre-economy pipeline, so the config digest
+    /// a resume validates against must not change. The scenario *is*
+    /// recorded in the checkpoint (`economy_scenario`) so a resumed run
+    /// rebuilds the same economy.
+    pub economy: Option<EconomyConfig>,
 }
 
 impl Study {
     /// Create a study.
     pub fn new(config: StudyConfig) -> Study {
-        Study { config, workers: 1, transport: None }
+        Study { config, workers: 1, transport: None, economy: None }
+    }
+
+    /// Attach an economy scenario (builder style): escrow order flow,
+    /// price trajectories, and bot-operated inventory run between crawl
+    /// passes, and the report gains the E1–E3 tables.
+    pub fn with_economy(mut self, economy: EconomyConfig) -> Study {
+        self.economy = Some(economy);
+        self
+    }
+
+    /// The attached economy scenario's name, or `""` when disabled
+    /// (the checkpoint encoding of "no economy").
+    pub fn economy_scenario(&self) -> &'static str {
+        self.economy.as_ref().map(|c| c.name).unwrap_or("")
     }
 
     /// Set the crawl-engine worker count (builder style).
@@ -318,7 +355,7 @@ impl Study {
         store_dir: &Path,
         workers: usize,
     ) -> Result<StudyReport, StoreError> {
-        let (mut store, cp, wal_dataset, recovery) = CampaignStore::open_resume(store_dir)?;
+        let (mut store, cp, wal, recovery) = CampaignStore::open_resume(store_dir)?;
         if cp.complete {
             return Err(StoreError::Invalid(
                 "checkpoint marks the study complete; nothing to resume".into(),
@@ -338,24 +375,66 @@ impl Study {
             )));
         }
 
-        let study = Study::new(config).with_workers(workers);
+        // The economy scenario rides in the checkpoint, not the config:
+        // a resume must rebuild exactly the economy the interrupted run
+        // was simulating.
+        let economy_cfg = if cp.economy_scenario.is_empty() {
+            None
+        } else {
+            match EconomyConfig::scenario(&cp.economy_scenario) {
+                Some(cfg) => Some(cfg),
+                None => {
+                    return Err(StoreError::Invalid(format!(
+                        "checkpoint names unknown economy scenario {:?}",
+                        cp.economy_scenario
+                    )))
+                }
+            }
+        };
+        let mut study = Study::new(config).with_workers(workers);
+        study.economy = economy_cfg.clone();
 
         // Rebuild the simulation silently: deploy and world evolution were
         // already recorded before the interruption; re-recording them would
         // diverge from an uninterrupted run.
         let mut world;
         let net;
+        let mut sim;
         {
             let quiet = telemetry::Recorder::disabled();
             let _gag = quiet.enter();
             world = World::generate(WorldParams { seed: config.seed, scale: config.scale });
             net = SimNet::new(config.seed);
             world.deploy(&net);
+            // The economy replays the same schedule the live run walked:
+            // primed at t0, advanced at every inter-iteration step.
+            sim = economy_cfg.map(|cfg| {
+                let mut sim = EconomySim::new(config.seed, config.scale, cfg);
+                sim.prime(&mut world, cp.t0_unix);
+                sim
+            });
             for &at in &cp.step_unixes {
                 world.step_iteration(at);
+                if let Some(sim) = sim.as_mut() {
+                    sim.advance_to(&mut world, at);
+                }
             }
             net.clock().advance_to(cp.clock_us);
             net.set_rng_word_position(cp.net_rng_words);
+        }
+        if let Some(sim) = sim.as_mut() {
+            // Integrity gate: the deterministic rebuild must reproduce
+            // the committed WAL stream event for event, or the store
+            // does not describe this seed/scenario.
+            if wal.economy_events.as_slice() != sim.events() {
+                return Err(StoreError::Invalid(format!(
+                    "economy event stream mismatch on resume: WAL committed {} events, \
+                     rebuild produced {}",
+                    wal.economy_events.len(),
+                    sim.events().len()
+                )));
+            }
+            sim.mark_all_persisted();
         }
 
         let rec = telemetry::Recorder::from_snapshot(&cp.telemetry);
@@ -372,19 +451,41 @@ impl Study {
             kill_after: None,
             shard_kill: None,
         };
+        // The re-visit comparison basis is rebuilt the way the live run
+        // built it: first parsed price per offer, then every committed
+        // observation applied in stream order.
+        let mut last_price: BTreeMap<String, f64> = BTreeMap::new();
+        for offer in &wal.dataset.offers {
+            if let Some(price) = offer.price_usd {
+                last_price.insert(offer.offer_url.clone(), price);
+            }
+        }
+        for obs in &wal.price_obs {
+            last_price.insert(obs.offer_url.clone(), obs.price_usd);
+        }
         let mut progress = CampaignProgress {
-            seen: wal_dataset.offers.iter().map(|o| o.offer_url.clone()).collect(),
-            offers: wal_dataset.offers,
+            seen: wal.dataset.offers.iter().map(|o| o.offer_url.clone()).collect(),
+            offers: wal.dataset.offers,
             snapshots: cp.snapshots,
             next_iteration: cp.next_iteration,
             step_unixes: cp.step_unixes,
             shard_cursors: cp.shard_cursors,
+            price_obs: wal.price_obs,
+            last_price,
         };
         {
             // Re-open the interrupted `crawl_campaign` span at its original
             // virtual start, so the resumed manifest reports the same stage.
             let _stage = rec.span_starting_at("crawl_campaign", cp.campaign_started_us);
-            study.run_campaign_segment(&mut world, &net, &rec, &mut progress, &mut store, &ctx)?;
+            study.run_campaign_segment(
+                &mut world,
+                &net,
+                &rec,
+                &mut progress,
+                &mut store,
+                sim.as_mut(),
+                &ctx,
+            )?;
         }
 
         let dataset =
@@ -394,6 +495,8 @@ impl Study {
             snapshots: progress.snapshots,
             step_unixes: progress.step_unixes,
             shard_cursors: progress.shard_cursors,
+            economy_events: sim.map(|s| s.events().to_vec()).unwrap_or_default(),
+            price_observations: progress.price_obs.len(),
             recovery: Some(recovery),
         };
         study.finish(&mut world, &net, &rec, Some(&mut store), outcome, &ctx)
@@ -424,6 +527,15 @@ impl Study {
         rec.event("transport_mode", self.transport_mode());
         let t0 = net.clock().now_unix();
 
+        // The economy primes right after deploy — bot sellers register
+        // and the engines schedule their first actions at t0 — so the
+        // first crawl pass already sees the operated market.
+        let mut sim = self.economy.clone().map(|cfg| {
+            let mut sim = EconomySim::new(self.config.seed, self.config.scale, cfg);
+            sim.prime(world, t0);
+            sim
+        });
+
         let mut ctx = PersistCtx {
             config_digest: telemetry::digest64(&format!("{:?}", self.config)),
             iterations: self.config.iterations.max(1),
@@ -441,7 +553,7 @@ impl Study {
         {
             let _stage = telemetry::span("crawl_campaign");
             if let Some(s) = store.as_deref_mut() {
-                self.run_campaign_segment(world, &net, &rec, &mut progress, s, &ctx)?;
+                self.run_campaign_segment(world, &net, &rec, &mut progress, s, sim.as_mut(), &ctx)?;
             } else {
                 let crawler_client = self
                     .outfit(Client::new(&net, "acctrade-crawler/0.1").with_politeness(20.0, 8.0));
@@ -450,7 +562,9 @@ impl Study {
                 campaign.workers = self.workers;
                 campaign.shard_kill = ctx.shard_kill;
                 campaign
-                    .run_resumable(world, ctx.iterations, &mut progress, None, |_, _| Ok(true))
+                    .run_resumable(world, ctx.iterations, &mut progress, None, sim.as_mut(), |_, _| {
+                        Ok(true)
+                    })
                     .map_err(StoreError::Io)?;
             }
         }
@@ -466,6 +580,8 @@ impl Study {
             snapshots: progress.snapshots,
             step_unixes: progress.step_unixes,
             shard_cursors: progress.shard_cursors,
+            economy_events: sim.map(|s| s.events().to_vec()).unwrap_or_default(),
+            price_observations: progress.price_obs.len(),
             recovery: None,
         };
         self.finish(world, &net, &rec, store, outcome, &ctx).map(Some)
@@ -473,6 +589,7 @@ impl Study {
 
     /// Run (or continue) the crawl campaign against a durable store,
     /// checkpointing after every iteration and honouring `ctx.kill_after`.
+    #[allow(clippy::too_many_arguments)]
     fn run_campaign_segment(
         &self,
         world: &mut World,
@@ -480,6 +597,7 @@ impl Study {
         rec: &telemetry::Recorder,
         progress: &mut CampaignProgress,
         store: &mut CampaignStore,
+        economy: Option<&mut EconomySim>,
         ctx: &PersistCtx,
     ) -> Result<(), StoreError> {
         let crawler_client =
@@ -489,7 +607,7 @@ impl Study {
         campaign.workers = self.workers;
         campaign.shard_kill = ctx.shard_kill;
         campaign
-            .run_resumable(world, ctx.iterations, progress, Some(store), |progress, store| {
+            .run_resumable(world, ctx.iterations, progress, Some(store), economy, |progress, store| {
                 if let Some(s) = store {
                     let cp = self.make_checkpoint(
                         net,
@@ -541,6 +659,7 @@ impl Study {
             snapshots: snapshots.to_vec(),
             shard_cursors: shard_cursors.to_vec(),
             telemetry: rec.snapshot(),
+            economy_scenario: self.economy_scenario().to_string(),
             complete,
         }
     }
@@ -557,8 +676,15 @@ impl Study {
         outcome: CampaignOutcome,
         ctx: &PersistCtx,
     ) -> Result<StudyReport, StoreError> {
-        let CampaignOutcome { mut dataset, snapshots, step_unixes, shard_cursors, recovery } =
-            outcome;
+        let CampaignOutcome {
+            mut dataset,
+            snapshots,
+            step_unixes,
+            shard_cursors,
+            economy_events,
+            price_observations,
+            recovery,
+        } = outcome;
 
         // -- Module 2b: profile metadata + timelines for visible accounts.
         let api_client = self.outfit(Client::new(net, "acctrade-pipeline/0.1"));
@@ -642,6 +768,20 @@ impl Study {
         let network_analysis = network::analyze(&dataset.profiles);
         let efficacy_analysis = efficacy::analyze(&requery);
         let underground_analysis = underground::analyze(&dataset.underground);
+        let campaign_days = (net.clock().now_unix() - ctx.t0_unix) as f64 / 86_400.0;
+        let economy_analysis = match &self.economy {
+            Some(cfg) => Some(
+                crate::economy::analyze(
+                    cfg.name,
+                    &economy_events,
+                    world,
+                    ctx.t0_unix,
+                    campaign_days,
+                )
+                .map_err(StoreError::Invalid)?,
+            ),
+            None => None,
+        };
         drop(_stage); // close the analysis span before exporting stages
 
         let manifest = rec.manifest("study", self.config.seed, &ctx.config_digest);
@@ -680,9 +820,12 @@ impl Study {
             efficacy: efficacy_analysis,
             underground: underground_analysis,
             requests_issued: ctx.requests_base + net.request_count(),
-            campaign_days: (net.clock().now_unix() - ctx.t0_unix) as f64 / 86_400.0,
+            campaign_days,
             telemetry: manifest,
             recovery,
+            economy: economy_analysis,
+            economy_events,
+            price_observations,
         })
     }
 }
@@ -714,6 +857,8 @@ struct CampaignOutcome {
     snapshots: Vec<IterationSnapshot>,
     step_unixes: Vec<i64>,
     shard_cursors: Vec<ShardCursor>,
+    economy_events: Vec<EconomyEvent>,
+    price_observations: usize,
     recovery: Option<RecoveryReport>,
 }
 

@@ -21,8 +21,10 @@
 //! same reason.
 
 use crate::record::{
-    Dataset, FetchStatus, OfferRecord, PostRecord, ProfileRecord, UndergroundRecord,
+    Dataset, FetchStatus, OfferRecord, PostRecord, PriceObservationRecord, ProfileRecord,
+    UndergroundRecord,
 };
+use economy::EconomyEvent;
 use crate::schedule::IterationSnapshot;
 use foundation::json;
 use foundation::json_codec_struct;
@@ -45,13 +47,22 @@ pub const KIND_POST: u8 = 3;
 pub const KIND_UNDERGROUND: u8 = 4;
 /// WAL record kind: a §8 efficacy re-query outcome ([`ApiOutcomeRecord`]).
 pub const KIND_API_OUTCOME: u8 = 5;
+/// WAL record kind: one economy event ([`EconomyEvent`]) — escrow order
+/// transitions, repricing ticks, bot activity.
+pub const KIND_ECONOMY_EVENT: u8 = 6;
+/// WAL record kind: a crawler-observed repricing of an already-collected
+/// offer ([`PriceObservationRecord`]).
+pub const KIND_PRICE_OBS: u8 = 7;
 
 /// Checkpoint file name inside a store directory.
 pub const CHECKPOINT_FILE: &str = "checkpoint.json";
 
 /// Checkpoint schema identifier. v2 added `shard_cursors` (per-shard
-/// lane provenance from the parallel crawl engine).
-pub const CHECKPOINT_SCHEMA: &str = "acctrade-campaign-checkpoint/v2";
+/// lane provenance from the parallel crawl engine); v3 added
+/// `economy_scenario` (the economy scenario pack a campaign runs with —
+/// empty when the subsystem is disabled — so resume can refuse a
+/// scenario mismatch the same way it refuses a seed mismatch).
+pub const CHECKPOINT_SCHEMA: &str = "acctrade-campaign-checkpoint/v3";
 
 /// Per-shard lane provenance from the last completed iteration: where
 /// each (marketplace, chain) shard's private clock and RNG substream
@@ -127,6 +138,9 @@ pub struct CampaignCheckpoint {
     /// Per-shard lane cursors from the last completed iteration
     /// (empty before the first iteration finishes).
     pub shard_cursors: Vec<ShardCursor>,
+    /// Economy scenario pack the campaign runs with (empty string when
+    /// the economy subsystem is disabled). Resume refuses a mismatch.
+    pub economy_scenario: String,
     /// Full telemetry snapshot at checkpoint time.
     pub telemetry: TelemetrySnapshot,
     /// True once the study finished; a complete checkpoint cannot be
@@ -141,7 +155,7 @@ json_codec_struct! {
         schema, seed, config_digest, iterations_total, next_iteration,
         days_between, t0_unix, campaign_started_us, clock_us, net_rng_words,
         requests_issued, committed_records, segment_max_bytes, step_unixes,
-        snapshots, shard_cursors, telemetry, complete,
+        snapshots, shard_cursors, economy_scenario, telemetry, complete,
     }
 }
 
@@ -193,6 +207,22 @@ impl CampaignCheckpoint {
     }
 }
 
+/// Everything a WAL replay yields, separated by stream: the released
+/// dataset, the crawler's price-observation series, and the economy's
+/// event stream. The latter two are empty on every pre-economy store
+/// (the kinds simply never occur).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WalReplay {
+    /// The released campaign dataset (kinds 1–4).
+    pub dataset: Dataset,
+    /// Crawler-observed repricings (kind [`KIND_PRICE_OBS`]).
+    pub price_obs: Vec<PriceObservationRecord>,
+    /// Economy events (kind [`KIND_ECONOMY_EVENT`]), in append order —
+    /// which is emission order, so the stream replays directly through
+    /// `economy::Ledger::replay`.
+    pub economy_events: Vec<EconomyEvent>,
+}
+
 /// A durable campaign dataset store: a [`store::Writer`] plus the
 /// record-kind vocabulary and checkpoint protocol of the crawl pipeline.
 pub struct CampaignStore {
@@ -219,7 +249,7 @@ impl CampaignStore {
     /// land on the current (ambient) telemetry recorder.
     pub fn open_resume(
         dir: &Path,
-    ) -> Result<(CampaignStore, CampaignCheckpoint, Dataset, RecoveryReport), StoreError> {
+    ) -> Result<(CampaignStore, CampaignCheckpoint, WalReplay, RecoveryReport), StoreError> {
         let cp = Self::read_checkpoint(dir)?.ok_or_else(|| {
             StoreError::Invalid(format!(
                 "no {CHECKPOINT_FILE} in {}: nothing to resume",
@@ -233,8 +263,8 @@ impl CampaignStore {
             r.incr("store.records_replayed", &[], report.records_replayed);
             r.incr("store.torn_tails_truncated", &[], report.torn_tails_truncated);
         });
-        let dataset = decode_dataset(&records)?;
-        Ok((CampaignStore { writer }, cp, dataset, report))
+        let replay = decode_streams(&records)?;
+        Ok((CampaignStore { writer }, cp, replay, report))
     }
 
     /// Read the checkpoint at `dir`, if any.
@@ -281,6 +311,19 @@ impl CampaignStore {
         self.append_json(KIND_API_OUTCOME, &json::to_string(record))
     }
 
+    /// Append one economy event.
+    pub fn append_economy_event(&mut self, event: &EconomyEvent) -> io::Result<()> {
+        self.append_json(KIND_ECONOMY_EVENT, &event.to_json_line())
+    }
+
+    /// Append one crawler-observed repricing.
+    pub fn append_price_observation(
+        &mut self,
+        record: &PriceObservationRecord,
+    ) -> io::Result<()> {
+        self.append_json(KIND_PRICE_OBS, &json::to_string(record))
+    }
+
     fn append_json(&mut self, kind: u8, text: &str) -> io::Result<()> {
         let receipt = self.writer.append(kind, text.as_bytes())?;
         telemetry::with_recorder(|r| {
@@ -318,21 +361,27 @@ impl CampaignStore {
         self.writer.dir()
     }
 
-    /// Read-only load of a store directory into a [`Dataset`] (no writer,
-    /// no checkpoint required; used to inspect finished campaigns).
-    pub fn load(dir: &Path) -> Result<(Dataset, RecoveryReport), StoreError> {
+    /// Read-only load of a store directory (no writer, no checkpoint
+    /// required; used to inspect finished campaigns).
+    pub fn load(dir: &Path) -> Result<(WalReplay, RecoveryReport), StoreError> {
         let (records, report) = store::replay(dir)?;
-        Ok((decode_dataset(&records)?, report))
+        Ok((decode_streams(&records)?, report))
     }
 }
 
-/// Decode replayed WAL records into a [`Dataset`].
+/// Decode replayed WAL records into a [`Dataset`], dropping the other
+/// streams. See [`decode_streams`].
+pub fn decode_dataset(records: &[Record]) -> Result<Dataset, StoreError> {
+    Ok(decode_streams(records)?.dataset)
+}
+
+/// Decode replayed WAL records into their per-stream collections.
 ///
 /// [`KIND_API_OUTCOME`] records are part of the §8 audit, not the
-/// dataset, and are skipped here; unknown kinds are an error (the store
-/// never contains records this module did not write).
-pub fn decode_dataset(records: &[Record]) -> Result<Dataset, StoreError> {
-    let mut dataset = Dataset::default();
+/// dataset, and are decode-checked then skipped; unknown kinds are an
+/// error (the store never contains records this module did not write).
+pub fn decode_streams(records: &[Record]) -> Result<WalReplay, StoreError> {
+    let mut replay = WalReplay::default();
     for r in records {
         let text = std::str::from_utf8(&r.payload).map_err(|e| {
             StoreError::Invalid(format!("record seq {} is not UTF-8: {e}", r.seq))
@@ -340,6 +389,7 @@ pub fn decode_dataset(records: &[Record]) -> Result<Dataset, StoreError> {
         let bad = |e: json::JsonError| {
             StoreError::Invalid(format!("record seq {} undecodable: {e}", r.seq))
         };
+        let dataset = &mut replay.dataset;
         match r.kind {
             KIND_OFFER => dataset.offers.push(json::from_str(text).map_err(bad)?),
             KIND_PROFILE => dataset.profiles.push(json::from_str(text).map_err(bad)?),
@@ -348,6 +398,10 @@ pub fn decode_dataset(records: &[Record]) -> Result<Dataset, StoreError> {
             KIND_API_OUTCOME => {
                 let _: ApiOutcomeRecord = json::from_str(text).map_err(bad)?;
             }
+            KIND_ECONOMY_EVENT => {
+                replay.economy_events.push(EconomyEvent::parse(text).map_err(bad)?)
+            }
+            KIND_PRICE_OBS => replay.price_obs.push(json::from_str(text).map_err(bad)?),
             other => {
                 return Err(StoreError::Invalid(format!(
                     "record seq {} has unknown kind {other}",
@@ -356,7 +410,7 @@ pub fn decode_dataset(records: &[Record]) -> Result<Dataset, StoreError> {
             }
         }
     }
-    Ok(dataset)
+    Ok(replay)
 }
 
 /// Offline compaction of a campaign store: keep, per
@@ -436,6 +490,7 @@ mod tests {
             step_unixes: Vec::new(),
             snapshots: Vec::new(),
             shard_cursors: Vec::new(),
+            economy_scenario: String::new(),
             telemetry: telemetry::Recorder::new().snapshot(),
             complete: false,
         }
@@ -458,10 +513,11 @@ mod tests {
         s.write_checkpoint(&checkpoint(&s)).unwrap();
         drop(s);
 
-        let (s2, cp, dataset, report) = CampaignStore::open_resume(&dir).unwrap();
+        let (s2, cp, replay, report) = CampaignStore::open_resume(&dir).unwrap();
         assert_eq!(cp.committed_records, 3);
         assert_eq!(report.records_replayed, 3);
         assert_eq!(report.torn_tails_truncated, 0);
+        let dataset = replay.dataset;
         assert_eq!(dataset.offers.len(), 2, "api outcomes are not dataset rows");
         assert_eq!(dataset.offers[1].offer_url, "http://fameswap.com/o/2");
         assert_eq!(s2.total_records(), 3);
@@ -480,9 +536,9 @@ mod tests {
         s.sync().unwrap();
         drop(s);
 
-        let (_s2, cp, dataset, report) = CampaignStore::open_resume(&dir).unwrap();
+        let (_s2, cp, replay, report) = CampaignStore::open_resume(&dir).unwrap();
         assert_eq!(cp.committed_records, 1);
-        assert_eq!(dataset.offers.len(), 1);
+        assert_eq!(replay.dataset.offers.len(), 1);
         assert_eq!(report.uncommitted_records_dropped, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -544,10 +600,48 @@ mod tests {
         assert_eq!(report.records_out, 2);
         assert_eq!(report.records_deduped, 2);
 
-        let (dataset, _) = CampaignStore::load(&dir).unwrap();
-        assert_eq!(dataset.offers.len(), 1);
-        assert_eq!(dataset.offers[0].iteration, 2);
-        assert_eq!(dataset.posts.len(), 1);
+        let (replay, _) = CampaignStore::load(&dir).unwrap();
+        assert_eq!(replay.dataset.offers.len(), 1);
+        assert_eq!(replay.dataset.offers[0].iteration, 2);
+        assert_eq!(replay.dataset.posts.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn economy_streams_roundtrip_and_survive_rollback() {
+        use economy::event::EventKind;
+        let dir = scratch("econ");
+        let mut s = CampaignStore::create(&dir).unwrap();
+        s.append_offer(&offer("http://fameswap.com/o/1", 0)).unwrap();
+        let mut ev = EconomyEvent::blank(0, 1_706_745_600, 2_000_001, EventKind::OrderOpened);
+        ev.marketplace = "FameSwap".into();
+        ev.order = Some(1);
+        s.append_economy_event(&ev).unwrap();
+        s.append_price_observation(&PriceObservationRecord {
+            marketplace: "FameSwap".into(),
+            offer_url: "http://fameswap.com/o/1".into(),
+            iteration: 1,
+            collected_unix: 1_708_041_600,
+            prev_price_usd: 120.0,
+            price_usd: 114.5,
+        })
+        .unwrap();
+        s.sync().unwrap();
+        s.write_checkpoint(&checkpoint(&s)).unwrap();
+        // Uncommitted economy tail: must be rolled back on resume.
+        let mut ev2 = EconomyEvent::blank(1, 1_706_745_700, 2_000_002, EventKind::OrderOpened);
+        ev2.marketplace = "FameSwap".into();
+        s.append_economy_event(&ev2).unwrap();
+        s.sync().unwrap();
+        drop(s);
+
+        let (_s2, cp, replay, report) = CampaignStore::open_resume(&dir).unwrap();
+        assert_eq!(cp.committed_records, 3);
+        assert_eq!(report.uncommitted_records_dropped, 1);
+        assert_eq!(replay.dataset.offers.len(), 1);
+        assert_eq!(replay.economy_events, vec![ev]);
+        assert_eq!(replay.price_obs.len(), 1);
+        assert_eq!(replay.price_obs[0].price_usd, 114.5);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -162,6 +162,30 @@ pub struct UndergroundRecord {
     pub screenshot: bool,
 }
 
+/// One repricing of an already-collected offer, observed when a later
+/// crawl iteration re-visits the same offer URL and parses a different
+/// price than the iteration that first recorded it.
+///
+/// Deliberately *not* part of [`Dataset`]: the paper's released dataset
+/// keeps one row per offer, and this series is a separate stream (WAL
+/// kind `KIND_PRICE_OBS`) so enabling the economy subsystem cannot
+/// perturb a single byte of the baseline artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriceObservationRecord {
+    /// Marketplace display name.
+    pub marketplace: String,
+    /// Offer URL (the dedup identity of the underlying offer).
+    pub offer_url: String,
+    /// Crawl iteration that observed the new price.
+    pub iteration: usize,
+    /// Virtual time of the observation (unix seconds).
+    pub collected_unix: i64,
+    /// Price parsed by the previous observation of this offer.
+    pub prev_price_usd: f64,
+    /// Price parsed now.
+    pub price_usd: f64,
+}
+
 /// The full campaign dataset.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Dataset {
@@ -224,6 +248,10 @@ json_codec_struct! {
     UndergroundRecord {
         market, url, title, body, author, platform, published_unix, replies,
         price_usd, quantity, screenshot,
+    }
+    PriceObservationRecord {
+        marketplace, offer_url, iteration, collected_unix, prev_price_usd,
+        price_usd,
     }
     Dataset { offers, profiles, posts, underground }
 }

@@ -8,13 +8,14 @@
 
 use crate::merge;
 use crate::persist::{CampaignStore, ShardCursor};
-use crate::record::{Dataset, OfferRecord};
+use crate::record::{Dataset, OfferRecord, PriceObservationRecord};
 use crate::steal;
 use acctrade_net::client::Client;
 use acctrade_net::clock::DAY;
 use acctrade_workload::world::World;
+use economy::EconomySim;
 use foundation::json_codec_struct;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 
 /// One iteration's view of the market (Figure 2's two curves).
@@ -58,6 +59,11 @@ pub struct CampaignProgress {
     /// Per-shard lane cursors from the last completed iteration (folded
     /// into the checkpoint as parallel-crawl provenance).
     pub shard_cursors: Vec<ShardCursor>,
+    /// Repricings observed on re-visited offers (only ever non-empty
+    /// when a live economy reprices listings between iterations).
+    pub price_obs: Vec<PriceObservationRecord>,
+    /// Last price parsed per offer URL (the re-visit comparison basis).
+    pub last_price: BTreeMap<String, f64>,
 }
 
 /// Default virtual days between iterations (the paper's ~150-day
@@ -103,7 +109,7 @@ impl<'a> CrawlCampaign<'a> {
         iterations: usize,
     ) -> (Dataset, Vec<IterationSnapshot>) {
         let mut progress = CampaignProgress::default();
-        self.run_resumable(world, iterations, &mut progress, None, |_, _| Ok(true))
+        self.run_resumable(world, iterations, &mut progress, None, None, |_, _| Ok(true))
             .expect("in-memory campaign cannot fail"); // conformance: allow(panic-policy) — no store and no kill hook: infallible by construction
         let dataset = Dataset { offers: progress.offers, ..Dataset::default() };
         (dataset, progress.snapshots)
@@ -119,12 +125,21 @@ impl<'a> CrawlCampaign<'a> {
     /// to write a checkpoint. Returning `Ok(false)` from the closure
     /// stops the campaign early (the crash-injection hook); the progress
     /// accumulated so far stays in `progress`.
+    ///
+    /// When an `economy` simulator is attached it is advanced — in the
+    /// sequential section, after each inter-iteration `world` step — to
+    /// the stepped timestamp, its freshly emitted events are streamed
+    /// into the store (before the sync that commits the iteration), and
+    /// offers whose re-parsed price changed since their first collection
+    /// are recorded as [`PriceObservationRecord`]s. With no economy the
+    /// byte stream written here is identical to the pre-economy code.
     pub fn run_resumable<F>(
         &self,
         world: &mut World,
         iterations: usize,
         progress: &mut CampaignProgress,
         mut store: Option<&mut CampaignStore>,
+        mut economy: Option<&mut EconomySim>,
         mut after_iteration: F,
     ) -> io::Result<()>
     where
@@ -183,10 +198,42 @@ impl<'a> CrawlCampaign<'a> {
             for record in merged {
                 if progress.seen.insert(record.offer_url.clone()) {
                     fresh += 1;
+                    if let Some(p) = record.price_usd {
+                        progress.last_price.insert(record.offer_url.clone(), p);
+                    }
                     if let Some(s) = store.as_deref_mut() {
                         s.append_offer(&record)?;
                     }
                     progress.offers.push(record);
+                } else if let Some(price) = record.price_usd {
+                    // Re-visit of a known offer: a changed parsed price
+                    // is one observation of its price trajectory. Inert
+                    // without a live economy — nothing ever reprices, so
+                    // this branch appends nothing and baseline stores
+                    // stay byte-identical.
+                    let prev = progress.last_price.get(&record.offer_url).copied();
+                    if let Some(prev) = prev {
+                        if (price - prev).abs() > 0.005 {
+                            let obs = PriceObservationRecord {
+                                marketplace: record.marketplace.clone(),
+                                offer_url: record.offer_url.clone(),
+                                iteration,
+                                collected_unix: record.collected_unix,
+                                prev_price_usd: prev,
+                                price_usd: price,
+                            };
+                            if let Some(s) = store.as_deref_mut() {
+                                s.append_price_observation(&obs)?;
+                            }
+                            progress.price_obs.push(obs);
+                            progress.last_price.insert(record.offer_url.clone(), price);
+                            telemetry::with_recorder(|r| {
+                                r.incr("campaign.price_observations", &[], 1)
+                            });
+                        }
+                    } else {
+                        progress.last_price.insert(record.offer_url.clone(), price);
+                    }
                 }
             }
             telemetry::with_recorder(|r| {
@@ -215,6 +262,24 @@ impl<'a> CrawlCampaign<'a> {
                 let stepped_at = self.client.net().clock().now_unix();
                 world.step_iteration(stepped_at);
                 progress.step_unixes.push(stepped_at);
+                if let Some(sim) = economy.as_deref_mut() {
+                    // Sequential section: the economy's engines run to
+                    // the stepped timestamp in their total event order,
+                    // independent of how many workers crawled.
+                    sim.advance_to(world, stepped_at);
+                }
+            }
+
+            if let Some(sim) = economy.as_deref_mut() {
+                // Stream fresh economy events ahead of the sync so the
+                // checkpoint's committed_records covers them; a killed
+                // run replays exactly the events its checkpoint saw.
+                if let Some(s) = store.as_deref_mut() {
+                    for event in sim.unpersisted() {
+                        s.append_economy_event(event)?;
+                    }
+                    sim.mark_all_persisted();
+                }
             }
 
             if let Some(s) = store.as_deref_mut() {

@@ -1,0 +1,179 @@
+//! Scenario configuration: which engines run, and how hard.
+//!
+//! A scenario pack is a named [`EconomyConfig`] — the unit the study
+//! builder (`Study::with_economy`) takes, the quickstart's `--scenario`
+//! flag selects, and the campaign checkpoint records (resume refuses a
+//! scenario mismatch the same way it refuses a seed mismatch).
+
+/// Escrow engine parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EscrowParams {
+    /// Buyer population size at scale 1.0 (scaled like listings).
+    pub buyers_per_unit_scale: f64,
+    /// Probability a quoted order is ever funded (abandoned carts stay
+    /// [`Quoted`](crate::order::OrderState::Quoted) forever).
+    pub fund_prob: f64,
+    /// Days a funded order may wait for delivery before the deadline
+    /// fires and the order books as an exit scam.
+    pub delivery_deadline_days: u64,
+    /// Days a buyer takes (at most) to confirm delivered credentials.
+    pub confirm_days: u64,
+    /// Baseline probability that a seller is an exit-scammer. The
+    /// per-seller propensity is a pure hash of `(seed, market, seller)`,
+    /// so it is stable across any event interleaving.
+    pub scam_propensity: f64,
+    /// Probability a delivered order is disputed instead of confirmed
+    /// (modulated per buyer).
+    pub dispute_prob: f64,
+}
+
+impl Default for EscrowParams {
+    fn default() -> EscrowParams {
+        EscrowParams {
+            buyers_per_unit_scale: 900.0,
+            fund_prob: 0.82,
+            delivery_deadline_days: 3,
+            confirm_days: 2,
+            scam_propensity: 0.06,
+            dispute_prob: 0.08,
+        }
+    }
+}
+
+/// Price-trajectory engine parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PricingParams {
+    /// Days between repricing sweeps of a marketplace.
+    pub sweep_interval_days: u64,
+    /// Probability an active listing drifts during a sweep.
+    pub drift_prob: f64,
+    /// Maximum relative drift per tick (uniform in `±max`).
+    pub drift_max_pct: f64,
+    /// Age (days on market) after which a listing counts as stale.
+    pub stale_age_days: u64,
+    /// Probability a stale listing is discounted during a sweep.
+    pub stale_discount_prob: f64,
+    /// Relative discount applied to a stale listing.
+    pub stale_discount_pct: f64,
+    /// Relative bump applied to a seller's other active listings when
+    /// one of theirs settles (demand shock up) — and the symmetric cut
+    /// when one of theirs is disputed or exit-scams (shock down).
+    pub demand_shock_pct: f64,
+}
+
+impl Default for PricingParams {
+    fn default() -> PricingParams {
+        PricingParams {
+            sweep_interval_days: 5,
+            drift_prob: 0.12,
+            drift_max_pct: 0.05,
+            stale_age_days: 30,
+            stale_discount_prob: 0.35,
+            stale_discount_pct: 0.12,
+            demand_shock_pct: 0.06,
+        }
+    }
+}
+
+/// Bot-inventory operator parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BotParams {
+    /// Automated accounts registered per marketplace.
+    pub bots_per_market: usize,
+    /// Days between a bot's scheduled posts.
+    pub post_interval_days: u64,
+    /// Probability a bot restocks one of its sold listings (next day)
+    /// instead of waiting for its next scheduled post.
+    pub restock_prob: f64,
+    /// Posts after which a bot rotates to its next scam template.
+    pub template_churn_every: usize,
+}
+
+impl Default for BotParams {
+    fn default() -> BotParams {
+        BotParams {
+            bots_per_market: 2,
+            post_interval_days: 3,
+            restock_prob: 0.7,
+            template_churn_every: 4,
+        }
+    }
+}
+
+/// A named scenario pack: which engines run this study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EconomyConfig {
+    /// Scenario name (recorded in checkpoints; resume refuses a
+    /// mismatch).
+    pub name: &'static str,
+    /// Escrow/order engine, if enabled.
+    pub escrow: Option<EscrowParams>,
+    /// Price-trajectory engine, if enabled.
+    pub pricing: Option<PricingParams>,
+    /// Bot-inventory operator, if enabled.
+    pub bots: Option<BotParams>,
+}
+
+/// Names of the built-in scenario packs, in canonical order.
+pub const SCENARIO_NAMES: [&str; 4] =
+    ["escrow-basic", "price-shocks", "bot-inventory", "all"];
+
+impl EconomyConfig {
+    /// Look up a built-in scenario pack by name.
+    ///
+    /// * `escrow-basic` — escrow lifecycle only (funnel + exit scams);
+    /// * `price-shocks` — price trajectories only (drift, staleness
+    ///   discounts; no orders, so no demand shocks fire);
+    /// * `bot-inventory` — bot-operated restocking only;
+    /// * `all` — all three engines, fully coupled (sales trigger demand
+    ///   shocks and bot restocks).
+    pub fn scenario(name: &str) -> Option<EconomyConfig> {
+        match name {
+            "escrow-basic" => Some(EconomyConfig {
+                name: "escrow-basic",
+                escrow: Some(EscrowParams::default()),
+                pricing: None,
+                bots: None,
+            }),
+            "price-shocks" => Some(EconomyConfig {
+                name: "price-shocks",
+                escrow: None,
+                pricing: Some(PricingParams::default()),
+                bots: None,
+            }),
+            "bot-inventory" => Some(EconomyConfig {
+                name: "bot-inventory",
+                escrow: None,
+                pricing: None,
+                bots: Some(BotParams::default()),
+            }),
+            "all" => Some(EconomyConfig {
+                name: "all",
+                escrow: Some(EscrowParams::default()),
+                pricing: Some(PricingParams::default()),
+                bots: Some(BotParams::default()),
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_named_scenario_resolves() {
+        for name in SCENARIO_NAMES {
+            let cfg = EconomyConfig::scenario(name).unwrap();
+            assert_eq!(cfg.name, name);
+        }
+        assert!(EconomyConfig::scenario("nope").is_none());
+    }
+
+    #[test]
+    fn all_enables_every_engine() {
+        let cfg = EconomyConfig::scenario("all").unwrap();
+        assert!(cfg.escrow.is_some() && cfg.pricing.is_some() && cfg.bots.is_some());
+    }
+}

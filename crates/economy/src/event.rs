@@ -1,0 +1,174 @@
+//! The append-only economy event stream.
+//!
+//! Every engine mutation is emitted as one flat [`EconomyEvent`] record,
+//! stamped with the virtual time it happened at, the entity it concerns,
+//! and a global sequence number. The stream is the subsystem's durable
+//! truth: it is persisted through the campaign WAL, replayed by
+//! [`crate::ledger::Ledger`], and every analysis table is a pure function
+//! of it.
+//!
+//! Ordering rule: engines execute scheduled actions in the total order
+//! `(virtual_time, entity_id, schedule_seq)`, and emitted events inherit
+//! that order through their monotonic `seq` — which is why same-seed
+//! streams are byte-identical at any crawl worker count.
+
+use crate::order::OrderState;
+use acctrade_market::payments::PaymentMethod;
+use foundation::{json, json_codec_enum, json_codec_struct};
+
+/// What an [`EconomyEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventKind {
+    /// A buyer opened an order (state [`OrderState::Quoted`]).
+    OrderOpened,
+    /// An order moved through the state machine.
+    OrderTransition,
+    /// A listing was repriced (one tick of its `PriceTick` series).
+    PriceTick,
+    /// A bot inventory account was registered with a marketplace.
+    BotRegistered,
+    /// A bot posted (or restocked) a listing.
+    BotPost,
+}
+
+json_codec_enum! {
+    EventKind { OrderOpened, OrderTransition, PriceTick, BotRegistered, BotPost }
+}
+
+/// One record of the append-only economy event stream.
+///
+/// The record is deliberately flat (a fixed field set with `None` where a
+/// kind has no use for a column) so it round-trips the WAL as plain JSON
+/// like every other campaign record kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EconomyEvent {
+    /// Global emission sequence (0-based, dense, strictly increasing).
+    pub seq: u64,
+    /// Virtual unix seconds the event happened at.
+    pub at_unix: i64,
+    /// Entity the scheduled action belonged to (the ordering tiebreak).
+    pub entity: u64,
+    /// Kind.
+    pub kind: EventKind,
+    /// Marketplace display name.
+    pub marketplace: String,
+    /// Order id, for order events.
+    pub order: Option<u64>,
+    /// Listing id, when the event concerns one.
+    pub listing: Option<u64>,
+    /// Seller id, when the event concerns one.
+    pub seller: Option<u64>,
+    /// Buyer id, for order events.
+    pub buyer: Option<u64>,
+    /// Platform of the listing concerned.
+    pub platform: Option<String>,
+    /// Price after the event (order price, new listing price, ...).
+    pub price_usd: Option<f64>,
+    /// Price before a [`EventKind::PriceTick`].
+    pub prev_price_usd: Option<f64>,
+    /// Payment method of the order.
+    pub method: Option<PaymentMethod>,
+    /// State before an [`EventKind::OrderTransition`].
+    pub from_state: Option<OrderState>,
+    /// State after an [`EventKind::OrderTransition`] (also set to
+    /// [`OrderState::Quoted`] on [`EventKind::OrderOpened`]).
+    pub to_state: Option<OrderState>,
+    /// Cause tag: the order event name, the tick cause, or the bot
+    /// template label.
+    pub cause: Option<String>,
+}
+
+json_codec_struct! {
+    EconomyEvent {
+        seq, at_unix, entity, kind, marketplace, order, listing, seller,
+        buyer, platform, price_usd, prev_price_usd, method, from_state,
+        to_state, cause,
+    }
+}
+
+/// Cause tag of a drift repricing tick.
+pub const CAUSE_DRIFT: &str = "drift";
+/// Cause tag of a discount applied to a stale listing.
+pub const CAUSE_STALE_DISCOUNT: &str = "stale_discount";
+/// Cause tag of a demand shock following a settled sale.
+pub const CAUSE_SHOCK_SALE: &str = "demand_shock_sale";
+/// Cause tag of a demand shock following a dispute or exit scam.
+pub const CAUSE_SHOCK_DISPUTE: &str = "demand_shock_dispute";
+
+impl EconomyEvent {
+    /// A blank event of `kind`; engines fill the relevant columns.
+    pub fn blank(seq: u64, at_unix: i64, entity: u64, kind: EventKind) -> EconomyEvent {
+        EconomyEvent {
+            seq,
+            at_unix,
+            entity,
+            kind,
+            marketplace: String::new(),
+            order: None,
+            listing: None,
+            seller: None,
+            buyer: None,
+            platform: None,
+            price_usd: None,
+            prev_price_usd: None,
+            method: None,
+            from_state: None,
+            to_state: None,
+            cause: None,
+        }
+    }
+
+    /// Compact single-line JSON (the WAL payload and the `.jsonl`
+    /// artifact line format).
+    pub fn to_json_line(&self) -> String {
+        json::to_string(self)
+    }
+
+    /// Parse one event back from JSON text.
+    pub fn parse(text: &str) -> Result<EconomyEvent, json::JsonError> {
+        json::from_str(text)
+    }
+}
+
+/// Deterministic digest of a whole event stream (provenance for the
+/// study report: two runs with equal digests replayed equal economies).
+pub fn stream_digest(events: &[EconomyEvent]) -> String {
+    let mut buf = String::new();
+    for e in events {
+        buf.push_str(&e.to_json_line());
+        buf.push('\n');
+    }
+    telemetry::digest64(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_json_roundtrip() {
+        let mut e = EconomyEvent::blank(7, 1_706_745_600, 42, EventKind::OrderTransition);
+        e.marketplace = "Z2U".into();
+        e.order = Some(3);
+        e.seller = Some(12);
+        e.buyer = Some(5);
+        e.price_usd = Some(149.99);
+        e.method = Some(PaymentMethod::PayPal);
+        e.from_state = Some(OrderState::Funded);
+        e.to_state = Some(OrderState::CredentialsDelivered);
+        e.cause = Some("Deliver".into());
+        let back = EconomyEvent::parse(&e.to_json_line()).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn stream_digest_is_order_sensitive() {
+        let a = EconomyEvent::blank(0, 0, 1, EventKind::PriceTick);
+        let b = EconomyEvent::blank(1, 0, 2, EventKind::PriceTick);
+        assert_ne!(
+            stream_digest(&[a.clone(), b.clone()]),
+            stream_digest(&[b, a]),
+            "stream digest must see ordering"
+        );
+    }
+}

@@ -1,0 +1,374 @@
+//! Replay: rebuild the economy's final state from its event stream.
+//!
+//! [`Ledger::replay`] is a *pure* function of a persisted
+//! [`EconomyEvent`] slice — it shares the [`OrderState::apply`]
+//! transition table with the live engines, so a stream containing an
+//! illegal transition (corruption, a hand-edited WAL, a buggy engine)
+//! is rejected rather than silently absorbed. Every analysis table the
+//! study report renders is computed from a replayed ledger, which makes
+//! the WAL stream the subsystem's provenance: equal streams ⇒ equal
+//! ledgers ⇒ equal tables, byte for byte.
+
+use crate::event::{EconomyEvent, EventKind};
+use crate::order::{OrderEvent, OrderState};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Why a stream failed to replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayError {
+    /// Sequence number of the offending event (if it had one).
+    pub seq: Option<u64>,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.seq {
+            Some(seq) => write!(f, "economy replay failed at seq {}: {}", seq, self.message),
+            None => write!(f, "economy replay failed: {}", self.message),
+        }
+    }
+}
+
+fn fail(seq: Option<u64>, message: String) -> ReplayError {
+    ReplayError { seq, message }
+}
+
+/// Final state of one order after replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerOrder {
+    /// Marketplace display name.
+    pub marketplace: String,
+    /// Final machine state.
+    pub state: OrderState,
+    /// Payment method the buyer chose.
+    pub method: crate::PaymentMethod,
+    /// Order price at quote time (USD).
+    pub price_usd: f64,
+    /// Seller id.
+    pub seller: u64,
+    /// Buyer id.
+    pub buyer: u64,
+    /// Platform of the purchased listing.
+    pub platform: String,
+    /// Listing id the order was for.
+    pub listing: u64,
+    /// Virtual time the order was opened.
+    pub opened_unix: i64,
+    /// Virtual time the order reached a terminal state, if it did.
+    pub settled_unix: Option<i64>,
+}
+
+/// One replayed repricing tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerTick {
+    /// Marketplace display name.
+    pub marketplace: String,
+    /// Listing that was repriced.
+    pub listing: u64,
+    /// Platform of the listing.
+    pub platform: String,
+    /// Price before the tick.
+    pub prev_usd: f64,
+    /// Price after the tick.
+    pub new_usd: f64,
+    /// Cause tag (see the [`crate::event`] constants).
+    pub cause: String,
+    /// Virtual time of the tick.
+    pub at_unix: i64,
+}
+
+/// One replayed bot posting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerBotPost {
+    /// Marketplace display name.
+    pub marketplace: String,
+    /// Bot seller id.
+    pub seller: u64,
+    /// Listing the bot created.
+    pub listing: u64,
+    /// Virtual time of the post.
+    pub at_unix: i64,
+    /// Scam template tag the post used.
+    pub template: String,
+}
+
+/// The replayed end state of an economy event stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Ledger {
+    /// Every order ever opened, by id.
+    pub orders: BTreeMap<u64, LedgerOrder>,
+    /// Every repricing tick, in stream order.
+    pub ticks: Vec<LedgerTick>,
+    /// Every bot posting, in stream order.
+    pub bot_posts: Vec<LedgerBotPost>,
+    /// Bot seller ids per marketplace name.
+    pub bot_sellers: BTreeMap<String, BTreeSet<u64>>,
+    /// Bot-created listing ids per marketplace name.
+    pub bot_listings: BTreeMap<String, BTreeSet<u64>>,
+    /// Events consumed.
+    pub events_replayed: usize,
+    /// Timespan covered by the stream `(first, last)` virtual time.
+    pub span_unix: Option<(i64, i64)>,
+}
+
+impl Ledger {
+    /// Replay `events` from scratch, enforcing the same legality the
+    /// live engines obey. Errors on gaps in `seq`, unknown orders, or
+    /// transitions [`OrderState::apply`] rejects.
+    pub fn replay(events: &[EconomyEvent]) -> Result<Ledger, ReplayError> {
+        let mut ledger = Ledger::default();
+        for (i, e) in events.iter().enumerate() {
+            if e.seq != i as u64 {
+                return Err(fail(
+                    Some(e.seq),
+                    format!("sequence gap: expected seq {i}, found {}", e.seq),
+                ));
+            }
+            ledger.span_unix = Some(match ledger.span_unix {
+                None => (e.at_unix, e.at_unix),
+                Some((first, _)) => (first, e.at_unix),
+            });
+            match e.kind {
+                EventKind::OrderOpened => ledger.order_opened(e)?,
+                EventKind::OrderTransition => ledger.order_transition(e)?,
+                EventKind::PriceTick => ledger.price_tick(e)?,
+                EventKind::BotRegistered => {
+                    let seller = required(e, e.seller, "seller")?;
+                    ledger
+                        .bot_sellers
+                        .entry(e.marketplace.clone())
+                        .or_default()
+                        .insert(seller);
+                }
+                EventKind::BotPost => ledger.bot_post(e)?,
+            }
+            ledger.events_replayed += 1;
+        }
+        Ok(ledger)
+    }
+
+    /// Deterministic digest of the replayed state (not the stream):
+    /// equal ledgers hash equal even if derived from different `Vec`
+    /// capacities or replay batching.
+    pub fn state_digest(&self) -> String {
+        telemetry::digest64(&format!("{self:?}"))
+    }
+
+    /// Orders that reached a terminal state.
+    pub fn settled(&self) -> impl Iterator<Item = (&u64, &LedgerOrder)> {
+        self.orders.iter().filter(|(_, o)| o.state.is_terminal())
+    }
+
+    fn order_opened(&mut self, e: &EconomyEvent) -> Result<(), ReplayError> {
+        let order = required(e, e.order, "order")?;
+        if self.orders.contains_key(&order) {
+            return Err(fail(Some(e.seq), format!("order {order} opened twice")));
+        }
+        let method = match e.method {
+            Some(m) => m,
+            None => return Err(fail(Some(e.seq), format!("order {order} opened without method"))),
+        };
+        self.orders.insert(
+            order,
+            LedgerOrder {
+                marketplace: e.marketplace.clone(),
+                state: OrderState::Quoted,
+                method,
+                price_usd: e.price_usd.unwrap_or(0.0),
+                seller: required(e, e.seller, "seller")?,
+                buyer: required(e, e.buyer, "buyer")?,
+                platform: e.platform.clone().unwrap_or_default(),
+                listing: required(e, e.listing, "listing")?,
+                opened_unix: e.at_unix,
+                settled_unix: None,
+            },
+        );
+        Ok(())
+    }
+
+    fn order_transition(&mut self, e: &EconomyEvent) -> Result<(), ReplayError> {
+        let order = required(e, e.order, "order")?;
+        let event = match e.cause.as_deref().and_then(parse_order_event) {
+            Some(ev) => ev,
+            None => {
+                return Err(fail(
+                    Some(e.seq),
+                    format!("transition of order {order} has no parseable cause"),
+                ))
+            }
+        };
+        let Some(entry) = self.orders.get_mut(&order) else {
+            return Err(fail(Some(e.seq), format!("transition of unknown order {order}")));
+        };
+        if e.from_state != Some(entry.state) {
+            return Err(fail(
+                Some(e.seq),
+                format!(
+                    "order {order}: stream says from {:?}, ledger is at {:?}",
+                    e.from_state, entry.state
+                ),
+            ));
+        }
+        let next = match entry.state.apply(event) {
+            Ok(next) => next,
+            Err(ill) => return Err(fail(Some(e.seq), ill.to_string())),
+        };
+        if e.to_state != Some(next) {
+            return Err(fail(
+                Some(e.seq),
+                format!(
+                    "order {order}: stream says to {:?}, machine computes {next:?}",
+                    e.to_state
+                ),
+            ));
+        }
+        entry.state = next;
+        if next.is_terminal() {
+            entry.settled_unix = Some(e.at_unix);
+        }
+        Ok(())
+    }
+
+    fn price_tick(&mut self, e: &EconomyEvent) -> Result<(), ReplayError> {
+        self.ticks.push(LedgerTick {
+            marketplace: e.marketplace.clone(),
+            listing: required(e, e.listing, "listing")?,
+            platform: e.platform.clone().unwrap_or_default(),
+            prev_usd: match e.prev_price_usd {
+                Some(p) => p,
+                None => return Err(fail(Some(e.seq), "price tick without prev price".into())),
+            },
+            new_usd: match e.price_usd {
+                Some(p) => p,
+                None => return Err(fail(Some(e.seq), "price tick without new price".into())),
+            },
+            cause: e.cause.clone().unwrap_or_default(),
+            at_unix: e.at_unix,
+        });
+        Ok(())
+    }
+
+    fn bot_post(&mut self, e: &EconomyEvent) -> Result<(), ReplayError> {
+        let seller = required(e, e.seller, "seller")?;
+        let listing = required(e, e.listing, "listing")?;
+        let known = self
+            .bot_sellers
+            .get(&e.marketplace)
+            .is_some_and(|s| s.contains(&seller));
+        if !known {
+            return Err(fail(
+                Some(e.seq),
+                format!("bot post by unregistered seller {seller} on {}", e.marketplace),
+            ));
+        }
+        self.bot_listings
+            .entry(e.marketplace.clone())
+            .or_default()
+            .insert(listing);
+        self.bot_posts.push(LedgerBotPost {
+            marketplace: e.marketplace.clone(),
+            seller,
+            listing,
+            at_unix: e.at_unix,
+            template: e.cause.clone().unwrap_or_default(),
+        });
+        Ok(())
+    }
+}
+
+fn required(e: &EconomyEvent, field: Option<u64>, name: &str) -> Result<u64, ReplayError> {
+    match field {
+        Some(v) => Ok(v),
+        None => Err(fail(Some(e.seq), format!("{:?} event missing `{name}`", e.kind))),
+    }
+}
+
+/// Parse a transition cause tag back into its [`OrderEvent`].
+fn parse_order_event(cause: &str) -> Option<OrderEvent> {
+    OrderEvent::all().into_iter().find(|ev| format!("{ev:?}") == cause)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EconomyEvent;
+    use crate::PaymentMethod;
+
+    fn opened(seq: u64, order: u64) -> EconomyEvent {
+        let mut e = EconomyEvent::blank(seq, 100, 2_000_000 + order, EventKind::OrderOpened);
+        e.marketplace = "Z2U".into();
+        e.order = Some(order);
+        e.listing = Some(10 + order);
+        e.seller = Some(3);
+        e.buyer = Some(1_000_001);
+        e.platform = Some("Instagram".into());
+        e.price_usd = Some(80.0);
+        e.method = Some(PaymentMethod::PayPal);
+        e.to_state = Some(OrderState::Quoted);
+        e
+    }
+
+    fn step(seq: u64, order: u64, from: OrderState, ev: OrderEvent, to: OrderState) -> EconomyEvent {
+        let mut e =
+            EconomyEvent::blank(seq, 200 + seq as i64, 2_000_000 + order, EventKind::OrderTransition);
+        e.marketplace = "Z2U".into();
+        e.order = Some(order);
+        e.from_state = Some(from);
+        e.to_state = Some(to);
+        e.cause = Some(format!("{ev:?}"));
+        e
+    }
+
+    #[test]
+    fn replays_a_full_lifecycle() {
+        use OrderEvent::*;
+        use OrderState::*;
+        let events = vec![
+            opened(0, 1),
+            step(1, 1, Quoted, Fund, Funded),
+            step(2, 1, Funded, Deliver, CredentialsDelivered),
+            step(3, 1, CredentialsDelivered, Confirm, Released),
+        ];
+        let ledger = Ledger::replay(&events).unwrap();
+        assert_eq!(ledger.orders[&1].state, Released);
+        assert_eq!(ledger.orders[&1].settled_unix, Some(203));
+        assert_eq!(ledger.settled().count(), 1);
+    }
+
+    #[test]
+    fn rejects_illegal_transition() {
+        use OrderEvent::*;
+        use OrderState::*;
+        let events = vec![opened(0, 1), step(1, 1, Quoted, Refund, Refunded)];
+        let err = Ledger::replay(&events).unwrap_err();
+        assert!(err.message.contains("illegal order transition"), "{err}");
+    }
+
+    #[test]
+    fn rejects_sequence_gap() {
+        let events = vec![opened(0, 1), opened(7, 2)];
+        let err = Ledger::replay(&events).unwrap_err();
+        assert!(err.message.contains("sequence gap"), "{err}");
+    }
+
+    #[test]
+    fn rejects_mismatched_from_state() {
+        use OrderEvent::*;
+        use OrderState::*;
+        let events = vec![opened(0, 1), step(1, 1, Funded, Deliver, CredentialsDelivered)];
+        let err = Ledger::replay(&events).unwrap_err();
+        assert!(err.message.contains("ledger is at"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unregistered_bot_post() {
+        let mut e = EconomyEvent::blank(0, 50, 4_000_000, EventKind::BotPost);
+        e.marketplace = "Z2U".into();
+        e.seller = Some(99);
+        e.listing = Some(5);
+        let err = Ledger::replay(&[e]).unwrap_err();
+        assert!(err.message.contains("unregistered"), "{err}");
+    }
+}

@@ -1,0 +1,43 @@
+//! acctrade-economy: the deterministic marketplace economy.
+//!
+//! The crawler measures the *supply side* of the account trade — what
+//! the escrow marketplaces list. This crate simulates the *transaction*
+//! side the paper can only infer: escrowed purchases (and their failure
+//! modes, up to exit scams), listing price trajectories, and the
+//! automated inventory accounts that keep shops stocked. Three engines
+//! share one virtual-clock event loop:
+//!
+//! * **escrow** ([`order`], the escrow half of [`sim`]) — buyers fund
+//!   orders that move through the [`OrderState`] machine; per-seller
+//!   scam propensity decides who exit-scams; deadlines time out;
+//! * **pricing** — per-listing repricing ticks: random drift, staleness
+//!   discounts, and demand shocks coupled to sales and disputes;
+//! * **bots** — inventory accounts posting on a cadence, restocking
+//!   sold listings, and churning through scam ad templates.
+//!
+//! Everything lands in one append-only [`EconomyEvent`] stream with a
+//! total order `(virtual_time, entity, seq)` — byte-identical for a
+//! given seed at any crawl worker count, persisted through the campaign
+//! WAL, and replayable from scratch by [`Ledger::replay`]. The study's
+//! economy tables are computed from the replayed ledger, never from
+//! live engine state, so the persisted stream is the provenance.
+//!
+//! The crate is inert unless a scenario pack ([`EconomyConfig`]) is
+//! attached to a study: with no scenario, no RNG substream is drawn, no
+//! event is emitted, and every baseline artifact stays byte-identical.
+
+pub mod config;
+pub mod event;
+pub mod ledger;
+pub mod order;
+pub mod sim;
+
+pub use config::{BotParams, EconomyConfig, EscrowParams, PricingParams, SCENARIO_NAMES};
+pub use event::{stream_digest, EconomyEvent, EventKind};
+pub use ledger::{Ledger, ReplayError};
+pub use order::{IllegalTransition, OrderEvent, OrderState};
+pub use sim::EconomySim;
+
+// Re-exported so ledger consumers don't need a direct market dependency
+// for the method column.
+pub use acctrade_market::payments::PaymentMethod;

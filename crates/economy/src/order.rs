@@ -1,0 +1,171 @@
+//! The escrow order state machine.
+//!
+//! Every purchase moves through the same lifecycle the related escrow
+//! marketplaces implement: a buyer gets a quote, funds the escrow, the
+//! seller hands over credentials, and the escrow either releases to the
+//! seller or — after a dispute — refunds the buyer. A seller who takes
+//! the funds and never delivers is an exit scam:
+//!
+//! ```text
+//! Quoted ──Fund──▶ Funded ──Deliver──▶ CredentialsDelivered ──Confirm──▶ Released
+//!                    │                        │
+//!            DeliveryTimeout               Dispute
+//!                    ▼                        ▼
+//!                ExitScam                 Disputed ──Refund──▶ Refunded
+//! ```
+//!
+//! [`OrderState::apply`] is a *pure* transition function: every engine,
+//! the replay [`crate::ledger`], and the property tests share it, so an
+//! illegal transition can neither be simulated nor replayed.
+
+use foundation::json_codec_enum;
+
+/// Lifecycle state of an escrow order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OrderState {
+    /// The buyer asked for a quote; escrow not yet funded.
+    Quoted,
+    /// Escrow holds the buyer's funds.
+    Funded,
+    /// The seller delivered the account credentials.
+    CredentialsDelivered,
+    /// The buyer confirmed; funds released to the seller. Terminal.
+    Released,
+    /// The buyer disputed the delivery.
+    Disputed,
+    /// The mediator refunded the buyer. Terminal.
+    Refunded,
+    /// The seller took the funds and never delivered. Terminal.
+    ExitScam,
+}
+
+/// An event the state machine consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OrderEvent {
+    /// The buyer funds the escrow.
+    Fund,
+    /// The seller delivers credentials.
+    Deliver,
+    /// The buyer confirms the goods; escrow releases.
+    Confirm,
+    /// The buyer disputes the delivery.
+    Dispute,
+    /// The mediator refunds a disputed order.
+    Refund,
+    /// The delivery deadline lapsed with escrow still funded.
+    DeliveryTimeout,
+}
+
+json_codec_enum! {
+    OrderState { Quoted, Funded, CredentialsDelivered, Released, Disputed, Refunded, ExitScam }
+    OrderEvent { Fund, Deliver, Confirm, Dispute, Refund, DeliveryTimeout }
+}
+
+/// A transition the machine does not admit. The state is unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IllegalTransition {
+    /// State the order was in.
+    pub state: OrderState,
+    /// Event that was rejected.
+    pub event: OrderEvent,
+}
+
+impl std::fmt::Display for IllegalTransition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "illegal order transition: {:?} in state {:?}", self.event, self.state)
+    }
+}
+
+impl OrderState {
+    /// The single transition table. Returns the successor state, or an
+    /// [`IllegalTransition`] (leaving the order unchanged) for every
+    /// `(state, event)` pair outside the lifecycle diagram.
+    pub fn apply(self, event: OrderEvent) -> Result<OrderState, IllegalTransition> {
+        use OrderEvent::*;
+        use OrderState::*;
+        match (self, event) {
+            (Quoted, Fund) => Ok(Funded),
+            (Funded, Deliver) => Ok(CredentialsDelivered),
+            (Funded, DeliveryTimeout) => Ok(ExitScam),
+            (CredentialsDelivered, Confirm) => Ok(Released),
+            (CredentialsDelivered, Dispute) => Ok(Disputed),
+            (Disputed, Refund) => Ok(Refunded),
+            (state, event) => Err(IllegalTransition { state, event }),
+        }
+    }
+
+    /// Terminal states absorb every event.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, OrderState::Released | OrderState::Refunded | OrderState::ExitScam)
+    }
+
+    /// Did money change hands in the seller's favour?
+    pub fn seller_was_paid(self) -> bool {
+        matches!(self, OrderState::Released | OrderState::ExitScam)
+    }
+}
+
+impl OrderEvent {
+    /// Every event, in canonical order (for exhaustive property tests).
+    pub fn all() -> [OrderEvent; 6] {
+        use OrderEvent::*;
+        [Fund, Deliver, Confirm, Dispute, Refund, DeliveryTimeout]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use OrderEvent::*;
+    use OrderState::*;
+
+    #[test]
+    fn happy_path_releases() {
+        let mut s = Quoted;
+        for ev in [Fund, Deliver, Confirm] {
+            s = s.apply(ev).unwrap();
+        }
+        assert_eq!(s, Released);
+        assert!(s.is_terminal());
+        assert!(s.seller_was_paid());
+    }
+
+    #[test]
+    fn dispute_path_refunds() {
+        let mut s = Quoted;
+        for ev in [Fund, Deliver, Dispute, Refund] {
+            s = s.apply(ev).unwrap();
+        }
+        assert_eq!(s, Refunded);
+        assert!(!s.seller_was_paid());
+    }
+
+    #[test]
+    fn timeout_is_exit_scam() {
+        let s = Quoted.apply(Fund).unwrap().apply(DeliveryTimeout).unwrap();
+        assert_eq!(s, ExitScam);
+        assert!(s.seller_was_paid());
+    }
+
+    #[test]
+    fn terminals_absorb_everything() {
+        for terminal in [Released, Refunded, ExitScam] {
+            for ev in OrderEvent::all() {
+                assert_eq!(
+                    terminal.apply(ev),
+                    Err(IllegalTransition { state: terminal, event: ev })
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_six_legal_edges() {
+        let states = [Quoted, Funded, CredentialsDelivered, Released, Disputed, Refunded, ExitScam];
+        let legal: usize = states
+            .iter()
+            .map(|&s| OrderEvent::all().iter().filter(|&&e| s.apply(e).is_ok()).count())
+            .sum();
+        assert_eq!(legal, 6, "the lifecycle diagram has exactly six edges");
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests for the economy subsystem.
+//!
+//! Two contracts from the issue, plus the codec bridge between them:
+//! no event permutation can drive the order machine through an illegal
+//! transition, and a persisted (serialized) event stream replays to a
+//! byte-identical final state.
+
+use economy::event::{EconomyEvent, EventKind, CAUSE_DRIFT};
+use economy::{EconomySim, EconomyConfig, Ledger, OrderEvent, OrderState, PaymentMethod};
+use foundation::check::vec as vec_of;
+use foundation::prop_check;
+
+fn opened(seq: u64, order: u64, at: i64) -> EconomyEvent {
+    let mut e = EconomyEvent::blank(seq, at, 2_000_000 + order, EventKind::OrderOpened);
+    e.marketplace = "Z2U".into();
+    e.order = Some(order);
+    e.listing = Some(100 + order);
+    e.seller = Some(1 + order % 7);
+    e.buyer = Some(1_000_000 + order);
+    e.platform = Some("Instagram".into());
+    e.price_usd = Some(25.0 + order as f64);
+    e.method = Some(PaymentMethod::PayPal);
+    e.to_state = Some(OrderState::Quoted);
+    e
+}
+
+fn transition(
+    seq: u64,
+    order: u64,
+    at: i64,
+    from: OrderState,
+    ev: OrderEvent,
+    to: OrderState,
+) -> EconomyEvent {
+    let mut e = EconomyEvent::blank(seq, at, 2_000_000 + order, EventKind::OrderTransition);
+    e.marketplace = "Z2U".into();
+    e.order = Some(order);
+    e.from_state = Some(from);
+    e.to_state = Some(to);
+    e.cause = Some(format!("{ev:?}"));
+    e
+}
+
+prop_check! {
+    /// Feeding the order machine ANY event permutation can never
+    /// produce an illegal transition: rejected events leave the state
+    /// untouched, accepted ones traverse only the six lifecycle edges,
+    /// terminals absorb everything — and the accepted subsequence
+    /// replays cleanly through the ledger to the same final state.
+    fn no_event_permutation_breaks_the_machine(walk in vec_of(0usize..6, 1..40)) {
+        use OrderEvent::*;
+        use OrderState::*;
+        let legal = [
+            (Quoted, Fund, Funded),
+            (Funded, Deliver, CredentialsDelivered),
+            (Funded, DeliveryTimeout, ExitScam),
+            (CredentialsDelivered, Confirm, Released),
+            (CredentialsDelivered, Dispute, Disputed),
+            (Disputed, Refund, Refunded),
+        ];
+        let mut state = Quoted;
+        let mut stream = vec![opened(0, 1, 100)];
+        for &ix in &walk {
+            let ev = OrderEvent::all()[ix];
+            let was_terminal = state.is_terminal();
+            match state.apply(ev) {
+                Ok(next) => {
+                    assert!(!was_terminal, "terminal state {state:?} accepted {ev:?}");
+                    assert!(
+                        legal.contains(&(state, ev, next)),
+                        "{state:?} --{ev:?}--> {next:?} is not a lifecycle edge"
+                    );
+                    let seq = stream.len() as u64;
+                    let at = 100 + seq as i64;
+                    stream.push(transition(seq, 1, at, state, ev, next));
+                    state = next;
+                }
+                Err(ill) => {
+                    assert_eq!((ill.state, ill.event), (state, ev));
+                }
+            }
+        }
+        let ledger = Ledger::replay(&stream).expect("accepted subsequence must replay");
+        assert_eq!(ledger.orders[&1].state, state);
+        assert_eq!(
+            ledger.orders[&1].settled_unix.is_some(),
+            state.is_terminal(),
+        );
+    }
+
+    /// Serialize → parse → replay is lossless: a synthetic multi-order
+    /// stream survives the WAL text round trip byte-for-byte, and the
+    /// parsed copy replays to a ledger with the identical state digest.
+    fn persisted_stream_replays_byte_identically(
+        walks in vec_of(vec_of(0usize..6, 1..8), 1..6),
+    ) {
+        let mut stream: Vec<EconomyEvent> = Vec::new();
+        for (i, walk) in walks.iter().enumerate() {
+            let order = i as u64 + 1;
+            let mut state = OrderState::Quoted;
+            stream.push(opened(stream.len() as u64, order, 100 + i as i64));
+            for &ix in walk {
+                let ev = OrderEvent::all()[ix];
+                if let Ok(next) = state.apply(ev) {
+                    let seq = stream.len() as u64;
+                    stream.push(transition(seq, order, 100 + seq as i64, state, ev, next));
+                    state = next;
+                }
+            }
+            // A repricing tick between orders, to mix record shapes.
+            let seq = stream.len() as u64;
+            let mut tick = EconomyEvent::blank(seq, 200 + seq as i64, 3_000_000, EventKind::PriceTick);
+            tick.marketplace = "Z2U".into();
+            tick.listing = Some(100 + order);
+            tick.platform = Some("Instagram".into());
+            tick.prev_price_usd = Some(25.0 + order as f64);
+            tick.price_usd = Some(24.0 + order as f64);
+            tick.cause = Some(CAUSE_DRIFT.into());
+            stream.push(tick);
+        }
+
+        let lines: Vec<String> = stream.iter().map(|e| e.to_json_line()).collect();
+        let parsed: Vec<EconomyEvent> = lines
+            .iter()
+            .map(|l| EconomyEvent::parse(l).expect("wal line must parse"))
+            .collect();
+        assert_eq!(parsed, stream, "text round trip altered the stream");
+        let relines: Vec<String> = parsed.iter().map(|e| e.to_json_line()).collect();
+        assert_eq!(relines, lines, "re-serialization is not byte-identical");
+
+        let a = Ledger::replay(&stream).expect("original stream replays");
+        let b = Ledger::replay(&parsed).expect("parsed stream replays");
+        assert_eq!(a.state_digest(), b.state_digest());
+        assert_eq!(a, b);
+    }
+}
+
+/// End-to-end: a real simulated economy, serialized the way the WAL
+/// persists it, parses back and replays to the identical ledger.
+#[test]
+fn simulated_stream_survives_persistence_roundtrip() {
+    use acctrade_workload::world::{World, WorldParams};
+
+    let seed = 2024;
+    let mut world = World::generate(WorldParams { seed, scale: 0.01 });
+    let cfg = EconomyConfig::scenario("all").expect("builtin scenario");
+    let mut sim = EconomySim::new(seed, 0.01, cfg);
+    let t0 = 1_706_745_600;
+    sim.prime(&mut world, t0);
+    for step in 1..=3i64 {
+        let at = t0 + step * 15 * 86_400;
+        world.step_iteration(at);
+        sim.advance_to(&mut world, at);
+    }
+    assert!(!sim.events().is_empty(), "the all scenario must emit events");
+
+    let lines: Vec<String> = sim.events().iter().map(|e| e.to_json_line()).collect();
+    let parsed: Vec<EconomyEvent> = lines
+        .iter()
+        .map(|l| EconomyEvent::parse(l).expect("wal line parses"))
+        .collect();
+    assert_eq!(parsed.as_slice(), sim.events());
+
+    let live = Ledger::replay(sim.events()).expect("live stream replays");
+    let replayed = Ledger::replay(&parsed).expect("persisted stream replays");
+    assert_eq!(live.state_digest(), replayed.state_digest());
+    assert!(live.settled().count() > 0, "some order should settle in 45 days");
+    assert!(!live.ticks.is_empty(), "pricing engine should tick");
+    assert!(!live.bot_posts.is_empty(), "bots should post");
+}

@@ -1,5 +1,6 @@
 //! Payment methods and the Table 3 marketplace matrix.
 
+use foundation::json_codec_enum;
 
 /// A payment method observed across the 11 marketplaces (Table 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -58,6 +59,14 @@ pub enum PaymentMethod {
     Payer,
     /// The marketplace does not disclose payment methods.
     Unknown,
+}
+
+json_codec_enum! {
+    PaymentMethod {
+        Visa, PayDirekt, GPayVisa, DLocal, AppotaVisa, NeoSurf, Btc, Eth,
+        LiteCoin, Tether, Bnb, Matic, Dash, Coinbase, AirWallex, PayPal,
+        Trustly, Skrill, WeChat, AliPay, Payssion, Trustap, Payer, Unknown,
+    }
 }
 
 /// Table 3's row groups.

@@ -8,6 +8,8 @@
 //! so the measurement pipeline can *rediscover* those statistics through
 //! the same noisy channels the authors faced.
 //!
+//! * [`buyers`] — the demand-side population the economy subsystem
+//!   draws escrow orders from;
 //! * [`calibration`] — every constant from the paper's tables and text;
 //! * [`categories`] — marketplace categories (212), platform profile
 //!   categories (288), locations (140 across 3,236 profiles);
@@ -18,6 +20,7 @@
 //! * [`world`] — [`world::World`]: generate, deploy on a fabric, and
 //!   evolve across crawl iterations (Figure 2's replenishment).
 
+pub mod buyers;
 pub mod calibration;
 pub mod categories;
 pub mod names;

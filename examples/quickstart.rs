@@ -34,6 +34,26 @@
 //! cargo run --release --example quickstart -- --campaign \
 //!     --store-dir target/store/crash --resume --out target/gate-crash
 //! ```
+//!
+//! `--scenario <name>` attaches the live economy to a campaign run
+//! (`escrow-basic`, `price-shocks`, `bot-inventory`, or `all`): escrow
+//! order flow, price trajectories, and bot-operated inventory run
+//! between crawl passes, and the run additionally writes
+//! `ECONOMY_report.json` (the E1–E3 analysis) and `ECONOMY_events.jsonl`
+//! (the replayable event stream) into `--out`. It composes with
+//! `--kill-at`/`--resume` — a resumed economy is rebuilt from the
+//! checkpoint and verified against the WAL stream:
+//!
+//! ```sh
+//! cargo run --release --example quickstart -- --campaign \
+//!     --scenario all --store-dir target/store/econ --out target/gate-econ
+//! ```
+//!
+//! Exit codes: `0` success; `2` bad CLI usage (unknown transport or
+//! scenario, or a resume whose store ran a different scenario); `3` an
+//! injected `--kill-at` crash fired (the store is left resumable); `4`
+//! transport parity failure; `5` economy payment reconciliation failure
+//! (a settled order used a method its marketplace does not list).
 
 use acctrade::core::{Study, StudyConfig};
 use acctrade::crawler::merge::normalize_for_parity;
@@ -70,6 +90,25 @@ fn campaign_mode(args: &[String]) {
     let workers: usize = arg_value(args, "--workers")
         .map(|w| w.parse().expect("--workers takes a thread count"))
         .unwrap_or(1);
+    // The optional live economy: orders, repricing, and bot inventory
+    // running between crawl passes.
+    let scenario = arg_value(args, "--scenario");
+    let economy = scenario.map(|name| {
+        acctrade::economy::EconomyConfig::scenario(name).unwrap_or_else(|| {
+            eprintln!(
+                "unknown --scenario {name:?} (expected one of {:?})",
+                acctrade::economy::SCENARIO_NAMES
+            );
+            std::process::exit(2);
+        })
+    });
+    let build_study = || {
+        let mut study = Study::new(config).with_workers(workers);
+        if let Some(cfg) = economy.clone() {
+            study = study.with_economy(cfg);
+        }
+        study
+    };
 
     let rec = acctrade::telemetry::Recorder::new();
     let _scope = rec.enter();
@@ -77,8 +116,7 @@ fn campaign_mode(args: &[String]) {
     if let Some(k) = arg_value(args, "--kill-at") {
         let k: usize = k.parse().expect("--kill-at takes an iteration count");
         eprintln!("campaign: running with an injected crash after {k} iterations ...");
-        let outcome = Study::new(config)
-            .with_workers(workers)
+        let outcome = build_study()
             .run_persisted_with_kill(&store_dir, k)
             .expect("persisted run with kill");
         if outcome.is_none() {
@@ -99,10 +137,22 @@ fn campaign_mode(args: &[String]) {
             Study::resume_from_with_workers(config, &store_dir, workers).expect("resume");
         let recovery = report.recovery.as_ref().expect("resumed runs report recovery");
         eprintln!("campaign: {}", recovery.describe());
+        // The resumed scenario comes from the checkpoint; a mismatched
+        // --scenario on the resume command line is operator error.
+        if let Some(requested) = scenario {
+            let resumed = report.economy.as_ref().map(|e| e.scenario.as_str()).unwrap_or("");
+            if resumed != requested {
+                eprintln!(
+                    "campaign: store ran scenario {resumed:?}, but --scenario {requested:?} \
+                     was requested"
+                );
+                std::process::exit(2);
+            }
+        }
         report
     } else {
         eprintln!("campaign: clean persisted run into {} ...", store_dir.display());
-        Study::new(config).with_workers(workers).run_persisted(&store_dir).expect("persisted run")
+        build_study().run_persisted(&store_dir).expect("persisted run")
     };
 
     report.telemetry.validate().expect("campaign manifest must validate");
@@ -124,6 +174,37 @@ fn campaign_mode(args: &[String]) {
         dataset_path.display(),
         manifest_path.display()
     );
+
+    if let Some(analysis) = &report.economy {
+        let report_path = out_dir.join("ECONOMY_report.json");
+        std::fs::write(&report_path, analysis.to_json_pretty()).expect("write economy report");
+        let mut lines = String::new();
+        for event in &report.economy_events {
+            lines.push_str(&event.to_json_line());
+            lines.push('\n');
+        }
+        let events_path = out_dir.join("ECONOMY_events.jsonl");
+        std::fs::write(&events_path, lines).expect("write economy events");
+        eprintln!(
+            "campaign: economy scenario {:?} — {} events ({} orders opened, {} exit scams, \
+             {} price observations); report at {}, stream at {}",
+            analysis.scenario,
+            analysis.events,
+            analysis.funnel_all.opened,
+            analysis.funnel_all.exit_scams,
+            report.price_observations,
+            report_path.display(),
+            events_path.display()
+        );
+        if !analysis.reconciliation_ok {
+            eprintln!(
+                "campaign: payment reconciliation FAILED — a settled order used a method \
+                 its marketplace does not list"
+            );
+            std::process::exit(5);
+        }
+        eprintln!("campaign: payment reconciliation OK");
+    }
 }
 
 /// One crawl of the quickstart marketplace over the given transport
@@ -242,7 +323,9 @@ fn serve_mode(addr: &str) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--campaign") {
+    // `--scenario` implies a campaign: the economy only runs between
+    // the passes of a full crawl campaign.
+    if args.iter().any(|a| a == "--campaign") || arg_value(&args, "--scenario").is_some() {
         campaign_mode(&args);
         return;
     }

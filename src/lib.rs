@@ -26,6 +26,7 @@
 pub use ::conformance;
 pub use acctrade_core as core;
 pub use acctrade_crawler as crawler;
+pub use ::economy;
 pub use acctrade_html as html;
 pub use acctrade_httpd as httpd;
 pub use acctrade_market as market;

@@ -484,6 +484,7 @@ fn campaign_checkpoint_roundtrips_and_validates() {
             },
         ],
         telemetry: acctrade::telemetry::Recorder::new().snapshot(),
+        economy_scenario: "all".into(),
         complete: false,
     };
     assert!(cp.validate().is_ok(), "{:?}", cp.validate());
