@@ -35,6 +35,15 @@
 #      vs 4, and across a kill-at-2/resume cycle (proving the economy
 #      WAL record kinds survive crash recovery); the economy bench
 #      records events/sec into target/BENCH_report.json
+#  10. live ops plane + perf budget: two campaigns run with --ops (the
+#      ops.acctrade.local vhost is scraped over real sockets mid-run,
+#      and the quickstart exits 6 unless the final /metrics scrape
+#      reconciles with the manifest); their virtual-time
+#      TRACE_report.json files must be byte-identical across workers
+#      1 vs 4; the TRACE/BENCH/ECONOMY artifacts must pass
+#      validate_manifest; and the bench report must sit inside
+#      BENCH_budget.json (with a deliberately degraded budget proven
+#      to fail the gate)
 
 set -uo pipefail
 
@@ -281,6 +290,96 @@ if [ "$fail" -ne 0 ] || ! grep -q '"economy/scenario_all_campaign"' target/BENCH
     exit 1
 fi
 echo "ci: economy simulation throughput recorded in target/BENCH_report.json"
+
+# 10. Ops-plane + perf-budget gate. Two campaigns run with the live ops
+#     vhost mounted: the quickstart itself scrapes /metrics over real
+#     loopback sockets while the study executes and exits 6 unless the
+#     final scrape reconciles with TELEMETRY_report.json. The exported
+#     virtual-time Chrome traces must be byte-identical across
+#     --workers 1 vs 4 (and hence across the double run), the JSON
+#     artifacts must pass validate_manifest's schema checks, and the
+#     accumulated bench report must sit inside the committed perf
+#     budget — with a deliberately degraded budget proven to fail.
+rm -rf target/store/ci-ops-a target/store/ci-ops-b target/gate-ops-a target/gate-ops-b
+
+run cargo run --release --offline --example quickstart -- --campaign \
+    --ops 127.0.0.1:0 --trace-out target/gate-ops-a/TRACE_report.json \
+    --store-dir target/store/ci-ops-a --out target/gate-ops-a || fail=1
+run cargo run --release --offline --example quickstart -- --campaign --workers 4 \
+    --ops 127.0.0.1:0 --trace-out target/gate-ops-b/TRACE_report.json \
+    --store-dir target/store/ci-ops-b --out target/gate-ops-b || fail=1
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "ci: FAILED (ops campaigns did not complete with /metrics reconciled — exit 6" \
+         "means the live scrape disagreed with the manifest)"
+    exit 1
+fi
+
+for artifact in OPS_metrics.prom OPS_statz.json OPS_tracez.json TRACE_wall.json; do
+    if [ ! -s "target/gate-ops-a/$artifact" ]; then
+        echo
+        echo "ci: FAILED (ops campaign did not write $artifact)"
+        exit 1
+    fi
+done
+if ! grep -q 'source="campaign"' target/gate-ops-a/OPS_metrics.prom \
+    || ! grep -q 'source="server"' target/gate-ops-a/OPS_metrics.prom; then
+    echo
+    echo "ci: FAILED (OPS_metrics.prom is missing the campaign/server source split)"
+    exit 1
+fi
+echo "ci: ops vhost scraped mid-run over real sockets; /metrics reconciled with the manifest"
+
+run cmp target/gate-ops-a/TRACE_report.json target/gate-ops-b/TRACE_report.json || fail=1
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "ci: FAILED (virtual-time traces differ across --workers 1 vs 4)"
+    exit 1
+fi
+echo "ci: virtual-time TRACE_report.json byte-identical across runs and worker counts"
+
+run cargo run --release --offline -p acctrade-telemetry --bin validate_manifest -- \
+    target/gate-ops-a/TRACE_report.json || fail=1
+run cargo run --release --offline -p acctrade-telemetry --bin validate_manifest -- \
+    target/gate-ops-a/TRACE_wall.json || fail=1
+run cargo run --release --offline -p acctrade-telemetry --bin validate_manifest -- \
+    target/gate-econ-a/ECONOMY_report.json || fail=1
+
+echo
+echo "==> BENCH_REPORT_PATH=target/BENCH_report.json cargo bench --offline" \
+     "-p acctrade-bench --bench store"
+BENCH_REPORT_PATH="$PWD/target/BENCH_report.json" cargo bench --offline \
+    -p acctrade-bench --bench store || fail=1
+run cargo run --release --offline -p acctrade-telemetry --bin validate_manifest -- \
+    target/BENCH_report.json || fail=1
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "ci: FAILED (TRACE/BENCH/ECONOMY artifacts did not pass schema validation)"
+    exit 1
+fi
+echo "ci: TRACE/BENCH/ECONOMY artifacts pass validate_manifest schema checks"
+
+run cargo run --release --offline -p acctrade-bench --bin bench_budget -- \
+    target/BENCH_report.json BENCH_budget.json || fail=1
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "ci: FAILED (bench report regressed outside BENCH_budget.json)"
+    exit 1
+fi
+
+# The gate must have teeth: a budget demanding impossible throughput
+# has to fail against the very same report.
+sed 's/"min": 15000/"min": 99000000/' BENCH_budget.json > target/BENCH_budget_degraded.json
+echo
+echo "==> cargo run --release --offline -p acctrade-bench --bin bench_budget --" \
+     "target/BENCH_report.json target/BENCH_budget_degraded.json   (expecting failure)"
+if cargo run --release --offline -p acctrade-bench --bin bench_budget -- \
+    target/BENCH_report.json target/BENCH_budget_degraded.json; then
+    echo
+    echo "ci: FAILED (degraded perf budget did not fail the gate)"
+    exit 1
+fi
+echo "ci: perf budget holds, and a degraded budget demonstrably fails the gate"
 
 echo
 echo "ci: OK"

@@ -58,6 +58,7 @@ fn bench_server() -> HttpServer {
         read_timeout: Duration::from_secs(5),
         write_timeout: Duration::from_secs(5),
         time: TimeSource::Wall,
+        ..ServerConfig::default()
     };
     HttpServer::bind("127.0.0.1:0", hosts, config).expect("bind bench server")
 }

@@ -44,12 +44,16 @@ const OUTPUT_CRATES: [&str; 6] = ["core", "crawler", "economy", "store", "teleme
 /// used to scope a waiver to one crate's sources without enumerating
 /// them (new files under the prefix inherit the waiver by design; the
 /// prefix itself is what review audits).
-const ALLOWLIST: [(&str, &str); 4] = [
+const ALLOWLIST: [(&str, &str); 5] = [
     // The simulation's virtual clock is *the* sanctioned time source.
     ("determinism", "crates/net/src/clock.rs"),
     // Telemetry stamps spans with wall time for operator ergonomics;
     // deterministic artifacts strip the wall_* fields (PR 2).
     ("determinism", "crates/telemetry/src/recorder.rs"),
+    // The trace rings dual-stamp records with wall time for the ops
+    // plane's flamegraph view; the deterministic TRACE_report.json
+    // variant is derived purely from the manifest's virtual fields.
+    ("determinism", "crates/telemetry/src/trace.rs"),
     // The bench harness measures real elapsed time by definition.
     ("determinism", "crates/foundation/src/bench.rs"),
     // The serving layer is *defined* as the real-socket, wall-clock

@@ -20,10 +20,15 @@
 //!   hard-rejected with a clean 400.
 //! * [`pool`] — the bounded connection queue and worker threads.
 //! * [`server`] — acceptor, per-connection serve loop, keep-alive and
-//!   deadline policy, graceful shutdown with connection draining.
+//!   deadline policy, graceful shutdown with connection draining; with
+//!   an ops plane configured, every request is phase-timed
+//!   (parse/route/handle/write) into histograms and the trace ring.
 //! * [`stats`] — lock-free server-side counters (accepted connections,
 //!   keep-alive reuse, parse rejects, queue depth high-water), published
 //!   into the telemetry recorder on demand.
+//! * [`ops`] — the `ops.acctrade.local` virtual host: live `/metrics`
+//!   Prometheus exposition, `/healthz`, `/statz` (server stats + queue
+//!   depth), `/tracez` (recent spans + slow-request log).
 //! * [`transport`] — [`acctrade_net::transport::Transport`] over real
 //!   loopback TCP with client-side keep-alive connection reuse.
 //!
@@ -38,12 +43,14 @@
 //! gate proves a loopback crawl yields the same offer set as the
 //! sim-mode crawl of the same seed.
 
+pub mod ops;
 pub mod parser;
 pub mod pool;
 pub mod server;
 pub mod stats;
 pub mod transport;
 
+pub use ops::{OpsPlane, OpsService, OPS_HOST};
 pub use parser::{ParseError, ParsedRequest, RequestParser};
 pub use server::{HostTable, HttpServer, ServerConfig, TimeSource};
 pub use stats::ServerStats;

@@ -1,0 +1,290 @@
+//! The live ops plane: a virtual host exposing the running system.
+//!
+//! Mounting an [`OpsPlane`] on a server (via
+//! [`crate::server::ServerConfig::ops`]) adds the `ops.acctrade.local`
+//! virtual host with four endpoints:
+//!
+//! * `GET /healthz` — liveness: `ok` + uptime;
+//! * `GET /metrics` — Prometheus text exposition of the attached
+//!   campaign recorder (label `source="campaign"`) and the server-side
+//!   recorder (`source="server"`), rendered live from registry state;
+//! * `GET /statz` — JSON: [`crate::stats::ServerStats`] snapshot,
+//!   current worker-queue depth, shed count, uptime;
+//! * `GET /tracez` — JSON: the most recent trace-ring records plus the
+//!   slow-request log (spans over the configurable threshold, see
+//!   [`OpsPlane::set_slow_threshold_us`]).
+//!
+//! The plane carries two recorders on purpose: the **campaign**
+//! recorder is the study's own (its counters must reconcile with the
+//! final `TELEMETRY_report.json`), while wall-clock server observations
+//! (request-phase histograms, per-host tallies) land in the separate
+//! **server** recorder so the campaign manifest stays a pure function
+//! of the seed even when scraped mid-run.
+
+use crate::pool::ConnQueue;
+use crate::stats::ServerStats;
+use acctrade_net::http::{Request, Response, Status};
+use acctrade_net::server::{RequestCtx, Service};
+use foundation::json::Json;
+use foundation::sync::Mutex;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+use telemetry::trace::{RetainedRecord, TraceRecord};
+use telemetry::{render_prometheus, Recorder, Tracer};
+
+/// The hostname the ops plane is mounted under.
+pub const OPS_HOST: &str = "ops.acctrade.local";
+
+/// How many trace records `/tracez` returns.
+const TRACEZ_TAIL: usize = 128;
+
+struct OpsInner {
+    started: Instant,
+    campaign: Mutex<Option<Recorder>>,
+    server: Recorder,
+    tracer: Tracer,
+    stats: Mutex<Option<Arc<ServerStats>>>,
+    queue: Mutex<Option<Arc<ConnQueue<TcpStream>>>>,
+}
+
+/// Shared state behind the ops virtual host. Clones share everything.
+#[derive(Clone)]
+pub struct OpsPlane {
+    inner: Arc<OpsInner>,
+}
+
+impl Default for OpsPlane {
+    fn default() -> Self {
+        OpsPlane::new()
+    }
+}
+
+impl OpsPlane {
+    /// A fresh plane with its own server recorder and tracer.
+    pub fn new() -> OpsPlane {
+        OpsPlane {
+            inner: Arc::new(OpsInner {
+                started: Instant::now(),
+                campaign: Mutex::new(None),
+                server: Recorder::new(),
+                tracer: Tracer::new(),
+                stats: Mutex::new(None),
+                queue: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Attach the campaign's recorder; its live counters become the
+    /// `source="campaign"` series of `/metrics`.
+    pub fn attach_campaign(&self, rec: Recorder) {
+        *self.inner.campaign.lock() = Some(rec);
+    }
+
+    /// The server-side recorder (request-phase histograms, wall-clock
+    /// observations) — distinct from the campaign recorder so scraping
+    /// never perturbs deterministic artifacts.
+    pub fn server_recorder(&self) -> &Recorder {
+        &self.inner.server
+    }
+
+    /// The trace ring shared by the server's request spans and (when
+    /// set as a recorder sink) the campaign's stage spans.
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
+    }
+
+    /// Set the slow-request threshold (wall µs) for `/tracez`.
+    pub fn set_slow_threshold_us(&self, us: u64) {
+        self.inner.tracer.set_slow_threshold_us(us);
+    }
+
+    /// Called by [`crate::server::HttpServer::bind`] when a server
+    /// mounts this plane: gives `/statz` its live stats + queue view.
+    pub(crate) fn attach_server(
+        &self,
+        stats: Arc<ServerStats>,
+        queue: Arc<ConnQueue<TcpStream>>,
+    ) {
+        *self.inner.stats.lock() = Some(stats);
+        *self.inner.queue.lock() = Some(queue);
+    }
+
+    /// Uptime in wall seconds.
+    pub fn uptime_s(&self) -> f64 {
+        self.inner.started.elapsed().as_secs_f64()
+    }
+
+    /// The `/metrics` exposition body.
+    pub fn render_metrics(&self) -> String {
+        let campaign = self.inner.campaign.lock().clone();
+        let mut sources: Vec<(&str, &Recorder)> = Vec::with_capacity(2);
+        if let Some(rec) = campaign.as_ref() {
+            sources.push(("campaign", rec));
+        }
+        sources.push(("server", &self.inner.server));
+        render_prometheus(&sources)
+    }
+
+    /// The `/statz` JSON document.
+    pub fn statz_json(&self) -> Json {
+        let snapshot = self.inner.stats.lock().as_ref().map(|s| s.snapshot());
+        let depth = self.inner.queue.lock().as_ref().map(|q| q.depth()).unwrap_or(0);
+        let mut fields: Vec<(String, Json)> = vec![
+            ("uptime_s".into(), Json::Num(self.uptime_s())),
+            ("queue_depth".into(), Json::Num(depth as f64)),
+        ];
+        match snapshot {
+            Some(s) => {
+                for (key, value) in [
+                    ("accepted", s.accepted),
+                    ("queue_rejected", s.queue_rejected),
+                    ("requests", s.requests),
+                    ("keepalive_reuse", s.keepalive_reuse),
+                    ("parse_rejects", s.parse_rejects),
+                    ("timeouts", s.timeouts),
+                    ("queue_high_water", s.queue_high_water),
+                ] {
+                    fields.push((key.into(), Json::Num(value as f64)));
+                }
+            }
+            None => fields.push(("server".into(), Json::Str("detached".into()))),
+        }
+        Json::Obj(fields)
+    }
+
+    /// The `/tracez` JSON document: recent records + the slow log.
+    pub fn tracez_json(&self) -> Json {
+        let recent = self.inner.tracer.recent(TRACEZ_TAIL);
+        let spans: Vec<Json> = recent.iter().map(render_retained).collect();
+        let slow: Vec<Json> = self
+            .inner
+            .tracer
+            .slow_entries()
+            .iter()
+            .map(|e| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(e.name.clone())),
+                    ("wall_dur_us".into(), Json::Num(e.wall_dur_us as f64)),
+                    ("wall_start_us".into(), Json::Num(e.wall_start_us as f64)),
+                    ("detail".into(), Json::Str(e.detail.clone())),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("slow_threshold_us".into(), Json::Num(self.inner.tracer.slow_threshold_us() as f64)),
+            ("dropped".into(), Json::Num(self.inner.tracer.dropped() as f64)),
+            ("threads".into(), Json::Num(self.inner.tracer.threads() as f64)),
+            ("recent".into(), Json::Arr(spans)),
+            ("slow".into(), Json::Arr(slow)),
+        ])
+    }
+}
+
+fn render_retained(r: &RetainedRecord) -> Json {
+    let mut fields: Vec<(String, Json)> = vec![
+        ("tid".into(), Json::Num(r.tid as f64)),
+        ("name".into(), Json::Str(r.record.name().to_string())),
+        ("wall_start_us".into(), Json::Num(r.record.wall_start_us() as f64)),
+        ("wall_dur_us".into(), Json::Num(r.record.wall_dur_us() as f64)),
+    ];
+    let (kind, detail) = match &r.record {
+        TraceRecord::Complete { cat, detail, .. } => (cat.as_str(), detail),
+        TraceRecord::Instant { cat, detail, .. } => (cat.as_str(), detail),
+    };
+    fields.push(("cat".into(), Json::Str(kind.into())));
+    fields.push(("detail".into(), Json::Str(detail.clone())));
+    Json::Obj(fields)
+}
+
+/// The [`Service`] mounted under [`OPS_HOST`].
+pub struct OpsService {
+    plane: OpsPlane,
+}
+
+impl OpsService {
+    /// Wrap a plane as a mountable service.
+    pub fn new(plane: OpsPlane) -> OpsService {
+        OpsService { plane }
+    }
+}
+
+impl Service for OpsService {
+    fn handle(&self, req: &Request, _ctx: &RequestCtx) -> Response {
+        match req.url.path() {
+            "/healthz" | "/" => Response::ok()
+                .with_text(format!("ok\nuptime_s {:.3}\n", self.plane.uptime_s())),
+            "/metrics" => Response::ok()
+                .with_text(self.plane.render_metrics())
+                .with_header("content-type", "text/plain; version=0.0.4"),
+            "/statz" => Response::ok().with_json(self.plane.statz_json().render_pretty()),
+            "/tracez" => Response::ok().with_json(self.plane.tracez_json().render_pretty()),
+            other => Response::status(Status::NotFound)
+                .with_text(format!("no such ops endpoint: {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acctrade_net::url::Url;
+    use telemetry::trace::TraceCat;
+
+    fn get(svc: &OpsService, path: &str) -> Response {
+        let url = Url::parse(&format!("http://{OPS_HOST}{path}")).unwrap();
+        svc.handle(&Request::get(url), &RequestCtx::test())
+    }
+
+    #[test]
+    fn healthz_and_unknown_paths() {
+        let svc = OpsService::new(OpsPlane::new());
+        let resp = get(&svc, "/healthz");
+        assert_eq!(resp.status, Status::Ok);
+        assert!(resp.text().starts_with("ok\n"));
+        assert_eq!(get(&svc, "/nope").status, Status::NotFound);
+    }
+
+    #[test]
+    fn metrics_exposes_both_sources() {
+        let plane = OpsPlane::new();
+        let campaign = Recorder::new();
+        campaign.incr("crawl.pages", &[("marketplace", "m")], 5);
+        plane.attach_campaign(campaign);
+        plane.server_recorder().incr("httpd.requests", &[], 2);
+        let svc = OpsService::new(plane);
+        let body = get(&svc, "/metrics").text();
+        assert!(body.contains("source=\"campaign\""));
+        assert!(body.contains("source=\"server\""));
+        assert!(body.contains("crawl_pages"));
+    }
+
+    #[test]
+    fn statz_reports_detached_without_a_server() {
+        let svc = OpsService::new(OpsPlane::new());
+        let body = get(&svc, "/statz").text();
+        let doc = Json::parse(&body).unwrap();
+        assert_eq!(doc.get("server").and_then(Json::as_str), Some("detached"));
+        assert_eq!(doc.get("queue_depth").and_then(Json::as_num), Some(0.0));
+    }
+
+    #[test]
+    fn tracez_returns_recent_and_slow() {
+        let plane = OpsPlane::new();
+        plane.set_slow_threshold_us(100);
+        plane.tracer().record_complete(
+            "http.request",
+            TraceCat::Http,
+            0,
+            500,
+            0,
+            0,
+            "GET /x -> 200",
+        );
+        let svc = OpsService::new(plane);
+        let doc = Json::parse(&get(&svc, "/tracez").text()).unwrap();
+        assert_eq!(doc.get("recent").and_then(Json::as_arr).map(|a| a.len()), Some(1));
+        assert_eq!(doc.get("slow").and_then(Json::as_arr).map(|a| a.len()), Some(1));
+        assert_eq!(doc.get("slow_threshold_us").and_then(Json::as_num), Some(100.0));
+    }
+}

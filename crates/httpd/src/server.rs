@@ -14,6 +14,7 @@
 //! legitimate user of real sockets and wall time — see the crate docs
 //! for the conformance allowlist that scopes it.
 
+use crate::ops::{OpsPlane, OpsService, OPS_HOST};
 use crate::parser::RequestParser;
 use crate::pool::ConnQueue;
 use crate::stats::ServerStats;
@@ -112,6 +113,12 @@ pub struct ServerConfig {
     pub write_timeout: Duration,
     /// Where `RequestCtx::now_us` comes from.
     pub time: TimeSource,
+    /// Optional live ops plane: mounts the [`OPS_HOST`] virtual host
+    /// (`/metrics`, `/healthz`, `/statz`, `/tracez`) and turns on
+    /// per-request phase spans (parse/route/handle/write) feeding its
+    /// server recorder and trace ring. `None` (the default) serves with
+    /// zero instrumentation overhead.
+    pub ops: Option<OpsPlane>,
 }
 
 impl Default for ServerConfig {
@@ -123,6 +130,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(2),
             write_timeout: Duration::from_secs(2),
             time: TimeSource::Wall,
+            ops: None,
         }
     }
 }
@@ -146,6 +154,15 @@ impl HttpServer {
         let stats = Arc::new(ServerStats::new());
         let shutdown = Arc::new(AtomicBool::new(false));
         let queue = Arc::new(ConnQueue::new(config.queue_capacity.max(1)));
+        // Mount the ops virtual host when a plane is configured, and
+        // hand it the live stats + queue so /statz sees this server.
+        let hosts = match &config.ops {
+            Some(plane) => {
+                plane.attach_server(Arc::clone(&stats), Arc::clone(&queue));
+                hosts.with_service(OPS_HOST, Arc::new(OpsService::new(plane.clone())))
+            }
+            None => hosts,
+        };
         let hosts = Arc::new(hosts);
 
         let workers = (0..config.workers.max(1))
@@ -290,9 +307,11 @@ fn serve_connection(
         // Drain everything already buffered (pipelining) before
         // touching the socket again.
         loop {
+            let parse_started = Instant::now();
             match parser.next_request() {
                 Ok(Some(req)) => {
-                    let resp = dispatch(&req, hosts, config, &peer);
+                    let parse_us = parse_started.elapsed().as_micros() as u64;
+                    let (resp, phases) = dispatch(&req, hosts, config, &peer);
                     stats.requests.fetch_add(1, Ordering::Relaxed);
                     served_on_conn += 1;
                     if served_on_conn > 1 {
@@ -308,7 +327,20 @@ fn serve_connection(
                     if req.method == Method::Head {
                         resp.body = foundation::bytes::Bytes::new();
                     }
-                    if conn.write_all(&http::encode_response(&resp)).is_err() {
+                    let write_started = Instant::now();
+                    let write_ok = conn.write_all(&http::encode_response(&resp)).is_ok();
+                    if let Some(ops) = &config.ops {
+                        let write_us = write_started.elapsed().as_micros() as u64;
+                        record_request_span(
+                            ops,
+                            &req,
+                            resp.status,
+                            parse_started,
+                            [parse_us, phases.route_us, phases.handle_us, write_us],
+                            phases.now_us,
+                        );
+                    }
+                    if !write_ok {
                         break 'conn;
                     }
                     if !keep {
@@ -353,19 +385,76 @@ fn serve_connection(
     let _ = conn.shutdown(Shutdown::Both);
 }
 
-/// Route a parsed request to the mounted service and produce a response.
+/// Per-request phase timings measured by [`dispatch`].
+struct PhaseTimes {
+    /// Host lookup + request-target parse, µs.
+    route_us: u64,
+    /// Service handler, µs.
+    handle_us: u64,
+    /// The `RequestCtx` timestamp handed to the handler.
+    now_us: u64,
+}
+
+/// Route a parsed request to the mounted service and produce a
+/// response, timing the route and handle phases.
 fn dispatch(
     req: &crate::parser::ParsedRequest,
     hosts: &HostTable,
     config: &ServerConfig,
     peer: &str,
-) -> Response {
+) -> (Response, PhaseTimes) {
+    let route_started = Instant::now();
+    let now_us = config.time.now_us();
+    let mut phases = PhaseTimes { route_us: 0, handle_us: 0, now_us };
     let Some(svc) = hosts.lookup(&req.host) else {
-        return Response::not_found(&format!("no such host: {}", req.host));
+        phases.route_us = route_started.elapsed().as_micros() as u64;
+        return (Response::not_found(&format!("no such host: {}", req.host)), phases);
     };
     let Some(net_req) = req.to_request() else {
-        return Response::status(Status::BadRequest).with_text("unroutable request target");
+        phases.route_us = route_started.elapsed().as_micros() as u64;
+        return (
+            Response::status(Status::BadRequest).with_text("unroutable request target"),
+            phases,
+        );
     };
-    let ctx = RequestCtx { now_us: config.time.now_us(), peer: peer.to_string(), via_tor: false };
-    svc.handle(&net_req, &ctx)
+    phases.route_us = route_started.elapsed().as_micros() as u64;
+    let ctx = RequestCtx { now_us, peer: peer.to_string(), via_tor: false };
+    let handle_started = Instant::now();
+    let resp = svc.handle(&net_req, &ctx);
+    phases.handle_us = handle_started.elapsed().as_micros() as u64;
+    (resp, phases)
+}
+
+/// Feed one served request into the ops plane: phase histograms and a
+/// per-status tally in the server recorder, plus a completed
+/// `http.request` span in the trace ring (and, over the threshold, the
+/// slow-request log).
+fn record_request_span(
+    ops: &OpsPlane,
+    req: &crate::parser::ParsedRequest,
+    status: Status,
+    request_started: Instant,
+    phase_us: [u64; 4],
+    virtual_us: u64,
+) {
+    let rec = ops.server_recorder();
+    let [parse_us, route_us, handle_us, write_us] = phase_us;
+    for (phase, us) in
+        [("parse", parse_us), ("route", route_us), ("handle", handle_us), ("write", write_us)]
+    {
+        rec.observe("httpd.phase_us", &[("phase", phase)], us);
+    }
+    let code = status.code().to_string();
+    rec.incr("httpd.requests", &[("host", &req.host), ("status", &code)], 1);
+    let total_us = request_started.elapsed().as_micros() as u64;
+    let tracer = ops.tracer();
+    tracer.record_complete(
+        "http.request",
+        telemetry::TraceCat::Http,
+        tracer.wall_now_us().saturating_sub(total_us),
+        total_us,
+        virtual_us,
+        0,
+        format!("{} {} -> {}", req.host, req.target, code),
+    );
 }

@@ -21,7 +21,12 @@
 //!   no-op-cheap disabled fallback;
 //! * [`manifest`] — the [`RunManifest`] exporter behind
 //!   `TELEMETRY_report.json`: seed, config digest, per-stage timings,
-//!   per-marketplace crawl stats, per-platform API outcome tallies.
+//!   per-marketplace crawl stats, per-platform API outcome tallies;
+//! * [`trace`] — per-thread lock-free trace rings drained into Chrome
+//!   `trace_event` JSON (`TRACE_report.json`), wall view for operators
+//!   plus a deterministic virtual-time variant;
+//! * [`prom`] — Prometheus text exposition over live registry state
+//!   (the ops vhost's `/metrics` endpoint).
 //!
 //! ## Instrumentation idiom
 //!
@@ -56,14 +61,21 @@
 pub mod events;
 pub mod manifest;
 pub mod metrics;
+pub mod prom;
 pub mod recorder;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
-pub use manifest::{digest64, RunManifest, REPORT_FILE};
+pub use manifest::{digest64, normalize_for_determinism, RunManifest, REPORT_FILE};
+pub use prom::{counter_sample_key, parse_exposition, parse_rendered_key, render_prometheus};
 pub use snapshot::TelemetrySnapshot;
 pub use metrics::{Histogram, Key, Registry};
 pub use recorder::{
     clear_global, event, install_global, recorder, span, with_recorder, Recorder, RecorderScope,
     Span, VirtualClock,
+};
+pub use trace::{
+    validate_trace, virtual_trace, SlowEntry, TraceCat, TraceRecord, Tracer, TRACE_FILE,
+    TRACE_SCHEMA,
 };

@@ -169,6 +169,21 @@ pub fn digest64(s: &str) -> String {
 }
 
 fn histogram_report(key: &Key, h: &Histogram) -> HistogramReport {
+    // An empty histogram (possible after a checkpoint restore inserts a
+    // merged-but-never-observed key) has no defined min or quantiles;
+    // export an explicit all-zero row rather than sentinel garbage.
+    if h.count() == 0 {
+        return HistogramReport {
+            key: key.render(),
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            p50: 0,
+            p90: 0,
+            p99: 0,
+        };
+    }
     HistogramReport {
         key: key.render(),
         count: h.count(),
@@ -278,17 +293,27 @@ impl Recorder {
     }
 }
 
-/// Strip every `wall_*` key from a JSON tree (recursively).
-fn strip_wall(v: &Json) -> Json {
+/// Strip every `wall_*` key from a JSON tree (recursively) — the one
+/// normalization every deterministic comparison in the workspace uses.
+///
+/// The determinism contract names wall-clock fields with a `wall_`
+/// prefix precisely so this pass can erase them mechanically; anything
+/// left after normalization must be a pure function of the seed.
+/// [`RunManifest::deterministic_json`], the determinism/parity test
+/// suites, and the `validate_manifest` stability checks all route
+/// through here rather than re-implementing the filter.
+pub fn normalize_for_determinism(v: &Json) -> Json {
     match v {
         Json::Obj(entries) => Json::Obj(
             entries
                 .iter()
                 .filter(|(k, _)| !k.starts_with("wall_"))
-                .map(|(k, val)| (k.clone(), strip_wall(val)))
+                .map(|(k, val)| (k.clone(), normalize_for_determinism(val)))
                 .collect(),
         ),
-        Json::Arr(items) => Json::Arr(items.iter().map(strip_wall).collect()),
+        Json::Arr(items) => {
+            Json::Arr(items.iter().map(normalize_for_determinism).collect())
+        }
         other => other.clone(),
     }
 }
@@ -312,7 +337,7 @@ impl RunManifest {
     /// The manifest minus every `wall_*` field — byte-identical across
     /// same-seed runs.
     pub fn deterministic_json(&self) -> Json {
-        strip_wall(&self.to_json())
+        normalize_for_determinism(&self.to_json())
     }
 
     /// Pretty rendering of [`RunManifest::deterministic_json`].
@@ -482,6 +507,34 @@ mod tests {
         let mut m3 = rec.manifest("unit", 7, &digest64("cfg"));
         m3.stages.clear();
         assert!(m3.validate().is_err());
+    }
+
+    #[test]
+    fn empty_histogram_exports_zeros_not_sentinels() {
+        let rec = sample_recorder();
+        // A restore-style insert of a histogram that never saw a sample.
+        rec.registry_ref()
+            .insert_histogram(crate::metrics::Key::new("restored.empty", &[]), Histogram::default());
+        let m = rec.manifest("unit", 7, &digest64("cfg"));
+        let row = m
+            .histograms
+            .iter()
+            .find(|h| h.key == "restored.empty")
+            .expect("empty histogram is exported");
+        assert_eq!(
+            (row.count, row.sum, row.min, row.max, row.p50, row.p90, row.p99),
+            (0, 0, 0, 0, 0, 0, 0),
+            "empty histogram must export zeros, not u64::MAX sentinels"
+        );
+    }
+
+    #[test]
+    fn normalize_for_determinism_matches_deterministic_json() {
+        let rec = sample_recorder();
+        let m = rec.manifest("unit", 7, &digest64("cfg"));
+        let normalized = normalize_for_determinism(&m.to_json());
+        assert_eq!(normalized.render_pretty(), m.deterministic_string());
+        assert!(!normalized.render().contains("wall_"));
     }
 
     #[test]

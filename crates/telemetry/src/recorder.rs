@@ -18,6 +18,7 @@
 use crate::events::{Event, EventLog};
 use crate::metrics::{Histogram, Key, Registry};
 use crate::span::{FinishedSpan, SpanTicket, SpanTracker};
+use crate::trace::{TraceCat, Tracer};
 use foundation::sync::Mutex;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -38,6 +39,9 @@ struct Inner {
     spans: SpanTracker,
     virtual_clock: Mutex<Option<Arc<dyn VirtualClock>>>,
     started_wall: Instant,
+    /// Optional live-trace sink: finished spans and events are mirrored
+    /// into its per-thread rings for the ops plane's wall-clock view.
+    trace: Mutex<Option<Tracer>>,
 }
 
 /// A cheaply cloneable telemetry handle. All clones share one registry,
@@ -58,6 +62,7 @@ impl Recorder {
                 spans: SpanTracker::default(),
                 virtual_clock: Mutex::new(None),
                 started_wall: Instant::now(),
+                trace: Mutex::new(None),
             }),
         }
     }
@@ -74,6 +79,7 @@ impl Recorder {
                     spans: SpanTracker::default(),
                     virtual_clock: Mutex::new(None),
                     started_wall: Instant::now(),
+                    trace: Mutex::new(None),
                 }),
             })
             .clone()
@@ -109,6 +115,21 @@ impl Recorder {
         self.inner.started_wall.elapsed().as_secs_f64() * 1e3
     }
 
+    /// Mirror finished spans and events into a live [`Tracer`] (the ops
+    /// plane's trace ring). The manifest path is unaffected: the sink
+    /// only feeds the wall-clock operator view.
+    pub fn set_trace_sink(&self, tracer: Tracer) {
+        if !self.inner.enabled {
+            return;
+        }
+        *self.inner.trace.lock() = Some(tracer);
+    }
+
+    /// The currently attached trace sink, if any.
+    pub fn trace_sink(&self) -> Option<Tracer> {
+        self.inner.trace.lock().clone()
+    }
+
     // ---- writes -------------------------------------------------------
 
     /// Add `delta` to a counter.
@@ -140,7 +161,12 @@ impl Recorder {
         if !self.inner.enabled {
             return;
         }
-        self.inner.events.push(self.virtual_now(), name, detail.into());
+        let detail = detail.into();
+        let at = self.virtual_now();
+        if let Some(tracer) = self.trace_sink() {
+            tracer.record_instant(name, TraceCat::Event, at, detail.clone());
+        }
+        self.inner.events.push(at, name, detail);
     }
 
     /// Open a span; it closes (and records) when the guard drops.
@@ -273,11 +299,25 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(live) = self.live.take() {
             let virtual_end = live.rec.virtual_now();
+            let wall_ns = live.wall_start.elapsed().as_nanos() as u64;
+            if let Some(tracer) = live.rec.trace_sink() {
+                let wall_dur_us = wall_ns / 1_000;
+                let wall_end_us = tracer.wall_now_us();
+                tracer.record_complete(
+                    &live.ticket.name,
+                    TraceCat::Stage,
+                    wall_end_us.saturating_sub(wall_dur_us),
+                    wall_dur_us,
+                    live.virtual_start_us,
+                    virtual_end.saturating_sub(live.virtual_start_us),
+                    live.ticket.path.clone(),
+                );
+            }
             live.rec.inner.spans.finish(
                 live.ticket,
                 live.virtual_start_us,
                 virtual_end,
-                live.wall_start.elapsed().as_nanos() as u64,
+                wall_ns,
             );
         }
     }

@@ -49,26 +49,173 @@
 //!     --scenario all --store-dir target/store/econ --out target/gate-econ
 //! ```
 //!
+//! `--ops <addr>` mounts the live ops plane on a campaign run: an
+//! `acctrade-httpd` server binds `addr` with the `ops.acctrade.local`
+//! virtual host (`/metrics`, `/healthz`, `/statz`, `/tracez`), the
+//! campaign recorder and its trace ring are attached, and a scraper
+//! thread polls `/metrics` over real loopback sockets while the study
+//! runs. The final scrape is written to `--out`
+//! (`OPS_metrics.prom`, `OPS_statz.json`, `OPS_tracez.json`,
+//! `TRACE_wall.json`) and its counters are reconciled against the
+//! study's own manifest. `--trace-out <file>` additionally exports the
+//! deterministic virtual-time Chrome trace (a pure function of the
+//! manifest — byte-identical across same-seed runs and worker counts):
+//!
+//! ```sh
+//! cargo run --release --example quickstart -- --campaign \
+//!     --ops 127.0.0.1:0 --trace-out target/gate-ops/TRACE_report.json \
+//!     --store-dir target/store/ops --out target/gate-ops
+//! # while it runs (or against --serve, which also mounts the plane):
+//! curl -H 'host: ops.acctrade.local' http://127.0.0.1:<port>/metrics
+//! ```
+//!
 //! Exit codes: `0` success; `2` bad CLI usage (unknown transport or
 //! scenario, or a resume whose store ran a different scenario); `3` an
 //! injected `--kill-at` crash fired (the store is left resumable); `4`
 //! transport parity failure; `5` economy payment reconciliation failure
-//! (a settled order used a method its marketplace does not list).
+//! (a settled order used a method its marketplace does not list); `6`
+//! ops reconciliation failure (the final `/metrics` scrape disagrees
+//! with `TELEMETRY_report.json`).
 
 use acctrade::core::{Study, StudyConfig};
 use acctrade::crawler::merge::normalize_for_parity;
 use acctrade::crawler::{MarketplaceCrawler, ProfileResolver};
-use acctrade::httpd::{HostTable, HttpServer, LoopbackTransport, ServerConfig, TimeSource};
+use acctrade::httpd::{
+    HostTable, HttpServer, LoopbackTransport, OpsPlane, ServerConfig, TimeSource, OPS_HOST,
+};
 use acctrade::market::config::MarketplaceId;
+use acctrade::net::http::Request;
 use acctrade::net::transport::Transport;
+use acctrade::net::url::Url;
 use acctrade::net::{Client, SimNet};
 use acctrade::workload::world::{World, WorldParams};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// The `--flag value` lookup for the campaign mode's tiny CLI.
 fn arg_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(|s| s.as_str())
+}
+
+/// One GET against the ops virtual host over real loopback sockets —
+/// the in-process equivalent of
+/// `curl -H 'host: ops.acctrade.local' http://<addr><path>`.
+fn ops_get(transport: &LoopbackTransport, path: &str) -> Option<String> {
+    let url = Url::parse(&format!("http://{OPS_HOST}{path}")).ok()?;
+    let resp = transport.send(&Request::get(url)).ok()?;
+    (resp.status.code() == 200).then(|| resp.text())
+}
+
+/// The live ops plane attached to a campaign run: a bound httpd server
+/// carrying only the `ops.acctrade.local` vhost, plus a scraper thread
+/// polling `/metrics` mid-run over real sockets.
+struct OpsCampaign {
+    server: HttpServer,
+    plane: OpsPlane,
+    stop: Arc<AtomicBool>,
+    scraper: std::thread::JoinHandle<usize>,
+}
+
+impl OpsCampaign {
+    /// Bind the ops server, wire the campaign recorder and trace ring
+    /// into it, prove `/healthz` answers, and start the scraper.
+    fn start(addr: &str, rec: &acctrade::telemetry::Recorder) -> OpsCampaign {
+        let plane = OpsPlane::new();
+        plane.attach_campaign(rec.clone());
+        rec.set_trace_sink(plane.tracer().clone());
+        let server = HttpServer::bind(
+            addr,
+            HostTable::new(),
+            ServerConfig {
+                workers: 2,
+                time: TimeSource::Wall,
+                ops: Some(plane.clone()),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind --ops address");
+        let transport = LoopbackTransport::new(server.addr());
+        let health = ops_get(&transport, "/healthz").expect("ops /healthz must answer");
+        assert!(health.starts_with("ok"), "unexpected /healthz body");
+        eprintln!("campaign: ops plane live on http://{} (host: {OPS_HOST})", server.addr());
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let scraper = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut scrapes = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    if ops_get(&transport, "/metrics").is_some() {
+                        scrapes += 1;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(25));
+                }
+                scrapes
+            })
+        };
+        OpsCampaign { server, plane, stop, scraper }
+    }
+
+    /// Stop scraping, take the final scrape, write the `OPS_*` (and
+    /// wall-trace) artifacts into `out_dir`, and reconcile the scraped
+    /// `/metrics` counters against the finished manifest. Returns the
+    /// reconciliation mismatches (empty = reconciled).
+    fn finish(
+        self,
+        out_dir: &Path,
+        manifest: &acctrade::telemetry::RunManifest,
+    ) -> Vec<String> {
+        self.stop.store(true, Ordering::Relaxed);
+        let mid_scrapes = self.scraper.join().expect("join ops scraper");
+
+        let transport = LoopbackTransport::new(self.server.addr());
+        let metrics = ops_get(&transport, "/metrics").expect("final /metrics scrape");
+        let statz = ops_get(&transport, "/statz").expect("final /statz scrape");
+        let tracez = ops_get(&transport, "/tracez").expect("final /tracez scrape");
+        let wall_trace = self.plane.tracer().chrome_json().render_pretty() + "\n";
+        self.server.shutdown();
+
+        std::fs::write(out_dir.join("OPS_metrics.prom"), &metrics).expect("write ops metrics");
+        std::fs::write(out_dir.join("OPS_statz.json"), &statz).expect("write ops statz");
+        std::fs::write(out_dir.join("OPS_tracez.json"), &tracez).expect("write ops tracez");
+        std::fs::write(out_dir.join("TRACE_wall.json"), wall_trace)
+            .expect("write wall trace");
+        eprintln!(
+            "campaign: ops plane scraped {mid_scrapes} times mid-run; final scrape in {}",
+            out_dir.display()
+        );
+        reconcile_metrics(&metrics, manifest)
+    }
+}
+
+/// Compare the scraped `source="campaign"` counters against the
+/// manifest's counter table. Every manifest counter must appear; values
+/// must match exactly, except `store.*` counters where the scrape may
+/// run ahead (the manifest is exported before the store's final
+/// checkpoint write lands its last append/sync counts).
+fn reconcile_metrics(
+    scraped: &str,
+    manifest: &acctrade::telemetry::RunManifest,
+) -> Vec<String> {
+    let parsed = acctrade::telemetry::parse_exposition(scraped);
+    let mut mismatches = Vec::new();
+    for entry in &manifest.counters {
+        let key = acctrade::telemetry::parse_rendered_key(&entry.key);
+        let sample = acctrade::telemetry::counter_sample_key(&key, "campaign");
+        match parsed.get(&sample) {
+            None => mismatches.push(format!("{}: missing from /metrics scrape", entry.key)),
+            Some(&v) => {
+                let want = entry.value as f64;
+                let ok = if key.name.starts_with("store.") { v >= want } else { v == want };
+                if !ok {
+                    mismatches
+                        .push(format!("{}: scraped {v}, manifest {want}", entry.key));
+                }
+            }
+        }
+    }
+    mismatches
 }
 
 /// The fixed configuration the CI gate compares across clean and
@@ -112,6 +259,11 @@ fn campaign_mode(args: &[String]) {
 
     let rec = acctrade::telemetry::Recorder::new();
     let _scope = rec.enter();
+
+    // The live ops plane: a real loopback server exposing this run's
+    // recorder and trace ring while the study executes.
+    let ops = arg_value(args, "--ops").map(|addr| OpsCampaign::start(addr, &rec));
+    let trace_out = arg_value(args, "--trace-out").map(PathBuf::from);
 
     if let Some(k) = arg_value(args, "--kill-at") {
         let k: usize = k.parse().expect("--kill-at takes an iteration count");
@@ -174,6 +326,36 @@ fn campaign_mode(args: &[String]) {
         dataset_path.display(),
         manifest_path.display()
     );
+
+    // The deterministic virtual-time Chrome trace: a pure function of
+    // the manifest, byte-identical across same-seed runs and workers.
+    if let Some(path) = trace_out {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).expect("create --trace-out directory");
+        }
+        let trace = acctrade::telemetry::virtual_trace(&report.telemetry);
+        std::fs::write(&path, trace.render_pretty() + "\n").expect("write virtual trace");
+        eprintln!("campaign: virtual trace written to {}", path.display());
+    }
+
+    // Final ops scrape + reconciliation: the live `/metrics` view must
+    // agree with the manifest the study just exported.
+    if let Some(ops) = ops {
+        let mismatches = ops.finish(&out_dir, &report.telemetry);
+        if !mismatches.is_empty() {
+            eprintln!(
+                "campaign: ops reconciliation FAILED — /metrics disagrees with the manifest:"
+            );
+            for line in &mismatches {
+                eprintln!("  {line}");
+            }
+            std::process::exit(6);
+        }
+        eprintln!(
+            "campaign: ops reconciliation OK — {} manifest counters match the final scrape",
+            report.telemetry.counters.len()
+        );
+    }
 
     if let Some(analysis) = &report.economy {
         let report_path = out_dir.join("ECONOMY_report.json");
@@ -303,13 +485,19 @@ fn serve_mode(addr: &str) {
     let net = SimNet::new(2024);
     world.deploy(&net);
     let hosts = HostTable::from_sim(&net);
-    let names = hosts.hosts();
+    let mut names = hosts.hosts();
     let server = HttpServer::bind(
         addr,
         hosts,
-        ServerConfig { workers: 4, time: TimeSource::Wall, ..ServerConfig::default() },
+        ServerConfig {
+            workers: 4,
+            time: TimeSource::Wall,
+            ops: Some(OpsPlane::new()),
+            ..ServerConfig::default()
+        },
     )
     .expect("bind --serve address");
+    names.push(OPS_HOST.to_string());
     eprintln!("serving the seeded world on http://{}", server.addr());
     eprintln!("virtual hosts (send a matching `host:` header):");
     for host in names {

@@ -72,6 +72,15 @@ fn telemetry_manifests_byte_identical_without_wall_fields() {
     let parsed = acctrade::telemetry::RunManifest::parse(&a.to_json_string())
         .expect("manifest JSON parses");
     assert_eq!(parsed.deterministic_string(), a.deterministic_string());
+    // The deterministic view is exactly the centralized wall-stripping
+    // normalization applied to the full manifest — every consumer
+    // (deterministic_string, validate_manifest, the CI cmp gates) goes
+    // through the same `normalize_for_determinism`.
+    let full = foundation::json::Json::parse(&a.to_json_string()).expect("full manifest JSON");
+    assert_eq!(
+        acctrade::telemetry::normalize_for_determinism(&full).render_pretty(),
+        a.deterministic_string(),
+    );
 }
 
 /// The persistence layer must not weaken the determinism contract: an
