@@ -35,15 +35,23 @@
 #      vs 4, and across a kill-at-2/resume cycle (proving the economy
 #      WAL record kinds survive crash recovery); the economy bench
 #      records events/sec into target/BENCH_report.json
-#  10. live ops plane + perf budget: two campaigns run with --ops (the
+#  10. live ops plane: two campaigns run with --ops (the
 #      ops.acctrade.local vhost is scraped over real sockets mid-run,
 #      and the quickstart exits 6 unless the final /metrics scrape
 #      reconciles with the manifest); their virtual-time
 #      TRACE_report.json files must be byte-identical across workers
-#      1 vs 4; the TRACE/BENCH/ECONOMY artifacts must pass
-#      validate_manifest; and the bench report must sit inside
-#      BENCH_budget.json (with a deliberately degraded budget proven
-#      to fail the gate)
+#      1 vs 4; and the TRACE/BENCH/ECONOMY artifacts must pass
+#      validate_manifest
+#  11. conformance v2 + perf budget: the LINT report and the committed
+#      ARCH baseline must pass validate_manifest's schema checks; the
+#      analyzer gate is proven to have teeth by three injected
+#      violations (an undeclared manifest edge, an undocumented unsafe
+#      block, a blocking call on a reactor path), each of which must
+#      drive the analyzer to a nonzero exit with the tree restored and
+#      re-proven clean afterwards; the lint bench records the
+#      graph-resolution pass; and the accumulated bench report must sit
+#      inside BENCH_budget.json (with a deliberately degraded budget
+#      proven to fail the gate)
 
 set -uo pipefail
 
@@ -291,15 +299,13 @@ if [ "$fail" -ne 0 ] || ! grep -q '"economy/scenario_all_campaign"' target/BENCH
 fi
 echo "ci: economy simulation throughput recorded in target/BENCH_report.json"
 
-# 10. Ops-plane + perf-budget gate. Two campaigns run with the live ops
-#     vhost mounted: the quickstart itself scrapes /metrics over real
+# 10. Ops-plane gate. Two campaigns run with the live ops vhost
+#     mounted: the quickstart itself scrapes /metrics over real
 #     loopback sockets while the study executes and exits 6 unless the
 #     final scrape reconciles with TELEMETRY_report.json. The exported
 #     virtual-time Chrome traces must be byte-identical across
-#     --workers 1 vs 4 (and hence across the double run), the JSON
-#     artifacts must pass validate_manifest's schema checks, and the
-#     accumulated bench report must sit inside the committed perf
-#     budget — with a deliberately degraded budget proven to fail.
+#     --workers 1 vs 4 (and hence across the double run), and the JSON
+#     artifacts must pass validate_manifest's schema checks.
 rm -rf target/store/ci-ops-a target/store/ci-ops-b target/gate-ops-a target/gate-ops-b
 
 run cargo run --release --offline --example quickstart -- --campaign \
@@ -358,6 +364,95 @@ if [ "$fail" -ne 0 ]; then
     exit 1
 fi
 echo "ci: TRACE/BENCH/ECONOMY artifacts pass validate_manifest schema checks"
+
+# 11. Conformance-v2 + perf-budget gate. The LINT report from gate 6
+#     and the committed architecture baseline must pass
+#     validate_manifest's schema checks; then the analyzer gate is
+#     proven to have teeth: three violations are injected one at a
+#     time — an undeclared manifest edge (the baseline-diff rule), an
+#     undocumented unsafe block (unsafe-audit), and a thread::sleep in
+#     a reactor-path file (blocking-call) — and each must drive the
+#     analyzer to a nonzero exit. The tree is restored after each
+#     injection and re-proven clean (byte-identical to the gate-6
+#     report). Finally the lint bench records the graph-resolution
+#     pass and the accumulated bench report must sit inside the
+#     committed perf budget — with a deliberately degraded budget
+#     proven to fail.
+run cargo run --release --offline -p acctrade-telemetry --bin validate_manifest -- \
+    target/LINT_report.json || fail=1
+run cargo run --release --offline -p acctrade-telemetry --bin validate_manifest -- \
+    ARCH_baseline.json || fail=1
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "ci: FAILED (LINT/ARCH artifacts did not pass schema validation)"
+    exit 1
+fi
+
+conformance_must_fail() {
+    echo
+    echo "==> cargo run --release --offline -p acctrade-conformance -- --quiet" \
+         "  (expecting findings: $1)"
+    if cargo run --release --offline -p acctrade-conformance -- --quiet \
+        --out target/LINT_must_fail.json; then
+        echo
+        echo "ci: FAILED (injected $1 did not fail the conformance gate)"
+        return 1
+    fi
+    echo "ci: injected $1 correctly failed the analyzer"
+    return 0
+}
+
+# a. Undeclared manifest edge: a dependency appears in a Cargo.toml
+#    without ARCH_baseline.json being regenerated alongside it.
+cp crates/net/Cargo.toml target/ci-net-manifest.bak
+sed -i 's/^acctrade-telemetry.workspace = true$/acctrade-telemetry.workspace = true\nacctrade-html.workspace = true/' \
+    crates/net/Cargo.toml
+conformance_must_fail "undeclared arch edge (net -> html)" || fail=1
+mv target/ci-net-manifest.bak crates/net/Cargo.toml
+
+# b. An unsafe block with no SAFETY comment.
+cp crates/text/src/stopwords.rs target/ci-stopwords.bak
+printf '\nfn ci_injected_unsafe() {\n    unsafe { std::ptr::null::<u8>(); }\n}\n' \
+    >> crates/text/src/stopwords.rs
+conformance_must_fail "unsafe block without SAFETY comment" || fail=1
+mv target/ci-stopwords.bak crates/text/src/stopwords.rs
+
+# c. A blocking call in a reactor-path file.
+cp crates/net/src/url.rs target/ci-url.bak
+printf '\nfn ci_injected_nap() {\n    std::thread::sleep(std::time::Duration::from_millis(1));\n}\n' \
+    >> crates/net/src/url.rs
+conformance_must_fail "thread::sleep on a reactor path" || fail=1
+mv target/ci-url.bak crates/net/src/url.rs
+
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "ci: FAILED (a conformance must-fail injection was not caught)"
+    exit 1
+fi
+
+# The restored tree must scan clean again, byte-identical to gate 6 —
+# proving both the analyzer and the restore.
+run cargo run --release --offline -p acctrade-conformance -- --quiet \
+    --out target/LINT_report.restored.json || fail=1
+run cmp target/LINT_report.json target/LINT_report.restored.json || fail=1
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "ci: FAILED (tree not clean after must-fail injections were restored)"
+    exit 1
+fi
+echo "ci: all three injected violations caught; restored tree scans clean"
+
+echo
+echo "==> BENCH_REPORT_PATH=target/BENCH_report.json cargo bench --offline" \
+     "-p acctrade-bench --bench lint"
+BENCH_REPORT_PATH="$PWD/target/BENCH_report.json" cargo bench --offline \
+    -p acctrade-bench --bench lint || fail=1
+if [ "$fail" -ne 0 ] || ! grep -q '"graph_resolution/resolve_workspace"' target/BENCH_report.json; then
+    echo
+    echo "ci: FAILED (lint bench did not record graph_resolution/ entries in target/BENCH_report.json)"
+    exit 1
+fi
+echo "ci: conformance scanner + graph-resolution timings recorded in target/BENCH_report.json"
 
 run cargo run --release --offline -p acctrade-bench --bin bench_budget -- \
     target/BENCH_report.json BENCH_budget.json || fail=1

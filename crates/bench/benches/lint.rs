@@ -42,6 +42,49 @@ fn bench_lint(c: &mut Criterion) {
         b.iter(|| conformance::run(black_box(&root)).expect("full pass"))
     });
     group.finish();
+
+    // The graph-resolution pass in isolation: every source resolved to
+    // `FileFacts` and the manifest DAG rebuilt — the architecture
+    // check's input, with the rule engine and I/O factored out.
+    let ws = conformance::workspace::discover(&root).expect("workspace");
+    let sources: Vec<String> = ws
+        .sources
+        .iter()
+        .map(|f| std::fs::read_to_string(ws.abs(&f.rel)).expect("source"))
+        .collect();
+    let manifests: Vec<String> = ws
+        .manifests
+        .iter()
+        .map(|m| std::fs::read_to_string(ws.abs(m)).expect("manifest"))
+        .collect();
+    eprintln!(
+        "[lint] graph-resolution input: {} sources, {} manifests",
+        sources.len(),
+        manifests.len()
+    );
+
+    let mut group = c.benchmark_group("graph_resolution");
+    group.sample_size(10);
+    group.bench_function("resolve_workspace", |b| {
+        b.iter(|| {
+            sources
+                .iter()
+                .map(|s| conformance::resolve::resolve_file(black_box(s)).idents.len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("manifest_dag", |b| {
+        b.iter(|| {
+            let infos: Vec<_> = ws
+                .manifests
+                .iter()
+                .zip(&manifests)
+                .map(|(rel, text)| conformance::arch::parse_manifest(rel, black_box(text)))
+                .collect();
+            conformance::arch::current_graph(&infos).crates.len()
+        })
+    });
+    group.finish();
 }
 
 criterion_group! {

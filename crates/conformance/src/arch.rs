@@ -1,0 +1,815 @@
+//! The workspace architecture pass: the crate dependency DAG, checked
+//! against the committed `ARCH_baseline.json`, plus the cross-file
+//! checks that need the whole workspace in view.
+//!
+//! The pass builds three structures and lints each:
+//!
+//! 1. **Crate dependency DAG** — parsed from every `Cargo.toml` by
+//!    [`parse_manifest`]. The DAG is compared *structurally* against
+//!    the committed baseline (undeclared edge / stale edge / missing
+//!    crate findings), checked for cycles, and the baseline file itself
+//!    must be the canonical rendering byte-for-byte (so `git diff`
+//!    review is the only way an architecture change lands).
+//! 2. **Use/path graph** — every file's `use` roots and qualified path
+//!    roots, resolved through lib names (`foundation` →
+//!    `acctrade-foundation`). A file referencing another crate whose
+//!    package its manifest does not declare is an undeclared edge at
+//!    source level; the root facade alias (`acctrade::core::…`) counts
+//!    as referencing the aliased crate.
+//! 3. **Module tree** — out-of-line `mod` declarations walked from each
+//!    target root (`lib.rs`, `main.rs`, `src/bin/*`, tests, benches,
+//!    examples). A `src/` file no root reaches is an orphan: compiled
+//!    by nobody, linted by nobody, a silent rot vector.
+//!
+//! `pub-hygiene` also lives here because "referenced by another crate"
+//! is a whole-workspace question: a module-level `pub` item in library
+//! code that no other crate's sources mention (in a file that also
+//! references the defining crate) is a dead export.
+
+use crate::report::{ArchBaseline, ArchCrate, Finding, UnsafeSite};
+use crate::resolve::{FileFacts, PubKind};
+use crate::rules::FileAnalysis;
+use crate::workspace::{Role, SourceFile};
+
+/// One parsed `Cargo.toml`, reduced to what the DAG needs.
+#[derive(Debug, Clone)]
+pub struct ManifestInfo {
+    /// Workspace-relative manifest path.
+    pub rel: String,
+    /// `[package] name`.
+    pub package: String,
+    /// `[lib] name` override, or the package name with `-` → `_`.
+    pub lib_name: String,
+    /// Package names from `[dependencies]` (and sub-tables), sorted.
+    pub deps: Vec<String>,
+    /// Package names from `[dev-dependencies]`, sorted.
+    pub dev_deps: Vec<String>,
+}
+
+/// Parse the manifest facts the architecture pass needs. Total: a
+/// malformed manifest yields an empty/partial info, never a panic
+/// (`zero-dep` in [`crate::manifest`] polices manifest content).
+pub fn parse_manifest(rel: &str, text: &str) -> ManifestInfo {
+    let mut info = ManifestInfo {
+        rel: rel.to_string(),
+        package: String::new(),
+        lib_name: String::new(),
+        deps: Vec::new(),
+        dev_deps: Vec::new(),
+    };
+    let mut section = String::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let name = header.split(']').next().unwrap_or("").trim().trim_matches('"');
+            // `[dependencies.foo]` sub-tables declare the dep `foo`.
+            if let Some((table, dep)) = name.rsplit_once('.') {
+                if table == "dependencies" {
+                    info.deps.push(dep.trim_matches('"').to_string());
+                    section = String::from("_subtable");
+                    continue;
+                }
+                if table == "dev-dependencies" {
+                    info.dev_deps.push(dep.trim_matches('"').to_string());
+                    section = String::from("_subtable");
+                    continue;
+                }
+            }
+            section = name.to_string();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else { continue };
+        let key = key.trim().trim_matches('"');
+        let value = value.trim().trim_matches('"');
+        match section.as_str() {
+            "package" if key == "name" => info.package = value.to_string(),
+            "lib" if key == "name" => info.lib_name = value.to_string(),
+            "dependencies" | "dev-dependencies" => {
+                let name = key.strip_suffix(".workspace").unwrap_or(key);
+                if section == "dependencies" {
+                    info.deps.push(name.to_string());
+                } else {
+                    info.dev_deps.push(name.to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    if info.lib_name.is_empty() && !info.package.is_empty() {
+        info.lib_name = info.package.replace('-', "_");
+    }
+    info.deps.sort();
+    info.deps.dedup();
+    info.dev_deps.sort();
+    info.dev_deps.dedup();
+    info
+}
+
+/// Build the current-architecture snapshot from parsed manifests —
+/// exactly the structure the committed `ARCH_baseline.json` pins.
+pub fn current_graph(manifests: &[ManifestInfo]) -> ArchBaseline {
+    let mut crates: Vec<ArchCrate> = manifests
+        .iter()
+        .filter(|m| !m.package.is_empty())
+        .map(|m| ArchCrate {
+            package: m.package.clone(),
+            lib_name: m.lib_name.clone(),
+            deps: m.deps.clone(),
+            dev_deps: m.dev_deps.clone(),
+        })
+        .collect();
+    crates.sort_by(|a, b| a.package.cmp(&b.package));
+    ArchBaseline { schema: "acctrade-arch/v1".to_string(), crates }
+}
+
+/// FNV-1a 64 over bytes (the workspace's standard tiny hash; kept
+/// local because `conformance` depends only on `foundation`).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// 16-hex-digit digest of the current architecture graph: the report's
+/// one-line fingerprint of "which crates, which edges".
+pub(crate) fn graph_digest(graph: &ArchBaseline) -> String {
+    format!("{:016x}", fnv1a64(foundation::json::to_string_pretty(graph).as_bytes()))
+}
+
+/// Canonical on-disk rendering of a baseline (what
+/// `--write-arch-baseline` writes and the formatting check expects).
+pub fn render_baseline(graph: &ArchBaseline) -> String {
+    let mut s = foundation::json::to_string_pretty(graph);
+    s.push('\n');
+    s
+}
+
+/// The committed baseline's workspace-relative path.
+pub const BASELINE_PATH: &str = "ARCH_baseline.json";
+
+/// One analyzed source file, as the architecture pass sees it.
+pub struct ArchSource<'a> {
+    /// Discovery record (path, crate, role).
+    pub file: &'a SourceFile,
+    /// Resolver + rule outputs for the file.
+    pub analysis: &'a FileAnalysis,
+}
+
+/// Everything the architecture pass produces for the report.
+pub struct ArchOutcome {
+    /// Findings under rule `arch` and `pub-hygiene` (suppressions are
+    /// tallied through each file's allow table, like per-file rules).
+    pub findings: Vec<Finding>,
+    /// Matches waived by annotations, per rule slug.
+    pub suppressed: Vec<(String, u64)>,
+    /// Digest of the *current* graph (recorded even when it diverges
+    /// from the baseline — the report should describe reality).
+    pub digest: String,
+}
+
+/// Finding anchored to a manifest or synthetic location (no allow
+/// table applies — architecture facts are not per-line accidents).
+fn arch_finding(file: &str, line: u64, message: String) -> Finding {
+    Finding { rule: "arch".into(), file: file.into(), line, col: 1, message }
+}
+
+/// Run the whole architecture pass.
+///
+/// `baseline` is the parsed committed baseline (`None` when the file is
+/// missing or unreadable — itself a finding), `baseline_text` the raw
+/// bytes on disk for the canonical-formatting check.
+pub fn check(
+    manifests: &[ManifestInfo],
+    sources: &[ArchSource<'_>],
+    baseline: Option<&ArchBaseline>,
+    baseline_text: Option<&str>,
+) -> ArchOutcome {
+    let current = current_graph(manifests);
+    let mut out = ArchOutcome {
+        findings: Vec::new(),
+        suppressed: Vec::new(),
+        digest: graph_digest(&current),
+    };
+
+    check_baseline(&current, baseline, baseline_text, &mut out);
+    check_cycles(&current, &mut out);
+    check_use_graph(manifests, sources, &mut out);
+    check_module_tree(sources, &mut out);
+    check_pub_hygiene(manifests, sources, &mut out);
+
+    out
+}
+
+/// Structural + formatting comparison against the committed baseline.
+fn check_baseline(
+    current: &ArchBaseline,
+    baseline: Option<&ArchBaseline>,
+    baseline_text: Option<&str>,
+    out: &mut ArchOutcome,
+) {
+    let Some(base) = baseline else {
+        out.findings.push(arch_finding(
+            BASELINE_PATH,
+            1,
+            "missing or unreadable ARCH_baseline.json — regenerate with \
+             `cargo run -p acctrade-conformance -- --write-arch-baseline` \
+             and commit it"
+                .into(),
+        ));
+        return;
+    };
+    if base.schema != current.schema {
+        out.findings.push(arch_finding(
+            BASELINE_PATH,
+            1,
+            format!(
+                "baseline schema `{}` does not match analyzer schema `{}`",
+                base.schema, current.schema
+            ),
+        ));
+    }
+    // Structural diff, crate by crate, edge by edge — so the finding
+    // names the exact divergence instead of "files differ".
+    let find = |g: &ArchBaseline, pkg: &str| -> Option<ArchCrate> {
+        g.crates.iter().find(|c| c.package == pkg).cloned()
+    };
+    for c in &current.crates {
+        let Some(b) = find(base, &c.package) else {
+            out.findings.push(arch_finding(
+                BASELINE_PATH,
+                1,
+                format!(
+                    "crate `{}` exists in the workspace but not in ARCH_baseline.json \
+                     — an architecture change must update the committed baseline",
+                    c.package
+                ),
+            ));
+            continue;
+        };
+        if b.lib_name != c.lib_name {
+            out.findings.push(arch_finding(
+                BASELINE_PATH,
+                1,
+                format!(
+                    "crate `{}` lib name changed: baseline `{}`, workspace `{}`",
+                    c.package, b.lib_name, c.lib_name
+                ),
+            ));
+        }
+        for (kind, cur, bas) in
+            [("dependency", &c.deps, &b.deps), ("dev-dependency", &c.dev_deps, &b.dev_deps)]
+        {
+            for d in cur {
+                if !bas.contains(d) {
+                    out.findings.push(arch_finding(
+                        BASELINE_PATH,
+                        1,
+                        format!(
+                            "undeclared edge: `{}` → `{d}` ({kind}) is in the workspace \
+                             but not in ARCH_baseline.json",
+                            c.package
+                        ),
+                    ));
+                }
+            }
+            for d in bas {
+                if !cur.contains(d) {
+                    out.findings.push(arch_finding(
+                        BASELINE_PATH,
+                        1,
+                        format!(
+                            "stale edge: ARCH_baseline.json declares `{}` → `{d}` \
+                             ({kind}) but the workspace no longer has it",
+                            c.package
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    for b in &base.crates {
+        if find(current, &b.package).is_none() {
+            out.findings.push(arch_finding(
+                BASELINE_PATH,
+                1,
+                format!(
+                    "stale baseline entry: crate `{}` is in ARCH_baseline.json but \
+                     not in the workspace",
+                    b.package
+                ),
+            ));
+        }
+    }
+    // Byte-for-byte canonical formatting: the committed file must be
+    // exactly what the analyzer would write, so review diffs are
+    // always minimal and machine-produced.
+    if let Some(text) = baseline_text {
+        if out.findings.is_empty() && text != render_baseline(current) {
+            out.findings.push(arch_finding(
+                BASELINE_PATH,
+                1,
+                "ARCH_baseline.json is not the canonical rendering — regenerate \
+                 with `--write-arch-baseline`"
+                    .into(),
+            ));
+        }
+    }
+}
+
+/// DFS cycle detection over the current dependency graph.
+fn check_cycles(current: &ArchBaseline, out: &mut ArchOutcome) {
+    // 0 = unvisited, 1 = on stack, 2 = done.
+    let names: Vec<&str> = current.crates.iter().map(|c| c.package.as_str()).collect();
+    let mut state = vec![0u8; names.len()];
+    let index_of = |pkg: &str| names.iter().position(|n| *n == pkg);
+
+    fn dfs(
+        at: usize,
+        crates: &[ArchCrate],
+        index_of: &dyn Fn(&str) -> Option<usize>,
+        state: &mut [u8],
+        stack: &mut Vec<usize>,
+        cycle: &mut Option<Vec<usize>>,
+    ) {
+        state[at] = 1;
+        stack.push(at);
+        // Dev-deps are excluded: cargo itself permits dev-dep cycles
+        // (the classic bench-crate ↔ lib shape) and they never affect
+        // the built artifact's layering.
+        for dep in &crates[at].deps {
+            let Some(j) = index_of(dep) else { continue };
+            match state[j] {
+                0 => dfs(j, crates, index_of, state, stack, cycle),
+                1 if cycle.is_none() => {
+                    let from = stack.iter().position(|&s| s == j).unwrap_or(0);
+                    *cycle = Some(stack[from..].to_vec());
+                }
+                _ => {}
+            }
+        }
+        stack.pop();
+        state[at] = 2;
+    }
+
+    let mut cycle = None;
+    for i in 0..names.len() {
+        if state[i] == 0 {
+            dfs(i, &current.crates, &index_of, &mut state, &mut Vec::new(), &mut cycle);
+        }
+    }
+    if let Some(cycle) = cycle {
+        let path: Vec<&str> = cycle.iter().map(|&i| names[i]).collect();
+        out.findings.push(arch_finding(
+            "Cargo.toml",
+            1,
+            format!("dependency cycle: {} → {}", path.join(" → "), path[0]),
+        ));
+    }
+}
+
+/// Emit a source-anchored cross-file finding through the file's allow
+/// table (same suppression semantics as the per-file rules).
+fn emit_at(
+    src: &ArchSource<'_>,
+    line: usize,
+    rule: &str,
+    message: String,
+    out: &mut ArchOutcome,
+) {
+    if src.analysis.allow_and_mark(line, rule) {
+        match out.suppressed.iter_mut().find(|(r, _)| r == rule) {
+            Some((_, n)) => *n += 1,
+            None => out.suppressed.push((rule.to_string(), 1)),
+        }
+        return;
+    }
+    out.findings.push(Finding {
+        rule: rule.into(),
+        file: src.file.rel.clone(),
+        line: line as u64,
+        col: 1,
+        message,
+    });
+}
+
+/// Which crates does this file reference? Lib-name roots of `use`
+/// declarations and qualified paths, with the root facade (`acctrade`)
+/// aliasing every workspace crate it re-exports. `local_mods` is the
+/// owning crate's own module names: a path root shadowed by a sibling
+/// module (`social` has a `mod store`, so `store::X` is local there)
+/// never references the like-named crate.
+fn referenced_packages(
+    facts: &FileFacts,
+    lib_to_pkg: &[(String, String)],
+    local_mods: &[String],
+) -> Vec<(String, usize)> {
+    let mut refs: Vec<(String, usize)> = Vec::new();
+    let mut push = |pkg: &str, offset: usize| {
+        if !refs.iter().any(|(p, _)| p == pkg) {
+            refs.push((pkg.to_string(), offset));
+        }
+    };
+    for u in &facts.uses {
+        if local_mods.contains(&u.root) {
+            continue;
+        }
+        if let Some((_, pkg)) = lib_to_pkg.iter().find(|(lib, _)| *lib == u.root) {
+            push(pkg, u.span.0);
+        }
+    }
+    for p in &facts.paths {
+        if local_mods.contains(&p.root) {
+            continue;
+        }
+        if let Some((_, pkg)) = lib_to_pkg.iter().find(|(lib, _)| *lib == p.root) {
+            push(pkg, p.span.0);
+        }
+    }
+    refs
+}
+
+/// All module names declared anywhere in a crate's sources — the
+/// shadowing set for [`referenced_packages`].
+fn crate_mod_names(sources: &[ArchSource<'_>], crate_name: Option<&str>) -> Vec<String> {
+    let mut names: Vec<String> = sources
+        .iter()
+        .filter(|s| s.file.crate_name.as_deref() == crate_name)
+        .flat_map(|s| s.analysis.facts.mods.iter().map(|m| m.name.clone()))
+        .collect();
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Source-level edge check: each crate reference must be a declared
+/// manifest dependency (dev-deps satisfy tests/benches/examples).
+fn check_use_graph(
+    manifests: &[ManifestInfo],
+    sources: &[ArchSource<'_>],
+    out: &mut ArchOutcome,
+) {
+    let lib_to_pkg: Vec<(String, String)> =
+        manifests.iter().map(|m| (m.lib_name.clone(), m.package.clone())).collect();
+    for src in sources {
+        let owner = manifest_of(manifests, src.file);
+        let Some(owner) = owner else { continue };
+        let local_mods = crate_mod_names(sources, src.file.crate_name.as_deref());
+        for (pkg, offset) in referenced_packages(&src.analysis.facts, &lib_to_pkg, &local_mods) {
+            if pkg == owner.package {
+                continue; // integration tests referencing their own crate
+            }
+            // Dev-dependencies satisfy test/bench/example targets and
+            // `#[cfg(test)]` regions inside library files.
+            let dev_context = matches!(src.file.role, Role::Test | Role::Bench | Role::Example)
+                || src.analysis.in_test_region(offset);
+            let declared =
+                owner.deps.contains(&pkg) || (dev_context && owner.dev_deps.contains(&pkg));
+            if !declared {
+                let line = src.analysis.lines.line(offset);
+                emit_at(
+                    src,
+                    line,
+                    "arch",
+                    format!(
+                        "undeclared edge: `{}` uses crate `{pkg}` but {} does not \
+                         declare it as a dependency",
+                        owner.package, owner.rel
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// The manifest owning a source file (same package directory).
+fn manifest_of<'m>(manifests: &'m [ManifestInfo], file: &SourceFile) -> Option<&'m ManifestInfo> {
+    let want = match &file.crate_name {
+        Some(name) => format!("crates/{name}/Cargo.toml"),
+        None => "Cargo.toml".to_string(),
+    };
+    manifests.iter().find(|m| m.rel == want)
+}
+
+/// Walk out-of-line `mod` declarations from every target root and flag
+/// unreachable `src/` files.
+fn check_module_tree(sources: &[ArchSource<'_>], out: &mut ArchOutcome) {
+    let rels: Vec<&str> = sources.iter().map(|s| s.file.rel.as_str()).collect();
+    let facts_of = |rel: &str| -> Option<&FileFacts> {
+        sources.iter().find(|s| s.file.rel == rel).map(|s| &s.analysis.facts)
+    };
+
+    let mut reachable: Vec<String> = Vec::new();
+    let mut queue: Vec<String> = Vec::new();
+    for s in sources {
+        let rel = &s.file.rel;
+        let is_root = rel.ends_with("/src/lib.rs")
+            || rel == "src/lib.rs"
+            || rel.ends_with("/src/main.rs")
+            || rel == "src/main.rs"
+            || rel.contains("/src/bin/")
+            || rel.starts_with("src/bin/")
+            || s.file.role != Role::Lib; // tests/benches/examples/bins are their own roots
+        if is_root {
+            queue.push(rel.clone());
+        }
+    }
+    while let Some(rel) = queue.pop() {
+        if reachable.contains(&rel) {
+            continue;
+        }
+        reachable.push(rel.clone());
+        let Some(facts) = facts_of(&rel) else { continue };
+        let dir = rel.rsplit_once('/').map(|(d, _)| d).unwrap_or("");
+        let stem = rel
+            .rsplit_once('/')
+            .map(|(_, f)| f)
+            .unwrap_or(rel.as_str())
+            .trim_end_matches(".rs");
+        // `lib.rs`, `main.rs`, and `mod.rs` resolve children in their
+        // own directory; `foo.rs` resolves them under `foo/`.
+        let child_dir = if matches!(stem, "lib" | "main" | "mod") {
+            dir.to_string()
+        } else {
+            format!("{dir}/{stem}")
+        };
+        for m in facts.mods.iter().filter(|m| !m.inline) {
+            for cand in
+                [format!("{child_dir}/{}.rs", m.name), format!("{child_dir}/{}/mod.rs", m.name)]
+            {
+                let cand = cand.trim_start_matches('/').to_string();
+                if rels.contains(&cand.as_str()) {
+                    queue.push(cand);
+                }
+            }
+        }
+    }
+
+    for src in sources {
+        let rel = &src.file.rel;
+        // Only `src/` files can be orphans: tests/benches/examples are
+        // roots by construction, and `src/bin/*` too.
+        let in_src = rel.contains("/src/") || rel.starts_with("src/");
+        if in_src && src.file.role == Role::Lib && !reachable.contains(rel) {
+            emit_at(
+                src,
+                1,
+                "arch",
+                format!(
+                    "orphan file: `{rel}` is not reachable from any target root \
+                     via `mod` declarations — it is not compiled into the crate"
+                ),
+                out,
+            );
+        }
+    }
+}
+
+/// Dead exports: module-level `pub` items in library code that no
+/// *other file in the workspace* references — safe-to-prune surface.
+/// A sibling file in the same package counts on an identifier match
+/// alone (intra-crate paths go through `crate::`/`super::`, which
+/// never name the package); a file in another package counts only
+/// when its `use`/path graph also resolves through the defining crate
+/// (its lib name, or the root facade). Identifier matching is
+/// deliberately conservative: a coincidental name keeps an item
+/// alive, but a flagged item is referenced by nobody.
+fn check_pub_hygiene(
+    manifests: &[ManifestInfo],
+    sources: &[ArchSource<'_>],
+    out: &mut ArchOutcome,
+) {
+    // Pre-compute, per file: the set of packages it resolves through.
+    let lib_to_pkg: Vec<(String, String)> =
+        manifests.iter().map(|m| (m.lib_name.clone(), m.package.clone())).collect();
+    let facade_pkgs: Vec<String> = manifests
+        .iter()
+        .find(|m| m.rel == "Cargo.toml")
+        .map(|m| m.deps.clone())
+        .unwrap_or_default();
+
+    struct RefView<'a> {
+        crate_name: Option<&'a str>,
+        packages: Vec<String>,
+        idents: &'a [String],
+    }
+    let views: Vec<RefView<'_>> = sources
+        .iter()
+        .map(|s| {
+            let local_mods = crate_mod_names(sources, s.file.crate_name.as_deref());
+            let mut packages: Vec<String> =
+                referenced_packages(&s.analysis.facts, &lib_to_pkg, &local_mods)
+                    .into_iter()
+                    .map(|(p, _)| p)
+                    .collect();
+            // The facade re-exports every workspace crate: a file that
+            // resolves through `acctrade` can reach them all.
+            if packages.iter().any(|p| p == "acctrade") {
+                packages.extend(facade_pkgs.iter().cloned());
+            }
+            RefView {
+                crate_name: s.file.crate_name.as_deref(),
+                packages,
+                idents: &s.analysis.facts.idents,
+            }
+        })
+        .collect();
+
+    for (si, src) in sources.iter().enumerate() {
+        if src.file.role != Role::Lib {
+            continue;
+        }
+        let Some(owner) = manifest_of(manifests, src.file) else { continue };
+        // The root facade's own pub surface is the workspace API —
+        // exercised by integration tests through `acctrade::…` paths,
+        // which the facade-alias expansion above credits.
+        for item in &src.analysis.facts.pub_items {
+            if src.analysis.in_test_region(item.offset) {
+                continue;
+            }
+            // Only value items (fn/const/static): a value must be *named*
+            // to be used, so lexical absence proves deadness. Types and
+            // traits are routinely alive without being named — field
+            // access, inference, guards, trait bounds — and modules are
+            // namespaces judged by their contents (the module-tree pass
+            // already flags orphans).
+            if !matches!(item.kind, PubKind::Fn | PubKind::Const | PubKind::Static) {
+                continue;
+            }
+            let referenced = views.iter().enumerate().any(|(vi, v)| {
+                if vi == si || v.idents.binary_search(&item.name).is_err() {
+                    return false;
+                }
+                let same_package = v.crate_name == src.file.crate_name.as_deref();
+                same_package || v.packages.contains(&owner.package)
+            });
+            if !referenced {
+                let line = src.analysis.lines.line(item.offset);
+                emit_at(
+                    src,
+                    line,
+                    "pub-hygiene",
+                    format!(
+                        "dead export: `pub {} {}` is never referenced by any other \
+                         file in the workspace — prune it, make it `pub(crate)`, or \
+                         annotate why it is public API",
+                        item.kind.as_str(),
+                        item.name
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// Collect the workspace unsafe inventory from per-file scans, sorted.
+pub fn unsafe_inventory(sources: &[ArchSource<'_>]) -> Vec<UnsafeSite> {
+    let mut sites: Vec<UnsafeSite> = sources
+        .iter()
+        .flat_map(|s| s.analysis.unsafe_sites.iter().cloned())
+        .collect();
+    sites.sort_by(|a, b| (&a.file, a.line, &a.kind).cmp(&(&b.file, b.line, &b.kind)));
+    sites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_manifest_reads_package_lib_and_deps() {
+        let toml = "[package]\nname = \"acctrade-econ\"\n\n[lib]\nname = \"econ\"\n\n\
+                    [dependencies]\nacctrade-foundation.workspace = true\n\
+                    acctrade-net = { path = \"../net\" }\n\n\
+                    [dev-dependencies]\nacctrade-text.workspace = true\n";
+        let info = parse_manifest("crates/econ/Cargo.toml", toml);
+        assert_eq!(info.package, "acctrade-econ");
+        assert_eq!(info.lib_name, "econ");
+        assert_eq!(info.deps, vec!["acctrade-foundation", "acctrade-net"]);
+        assert_eq!(info.dev_deps, vec!["acctrade-text"]);
+    }
+
+    #[test]
+    fn lib_name_defaults_to_underscored_package() {
+        let info = parse_manifest("crates/net/Cargo.toml", "[package]\nname = \"acctrade-net\"\n");
+        assert_eq!(info.lib_name, "acctrade_net");
+    }
+
+    #[test]
+    fn dependency_subtables_count_as_edges() {
+        let toml = "[package]\nname = \"x\"\n[dependencies.acctrade-html]\npath = \"../html\"\n";
+        let info = parse_manifest("crates/x/Cargo.toml", toml);
+        assert_eq!(info.deps, vec!["acctrade-html"]);
+    }
+
+    #[test]
+    fn cycle_detection_reports_the_loop() {
+        let graph = ArchBaseline {
+            schema: "acctrade-arch/v1".into(),
+            crates: vec![
+                ArchCrate {
+                    package: "a".into(),
+                    lib_name: "a".into(),
+                    deps: vec!["b".into()],
+                    dev_deps: vec![],
+                },
+                ArchCrate {
+                    package: "b".into(),
+                    lib_name: "b".into(),
+                    deps: vec!["c".into()],
+                    dev_deps: vec![],
+                },
+                ArchCrate {
+                    package: "c".into(),
+                    lib_name: "c".into(),
+                    deps: vec!["a".into()],
+                    dev_deps: vec![],
+                },
+            ],
+        };
+        let mut out =
+            ArchOutcome { findings: Vec::new(), suppressed: Vec::new(), digest: String::new() };
+        check_cycles(&graph, &mut out);
+        assert_eq!(out.findings.len(), 1);
+        assert!(out.findings[0].message.contains("cycle"), "{}", out.findings[0].message);
+    }
+
+    #[test]
+    fn dev_dep_cycles_are_permitted() {
+        let graph = ArchBaseline {
+            schema: "acctrade-arch/v1".into(),
+            crates: vec![
+                ArchCrate {
+                    package: "a".into(),
+                    lib_name: "a".into(),
+                    deps: vec![],
+                    dev_deps: vec!["b".into()],
+                },
+                ArchCrate {
+                    package: "b".into(),
+                    lib_name: "b".into(),
+                    deps: vec!["a".into()],
+                    dev_deps: vec![],
+                },
+            ],
+        };
+        let mut out =
+            ArchOutcome { findings: Vec::new(), suppressed: Vec::new(), digest: String::new() };
+        check_cycles(&graph, &mut out);
+        assert!(out.findings.is_empty());
+    }
+
+    #[test]
+    fn baseline_diff_names_undeclared_and_stale_edges() {
+        let manifests = vec![
+            parse_manifest(
+                "Cargo.toml",
+                "[package]\nname = \"root\"\n[dependencies]\na.workspace = true\n",
+            ),
+            parse_manifest("crates/a/Cargo.toml", "[package]\nname = \"a\"\n"),
+        ];
+        let current = current_graph(&manifests);
+        let mut stale = current.clone();
+        // Crates sort by package: [0] = "a". Baseline keeps an edge
+        // `a` → `ghost` that reality no longer has.
+        stale.crates[0].deps = vec!["ghost".into()];
+        let mut out =
+            ArchOutcome { findings: Vec::new(), suppressed: Vec::new(), digest: String::new() };
+        check_baseline(&current, Some(&stale), None, &mut out);
+        assert_eq!(out.findings.len(), 1);
+        assert!(out.findings[0].message.contains("stale edge"), "{}", out.findings[0].message);
+
+        let mut missing_edge = current.clone();
+        // [1] = "root": its dep on `a` is absent from the baseline.
+        missing_edge.crates[1].deps = vec![];
+        let mut out2 =
+            ArchOutcome { findings: Vec::new(), suppressed: Vec::new(), digest: String::new() };
+        check_baseline(&current, Some(&missing_edge), None, &mut out2);
+        assert_eq!(out2.findings.len(), 1);
+        assert!(
+            out2.findings[0].message.contains("undeclared edge"),
+            "{}",
+            out2.findings[0].message
+        );
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let manifests = vec![parse_manifest("Cargo.toml", "[package]\nname = \"root\"\n")];
+        let g1 = current_graph(&manifests);
+        assert_eq!(graph_digest(&g1), graph_digest(&g1));
+        let manifests2 = vec![parse_manifest(
+            "Cargo.toml",
+            "[package]\nname = \"root\"\n[dependencies]\nx.workspace = true\n",
+        )];
+        let g2 = current_graph(&manifests2);
+        assert_ne!(graph_digest(&g1), graph_digest(&g2));
+    }
+}

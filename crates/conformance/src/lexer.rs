@@ -403,6 +403,7 @@ fn number(c: &mut Cursor<'_>) -> TokenKind {
 }
 
 /// Byte offsets of each line start; lines are 1-based in findings.
+#[derive(Debug)]
 pub struct LineIndex {
     starts: Vec<usize>,
 }
@@ -432,6 +433,13 @@ impl LineIndex {
     /// 1-based line of a byte offset.
     pub fn line(&self, offset: usize) -> usize {
         self.position(offset).0
+    }
+
+    /// Byte offset where a 1-based line starts (saturating: lines past
+    /// the end map to the last line start).
+    pub fn offset_of_line(&self, line: usize) -> usize {
+        let i = line.saturating_sub(1).min(self.starts.len().saturating_sub(1));
+        self.starts.get(i).copied().unwrap_or(0)
     }
 }
 

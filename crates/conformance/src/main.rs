@@ -6,6 +6,8 @@
 //! cargo run -p acctrade-conformance -- --root DIR    # lint another tree
 //! cargo run -p acctrade-conformance -- --out FILE    # report path override
 //! cargo run -p acctrade-conformance -- --quiet       # no per-finding lines
+//! cargo run -p acctrade-conformance -- --write-arch-baseline
+//!                                                    # regenerate ARCH_baseline.json and exit
 //! ```
 //!
 //! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
@@ -17,10 +19,12 @@ struct Args {
     root: PathBuf,
     out: Option<PathBuf>,
     quiet: bool,
+    write_arch_baseline: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { root: PathBuf::from("."), out: None, quiet: false };
+    let mut args =
+        Args { root: PathBuf::from("."), out: None, quiet: false, write_arch_baseline: false };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -33,8 +37,12 @@ fn parse_args() -> Result<Args, String> {
                 args.out = Some(PathBuf::from(v));
             }
             "--quiet" => args.quiet = true,
+            "--write-arch-baseline" => args.write_arch_baseline = true,
             "--help" | "-h" => {
-                println!("usage: acctrade-conformance [--root DIR] [--out FILE] [--quiet]");
+                println!(
+                    "usage: acctrade-conformance [--root DIR] [--out FILE] [--quiet] \
+                     [--write-arch-baseline]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument `{other}`")),
@@ -51,6 +59,22 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if args.write_arch_baseline {
+        return match conformance::write_arch_baseline(&args.root) {
+            Ok(_) => {
+                eprintln!(
+                    "conformance: wrote {} — review the diff and commit it",
+                    args.root.join(conformance::arch::BASELINE_PATH).display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("{err}");
+                ExitCode::from(2)
+            }
+        };
+    }
 
     let report = match conformance::run(&args.root) {
         Ok(report) => report,
@@ -82,11 +106,13 @@ fn main() -> ExitCode {
     }
     eprintln!(
         "conformance: {} file(s), {} manifest(s) scanned; {} finding(s), {} suppressed \
-         by annotation → {}",
+         by annotation; {} unsafe site(s); arch {} → {}",
         report.files_scanned,
         report.manifests_scanned,
         report.findings.len(),
         report.suppressed,
+        report.unsafe_inventory.len(),
+        report.arch_digest,
         out.display()
     );
 

@@ -1,11 +1,14 @@
 //! The analyzer's output model: [`Finding`]s collected into a
-//! [`LintReport`], serialized through `foundation::json::JsonCodec`
-//! into the machine-diffable `LINT_report.json`.
+//! versioned [`LintReport`] (schema `acctrade-lint/v2`), serialized
+//! through `foundation::json::JsonCodec` into the machine-diffable
+//! `LINT_report.json`, plus the [`ArchBaseline`] types behind the
+//! committed `ARCH_baseline.json`.
 //!
 //! Determinism contract (the report is itself gated by CI's double-run
-//! `cmp`): findings are sorted by `(file, line, col, rule)`, paths are
-//! workspace-relative with forward slashes, and nothing time- or
-//! environment-dependent is recorded.
+//! `cmp`): findings are sorted by `(file, line, col, rule)`, rule
+//! counts by rule slug, the unsafe inventory by `(file, line, kind)`,
+//! paths are workspace-relative with forward slashes, and nothing
+//! time- or environment-dependent is recorded.
 
 use foundation::json_codec_struct;
 use std::fmt;
@@ -13,8 +16,7 @@ use std::fmt;
 /// One rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule slug (`zero-dep`, `determinism`, `panic-policy`,
-    /// `lock-discipline`).
+    /// Rule slug (see [`crate::rules::KNOWN_RULES`]).
     pub rule: String,
     /// Workspace-relative path, `/`-separated on every platform.
     pub file: String,
@@ -36,17 +38,96 @@ impl fmt::Display for Finding {
     }
 }
 
-/// The full deterministic lint report.
+/// Per-rule tally: how many findings survived and how many matches the
+/// tree's `conformance: allow(…)` annotations waived. Every known rule
+/// appears, zeros included, so a rule silently never running is itself
+/// visible in the diff.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleCount {
+    /// Rule slug.
+    pub rule: String,
+    /// Unallowed findings under this rule.
+    pub findings: u64,
+    /// Annotation-waived matches under this rule.
+    pub suppressed: u64,
+}
+
+/// One `unsafe` site in the workspace (documented or not): the
+/// report's auditable unsafe inventory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsafeSite {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the `unsafe` keyword.
+    pub line: u64,
+    /// Site kind: `block`, `fn`, `impl`, or `trait`.
+    pub kind: String,
+}
+
+/// One crate's row in the architecture baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchCrate {
+    /// `[package] name` (e.g. `acctrade-net`).
+    pub package: String,
+    /// The library target name consumers `use` (e.g. `acctrade_net`,
+    /// or an override like `foundation`).
+    pub lib_name: String,
+    /// Declared `[dependencies]`, as package names, sorted.
+    pub deps: Vec<String>,
+    /// Declared `[dev-dependencies]`, as package names, sorted.
+    pub dev_deps: Vec<String>,
+}
+
+/// The committed architecture baseline (`ARCH_baseline.json`, schema
+/// `acctrade-arch/v1`): the crate DAG the workspace is allowed to
+/// have. Any divergence is an `arch` finding until the baseline is
+/// regenerated and the diff reviewed.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ArchBaseline {
+    /// Schema tag, `acctrade-arch/v1`.
+    pub schema: String,
+    /// All workspace crates, sorted by package name.
+    pub crates: Vec<ArchCrate>,
+}
+
+/// The full deterministic lint report (schema `acctrade-lint/v2`).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LintReport {
+    /// Schema tag, `acctrade-lint/v2`.
+    pub schema: String,
     /// Number of `.rs` files scanned.
     pub files_scanned: u64,
     /// Number of `Cargo.toml` manifests scanned.
     pub manifests_scanned: u64,
     /// Findings silenced by `// conformance: allow(<rule>)` annotations.
     pub suppressed: u64,
+    /// FNV-1a 64 digest (16 hex digits) of the current architecture
+    /// graph — the one-line fingerprint of "which crates, which edges".
+    pub arch_digest: String,
+    /// Per-rule tallies, sorted by rule slug, zeros included.
+    pub rule_counts: Vec<RuleCount>,
+    /// Every `unsafe` site in non-test workspace code, sorted.
+    pub unsafe_inventory: Vec<UnsafeSite>,
     /// Unallowed findings, sorted by `(file, line, col, rule)`.
     pub findings: Vec<Finding>,
+}
+
+/// The v2 schema tag.
+pub const LINT_SCHEMA: &str = "acctrade-lint/v2";
+
+impl Default for LintReport {
+    fn default() -> Self {
+        LintReport {
+            schema: LINT_SCHEMA.to_string(),
+            files_scanned: 0,
+            manifests_scanned: 0,
+            suppressed: 0,
+            arch_digest: String::new(),
+            rule_counts: Vec::new(),
+            unsafe_inventory: Vec::new(),
+            findings: Vec::new(),
+        }
+    }
 }
 
 impl LintReport {
@@ -56,6 +137,9 @@ impl LintReport {
         self.findings.sort_by(|a, b| {
             (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule))
         });
+        self.rule_counts.sort_by(|a, b| a.rule.cmp(&b.rule));
+        self.unsafe_inventory
+            .sort_by(|a, b| (&a.file, a.line, &a.kind).cmp(&(&b.file, b.line, &b.kind)));
     }
 
     /// Does the tree pass (no unallowed findings)?
@@ -66,7 +150,20 @@ impl LintReport {
 
 json_codec_struct! {
     Finding { rule, file, line, col, message }
-    LintReport { files_scanned, manifests_scanned, suppressed, findings }
+    RuleCount { rule, findings, suppressed }
+    UnsafeSite { file, line, kind }
+    ArchCrate { package, lib_name, deps, dev_deps }
+    ArchBaseline { schema, crates }
+    LintReport {
+        schema,
+        files_scanned,
+        manifests_scanned,
+        suppressed,
+        arch_digest,
+        rule_counts,
+        unsafe_inventory,
+        findings,
+    }
 }
 
 #[cfg(test)]
@@ -89,13 +186,13 @@ mod tests {
         let mut report = LintReport {
             files_scanned: 2,
             manifests_scanned: 1,
-            suppressed: 0,
             findings: vec![
                 finding("b.rs", 1, 1, "determinism"),
                 finding("a.rs", 9, 2, "panic-policy"),
                 finding("a.rs", 9, 2, "determinism"),
                 finding("a.rs", 3, 7, "panic-policy"),
             ],
+            ..LintReport::default()
         };
         report.sort();
         let order: Vec<(String, u64, String)> = report
@@ -120,7 +217,15 @@ mod tests {
             files_scanned: 1,
             manifests_scanned: 1,
             suppressed: 3,
+            arch_digest: "00deadbeef00cafe".into(),
+            rule_counts: vec![RuleCount { rule: "arch".into(), findings: 0, suppressed: 0 }],
+            unsafe_inventory: vec![UnsafeSite {
+                file: "crates/telemetry/src/trace.rs".into(),
+                line: 244,
+                kind: "block".into(),
+            }],
             findings: vec![finding("x.rs", 2, 5, "lock-discipline")],
+            ..LintReport::default()
         };
         report.sort();
         let a = json::to_string_pretty(&report);
@@ -128,5 +233,21 @@ mod tests {
         assert_eq!(a, b);
         let back: LintReport = json::from_str(&a).expect("roundtrip");
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn arch_baseline_roundtrips() {
+        let base = ArchBaseline {
+            schema: "acctrade-arch/v1".into(),
+            crates: vec![ArchCrate {
+                package: "acctrade-net".into(),
+                lib_name: "acctrade_net".into(),
+                deps: vec!["acctrade-foundation".into(), "acctrade-telemetry".into()],
+                dev_deps: vec![],
+            }],
+        };
+        let s = json::to_string_pretty(&base);
+        let back: ArchBaseline = json::from_str(&s).expect("roundtrip");
+        assert_eq!(back, base);
     }
 }

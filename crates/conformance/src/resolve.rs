@@ -1,0 +1,609 @@
+//! The structural resolver: a single pass over the token stream that
+//! recovers the *shape* the cross-file rules need — module declarations,
+//! `use` trees, module-level `pub` items, qualified path chains, and the
+//! per-file conformance pragmas — without ever becoming a real parser.
+//!
+//! The resolver walks the significant tokens once, maintaining a brace
+//! stack annotated with the kind of item that opened each block
+//! ([`BlockKind`]). "Module level" means every enclosing block is a
+//! `mod` block; only there do `mod name;`, `use …;`, and `pub` item
+//! declarations have their cross-file meanings.
+//!
+//! Totality contract (property-tested alongside the lexer's): resolving
+//! any input never panics, and every extracted element carries a byte
+//! span that lies inside the input, starts/ends on token boundaries, and
+//! is disjoint from and ordered against its siblings of the same
+//! element class.
+//!
+//! Pragmas are whole-file policy declarations carried in comments:
+//!
+//! * `// conformance: atomics(relaxed, acquire, release, acqrel)` —
+//!   declares the file's atomics-ordering policy (see
+//!   [`crate::rules`]); a file that touches `Ordering::…` without a
+//!   policy, or outside its declared set, is findings-worthy.
+//! * `// conformance: reactor-path` — declares the file part of the
+//!   reactor hot path, arming the `blocking-call` rule there.
+
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// What kind of item opened a brace block (approximate, token-level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// A `mod name { … }` body — module level continues inside.
+    Mod,
+    /// An `impl … { … }` body.
+    Impl,
+    /// A `trait … { … }` body.
+    Trait,
+    /// A `fn … { … }` body.
+    Fn,
+    /// A `struct`/`enum`/`union` body.
+    Type,
+    /// A `use …::{…}` group (not a scope at all).
+    Use,
+    /// Anything else: expression blocks, match bodies, closures.
+    Expr,
+}
+
+/// One `mod` declaration found at module level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModDecl {
+    /// Declared module name.
+    pub name: String,
+    /// `true` for `mod name { … }`, `false` for out-of-line `mod name;`.
+    pub inline: bool,
+    /// Byte span from the `mod` keyword through `;` or the header.
+    pub span: (usize, usize),
+}
+
+/// One `use` declaration, flattened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseDecl {
+    /// First path segment (after an optional leading `::`): the crate
+    /// or namespace the import resolves through (`std`, `crate`,
+    /// `super`, `self`, or an external crate's lib name).
+    pub root: String,
+    /// Every identifier appearing anywhere in the use tree, in source
+    /// order — segments, leaves, and `as` renames alike. The cross-file
+    /// rules only need name *mentions*, not precise leaf resolution.
+    pub idents: Vec<String>,
+    /// Whether the tree contains a `*` glob.
+    pub glob: bool,
+    /// Whether the declaration is `pub use` (a re-export).
+    pub is_pub: bool,
+    /// Byte span from `use` through `;`.
+    pub span: (usize, usize),
+}
+
+/// Kind of a module-level `pub` item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PubKind {
+    /// `pub fn`.
+    Fn,
+    /// `pub struct`.
+    Struct,
+    /// `pub enum`.
+    Enum,
+    /// `pub trait`.
+    Trait,
+    /// `pub type`.
+    Type,
+    /// `pub const`.
+    Const,
+    /// `pub static`.
+    Static,
+    /// `pub mod`.
+    Mod,
+    /// `pub macro_rules!`-exported macros are not pub items; `pub use`
+    /// re-exports are tracked as [`UseDecl`]s instead.
+    Union,
+}
+
+impl PubKind {
+    /// Stable slug for reports and messages.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PubKind::Fn => "fn",
+            PubKind::Struct => "struct",
+            PubKind::Enum => "enum",
+            PubKind::Trait => "trait",
+            PubKind::Type => "type",
+            PubKind::Const => "const",
+            PubKind::Static => "static",
+            PubKind::Mod => "mod",
+            PubKind::Union => "union",
+        }
+    }
+}
+
+/// One module-level `pub` item declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PubItem {
+    /// Item name.
+    pub name: String,
+    /// Item kind.
+    pub kind: PubKind,
+    /// Byte offset of the `pub` keyword.
+    pub offset: usize,
+}
+
+/// One qualified path chain `root::a::b` appearing outside `use` trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathChain {
+    /// First segment.
+    pub root: String,
+    /// Remaining segments, in order.
+    pub segments: Vec<String>,
+    /// Byte span of the whole chain.
+    pub span: (usize, usize),
+}
+
+/// The atomics orderings a pragma may grant.
+pub const GRANTABLE_ORDERINGS: [&str; 4] = ["relaxed", "acquire", "release", "acqrel"];
+
+/// Per-file conformance pragmas.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Pragmas {
+    /// `Some(set)` once the file declares `conformance: atomics(…)`;
+    /// entries are lowercased ordering names. Unknown names are kept so
+    /// the rule can flag them.
+    pub atomics: Option<Vec<String>>,
+    /// Line (1-based) of the atomics pragma, for findings.
+    pub atomics_line: usize,
+    /// The file declared `conformance: reactor-path`.
+    pub reactor_path: bool,
+}
+
+/// Everything the resolver recovers from one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileFacts {
+    /// Module declarations at module level.
+    pub mods: Vec<ModDecl>,
+    /// `use` declarations at module level.
+    pub uses: Vec<UseDecl>,
+    /// Module-level `pub` items.
+    pub pub_items: Vec<PubItem>,
+    /// Qualified path chains anywhere in the file.
+    pub paths: Vec<PathChain>,
+    /// Whole-file policy pragmas.
+    pub pragmas: Pragmas,
+    /// Every identifier in the file (deduplicated, sorted) — the
+    /// reference universe for glob-import credit in `pub-hygiene`.
+    pub idents: Vec<String>,
+}
+
+/// Marker a comment carries to declare a file-level pragma.
+const PRAGMA_MARKER: &str = "conformance: ";
+
+/// Resolve one source file. Total: never panics on any input.
+pub fn resolve_file(source: &str) -> FileFacts {
+    let tokens = tokenize(source);
+    resolve_tokens(source, &tokens)
+}
+
+/// Resolve from an existing token stream (shared with the rule pass so
+/// the file is only lexed once).
+pub fn resolve_tokens(source: &str, tokens: &[Token]) -> FileFacts {
+    let mut facts = FileFacts::default();
+    collect_pragmas(source, tokens, &mut facts.pragmas);
+
+    let sig: Vec<Token> = tokens
+        .iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+        .copied()
+        .collect();
+
+    let text = |i: usize| -> &str { sig.get(i).map(|t| t.text(source)).unwrap_or("") };
+    let kind = |i: usize| -> Option<TokenKind> { sig.get(i).map(|t| t.kind) };
+
+    // The brace stack: kinds of the blocks we are inside.
+    let mut stack: Vec<BlockKind> = Vec::new();
+    // Significant-token index where the current "item head" started —
+    // the previous `;`, `{`, or `}` boundary — used to classify braces.
+    let mut head_start = 0usize;
+
+    let mut idents: Vec<String> = Vec::new();
+    let mut i = 0usize;
+    let n = sig.len();
+    while i < n {
+        let at_module_level = stack.iter().all(|k| *k == BlockKind::Mod);
+        match text(i) {
+            "{" => {
+                let kind = classify_block(&sig, source, head_start, i);
+                stack.push(kind);
+                head_start = i + 1;
+                i += 1;
+            }
+            "}" => {
+                stack.pop();
+                head_start = i + 1;
+                i += 1;
+            }
+            ";" => {
+                head_start = i + 1;
+                i += 1;
+            }
+            "use" if at_module_level && kind(i) == Some(TokenKind::Ident) => {
+                let is_pub = head_has_pub(&sig, source, head_start, i);
+                let (decl, next) = parse_use(&sig, source, i);
+                if let Some(mut decl) = decl {
+                    decl.is_pub = is_pub;
+                    for id in &decl.idents {
+                        idents.push(id.clone());
+                    }
+                    facts.uses.push(decl);
+                }
+                head_start = next;
+                i = next;
+            }
+            "mod" if at_module_level && kind(i) == Some(TokenKind::Ident) => {
+                // `mod name;` or `mod name {` — the brace itself is
+                // handled on a later iteration; here we only record the
+                // declaration.
+                if kind(i + 1) == Some(TokenKind::Ident) {
+                    let name = text(i + 1).to_string();
+                    let inline = text(i + 2) == "{";
+                    let end = sig.get(i + 1).map(|t| t.end).unwrap_or(sig[i].end);
+                    facts.mods.push(ModDecl {
+                        name: name.clone(),
+                        inline,
+                        span: (sig[i].start, end),
+                    });
+                    idents.push(name);
+                }
+                i += 1;
+            }
+            "pub" if at_module_level && kind(i) == Some(TokenKind::Ident) => {
+                if let Some(item) = parse_pub_item(&sig, source, i) {
+                    idents.push(item.name.clone());
+                    facts.pub_items.push(item);
+                }
+                i += 1;
+            }
+            _ => {
+                if kind(i) == Some(TokenKind::Ident) {
+                    // Qualified path chain: ident (:: ident)+ — collect
+                    // it whole so `i` lands past the chain.
+                    if text(i + 1) == ":" && text(i + 2) == ":" && kind(i + 3) == Some(TokenKind::Ident)
+                    {
+                        let root = text(i).to_string();
+                        let start = sig[i].start;
+                        let mut segments = Vec::new();
+                        idents.push(root.clone());
+                        let mut j = i + 1;
+                        while text(j) == ":"
+                            && text(j + 1) == ":"
+                            && kind(j + 2) == Some(TokenKind::Ident)
+                        {
+                            segments.push(text(j + 2).to_string());
+                            idents.push(text(j + 2).to_string());
+                            j += 3;
+                        }
+                        let end = sig.get(j - 1).map(|t| t.end).unwrap_or(start);
+                        facts.paths.push(PathChain { root, segments, span: (start, end) });
+                        i = j;
+                        continue;
+                    }
+                    idents.push(text(i).to_string());
+                }
+                i += 1;
+            }
+        }
+    }
+
+    idents.sort();
+    idents.dedup();
+    facts.idents = idents;
+    facts
+}
+
+/// Does the item head `[head_start, at)` contain a bare `pub` (not
+/// `pub(…)`) — used to mark `pub use` re-exports.
+fn head_has_pub(sig: &[Token], source: &str, head_start: usize, at: usize) -> bool {
+    let mut i = head_start;
+    while i < at {
+        if sig[i].text(source) == "pub" {
+            return sig.get(i + 1).map(|t| t.text(source)) != Some("(");
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Classify the block opened by the `{` at significant index `open`,
+/// whose item head started at `head_start`.
+fn classify_block(sig: &[Token], source: &str, head_start: usize, open: usize) -> BlockKind {
+    let mut depth = 0i64; // `(`/`[` nesting inside the head (generics use <>, ignored)
+    let mut kind = BlockKind::Expr;
+    let mut i = head_start;
+    while i < open {
+        let t = sig[i].text(source);
+        match t {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            _ if depth == 0 => match t {
+                "impl" => kind = BlockKind::Impl,
+                "trait" => kind = BlockKind::Trait,
+                "fn" => kind = BlockKind::Fn,
+                "mod" => kind = BlockKind::Mod,
+                "struct" | "enum" | "union" => kind = BlockKind::Type,
+                "use" => kind = BlockKind::Use,
+                // An `=` or control keyword before the brace means the
+                // brace opens an expression, whatever came earlier
+                // (`pub const X: Foo = Foo { … };`).
+                "=" | "match" | "if" | "else" | "while" | "for" | "loop" | "return"
+                | "break" => kind = BlockKind::Expr,
+                _ => {}
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+    kind
+}
+
+/// Parse a `use …;` declaration starting at the `use` keyword's
+/// significant index. Returns the declaration (when a path root exists)
+/// and the index just past the terminating `;` (or wherever recovery
+/// stopped). Total on malformed input.
+fn parse_use(sig: &[Token], source: &str, use_idx: usize) -> (Option<UseDecl>, usize) {
+    let text = |i: usize| -> &str { sig.get(i).map(|t| t.text(source)).unwrap_or("") };
+    let n = sig.len();
+    let mut i = use_idx + 1;
+    // Optional leading `::`.
+    if text(i) == ":" && text(i + 1) == ":" {
+        i += 2;
+    }
+    let mut root: Option<String> = None;
+    let mut idents: Vec<String> = Vec::new();
+    let mut glob = false;
+    let mut depth = 0i64;
+    while i < n {
+        let t = text(i);
+        match t {
+            ";" if depth == 0 => {
+                i += 1;
+                break;
+            }
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    // Stray close: the use tree is malformed — stop
+                    // without consuming the brace so the block stack
+                    // stays balanced.
+                    break;
+                }
+            }
+            "*" => glob = true,
+            _ => {
+                if sig[i].kind == TokenKind::Ident && t != "as" && t != "r" {
+                    if root.is_none() {
+                        root = Some(t.to_string());
+                    }
+                    idents.push(t.to_string());
+                }
+            }
+        }
+        i += 1;
+    }
+    let end = sig.get(i.saturating_sub(1)).map(|t| t.end).unwrap_or_else(|| {
+        sig.get(use_idx).map(|t| t.end).unwrap_or(0)
+    });
+    let decl = root.map(|root| UseDecl {
+        root,
+        idents,
+        glob,
+        is_pub: false,
+        span: (sig[use_idx].start, end),
+    });
+    (decl, i)
+}
+
+/// Parse a module-level `pub` item at the `pub` keyword's significant
+/// index. Skips `pub(crate)`-style restricted visibility (those are not
+/// workspace exports) and `pub use` (tracked as a [`UseDecl`]).
+fn parse_pub_item(sig: &[Token], source: &str, pub_idx: usize) -> Option<PubItem> {
+    let text = |i: usize| -> &str { sig.get(i).map(|t| t.text(source)).unwrap_or("") };
+    let mut i = pub_idx + 1;
+    if text(i) == "(" {
+        return None; // pub(crate) / pub(super) / pub(in …): not exported
+    }
+    // Skip modifier keywords between `pub` and the item keyword.
+    while matches!(text(i), "unsafe" | "const" | "async" | "extern") {
+        i += 1;
+        if text(i - 1) == "extern" && sig.get(i).map(|t| t.kind) == Some(TokenKind::Str) {
+            i += 1; // the ABI string of `extern "C"`
+        }
+        // `pub const NAME` — `const` doubles as an item keyword when the
+        // next token is the name followed by `:`.
+        if text(i - 1) == "const"
+            && sig.get(i).map(|t| t.kind) == Some(TokenKind::Ident)
+            && !matches!(text(i), "fn" | "unsafe" | "extern" | "async")
+        {
+            return Some(PubItem {
+                name: text(i).to_string(),
+                kind: PubKind::Const,
+                offset: sig[pub_idx].start,
+            });
+        }
+    }
+    let kind = match text(i) {
+        "fn" => PubKind::Fn,
+        "struct" => PubKind::Struct,
+        "enum" => PubKind::Enum,
+        "trait" => PubKind::Trait,
+        "type" => PubKind::Type,
+        "static" => PubKind::Static,
+        "mod" => PubKind::Mod,
+        "union" => PubKind::Union,
+        _ => return None, // pub use (handled as UseDecl) or malformed
+    };
+    // `pub static mut NAME` / `pub mod NAME`.
+    let mut j = i + 1;
+    if text(j) == "mut" {
+        j += 1;
+    }
+    if sig.get(j).map(|t| t.kind) != Some(TokenKind::Ident) {
+        return None;
+    }
+    Some(PubItem { name: text(j).to_string(), kind, offset: sig[pub_idx].start })
+}
+
+/// Scan comment tokens for `conformance: atomics(…)` and
+/// `conformance: reactor-path` pragmas.
+fn collect_pragmas(source: &str, tokens: &[Token], pragmas: &mut Pragmas) {
+    let lines = crate::lexer::LineIndex::new(source);
+    for t in tokens {
+        if !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        let text = t.text(source);
+        let mut rest = text;
+        while let Some(at) = rest.find(PRAGMA_MARKER) {
+            let tail = &rest[at + PRAGMA_MARKER.len()..];
+            if let Some(args) = tail.strip_prefix("atomics(") {
+                if let Some(end) = args.find(')') {
+                    let set: Vec<String> = args[..end]
+                        .split(',')
+                        .map(|s| s.trim().to_ascii_lowercase())
+                        .filter(|s| !s.is_empty())
+                        .collect();
+                    if pragmas.atomics.is_none() {
+                        pragmas.atomics = Some(set);
+                        pragmas.atomics_line = lines.line(t.start);
+                    }
+                }
+            } else if tail.starts_with("reactor-path") {
+                pragmas.reactor_path = true;
+            }
+            rest = &rest[at + PRAGMA_MARKER.len()..];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mod_decls_inline_and_out_of_line() {
+        let src = "mod alpha;\npub mod beta { mod inner; }\nfn f() { }\n";
+        let facts = resolve_file(src);
+        let names: Vec<(&str, bool)> =
+            facts.mods.iter().map(|m| (m.name.as_str(), m.inline)).collect();
+        assert_eq!(names, vec![("alpha", false), ("beta", true), ("inner", false)]);
+    }
+
+    #[test]
+    fn mods_inside_fn_bodies_are_not_module_level() {
+        let src = "fn f() { mod hidden; }\nmod seen;\n";
+        let facts = resolve_file(src);
+        let names: Vec<&str> = facts.mods.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["seen"]);
+    }
+
+    #[test]
+    fn use_trees_flatten_with_globs_and_renames() {
+        let src = "use std::collections::{BTreeMap, btree_map::Entry};\n\
+                   use foundation::sync::Mutex as Lock;\n\
+                   pub use ::economy::*;\n";
+        let facts = resolve_file(src);
+        assert_eq!(facts.uses.len(), 3);
+        assert_eq!(facts.uses[0].root, "std");
+        assert!(facts.uses[0].idents.contains(&"BTreeMap".to_string()));
+        assert!(facts.uses[0].idents.contains(&"Entry".to_string()));
+        assert!(!facts.uses[0].glob);
+        assert_eq!(facts.uses[1].root, "foundation");
+        assert!(facts.uses[1].idents.contains(&"Lock".to_string()));
+        assert_eq!(facts.uses[2].root, "economy");
+        assert!(facts.uses[2].glob);
+        assert!(facts.uses[2].is_pub);
+    }
+
+    #[test]
+    fn pub_items_are_module_level_only() {
+        let src = "pub fn top() {}\n\
+                   pub(crate) fn internal() {}\n\
+                   pub struct S { pub field: u32 }\n\
+                   impl S { pub fn method(&self) {} }\n\
+                   pub const LIMIT: usize = 9;\n\
+                   pub static mut COUNTER: u32 = 0;\n\
+                   mod m { pub enum E { A } }\n";
+        let facts = resolve_file(src);
+        let items: Vec<(&str, PubKind)> =
+            facts.pub_items.iter().map(|p| (p.name.as_str(), p.kind)).collect();
+        assert_eq!(
+            items,
+            vec![
+                ("top", PubKind::Fn),
+                ("S", PubKind::Struct),
+                ("LIMIT", PubKind::Const),
+                ("COUNTER", PubKind::Static),
+                ("E", PubKind::Enum),
+            ]
+        );
+    }
+
+    #[test]
+    fn path_chains_collect_roots_and_segments() {
+        let src = "fn f() { let x = telemetry::with_recorder(|r| r.incr()); acctrade_net::clock::SimClock::new(); }";
+        let facts = resolve_file(src);
+        let chains: Vec<(&str, Vec<&str>)> = facts
+            .paths
+            .iter()
+            .map(|p| (p.root.as_str(), p.segments.iter().map(String::as_str).collect()))
+            .collect();
+        assert!(chains.contains(&("telemetry", vec!["with_recorder"])));
+        assert!(chains.contains(&("acctrade_net", vec!["clock", "SimClock", "new"])));
+    }
+
+    #[test]
+    fn pragmas_parse_atomics_and_reactor_path() {
+        let src = "//! Module docs.\n\
+                   // conformance: atomics(relaxed, acquire, release)\n\
+                   // conformance: reactor-path — the serve loop must never block\n\
+                   fn f() {}\n";
+        let facts = resolve_file(src);
+        assert_eq!(
+            facts.pragmas.atomics.as_deref(),
+            Some(&["relaxed".to_string(), "acquire".into(), "release".into()][..])
+        );
+        assert_eq!(facts.pragmas.atomics_line, 2);
+        assert!(facts.pragmas.reactor_path);
+    }
+
+    #[test]
+    fn struct_literal_braces_do_not_fake_module_level() {
+        let src = "fn f() { let s = S { a: 1 }; }\npub fn visible() {}\n";
+        let facts = resolve_file(src);
+        assert_eq!(facts.pub_items.len(), 1);
+        assert_eq!(facts.pub_items[0].name, "visible");
+    }
+
+    #[test]
+    fn malformed_input_is_total() {
+        for src in ["use ;;;", "pub", "mod", "use a::{b, {", "pub fn", "}}}{{{", "use {x}"] {
+            let _ = resolve_file(src); // must not panic
+        }
+    }
+
+    #[test]
+    fn spans_lie_inside_input_and_are_ordered() {
+        let src = "use a::b;\nmod m;\npub fn f() { x::y(); }\n";
+        let facts = resolve_file(src);
+        let mut prev = 0usize;
+        for u in &facts.uses {
+            assert!(u.span.0 >= prev && u.span.1 <= src.len() && u.span.0 < u.span.1);
+            prev = u.span.1;
+        }
+        for p in &facts.paths {
+            assert!(p.span.0 < p.span.1 && p.span.1 <= src.len());
+        }
+    }
+}

@@ -1,17 +1,24 @@
 //! The conformance rules over lexed Rust sources.
 //!
-//! | rule              | what it forbids                                        | where it applies |
-//! |-------------------|--------------------------------------------------------|------------------|
-//! | `zero-dep`        | external crates in any manifest (see [`crate::manifest`]) | every `Cargo.toml` |
-//! | `determinism`     | `SystemTime::now` / `Instant::now` / `RandomState`; `HashMap`/`HashSet` in output-feeding crates | lib/bin/example code; the hash ban only in `core`, `crawler`, `store`, `telemetry`, `workload` libs |
-//! | `panic-policy`    | `.unwrap()` / `.expect(` / `panic!` / `todo!`          | library code |
-//! | `lock-discipline` | raw `std::sync::Mutex` / `std::sync::RwLock`           | everything outside `foundation` |
+//! | rule               | what it forbids                                        | where it applies |
+//! |--------------------|--------------------------------------------------------|------------------|
+//! | `zero-dep`         | external crates in any manifest (see [`crate::manifest`]) | every `Cargo.toml` |
+//! | `determinism`      | `SystemTime::now` / `Instant::now` / `RandomState`; `HashMap`/`HashSet` in output-feeding crates | lib/bin/example code; the hash ban only in `core`, `crawler`, `store`, `telemetry`, `workload` libs |
+//! | `panic-policy`     | `.unwrap()` / `.expect(` / `panic!` / `todo!`          | library code |
+//! | `lock-discipline`  | raw `std::sync::Mutex` / `std::sync::RwLock`           | everything outside `foundation` |
+//! | `unsafe-audit`     | `unsafe` without a `// SAFETY:` justification          | lib/bin/example code |
+//! | `atomics-ordering` | `Ordering::` outside the file's declared policy; `SeqCst` anywhere | lib/bin/example code |
+//! | `blocking-call`    | `sleep` / `lock` / `wait*` / `recv*` / `read_to_*` calls | files declared `conformance: reactor-path` |
+//! | `arch`             | DAG drift vs `ARCH_baseline.json`, cycles, undeclared source-level edges, orphan files (see [`crate::arch`]) | manifests + whole workspace |
+//! | `pub-hygiene`      | module-level `pub` items no other crate references (see [`crate::arch`]) | library code |
+//! | `stale-suppression`| `conformance: allow(…)` annotations that waive nothing | every scanned file |
 //!
 //! Exemptions, in order of evaluation:
 //!
 //! 1. **Location**: `tests/` and `benches/` directories are never
-//!    scanned by source rules; `panic-policy` additionally skips bins
-//!    and examples (operator-facing entry points may crash loudly).
+//!    scanned by per-file source rules; `panic-policy` additionally
+//!    skips bins and examples (operator-facing entry points may crash
+//!    loudly).
 //! 2. **`#[cfg(test)]` regions**: the scanner tracks the byte span of
 //!    every `#[cfg(test)]`-gated item (attribute through the closing
 //!    brace or semicolon) and suppresses findings inside; a
@@ -23,7 +30,19 @@
 //! 4. **Annotations**: a comment `// conformance: allow(<rule>)` on a
 //!    line (or the line directly above) waives that rule there;
 //!    waived matches are tallied in `LintReport::suppressed` so silent
-//!    debt stays visible.
+//!    debt stays visible — and an annotation that waives *nothing* is
+//!    itself a `stale-suppression` finding.
+//!
+//! Whole-file policy pragmas (parsed by [`crate::resolve`]):
+//!
+//! * `// conformance: atomics(relaxed, acquire, release, acqrel)` —
+//!   declares which atomic orderings the file may use. A file that
+//!   touches `Ordering::` without a pragma, or outside its declared
+//!   set, gets an `atomics-ordering` finding. `seqcst` is not
+//!   grantable: `Ordering::SeqCst` is flagged as a smell everywhere
+//!   and can only be waived per line, with a reason.
+//! * `// conformance: reactor-path` — declares the file part of the
+//!   serving hot path, arming `blocking-call` there.
 //!
 //! The `HashMap`/`HashSet` facet deliberately over-approximates: with
 //! token-level analysis we cannot see *iteration*, so the rule flags
@@ -32,8 +51,28 @@
 //! line with the reason the map never leaks ordering.
 
 use crate::lexer::{tokenize, LineIndex, Token, TokenKind};
-use crate::report::Finding;
+use crate::report::{Finding, UnsafeSite};
+use crate::resolve::{self, FileFacts, GRANTABLE_ORDERINGS};
 use crate::workspace::{Role, SourceFile};
+use std::cell::Cell;
+
+/// Every rule slug the analyzer can emit. `conformance: allow(<slug>)`
+/// annotations naming anything else are ignored as allow sites (doc
+/// text often shows the syntax with a placeholder), but a
+/// *slug-shaped* unknown name is flagged — it is almost certainly a
+/// typo silently waiving nothing.
+pub const KNOWN_RULES: [&str; 10] = [
+    "arch",
+    "atomics-ordering",
+    "blocking-call",
+    "determinism",
+    "lock-discipline",
+    "panic-policy",
+    "pub-hygiene",
+    "stale-suppression",
+    "unsafe-audit",
+    "zero-dep",
+];
 
 /// Crates whose in-memory collections feed serialized output; hash
 /// containers are banned in their library code.
@@ -67,29 +106,148 @@ const ALLOWLIST: [(&str, &str); 5] = [
 /// line below.
 const ALLOW_MARKER: &str = "conformance: allow(";
 
-/// Result of scanning one file: real findings plus the count of
-/// annotation-suppressed matches.
-#[derive(Debug, Default)]
-pub struct FileScan {
-    /// Unallowed findings.
+/// Method-shaped calls that block the calling thread; banned in files
+/// declared `conformance: reactor-path`. `try_lock`/`try_recv` and
+/// bounded `read`/`write` on a non-blocking socket are the sanctioned
+/// alternatives, so they are deliberately absent.
+const BLOCKING_CALLS: [&str; 10] = [
+    "lock",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "recv",
+    "recv_timeout",
+    "sleep",
+    "wait",
+    "wait_timeout",
+    "wait_while",
+];
+
+/// One `conformance: allow(<rule>)` annotation site. The `used` flag
+/// is interior-mutable so cross-file passes (which only hold shared
+/// references to analyses) can mark consumption.
+#[derive(Debug)]
+pub struct AllowSite {
+    /// Line (1-based) of the comment carrying the annotation.
+    pub line: usize,
+    /// The rule slug it waives.
+    pub rule: String,
+    /// Whether any emission consumed this annotation.
+    pub used: Cell<bool>,
+}
+
+impl AllowSite {
+    /// An annotation covers its own line (trailing form) and the next
+    /// line (standalone form).
+    fn covers(&self, line: usize) -> bool {
+        line == self.line || line == self.line + 1
+    }
+}
+
+/// Everything the analyzer knows about one file after the per-file
+/// pass: findings, suppression state, resolver facts, and the
+/// machinery cross-file passes need to emit with the same exemption
+/// semantics.
+#[derive(Debug)]
+pub struct FileAnalysis {
+    /// Unallowed findings from per-file rules, sorted.
     pub findings: Vec<Finding>,
-    /// Matches waived by `conformance: allow(...)` annotations.
-    pub suppressed: u64,
+    /// Per-rule annotation-waived counts, `(rule, count)`, unsorted.
+    pub suppressed: Vec<(String, u64)>,
     /// Module names declared as `#[cfg(test)] mod <name>;` — the
     /// caller should treat the referenced sibling files as test code.
     pub test_modules: Vec<String>,
+    /// Every `unsafe` site outside test regions (documented or not).
+    pub unsafe_sites: Vec<UnsafeSite>,
+    /// Resolver output: mods, uses, pub items, paths, pragmas.
+    pub facts: FileFacts,
+    /// Line index over the file's source.
+    pub lines: LineIndex,
+    /// Allow annotations, with consumption tracking.
+    pub allows: Vec<AllowSite>,
+    /// Byte ranges covered by `#[cfg(test)]` items.
+    test_regions: Vec<(usize, usize)>,
+}
+
+impl FileAnalysis {
+    /// Is the byte offset inside a `#[cfg(test)]` region?
+    pub fn in_test_region(&self, offset: usize) -> bool {
+        self.test_regions.iter().any(|&(s, e)| (s..e).contains(&offset))
+    }
+
+    /// If an annotation waives `rule` on `line`, mark it used and
+    /// return true. Cross-file passes call this before emitting.
+    pub fn allow_and_mark(&self, line: usize, rule: &str) -> bool {
+        for a in &self.allows {
+            if a.rule == rule && a.covers(line) {
+                a.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Total annotation-waived matches in this file.
+    pub fn suppressed_total(&self) -> u64 {
+        self.suppressed.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Bump the per-rule suppressed tally.
+    fn bump_suppressed(&mut self, rule: &str) {
+        match self.suppressed.iter_mut().find(|(r, _)| r == rule) {
+            Some((_, n)) => *n += 1,
+            None => self.suppressed.push((rule.to_string(), 1)),
+        }
+    }
+
+    /// `stale-suppression`: annotations that waived nothing. Must run
+    /// after every pass that could consume an allow (including the
+    /// cross-file ones). Annotations inside `#[cfg(test)]` regions are
+    /// exempt — no rule ever fires there, so "unused" is meaningless.
+    pub fn stale_suppressions(&self, file: &SourceFile) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for a in &self.allows {
+            if a.used.get() {
+                continue;
+            }
+            let offset = self.lines.offset_of_line(a.line);
+            if self.in_test_region(offset) {
+                continue;
+            }
+            let known = KNOWN_RULES.contains(&a.rule.as_str());
+            let message = if known {
+                format!(
+                    "stale suppression: `conformance: allow({})` waives nothing here \
+                     — delete the annotation",
+                    a.rule
+                )
+            } else {
+                format!(
+                    "stale suppression: `conformance: allow({})` names an unknown \
+                     rule — typo? known rules: {}",
+                    a.rule,
+                    KNOWN_RULES.join(", ")
+                )
+            };
+            out.push(Finding {
+                rule: "stale-suppression".into(),
+                file: file.rel.clone(),
+                line: a.line as u64,
+                col: 1,
+                message,
+            });
+        }
+        out
+    }
 }
 
 struct FileCtx<'a> {
     source: &'a str,
     file: &'a SourceFile,
-    lines: LineIndex,
     /// Significant (non-whitespace, non-comment) tokens.
     sig: Vec<Token>,
-    /// Byte ranges covered by `#[cfg(test)]` items.
-    test_regions: Vec<(usize, usize)>,
-    /// `(line, rule-slug)` pairs granted by allow annotations.
-    allows: Vec<(usize, String)>,
+    /// All tokens, comments included (SAFETY detection).
+    tokens: &'a [Token],
 }
 
 impl FileCtx<'_> {
@@ -100,18 +258,16 @@ impl FileCtx<'_> {
     fn kind(&self, i: usize) -> Option<TokenKind> {
         self.sig.get(i).map(|t| t.kind)
     }
-
-    fn in_test_region(&self, offset: usize) -> bool {
-        self.test_regions.iter().any(|&(s, e)| (s..e).contains(&offset))
-    }
-
-    fn allowed(&self, line: usize, rule: &str) -> bool {
-        self.allows.iter().any(|(l, r)| *l == line && r == rule)
-    }
 }
 
-/// Scan one source file under every rule applicable to its role.
-pub fn scan_file(file: &SourceFile, source: &str) -> FileScan {
+/// Is the annotation slug plausibly a rule name? Doc text shows the
+/// syntax with placeholders like `<rule>`; those are not allow sites.
+fn slug_shaped(s: &str) -> bool {
+    !s.is_empty() && s.bytes().all(|b| b.is_ascii_lowercase() || b == b'-')
+}
+
+/// Analyze one source file under every rule applicable to its role.
+pub fn analyze_file(file: &SourceFile, source: &str) -> FileAnalysis {
     let tokens = tokenize(source);
     let lines = LineIndex::new(source);
 
@@ -127,9 +283,13 @@ pub fn scan_file(file: &SourceFile, source: &str) -> FileScan {
             let tail = &rest[at + ALLOW_MARKER.len()..];
             if let Some(end) = tail.find(')') {
                 let slug = tail[..end].trim().to_string();
-                let line = lines.line(t.start);
-                allows.push((line, slug.clone()));
-                allows.push((line + 1, slug));
+                if slug_shaped(&slug) {
+                    allows.push(AllowSite {
+                        line: lines.line(t.start),
+                        rule: slug,
+                        used: Cell::new(false),
+                    });
+                }
             }
             rest = &rest[at + ALLOW_MARKER.len()..];
         }
@@ -146,30 +306,39 @@ pub fn scan_file(file: &SourceFile, source: &str) -> FileScan {
         .copied()
         .collect();
 
-    let mut ctx = FileCtx {
-        source,
-        file,
-        lines,
-        sig,
-        test_regions: Vec::new(),
-        allows,
-    };
-    let test_modules = find_test_regions(&mut ctx);
+    let facts = resolve::resolve_tokens(source, &tokens);
 
-    let mut scan = FileScan { test_modules, ..FileScan::default() };
-    determinism_clock(&ctx, &mut scan);
-    determinism_hash(&ctx, &mut scan);
-    panic_policy(&ctx, &mut scan);
-    lock_discipline(&ctx, &mut scan);
-    scan.findings.sort_by(|a, b| (a.line, a.col, &a.rule).cmp(&(b.line, b.col, &b.rule)));
-    scan
+    let mut ctx = FileCtx { source, file, sig, tokens: &tokens };
+    let mut analysis = FileAnalysis {
+        findings: Vec::new(),
+        suppressed: Vec::new(),
+        test_modules: Vec::new(),
+        unsafe_sites: Vec::new(),
+        facts,
+        lines,
+        allows,
+        test_regions: Vec::new(),
+    };
+    analysis.test_modules = find_test_regions(&mut ctx, &mut analysis.test_regions);
+
+    determinism_clock(&ctx, &mut analysis);
+    determinism_hash(&ctx, &mut analysis);
+    panic_policy(&ctx, &mut analysis);
+    lock_discipline(&ctx, &mut analysis);
+    unsafe_audit(&ctx, &mut analysis);
+    atomics_ordering(&ctx, &mut analysis);
+    blocking_call(&ctx, &mut analysis);
+
+    analysis
+        .findings
+        .sort_by(|a, b| (a.line, a.col, &a.rule).cmp(&(b.line, b.col, &b.rule)));
+    analysis
 }
 
-/// Locate `#[cfg(test)]`-gated items; fills `ctx.test_regions` and
-/// returns the names of out-of-line `mod name;` declarations.
-fn find_test_regions(ctx: &mut FileCtx<'_>) -> Vec<String> {
+/// Locate `#[cfg(test)]`-gated items; fills `regions` and returns the
+/// names of out-of-line `mod name;` declarations.
+fn find_test_regions(ctx: &mut FileCtx<'_>, regions: &mut Vec<(usize, usize)>) -> Vec<String> {
     let mut test_modules = Vec::new();
-    let mut regions = Vec::new();
     let sig = &ctx.sig;
     let n = sig.len();
     let is = |i: usize, text: &str| sig.get(i).map(|t| t.text(ctx.source)) == Some(text);
@@ -242,21 +411,20 @@ fn find_test_regions(ctx: &mut FileCtx<'_>) -> Vec<String> {
         regions.push((start, end));
         i = j + 1;
     }
-    ctx.test_regions = regions;
     test_modules
 }
 
 /// Push a finding unless the location is test code or annotated away.
-fn emit(ctx: &FileCtx<'_>, scan: &mut FileScan, offset: usize, rule: &str, message: String) {
-    if ctx.in_test_region(offset) {
+fn emit(ctx: &FileCtx<'_>, analysis: &mut FileAnalysis, offset: usize, rule: &str, message: String) {
+    if analysis.in_test_region(offset) {
         return;
     }
-    let (line, col) = ctx.lines.position(offset);
-    if ctx.allowed(line, rule) {
-        scan.suppressed += 1;
+    let (line, col) = analysis.lines.position(offset);
+    if analysis.allow_and_mark(line, rule) {
+        analysis.bump_suppressed(rule);
         return;
     }
-    scan.findings.push(Finding {
+    analysis.findings.push(Finding {
         rule: rule.into(),
         file: ctx.file.rel.clone(),
         line: line as u64,
@@ -278,7 +446,7 @@ fn file_allowlisted(ctx: &FileCtx<'_>, rule: &str) -> bool {
 
 /// R2a — wall-clock reads and randomized hashing outside the sanctioned
 /// modules. Applies to lib, bin, and example code.
-fn determinism_clock(ctx: &FileCtx<'_>, scan: &mut FileScan) {
+fn determinism_clock(ctx: &FileCtx<'_>, analysis: &mut FileAnalysis) {
     if !matches!(ctx.file.role, Role::Lib | Role::Bin | Role::Example) {
         return;
     }
@@ -297,7 +465,7 @@ fn determinism_clock(ctx: &FileCtx<'_>, scan: &mut FileScan) {
         {
             emit(
                 ctx,
-                scan,
+                analysis,
                 ctx.sig[i].start,
                 "determinism",
                 format!(
@@ -309,7 +477,7 @@ fn determinism_clock(ctx: &FileCtx<'_>, scan: &mut FileScan) {
         if text == "RandomState" {
             emit(
                 ctx,
-                scan,
+                analysis,
                 ctx.sig[i].start,
                 "determinism",
                 "`RandomState` seeds hashing from OS entropy; iteration order \
@@ -321,7 +489,7 @@ fn determinism_clock(ctx: &FileCtx<'_>, scan: &mut FileScan) {
 }
 
 /// R2b — hash containers in output-feeding crates' library code.
-fn determinism_hash(ctx: &FileCtx<'_>, scan: &mut FileScan) {
+fn determinism_hash(ctx: &FileCtx<'_>, analysis: &mut FileAnalysis) {
     if ctx.file.role != Role::Lib {
         return;
     }
@@ -342,7 +510,7 @@ fn determinism_hash(ctx: &FileCtx<'_>, scan: &mut FileScan) {
         if text == "HashMap" || text == "HashSet" {
             emit(
                 ctx,
-                scan,
+                analysis,
                 ctx.sig[i].start,
                 "determinism",
                 format!(
@@ -356,7 +524,7 @@ fn determinism_hash(ctx: &FileCtx<'_>, scan: &mut FileScan) {
 }
 
 /// R3 — panicking calls in library code.
-fn panic_policy(ctx: &FileCtx<'_>, scan: &mut FileScan) {
+fn panic_policy(ctx: &FileCtx<'_>, analysis: &mut FileAnalysis) {
     if ctx.file.role != Role::Lib {
         return;
     }
@@ -371,7 +539,7 @@ fn panic_policy(ctx: &FileCtx<'_>, scan: &mut FileScan) {
         if method_call("unwrap") || method_call("expect") {
             emit(
                 ctx,
-                scan,
+                analysis,
                 ctx.sig[i].start,
                 "panic-policy",
                 format!(
@@ -383,7 +551,7 @@ fn panic_policy(ctx: &FileCtx<'_>, scan: &mut FileScan) {
         if (text == "panic" || text == "todo") && ctx.text(i + 1) == "!" {
             emit(
                 ctx,
-                scan,
+                analysis,
                 ctx.sig[i].start,
                 "panic-policy",
                 format!("`{text}!` in library code: return an error instead"),
@@ -394,7 +562,7 @@ fn panic_policy(ctx: &FileCtx<'_>, scan: &mut FileScan) {
 
 /// R4 — raw std locks outside `foundation` (whose guard API feeds the
 /// lock-order deadlock detector).
-fn lock_discipline(ctx: &FileCtx<'_>, scan: &mut FileScan) {
+fn lock_discipline(ctx: &FileCtx<'_>, analysis: &mut FileAnalysis) {
     if ctx.file.role == Role::Test || ctx.file.role == Role::Bench {
         return;
     }
@@ -419,7 +587,7 @@ fn lock_discipline(ctx: &FileCtx<'_>, scan: &mut FileScan) {
         if leaf == "Mutex" || leaf == "RwLock" {
             emit(
                 ctx,
-                scan,
+                analysis,
                 ctx.sig[i].start,
                 "lock-discipline",
                 format!(
@@ -443,7 +611,7 @@ fn lock_discipline(ctx: &FileCtx<'_>, scan: &mut FileScan) {
                         // (`x as Mutex` would be flagged — good).
                         emit(
                             ctx,
-                            scan,
+                            analysis,
                             ctx.sig[j].start,
                             "lock-discipline",
                             format!(
@@ -461,6 +629,231 @@ fn lock_discipline(ctx: &FileCtx<'_>, scan: &mut FileScan) {
     }
 }
 
+/// R5 — `unsafe` without a `// SAFETY:` justification; also records
+/// the workspace unsafe inventory. Applies to lib, bin, and example
+/// code (test regions are neither inventoried nor flagged).
+fn unsafe_audit(ctx: &FileCtx<'_>, analysis: &mut FileAnalysis) {
+    if !matches!(ctx.file.role, Role::Lib | Role::Bin | Role::Example) {
+        return;
+    }
+
+    // Per-line classification for the contiguity walk: which lines a
+    // SAFETY-bearing comment covers, which lines hold any comment, and
+    // which hold significant tokens.
+    let mut safety_lines: Vec<usize> = Vec::new();
+    let mut comment_lines: Vec<usize> = Vec::new();
+    let mut sig_lines: Vec<usize> = Vec::new();
+    for t in ctx.tokens {
+        let span_lines = || {
+            let first = analysis.lines.line(t.start);
+            let last = analysis.lines.line(t.end.saturating_sub(1).max(t.start));
+            first..=last
+        };
+        match t.kind {
+            TokenKind::LineComment | TokenKind::BlockComment => {
+                let has_safety = t.text(ctx.source).contains("SAFETY:");
+                for l in span_lines() {
+                    comment_lines.push(l);
+                    if has_safety {
+                        safety_lines.push(l);
+                    }
+                }
+            }
+            TokenKind::Whitespace => {}
+            _ => {
+                for l in span_lines() {
+                    sig_lines.push(l);
+                }
+            }
+        }
+    }
+    let comment_only = |l: usize| comment_lines.contains(&l) && !sig_lines.contains(&l);
+    let documented = |line: usize| {
+        if safety_lines.contains(&line) {
+            return true; // trailing `// SAFETY: …` on the unsafe line
+        }
+        let mut l = line;
+        while l > 1 && comment_only(l - 1) {
+            l -= 1;
+            if safety_lines.contains(&l) {
+                return true;
+            }
+        }
+        false
+    };
+
+    for i in 0..ctx.sig.len() {
+        if ctx.kind(i) != Some(TokenKind::Ident) || ctx.text(i) != "unsafe" {
+            continue;
+        }
+        let offset = ctx.sig[i].start;
+        if analysis.in_test_region(offset) {
+            continue;
+        }
+        // Classify the site by the tokens between `unsafe` and its `{`.
+        let mut kind = "block";
+        for j in (i + 1)..(i + 6).min(ctx.sig.len()) {
+            match ctx.text(j) {
+                "fn" => {
+                    kind = "fn";
+                    break;
+                }
+                "impl" => {
+                    kind = "impl";
+                    break;
+                }
+                "trait" => {
+                    kind = "trait";
+                    break;
+                }
+                "{" => break,
+                _ => {}
+            }
+        }
+        let (line, _) = analysis.lines.position(offset);
+        analysis.unsafe_sites.push(UnsafeSite {
+            file: ctx.file.rel.clone(),
+            line: line as u64,
+            kind: kind.to_string(),
+        });
+        if !documented(line) {
+            emit(
+                ctx,
+                analysis,
+                offset,
+                "unsafe-audit",
+                format!(
+                    "`unsafe` {kind} without a `// SAFETY:` comment — state the \
+                     invariant that makes this sound (same line or directly above)"
+                ),
+            );
+        }
+    }
+}
+
+/// R6 — atomic memory orderings against the file's declared policy.
+fn atomics_ordering(ctx: &FileCtx<'_>, analysis: &mut FileAnalysis) {
+    if !matches!(ctx.file.role, Role::Lib | Role::Bin | Role::Example) {
+        return;
+    }
+
+    // Validate the pragma itself: unknown names waive nothing.
+    let policy = analysis.facts.pragmas.atomics.clone();
+    if let Some(set) = &policy {
+        let pragma_line = analysis.facts.pragmas.atomics_line;
+        for name in set {
+            if !GRANTABLE_ORDERINGS.contains(&name.as_str()) {
+                let offset = analysis.lines.offset_of_line(pragma_line);
+                let hint = if name == "seqcst" {
+                    "seqcst is not grantable by pragma — waive individual uses \
+                     per line, with a reason"
+                } else {
+                    "known orderings: relaxed, acquire, release, acqrel"
+                };
+                emit(
+                    ctx,
+                    analysis,
+                    offset,
+                    "atomics-ordering",
+                    format!("unknown ordering `{name}` in atomics pragma — {hint}"),
+                );
+            }
+        }
+    }
+
+    const ATOMIC_VARIANTS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+    for i in 0..ctx.sig.len() {
+        if ctx.kind(i) != Some(TokenKind::Ident) || ctx.text(i) != "Ordering" {
+            continue;
+        }
+        if !(ctx.text(i + 1) == ":" && ctx.text(i + 2) == ":") {
+            continue;
+        }
+        let variant = ctx.text(i + 3);
+        if !ATOMIC_VARIANTS.contains(&variant) {
+            continue; // std::cmp::Ordering::{Less, Equal, Greater}
+        }
+        let offset = ctx.sig[i].start;
+        if variant == "SeqCst" {
+            emit(
+                ctx,
+                analysis,
+                offset,
+                "atomics-ordering",
+                "`Ordering::SeqCst` is a smell: it hides which pairwise ordering \
+                 the algorithm actually needs — name the acquire/release pair, or \
+                 waive this line with the reason SeqCst is load-bearing"
+                    .into(),
+            );
+            continue;
+        }
+        match &policy {
+            None => {
+                emit(
+                    ctx,
+                    analysis,
+                    offset,
+                    "atomics-ordering",
+                    format!(
+                        "`Ordering::{variant}` without a declared policy — add \
+                         `// conformance: atomics(…)` naming every ordering this \
+                         file's protocol uses"
+                    ),
+                );
+            }
+            Some(set) => {
+                let lowered = variant.to_ascii_lowercase();
+                if !set.contains(&lowered) {
+                    emit(
+                        ctx,
+                        analysis,
+                        offset,
+                        "atomics-ordering",
+                        format!(
+                            "`Ordering::{variant}` is outside this file's declared \
+                             atomics policy ({}) — extend the pragma deliberately \
+                             or use a declared ordering",
+                            set.join(", ")
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// R7 — blocking calls in files declared `conformance: reactor-path`.
+fn blocking_call(ctx: &FileCtx<'_>, analysis: &mut FileAnalysis) {
+    if !analysis.facts.pragmas.reactor_path {
+        return;
+    }
+    for i in 0..ctx.sig.len() {
+        if ctx.kind(i) != Some(TokenKind::Ident) {
+            continue;
+        }
+        let text = ctx.text(i);
+        if !BLOCKING_CALLS.contains(&text) {
+            continue;
+        }
+        // Call-shaped: preceded by `.` or `::`, followed by `(`.
+        let preceded = i > 0 && (ctx.text(i - 1) == "." || ctx.text(i - 1) == ":");
+        if !preceded || ctx.text(i + 1) != "(" {
+            continue;
+        }
+        emit(
+            ctx,
+            analysis,
+            ctx.sig[i].start,
+            "blocking-call",
+            format!(
+                "`{text}(…)` in a reactor-path file: the hot loop must never \
+                 block — hand the work to the pool, or use the try_/deadline \
+                 variant"
+            ),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -473,8 +866,8 @@ mod tests {
         }
     }
 
-    fn rules_of(scan: &FileScan) -> Vec<(&str, u64)> {
-        scan.findings.iter().map(|f| (f.rule.as_str(), f.line)).collect()
+    fn rules_of(a: &FileAnalysis) -> Vec<(&str, u64)> {
+        a.findings.iter().map(|f| (f.rule.as_str(), f.line)).collect()
     }
 
     #[test]
@@ -483,9 +876,9 @@ mod tests {
                    let t = std::time::Instant::now();\n\
                    let s = SystemTime::now(); // conformance: allow(determinism)\n\
                    }\n";
-        let scan = scan_file(&lib_file("crates/net/src/x.rs", Some("net")), src);
-        assert_eq!(rules_of(&scan), vec![("determinism", 2)]);
-        assert_eq!(scan.suppressed, 1);
+        let a = analyze_file(&lib_file("crates/net/src/x.rs", Some("net")), src);
+        assert_eq!(rules_of(&a), vec![("determinism", 2)]);
+        assert_eq!(a.suppressed_total(), 1);
     }
 
     #[test]
@@ -494,18 +887,19 @@ mod tests {
                    // conformance: allow(determinism) — measured, not emitted\n\
                    let t = Instant::now();\n\
                    }\n";
-        let scan = scan_file(&lib_file("crates/net/src/x.rs", Some("net")), src);
-        assert!(scan.findings.is_empty());
-        assert_eq!(scan.suppressed, 1);
+        let a = analyze_file(&lib_file("crates/net/src/x.rs", Some("net")), src);
+        assert!(a.findings.is_empty());
+        assert_eq!(a.suppressed_total(), 1);
+        assert_eq!(a.suppressed, vec![("determinism".to_string(), 1)]);
     }
 
     #[test]
     fn hash_containers_flagged_only_in_output_crates() {
         let src = "use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) {}\n";
-        let in_core = scan_file(&lib_file("crates/core/src/x.rs", Some("core")), src);
+        let in_core = analyze_file(&lib_file("crates/core/src/x.rs", Some("core")), src);
         assert_eq!(in_core.findings.len(), 2);
         assert!(in_core.findings.iter().all(|f| f.rule == "determinism"));
-        let in_net = scan_file(&lib_file("crates/net/src/x.rs", Some("net")), src);
+        let in_net = analyze_file(&lib_file("crates/net/src/x.rs", Some("net")), src);
         assert!(in_net.findings.is_empty());
     }
 
@@ -517,9 +911,9 @@ mod tests {
                    if a == b { panic!(\"boom\") }\n\
                    todo!()\n\
                    }\n";
-        let scan = scan_file(&lib_file("crates/html/src/x.rs", Some("html")), src);
+        let a = analyze_file(&lib_file("crates/html/src/x.rs", Some("html")), src);
         assert_eq!(
-            rules_of(&scan),
+            rules_of(&a),
             vec![
                 ("panic-policy", 2),
                 ("panic-policy", 3),
@@ -539,8 +933,8 @@ mod tests {
                    #[should_panic]\n\
                    a + b\n\
                    }\n";
-        let scan = scan_file(&lib_file("crates/html/src/x.rs", Some("html")), src);
-        assert!(scan.findings.is_empty(), "{:?}", scan.findings);
+        let a = analyze_file(&lib_file("crates/html/src/x.rs", Some("html")), src);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
     }
 
     #[test]
@@ -551,17 +945,17 @@ mod tests {
                    #[test]\n\
                    fn t() { lib_code(None).unwrap(); panic!(\"fine in tests\"); }\n\
                    }\n";
-        let scan = scan_file(&lib_file("crates/html/src/x.rs", Some("html")), src);
-        assert!(scan.findings.is_empty(), "{:?}", scan.findings);
+        let a = analyze_file(&lib_file("crates/html/src/x.rs", Some("html")), src);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
     }
 
     #[test]
     fn cfg_test_mod_declaration_reports_module_name() {
         let src = "#[cfg(test)]\nmod proptests;\nfn f(x: Option<u32>) { x.unwrap(); }\n";
-        let scan = scan_file(&lib_file("crates/html/src/lib.rs", Some("html")), src);
-        assert_eq!(scan.test_modules, vec!["proptests".to_string()]);
+        let a = analyze_file(&lib_file("crates/html/src/lib.rs", Some("html")), src);
+        assert_eq!(a.test_modules, vec!["proptests".to_string()]);
         // The unwrap outside the region is still caught.
-        assert_eq!(rules_of(&scan), vec![("panic-policy", 3)]);
+        assert_eq!(rules_of(&a), vec![("panic-policy", 3)]);
     }
 
     #[test]
@@ -569,9 +963,9 @@ mod tests {
         let src = "use std::sync::{Arc, Mutex};\n\
                    use std::sync::RwLock;\n\
                    static M: std::sync::Mutex<u32> = std::sync::Mutex::new(0);\n";
-        let scan = scan_file(&lib_file("crates/net/src/x.rs", Some("net")), src);
+        let a = analyze_file(&lib_file("crates/net/src/x.rs", Some("net")), src);
         assert_eq!(
-            rules_of(&scan),
+            rules_of(&a),
             vec![
                 ("lock-discipline", 1),
                 ("lock-discipline", 2),
@@ -585,18 +979,18 @@ mod tests {
     fn lock_discipline_exempts_foundation_and_atomics() {
         let src = "use std::sync::{Arc, Mutex};\n";
         let foundation =
-            scan_file(&lib_file("crates/foundation/src/sync.rs", Some("foundation")), src);
+            analyze_file(&lib_file("crates/foundation/src/sync.rs", Some("foundation")), src);
         assert!(foundation.findings.is_empty());
         let atomics = "use std::sync::atomic::{AtomicU64, Ordering};\nuse std::sync::Arc;\n";
-        let scan = scan_file(&lib_file("crates/net/src/x.rs", Some("net")), atomics);
-        assert!(scan.findings.is_empty());
+        let a = analyze_file(&lib_file("crates/net/src/x.rs", Some("net")), atomics);
+        assert!(a.findings.is_empty());
     }
 
     #[test]
     fn foundation_sync_locks_pass() {
         let src = "use foundation::sync::{Mutex, RwLock};\nfn f() { let m = Mutex::new(0); }\n";
-        let scan = scan_file(&lib_file("crates/net/src/x.rs", Some("net")), src);
-        assert!(scan.findings.is_empty());
+        let a = analyze_file(&lib_file("crates/net/src/x.rs", Some("net")), src);
+        assert!(a.findings.is_empty());
     }
 
     #[test]
@@ -604,8 +998,8 @@ mod tests {
         let src = "fn t() { None::<u32>.unwrap(); let i = Instant::now(); }\n";
         for role in [Role::Test, Role::Bench] {
             let file = SourceFile { rel: "tests/x.rs".into(), crate_name: None, role };
-            let scan = scan_file(&file, src);
-            assert!(scan.findings.is_empty());
+            let a = analyze_file(&file, src);
+            assert!(a.findings.is_empty());
         }
     }
 
@@ -617,7 +1011,151 @@ mod tests {
             crate_name: Some("telemetry".into()),
             role: Role::Bin,
         };
-        let scan = scan_file(&file, src);
-        assert_eq!(rules_of(&scan), vec![("determinism", 1)]);
+        let a = analyze_file(&file, src);
+        assert_eq!(rules_of(&a), vec![("determinism", 1)]);
+    }
+
+    #[test]
+    fn unsafe_without_safety_is_flagged_and_inventoried() {
+        let src = "pub fn f(p: *const u8) -> u8 {\n\
+                   unsafe { *p }\n\
+                   }\n";
+        let a = analyze_file(&lib_file("crates/foundation/src/x.rs", Some("foundation")), src);
+        assert_eq!(rules_of(&a), vec![("unsafe-audit", 2)]);
+        assert_eq!(a.unsafe_sites.len(), 1);
+        assert_eq!(a.unsafe_sites[0].kind, "block");
+    }
+
+    #[test]
+    fn safety_comment_above_or_trailing_documents_the_site() {
+        let src = "pub fn f(p: *const u8) -> u8 {\n\
+                   // SAFETY: caller guarantees p is valid for reads.\n\
+                   unsafe { *p }\n\
+                   }\n\
+                   pub fn g(p: *const u8) -> u8 {\n\
+                   unsafe { *p } // SAFETY: ditto.\n\
+                   }\n";
+        let a = analyze_file(&lib_file("crates/foundation/src/x.rs", Some("foundation")), src);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+        assert_eq!(a.unsafe_sites.len(), 2, "documented sites are still inventoried");
+    }
+
+    #[test]
+    fn safety_contiguity_breaks_on_code_lines() {
+        let src = "// SAFETY: this comment is detached from the site below.\n\
+                   pub fn noise() {}\n\
+                   pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        let a = analyze_file(&lib_file("crates/foundation/src/x.rs", Some("foundation")), src);
+        assert_eq!(rules_of(&a), vec![("unsafe-audit", 3)]);
+    }
+
+    #[test]
+    fn unsafe_impl_and_fn_kinds_are_classified() {
+        let src = "// SAFETY: all fields are Send.\n\
+                   unsafe impl Send for X {}\n\
+                   // SAFETY: contract documented on the trait.\n\
+                   pub unsafe fn raw() {}\n";
+        let a = analyze_file(&lib_file("crates/foundation/src/x.rs", Some("foundation")), src);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+        let kinds: Vec<&str> = a.unsafe_sites.iter().map(|s| s.kind.as_str()).collect();
+        assert_eq!(kinds, vec!["impl", "fn"]);
+    }
+
+    #[test]
+    fn atomics_require_a_policy_pragma() {
+        let src = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+                   fn f(a: &AtomicU64) { a.load(Ordering::Relaxed); }\n";
+        let a = analyze_file(&lib_file("crates/net/src/x.rs", Some("net")), src);
+        assert_eq!(rules_of(&a), vec![("atomics-ordering", 2)]);
+    }
+
+    #[test]
+    fn declared_policy_grants_its_orderings_only() {
+        let src = "// conformance: atomics(relaxed, acquire)\n\
+                   use std::sync::atomic::{AtomicU64, Ordering};\n\
+                   fn f(a: &AtomicU64) {\n\
+                   a.load(Ordering::Acquire);\n\
+                   a.store(1, Ordering::Release);\n\
+                   }\n";
+        let a = analyze_file(&lib_file("crates/net/src/x.rs", Some("net")), src);
+        assert_eq!(rules_of(&a), vec![("atomics-ordering", 5)]);
+        assert!(a.findings[0].message.contains("Release"), "{}", a.findings[0].message);
+    }
+
+    #[test]
+    fn seqcst_is_flagged_even_under_a_policy() {
+        let src = "// conformance: atomics(relaxed, acquire, release, acqrel)\n\
+                   use std::sync::atomic::{AtomicU64, Ordering};\n\
+                   fn f(a: &AtomicU64) { a.load(Ordering::SeqCst); }\n";
+        let a = analyze_file(&lib_file("crates/net/src/x.rs", Some("net")), src);
+        assert_eq!(rules_of(&a), vec![("atomics-ordering", 3)]);
+        assert!(a.findings[0].message.contains("SeqCst"));
+    }
+
+    #[test]
+    fn cmp_ordering_variants_are_not_atomics() {
+        let src = "fn f(a: u32, b: u32) -> std::cmp::Ordering {\n\
+                   if a < b { std::cmp::Ordering::Less } else { Ordering::Equal }\n\
+                   }\n";
+        let a = analyze_file(&lib_file("crates/text/src/x.rs", Some("text")), src);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn seqcst_pragma_name_is_rejected() {
+        let src = "// conformance: atomics(seqcst)\n\
+                   use std::sync::atomic::{AtomicU64, Ordering};\n\
+                   fn f(a: &AtomicU64) { a.load(Ordering::SeqCst); }\n";
+        let a = analyze_file(&lib_file("crates/net/src/x.rs", Some("net")), src);
+        let rules: Vec<&str> = a.findings.iter().map(|f| f.rule.as_str()).collect();
+        assert_eq!(rules, vec!["atomics-ordering", "atomics-ordering"]);
+        assert!(a.findings[0].message.contains("not grantable"));
+    }
+
+    #[test]
+    fn blocking_calls_flagged_only_in_reactor_path_files() {
+        let src = "fn f(m: &foundation::sync::Mutex<u32>) {\n\
+                   std::thread::sleep(std::time::Duration::from_millis(1));\n\
+                   let g = m.lock();\n\
+                   let t = m.try_lock();\n\
+                   }\n";
+        let plain = analyze_file(&lib_file("crates/net/src/x.rs", Some("net")), src);
+        assert!(plain.findings.iter().all(|f| f.rule != "blocking-call"));
+
+        let reactor = format!("// conformance: reactor-path\n{src}");
+        let a = analyze_file(&lib_file("crates/net/src/x.rs", Some("net")), &reactor);
+        assert_eq!(
+            rules_of(&a),
+            vec![("blocking-call", 3), ("blocking-call", 4)],
+            "sleep and lock flagged; try_lock sanctioned"
+        );
+    }
+
+    #[test]
+    fn stale_suppressions_are_reported_after_use_marking() {
+        let src = "// conformance: allow(determinism) — nothing here reads a clock\n\
+                   fn f() {}\n\
+                   fn g(x: Option<u32>) -> u32 {\n\
+                   x.unwrap() // conformance: allow(panic-policy) — checked by caller\n\
+                   }\n";
+        let file = lib_file("crates/net/src/x.rs", Some("net"));
+        let a = analyze_file(&file, src);
+        assert!(a.findings.is_empty());
+        let stale = a.stale_suppressions(&file);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].line, 1);
+        assert!(stale[0].message.contains("determinism"));
+    }
+
+    #[test]
+    fn unknown_rule_slugs_are_flagged_but_placeholders_ignored() {
+        let src = "//! Docs show `// conformance: allow(<rule>)` syntax.\n\
+                   // conformance: allow(panic-polcy) — typo'd, waives nothing\n\
+                   fn f() {}\n";
+        let file = lib_file("crates/net/src/x.rs", Some("net"));
+        let a = analyze_file(&file, src);
+        let stale = a.stale_suppressions(&file);
+        assert_eq!(stale.len(), 1, "{stale:?}");
+        assert!(stale[0].message.contains("unknown rule"));
     }
 }

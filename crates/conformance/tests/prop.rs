@@ -1,13 +1,17 @@
-//! Property tests: the conformance lexer's totality contract.
+//! Property tests: the conformance lexer's and resolver's totality
+//! contracts.
 //!
 //! The analyzer's rules are only as trustworthy as the scanner beneath
 //! them, and the scanner sees every byte of the workspace — so it must
 //! be total. These properties pin the contract the unit tests spot-check:
 //! any input tokenizes without panicking, and the produced spans tile the
 //! input exactly (start at 0, no gaps, no overlaps, no empty tokens, end
-//! at `len`).
+//! at `len`). The structural resolver layered on the token stream
+//! inherits the same obligation: any input resolves to well-formed
+//! [`conformance::resolve::FileFacts`] without panicking.
 
 use conformance::lexer::tokenize;
+use conformance::resolve::resolve_file;
 use foundation::check::pattern;
 use foundation::prop_check;
 
@@ -44,6 +48,53 @@ prop_check! {
         for t in tokenize(&input) {
             assert!(input.get(t.start..t.end).is_some(),
                 "span {}..{} splits a char in {input:?}", t.start, t.end);
+        }
+    }
+
+    /// The resolver is total on arbitrary soup: no input panics, and the
+    /// facts it returns are structurally sound (sorted idents, in-bounds
+    /// spans).
+    fn resolver_total_on_arbitrary_input(input in pattern("\\PC{0,300}")) {
+        let facts = resolve_file(&input);
+        assert!(facts.idents.windows(2).all(|w| w[0] < w[1]),
+            "idents sorted and deduped in {input:?}");
+        for m in &facts.mods {
+            assert!(m.span.1 <= input.len(), "mod span in bounds in {input:?}");
+        }
+        for u in &facts.uses {
+            assert!(u.span.1 <= input.len(), "use span in bounds in {input:?}");
+        }
+    }
+
+    /// Soup biased toward the declarations the resolver cares about —
+    /// `mod`/`use`/`pub` headers, path separators, pragma comments —
+    /// including malformed and truncated forms, which must degrade to
+    /// partial facts, never a panic.
+    fn resolver_total_on_item_soup(
+        input in pattern(
+            "(mod |use |pub |pub\\(crate\\) |fn |struct |::|\\{|\\}|;|,|\\*| as |\
+             // conformance: |atomics\\(|reactor-path|[a-z_]{1,6}|\n){0,80}",
+        ),
+    ) {
+        let facts = resolve_file(&input);
+        // Out-of-line mod declarations the resolver reports really are
+        // `mod <ident> ;` shaped in the source.
+        for m in facts.mods.iter().filter(|m| !m.inline) {
+            let text = &input[m.span.0..m.span.1];
+            assert!(text.starts_with("mod") || text.starts_with("pub"),
+                "mod span {text:?} in {input:?}");
+        }
+    }
+
+    /// Every `use` root the resolver reports is an identifier that
+    /// occurs in the source (roots feed the arch pass's edge checks, so
+    /// a fabricated root would fabricate an architecture edge).
+    fn use_roots_occur_in_source(
+        input in pattern("(use |::|\\{|\\}|;|,|crate|super|self|std|[a-z_]{1,8}| |\n){0,60}"),
+    ) {
+        let facts = resolve_file(&input);
+        for u in &facts.uses {
+            assert!(input.contains(&u.root), "root {:?} not in {input:?}", u.root);
         }
     }
 }

@@ -41,6 +41,7 @@ pub fn figure4_csv(cdf: &CreationCdf, max_points: usize) -> String {
 
 /// Generic histogram CSV for price/follower distributions:
 /// `bucket_low,bucket_high,count` over log-spaced buckets.
+// conformance: allow(pub-hygiene) — tested figure-generation surface kept as public API
 pub fn log_histogram_csv(values: &[f64], buckets_per_decade: usize) -> String {
     let mut out = String::from("bucket_low,bucket_high,count\n");
     let positive: Vec<f64> = values.iter().copied().filter(|&v| v > 0.0).collect();

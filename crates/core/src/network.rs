@@ -45,7 +45,7 @@ pub struct AccountCluster {
 }
 
 /// The attribute set used per platform (the paper's Table 7 choices).
-pub fn cluster_attributes(platform: &str) -> &'static str {
+pub(crate) fn cluster_attributes(platform: &str) -> &'static str {
     match platform {
         "TikTok" => "Description",
         "YouTube" => "Name",

@@ -48,7 +48,7 @@ pub struct PaymentSecurityRow {
 }
 
 /// Classify every marketplace (Appendix A.2).
-pub fn payment_security() -> Vec<PaymentSecurityRow> {
+pub(crate) fn payment_security() -> Vec<PaymentSecurityRow> {
     ALL_MARKETPLACES
         .iter()
         .map(|&marketplace| {

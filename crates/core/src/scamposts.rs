@@ -144,7 +144,7 @@ pub struct ScamAnalysis {
 
 /// Analyst keyword lists per subcategory — the qualitative-coding
 /// codebook an analyst builds while reading sampled posts.
-pub fn subcategory_keywords(sub: ScamSubcategory) -> &'static [&'static str] {
+pub(crate) fn subcategory_keywords(sub: ScamSubcategory) -> &'static [&'static str] {
     use ScamSubcategory::*;
     match sub {
         CryptoScams => &["signals", "trading", "investment", "deposit", "wallet", "profit", "pool", "returns"],

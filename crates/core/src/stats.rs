@@ -19,6 +19,7 @@ pub fn median_u64(values: &[u64]) -> Option<f64> {
 }
 
 /// The `q`-quantile (0 ≤ q ≤ 1) via nearest-rank.
+// conformance: allow(pub-hygiene) — tested stats toolkit surface kept as public API
 pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
     if values.is_empty() {
         return None;
@@ -42,6 +43,7 @@ pub fn ecdf(values: &[f64]) -> Vec<(f64, f64)> {
 }
 
 /// Fraction of samples at or below `x`.
+// conformance: allow(pub-hygiene) — tested stats toolkit surface kept as public API
 pub fn cdf_at(values: &[f64], x: f64) -> f64 {
     if values.is_empty() {
         return 0.0;

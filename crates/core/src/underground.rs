@@ -7,7 +7,7 @@
 //! removed).
 
 use acctrade_crawler::record::UndergroundRecord;
-use acctrade_text::similarity::{similar_pairs, word_similarity};
+use acctrade_text::similarity::similar_pairs;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-market summary (§4.2 "Characteristics of the Marketplaces").
@@ -64,7 +64,7 @@ pub struct UndergroundAnalysis {
 }
 
 /// The paper's similarity threshold.
-pub const SIMILARITY_THRESHOLD: f64 = 0.88;
+pub(crate) const SIMILARITY_THRESHOLD: f64 = 0.88;
 
 /// Run the underground analysis.
 pub fn analyze(records: &[UndergroundRecord]) -> UndergroundAnalysis {
@@ -147,11 +147,6 @@ pub fn analyze(records: &[UndergroundRecord]) -> UndergroundAnalysis {
         reuse_authors: reuse_authors.len(),
         cross_market_sellers,
     }
-}
-
-/// Similarity between two specific posts — exposed for spot checks.
-pub fn post_similarity(a: &UndergroundRecord, b: &UndergroundRecord) -> f64 {
-    word_similarity(&a.body, &b.body)
 }
 
 #[cfg(test)]

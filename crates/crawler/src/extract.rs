@@ -63,7 +63,7 @@ pub fn parse_price(text: &str) -> Option<f64> {
 }
 
 /// Extract the handle from a profile URL (`http://host/<handle>`).
-pub fn handle_from_profile_link(link: &str) -> Option<String> {
+pub(crate) fn handle_from_profile_link(link: &str) -> Option<String> {
     let url = acctrade_net::url::Url::parse(link).ok()?;
     let handle = url.path().trim_start_matches('/');
     if handle.is_empty() {

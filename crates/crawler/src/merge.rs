@@ -31,7 +31,7 @@ pub fn merge_key(record: &OfferRecord) -> (i64, &str, &str, usize) {
 /// Sort records into canonical order. Any permutation of the same
 /// multiset of records yields the same output (the parallel-determinism
 /// property; see `tests/proptests.rs`).
-pub fn sort_records(records: &mut [OfferRecord]) {
+pub(crate) fn sort_records(records: &mut [OfferRecord]) {
     records.sort_by(|a, b| merge_key(a).cmp(&merge_key(b)));
 }
 

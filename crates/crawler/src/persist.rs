@@ -38,24 +38,24 @@ use store::{
 use telemetry::TelemetrySnapshot;
 
 /// WAL record kind: a marketplace offer ([`OfferRecord`]).
-pub const KIND_OFFER: u8 = 1;
+pub(crate) const KIND_OFFER: u8 = 1;
 /// WAL record kind: a resolved profile ([`ProfileRecord`]).
-pub const KIND_PROFILE: u8 = 2;
+pub(crate) const KIND_PROFILE: u8 = 2;
 /// WAL record kind: a collected post ([`PostRecord`]).
-pub const KIND_POST: u8 = 3;
+pub(crate) const KIND_POST: u8 = 3;
 /// WAL record kind: an underground posting ([`UndergroundRecord`]).
-pub const KIND_UNDERGROUND: u8 = 4;
+pub(crate) const KIND_UNDERGROUND: u8 = 4;
 /// WAL record kind: a §8 efficacy re-query outcome ([`ApiOutcomeRecord`]).
-pub const KIND_API_OUTCOME: u8 = 5;
+pub(crate) const KIND_API_OUTCOME: u8 = 5;
 /// WAL record kind: one economy event ([`EconomyEvent`]) — escrow order
 /// transitions, repricing ticks, bot activity.
-pub const KIND_ECONOMY_EVENT: u8 = 6;
+pub(crate) const KIND_ECONOMY_EVENT: u8 = 6;
 /// WAL record kind: a crawler-observed repricing of an already-collected
 /// offer ([`PriceObservationRecord`]).
-pub const KIND_PRICE_OBS: u8 = 7;
+pub(crate) const KIND_PRICE_OBS: u8 = 7;
 
 /// Checkpoint file name inside a store directory.
-pub const CHECKPOINT_FILE: &str = "checkpoint.json";
+pub(crate) const CHECKPOINT_FILE: &str = "checkpoint.json";
 
 /// Checkpoint schema identifier. v2 added `shard_cursors` (per-shard
 /// lane provenance from the parallel crawl engine); v3 added
@@ -369,18 +369,12 @@ impl CampaignStore {
     }
 }
 
-/// Decode replayed WAL records into a [`Dataset`], dropping the other
-/// streams. See [`decode_streams`].
-pub fn decode_dataset(records: &[Record]) -> Result<Dataset, StoreError> {
-    Ok(decode_streams(records)?.dataset)
-}
-
 /// Decode replayed WAL records into their per-stream collections.
 ///
 /// [`KIND_API_OUTCOME`] records are part of the §8 audit, not the
 /// dataset, and are decode-checked then skipped; unknown kinds are an
 /// error (the store never contains records this module did not write).
-pub fn decode_streams(records: &[Record]) -> Result<WalReplay, StoreError> {
+pub(crate) fn decode_streams(records: &[Record]) -> Result<WalReplay, StoreError> {
     let mut replay = WalReplay::default();
     for r in records {
         let text = std::str::from_utf8(&r.payload).map_err(|e| {
@@ -416,6 +410,7 @@ pub fn decode_streams(records: &[Record]) -> Result<WalReplay, StoreError> {
 /// Offline compaction of a campaign store: keep, per
 /// `(marketplace, offer_url)`, only the offer version from the highest
 /// crawl iteration; pass every other record kind through untouched.
+// conformance: allow(pub-hygiene) — operational compaction entry point, exercised by in-file tests
 pub fn compact_campaign_store(dir: &Path) -> Result<CompactionReport, StoreError> {
     let opts = match CampaignStore::read_checkpoint(dir)? {
         Some(cp) => WalOptions { segment_max_bytes: cp.segment_max_bytes },

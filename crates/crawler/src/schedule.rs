@@ -295,6 +295,7 @@ impl<'a> CrawlCampaign<'a> {
 
 /// Deduplicate offers by URL keeping first-seen order (used when merging
 /// externally collected record sets).
+// conformance: allow(pub-hygiene) — tested merge utility kept as public API
 pub fn dedup_offers(offers: Vec<OfferRecord>) -> Vec<OfferRecord> {
     let mut seen = BTreeSet::new();
     offers

@@ -38,6 +38,8 @@
 //! request density against any host never exceeds what one sequential
 //! polite crawler would have produced.
 
+// conformance: atomics(acquire, release, acqrel) — Chase-Lev deque protocol orderings
+
 use crate::crawl::{CrawlStats, MarketplaceCrawler};
 use crate::record::OfferRecord;
 use acctrade_market::config::{MarketplaceId, ALL_MARKETPLACES};

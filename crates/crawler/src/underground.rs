@@ -19,9 +19,9 @@ use acctrade_social::platform::{Platform, ALL_PLATFORMS};
 use std::collections::BTreeSet;
 
 /// §3.2's collection caps.
-pub const MAX_PAGES: usize = 5;
+pub(crate) const MAX_PAGES: usize = 5;
 /// Max posts per platform.
-pub const MAX_POSTS_PER_PLATFORM: usize = 25;
+pub(crate) const MAX_POSTS_PER_PLATFORM: usize = 25;
 
 /// Statistics of one market's collection.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]

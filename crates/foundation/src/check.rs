@@ -548,7 +548,7 @@ mod pat {
         }
     }
 
-    pub fn expand_seq(seq: &[Quantified], rng: &mut ChaCha8Rng) -> Vec<Exp> {
+    pub(crate) fn expand_seq(seq: &[Quantified], rng: &mut ChaCha8Rng) -> Vec<Exp> {
         seq.iter()
             .map(|q| {
                 let n = rng.random_range(q.min..=q.max);
@@ -573,7 +573,7 @@ mod pat {
 
     /// Deterministic minimal expansion: every repetition at `min`,
     /// every char canonical, every alternation on alternative 0.
-    pub fn minimal_seq(seq: &[Quantified]) -> Vec<Exp> {
+    pub(crate) fn minimal_seq(seq: &[Quantified]) -> Vec<Exp> {
         seq.iter()
             .map(|q| Exp::Rep {
                 items: (0..q.min).map(|_| vec![minimal_ast(&q.ast)]).collect(),
@@ -594,7 +594,7 @@ mod pat {
     }
 
     /// All single-step simplifications of an expansion sequence.
-    pub fn shrink_seq(pattern: &[Quantified], seq: &[Exp]) -> Vec<Vec<Exp>> {
+    pub(crate) fn shrink_seq(pattern: &[Quantified], seq: &[Exp]) -> Vec<Vec<Exp>> {
         let mut out = Vec::new();
         for (i, (q, e)) in pattern.iter().zip(seq.iter()).enumerate() {
             for cand in shrink_exp(q, e) {

@@ -364,8 +364,11 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                 return Err(JsonError::parse("unescaped control character", *pos))
             }
             Some(_) => {
-                // Consume one UTF-8 scalar (input is a &str, so this is
-                // always valid).
+                // Consume one UTF-8 scalar.
+                // SAFETY: `bytes` came from a `&str` and `*pos` only ever
+                // advances by whole scalar widths (`c.len_utf8()`), so the
+                // tail slice starts on a character boundary and is valid
+                // UTF-8.
                 let s = unsafe { std::str::from_utf8_unchecked(&bytes[*pos..]) };
                 let c = s.chars().next().unwrap(); // conformance: allow(panic-policy) — pos < len is the loop guard; slice starts on a char boundary
                 out.push(c);
@@ -456,6 +459,7 @@ pub fn from_str<T: JsonCodec>(s: &str) -> Result<T, JsonError> {
 }
 
 /// A `'static` null, used by the codec macros for missing-field lookups.
+// conformance: allow(pub-hygiene) — named by json_codec_struct! expansions in downstream crates
 pub static JSON_NULL: Json = Json::Null;
 
 macro_rules! int_codec {

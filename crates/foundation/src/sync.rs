@@ -31,6 +31,8 @@
 //! this guard API, and the detector proves the guarded acquisitions are
 //! cycle-free on every path the test suite exercises.
 
+// conformance: atomics(relaxed) — lock ids are opaque tokens; ordering comes from the locks themselves
+
 use std::sync::{
     MutexGuard as StdMutexGuard, RwLockReadGuard as StdRwLockReadGuard,
     RwLockWriteGuard as StdRwLockWriteGuard,
@@ -134,7 +136,7 @@ mod order {
     /// Record a blocking acquisition of `id` at `site`: check and add
     /// edges from every currently-held lock, then push onto the held
     /// stack. Panics when an edge would close a cycle.
-    pub fn acquire(id: u64, site: &'static Location<'static>) -> Held {
+    pub(crate) fn acquire(id: u64, site: &'static Location<'static>) -> Held {
         let inversion = HELD.with(|held| {
             let held = held.borrow();
             let mut graph = GRAPH.lock().unwrap_or_else(|p| p.into_inner());
@@ -180,7 +182,7 @@ mod order {
 
     /// Record a non-blocking (`try_lock`) acquisition: it cannot close
     /// a cycle, so it only joins the held stack.
-    pub fn push_held(id: u64, site: &'static Location<'static>) -> Held {
+    pub(crate) fn push_held(id: u64, site: &'static Location<'static>) -> Held {
         HELD.with(|held| {
             held.borrow_mut().push(HeldLock { id, acquired_at: site });
         });

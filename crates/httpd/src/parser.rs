@@ -19,11 +19,11 @@ use foundation::bytes::Bytes;
 use std::fmt;
 
 /// Hard ceiling on the request head (request line + headers) in bytes.
-pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+pub(crate) const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Hard ceiling on a request body in bytes.
-pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+pub(crate) const MAX_BODY_BYTES: usize = 1024 * 1024;
 /// Hard ceiling on the number of header lines.
-pub const MAX_HEADERS: usize = 64;
+pub(crate) const MAX_HEADERS: usize = 64;
 
 /// Why a byte stream was rejected. Every variant maps to `400`.
 #[derive(Debug, Clone, PartialEq, Eq)]

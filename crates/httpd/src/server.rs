@@ -14,6 +14,10 @@
 //! legitimate user of real sockets and wall time — see the crate docs
 //! for the conformance allowlist that scopes it.
 
+// conformance: reactor-path — no blocking calls; the accept loop/parsers must never stall a lane
+
+// conformance: atomics(relaxed, acquire, release) — shutdown flag is release-published, acquire-observed; stats are relaxed
+
 use crate::ops::{OpsPlane, OpsService, OPS_HOST};
 use crate::parser::RequestParser;
 use crate::pool::ConnQueue;

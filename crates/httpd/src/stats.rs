@@ -6,6 +6,8 @@
 //! example, the CI gate — [`ServerStats::publish`]es a snapshot into
 //! the recorder from the thread that installed it.
 
+// conformance: atomics(relaxed) — monotone counters aggregated off the hot path
+
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Shared, lock-free counters for one [`crate::HttpServer`].

@@ -256,11 +256,14 @@ static MARKETPLACE_CONFIGS: [MarketplaceConfig; 11] = [
 ];
 
 /// Table 1's total advertised accounts.
+// conformance: allow(pub-hygiene) — paper anchor kept as documented API
 pub const TABLE1_TOTAL_ACCOUNTS: u32 = 38_253;
 /// Table 1's total sellers.
+// conformance: allow(pub-hygiene) — paper anchor kept as documented API
 pub const TABLE1_TOTAL_SELLERS: u32 = 9_944;
 /// Fraction of advertised accounts whose listings link a visible profile
 /// (§3.2: 11,457 / 38,253).
+// conformance: allow(pub-hygiene) — paper anchor kept as documented API
 pub const VISIBLE_PROFILE_FRACTION: f64 = 11_457.0 / 38_253.0;
 
 // ---------------------------------------------------------------------------

@@ -29,7 +29,7 @@ pub const CAPTCHA_KIND_HEADER: &str = "x-captcha-kind";
 /// Response header carrying the challenge nonce.
 pub const CAPTCHA_NONCE_HEADER: &str = "x-captcha-nonce";
 /// Request header carrying a solved token.
-pub const CAPTCHA_TOKEN_HEADER: &str = "x-captcha-token";
+pub(crate) const CAPTCHA_TOKEN_HEADER: &str = "x-captcha-token";
 
 /// Client operating mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -440,7 +440,7 @@ impl Client {
 }
 
 /// Pull a CAPTCHA challenge out of a 401 response, if present.
-pub fn extract_challenge(resp: &Response) -> Option<Challenge> {
+pub(crate) fn extract_challenge(resp: &Response) -> Option<Challenge> {
     let kind = match resp.headers.get(CAPTCHA_KIND_HEADER)? {
         "distorted-text" => CaptchaKind::DistortedText,
         "image-grid" => CaptchaKind::ImageGrid,

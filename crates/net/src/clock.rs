@@ -10,11 +10,11 @@ use foundation::sync::Mutex;
 use std::sync::Arc;
 
 /// Microseconds in one second.
-pub const SECOND: u64 = 1_000_000;
+pub(crate) const SECOND: u64 = 1_000_000;
 /// Microseconds in one minute.
-pub const MINUTE: u64 = 60 * SECOND;
+pub(crate) const MINUTE: u64 = 60 * SECOND;
 /// Microseconds in one hour.
-pub const HOUR: u64 = 60 * MINUTE;
+pub(crate) const HOUR: u64 = 60 * MINUTE;
 /// Microseconds in one day.
 pub const DAY: u64 = 24 * HOUR;
 
@@ -23,6 +23,7 @@ pub const DAY: u64 = 24 * HOUR;
 pub const COLLECTION_START_UNIX: i64 = 1_706_745_600;
 /// Unix timestamp (seconds) of 2024-06-30 23:59:59 UTC — the end of the
 /// collection window.
+// conformance: allow(pub-hygiene) — paper anchor kept as documented API
 pub const COLLECTION_END_UNIX: i64 = 1_719_791_999;
 
 /// A shared, monotonically non-decreasing virtual clock.

@@ -4,6 +4,8 @@
 //! [`foundation::bytes::Bytes`] so large listing pages are shared, not copied, between
 //! the fabric's request log and the client.
 
+// conformance: reactor-path — no blocking calls; the accept loop/parsers must never stall a lane
+
 use crate::error::{NetError, NetResult};
 use crate::url::Url;
 use foundation::bytes::{BufMut, Bytes, BytesMut};

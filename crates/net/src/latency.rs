@@ -5,6 +5,8 @@
 //! milliseconds; platform APIs are faster; Tor circuits add hundreds of
 //! milliseconds per hop (see [`crate::tor`]).
 
+// conformance: reactor-path — no blocking calls; the accept loop/parsers must never stall a lane
+
 use foundation::rng::{Rng, RngExt};
 
 /// A latency model sampled once per request.

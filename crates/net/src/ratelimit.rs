@@ -9,6 +9,8 @@
 //!   never trips automation triggers, per the paper's ethics statement.
 
 
+// conformance: reactor-path — no blocking calls; the accept loop/parsers must never stall a lane
+
 /// A token bucket measured in virtual microseconds.
 ///
 /// The bucket holds up to `burst` tokens and refills at `rate_per_sec`

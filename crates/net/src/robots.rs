@@ -6,6 +6,8 @@
 //! checking every URL against the host's robots policy before fetching.
 
 
+// conformance: reactor-path — no blocking calls; the accept loop/parsers must never stall a lane
+
 /// One rule inside a user-agent group.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Rule {

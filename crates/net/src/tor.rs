@@ -11,7 +11,6 @@
 //!   client, as the requester.
 
 use crate::latency::LatencyModel;
-use foundation::rng::IndexedRandom;
 use foundation::rng::{Rng, RngExt};
 
 /// One relay in the simulated Tor directory.
@@ -149,15 +148,6 @@ pub fn onion_address(seed: u64) -> String {
     }
     s.push_str(".onion");
     s
-}
-
-/// Choose a relay nickname-weighted — exposed for tests of the weighting
-/// behaviour.
-pub fn weighted_nickname<'a, R: Rng + ?Sized>(dir: &'a TorDirectory, rng: &mut R) -> &'a str {
-    dir.relays
-        .choose(rng)
-        .map(|r| r.nickname.as_str())
-        .unwrap_or("")
 }
 
 #[cfg(test)]

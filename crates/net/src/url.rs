@@ -5,6 +5,8 @@
 //! subset here is parsed strictly (no silent truncation) and round-trips
 //! through `Display`.
 
+// conformance: reactor-path — no blocking calls; the accept loop/parsers must never stall a lane
+
 use crate::error::{NetError, NetResult};
 use std::fmt;
 

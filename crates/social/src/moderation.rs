@@ -46,7 +46,7 @@ pub struct RiskAssessment {
 }
 
 /// Assess one account at virtual time `now_unix`.
-pub fn assess(profile: &crate::account::AccountProfile, now_unix: i64) -> RiskAssessment {
+pub(crate) fn assess(profile: &crate::account::AccountProfile, now_unix: i64) -> RiskAssessment {
     let text = format!("{} {}", profile.name, profile.description).to_ascii_lowercase();
     let trending_name = TRENDING_KEYWORDS.iter().any(|k| text.contains(k));
     let young_account = profile.age_years(now_unix) < 3.5;

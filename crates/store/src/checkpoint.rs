@@ -13,7 +13,7 @@ use std::io::{self, Write};
 use std::path::Path;
 
 /// Suffix of the scratch file used during an atomic replace.
-pub const TMP_SUFFIX: &str = ".tmp";
+pub(crate) const TMP_SUFFIX: &str = ".tmp";
 
 /// Best-effort fsync of the directory containing `path`, so the rename
 /// itself is durable. Errors are swallowed: not every platform lets you

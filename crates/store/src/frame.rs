@@ -24,12 +24,12 @@
 use crate::crc::crc32;
 
 /// Bytes of header before the body: `len` + `crc`.
-pub const FRAME_HEADER_BYTES: usize = 8;
+pub(crate) const FRAME_HEADER_BYTES: usize = 8;
 
 /// Upper bound on the body length (`kind` + payload) of a single frame.
 /// Anything larger is treated as corruption — a real record is a single
 /// crawl observation, orders of magnitude below this.
-pub const MAX_FRAME_BODY_BYTES: u32 = 16 * 1024 * 1024;
+pub(crate) const MAX_FRAME_BODY_BYTES: u32 = 16 * 1024 * 1024;
 
 /// Result of decoding one frame from the front of a buffer.
 #[derive(Debug, PartialEq, Eq)]

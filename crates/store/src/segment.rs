@@ -11,10 +11,10 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Segment file prefix.
-pub const SEGMENT_PREFIX: &str = "wal-";
+pub(crate) const SEGMENT_PREFIX: &str = "wal-";
 
 /// Segment file extension.
-pub const SEGMENT_SUFFIX: &str = ".seg";
+pub(crate) const SEGMENT_SUFFIX: &str = ".seg";
 
 /// File name of segment `index` (`wal-00042.seg`).
 pub fn segment_file_name(index: u64) -> String {
@@ -23,7 +23,7 @@ pub fn segment_file_name(index: u64) -> String {
 
 /// Parse a segment index back out of a file name produced by
 /// [`segment_file_name`]. Returns `None` for anything else.
-pub fn parse_segment_index(name: &str) -> Option<u64> {
+pub(crate) fn parse_segment_index(name: &str) -> Option<u64> {
     let stem = name.strip_prefix(SEGMENT_PREFIX)?.strip_suffix(SEGMENT_SUFFIX)?;
     if stem.is_empty() || !stem.bytes().all(|b| b.is_ascii_digit()) {
         return None;

@@ -28,7 +28,7 @@ use std::collections::BTreeMap;
 use std::path::Path;
 
 /// Scratch subdirectory used while building the compacted chain.
-pub const COMPACT_TMP_DIR: &str = "compact.tmp";
+pub(crate) const COMPACT_TMP_DIR: &str = "compact.tmp";
 
 /// How one record participates in compaction.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -10,7 +10,7 @@ use foundation::sync::Mutex;
 use std::collections::VecDeque;
 
 /// Default ring capacity.
-pub const DEFAULT_CAPACITY: usize = 1024;
+pub(crate) const DEFAULT_CAPACITY: usize = 1024;
 
 /// One recorded event.
 #[derive(Debug, Clone, PartialEq, Eq)]

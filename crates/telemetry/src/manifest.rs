@@ -17,7 +17,7 @@ use foundation::json::{Json, JsonCodec};
 use foundation::json_codec_struct;
 
 /// Manifest schema identifier.
-pub const SCHEMA: &str = "acctrade-telemetry/v1";
+pub(crate) const SCHEMA: &str = "acctrade-telemetry/v1";
 
 /// Default manifest file name.
 pub const REPORT_FILE: &str = "TELEMETRY_report.json";
@@ -398,7 +398,7 @@ impl RunManifest {
 }
 
 /// Human-format a virtual duration in microseconds.
-pub fn format_virtual(us: u64) -> String {
+pub(crate) fn format_virtual(us: u64) -> String {
     const SECOND: u64 = 1_000_000;
     const MINUTE: u64 = 60 * SECOND;
     const HOUR: u64 = 60 * MINUTE;

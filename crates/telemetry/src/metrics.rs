@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 /// Number of shards. A power of two so the hash maps onto shards with a
 /// mask; 16 is plenty for the 8-thread test workloads while keeping the
 /// snapshot merge cheap.
-pub const SHARD_COUNT: usize = 16;
+pub(crate) const SHARD_COUNT: usize = 16;
 
 /// FNV-1a 64-bit hash (the same tiny hash `foundation` favours).
 pub fn fnv1a64(bytes: &[u8]) -> u64 {

@@ -20,7 +20,7 @@ use std::collections::BTreeMap;
 /// Sanitize a metric name into the Prometheus grammar
 /// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): dots and other separators become
 /// underscores.
-pub fn sanitize_name(name: &str) -> String {
+pub(crate) fn sanitize_name(name: &str) -> String {
     let mut out = String::with_capacity(name.len());
     for (i, ch) in name.chars().enumerate() {
         let ok = ch.is_ascii_alphabetic() || ch == '_' || ch == ':' || (i > 0 && ch.is_ascii_digit());

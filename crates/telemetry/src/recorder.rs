@@ -15,6 +15,8 @@
 //! one thread-local read plus one relaxed atomic load, no locks, no
 //! allocation — cheap enough to leave instrumentation in every hot path.
 
+// conformance: atomics(acquire, release) — epoch swaps publish with release and load with acquire
+
 use crate::events::{Event, EventLog};
 use crate::metrics::{Histogram, Key, Registry};
 use crate::span::{FinishedSpan, SpanTicket, SpanTracker};

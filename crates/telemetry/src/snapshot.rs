@@ -27,7 +27,7 @@ use crate::span::FinishedSpan;
 use foundation::json_codec_struct;
 
 /// Snapshot schema identifier.
-pub const SNAPSHOT_SCHEMA: &str = "acctrade-telemetry-snapshot/v1";
+pub(crate) const SNAPSHOT_SCHEMA: &str = "acctrade-telemetry-snapshot/v1";
 
 /// One metric label (`k=v`). A struct rather than a tuple because the
 /// snapshot is framed through `foundation::json`, which has no tuple

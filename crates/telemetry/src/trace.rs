@@ -24,6 +24,8 @@
 //!
 //! [`validate_trace`] is the CI-side schema check for both variants.
 
+// conformance: atomics(relaxed, acquire, release) — slot seq uses acquire/release pairs; counters and cursors are relaxed
+
 use crate::manifest::RunManifest;
 use foundation::json::Json;
 use foundation::sync::Mutex;
@@ -41,13 +43,13 @@ pub const TRACE_SCHEMA: &str = "acctrade-trace/v1";
 pub const TRACE_FILE: &str = "TRACE_report.json";
 
 /// Default per-thread ring capacity (records).
-pub const DEFAULT_RING_CAPACITY: usize = 8192;
+pub(crate) const DEFAULT_RING_CAPACITY: usize = 8192;
 
 /// Default retained-record cap across all drained rings.
-pub const DEFAULT_RETAIN_CAPACITY: usize = 65_536;
+pub(crate) const DEFAULT_RETAIN_CAPACITY: usize = 65_536;
 
 /// Default slow-span threshold (wall µs) for the `/tracez` slow log.
-pub const DEFAULT_SLOW_THRESHOLD_US: u64 = 10_000;
+pub(crate) const DEFAULT_SLOW_THRESHOLD_US: u64 = 10_000;
 
 /// Category of a trace record (Chrome's `cat` field).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -211,6 +213,8 @@ pub struct TraceRing {
 // `seq == pos + 1`, with the acquire/release pair ordering the payload
 // write before the flag flip.
 unsafe impl Sync for TraceRing {}
+// SAFETY: sending the ring transfers only atomics and heap-owned slots;
+// no thread-affine state exists, so Send follows from Sync plus owned data.
 unsafe impl Send for TraceRing {}
 
 impl TraceRing {

@@ -73,6 +73,7 @@ impl Embedder {
 }
 
 /// Cosine similarity between dense vectors (0 for zero vectors).
+// conformance: allow(pub-hygiene) — tested metric surface kept as public API
 pub fn dense_cosine(a: &[f32], b: &[f32]) -> f64 {
     assert_eq!(a.len(), b.len(), "dimension mismatch");
     let dot: f64 = a.iter().zip(b).map(|(x, y)| f64::from(*x) * f64::from(*y)).sum();
@@ -86,6 +87,7 @@ pub fn dense_cosine(a: &[f32], b: &[f32]) -> f64 {
 }
 
 /// Euclidean distance between dense vectors.
+// conformance: allow(pub-hygiene) — tested metric surface kept as public API
 pub fn euclidean(a: &[f32], b: &[f32]) -> f64 {
     assert_eq!(a.len(), b.len(), "dimension mismatch");
     a.iter()

@@ -179,7 +179,7 @@ fn profiles() -> &'static Vec<Profile> {
 }
 
 /// Minimum trigram count below which we return [`Lang::Unknown`].
-pub const MIN_TRIGRAMS: usize = 6;
+pub(crate) const MIN_TRIGRAMS: usize = 6;
 
 /// Detect the language of `text`.
 ///
@@ -218,6 +218,7 @@ pub fn is_english(text: &str) -> bool {
 }
 
 /// All supported (non-Unknown) languages.
+// conformance: allow(pub-hygiene) — tested enumeration surface kept as public API
 pub fn supported_languages() -> &'static [Lang] {
     &ALL_LANGS
 }

@@ -27,11 +27,6 @@ pub fn is_stopword(word: &str) -> bool {
     STOPWORDS.binary_search(&word).is_ok()
 }
 
-/// Number of stop words in the table (exposed for tests and docs).
-pub fn stopword_count() -> usize {
-    STOPWORDS.len()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

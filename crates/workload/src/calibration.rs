@@ -38,23 +38,32 @@ pub fn table5(platform: Platform) -> (u32, u32) {
 }
 
 /// §3.2 / Table 2 totals.
+// conformance: allow(pub-hygiene) — paper anchor kept as documented API
 pub const TOTAL_VISIBLE_ACCOUNTS: u32 = 11_457;
 /// Total posts collected from visible accounts.
+// conformance: allow(pub-hygiene) — paper anchor kept as documented API
 pub const TOTAL_POSTS: u32 = 205_583;
 /// §6 totals.
+// conformance: allow(pub-hygiene) — paper anchor kept as documented API
 pub const TOTAL_SCAM_ACCOUNTS: u32 = 3_769;
 /// Total scam posts.
+// conformance: allow(pub-hygiene) — paper anchor kept as documented API
 pub const TOTAL_SCAM_POSTS: u32 = 18_792;
 
 /// §4.1 pricing: grand total of advertised prices.
+// conformance: allow(pub-hygiene) — paper anchor kept as documented API
 pub const TOTAL_PRICE_SUM_USD: f64 = 64_228_836.0;
 /// §4.1: listings priced above $20,000.
+// conformance: allow(pub-hygiene) — paper anchor kept as documented API
 pub const PREMIUM_LISTINGS: u32 = 345;
 /// §4.1: median price among the premium listings.
+// conformance: allow(pub-hygiene) — paper anchor kept as documented API
 pub const PREMIUM_MEDIAN_USD: f64 = 45_000.0;
 /// §4.1: maximum price among the premium listings.
+// conformance: allow(pub-hygiene) — paper anchor kept as documented API
 pub const PREMIUM_MAX_USD: f64 = 5_000_000.0;
 /// Abstract-level median price per advertised account.
+// conformance: allow(pub-hygiene) — paper anchor kept as documented API
 pub const OVERALL_MEDIAN_PRICE_USD: f64 = 157.0;
 
 /// §4.1 categories: listings with no category.
@@ -65,8 +74,10 @@ pub const MARKETPLACE_CATEGORY_COUNT: usize = 212;
 /// §4.1 monetization: listings disclosing monthly revenue.
 pub const MONETIZED_LISTINGS: u32 = 164;
 /// Monthly revenue range and median among them.
+// conformance: allow(pub-hygiene) — paper anchor kept as documented API
 pub const MONETIZATION_RANGE_USD: (f64, f64) = (1.0, 922.0);
 /// Monetization median usd.
+// conformance: allow(pub-hygiene) — paper anchor kept as documented API
 pub const MONETIZATION_MEDIAN_USD: f64 = 136.0;
 
 /// §4.1: fraction of listings with a description.
@@ -109,6 +120,7 @@ pub const PROTECTED_ACCOUNTS: u32 = 5;
 /// fraction created within the last 3.5 years of the collection window.
 pub const CREATED_PRE_2020: f64 = 0.30;
 /// Created last 3 5 years.
+// conformance: allow(pub-hygiene) — paper anchor kept as documented API
 pub const CREATED_LAST_3_5_YEARS: f64 = 0.70;
 /// YouTube accounts created 2006–2010 (<0.5%).
 pub const YT_ANCIENT_FRACTION: f64 = 0.004;
@@ -126,9 +138,11 @@ pub fn table7(platform: Platform) -> (u32, u32, u32, &'static str) {
 }
 
 /// §8: overall blocking efficacy across all platforms.
+// conformance: allow(pub-hygiene) — paper anchor kept as documented API
 pub const OVERALL_EFFICACY_PCT: f64 = 19.71;
 
 /// §3.1/Figure 2: crawl iterations across the Feb–Jun 2024 window.
+// conformance: allow(pub-hygiene) — paper anchor kept as documented API
 pub const CRAWL_ITERATIONS: usize = 10;
 /// Fraction of the final cumulative stock present at the first crawl.
 pub const INITIAL_STOCK_FRACTION: f64 = 0.80;
@@ -162,14 +176,17 @@ pub const INCOME_SOURCES: &[(&str, u32)] = &[
 /// scam-related.
 pub const TOPIC_CLUSTERS: usize = 86;
 /// Scam clusters.
+// conformance: allow(pub-hygiene) — paper anchor kept as documented API
 pub const SCAM_CLUSTERS: usize = 16;
 
 /// §4.2 underground: total posts across the six active markets.
 pub const UNDERGROUND_POSTS: usize = 65;
 /// §4.2: similarity band reported across near-duplicate listings.
+// conformance: allow(pub-hygiene) — paper anchor kept as documented API
 pub const UNDERGROUND_SIMILARITY_BAND: (f64, f64) = (0.88, 1.0);
 /// §4.2: of the 42 TikTok-related posts, 12 were near-duplicates tied to
 /// three authors.
+// conformance: allow(pub-hygiene) — paper anchor kept as documented API
 pub const TIKTOK_NEAR_DUP_POSTS: usize = 12;
 
 #[cfg(test)]

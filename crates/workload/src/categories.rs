@@ -11,7 +11,7 @@ use foundation::rng::{Rng, RngExt};
 
 /// The heads of the marketplace-category distribution, with paper counts
 /// (per-category listing counts from §4.1).
-pub const TOP_MARKET_CATEGORIES: &[(&str, u32)] = &[
+pub(crate) const TOP_MARKET_CATEGORIES: &[(&str, u32)] = &[
     ("Humor/Memes", 5_056),
     ("Luxury/Motivation", 2_292),
     ("Fashion/Style", 1_678),
@@ -69,7 +69,7 @@ pub fn sample_marketplace_category<R: Rng + ?Sized>(pool: &[String], rng: &mut R
 }
 
 /// The heads of the platform profile-category distribution (§5).
-pub const TOP_PLATFORM_CATEGORIES: &[(&str, u32)] = &[
+pub(crate) const TOP_PLATFORM_CATEGORIES: &[(&str, u32)] = &[
     ("Brand and Business", 751),
     ("Entities", 349),
     ("Digital Assets & Crypto", 334),

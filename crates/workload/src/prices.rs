@@ -15,7 +15,7 @@ use foundation::rng::{Rng, RngExt};
 
 /// Probability a listing belongs to the premium segment
 /// (345 / 38,253 ≈ 0.9%).
-pub const PREMIUM_PROB: f64 = 345.0 / 38_253.0;
+pub(crate) const PREMIUM_PROB: f64 = 345.0 / 38_253.0;
 
 /// Sample a standard normal via Box–Muller.
 fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {

@@ -77,6 +77,8 @@
 //! ops reconciliation failure (the final `/metrics` scrape disagrees
 //! with `TELEMETRY_report.json`).
 
+// conformance: atomics(relaxed) — demo counter, no cross-thread protocol
+
 use acctrade::core::{Study, StudyConfig};
 use acctrade::crawler::merge::normalize_for_parity;
 use acctrade::crawler::{MarketplaceCrawler, ProfileResolver};

@@ -572,19 +572,38 @@ fn conformance_finding_roundtrips() {
 
 #[test]
 fn conformance_report_roundtrips() {
-    let report = acctrade::conformance::report::LintReport {
+    use acctrade::conformance::report;
+    let report = report::LintReport {
+        schema: report::LINT_SCHEMA.into(),
         files_scanned: 140,
         manifests_scanned: 14,
         suppressed: 3,
+        arch_digest: "7d8e59b3d406be21".into(),
+        rule_counts: vec![
+            report::RuleCount { rule: "panic-policy".into(), findings: 1, suppressed: 3 },
+            report::RuleCount { rule: "zero-dep".into(), findings: 1, suppressed: 0 },
+        ],
+        unsafe_inventory: vec![
+            report::UnsafeSite {
+                file: "crates/telemetry/src/trace.rs".into(),
+                line: 213,
+                kind: "impl".into(),
+            },
+            report::UnsafeSite {
+                file: "crates/foundation/src/json.rs".into(),
+                line: 369,
+                kind: "block".into(),
+            },
+        ],
         findings: vec![
-            acctrade::conformance::report::Finding {
+            report::Finding {
                 rule: "panic-policy".into(),
                 file: "crates/core/src/study.rs".into(),
                 line: 198,
                 col: 14,
                 message: "`.expect(…)` in library code".into(),
             },
-            acctrade::conformance::report::Finding {
+            report::Finding {
                 rule: "zero-dep".into(),
                 file: "Cargo.toml".into(),
                 line: 12,
@@ -593,10 +612,47 @@ fn conformance_report_roundtrips() {
             },
         ],
     };
-    roundtrip(&report);
+    let wire = roundtrip(&report);
+    assert!(wire.contains("\"arch_digest\""), "v2 fields are on the wire: {wire}");
+    assert!(wire.contains("\"unsafe_inventory\""));
     // An empty (clean) report round-trips too — that is the shape CI
-    // byte-compares across the double run.
-    assert!(acctrade::conformance::report::LintReport::default().clean());
-    roundtrip(&acctrade::conformance::report::LintReport::default());
-    assert!(json::from_str::<acctrade::conformance::report::LintReport>("[]").is_err());
+    // byte-compares across the double run — and carries the v2 schema.
+    assert!(report::LintReport::default().clean());
+    assert_eq!(report::LintReport::default().schema, report::LINT_SCHEMA);
+    roundtrip(&report::LintReport::default());
+    assert!(json::from_str::<report::LintReport>("[]").is_err());
+}
+
+#[test]
+fn conformance_arch_baseline_roundtrips() {
+    use acctrade::conformance::report;
+    let baseline = report::ArchBaseline {
+        schema: "acctrade-arch/v1".into(),
+        crates: vec![
+            report::ArchCrate {
+                package: "acctrade-conformance".into(),
+                lib_name: "conformance".into(),
+                deps: vec!["acctrade-foundation".into()],
+                dev_deps: vec![],
+            },
+            report::ArchCrate {
+                package: "acctrade-foundation".into(),
+                lib_name: "foundation".into(),
+                deps: vec![],
+                dev_deps: vec![],
+            },
+        ],
+    };
+    let wire = roundtrip(&baseline);
+    assert!(wire.contains("\"lib_name\""), "crate rows are on the wire: {wire}");
+    // A mistyped field (number where a string belongs) is rejected.
+    let poisoned = wire.replace("\"lib_name\":\"conformance\"", "\"lib_name\":7");
+    assert_ne!(poisoned, wire, "replacement must hit");
+    assert!(json::from_str::<report::ArchBaseline>(&poisoned).is_err());
+    // The committed baseline itself parses and is canonically rendered.
+    let committed = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/ARCH_baseline.json"))
+        .expect("committed baseline");
+    let parsed: report::ArchBaseline = json::from_str(&committed).expect("baseline parses");
+    assert_eq!(json::to_string_pretty(&parsed) + "\n", committed, "canonical formatting");
+    assert!(parsed.crates.len() >= 14, "every workspace crate is pinned");
 }
